@@ -1,0 +1,68 @@
+// E4 — Copy-detection quality vs copy rate: aggressive copiers share many
+// false values and are easy to catch; light copiers blend in.
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/fusion/accu.h"
+#include "bdi/fusion/copy_detection.h"
+#include "bdi/fusion/evaluation.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::fusion;
+
+int main() {
+  bench::Banner("E4", "copy detection vs per-item copy rate",
+                "precision/recall/F1 of detected copier pairs rise with the "
+                "copy rate; shared false values are the detection signal");
+
+  TextTable table({"copy rate", "precision", "recall", "f1",
+                   "detected pairs", "true pairs"});
+  for (double copy_rate : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    synth::WorldConfig config = bench::CopierWorldConfig(400, 20, 6);
+    config.copy_rate = copy_rate;
+    synth::SyntheticWorld world = synth::GenerateWorld(config);
+    ClaimDb db =
+        ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+    FusionResult accu = AccuFusion().Resolve(db);
+    CopyDetectionConfig detection_config;
+    detection_config.copy_rate = 0.6;  // the detector does not know the truth
+    std::vector<SourceDependence> dependencies = DetectCopying(
+        db, accu.chosen, accu.source_accuracy, detection_config);
+    CopyDetectionQuality quality =
+        EvaluateCopyDetection(dependencies, world.truth, 0.5);
+    table.AddRow({FormatDouble(copy_rate, 1),
+                  FormatDouble(quality.precision, 3),
+                  FormatDouble(quality.recall, 3),
+                  FormatDouble(quality.f1, 3),
+                  std::to_string(quality.detected),
+                  std::to_string(quality.true_edges)});
+  }
+  table.Print("Figure E4: copy-detection quality vs copy rate");
+
+  // Breakdown of the evidence for one detected pair (diagnostic view).
+  synth::WorldConfig config = bench::CopierWorldConfig(400, 20, 6);
+  config.copy_rate = 0.9;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  ClaimDb db =
+      ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+  FusionResult accu = AccuFusion().Resolve(db);
+  std::vector<SourceDependence> dependencies =
+      DetectCopying(db, accu.chosen, accu.source_accuracy, {});
+  TextTable evidence({"pair", "P(dep)", "common", "shared true",
+                      "shared false", "different", "likely copier"});
+  int shown = 0;
+  for (const SourceDependence& d : dependencies) {
+    if (d.probability < 0.5 || shown >= 6) continue;
+    evidence.AddRow(
+        {"s" + std::to_string(d.a) + "-s" + std::to_string(d.b),
+         FormatDouble(d.probability, 3), std::to_string(d.common_items),
+         std::to_string(d.shared_true), std::to_string(d.shared_false),
+         std::to_string(d.different),
+         d.likely_copier == kInvalidSource
+             ? "?"
+             : "s" + std::to_string(d.likely_copier)});
+    ++shown;
+  }
+  evidence.Print("Table E4b: evidence behind detected dependencies");
+  return 0;
+}

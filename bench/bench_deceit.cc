@@ -1,0 +1,106 @@
+// E20 — Veracity beyond honest mistakes: sources that *lie consistently*
+// (spec inflation). Random-error fusion models degrade with the number of
+// liars — a consistent lie looks like a confident source — while
+// bias detection + correction recovers most of the loss. Copy detection
+// is blind to this failure mode (nothing is copied).
+#include <set>
+
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/fusion/accu.h"
+#include "bdi/fusion/accu_copy.h"
+#include "bdi/fusion/bias.h"
+#include "bdi/fusion/evaluation.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::fusion;
+
+int main() {
+  bench::Banner("E20", "fusion under deceitful (spec-inflating) sources",
+                "precision of vote/accu/accucopy falls as liars are added; "
+                "bias-corrected accu recovers; detected biases match the "
+                "planted inflation");
+
+  TextTable table({"#liars", "vote", "accu", "accucopy", "accu+debias",
+                   "flagged liars"});
+  for (int liars : {0, 2, 4, 6}) {
+    synth::WorldConfig config;
+    config.seed = 1409;
+    config.category = "stock";
+    config.num_entities = 300;
+    config.num_sources = 14;
+    config.num_deceitful = liars;
+    config.deceit_in_head = true;
+    config.deceit_inflation = 0.25;
+    config.source_accuracy_min = 0.8;
+    config.source_accuracy_max = 0.95;
+    config.format_variation_prob = 0.0;
+    synth::SyntheticWorld world = synth::GenerateWorld(config);
+    ClaimDb db =
+        ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+
+    double vote =
+        EvaluateFusion(db, VoteFusion().Resolve(db), world.truth).precision;
+    FusionResult accu_result = AccuFusion().Resolve(db);
+    double accu = EvaluateFusion(db, accu_result, world.truth).precision;
+    double accucopy =
+        EvaluateFusion(db, AccuCopyFusion().Resolve(db), world.truth)
+            .precision;
+
+    std::vector<SourceBias> biases = DetectBias(db, accu_result);
+    std::set<SourceId> flagged;
+    for (const SourceBias& bias : biases) flagged.insert(bias.source);
+    size_t correct_flags = 0;
+    for (SourceId liar : world.truth.deceitful_sources) {
+      if (flagged.count(liar) > 0) ++correct_flags;
+    }
+    // Iterated correction: re-detect against the improved consensus.
+    ClaimDb corrected = DebiasClaims(db, biases);
+    for (int round = 0; round < 2; ++round) {
+      FusionResult round_reference = AccuFusion().Resolve(corrected);
+      std::vector<SourceBias> more = DetectBias(corrected, round_reference);
+      if (more.empty()) break;
+      corrected = DebiasClaims(corrected, more);
+    }
+    double debias =
+        EvaluateFusion(corrected, AccuFusion().Resolve(corrected),
+                       world.truth)
+            .precision;
+
+    table.AddRow({std::to_string(liars), FormatDouble(vote, 3),
+                  FormatDouble(accu, 3), FormatDouble(accucopy, 3),
+                  FormatDouble(debias, 3),
+                  std::to_string(correct_flags) + "/" +
+                      std::to_string(liars) + " (+" +
+                      std::to_string(flagged.size() - correct_flags) +
+                      " false)"});
+  }
+  table.Print("Figure E20: precision vs number of deceitful sources");
+
+  // Show a few detected biases against the planted 25% inflation.
+  synth::WorldConfig config;
+  config.seed = 1409;
+  config.category = "stock";
+  config.num_entities = 300;
+  config.num_sources = 14;
+  config.num_deceitful = 4;
+  config.format_variation_prob = 0.0;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  ClaimDb db =
+      ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+  FusionResult reference = AccuFusion().Resolve(db);
+  TextTable evidence({"source", "attribute", "estimated bias",
+                      "dispersion", "items"});
+  int shown = 0;
+  for (const SourceBias& bias : DetectBias(db, reference)) {
+    if (shown++ >= 8) break;
+    evidence.AddRow({"s" + std::to_string(bias.source),
+                     world.truth.canonical_attrs[bias.attr],
+                     FormatDouble(bias.relative_bias, 3),
+                     FormatDouble(bias.dispersion, 3),
+                     std::to_string(bias.items)});
+  }
+  evidence.Print("Table E20b: detected biases (planted inflation = +0.25)");
+  return 0;
+}

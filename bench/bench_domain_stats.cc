@@ -1,0 +1,116 @@
+// E1 — Domain characterization (the Deep-Web-study style table): source
+// count, page volume, attribute-name variety with its long tail, and
+// head/tail redundancy. Reproduces the shape of the tutorial's motivating
+// statistics (most attribute names appear in very few sources; head
+// entities are covered by many sources).
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/schema/attribute_stats.h"
+#include "bdi/synth/world.h"
+#include "bench_util.h"
+
+using namespace bdi;
+
+namespace {
+
+struct DomainStats {
+  size_t sources = 0;
+  size_t pages = 0;
+  size_t raw_names = 0;
+  double tail_name_fraction = 0.0;   // names in < 3% of sources
+  size_t popular_names = 0;          // names in >= 10% of sources
+  double top_name_share = 0.0;       // sources using the most common name
+  double head_redundancy = 0.0;      // sources per head entity (top 10%)
+  double tail_redundancy = 0.0;      // sources per tail entity (bottom 50%)
+};
+
+DomainStats Characterize(const synth::SyntheticWorld& world) {
+  DomainStats stats;
+  stats.sources = world.dataset.num_sources();
+  stats.pages = world.dataset.num_records();
+
+  schema::AttributeStatistics attr_stats =
+      schema::AttributeStatistics::Compute(world.dataset);
+  const auto& name_counts = attr_stats.name_source_counts();
+  stats.raw_names = name_counts.size();
+  size_t tail = 0, popular = 0, top = 0;
+  for (const auto& [name, count] : name_counts) {
+    if (static_cast<double>(count) <
+        0.03 * static_cast<double>(stats.sources)) {
+      ++tail;
+    }
+    if (static_cast<double>(count) >=
+        0.10 * static_cast<double>(stats.sources)) {
+      ++popular;
+    }
+    top = std::max(top, count);
+  }
+  stats.tail_name_fraction =
+      name_counts.empty()
+          ? 0.0
+          : static_cast<double>(tail) / static_cast<double>(stats.raw_names);
+  stats.popular_names = popular;
+  stats.top_name_share =
+      static_cast<double>(top) / static_cast<double>(stats.sources);
+
+  // Redundancy by entity popularity.
+  std::map<EntityId, std::set<SourceId>> sources_of;
+  for (size_t r = 0; r < world.dataset.num_records(); ++r) {
+    sources_of[world.truth.entity_of_record[r]].insert(
+        world.dataset.record(static_cast<RecordIdx>(r)).source);
+  }
+  size_t n = world.truth.num_entities();
+  double head_sum = 0.0, tail_sum = 0.0;
+  size_t head_n = 0, tail_n = 0;
+  for (size_t e = 0; e < n; ++e) {
+    auto it = sources_of.find(static_cast<EntityId>(e));
+    size_t cover = it == sources_of.end() ? 0 : it->second.size();
+    if (e < n / 10) {
+      head_sum += static_cast<double>(cover);
+      ++head_n;
+    } else if (e >= n / 2) {
+      tail_sum += static_cast<double>(cover);
+      ++tail_n;
+    }
+  }
+  stats.head_redundancy = head_n == 0 ? 0 : head_sum / static_cast<double>(head_n);
+  stats.tail_redundancy = tail_n == 0 ? 0 : tail_sum / static_cast<double>(tail_n);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E1", "domain characterization across corpus scales",
+                "attribute-name variety explodes with source count; the "
+                "vast majority of names live in <3% of sources; head "
+                "entities enjoy far more redundancy than tail entities");
+
+  TextTable table({"#sources", "#pages", "#attr names", "tail names",
+                   "names in >=10% srcs", "top-name share",
+                   "head redundancy", "tail redundancy"});
+  for (int num_sources : {25, 50, 100, 200}) {
+    synth::WorldConfig config;
+    config.seed = 42;
+    config.category = "camera";
+    config.num_entities = 500;
+    config.num_sources = num_sources;
+    config.min_source_coverage = 0.005;
+    config.num_synonyms_per_attr = 5;
+    synth::SyntheticWorld world = synth::GenerateWorld(config);
+    DomainStats stats = Characterize(world);
+    table.AddRow({std::to_string(stats.sources), std::to_string(stats.pages),
+                  std::to_string(stats.raw_names),
+                  FormatDouble(100.0 * stats.tail_name_fraction, 1) + "%",
+                  std::to_string(stats.popular_names),
+                  FormatDouble(100.0 * stats.top_name_share, 1) + "%",
+                  FormatDouble(stats.head_redundancy, 2),
+                  FormatDouble(stats.tail_redundancy, 2)});
+  }
+  table.Print("Table E1: volume, variety and redundancy vs corpus scale");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E16 — Data extraction from rendered pages: wrapper induction recovers
+// the specification fields from template-based sites (local homogeneity),
+// weak-template sites cost recall, and end-to-end integration from raw
+// pages is nearly as good as integration from the clean dataset.
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/core/integrator.h"
+#include "bdi/extract/extractor.h"
+#include "bdi/extract/renderer.h"
+#include "bdi/fusion/evaluation.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::extract;
+
+int main() {
+  bench::Banner("E16", "wrapper-induction extraction from spec pages",
+                "field precision stays near 1 (what the wrapper extracts "
+                "is right); recall drops with the weak-template share; "
+                "page-level integration tracks dataset-level integration");
+
+  synth::WorldConfig world_config;
+  world_config.seed = 2013;
+  world_config.category = "camera";
+  world_config.num_entities = 250;
+  world_config.num_sources = 12;
+  synth::SyntheticWorld world = synth::GenerateWorld(world_config);
+
+  TextTable table({"weak-template share", "usable sites",
+                   "field precision", "field recall", "field f1"});
+  for (double weak : {0.0, 0.2, 0.4, 0.6}) {
+    RendererConfig renderer_config;
+    renderer_config.weak_template_prob = weak;
+    PageRenderer renderer(renderer_config);
+    std::vector<SourcePages> sites = renderer.RenderAll(world.dataset);
+    ExtractionReport report = ExtractAll(sites);
+    size_t usable = 0;
+    for (const SourceDiagnostics& d : report.sources) {
+      if (d.usable) ++usable;
+    }
+    ExtractionQuality quality =
+        EvaluateExtraction(world.dataset, sites, report);
+    table.AddRow({FormatDouble(weak, 1),
+                  std::to_string(usable) + "/" +
+                      std::to_string(report.sources.size()),
+                  FormatDouble(quality.field_precision, 3),
+                  FormatDouble(quality.field_recall, 3),
+                  FormatDouble(quality.f1, 3)});
+  }
+  table.Print("Figure E16: extraction quality vs weak-template share");
+
+  // End-to-end from pages: render -> extract -> integrate, compared with
+  // integrating the clean dataset directly.
+  PageRenderer renderer(RendererConfig{});
+  std::vector<SourcePages> sites = renderer.RenderAll(world.dataset);
+  ExtractionReport extraction = ExtractAll(sites);
+
+  core::Integrator integrator;
+  core::IntegrationReport from_pages = integrator.Run(extraction.dataset);
+  core::IntegrationReport from_dataset = integrator.Run(world.dataset);
+
+  // Page-level records appear in the same global order as the original
+  // records (source-major), so the truth labels line up.
+  linkage::LinkageQuality pages_linkage = linkage::EvaluateClusters(
+      from_pages.linkage.clusters.label_of_record,
+      world.truth.entity_of_record);
+  linkage::LinkageQuality dataset_linkage = linkage::EvaluateClusters(
+      from_dataset.linkage.clusters.label_of_record,
+      world.truth.entity_of_record);
+
+  TextTable pipeline({"pipeline input", "link P", "link R", "#claims"});
+  pipeline.AddRow({"rendered pages (extracted)",
+                   FormatDouble(pages_linkage.precision, 3),
+                   FormatDouble(pages_linkage.recall, 3),
+                   std::to_string(from_pages.claims.num_claims())});
+  pipeline.AddRow({"clean dataset",
+                   FormatDouble(dataset_linkage.precision, 3),
+                   FormatDouble(dataset_linkage.recall, 3),
+                   std::to_string(from_dataset.claims.num_claims())});
+  pipeline.Print("Table E16b: integration from pages vs from the dataset");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E7 — Record-linkage quality by matcher x clusterer under increasing
+// noise (identifier sparsity + name corruption). Identifier-anchored rules
+// are robust while ids exist; learned/linear matchers degrade gracefully.
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/linkage/linkage.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::linkage;
+
+namespace {
+
+synth::SyntheticWorld NoisyWorld(double noise) {
+  synth::WorldConfig config;
+  config.seed = 2018;
+  config.category = "camera";
+  config.num_entities = 400;
+  config.num_sources = 12;
+  config.identifier_presence_prob = 1.0 - 0.6 * noise;
+  config.identifier_noise_prob = 0.10 * noise;
+  config.name_noise.typo_prob = 0.05 + 0.25 * noise;
+  config.name_noise.token_drop_prob = 0.05 + 0.15 * noise;
+  config.name_noise.extra_token_prob = 0.15 + 0.30 * noise;
+  return synth::GenerateWorld(config);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E7", "linkage quality by matcher and clusterer vs noise",
+                "quality declines with noise for all variants; the "
+                "identifier-anchored rule holds precision longest; center "
+                "clustering trades recall for precision vs transitive "
+                "closure");
+
+  TextTable table({"noise", "scorer", "clusterer", "precision", "recall",
+                   "f1", "matches"});
+  for (double noise : {0.0, 0.5, 1.0}) {
+    synth::SyntheticWorld world = NoisyWorld(noise);
+    for (ScorerKind scorer : {ScorerKind::kRule, ScorerKind::kLinear}) {
+      for (ClusteringMethod clusterer :
+           {ClusteringMethod::kConnectedComponents,
+            ClusteringMethod::kCenter,
+            ClusteringMethod::kCorrelationPivot}) {
+        LinkerConfig config;
+        config.scorer = scorer;
+        config.clustering = clusterer;
+        Linker linker(&world.dataset, config);
+        LinkageResult result = linker.Run();
+        LinkageQuality quality =
+            EvaluateClusters(result.clusters.label_of_record,
+                             world.truth.entity_of_record);
+        const char* scorer_name =
+            scorer == ScorerKind::kRule ? "rule" : "linear";
+        const char* cluster_name =
+            clusterer == ClusteringMethod::kConnectedComponents ? "conn-comp"
+            : clusterer == ClusteringMethod::kCenter             ? "center"
+                                                                 : "corr-pivot";
+        table.AddRow({FormatDouble(noise, 1), scorer_name, cluster_name,
+                      FormatDouble(quality.precision, 3),
+                      FormatDouble(quality.recall, 3),
+                      FormatDouble(quality.f1, 3),
+                      std::to_string(result.num_matches)});
+      }
+    }
+  }
+  table.Print("Table E7: linkage P/R/F1 by configuration and noise level");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E8 — Linkage scalability on the shared-memory dataflow substrate:
+// runtime and throughput as the corpus grows, and the per-stage breakdown
+// (blocking / matching / clustering). Matching parallelizes across the
+// thread pool; the thread sweep shows the (machine-dependent) speedup.
+#include <thread>
+
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/linkage/linkage.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::linkage;
+
+int main() {
+  bench::Banner("E8", "linkage scalability (dataflow substrate)",
+                "runtime grows near-linearly with candidate count (blocking "
+                "keeps the pair space sparse); matching dominates and "
+                "parallelizes across threads");
+
+  TextTable table({"records", "candidates", "block ms", "match ms",
+                   "cluster ms", "total ms", "records/s"});
+  for (int entities : {250, 500, 1000, 2000}) {
+    synth::WorldConfig config;
+    config.seed = 7;
+    config.num_entities = entities;
+    config.num_sources = 14;
+    synth::SyntheticWorld world = synth::GenerateWorld(config);
+    Linker linker(&world.dataset, {});
+    LinkageResult result = linker.Run();
+    double total =
+        result.blocking_seconds + result.matching_seconds +
+        result.clustering_seconds;
+    table.AddRow(
+        {std::to_string(world.dataset.num_records()),
+         std::to_string(result.num_candidates),
+         FormatDouble(1000 * result.blocking_seconds, 1),
+         FormatDouble(1000 * result.matching_seconds, 1),
+         FormatDouble(1000 * result.clustering_seconds, 1),
+         FormatDouble(1000 * total, 1),
+         FormatDouble(static_cast<double>(world.dataset.num_records()) /
+                          std::max(1e-9, total),
+                      0)});
+  }
+  table.Print("Figure E8: runtime vs corpus size");
+
+  // Thread sweep on a fixed corpus (speedup depends on available cores:
+  // this machine reports hardware_concurrency below).
+  synth::WorldConfig config;
+  config.seed = 7;
+  config.num_entities = 1500;
+  config.num_sources = 14;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  TextTable threads_table({"threads", "match ms", "speedup"});
+  double baseline = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    LinkerConfig linker_config;
+    linker_config.num_threads = threads;
+    Linker linker(&world.dataset, linker_config);
+    LinkageResult result = linker.Run();
+    if (threads == 1) baseline = result.matching_seconds;
+    threads_table.AddRow(
+        {std::to_string(threads),
+         FormatDouble(1000 * result.matching_seconds, 1),
+         FormatDouble(baseline / std::max(1e-9, result.matching_seconds),
+                      2)});
+  }
+  threads_table.Print("Figure E8b: matching-stage thread scaling");
+  std::printf("hardware_concurrency on this machine: %u\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

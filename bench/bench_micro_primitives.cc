@@ -1,0 +1,106 @@
+// Microbenchmarks (google-benchmark) for the hot primitives: similarity
+// measures, tokenization, blocking-key generation and the MapReduce
+// substrate. These are the inner loops of the pairwise-matching stage.
+#include <benchmark/benchmark.h>
+
+#include "bdi/common/random.h"
+#include "bdi/dataflow/mapreduce.h"
+#include "bdi/text/similarity.h"
+#include "bdi/text/tokenizer.h"
+
+namespace {
+
+using namespace bdi;
+
+std::string MakeName(Rng* rng) {
+  static const char* kBrands[] = {"zorix", "calon", "venar", "mirata"};
+  std::string name = kBrands[rng->UniformInt(0, 3)];
+  name += " ";
+  name.push_back(static_cast<char>('a' + rng->UniformInt(0, 25)));
+  name.push_back(static_cast<char>('a' + rng->UniformInt(0, 25)));
+  name += "-" + std::to_string(rng->UniformInt(100, 9999)) + " camera";
+  return name;
+}
+
+void BM_JaroWinkler(benchmark::State& state) {
+  Rng rng(1);
+  std::string a = MakeName(&rng), b = MakeName(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_EditDistance(benchmark::State& state) {
+  Rng rng(2);
+  std::string a = MakeName(&rng), b = MakeName(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_MongeElkan(benchmark::State& state) {
+  Rng rng(3);
+  std::string a = MakeName(&rng), b = MakeName(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::MongeElkanSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_MongeElkan);
+
+void BM_TokenJaccard(benchmark::State& state) {
+  Rng rng(4);
+  std::string a = MakeName(&rng), b = MakeName(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::TokenJaccard(a, b));
+  }
+}
+BENCHMARK(BM_TokenJaccard);
+
+void BM_WordTokens(benchmark::State& state) {
+  Rng rng(5);
+  std::string a = MakeName(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::WordTokens(a));
+  }
+}
+BENCHMARK(BM_WordTokens);
+
+void BM_IdentifierTokens(benchmark::State& state) {
+  Rng rng(6);
+  std::string a = MakeName(&rng) + " sku" + std::to_string(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::IdentifierTokens(a, 4));
+  }
+}
+BENCHMARK(BM_IdentifierTokens);
+
+void BM_MapReduceWordCount(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::string> docs;
+  for (int i = 0; i < 2000; ++i) docs.push_back(MakeName(&rng));
+  for (auto _ : state) {
+    auto out = dataflow::MapReduce<std::string, std::string, int,
+                                   std::pair<std::string, int>>(
+        docs,
+        [](const std::string& doc,
+           dataflow::Emitter<std::string, int>* emitter) {
+          for (const std::string& token : text::WordTokens(doc)) {
+            emitter->Emit(token, 1);
+          }
+        },
+        [](const std::string& key, std::vector<int>&& values) {
+          int total = 0;
+          for (int v : values) total += v;
+          return std::make_pair(key, total);
+        });
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MapReduceWordCount);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E5 — Schema alignment under increasing heterogeneity: deterministic
+// single mediated schema (connected-components vs center clustering)
+// against the probabilistic mediated schema's consensus (pay-as-you-go).
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/core/integrator.h"
+#include "bdi/schema/linkage_refinement.h"
+#include "bdi/schema/mediated_schema.h"
+#include "bdi/schema/probabilistic_schema.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::schema;
+
+int main() {
+  bench::Banner("E5",
+                "mediated-schema quality vs schema heterogeneity",
+                "center clustering dominates connected components on "
+                "precision; the probabilistic consensus recovers recall "
+                "under high synonym/decoration noise without giving up "
+                "much precision");
+
+  TextTable table({"synonyms", "decoration", "variant", "precision",
+                   "recall", "f1", "#clusters"});
+  for (double synonym_prob : {0.2, 0.5, 0.8}) {
+    for (double decoration_prob : {0.1, 0.4}) {
+      synth::WorldConfig config;
+      config.seed = 2013;
+      config.category = "camera";
+      config.num_entities = 250;
+      config.num_sources = 12;
+      config.synonym_prob = synonym_prob;
+      config.decoration_prob = decoration_prob;
+      synth::SyntheticWorld world = synth::GenerateWorld(config);
+      AttributeStatistics stats =
+          AttributeStatistics::Compute(world.dataset);
+      std::vector<AttrEdge> edges = BuildCandidateEdges(stats, {});
+
+      auto add_row = [&](const char* variant, const MediatedSchema& schema) {
+        SchemaQuality quality =
+            EvaluateSchema(schema, world.truth.canonical_of_source_attr);
+        table.AddRow({FormatDouble(synonym_prob, 1),
+                      FormatDouble(decoration_prob, 1), variant,
+                      FormatDouble(quality.precision, 3),
+                      FormatDouble(quality.recall, 3),
+                      FormatDouble(quality.f1, 3),
+                      std::to_string(schema.clusters.size())});
+      };
+
+      MediatedSchemaConfig cc;
+      cc.method = ClusterMethod::kConnectedComponents;
+      add_row("conn-comp", BuildMediatedSchema(stats, edges, cc));
+
+      MediatedSchemaConfig center;
+      center.method = ClusterMethod::kCenter;
+      add_row("center", BuildMediatedSchema(stats, edges, center));
+
+      ProbabilisticMediatedSchema pms =
+          ProbabilisticMediatedSchema::Build(stats, edges, {});
+      add_row("probabilistic", pms.Consensus(stats, 0.5));
+
+      // The feedback loop: run linkage on the center schema, then merge
+      // clusters that agree on linked entities (the tutorial's
+      // "alternating alignment and linkage" direction).
+      core::IntegratorConfig pipeline_config;
+      pipeline_config.linkage_feedback = true;
+      core::IntegrationReport report =
+          core::Integrator(pipeline_config).Run(world.dataset);
+      add_row("center+feedback", report.schema);
+    }
+  }
+  table.Print(
+      "Table E5: alignment quality by heterogeneity level and method");
+
+  // Precision/recall curve over the clustering threshold (center method,
+  // mid heterogeneity) — the knob a deployment actually turns.
+  synth::WorldConfig config;
+  config.seed = 2013;
+  config.category = "camera";
+  config.num_entities = 250;
+  config.num_sources = 12;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  AttributeStatistics stats = AttributeStatistics::Compute(world.dataset);
+  std::vector<AttrEdge> edges = BuildCandidateEdges(stats, {});
+  TextTable curve({"threshold", "precision", "recall", "f1"});
+  for (double threshold : {0.5, 0.6, 0.65, 0.7, 0.75, 0.8, 0.9}) {
+    MediatedSchemaConfig msc;
+    msc.threshold = threshold;
+    msc.method = ClusterMethod::kCenter;
+    SchemaQuality quality = EvaluateSchema(
+        BuildMediatedSchema(stats, edges, msc),
+        world.truth.canonical_of_source_attr);
+    curve.AddRow({FormatDouble(threshold, 2),
+                  FormatDouble(quality.precision, 3),
+                  FormatDouble(quality.recall, 3),
+                  FormatDouble(quality.f1, 3)});
+  }
+  curve.Print("Table E5b: precision/recall across clustering thresholds");
+  return 0;
+}

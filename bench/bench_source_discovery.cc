@@ -1,0 +1,73 @@
+// E17 — Source discovery ("redundancy as a friend"): starting from one
+// seed site, searching the identifiers of already-crawled pages discovers
+// the remaining product sources — head identifiers appear in many sources
+// — while undirected crawling wastes its budget on non-product sites.
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/discovery/crawler.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::discovery;
+
+int main() {
+  bench::Banner("E17", "focused source discovery vs undirected crawling",
+                "at every page budget the identifier-driven crawler covers "
+                "more entities and finds more product sources; distractor "
+                "sites are only visited once the product web is exhausted");
+
+  // The hidden web: 20 product sources + 20 distractor sites.
+  synth::WorldConfig config;
+  config.seed = 2015;
+  config.category = "camera";
+  config.num_entities = 400;
+  config.num_sources = 20;
+  config.identifier_presence_prob = 0.95;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  Dataset web = std::move(world.dataset);
+  std::vector<EntityId> labels = world.truth.entity_of_record;
+  AddDistractorSources(&web, 20, 40, 77, &labels);
+  SearchIndex index(web);
+  std::printf("hidden web: %zu sites (%d product), %zu pages, "
+              "%zu indexed identifier tokens\n\n",
+              web.num_sources(), 20, web.num_records(),
+              index.num_indexed_tokens());
+
+  auto coverage_at = [](const DiscoveryResult& result, size_t budget) {
+    DiscoveryStep best;
+    for (const DiscoveryStep& step : result.curve) {
+      if (step.pages_crawled <= budget) best = step;
+    }
+    return best;
+  };
+
+  DiscoveryConfig discovery_config;
+  discovery_config.page_budget = 2600;
+  DiscoveryResult focused =
+      FocusedDiscovery(web, index, labels, discovery_config);
+  DiscoveryResult random = RandomDiscovery(web, labels, discovery_config);
+
+  TextTable table({"pages crawled", "focused: entities", "focused: sources",
+                   "random: entities", "random: sources",
+                   "random: distractors hit"});
+  for (size_t budget : {100u, 200u, 400u, 800u, 1600u, 2600u}) {
+    DiscoveryStep f = coverage_at(focused, budget);
+    DiscoveryStep r = coverage_at(random, budget);
+    table.AddRow({std::to_string(budget),
+                  std::to_string(f.entities_covered),
+                  std::to_string(f.sources_discovered),
+                  std::to_string(r.entities_covered),
+                  std::to_string(r.sources_discovered),
+                  std::to_string(r.sources_visited -
+                                 r.sources_discovered)});
+  }
+  table.Print("Figure E17: discovery progress vs crawl budget");
+
+  std::printf("focused crawl order (first 10 sites): ");
+  for (size_t i = 0; i < std::min<size_t>(10, focused.crawl_order.size());
+       ++i) {
+    std::printf("%s%d", i == 0 ? "" : ", ", focused.crawl_order[i]);
+  }
+  std::printf("  (ids < 20 are product sources)\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E13 — Temporal record linkage: entities evolve (rebrands, revision
+// suffixes) and pages churn, so a static matcher over-splits long-gap
+// observations. Disagreement decay (time-relaxed thresholds backed by
+// continuity evidence) recovers the cross-gap matches.
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/linkage/temporal.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::linkage;
+
+namespace {
+
+synth::TemporalCorpus MakeCorpus(double drift) {
+  synth::WorldConfig config;
+  config.seed = 311;
+  config.num_entities = 150;
+  config.num_sources = 8;
+  config.publish_identifiers = false;  // ids would trivialize the task
+  synth::TemporalConfig temporal;
+  temporal.name_drift_rate = drift;
+  temporal.record_death_rate = 0.35;  // gappy observation
+  temporal.record_birth_rate = 0.05;
+  temporal.source_death_rate = 0.0;
+  temporal.entity_birth_rate = 0.0;
+  temporal.value_change_rate = 0.05;
+  return synth::GenerateTemporalCorpus(config, temporal, 6);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E13", "temporal vs static linkage on evolving entities",
+                "with name drift, the static threshold loses recall that "
+                "the time-decayed threshold recovers at equal precision; "
+                "with no drift the two coincide");
+
+  TextTable table({"name drift", "variant", "precision", "recall", "f1",
+                   "relaxed matches"});
+  for (double drift : {0.0, 0.15, 0.30, 0.45}) {
+    synth::TemporalCorpus corpus = MakeCorpus(drift);
+    TemporalLinkConfig temporal_config;
+    TemporalLinkConfig static_config = temporal_config;
+    static_config.min_threshold = static_config.base_threshold;
+    static_config.same_source_min_threshold = static_config.base_threshold;
+    static_config.min_value_threshold = static_config.base_value_threshold;
+
+    for (const auto& [variant, config] :
+         {std::pair<const char*, TemporalLinkConfig>{"static",
+                                                     static_config},
+          std::pair<const char*, TemporalLinkConfig>{"temporal",
+                                                     temporal_config}}) {
+      TemporalLinkageResult result =
+          LinkTemporal(corpus.dataset, corpus.record_time, config);
+      LinkageQuality quality = EvaluateClusters(
+          result.clusters.label_of_record, corpus.entity_of_record);
+      table.AddRow({FormatDouble(drift, 2), variant,
+                    FormatDouble(quality.precision, 3),
+                    FormatDouble(quality.recall, 3),
+                    FormatDouble(quality.f1, 3),
+                    std::to_string(result.relaxed_matches)});
+    }
+  }
+  table.Print("Figure E13: linkage quality vs entity evolution rate");
+
+  // Relaxation-floor ablation at fixed drift.
+  synth::TemporalCorpus corpus = MakeCorpus(0.30);
+  TextTable ablation({"name floor", "precision", "recall", "f1",
+                      "relaxed matches"});
+  for (double floor : {0.92, 0.90, 0.88, 0.86, 0.84}) {
+    TemporalLinkConfig config;
+    config.min_threshold = floor;
+    TemporalLinkageResult result =
+        LinkTemporal(corpus.dataset, corpus.record_time, config);
+    LinkageQuality quality = EvaluateClusters(
+        result.clusters.label_of_record, corpus.entity_of_record);
+    ablation.AddRow({FormatDouble(floor, 2),
+                     FormatDouble(quality.precision, 3),
+                     FormatDouble(quality.recall, 3),
+                     FormatDouble(quality.f1, 3),
+                     std::to_string(result.relaxed_matches)});
+  }
+  ablation.Print("Table E13b: relaxation-floor ablation (drift 0.30)");
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef BDI_BENCH_BENCH_UTIL_H_
+#define BDI_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bdi/common/table.h"
+#include "bdi/common/timer.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::bench {
+
+/// Prints the standard experiment banner so bench output is self-labeling.
+inline void Banner(const std::string& experiment, const std::string& title,
+                   const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), title.c_str());
+  std::printf("expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+/// The common fusion-bench world: independent sources with spread
+/// accuracies plus low-accuracy copiers.
+inline synth::WorldConfig CopierWorldConfig(int num_entities = 400,
+                                            int num_sources = 20,
+                                            int num_copiers = 8) {
+  synth::WorldConfig config;
+  config.seed = 2013;
+  config.category = "book";
+  config.num_entities = num_entities;
+  config.num_sources = num_sources;
+  config.num_copiers = num_copiers;
+  config.copy_rate = 0.9;
+  config.copier_accuracy_min = 0.4;
+  config.copier_accuracy_max = 0.6;
+  config.source_accuracy_min = 0.7;
+  config.source_accuracy_max = 0.95;
+  // The classic propagation scenario: the big head source is mediocre and
+  // every copier mirrors it, so its errors arrive many times over.
+  config.source0_accuracy = 0.55;
+  config.copier_original = 0;
+  config.format_variation_prob = 0.0;  // isolate fusion from extraction
+  return config;
+}
+
+}  // namespace bdi::bench
+
+#endif  // BDI_BENCH_BENCH_UTIL_H_

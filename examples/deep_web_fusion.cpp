@@ -1,0 +1,86 @@
+// Deep-Web style truth discovery: many stock-data sources publish
+// conflicting numbers, some of them copying a mediocre aggregator. The
+// example resolves the conflicts with each fusion model and shows how copy
+// detection changes both the chosen values and the source-accuracy
+// estimates (the veracity story of the tutorial).
+#include <cstdio>
+
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/fusion/accu.h"
+#include "bdi/fusion/accu_copy.h"
+#include "bdi/fusion/evaluation.h"
+#include "bdi/synth/world.h"
+
+int main() {
+  using namespace bdi;
+  using namespace bdi::fusion;
+
+  synth::WorldConfig config;
+  config.seed = 9;
+  config.category = "stock";
+  config.num_entities = 300;      // tickers
+  config.num_sources = 16;
+  config.num_copiers = 6;         // re-publishers of the aggregator
+  config.copier_original = 0;
+  config.source0_accuracy = 0.6;  // the big aggregator is mediocre
+  config.copy_rate = 0.9;
+  config.format_variation_prob = 0.0;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+
+  ClaimDb db =
+      ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+  std::printf("deep-web stock corpus: %zu sources, %zu data items, "
+              "%zu claims\n",
+              db.num_sources(), db.items().size(), db.num_claims());
+  std::printf("(6 sources copy the big aggregator source0, which is only "
+              "60%% accurate)\n\n");
+
+  // Resolve with copy-blind and copy-aware fusion.
+  FusionResult accu = AccuFusion().Resolve(db);
+  AccuCopyFusion accucopy_method;
+  FusionResult accucopy = accucopy_method.Resolve(db);
+
+  TextTable quality({"model", "precision vs truth", "accuracy-est MAE"});
+  quality.AddRow({"vote", FormatDouble(EvaluateFusion(db, VoteFusion().Resolve(db),
+                                                      world.truth)
+                                           .precision,
+                                       3),
+                  "-"});
+  quality.AddRow({"accu (copy-blind)",
+                  FormatDouble(EvaluateFusion(db, accu, world.truth).precision, 3),
+                  FormatDouble(AccuracyEstimationError(accu, world.truth), 3)});
+  quality.AddRow({"accucopy (copy-aware)",
+                  FormatDouble(
+                      EvaluateFusion(db, accucopy, world.truth).precision, 3),
+                  FormatDouble(AccuracyEstimationError(accucopy, world.truth),
+                               3)});
+  quality.Print("fusion quality");
+
+  // Where did the models disagree? Show a few items.
+  std::printf("items where copy-awareness changed the verdict:\n");
+  int shown = 0;
+  for (size_t i = 0; i < db.items().size() && shown < 5; ++i) {
+    if (accu.chosen[i] == accucopy.chosen[i]) continue;
+    const DataItem& item = db.items()[i];
+    const std::string& truth =
+        world.truth.true_values[item.entity][item.attr];
+    std::printf("  %s of ticker#%d: accu said %-8s accucopy said %-8s "
+                "(truth %s)\n",
+                world.truth.canonical_attrs[item.attr].c_str(), item.entity,
+                accu.chosen[i].c_str(), accucopy.chosen[i].c_str(),
+                truth.c_str());
+    ++shown;
+  }
+
+  // The detected dependence structure.
+  std::printf("\ndetected copying (P >= 0.5):\n");
+  for (const SourceDependence& d : accucopy_method.last_dependencies()) {
+    if (d.probability < 0.5) continue;
+    std::printf("  %s <-> %s  P(dep)=%.2f  shared-false=%zu\n",
+                world.dataset.source(d.a).name.c_str(),
+                world.dataset.source(d.b).name.c_str(), d.probability,
+                d.shared_false);
+  }
+  return 0;
+}

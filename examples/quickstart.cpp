@@ -1,0 +1,69 @@
+// Quickstart: generate a small synthetic multi-source product corpus, run
+// the full integration pipeline (schema alignment -> record linkage ->
+// data fusion), and print the integrated entities plus quality against the
+// generator's ground truth.
+#include <cstdio>
+
+#include "bdi/common/table.h"
+#include "bdi/core/integrator.h"
+#include "bdi/fusion/evaluation.h"
+#include "bdi/linkage/clustering.h"
+#include "bdi/schema/mediated_schema.h"
+#include "bdi/synth/world.h"
+
+int main() {
+  // 1. A world: 200 camera-like entities published by 12 heterogeneous
+  // sources (synonymous attribute names, unit differences, honest errors).
+  bdi::synth::WorldConfig config;
+  config.seed = 1;
+  config.category = "camera";
+  config.num_entities = 200;
+  config.num_sources = 12;
+  config.source_accuracy_min = 0.75;
+  config.source_accuracy_max = 0.95;
+  bdi::synth::SyntheticWorld world = bdi::synth::GenerateWorld(config);
+  std::printf("corpus: %zu sources, %zu records, %zu raw attribute names\n",
+              world.dataset.num_sources(), world.dataset.num_records(),
+              world.dataset.num_attrs());
+
+  // 2. Integrate.
+  bdi::core::Integrator integrator;
+  bdi::core::IntegrationReport report = integrator.Run(world.dataset);
+  std::printf("%s\n\n", report.Summary().c_str());
+
+  // 3. Browse the three biggest integrated entities.
+  auto entities =
+      bdi::core::MaterializeEntities(report, world.dataset, /*max=*/3);
+  for (const auto& entity : entities) {
+    std::printf("entity #%d (%zu records)\n", entity.cluster,
+                entity.num_records);
+    for (const auto& [attr, value] : entity.values) {
+      std::printf("  %-20s %s\n", attr.c_str(), value.c_str());
+    }
+  }
+
+  // 4. Score every stage against ground truth.
+  bdi::schema::SchemaQuality schema_quality = bdi::schema::EvaluateSchema(
+      report.schema, world.truth.canonical_of_source_attr);
+  bdi::linkage::LinkageQuality linkage_quality =
+      bdi::linkage::EvaluateClusters(
+          report.linkage.clusters.label_of_record,
+          world.truth.entity_of_record);
+  bdi::fusion::PipelineMappings mappings = bdi::fusion::MapPipelineToTruth(
+      report.linkage.clusters, report.schema, world.truth);
+  bdi::fusion::FusionQuality fusion_quality =
+      bdi::fusion::EvaluateFusionMapped(report.claims, report.fusion,
+                                        mappings, world.truth);
+
+  bdi::TextTable table({"stage", "precision", "recall", "f1"});
+  table.AddRow("schema alignment",
+               {schema_quality.precision, schema_quality.recall,
+                schema_quality.f1});
+  table.AddRow("record linkage",
+               {linkage_quality.precision, linkage_quality.recall,
+                linkage_quality.f1});
+  table.AddRow("data fusion", {fusion_quality.precision});
+  std::printf("\n");
+  table.Print("pipeline quality vs ground truth");
+  return 0;
+}

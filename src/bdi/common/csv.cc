@@ -1,0 +1,125 @@
+#include "bdi/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace bdi {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string EncodeCsvRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f)) {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out.append(f);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ParseCsvRow(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"' && current.empty()) {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else if (c == '\r') {
+        // ignore stray carriage returns
+      } else {
+        current.push_back(c);
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view content) {
+  std::vector<std::vector<std::string>> rows;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t pos = content.find('\n', start);
+    std::string_view line = pos == std::string_view::npos
+                                ? content.substr(start)
+                                : content.substr(start, pos - start);
+    if (!(line.empty() && pos == std::string_view::npos)) {
+      if (!line.empty() || pos != std::string_view::npos) {
+        BDI_ASSIGN_OR_RETURN(std::vector<std::string> row, ParseCsvRow(line));
+        rows.push_back(std::move(row));
+      }
+    }
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  // Drop a trailing fully-empty row produced by a final newline.
+  if (!rows.empty() && rows.back().size() == 1 && rows.back()[0].empty()) {
+    rows.pop_back();
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  for (const auto& row : rows) {
+    out << EncodeCsvRow(row) << '\n';
+  }
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+}  // namespace bdi

@@ -1,0 +1,35 @@
+#ifndef BDI_COMMON_CSV_H_
+#define BDI_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+
+namespace bdi {
+
+/// Encodes one CSV row (RFC 4180 quoting: fields containing comma, quote or
+/// newline are quoted, quotes doubled). No trailing newline.
+std::string EncodeCsvRow(const std::vector<std::string>& fields);
+
+/// Parses one CSV row. Fails on an unterminated quoted field.
+Result<std::vector<std::string>> ParseCsvRow(std::string_view line);
+
+/// Parses a whole CSV document (rows separated by '\n'; a final empty line
+/// is ignored). Quoted fields may not contain newlines in this dialect.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view content);
+
+/// Writes rows to `path`, one encoded row per line.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_CSV_H_

@@ -1,0 +1,49 @@
+#include "bdi/common/flags.h"
+
+#include <charconv>
+#include <cstring>
+
+namespace bdi {
+
+Flags::Flags(int argc, const char* const* argv, int first) {
+  for (int i = first; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0 || argv[i][2] == '\0') {
+      ok_ = false;
+      bad_ = argv[i];
+      return;
+    }
+    if (i + 1 >= argc) {
+      ok_ = false;
+      bad_ = argv[i];
+      return;
+    }
+    values_[argv[i] + 2] = argv[i + 1];
+  }
+}
+
+std::string Flags::Get(const std::string& name,
+                       const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Flags::GetInt(const std::string& name, int fallback) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  int value = 0;
+  const std::string& text = it->second;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    ok_ = false;
+    bad_ = text;
+    return fallback;
+  }
+  return value;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+}  // namespace bdi

@@ -1,0 +1,41 @@
+#ifndef BDI_COMMON_FLAGS_H_
+#define BDI_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace bdi {
+
+/// Minimal command-line flag parser for the tools: arguments are strictly
+/// "--name value" pairs. No registration, no types — callers pull values
+/// with defaults. Parsing failures record the offending token.
+class Flags {
+ public:
+  /// Parses argv[first..argc). `argv` is borrowed, not retained.
+  Flags(int argc, const char* const* argv, int first);
+
+  bool ok() const { return ok_; }
+  /// The token that broke parsing (empty when ok()).
+  const std::string& bad_token() const { return bad_; }
+
+  /// Value of --name, or `fallback` when absent.
+  std::string Get(const std::string& name,
+                  const std::string& fallback) const;
+
+  /// Integer value of --name; `fallback` when absent. Returns fallback and
+  /// sets ok() to false on a malformed integer.
+  int GetInt(const std::string& name, int fallback);
+
+  bool Has(const std::string& name) const;
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string bad_;
+};
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_FLAGS_H_

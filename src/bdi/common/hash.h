@@ -1,0 +1,38 @@
+#ifndef BDI_COMMON_HASH_H_
+#define BDI_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bdi {
+
+/// 64-bit FNV-1a, stable across platforms; used for shuffle partitioning so
+/// runs are reproducible regardless of the standard library's std::hash.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(uint64_t value) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= value & 0xffu;
+    h *= 1099511628211ULL;
+    value >>= 8;
+  }
+  return h;
+}
+
+/// boost::hash_combine-style mixing.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_HASH_H_

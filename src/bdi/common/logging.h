@@ -1,0 +1,80 @@
+#ifndef BDI_COMMON_LOGGING_H_
+#define BDI_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bdi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo. Thread-safe (atomic).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Emits one formatted line to stderr. Used by the BDI_LOG macro; do not call
+/// directly.
+void EmitLogMessage(LogLevel level, const char* file, int line,
+                    const std::string& message);
+
+/// Collects a streamed message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { EmitLogMessage(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Streaming log macro: BDI_LOG(kInfo) << "loaded " << n << " records";
+#define BDI_LOG(level)                                                   \
+  if (::bdi::LogLevel::level < ::bdi::GetLogLevel()) {                   \
+  } else                                                                 \
+    ::bdi::internal_logging::LogMessage(::bdi::LogLevel::level,          \
+                                        __FILE__, __LINE__)              \
+        .stream()
+
+/// Fatal-if-false invariant check, enabled in all build types.
+#define BDI_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::bdi::internal_logging::FatalMessage(__FILE__, __LINE__).stream()   \
+        << "Check failed: " #cond " "
+
+namespace internal_logging {
+
+/// Like LogMessage but aborts the process after emitting.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line) : file_(file), line_(line) {}
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+  [[noreturn]] ~FatalMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_LOGGING_H_

@@ -1,0 +1,97 @@
+#include "bdi/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdi/common/logging.h"
+
+namespace bdi {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  BDI_CHECK(lo <= hi) << "UniformInt: lo=" << lo << " hi=" << hi;
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  return UniformDouble() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  BDI_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    BDI_CHECK(w >= 0.0) << "negative categorical weight " << w;
+    total += w;
+  }
+  BDI_CHECK(total > 0.0) << "categorical weights sum to zero";
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // numeric edge: target == total
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  k = std::min(k, n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) indices[i] = i;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+    out.push_back(indices[i]);
+  }
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  BDI_CHECK(n >= 1) << "ZipfDistribution requires n >= 1";
+  BDI_CHECK(s >= 0.0) << "ZipfDistribution requires s >= 0";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[rank] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Probability(size_t rank) const {
+  BDI_CHECK(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace bdi

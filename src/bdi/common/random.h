@@ -1,0 +1,83 @@
+#ifndef BDI_COMMON_RANDOM_H_
+#define BDI_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bdi {
+
+/// Deterministic pseudo-random source used by the synthetic-data generator
+/// and the randomized algorithms. All experiments seed their Rng explicitly
+/// so results are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Requires a non-empty vector with non-negative entries summing > 0.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k clamped to n), in random
+  /// order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Draws ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+/// Used to model head/tail skew of entity popularity and source size,
+/// the central distributional assumption of the big-data-integration
+/// workloads (head entities appear in many sources; most sources are tail).
+class ZipfDistribution {
+ public:
+  /// Requires n >= 1 and s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+
+  /// P(rank) for diagnostics and tests.
+  double Probability(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.
+};
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_RANDOM_H_

@@ -1,0 +1,96 @@
+#ifndef BDI_COMMON_RESULT_H_
+#define BDI_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "bdi/common/status.h"
+
+namespace bdi {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent (the StatusOr idiom). Accessing the value of a failed
+/// Result aborts the process; callers must check `ok()` first or use
+/// `BDI_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse:
+  /// `return value;` / `return Status::InvalidArgument(...);`.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : state_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {
+    if (std::get<Status>(state_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// OK if a value is present, otherwise the stored error.
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return std::get<T>(state_);
+    }
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> state_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating a failure to the caller and
+/// otherwise binding the value to `lhs`.
+#define BDI_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto BDI_CONCAT_(bdi_result_, __LINE__) = (rexpr);             \
+  if (!BDI_CONCAT_(bdi_result_, __LINE__).ok()) {                \
+    return BDI_CONCAT_(bdi_result_, __LINE__).status();          \
+  }                                                              \
+  lhs = std::move(BDI_CONCAT_(bdi_result_, __LINE__)).value()
+
+#define BDI_CONCAT_IMPL_(a, b) a##b
+#define BDI_CONCAT_(a, b) BDI_CONCAT_IMPL_(a, b)
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_RESULT_H_

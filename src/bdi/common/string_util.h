@@ -1,0 +1,54 @@
+#ifndef BDI_COMMON_STRING_UTIL_H_
+#define BDI_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bdi {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any ASCII whitespace run, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Collapses whitespace runs to single spaces and trims; the canonical form
+/// used before comparing attribute names and values.
+std::string NormalizeWhitespace(std::string_view s);
+
+/// Lowercases and removes every non-alphanumeric character. This mirrors the
+/// attribute-name normalization used in web-extraction corpora.
+std::string NormalizeAlnum(std::string_view s);
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+/// Attempts to parse a double, tolerating surrounding whitespace and a
+/// trailing unit suffix (e.g. "12.5 cm"). Returns false if no leading
+/// numeric prefix exists. `*consumed_unit` receives the trimmed suffix.
+bool ParseLeadingDouble(std::string_view s, double* value,
+                        std::string* consumed_unit);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("12.50" -> "12.5", "3.00" -> "3").
+std::string FormatDouble(double value, int digits);
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_STRING_UTIL_H_

@@ -1,0 +1,72 @@
+#include "bdi/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bdi/common/string_util.h"
+
+namespace bdi {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddRow(const std::string& label,
+                       const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string TextTable::ToString(const std::string& title) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      line += cell;
+      if (i + 1 < cols) {
+        line.append(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out;
+  if (!title.empty()) {
+    out += "== " + title + " ==\n";
+  }
+  out += render_row(header_);
+  size_t rule = 0;
+  for (size_t i = 0; i < cols; ++i) rule += widths[i] + (i + 1 < cols ? 2 : 0);
+  out.append(rule, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TextTable::Print(const std::string& title) const {
+  std::fputs(ToString(title).c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace bdi

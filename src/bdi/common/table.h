@@ -1,0 +1,38 @@
+#ifndef BDI_COMMON_TABLE_H_
+#define BDI_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace bdi {
+
+/// Column-aligned ASCII table used by the benchmark harnesses to print the
+/// paper-style result tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders with a title, header rule and aligned columns.
+  std::string ToString(const std::string& title = "") const;
+
+  /// Prints ToString() to stdout.
+  void Print(const std::string& title = "") const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_TABLE_H_

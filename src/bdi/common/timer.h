@@ -1,0 +1,28 @@
+#ifndef BDI_COMMON_TIMER_H_
+#define BDI_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace bdi {
+
+/// Monotonic wall-clock stopwatch for benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_TIMER_H_

@@ -1,0 +1,143 @@
+#include "bdi/core/diff.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::core {
+
+namespace {
+
+/// Per-cluster view used for cross-run matching.
+struct ClusterView {
+  std::string name;                       ///< representative display name
+  std::set<std::string> identifiers;      ///< identifier tokens
+  std::map<std::string, std::string> values;  ///< attr name -> fused value
+};
+
+std::vector<ClusterView> BuildViews(const IntegrationReport& report,
+                                    const Dataset& dataset) {
+  std::vector<ClusterView> views(report.linkage.clusters.num_clusters);
+  for (const Record& record : dataset.records()) {
+    EntityId cluster = report.linkage.clusters.label_of_record[record.idx];
+    ClusterView& view = views[cluster];
+    if (!record.fields.empty() &&
+        record.fields[0].value.size() > view.name.size()) {
+      view.name = record.fields[0].value;
+    }
+    std::string text;
+    for (const Field& field : record.fields) {
+      text += field.value;
+      text += ' ';
+    }
+    for (const std::string& token :
+         text::IdentifierTokens(text, /*min_len=*/5,
+                                /*require_letter=*/true)) {
+      view.identifiers.insert(token);
+    }
+  }
+  for (size_t i = 0; i < report.claims.items().size(); ++i) {
+    const fusion::DataItem& item = report.claims.items()[i];
+    if (item.entity < 0 ||
+        static_cast<size_t>(item.entity) >= views.size() || item.attr < 0 ||
+        static_cast<size_t>(item.attr) >=
+            report.schema.cluster_names.size()) {
+      continue;
+    }
+    views[item.entity].values[report.schema.cluster_names[item.attr]] =
+        report.fusion.chosen[i];
+  }
+  return views;
+}
+
+}  // namespace
+
+size_t IntegrationDiff::CountKind(IntegrationChange::Kind kind) const {
+  size_t n = 0;
+  for (const IntegrationChange& change : changes) {
+    if (change.kind == kind) ++n;
+  }
+  return n;
+}
+
+IntegrationDiff DiffIntegrations(const IntegrationReport& old_report,
+                                 const Dataset& old_dataset,
+                                 const IntegrationReport& new_report,
+                                 const Dataset& new_dataset) {
+  std::vector<ClusterView> old_views = BuildViews(old_report, old_dataset);
+  std::vector<ClusterView> new_views = BuildViews(new_report, new_dataset);
+
+  // Identifier-token index on the new side (ambiguous tokens discarded).
+  std::unordered_map<std::string, int> token_to_new;
+  for (size_t c = 0; c < new_views.size(); ++c) {
+    for (const std::string& token : new_views[c].identifiers) {
+      auto it = token_to_new.find(token);
+      if (it == token_to_new.end()) {
+        token_to_new[token] = static_cast<int>(c);
+      } else if (it->second != static_cast<int>(c)) {
+        it->second = -1;  // ambiguous
+      }
+    }
+  }
+  std::unordered_map<std::string, int> name_to_new;
+  for (size_t c = 0; c < new_views.size(); ++c) {
+    if (!new_views[c].name.empty()) {
+      name_to_new.emplace(new_views[c].name, static_cast<int>(c));
+    }
+  }
+
+  IntegrationDiff diff;
+  std::vector<bool> new_matched(new_views.size(), false);
+  for (const ClusterView& old_view : old_views) {
+    // Match by identifier first, then by exact representative name.
+    int match = -1;
+    for (const std::string& token : old_view.identifiers) {
+      auto it = token_to_new.find(token);
+      if (it != token_to_new.end() && it->second >= 0) {
+        match = it->second;
+        break;
+      }
+    }
+    if (match < 0) {
+      auto it = name_to_new.find(old_view.name);
+      if (it != name_to_new.end()) match = it->second;
+    }
+    if (match < 0 || new_matched[match]) {
+      diff.changes.push_back({IntegrationChange::Kind::kEntityDisappeared,
+                              old_view.name, "", "", ""});
+      continue;
+    }
+    new_matched[match] = true;
+    ++diff.entities_matched;
+    const ClusterView& new_view = new_views[match];
+
+    for (const auto& [attr, old_value] : old_view.values) {
+      auto it = new_view.values.find(attr);
+      if (it == new_view.values.end()) {
+        diff.changes.push_back({IntegrationChange::Kind::kValueDisappeared,
+                                old_view.name, attr, old_value, ""});
+      } else if (it->second != old_value) {
+        diff.changes.push_back({IntegrationChange::Kind::kValueChanged,
+                                old_view.name, attr, old_value,
+                                it->second});
+      }
+    }
+    for (const auto& [attr, new_value] : new_view.values) {
+      if (old_view.values.count(attr) == 0) {
+        diff.changes.push_back({IntegrationChange::Kind::kValueAppeared,
+                                old_view.name, attr, "", new_value});
+      }
+    }
+  }
+  for (size_t c = 0; c < new_views.size(); ++c) {
+    if (!new_matched[c]) {
+      diff.changes.push_back({IntegrationChange::Kind::kEntityAppeared,
+                              new_views[c].name, "", "", ""});
+    }
+  }
+  return diff;
+}
+
+}  // namespace bdi::core

@@ -1,0 +1,47 @@
+#ifndef BDI_CORE_DIFF_H_
+#define BDI_CORE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/core/integrator.h"
+
+namespace bdi::core {
+
+/// One change between two integrated views.
+struct IntegrationChange {
+  enum class Kind {
+    kEntityAppeared,
+    kEntityDisappeared,
+    kValueChanged,
+    kValueAppeared,
+    kValueDisappeared,
+  };
+  Kind kind;
+  std::string entity_name;  ///< representative display name
+  std::string attribute;    ///< empty for entity-level changes
+  std::string old_value;
+  std::string new_value;
+};
+
+struct IntegrationDiff {
+  std::vector<IntegrationChange> changes;
+  size_t entities_matched = 0;
+
+  size_t CountKind(IntegrationChange::Kind kind) const;
+};
+
+/// Compares two integration runs (e.g. successive monthly snapshots) and
+/// emits a change feed. Entity identity across runs is NOT cluster ids
+/// (those are run-local): entities are matched by the identifier tokens of
+/// their records, falling back to exact representative-name match;
+/// attributes are matched by mediated-cluster name. Value comparison uses
+/// the fused values.
+IntegrationDiff DiffIntegrations(const IntegrationReport& old_report,
+                                 const Dataset& old_dataset,
+                                 const IntegrationReport& new_report,
+                                 const Dataset& new_dataset);
+
+}  // namespace bdi::core
+
+#endif  // BDI_CORE_DIFF_H_

@@ -1,0 +1,137 @@
+#include "bdi/core/integrator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "bdi/common/timer.h"
+
+namespace bdi::core {
+
+std::string IntegrationReport::Summary() const {
+  std::ostringstream out;
+  out << "schema: " << schema.clusters.size() << " mediated attributes ("
+      << schema_seconds << "s); linkage: " << linkage.clusters.num_clusters
+      << " entities from " << linkage.num_candidates << " candidates, "
+      << linkage.num_matches << " matches (" << linkage_seconds
+      << "s); fusion: " << claims.items().size() << " items, "
+      << claims.num_claims() << " claims, " << fusion.iterations
+      << " iterations (" << fusion_seconds << "s)";
+  return out.str();
+}
+
+std::unique_ptr<fusion::FusionMethod> Integrator::MakeFusionMethod() const {
+  switch (config_.fusion) {
+    case FusionKind::kVote:
+      return std::make_unique<fusion::VoteFusion>();
+    case FusionKind::kAccu:
+      return std::make_unique<fusion::AccuFusion>(config_.accu);
+    case FusionKind::kAccuSim: {
+      fusion::AccuConfig accusim = config_.accu;
+      if (accusim.similarity_rho <= 0.0) accusim.similarity_rho = 0.3;
+      return std::make_unique<fusion::AccuFusion>(accusim);
+    }
+    case FusionKind::kTruthFinder:
+      return std::make_unique<fusion::TruthFinderFusion>(
+          config_.truthfinder);
+    case FusionKind::kAccuCopy:
+      return std::make_unique<fusion::AccuCopyFusion>(config_.accu_copy);
+  }
+  return std::make_unique<fusion::VoteFusion>();
+}
+
+IntegrationReport Integrator::Run(const Dataset& dataset) const {
+  IntegrationReport report;
+  WallTimer timer;
+
+  // Stage 1: bottom-up schema alignment.
+  report.stats = schema::AttributeStatistics::Compute(dataset);
+  std::vector<schema::AttrEdge> edges =
+      schema::BuildCandidateEdges(report.stats, config_.attr_match);
+  if (config_.probabilistic_schema) {
+    schema::ProbabilisticMediatedSchema pms =
+        schema::ProbabilisticMediatedSchema::Build(report.stats, edges,
+                                                   config_.probabilistic);
+    report.schema = pms.Consensus(report.stats, config_.consensus_tau);
+  } else {
+    report.schema = schema::BuildMediatedSchema(report.stats, edges,
+                                                config_.mediated_schema);
+  }
+  report.normalizer =
+      schema::ValueNormalizer::Fit(report.stats, report.schema);
+  report.schema_seconds = timer.ElapsedSeconds();
+
+  // Stage 2: record linkage, with the aligned schema strengthening the
+  // matcher's value-agreement evidence.
+  timer.Reset();
+  linkage::Linker linker(&dataset, config_.linker, &report.schema,
+                         &report.normalizer);
+  report.linkage = linker.Run();
+  report.linkage_seconds = timer.ElapsedSeconds();
+
+  // Feedback loop: linked entities reveal attribute correspondences the
+  // name/value matchers missed; fold them into the schema before fusion.
+  if (config_.linkage_feedback) {
+    schema::LinkageRefinementReport refinement =
+        schema::RefineSchemaWithLinkage(
+            dataset, report.stats, report.schema, report.normalizer,
+            report.linkage.clusters.label_of_record, config_.refinement);
+    report.feedback_merges = refinement.merges;
+    if (refinement.merges > 0) {
+      report.schema = std::move(refinement.schema);
+      report.normalizer =
+          schema::ValueNormalizer::Fit(report.stats, report.schema);
+    }
+  }
+
+  // Stage 3: data fusion over the linked, aligned, normalized claims.
+  timer.Reset();
+  report.claims = fusion::ClaimDb::FromPipeline(
+      dataset, report.linkage.clusters, report.schema, report.normalizer,
+      &linker.roles());
+  if (config_.numeric_snap_tolerance > 0.0) {
+    report.claims.CanonicalizeNumericValues(config_.numeric_snap_tolerance);
+  }
+  report.fusion = MakeFusionMethod()->Resolve(report.claims);
+  report.fusion_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+std::vector<IntegratedEntity> MaterializeEntities(
+    const IntegrationReport& report, const Dataset& dataset,
+    size_t max_entities) {
+  std::unordered_map<EntityId, IntegratedEntity> by_cluster;
+  for (const Record& record : dataset.records()) {
+    EntityId cluster = report.linkage.clusters.label_of_record[record.idx];
+    IntegratedEntity& entity = by_cluster[cluster];
+    entity.cluster = cluster;
+    ++entity.num_records;
+  }
+  for (size_t i = 0; i < report.claims.items().size(); ++i) {
+    const fusion::DataItem& item = report.claims.items()[i];
+    auto it = by_cluster.find(item.entity);
+    if (it == by_cluster.end()) continue;
+    if (item.attr < 0 ||
+        static_cast<size_t>(item.attr) >= report.schema.cluster_names.size()) {
+      continue;
+    }
+    it->second.values[report.schema.cluster_names[item.attr]] =
+        report.fusion.chosen[i];
+  }
+  std::vector<IntegratedEntity> entities;
+  entities.reserve(by_cluster.size());
+  for (auto& [cluster, entity] : by_cluster) {
+    entities.push_back(std::move(entity));
+  }
+  std::sort(entities.begin(), entities.end(),
+            [](const IntegratedEntity& a, const IntegratedEntity& b) {
+              if (a.num_records != b.num_records) {
+                return a.num_records > b.num_records;
+              }
+              return a.cluster < b.cluster;
+            });
+  if (entities.size() > max_entities) entities.resize(max_entities);
+  return entities;
+}
+
+}  // namespace bdi::core

@@ -1,0 +1,121 @@
+#include "bdi/core/query.h"
+
+#include <algorithm>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/string_util.h"
+#include "bdi/text/similarity.h"
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::core {
+
+namespace {
+
+int64_t ItemKey(EntityId entity, int attr) {
+  return (static_cast<int64_t>(entity) << 24) ^ static_cast<int64_t>(attr);
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const IntegrationReport* report,
+                         const Dataset* dataset)
+    : report_(report), dataset_(dataset) {
+  BDI_CHECK(report_ != nullptr && dataset_ != nullptr);
+  size_t clusters = report_->linkage.clusters.num_clusters;
+  cluster_text_.resize(clusters);
+  for (const Record& record : dataset_->records()) {
+    EntityId cluster = report_->linkage.clusters.label_of_record[record.idx];
+    if (record.fields.empty()) continue;
+    const std::string& name = record.fields[0].value;
+    if (name.size() > cluster_text_[cluster].size()) {
+      cluster_text_[cluster] = name;
+    }
+  }
+  cluster_tokens_.resize(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    cluster_tokens_[c] = text::TokenSet(cluster_text_[c]);
+  }
+  for (size_t i = 0; i < report_->claims.items().size(); ++i) {
+    const fusion::DataItem& item = report_->claims.items()[i];
+    item_of_[ItemKey(item.entity, item.attr)] = i;
+  }
+}
+
+std::vector<std::pair<EntityId, double>> QueryEngine::FindEntities(
+    const std::string& keywords, size_t k) const {
+  std::vector<std::string> query = text::TokenSet(keywords);
+  std::vector<std::pair<EntityId, double>> scored;
+  for (size_t c = 0; c < cluster_tokens_.size(); ++c) {
+    if (cluster_tokens_[c].empty()) continue;
+    // Containment of the query in the cluster text plus a fuzzy component.
+    double overlap = text::OverlapCoefficient(query, cluster_tokens_[c]);
+    double fuzzy =
+        text::MongeElkanSimilarity(keywords, cluster_text_[c]);
+    double score = 0.7 * overlap + 0.3 * fuzzy;
+    if (score > 0.0) {
+      scored.emplace_back(static_cast<EntityId>(c), score);
+    }
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::pair<int, double> QueryEngine::FindAttribute(
+    const std::string& keywords) const {
+  std::string normalized = NormalizeAlnum(keywords);
+  int best = -1;
+  double best_score = 0.0;
+  for (size_t c = 0; c < report_->schema.cluster_names.size(); ++c) {
+    const std::string& name = report_->schema.cluster_names[c];
+    if (name.empty()) continue;
+    double score = text::JaroWinklerSimilarity(normalized, name);
+    // Exact containment of the query in the cluster name or vice versa is
+    // strong (e.g. "weight" vs "itemweight").
+    if (name.find(normalized) != std::string::npos ||
+        normalized.find(name) != std::string::npos) {
+      score = std::max(score, 0.9);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(c);
+    }
+  }
+  return {best, best_score};
+}
+
+Answer QueryEngine::Ask(const std::string& attribute_keywords,
+                        const std::string& entity_keywords) const {
+  Answer answer;
+  std::vector<std::pair<EntityId, double>> entities =
+      FindEntities(entity_keywords, 1);
+  if (entities.empty()) return answer;
+  auto [attribute, attribute_score] = FindAttribute(attribute_keywords);
+  if (attribute < 0 || attribute_score < 0.5) return answer;
+
+  answer.entity_cluster = entities[0].first;
+  answer.entity_match = entities[0].second;
+  answer.entity_name = cluster_text_[answer.entity_cluster];
+  answer.attribute = report_->schema.cluster_names[attribute];
+  answer.attribute_match = attribute_score;
+
+  auto it = item_of_.find(ItemKey(answer.entity_cluster, attribute));
+  if (it == item_of_.end()) return answer;  // entity lacks the attribute
+  size_t item_index = it->second;
+  answer.value = report_->fusion.chosen[item_index];
+  answer.confidence = report_->fusion.confidence[item_index];
+  for (const fusion::Claim& claim :
+       report_->claims.items()[item_index].claims) {
+    AnswerSupport support;
+    support.source_name = dataset_->source(claim.source).name;
+    support.value = claim.value;
+    support.agrees = claim.value == answer.value;
+    answer.support.push_back(std::move(support));
+  }
+  return answer;
+}
+
+}  // namespace bdi::core

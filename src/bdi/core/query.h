@@ -1,0 +1,70 @@
+#ifndef BDI_CORE_QUERY_H_
+#define BDI_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/core/integrator.h"
+
+namespace bdi::core {
+
+/// One supporting claim behind an answer (provenance).
+struct AnswerSupport {
+  std::string source_name;
+  std::string value;  ///< what this source claimed (normalized)
+  bool agrees = false;
+};
+
+/// A pay-as-you-go answer: the fused value for the best-matching entity
+/// and attribute, with the model's confidence and full provenance. An
+/// empty `value` means no answer was found.
+struct Answer {
+  EntityId entity_cluster = kInvalidEntity;
+  std::string entity_name;       ///< representative display name
+  std::string attribute;         ///< mediated attribute answered
+  std::string value;             ///< fused value
+  double confidence = 0.0;       ///< fusion confidence of the value
+  double attribute_match = 0.0;  ///< how well the attribute matched
+  double entity_match = 0.0;     ///< how well the entity matched
+  std::vector<AnswerSupport> support;
+
+  bool found() const { return !value.empty(); }
+};
+
+/// Keyword query answering over an integration result (the dataspace
+/// surface): "<attribute keywords> of <entity keywords>" resolved against
+/// the mediated schema and the linked entity clusters, answered with the
+/// fused value.
+class QueryEngine {
+ public:
+  /// Both `report` and `dataset` must outlive the engine.
+  QueryEngine(const IntegrationReport* report, const Dataset* dataset);
+
+  /// Answers with the best entity for `entity_keywords` and the best
+  /// mediated attribute for `attribute_keywords`.
+  Answer Ask(const std::string& attribute_keywords,
+             const std::string& entity_keywords) const;
+
+  /// Top-k entity clusters matching the keywords, best first (search box
+  /// behaviour). Pairs of (cluster id, match score).
+  std::vector<std::pair<EntityId, double>> FindEntities(
+      const std::string& keywords, size_t k = 5) const;
+
+  /// Best mediated-attribute index for the keywords (-1 if nothing scores
+  /// above zero), plus its score.
+  std::pair<int, double> FindAttribute(const std::string& keywords) const;
+
+ private:
+  const IntegrationReport* report_;
+  const Dataset* dataset_;
+  /// Representative display text per entity cluster (longest record name
+  /// text seen) and its token set.
+  std::vector<std::string> cluster_text_;
+  std::vector<std::vector<std::string>> cluster_tokens_;
+  /// items index: (entity cluster, attr cluster) -> item position.
+  std::unordered_map<int64_t, size_t> item_of_;
+};
+
+}  // namespace bdi::core
+
+#endif  // BDI_CORE_QUERY_H_

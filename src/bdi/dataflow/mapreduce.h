@@ -1,0 +1,123 @@
+#ifndef BDI_DATAFLOW_MAPREDUCE_H_
+#define BDI_DATAFLOW_MAPREDUCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bdi/common/thread_pool.h"
+
+namespace bdi::dataflow {
+
+/// Execution options for a MapReduce run.
+struct MapReduceOptions {
+  /// Worker threads. 0 means hardware_concurrency (at least 1).
+  size_t num_threads = 0;
+  /// Shuffle partitions; 0 means 4 x threads.
+  size_t num_partitions = 0;
+};
+
+namespace internal {
+
+inline size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+}  // namespace internal
+
+/// Collects (key, value) pairs emitted by one mapper into hash-partitioned
+/// buckets.
+template <typename K, typename V, typename KeyHash = std::hash<K>>
+class Emitter {
+ public:
+  explicit Emitter(size_t num_partitions) : buckets_(num_partitions) {}
+
+  void Emit(K key, V value) {
+    size_t p = KeyHash()(key) % buckets_.size();
+    buckets_[p].emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::vector<std::pair<K, V>>>& buckets() { return buckets_; }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> buckets_;
+};
+
+/// Shared-memory map → shuffle → reduce. This is the substitute for a
+/// distributed dataflow system (see DESIGN.md): the code path — partitioned
+/// mapping, hash shuffle on the key, grouped reduction — is the same one a
+/// cluster engine runs, executed over a thread pool.
+///
+/// `map_fn(input, emitter)` may emit any number of pairs; `reduce_fn(key,
+/// values)` is invoked once per distinct key with all its values and returns
+/// one output. Output order is unspecified.
+template <typename Input, typename K, typename V, typename Out,
+          typename KeyHash = std::hash<K>, typename MapFn, typename ReduceFn>
+std::vector<Out> MapReduce(const std::vector<Input>& inputs, MapFn&& map_fn,
+                           ReduceFn&& reduce_fn,
+                           const MapReduceOptions& options = {}) {
+  size_t threads = internal::ResolveThreads(options.num_threads);
+  size_t partitions =
+      options.num_partitions > 0 ? options.num_partitions : 4 * threads;
+  ThreadPool pool(threads);
+
+  // Map phase: one emitter per map task (contiguous chunk of inputs).
+  size_t num_tasks = std::min(inputs.size(), threads * 4);
+  if (num_tasks == 0) num_tasks = 1;
+  size_t per_task = (inputs.size() + num_tasks - 1) / num_tasks;
+  std::vector<Emitter<K, V, KeyHash>> emitters(
+      num_tasks, Emitter<K, V, KeyHash>(partitions));
+  pool.ParallelFor(num_tasks, [&](size_t t) {
+    size_t begin = t * per_task;
+    size_t end = std::min(inputs.size(), begin + per_task);
+    for (size_t i = begin; i < end; ++i) {
+      map_fn(inputs[i], &emitters[t]);
+    }
+  });
+
+  // Shuffle + reduce phase: each partition groups its pairs by key and
+  // reduces. Partitions proceed in parallel; within a partition the
+  // grouping is single-threaded, mirroring a reducer task.
+  std::vector<std::vector<Out>> partition_outputs(partitions);
+  pool.ParallelFor(partitions, [&](size_t p) {
+    std::unordered_map<K, std::vector<V>, KeyHash> groups;
+    for (auto& emitter : emitters) {
+      for (auto& [key, value] : emitter.buckets()[p]) {
+        groups[std::move(key)].push_back(std::move(value));
+      }
+    }
+    partition_outputs[p].reserve(groups.size());
+    for (auto& [key, values] : groups) {
+      partition_outputs[p].push_back(reduce_fn(key, std::move(values)));
+    }
+  });
+
+  std::vector<Out> outputs;
+  size_t total = 0;
+  for (const auto& po : partition_outputs) total += po.size();
+  outputs.reserve(total);
+  for (auto& po : partition_outputs) {
+    for (auto& out : po) outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+/// Parallel element-wise transform preserving input order.
+template <typename Input, typename Out, typename Fn>
+std::vector<Out> ParallelMap(const std::vector<Input>& inputs, Fn&& fn,
+                             size_t num_threads = 0) {
+  size_t threads = internal::ResolveThreads(num_threads);
+  ThreadPool pool(threads);
+  std::vector<Out> outputs(inputs.size());
+  pool.ParallelFor(inputs.size(),
+                   [&](size_t i) { outputs[i] = fn(inputs[i]); });
+  return outputs;
+}
+
+}  // namespace bdi::dataflow
+
+#endif  // BDI_DATAFLOW_MAPREDUCE_H_

@@ -1,0 +1,209 @@
+#include "bdi/discovery/crawler.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/random.h"
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::discovery {
+
+namespace {
+
+/// Identifier tokens published by one source's pages, by frequency.
+std::vector<std::pair<std::string, size_t>> HarvestIdentifiers(
+    const Dataset& web, SourceId source) {
+  std::map<std::string, size_t> counts;
+  for (RecordIdx idx : web.source(source).records) {
+    const Record& record = web.record(idx);
+    std::string text;
+    for (const Field& field : record.fields) {
+      text += field.value;
+      text += ' ';
+    }
+    for (const std::string& token :
+         text::IdentifierTokens(text, /*min_len=*/5,
+                                /*require_letter=*/true)) {
+      ++counts[token];
+    }
+  }
+  std::vector<std::pair<std::string, size_t>> out(counts.begin(),
+                                                  counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+/// Shared bookkeeping for both strategies.
+class Progress {
+ public:
+  Progress(const Dataset& web, const std::vector<EntityId>& labels)
+      : web_(web), labels_(labels) {}
+
+  /// Crawls an entire source; returns pages fetched (capped at remaining).
+  /// Curve points are emitted every kStepGranularity pages so early
+  /// progress inside a big head source is visible.
+  size_t Crawl(SourceId source, size_t remaining_budget,
+               DiscoveryResult* result) {
+    static constexpr size_t kStepGranularity = 50;
+    const SourceInfo& info = web_.source(source);
+    size_t pages = std::min(info.records.size(), remaining_budget);
+    result->crawl_order.push_back(source);
+    result->crawled.insert(source);
+    bool has_identifiers = false;
+    auto emit = [&] {
+      DiscoveryStep step;
+      step.pages_crawled = result->pages_crawled;
+      step.sources_visited = result->crawled.size();
+      step.sources_discovered = product_sources_;
+      step.entities_covered = covered_.size();
+      result->curve.push_back(step);
+    };
+    for (size_t p = 0; p < pages; ++p) {
+      RecordIdx idx = info.records[p];
+      ++result->pages_crawled;
+      if (static_cast<size_t>(idx) < labels_.size() &&
+          labels_[idx] != kInvalidEntity) {
+        covered_.insert(labels_[idx]);
+        if (!has_identifiers) {
+          has_identifiers = true;  // product page seen
+          ++product_sources_;
+        }
+      }
+      if (result->pages_crawled % kStepGranularity == 0) emit();
+    }
+    emit();
+    return pages;
+  }
+
+ private:
+  const Dataset& web_;
+  const std::vector<EntityId>& labels_;
+  std::unordered_set<EntityId> covered_;
+  size_t product_sources_ = 0;
+};
+
+}  // namespace
+
+DiscoveryResult FocusedDiscovery(const Dataset& web, const SearchIndex& index,
+                                 const std::vector<EntityId>& entity_labels,
+                                 const DiscoveryConfig& config) {
+  BDI_CHECK(entity_labels.size() == web.num_records());
+  DiscoveryResult result;
+  Progress progress(web, entity_labels);
+
+  // Candidate priority: distinct known identifiers hitting the source.
+  std::unordered_map<SourceId, size_t> frontier_score;
+  std::unordered_set<std::string> queried;
+  size_t budget = config.page_budget;
+
+  auto crawl_and_query = [&](SourceId source) {
+    size_t pages = progress.Crawl(source, budget, &result);
+    budget -= pages;
+    frontier_score.erase(source);
+
+    // Harvest the source's identifiers (head ids surface most often) and
+    // query the index with the top ones not asked before.
+    size_t queries = 0;
+    for (const auto& [token, hits] : HarvestIdentifiers(web, source)) {
+      if (queries >= config.queries_per_source) break;
+      if (!queried.insert(token).second) continue;
+      ++queries;
+      for (SourceId hit : index.Search(token)) {
+        if (result.crawled.count(hit) > 0) continue;
+        ++frontier_score[hit];
+      }
+    }
+  };
+
+  // Seed sources: the first product sources of the web (the sample pages
+  // the information need supplies).
+  size_t seeded = 0;
+  for (size_t s = 0; s < web.num_sources() && seeded < config.num_seed_sources;
+       ++s) {
+    crawl_and_query(static_cast<SourceId>(s));
+    ++seeded;
+  }
+
+  while (budget > 0) {
+    // Best-scored frontier source (ties: smaller id).
+    SourceId best = kInvalidSource;
+    size_t best_score = 0;
+    for (const auto& [source, score] : frontier_score) {
+      if (score > best_score ||
+          (score == best_score && best != kInvalidSource && source < best)) {
+        best = source;
+        best_score = score;
+      }
+    }
+    if (best == kInvalidSource) {
+      // Frontier dry: fall back to the first unvisited source (undirected
+      // exploration), if any.
+      for (size_t s = 0; s < web.num_sources(); ++s) {
+        if (result.crawled.count(static_cast<SourceId>(s)) == 0) {
+          best = static_cast<SourceId>(s);
+          break;
+        }
+      }
+      if (best == kInvalidSource) break;  // web exhausted
+    }
+    crawl_and_query(best);
+  }
+  return result;
+}
+
+DiscoveryResult RandomDiscovery(const Dataset& web,
+                                const std::vector<EntityId>& entity_labels,
+                                const DiscoveryConfig& config) {
+  BDI_CHECK(entity_labels.size() == web.num_records());
+  DiscoveryResult result;
+  Progress progress(web, entity_labels);
+  std::vector<size_t> order(web.num_sources());
+  for (size_t s = 0; s < order.size(); ++s) order[s] = s;
+  Rng rng(config.seed);
+  rng.Shuffle(&order);
+  size_t budget = config.page_budget;
+  for (size_t s : order) {
+    if (budget == 0) break;
+    size_t pages = progress.Crawl(static_cast<SourceId>(s), budget, &result);
+    budget -= pages;
+  }
+  return result;
+}
+
+std::vector<SourceId> AddDistractorSources(Dataset* web, int count,
+                                           int pages_per_source,
+                                           uint64_t seed,
+                                           std::vector<EntityId>* labels) {
+  static const char* const kWords[] = {
+      "review", "travel",  "recipe", "news",   "opinion", "guide",
+      "story",  "journal", "diary",  "photos", "music",   "garden"};
+  Rng rng(seed);
+  std::vector<SourceId> added;
+  for (int s = 0; s < count; ++s) {
+    SourceId sid =
+        web->AddSource("distractor" + std::to_string(s) + ".example.com");
+    added.push_back(sid);
+    for (int p = 0; p < pages_per_source; ++p) {
+      std::string title, body;
+      for (int w = 0; w < 4; ++w) {
+        title += kWords[rng.UniformInt(0, 11)];
+        title += ' ';
+      }
+      for (int w = 0; w < 12; ++w) {
+        body += kWords[rng.UniformInt(0, 11)];
+        body += ' ';
+      }
+      web->AddRecord(sid, {{"title", title}, {"content", body}});
+      labels->push_back(kInvalidEntity);
+    }
+  }
+  return added;
+}
+
+}  // namespace bdi::discovery

@@ -1,0 +1,71 @@
+#ifndef BDI_DISCOVERY_CRAWLER_H_
+#define BDI_DISCOVERY_CRAWLER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bdi/discovery/search_index.h"
+#include "bdi/model/dataset.h"
+
+namespace bdi::discovery {
+
+struct DiscoveryConfig {
+  /// Total pages the crawler may fetch.
+  size_t page_budget = 2000;
+  /// Sources whose pages seed the crawl (the information need).
+  size_t num_seed_sources = 1;
+  /// Identifier queries issued after each crawled source.
+  size_t queries_per_source = 10;
+  /// Pages sampled from a source before deciding to crawl it fully is not
+  /// modeled; crawling a source costs its page count.
+  uint64_t seed = 3;
+};
+
+/// One point of the discovery progress curve.
+struct DiscoveryStep {
+  size_t pages_crawled = 0;
+  size_t sources_discovered = 0;  ///< product sources crawled so far
+  size_t sources_visited = 0;     ///< including distractors
+  size_t entities_covered = 0;    ///< needs ground-truth labels to compute
+};
+
+struct DiscoveryResult {
+  std::vector<SourceId> crawl_order;
+  std::set<SourceId> crawled;
+  size_t pages_crawled = 0;
+  std::vector<DiscoveryStep> curve;
+};
+
+/// "Redundancy as a friend" focused discovery: crawl the seed sources,
+/// harvest the identifiers their pages publish (head identifiers surface
+/// most often), query the search index with them, and prioritize candidate
+/// sources by how many distinct known identifiers hit them. Sources whose
+/// pages yield no identifiers (distractor sites) never generate queries
+/// and are only visited if the frontier runs dry.
+///
+/// `entity_labels` (record -> entity, e.g. the generator's ground truth)
+/// is ONLY used to fill the coverage numbers of the progress curve — the
+/// crawler itself never reads it.
+DiscoveryResult FocusedDiscovery(const Dataset& web, const SearchIndex& index,
+                                 const std::vector<EntityId>& entity_labels,
+                                 const DiscoveryConfig& config);
+
+/// Baseline: visit sources in random order under the same page budget
+/// (undirected crawling of the site frontier).
+DiscoveryResult RandomDiscovery(const Dataset& web,
+                                const std::vector<EntityId>& entity_labels,
+                                const DiscoveryConfig& config);
+
+/// Appends `count` distractor sources (no identifiers, blog-like pages) to
+/// `web`; returns their source ids. Labels for their records are -1 (no
+/// entity) and must be appended to the caller's label vector.
+std::vector<SourceId> AddDistractorSources(Dataset* web, int count,
+                                           int pages_per_source,
+                                           uint64_t seed,
+                                           std::vector<EntityId>* labels);
+
+}  // namespace bdi::discovery
+
+#endif  // BDI_DISCOVERY_CRAWLER_H_

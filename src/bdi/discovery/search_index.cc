@@ -1,0 +1,50 @@
+#include "bdi/discovery/search_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::discovery {
+
+SearchIndex::SearchIndex(const Dataset& dataset) {
+  // token -> source -> hits
+  std::unordered_map<std::string, std::map<SourceId, size_t>> hits;
+  for (const Record& record : dataset.records()) {
+    std::string text;
+    for (const Field& field : record.fields) {
+      text += field.value;
+      text += ' ';
+    }
+    for (const std::string& token :
+         text::IdentifierTokens(text, /*min_len=*/5,
+                                /*require_letter=*/true)) {
+      ++hits[token][record.source];
+    }
+  }
+  index_.reserve(hits.size());
+  for (auto& [token, sources] : hits) {
+    std::vector<std::pair<SourceId, size_t>> posting(sources.begin(),
+                                                     sources.end());
+    std::sort(posting.begin(), posting.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    index_.emplace(token, std::move(posting));
+  }
+}
+
+std::vector<SourceId> SearchIndex::Search(
+    const std::string& identifier) const {
+  std::vector<SourceId> out;
+  auto it = index_.find(identifier);
+  if (it == index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [source, hits] : it->second) {
+    out.push_back(source);
+  }
+  return out;
+}
+
+}  // namespace bdi::discovery

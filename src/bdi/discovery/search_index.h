@@ -1,0 +1,37 @@
+#ifndef BDI_DISCOVERY_SEARCH_INDEX_H_
+#define BDI_DISCOVERY_SEARCH_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdi/model/dataset.h"
+
+namespace bdi::discovery {
+
+/// The "search engine" of the discovery simulation: an inverted index from
+/// identifier-like tokens to the sources whose pages contain them. Source
+/// discovery queries it with identifiers harvested from already-crawled
+/// pages — the mechanism behind "searching head identifiers discovers tail
+/// sources".
+class SearchIndex {
+ public:
+  /// Indexes every record of `dataset` (the full hidden web, including
+  /// sources the crawler has not discovered yet).
+  explicit SearchIndex(const Dataset& dataset);
+
+  /// Sources with at least one page containing `identifier` (exact token),
+  /// most-hits first. Order is deterministic.
+  std::vector<SourceId> Search(const std::string& identifier) const;
+
+  size_t num_indexed_tokens() const { return index_.size(); }
+
+ private:
+  /// token -> (source, hit count), sorted by hits desc then source id.
+  std::unordered_map<std::string, std::vector<std::pair<SourceId, size_t>>>
+      index_;
+};
+
+}  // namespace bdi::discovery
+
+#endif  // BDI_DISCOVERY_SEARCH_INDEX_H_

@@ -1,0 +1,100 @@
+#include "bdi/extract/extractor.h"
+
+#include <map>
+#include <set>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/string_util.h"
+
+namespace bdi::extract {
+
+ExtractionReport ExtractAll(const std::vector<SourcePages>& sites,
+                            const WrapperConfig& config) {
+  ExtractionReport report;
+  for (const SourcePages& site : sites) {
+    SourceId sid = report.dataset.AddSource(site.source_name);
+    Wrapper wrapper = InduceWrapper(site.pages, config);
+    SourceDiagnostics diagnostics;
+    diagnostics.source = sid;
+    diagnostics.detected_layout = wrapper.layout;
+    diagnostics.usable = wrapper.usable();
+    diagnostics.pages = site.pages.size();
+    diagnostics.kept_labels = wrapper.labels.size();
+    diagnostics.dropped_labels = wrapper.dropped_labels.size();
+    if (wrapper.usable()) {
+      for (const WebPage& page : site.pages) {
+        ExtractedRecord extracted = ApplyWrapper(wrapper, page);
+        std::vector<std::pair<std::string, std::string>> fields;
+        if (!extracted.title.empty()) {
+          fields.emplace_back(ExtractionReport::kTitleAttr,
+                              extracted.title);
+        }
+        for (auto& [label, value] : extracted.fields) {
+          fields.emplace_back(label, value);
+        }
+        if (!fields.empty()) {
+          report.dataset.AddRecord(sid, fields);
+          ++diagnostics.extracted_records;
+        }
+      }
+    }
+    report.sources.push_back(diagnostics);
+  }
+  return report;
+}
+
+ExtractionQuality EvaluateExtraction(const Dataset& original,
+                                     const std::vector<SourcePages>& sites,
+                                     const ExtractionReport& report) {
+  ExtractionQuality quality;
+  BDI_CHECK(sites.size() == report.sources.size());
+
+  for (size_t s = 0; s < sites.size(); ++s) {
+    SourceId original_source = sites[s].source;
+    const std::vector<RecordIdx>& original_records =
+        original.source(original_source).records;
+    BDI_CHECK(original_records.size() == sites[s].pages.size())
+        << "renderer page order contract violated";
+    const std::vector<RecordIdx>& extracted_records =
+        report.dataset.source(report.sources[s].source).records;
+
+    for (size_t p = 0; p < original_records.size(); ++p) {
+      const Record& original_record =
+          original.record(original_records[p]);
+      std::multiset<std::string> wanted;
+      for (const Field& field : original_record.fields) {
+        wanted.insert(NormalizeWhitespace(field.value));
+      }
+      quality.original_fields += wanted.size();
+
+      if (p >= extracted_records.size()) continue;  // unusable site
+      const Record& extracted_record =
+          report.dataset.record(extracted_records[p]);
+      for (const Field& field : extracted_record.fields) {
+        ++quality.extracted_fields;
+        auto it = wanted.find(NormalizeWhitespace(field.value));
+        if (it != wanted.end()) {
+          wanted.erase(it);
+          ++quality.recovered_fields;
+        }
+      }
+    }
+  }
+  quality.field_precision =
+      quality.extracted_fields == 0
+          ? 0.0
+          : static_cast<double>(quality.recovered_fields) /
+                static_cast<double>(quality.extracted_fields);
+  quality.field_recall =
+      quality.original_fields == 0
+          ? 0.0
+          : static_cast<double>(quality.recovered_fields) /
+                static_cast<double>(quality.original_fields);
+  quality.f1 = quality.field_precision + quality.field_recall == 0.0
+                   ? 0.0
+                   : 2.0 * quality.field_precision * quality.field_recall /
+                         (quality.field_precision + quality.field_recall);
+  return quality;
+}
+
+}  // namespace bdi::extract

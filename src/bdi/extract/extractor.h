@@ -1,0 +1,57 @@
+#ifndef BDI_EXTRACT_EXTRACTOR_H_
+#define BDI_EXTRACT_EXTRACTOR_H_
+
+#include <vector>
+
+#include "bdi/extract/wrapper.h"
+#include "bdi/model/dataset.h"
+
+namespace bdi::extract {
+
+/// What extraction produced for one site.
+struct SourceDiagnostics {
+  SourceId source = kInvalidSource;
+  PageLayout detected_layout = PageLayout::kFreeText;
+  bool usable = false;
+  size_t pages = 0;
+  size_t extracted_records = 0;
+  size_t kept_labels = 0;
+  size_t dropped_labels = 0;
+};
+
+/// The rebuilt corpus plus per-site diagnostics. Sources are recreated in
+/// input order (ids match input positions); pages of unusable sites
+/// contribute no records.
+struct ExtractionReport {
+  Dataset dataset;
+  std::vector<SourceDiagnostics> sources;
+
+  /// Titles become a synthetic "page title" field so downstream role
+  /// detection can find the entity name.
+  static constexpr const char* kTitleAttr = "page title";
+};
+
+/// Runs wrapper induction and extraction over every site.
+ExtractionReport ExtractAll(const std::vector<SourcePages>& sites,
+                            const WrapperConfig& config = {});
+
+/// Label-agnostic field-level quality of an extraction against the
+/// original corpus the pages were rendered from: a field counts as
+/// recovered when its exact value is extracted from the right page
+/// (titles recover the original record's first field).
+struct ExtractionQuality {
+  double field_precision = 0.0;
+  double field_recall = 0.0;
+  double f1 = 0.0;
+  size_t original_fields = 0;
+  size_t extracted_fields = 0;
+  size_t recovered_fields = 0;
+};
+
+ExtractionQuality EvaluateExtraction(const Dataset& original,
+                                     const std::vector<SourcePages>& sites,
+                                     const ExtractionReport& report);
+
+}  // namespace bdi::extract
+
+#endif  // BDI_EXTRACT_EXTRACTOR_H_

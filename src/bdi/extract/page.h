@@ -1,0 +1,38 @@
+#ifndef BDI_EXTRACT_PAGE_H_
+#define BDI_EXTRACT_PAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/model/types.h"
+
+namespace bdi::extract {
+
+/// One rendered specification page.
+struct WebPage {
+  std::string url;
+  std::string html;
+};
+
+/// All pages of one site, in the order its records were rendered.
+struct SourcePages {
+  SourceId source = kInvalidSource;
+  std::string source_name;
+  std::vector<WebPage> pages;
+};
+
+/// How a site lays out its specification block. Real sites vary; the
+/// wrapper has to discover which pattern a site uses — or find none
+/// (kFreeText models the weak-template sites the tutorial warns about).
+enum class PageLayout {
+  kTable,           ///< <tr><th>label</th><td>value</td></tr>
+  kDefinitionList,  ///< <dt>label</dt><dd>value</dd>
+  kDivPairs,        ///< <div class="k">label</div><div class="v">value</div>
+  kFreeText,        ///< prose, no label/value structure
+};
+
+const char* PageLayoutName(PageLayout layout);
+
+}  // namespace bdi::extract
+
+#endif  // BDI_EXTRACT_PAGE_H_

@@ -1,0 +1,127 @@
+#include "bdi/extract/renderer.h"
+
+#include "bdi/common/string_util.h"
+
+namespace bdi::extract {
+
+const char* PageLayoutName(PageLayout layout) {
+  switch (layout) {
+    case PageLayout::kTable:
+      return "table";
+    case PageLayout::kDefinitionList:
+      return "definition-list";
+    case PageLayout::kDivPairs:
+      return "div-pairs";
+    case PageLayout::kFreeText:
+      return "free-text";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendPair(PageLayout layout, const std::string& label,
+                const std::string& value, std::string* html) {
+  switch (layout) {
+    case PageLayout::kTable:
+      *html += "<tr><th>" + label + "</th><td>" + value + "</td></tr>\n";
+      break;
+    case PageLayout::kDefinitionList:
+      *html += "<dt>" + label + "</dt><dd>" + value + "</dd>\n";
+      break;
+    case PageLayout::kDivPairs:
+      *html += "<div class=\"k\">" + label + "</div><div class=\"v\">" +
+               value + "</div>\n";
+      break;
+    case PageLayout::kFreeText:
+      break;  // handled by the prose path
+  }
+}
+
+std::string RenderRecord(const Dataset& dataset, const Record& record,
+                         PageLayout layout, const RendererConfig& config,
+                         const std::string& site_name) {
+  std::string html;
+  if (config.add_chrome) {
+    html += "<div class=\"nav\"><a>Home</a><a>Categories</a>"
+            "<a>Deals</a><a>Contact</a></div>\n";
+  }
+  // The first field renders as the page title (sites headline the product
+  // name); the rest go into the specification block.
+  std::string title =
+      record.fields.empty() ? "untitled" : record.fields[0].value;
+  html += "<h1>" + title + "</h1>\n";
+
+  if (layout == PageLayout::kFreeText) {
+    // Weak template: prose without label/value structure.
+    html += "<p>The " + title + " offers ";
+    for (size_t f = 1; f < record.fields.size(); ++f) {
+      if (f > 1) html += ", ";
+      html += record.fields[f].value;
+    }
+    html += ". Order now from " + site_name + "!</p>\n";
+  } else {
+    if (layout == PageLayout::kTable) html += "<table>\n";
+    if (layout == PageLayout::kDefinitionList) html += "<dl>\n";
+    for (size_t f = 1; f < record.fields.size(); ++f) {
+      AppendPair(layout, dataset.attr_name(record.fields[f].attr),
+                 record.fields[f].value, &html);
+    }
+    if (config.add_boilerplate_row) {
+      // Constant across pages; a good wrapper learns to drop it.
+      AppendPair(layout, "shipping", "free shipping worldwide", &html);
+      AppendPair(layout, "availability", "in stock", &html);
+    }
+    if (layout == PageLayout::kTable) html += "</table>\n";
+    if (layout == PageLayout::kDefinitionList) html += "</dl>\n";
+  }
+  if (config.add_chrome) {
+    html += "<div class=\"footer\">(c) " + site_name +
+            " - all rights reserved</div>\n";
+  }
+  return html;
+}
+
+}  // namespace
+
+std::vector<SourcePages> PageRenderer::RenderAll(const Dataset& dataset) {
+  Rng rng(config_.seed);
+  std::vector<SourcePages> sites;
+  sites.reserve(dataset.num_sources());
+  source_layouts_.clear();
+  for (const SourceInfo& source : dataset.sources()) {
+    PageLayout layout;
+    if (rng.Bernoulli(config_.weak_template_prob)) {
+      layout = PageLayout::kFreeText;
+    } else {
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          layout = PageLayout::kTable;
+          break;
+        case 1:
+          layout = PageLayout::kDefinitionList;
+          break;
+        default:
+          layout = PageLayout::kDivPairs;
+      }
+    }
+    source_layouts_.push_back(layout);
+
+    SourcePages site;
+    site.source = source.id;
+    site.source_name = source.name;
+    site.pages.reserve(source.records.size());
+    for (RecordIdx idx : source.records) {
+      WebPage page;
+      page.url = "http://" + source.name + "/product/" +
+                 std::to_string(idx) + ".html";
+      page.html = RenderRecord(dataset, dataset.record(idx), layout,
+                               config_, source.name);
+      site.pages.push_back(std::move(page));
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+}  // namespace bdi::extract

@@ -1,0 +1,49 @@
+#ifndef BDI_EXTRACT_RENDERER_H_
+#define BDI_EXTRACT_RENDERER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdi/common/random.h"
+#include "bdi/extract/page.h"
+#include "bdi/model/dataset.h"
+
+namespace bdi::extract {
+
+struct RendererConfig {
+  uint64_t seed = 19;
+  /// Probability a source uses a weak template (prose pages the wrapper
+  /// cannot parse structurally).
+  double weak_template_prob = 0.0;
+  /// Add a constant boilerplate row ("shipping: free...") that a naive
+  /// extractor would mistake for an attribute.
+  bool add_boilerplate_row = true;
+  /// Add site chrome (nav/footer) around the specification block.
+  bool add_chrome = true;
+};
+
+/// Renders a Dataset back into template-based specification pages, one
+/// site style per source (local homogeneity: every page of a source uses
+/// the same template). This is the synthetic stand-in for the crawled web:
+/// the wrapper-induction extractor must recover the dataset from it.
+class PageRenderer {
+ public:
+  explicit PageRenderer(const RendererConfig& config) : config_(config) {}
+
+  /// Renders every source. Page order within a source follows the
+  /// source's record order (which evaluation relies on).
+  std::vector<SourcePages> RenderAll(const Dataset& dataset);
+
+  /// The layout chosen for each source in the last RenderAll call.
+  const std::vector<PageLayout>& source_layouts() const {
+    return source_layouts_;
+  }
+
+ private:
+  RendererConfig config_;
+  std::vector<PageLayout> source_layouts_;
+};
+
+}  // namespace bdi::extract
+
+#endif  // BDI_EXTRACT_RENDERER_H_

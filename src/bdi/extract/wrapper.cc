@@ -1,0 +1,168 @@
+#include "bdi/extract/wrapper.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bdi/common/string_util.h"
+
+namespace bdi::extract {
+
+namespace {
+
+/// Returns the text between `open` and `close` starting the search at
+/// *pos; advances *pos past the close tag. Returns false when not found.
+bool ExtractBetween(const std::string& html, const std::string& open,
+                    const std::string& close, size_t* pos,
+                    std::string* out) {
+  size_t begin = html.find(open, *pos);
+  if (begin == std::string::npos) return false;
+  begin += open.size();
+  size_t end = html.find(close, begin);
+  if (end == std::string::npos) return false;
+  *out = html.substr(begin, end - begin);
+  *pos = end + close.size();
+  return true;
+}
+
+struct LayoutPattern {
+  const char* label_open;
+  const char* label_close;
+  const char* value_open;
+  const char* value_close;
+};
+
+bool PatternFor(PageLayout layout, LayoutPattern* pattern) {
+  switch (layout) {
+    case PageLayout::kTable:
+      *pattern = {"<th>", "</th>", "<td>", "</td>"};
+      return true;
+    case PageLayout::kDefinitionList:
+      *pattern = {"<dt>", "</dt>", "<dd>", "</dd>"};
+      return true;
+    case PageLayout::kDivPairs:
+      *pattern = {"<div class=\"k\">", "</div>", "<div class=\"v\">",
+                  "</div>"};
+      return true;
+    case PageLayout::kFreeText:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> ParseLabelValuePairs(
+    const std::string& html, PageLayout layout) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  LayoutPattern pattern;
+  if (!PatternFor(layout, &pattern)) return pairs;
+  size_t pos = 0;
+  std::string label, value;
+  while (ExtractBetween(html, pattern.label_open, pattern.label_close, &pos,
+                        &label)) {
+    if (!ExtractBetween(html, pattern.value_open, pattern.value_close, &pos,
+                        &value)) {
+      break;
+    }
+    pairs.emplace_back(ToLower(NormalizeWhitespace(label)),
+                       NormalizeWhitespace(value));
+  }
+  return pairs;
+}
+
+std::string ParseTitle(const std::string& html) {
+  size_t pos = 0;
+  std::string title;
+  if (ExtractBetween(html, "<h1>", "</h1>", &pos, &title)) {
+    return NormalizeWhitespace(title);
+  }
+  return "";
+}
+
+Wrapper InduceWrapper(const std::vector<WebPage>& pages,
+                      const WrapperConfig& config) {
+  Wrapper wrapper;
+  if (pages.empty()) return wrapper;
+  size_t sample = std::min(config.sample_pages, pages.size());
+
+  // 1. Layout detection: the pattern that parses the most pairs wins.
+  PageLayout best_layout = PageLayout::kFreeText;
+  size_t best_pairs = 0;
+  for (PageLayout layout :
+       {PageLayout::kTable, PageLayout::kDefinitionList,
+        PageLayout::kDivPairs}) {
+    size_t total = 0;
+    for (size_t p = 0; p < sample; ++p) {
+      total += ParseLabelValuePairs(pages[p].html, layout).size();
+    }
+    if (total > best_pairs) {
+      best_pairs = total;
+      best_layout = layout;
+    }
+  }
+  if (best_layout == PageLayout::kFreeText || best_pairs == 0) {
+    return wrapper;  // weak template; nothing structural to learn
+  }
+  wrapper.layout = best_layout;
+
+  // 2. Label statistics over the sample.
+  struct LabelStats {
+    size_t support = 0;
+    std::set<std::string> values;
+    size_t first_seen = 0;
+  };
+  std::map<std::string, LabelStats> stats;
+  size_t order = 0;
+  for (size_t p = 0; p < sample; ++p) {
+    std::set<std::string> seen_on_page;
+    for (const auto& [label, value] :
+         ParseLabelValuePairs(pages[p].html, best_layout)) {
+      LabelStats& entry = stats[label];
+      if (entry.support == 0) entry.first_seen = order++;
+      if (seen_on_page.insert(label).second) ++entry.support;
+      if (entry.values.size() < 64) entry.values.insert(value);
+    }
+  }
+
+  // 3. Keep supported, varying labels; drop boilerplate.
+  std::vector<std::pair<size_t, std::string>> kept;
+  bool check_boilerplate =
+      sample >= config.min_pages_for_boilerplate_check;
+  for (const auto& [label, entry] : stats) {
+    double support = static_cast<double>(entry.support) /
+                     static_cast<double>(sample);
+    if (support < config.min_label_support) {
+      wrapper.dropped_labels.push_back(label);
+      continue;
+    }
+    if (check_boilerplate && entry.values.size() <= 1 &&
+        support >= 0.8) {
+      wrapper.dropped_labels.push_back(label);
+      continue;
+    }
+    kept.emplace_back(entry.first_seen, label);
+  }
+  std::sort(kept.begin(), kept.end());
+  for (auto& [first_seen, label] : kept) {
+    wrapper.labels.push_back(std::move(label));
+  }
+  return wrapper;
+}
+
+ExtractedRecord ApplyWrapper(const Wrapper& wrapper, const WebPage& page) {
+  ExtractedRecord record;
+  record.title = ParseTitle(page.html);
+  if (!wrapper.usable()) return record;
+  std::set<std::string> wanted(wrapper.labels.begin(),
+                               wrapper.labels.end());
+  for (auto& [label, value] :
+       ParseLabelValuePairs(page.html, wrapper.layout)) {
+    if (wanted.count(label) > 0) {
+      record.fields.emplace_back(label, value);
+    }
+  }
+  return record;
+}
+
+}  // namespace bdi::extract

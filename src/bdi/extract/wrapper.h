@@ -1,0 +1,63 @@
+#ifndef BDI_EXTRACT_WRAPPER_H_
+#define BDI_EXTRACT_WRAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/extract/page.h"
+
+namespace bdi::extract {
+
+/// A learned per-site extraction rule: which layout the site uses and
+/// which labels are real attributes (boilerplate labels are excluded).
+struct Wrapper {
+  PageLayout layout = PageLayout::kFreeText;
+  /// Attribute labels to extract, lowercased, in first-seen order.
+  std::vector<std::string> labels;
+  /// Labels rejected as boilerplate (constant across pages).
+  std::vector<std::string> dropped_labels;
+
+  bool usable() const {
+    return layout != PageLayout::kFreeText && !labels.empty();
+  }
+};
+
+/// One page's extraction output.
+struct ExtractedRecord {
+  std::string title;
+  /// (lowercased label, raw value) in page order; only wrapper labels.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+struct WrapperConfig {
+  /// A label must appear on at least this fraction of pages to be part of
+  /// the template.
+  double min_label_support = 0.2;
+  /// With at least this many pages, labels whose value never varies are
+  /// dropped as boilerplate.
+  size_t min_pages_for_boilerplate_check = 4;
+  /// Pages sampled for induction (all pages if fewer).
+  size_t sample_pages = 64;
+};
+
+/// Scans `html` for the given layout's label/value pattern. Labels are
+/// lowercased and whitespace-normalized; values whitespace-normalized.
+std::vector<std::pair<std::string, std::string>> ParseLabelValuePairs(
+    const std::string& html, PageLayout layout);
+
+/// First <h1>...</h1> contents (whitespace-normalized), or "".
+std::string ParseTitle(const std::string& html);
+
+/// Induces a wrapper from a site's pages, exploiting local homogeneity:
+/// picks the layout that parses the most pairs, keeps labels with enough
+/// support, and rejects constant-valued labels as boilerplate. Weak-
+/// template sites come back with layout kFreeText (not usable).
+Wrapper InduceWrapper(const std::vector<WebPage>& pages,
+                      const WrapperConfig& config = {});
+
+/// Applies a wrapper to one page.
+ExtractedRecord ApplyWrapper(const Wrapper& wrapper, const WebPage& page);
+
+}  // namespace bdi::extract
+
+#endif  // BDI_EXTRACT_WRAPPER_H_

@@ -1,0 +1,104 @@
+#include "bdi/fusion/accu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bdi/text/similarity.h"
+
+namespace bdi::fusion {
+
+double ClaimValueSimilarity(const std::string& a, const std::string& b) {
+  if (a == b) return 1.0;
+  double numeric = text::NumericSimilarity(a, b);
+  if (numeric > 0.0) return numeric;
+  return text::JaroWinklerSimilarity(a, b);
+}
+
+FusionResult AccuFusion::Resolve(const ClaimDb& db) const {
+  const std::vector<DataItem>& items = db.items();
+  size_t num_sources = db.num_sources();
+  FusionResult result;
+  result.chosen.resize(items.size());
+  result.confidence.resize(items.size(), 0.0);
+  result.source_accuracy.assign(num_sources, config_.initial_accuracy);
+
+  std::vector<double> next_accuracy(num_sources, 0.0);
+  std::vector<double> claim_count(num_sources, 0.0);
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::fill(next_accuracy.begin(), next_accuracy.end(), 0.0);
+    std::fill(claim_count.begin(), claim_count.end(), 0.0);
+
+    for (size_t i = 0; i < items.size(); ++i) {
+      const DataItem& item = items[i];
+      if (item.claims.empty()) continue;
+
+      // Log-odds vote count per distinct value.
+      std::map<std::string, double> score;
+      for (const Claim& claim : item.claims) {
+        double accuracy =
+            std::clamp(result.source_accuracy[claim.source],
+                       config_.min_accuracy, config_.max_accuracy);
+        score[claim.value] +=
+            std::log(config_.n_false_values * accuracy / (1.0 - accuracy));
+      }
+
+      // AccuSim: similarity-smoothed scores.
+      if (config_.similarity_rho > 0.0 && score.size() > 1) {
+        std::map<std::string, double> adjusted;
+        for (const auto& [value, base] : score) {
+          double boost = 0.0;
+          for (const auto& [other, other_score] : score) {
+            if (other == value) continue;
+            boost += ClaimValueSimilarity(value, other) * other_score;
+          }
+          adjusted[value] = base + config_.similarity_rho * boost;
+        }
+        score = std::move(adjusted);
+      }
+
+      // Softmax over claimed values (the unclaimed-false-value mass is
+      // constant across values and cancels).
+      double max_score = -1e300;
+      for (const auto& [value, s] : score) max_score = std::max(max_score, s);
+      double z = 0.0;
+      for (const auto& [value, s] : score) z += std::exp(s - max_score);
+      std::string best;
+      double best_probability = -1.0;
+      std::map<std::string, double> probability;
+      for (const auto& [value, s] : score) {
+        double p = std::exp(s - max_score) / z;
+        probability[value] = p;
+        if (p > best_probability) {
+          best_probability = p;
+          best = value;
+        }
+      }
+      result.chosen[i] = best;
+      result.confidence[i] = best_probability;
+
+      for (const Claim& claim : item.claims) {
+        next_accuracy[claim.source] += probability[claim.value];
+        claim_count[claim.source] += 1.0;
+      }
+    }
+
+    double max_delta = 0.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      double updated = claim_count[s] > 0.0
+                           ? next_accuracy[s] / claim_count[s]
+                           : config_.initial_accuracy;
+      updated = std::clamp(updated, config_.min_accuracy,
+                           config_.max_accuracy);
+      max_delta = std::max(max_delta,
+                           std::abs(updated - result.source_accuracy[s]));
+      result.source_accuracy[s] = updated;
+    }
+    if (max_delta < config_.epsilon) break;
+  }
+  return result;
+}
+
+}  // namespace bdi::fusion

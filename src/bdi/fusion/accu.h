@@ -1,0 +1,52 @@
+#ifndef BDI_FUSION_ACCU_H_
+#define BDI_FUSION_ACCU_H_
+
+#include "bdi/fusion/fusion.h"
+
+namespace bdi::fusion {
+
+/// Configuration shared by the Accu family (Dong, Berti-Équille,
+/// Srivastava, VLDB'09).
+struct AccuConfig {
+  /// Assumed number of uniformly-distributed false values per item.
+  double n_false_values = 10.0;
+  double initial_accuracy = 0.8;
+  int max_iterations = 20;
+  /// Stop when the max accuracy change drops below this.
+  double epsilon = 1e-4;
+  /// Accuracy clamp away from 0/1 keeps the log-odds finite.
+  double min_accuracy = 0.01;
+  double max_accuracy = 0.99;
+
+  /// AccuSim: boost a value's score with similarity-weighted scores of the
+  /// other claimed values (rho = 0 disables; this switches Accu -> AccuSim).
+  double similarity_rho = 0.0;
+};
+
+/// Bayesian truth discovery with iterative source-accuracy estimation:
+/// value score = sum over supporting sources of ln(n·A/(1-A)); value
+/// probabilities via softmax; source accuracy = mean probability of its
+/// claims; iterate to fixpoint.
+class AccuFusion : public FusionMethod {
+ public:
+  explicit AccuFusion(const AccuConfig& config = {}) : config_(config) {}
+
+  FusionResult Resolve(const ClaimDb& db) const override;
+  std::string name() const override {
+    return config_.similarity_rho > 0.0 ? "accusim" : "accu";
+  }
+
+  const AccuConfig& config() const { return config_; }
+
+ private:
+  AccuConfig config_;
+};
+
+/// Similarity of two claimed values in [0,1] used by AccuSim and
+/// TruthFinder: relative numeric closeness when both parse as numbers,
+/// otherwise Jaro-Winkler.
+double ClaimValueSimilarity(const std::string& a, const std::string& b);
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_ACCU_H_

@@ -1,0 +1,127 @@
+#include "bdi/fusion/accu_copy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace bdi::fusion {
+
+FusionResult AccuCopyFusion::Resolve(const ClaimDb& db) const {
+  const std::vector<DataItem>& items = db.items();
+  size_t num_sources = db.num_sources();
+  const AccuConfig& accu = config_.accu;
+
+  // Bootstrap with plain Accu.
+  FusionResult result = AccuFusion(accu).Resolve(db);
+
+  std::vector<std::vector<double>> independence(
+      num_sources, std::vector<double>(num_sources, 1.0));
+
+  for (int outer = 0; outer < config_.max_outer_iterations; ++outer) {
+    // 1. Copy detection against the current truth estimate.
+    last_dependencies_ = DetectCopying(db, result.chosen,
+                                       result.source_accuracy, config_.copy);
+    independence = IndependenceMatrix(num_sources, last_dependencies_);
+
+    // 2. Discounted truth discovery with fixed dependence, iterating
+    // accuracy to a fixpoint.
+    std::vector<double> accuracy = result.source_accuracy;
+    std::vector<double> next_accuracy(num_sources, 0.0);
+    std::vector<double> claim_count(num_sources, 0.0);
+    for (int iter = 0; iter < accu.max_iterations; ++iter) {
+      ++result.iterations;
+      std::fill(next_accuracy.begin(), next_accuracy.end(), 0.0);
+      std::fill(claim_count.begin(), claim_count.end(), 0.0);
+
+      for (size_t i = 0; i < items.size(); ++i) {
+        const DataItem& item = items[i];
+        if (item.claims.empty()) continue;
+
+        // Group claims by value and compute each source's independent
+        // vote share: higher-accuracy sources are counted first; later
+        // sources contribute weight prod over already-counted co-claimants
+        // of P(independent).
+        std::map<std::string, std::vector<SourceId>> supporters;
+        for (const Claim& claim : item.claims) {
+          supporters[claim.value].push_back(claim.source);
+        }
+        std::map<std::string, double> score;
+        for (auto& [value, sources] : supporters) {
+          std::sort(sources.begin(), sources.end(),
+                    [&](SourceId x, SourceId y) {
+                      if (accuracy[x] != accuracy[y]) {
+                        return accuracy[x] > accuracy[y];
+                      }
+                      return x < y;
+                    });
+          double total = 0.0;
+          for (size_t k = 0; k < sources.size(); ++k) {
+            double a = std::clamp(accuracy[sources[k]], accu.min_accuracy,
+                                  accu.max_accuracy);
+            double weight = 1.0;
+            for (size_t m = 0; m < k; ++m) {
+              weight *= independence[sources[k]][sources[m]];
+            }
+            total += weight *
+                     std::log(accu.n_false_values * a / (1.0 - a));
+          }
+          score[value] = total;
+        }
+        if (accu.similarity_rho > 0.0 && score.size() > 1) {
+          std::map<std::string, double> adjusted;
+          for (const auto& [value, base] : score) {
+            double boost = 0.0;
+            for (const auto& [other, other_score] : score) {
+              if (other == value) continue;
+              boost += ClaimValueSimilarity(value, other) * other_score;
+            }
+            adjusted[value] = base + accu.similarity_rho * boost;
+          }
+          score = std::move(adjusted);
+        }
+
+        double max_score = -1e300;
+        for (const auto& [value, s] : score) {
+          max_score = std::max(max_score, s);
+        }
+        double z = 0.0;
+        for (const auto& [value, s] : score) {
+          z += std::exp(s - max_score);
+        }
+        std::string best;
+        double best_probability = -1.0;
+        std::map<std::string, double> probability;
+        for (const auto& [value, s] : score) {
+          double p = std::exp(s - max_score) / z;
+          probability[value] = p;
+          if (p > best_probability) {
+            best_probability = p;
+            best = value;
+          }
+        }
+        result.chosen[i] = best;
+        result.confidence[i] = best_probability;
+        for (const Claim& claim : item.claims) {
+          next_accuracy[claim.source] += probability[claim.value];
+          claim_count[claim.source] += 1.0;
+        }
+      }
+
+      double max_delta = 0.0;
+      for (size_t s = 0; s < num_sources; ++s) {
+        double updated = claim_count[s] > 0.0
+                             ? next_accuracy[s] / claim_count[s]
+                             : accu.initial_accuracy;
+        updated =
+            std::clamp(updated, accu.min_accuracy, accu.max_accuracy);
+        max_delta = std::max(max_delta, std::abs(updated - accuracy[s]));
+        accuracy[s] = updated;
+      }
+      if (max_delta < accu.epsilon) break;
+    }
+    result.source_accuracy = accuracy;
+  }
+  return result;
+}
+
+}  // namespace bdi::fusion

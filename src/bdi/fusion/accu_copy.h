@@ -1,0 +1,41 @@
+#ifndef BDI_FUSION_ACCU_COPY_H_
+#define BDI_FUSION_ACCU_COPY_H_
+
+#include "bdi/fusion/accu.h"
+#include "bdi/fusion/copy_detection.h"
+
+namespace bdi::fusion {
+
+struct AccuCopyConfig {
+  AccuConfig accu;
+  CopyDetectionConfig copy;
+  /// Outer iterations alternating copy detection and accuracy estimation.
+  int max_outer_iterations = 5;
+};
+
+/// AccuCopy (the full VLDB'09 model): alternates Bayesian copy detection
+/// with accuracy-aware truth discovery, discounting votes of sources whose
+/// claims are probably copied. Independent sources keep full weight; a
+/// source repeating a value already counted from a probable original
+/// contributes only its residual independence probability.
+class AccuCopyFusion : public FusionMethod {
+ public:
+  explicit AccuCopyFusion(const AccuCopyConfig& config = {})
+      : config_(config) {}
+
+  FusionResult Resolve(const ClaimDb& db) const override;
+  std::string name() const override { return "accucopy"; }
+
+  /// The dependencies detected in the last Resolve call (for evaluation).
+  const std::vector<SourceDependence>& last_dependencies() const {
+    return last_dependencies_;
+  }
+
+ private:
+  AccuCopyConfig config_;
+  mutable std::vector<SourceDependence> last_dependencies_;
+};
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_ACCU_COPY_H_

@@ -1,0 +1,205 @@
+#include "bdi/fusion/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace bdi::fusion {
+
+namespace {
+
+/// Chooses per item the value with the highest truth score; fills chosen/
+/// confidence from the (item -> value -> score) table.
+void ChooseBest(const ClaimDb& db,
+                const std::vector<std::map<std::string, double>>& scores,
+                FusionResult* result) {
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    std::string best;
+    double best_score = -1e300, total = 0.0;
+    for (const auto& [value, score] : scores[i]) {
+      total += std::max(0.0, score);
+      if (score > best_score) {
+        best_score = score;
+        best = value;
+      }
+    }
+    result->chosen[i] = best;
+    result->confidence[i] =
+        total > 0.0 ? std::max(0.0, best_score) / total : 0.0;
+  }
+}
+
+}  // namespace
+
+FusionResult TwoEstimatesFusion::Resolve(const ClaimDb& db) const {
+  const std::vector<DataItem>& items = db.items();
+  size_t num_sources = db.num_sources();
+  FusionResult result;
+  result.chosen.resize(items.size());
+  result.confidence.resize(items.size(), 0.0);
+  // Track error rates; accuracy = 1 - error.
+  std::vector<double> error(num_sources, config_.initial_error);
+
+  // Truth score per (item, value) in [0, 1].
+  std::vector<std::map<std::string, double>> truth(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (const Claim& claim : items[i].claims) {
+      truth[i][claim.value] = 0.5;
+    }
+  }
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // 1. Value scores from source errors: positive votes from claimants,
+    // negative votes from sources claiming a different value.
+    double min_score = 1e300, max_score = -1e300;
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (auto& [value, score] : truth[i]) {
+        double total = 0.0, votes = 0.0;
+        for (const Claim& claim : items[i].claims) {
+          if (claim.value == value) {
+            total += 1.0 - error[claim.source];
+          } else {
+            total += error[claim.source];
+          }
+          votes += 1.0;
+        }
+        score = votes > 0.0 ? total / votes : 0.5;
+        min_score = std::min(min_score, score);
+        max_score = std::max(max_score, score);
+      }
+    }
+    // Normalization by spreading to the full [0, 1].
+    double range = max_score - min_score;
+    if (range > 1e-12) {
+      for (auto& item_scores : truth) {
+        for (auto& [value, score] : item_scores) {
+          score = (score - min_score) / range;
+        }
+      }
+    }
+
+    // 2. Source errors from value scores: a source's error is the mean of
+    // (1 - score of what it claimed) and (score of what it contradicted is
+    // folded in through the complement in step 1).
+    std::vector<double> next_error(num_sources, 0.0);
+    std::vector<double> counts(num_sources, 0.0);
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (const Claim& claim : items[i].claims) {
+        next_error[claim.source] += 1.0 - truth[i][claim.value];
+        counts[claim.source] += 1.0;
+      }
+    }
+    double max_delta = 0.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      double updated = counts[s] > 0.0 ? next_error[s] / counts[s]
+                                       : config_.initial_error;
+      updated = std::clamp(updated, 0.01, 0.99);
+      max_delta = std::max(max_delta, std::abs(updated - error[s]));
+      error[s] = updated;
+    }
+    if (max_delta < config_.epsilon) break;
+  }
+
+  ChooseBest(db, truth, &result);
+  result.source_accuracy.resize(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    result.source_accuracy[s] = 1.0 - error[s];
+  }
+  return result;
+}
+
+FusionResult PooledInvestmentFusion::Resolve(const ClaimDb& db) const {
+  const std::vector<DataItem>& items = db.items();
+  size_t num_sources = db.num_sources();
+  FusionResult result;
+  result.chosen.resize(items.size());
+  result.confidence.resize(items.size(), 0.0);
+
+  std::vector<double> trust(num_sources, 1.0);
+  std::vector<double> claims_per_source(num_sources, 0.0);
+  for (const DataItem& item : items) {
+    for (const Claim& claim : item.claims) {
+      claims_per_source[claim.source] += 1.0;
+    }
+  }
+
+  std::vector<std::map<std::string, double>> credit(items.size());
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // 1. Each source invests trust/|claims| into each of its claims; a
+    // value's pooled investment is the sum over investors.
+    for (size_t i = 0; i < items.size(); ++i) {
+      credit[i].clear();
+      for (const Claim& claim : items[i].claims) {
+        double stake = claims_per_source[claim.source] > 0.0
+                           ? trust[claim.source] /
+                                 claims_per_source[claim.source]
+                           : 0.0;
+        credit[i][claim.value] += stake;
+      }
+      // Superlinear growth, then renormalize the item's pool so the
+      // grown credits pay out exactly what was invested.
+      double invested = 0.0, grown = 0.0;
+      for (auto& [value, c] : credit[i]) {
+        invested += c;
+        c = std::pow(c, config_.growth);
+        grown += c;
+      }
+      if (grown > 1e-300) {
+        for (auto& [value, c] : credit[i]) {
+          c *= invested / grown;
+        }
+      }
+    }
+
+    // 2. Pay sources back proportionally to their stakes in each value.
+    std::vector<double> next_trust(num_sources, 0.0);
+    for (size_t i = 0; i < items.size(); ++i) {
+      // Reconstruct each investor's share of the value's original pool.
+      std::map<std::string, double> pool;
+      for (const Claim& claim : items[i].claims) {
+        double stake = claims_per_source[claim.source] > 0.0
+                           ? trust[claim.source] /
+                                 claims_per_source[claim.source]
+                           : 0.0;
+        pool[claim.value] += stake;
+      }
+      for (const Claim& claim : items[i].claims) {
+        double stake = claims_per_source[claim.source] > 0.0
+                           ? trust[claim.source] /
+                                 claims_per_source[claim.source]
+                           : 0.0;
+        double share =
+            pool[claim.value] > 1e-300 ? stake / pool[claim.value] : 0.0;
+        next_trust[claim.source] += share * credit[i][claim.value];
+      }
+    }
+    // Normalize trust to mean 1 (scale-free model).
+    double total = 0.0;
+    for (double t : next_trust) total += t;
+    double scale =
+        total > 1e-300 ? static_cast<double>(num_sources) / total : 1.0;
+    double max_delta = 0.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      double updated = next_trust[s] * scale;
+      max_delta = std::max(max_delta, std::abs(updated - trust[s]));
+      trust[s] = updated;
+    }
+    if (max_delta < config_.epsilon) break;
+  }
+
+  ChooseBest(db, credit, &result);
+  // Report trust rescaled into [0,1] as a pseudo-accuracy.
+  double max_trust = 1e-300;
+  for (double t : trust) max_trust = std::max(max_trust, t);
+  result.source_accuracy.resize(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    result.source_accuracy[s] = trust[s] / max_trust;
+  }
+  return result;
+}
+
+}  // namespace bdi::fusion

@@ -1,0 +1,56 @@
+#ifndef BDI_FUSION_BASELINES_H_
+#define BDI_FUSION_BASELINES_H_
+
+#include "bdi/fusion/fusion.h"
+
+namespace bdi::fusion {
+
+/// 2-Estimates (Galland et al., WSDM'10): complement-aware iterative
+/// voting. A source claiming v for an item implicitly votes *against*
+/// every other claimed value of that item; value truth scores and source
+/// error rates are re-estimated alternately, with the scores re-normalized
+/// to [0,1] each round (the paper's "normalization by spreading").
+struct TwoEstimatesConfig {
+  int max_iterations = 20;
+  double epsilon = 1e-4;
+  double initial_error = 0.2;
+};
+
+class TwoEstimatesFusion : public FusionMethod {
+ public:
+  explicit TwoEstimatesFusion(const TwoEstimatesConfig& config = {})
+      : config_(config) {}
+
+  FusionResult Resolve(const ClaimDb& db) const override;
+  std::string name() const override { return "2-estimates"; }
+
+ private:
+  TwoEstimatesConfig config_;
+};
+
+/// PooledInvestment (Pasternack & Roth, COLING'10): each source spreads a
+/// unit of trust over its claims; a claim's pooled credit is the sum of
+/// its investors' per-claim stakes, amplified by a superlinear growth
+/// function and paid back proportionally.
+struct PooledInvestmentConfig {
+  int max_iterations = 20;
+  double epsilon = 1e-4;
+  /// Exponent of the credit growth function G(x) = x^g.
+  double growth = 1.4;
+};
+
+class PooledInvestmentFusion : public FusionMethod {
+ public:
+  explicit PooledInvestmentFusion(const PooledInvestmentConfig& config = {})
+      : config_(config) {}
+
+  FusionResult Resolve(const ClaimDb& db) const override;
+  std::string name() const override { return "pooled-investment"; }
+
+ private:
+  PooledInvestmentConfig config_;
+};
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_BASELINES_H_

@@ -1,0 +1,86 @@
+#include "bdi/fusion/bias.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/string_util.h"
+
+namespace bdi::fusion {
+
+std::vector<SourceBias> DetectBias(const ClaimDb& db,
+                                   const FusionResult& reference,
+                                   const BiasDetectionConfig& config) {
+  BDI_CHECK(reference.chosen.size() == db.items().size());
+  // (source, attr) -> signed relative deviations from the consensus.
+  std::map<std::pair<SourceId, int>, std::vector<double>> deviations;
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    const DataItem& item = db.items()[i];
+    double consensus = 0.0;
+    if (!ParseLeadingDouble(reference.chosen[i], &consensus, nullptr) ||
+        consensus == 0.0) {
+      continue;
+    }
+    for (const Claim& claim : item.claims) {
+      double value = 0.0;
+      if (!ParseLeadingDouble(claim.value, &value, nullptr)) continue;
+      deviations[{claim.source, item.attr}].push_back(
+          (value - consensus) / consensus);
+    }
+  }
+
+  std::vector<SourceBias> biases;
+  for (const auto& [key, devs] : deviations) {
+    if (devs.size() < config.min_items) continue;
+    double mean = 0.0;
+    for (double d : devs) mean += d;
+    mean /= static_cast<double>(devs.size());
+    if (std::abs(mean) < config.min_bias) continue;
+    double var = 0.0;
+    for (double d : devs) var += (d - mean) * (d - mean);
+    double dispersion = std::sqrt(var / static_cast<double>(devs.size()));
+    if (dispersion > config.max_dispersion_ratio * std::abs(mean)) {
+      continue;  // noisy, not a consistent lie
+    }
+    SourceBias bias;
+    bias.source = key.first;
+    bias.attr = key.second;
+    bias.relative_bias = mean;
+    bias.dispersion = dispersion;
+    bias.items = devs.size();
+    biases.push_back(bias);
+  }
+  std::sort(biases.begin(), biases.end(),
+            [](const SourceBias& a, const SourceBias& b) {
+              return std::abs(a.relative_bias) > std::abs(b.relative_bias);
+            });
+  return biases;
+}
+
+ClaimDb DebiasClaims(const ClaimDb& db,
+                     const std::vector<SourceBias>& biases) {
+  std::map<std::pair<SourceId, int>, double> correction;
+  for (const SourceBias& bias : biases) {
+    if (bias.relative_bias > -0.95) {
+      correction[{bias.source, bias.attr}] = 1.0 + bias.relative_bias;
+    }
+  }
+  ClaimDb out;
+  out.set_num_sources(db.num_sources());
+  for (const DataItem& item : db.items()) {
+    DataItem copy = item;
+    for (Claim& claim : copy.claims) {
+      auto it = correction.find({claim.source, item.attr});
+      if (it == correction.end()) continue;
+      double value = 0.0;
+      if (!ParseLeadingDouble(claim.value, &value, nullptr)) continue;
+      claim.value = FormatDouble(value / it->second, 2);
+    }
+    out.AddItem(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace bdi::fusion

@@ -1,0 +1,47 @@
+#ifndef BDI_FUSION_BIAS_H_
+#define BDI_FUSION_BIAS_H_
+
+#include <vector>
+
+#include "bdi/fusion/fusion.h"
+
+namespace bdi::fusion {
+
+/// A detected systematic numeric bias of one source on one attribute:
+/// mean signed relative deviation of its claims from the consensus value.
+/// Deceitful "spec inflation" shows up as a consistently positive bias —
+/// invisible to the random-error accuracy model and to copy detection.
+struct SourceBias {
+  SourceId source = kInvalidSource;
+  int attr = -1;
+  double relative_bias = 0.0;  ///< +0.25 = claims run 25% above consensus
+  double dispersion = 0.0;     ///< stddev of the deviations (consistency)
+  size_t items = 0;
+};
+
+struct BiasDetectionConfig {
+  /// Minimum numeric items a (source, attr) needs before it is scored.
+  size_t min_items = 5;
+  /// |mean deviation| must exceed this to be reported.
+  double min_bias = 0.08;
+  /// A lie is *consistent*: dispersion must stay below this fraction of
+  /// the bias magnitude (separates deceit from ordinary noise).
+  double max_dispersion_ratio = 0.8;
+};
+
+/// Scores every (source, attribute) pair of the claim database against the
+/// reference resolution (e.g. an Accu run) and returns the consistent
+/// outliers, strongest first.
+std::vector<SourceBias> DetectBias(const ClaimDb& db,
+                                   const FusionResult& reference,
+                                   const BiasDetectionConfig& config = {});
+
+/// Returns a copy of `db` with the detected biases corrected: claims of a
+/// flagged (source, attr) are divided by (1 + bias). Re-running fusion on
+/// the corrected database lets the previously-poisoned items resolve.
+ClaimDb DebiasClaims(const ClaimDb& db,
+                     const std::vector<SourceBias>& biases);
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_BIAS_H_

@@ -1,0 +1,119 @@
+#include "bdi/fusion/claims.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "bdi/common/string_util.h"
+
+namespace bdi::fusion {
+
+ClaimDb ClaimDb::FromPipeline(const Dataset& dataset,
+                              const linkage::EntityClusters& clusters,
+                              const schema::MediatedSchema& schema,
+                              const schema::ValueNormalizer& normalizer,
+                              const linkage::AttrRoles* roles) {
+  // (cluster entity, schema cluster) -> claims, first-wins per source.
+  std::map<std::pair<EntityId, int>, std::map<SourceId, std::string>> cells;
+  for (const Record& record : dataset.records()) {
+    EntityId entity = clusters.label_of_record[record.idx];
+    for (const Field& field : record.fields) {
+      SourceAttr sa{record.source, field.attr};
+      if (roles != nullptr &&
+          roles->RoleOf(sa) != linkage::AttrRole::kOther) {
+        continue;
+      }
+      int cluster = schema.ClusterOf(sa);
+      if (cluster < 0) continue;
+      std::string value = normalizer.Normalize(sa, field.value);
+      if (value.empty()) continue;
+      cells[{entity, cluster}].emplace(record.source, std::move(value));
+    }
+  }
+  ClaimDb db;
+  db.num_sources_ = dataset.num_sources();
+  for (auto& [key, by_source] : cells) {
+    DataItem item;
+    item.entity = key.first;
+    item.attr = key.second;
+    item.claims.reserve(by_source.size());
+    for (auto& [source, value] : by_source) {
+      item.claims.push_back(Claim{source, std::move(value)});
+    }
+    db.items_.push_back(std::move(item));
+  }
+  return db;
+}
+
+ClaimDb ClaimDb::FromGroundTruth(const GroundTruth& truth,
+                                 size_t num_sources) {
+  std::map<std::pair<EntityId, int>, std::vector<Claim>> cells;
+  for (const GroundTruth::TrueClaim& claim : truth.claims) {
+    cells[{claim.entity, claim.canonical_attr}].push_back(
+        Claim{claim.source, claim.value});
+  }
+  ClaimDb db;
+  db.num_sources_ = num_sources;
+  for (auto& [key, claims] : cells) {
+    DataItem item;
+    item.entity = key.first;
+    item.attr = key.second;
+    item.claims = std::move(claims);
+    db.items_.push_back(std::move(item));
+  }
+  return db;
+}
+
+void ClaimDb::CanonicalizeNumericValues(double tolerance) {
+  for (DataItem& item : items_) {
+    // Parse all numeric claims.
+    struct Parsed {
+      size_t claim_index;
+      double value;
+    };
+    std::vector<Parsed> numerics;
+    for (size_t c = 0; c < item.claims.size(); ++c) {
+      double v = 0.0;
+      std::string unit;
+      if (ParseLeadingDouble(item.claims[c].value, &v, &unit) &&
+          unit.empty()) {
+        numerics.push_back(Parsed{c, v});
+      }
+    }
+    if (numerics.size() < 2) continue;
+    std::sort(numerics.begin(), numerics.end(),
+              [](const Parsed& a, const Parsed& b) {
+                return a.value < b.value;
+              });
+    // Greedy clustering over the sorted values: a new group starts when the
+    // next value is more than `tolerance` away (relatively) from the
+    // group's first value.
+    size_t group_begin = 0;
+    auto flush = [&](size_t begin, size_t end) {
+      if (end - begin < 2) return;
+      // Representative: the median value in the group.
+      double representative = numerics[begin + (end - begin) / 2].value;
+      std::string text = FormatDouble(representative, 2);
+      for (size_t i = begin; i < end; ++i) {
+        item.claims[numerics[i].claim_index].value = text;
+      }
+    };
+    for (size_t i = 1; i < numerics.size(); ++i) {
+      double base = std::max(1e-9, std::abs(numerics[group_begin].value));
+      if (std::abs(numerics[i].value - numerics[group_begin].value) / base >
+          tolerance) {
+        flush(group_begin, i);
+        group_begin = i;
+      }
+    }
+    flush(group_begin, numerics.size());
+  }
+}
+
+size_t ClaimDb::num_claims() const {
+  size_t total = 0;
+  for (const DataItem& item : items_) total += item.claims.size();
+  return total;
+}
+
+}  // namespace bdi::fusion

@@ -1,0 +1,76 @@
+#ifndef BDI_FUSION_CLAIMS_H_
+#define BDI_FUSION_CLAIMS_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/linkage/attr_roles.h"
+#include "bdi/linkage/clustering.h"
+#include "bdi/model/dataset.h"
+#include "bdi/model/ground_truth.h"
+#include "bdi/schema/mediated_schema.h"
+#include "bdi/schema/value_normalizer.h"
+
+namespace bdi::fusion {
+
+/// What one source asserts about one data item.
+struct Claim {
+  SourceId source = kInvalidSource;
+  std::string value;
+};
+
+/// One data item — an (entity, attribute) cell — with all its claims.
+/// `entity` and `attr` are opaque ids whose meaning depends on the builder
+/// (linkage cluster + schema cluster for the pipeline; ground-truth entity
+/// + canonical attribute when built from truth).
+struct DataItem {
+  EntityId entity = kInvalidEntity;
+  int attr = -1;
+  std::vector<Claim> claims;
+};
+
+/// The conflicting-claim database that fusion methods resolve.
+class ClaimDb {
+ public:
+  ClaimDb() = default;
+
+  /// Builds items from the integration pipeline's outputs: records grouped
+  /// by linkage cluster, attributes grouped by the mediated schema, values
+  /// normalized. Name/identifier-role attributes are excluded (they are
+  /// linkage evidence, not specification facts). When one source has
+  /// multiple records in a cluster, the first claim per (source, attr)
+  /// wins.
+  static ClaimDb FromPipeline(const Dataset& dataset,
+                              const linkage::EntityClusters& clusters,
+                              const schema::MediatedSchema& schema,
+                              const schema::ValueNormalizer& normalizer,
+                              const linkage::AttrRoles* roles);
+
+  /// Builds items directly from ground-truth claims (perfect extraction,
+  /// linkage and alignment) — the setting of the fusion-only experiments.
+  static ClaimDb FromGroundTruth(const GroundTruth& truth,
+                                 size_t num_sources);
+
+  /// Snaps numeric claim values within `tolerance` relative difference to a
+  /// per-item representative, absorbing formatting round-off before
+  /// exact-match fusion.
+  void CanonicalizeNumericValues(double tolerance = 0.02);
+
+  const std::vector<DataItem>& items() const { return items_; }
+  std::vector<DataItem>& items() { return items_; }
+  size_t num_sources() const { return num_sources_; }
+  void set_num_sources(size_t n) { num_sources_ = n; }
+
+  /// Total number of claims across items.
+  size_t num_claims() const;
+
+  void AddItem(DataItem item) { items_.push_back(std::move(item)); }
+
+ private:
+  std::vector<DataItem> items_;
+  size_t num_sources_ = 0;
+};
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_CLAIMS_H_

@@ -1,0 +1,143 @@
+#include "bdi/fusion/copy_detection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bdi/common/logging.h"
+
+namespace bdi::fusion {
+
+namespace {
+
+struct PairStats {
+  size_t shared_true = 0;
+  size_t shared_false = 0;
+  size_t different = 0;
+  /// Accuracy of each endpoint on items NOT shared with the other — the
+  /// directional signal: a copier looks much worse on its own.
+  size_t a_solo_correct = 0, a_solo_total = 0;
+  size_t b_solo_correct = 0, b_solo_total = 0;
+
+  size_t common() const { return shared_true + shared_false + different; }
+};
+
+}  // namespace
+
+std::vector<SourceDependence> DetectCopying(
+    const ClaimDb& db, const std::vector<std::string>& truth_estimate,
+    const std::vector<double>& source_accuracy,
+    const CopyDetectionConfig& config) {
+  BDI_CHECK(truth_estimate.size() == db.items().size());
+  std::map<std::pair<SourceId, SourceId>, PairStats> stats;
+
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    const DataItem& item = db.items()[i];
+    const std::string& truth = truth_estimate[i];
+    for (size_t x = 0; x < item.claims.size(); ++x) {
+      for (size_t y = x + 1; y < item.claims.size(); ++y) {
+        const Claim& ca = item.claims[x];
+        const Claim& cb = item.claims[y];
+        SourceId a = std::min(ca.source, cb.source);
+        SourceId b = std::max(ca.source, cb.source);
+        if (a == b) continue;
+        const Claim& first = ca.source == a ? ca : cb;
+        const Claim& second = ca.source == a ? cb : ca;
+        PairStats& ps = stats[{a, b}];
+        if (first.value == second.value) {
+          if (first.value == truth) {
+            ++ps.shared_true;
+          } else {
+            ++ps.shared_false;
+          }
+        } else {
+          ++ps.different;
+          // On disagreeing items each side acts alone.
+          ++ps.a_solo_total;
+          if (first.value == truth) ++ps.a_solo_correct;
+          ++ps.b_solo_total;
+          if (second.value == truth) ++ps.b_solo_correct;
+        }
+      }
+    }
+  }
+
+  std::vector<SourceDependence> out;
+  for (const auto& [pair, ps] : stats) {
+    if (ps.common() < config.min_common_items) continue;
+    double a_accuracy = std::clamp(source_accuracy[pair.first],
+                                   config.min_accuracy, config.max_accuracy);
+    double b_accuracy = std::clamp(source_accuracy[pair.second],
+                                   config.min_accuracy, config.max_accuracy);
+    double n = std::max(1.0, config.n_false_values);
+    double c = std::clamp(config.copy_rate, 0.01, 0.99);
+
+    // Category probabilities under independence.
+    double pt_ind = a_accuracy * b_accuracy;
+    double pf_ind = (1.0 - a_accuracy) * (1.0 - b_accuracy) / n;
+    double pd_ind = std::max(1e-12, 1.0 - pt_ind - pf_ind);
+
+    // Under dependence (one copies the other with per-item rate c): a
+    // copied item agrees with certainty (true w.p. the original's
+    // accuracy); an uncopied item behaves independently. Using the mean
+    // accuracy for the original keeps the test direction-free.
+    double original_accuracy = 0.5 * (a_accuracy + b_accuracy);
+    double pt_dep = c * original_accuracy + (1.0 - c) * pt_ind;
+    double pf_dep = c * (1.0 - original_accuracy) + (1.0 - c) * pf_ind;
+    double pd_dep = std::max(1e-12, (1.0 - c) * pd_ind);
+
+    // Posterior via log-likelihood ratio.
+    double log_ratio =
+        static_cast<double>(ps.shared_true) * std::log(pt_ind / pt_dep) +
+        static_cast<double>(ps.shared_false) * std::log(pf_ind / pf_dep) +
+        static_cast<double>(ps.different) * std::log(pd_ind / pd_dep);
+    double prior_odds = (1.0 - config.alpha) / config.alpha;
+    // P(dep | data) = 1 / (1 + prior_odds * exp(log_ratio))
+    double probability;
+    if (log_ratio > 500.0) {
+      probability = 0.0;
+    } else if (log_ratio < -500.0) {
+      probability = 1.0;
+    } else {
+      probability = 1.0 / (1.0 + prior_odds * std::exp(log_ratio));
+    }
+
+    SourceDependence dependence;
+    dependence.a = pair.first;
+    dependence.b = pair.second;
+    dependence.probability = probability;
+    dependence.common_items = ps.common();
+    dependence.shared_true = ps.shared_true;
+    dependence.shared_false = ps.shared_false;
+    dependence.different = ps.different;
+    // Direction: the endpoint that is markedly less accurate when acting
+    // alone is the likely copier.
+    if (ps.a_solo_total >= 3 && ps.b_solo_total >= 3) {
+      double a_solo = static_cast<double>(ps.a_solo_correct) /
+                      static_cast<double>(ps.a_solo_total);
+      double b_solo = static_cast<double>(ps.b_solo_correct) /
+                      static_cast<double>(ps.b_solo_total);
+      if (a_solo + 0.1 < b_solo) {
+        dependence.likely_copier = pair.first;
+      } else if (b_solo + 0.1 < a_solo) {
+        dependence.likely_copier = pair.second;
+      }
+    }
+    out.push_back(dependence);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> IndependenceMatrix(
+    size_t num_sources, const std::vector<SourceDependence>& dependencies) {
+  std::vector<std::vector<double>> matrix(
+      num_sources, std::vector<double>(num_sources, 1.0));
+  for (const SourceDependence& d : dependencies) {
+    double independence = 1.0 - d.probability;
+    matrix[d.a][d.b] = independence;
+    matrix[d.b][d.a] = independence;
+  }
+  return matrix;
+}
+
+}  // namespace bdi::fusion

@@ -1,0 +1,61 @@
+#ifndef BDI_FUSION_COPY_DETECTION_H_
+#define BDI_FUSION_COPY_DETECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/fusion/claims.h"
+
+namespace bdi::fusion {
+
+struct CopyDetectionConfig {
+  /// Prior probability of dependence between a random source pair.
+  double alpha = 0.2;
+  /// Assumed per-item copy probability of a copier.
+  double copy_rate = 0.8;
+  /// Assumed number of false values per item.
+  double n_false_values = 10.0;
+  /// Minimum common items before a pair is scored.
+  size_t min_common_items = 5;
+  /// Clamp for accuracy estimates inside the likelihoods.
+  double min_accuracy = 0.05;
+  double max_accuracy = 0.95;
+};
+
+/// Dependence verdict on an unordered source pair.
+struct SourceDependence {
+  SourceId a = kInvalidSource;
+  SourceId b = kInvalidSource;
+  /// Posterior probability the pair is dependent (either direction).
+  double probability = 0.0;
+  /// Likely copier (the endpoint whose claims are better explained as
+  /// copies), kInvalidSource when direction is indeterminate.
+  SourceId likely_copier = kInvalidSource;
+  size_t common_items = 0;
+  size_t shared_true = 0;
+  size_t shared_false = 0;
+  size_t different = 0;
+};
+
+/// Bayesian copy detection (Dong, Berti-Équille, Srivastava, VLDB'09):
+/// sharing *false* values is strong evidence of copying, sharing true
+/// values is weak evidence. For each source pair with enough overlapping
+/// items, compares the likelihood of the observed (shared-true,
+/// shared-false, different) counts under independence vs dependence.
+///
+/// `truth_estimate` supplies the current belief about each item's true
+/// value (parallel to db.items()); accuracies are the current source
+/// accuracy estimates.
+std::vector<SourceDependence> DetectCopying(
+    const ClaimDb& db, const std::vector<std::string>& truth_estimate,
+    const std::vector<double>& source_accuracy,
+    const CopyDetectionConfig& config);
+
+/// Pairwise independence probabilities: result[a][b] = P(a, b independent),
+/// symmetric, 1.0 on the diagonal and for unscored pairs.
+std::vector<std::vector<double>> IndependenceMatrix(
+    size_t num_sources, const std::vector<SourceDependence>& dependencies);
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_COPY_DETECTION_H_

@@ -1,0 +1,259 @@
+#include "bdi/fusion/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/string_util.h"
+#include "bdi/schema/units.h"
+
+namespace bdi::fusion {
+
+bool ValuesMatch(const std::string& a, const std::string& b,
+                 double numeric_tolerance) {
+  if (a == b) return true;
+  if (numeric_tolerance <= 0.0) return false;
+  double va = 0.0, vb = 0.0;
+  std::string ua, ub;
+  if (!ParseLeadingDouble(a, &va, &ua) || !ParseLeadingDouble(b, &vb, &ub)) {
+    return false;
+  }
+  if (ua != ub) return false;
+  double denominator = std::max({std::abs(va), std::abs(vb), 1e-9});
+  return std::abs(va - vb) / denominator <= numeric_tolerance;
+}
+
+bool ValuesMatchUnitTolerant(const std::string& a, const std::string& b,
+                             double numeric_tolerance) {
+  if (ValuesMatch(a, b, numeric_tolerance)) return true;
+  double va = 0.0, vb = 0.0;
+  std::string ua, ub;
+  if (!ParseLeadingDouble(a, &va, &ua) || !ParseLeadingDouble(b, &vb, &ub)) {
+    return false;
+  }
+  if (va <= 0.0 || vb <= 0.0) return false;
+  double snapped = schema::SnapScale(va / vb, numeric_tolerance + 0.01);
+  return snapped != 1.0 && schema::IsKnownUnitConversion(snapped);
+}
+
+FusionQuality EvaluateFusion(const ClaimDb& db, const FusionResult& result,
+                             const GroundTruth& truth,
+                             double numeric_tolerance) {
+  BDI_CHECK(result.chosen.size() == db.items().size());
+  FusionQuality quality;
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    const DataItem& item = db.items()[i];
+    if (item.entity < 0 ||
+        static_cast<size_t>(item.entity) >= truth.true_values.size()) {
+      continue;
+    }
+    const std::vector<std::string>& values = truth.true_values[item.entity];
+    if (item.attr < 0 || static_cast<size_t>(item.attr) >= values.size()) {
+      continue;
+    }
+    const std::string& expected = values[item.attr];
+    if (expected.empty()) continue;
+    ++quality.evaluated_items;
+    if (ValuesMatch(result.chosen[i], expected, numeric_tolerance)) {
+      ++quality.correct_items;
+    }
+  }
+  quality.precision =
+      quality.evaluated_items == 0
+          ? 0.0
+          : static_cast<double>(quality.correct_items) /
+                static_cast<double>(quality.evaluated_items);
+  return quality;
+}
+
+double AccuracyEstimationError(const FusionResult& result,
+                               const GroundTruth& truth) {
+  std::set<SourceId> copiers;
+  for (const CopyEdge& edge : truth.copy_edges) copiers.insert(edge.copier);
+  double total = 0.0;
+  size_t count = 0;
+  size_t n = std::min(result.source_accuracy.size(),
+                      truth.source_accuracy.size());
+  for (size_t s = 0; s < n; ++s) {
+    if (copiers.count(static_cast<SourceId>(s)) > 0) continue;
+    total += std::abs(result.source_accuracy[s] - truth.source_accuracy[s]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+CalibrationReport EvaluateCalibration(const ClaimDb& db,
+                                      const FusionResult& result,
+                                      const GroundTruth& truth,
+                                      size_t num_buckets,
+                                      double numeric_tolerance) {
+  BDI_CHECK(num_buckets >= 1);
+  CalibrationReport report;
+  report.buckets.resize(num_buckets);
+  std::vector<double> confidence_sum(num_buckets, 0.0);
+  std::vector<size_t> correct(num_buckets, 0);
+  for (size_t b = 0; b < num_buckets; ++b) {
+    report.buckets[b].lower =
+        static_cast<double>(b) / static_cast<double>(num_buckets);
+    report.buckets[b].upper =
+        static_cast<double>(b + 1) / static_cast<double>(num_buckets);
+  }
+  size_t total = 0;
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    const DataItem& item = db.items()[i];
+    if (item.entity < 0 ||
+        static_cast<size_t>(item.entity) >= truth.true_values.size() ||
+        item.attr < 0 ||
+        static_cast<size_t>(item.attr) >=
+            truth.true_values[item.entity].size()) {
+      continue;
+    }
+    const std::string& expected =
+        truth.true_values[item.entity][item.attr];
+    if (expected.empty()) continue;
+    double confidence = std::clamp(result.confidence[i], 0.0, 1.0);
+    size_t bucket = std::min(
+        num_buckets - 1,
+        static_cast<size_t>(confidence * static_cast<double>(num_buckets)));
+    ++report.buckets[bucket].items;
+    confidence_sum[bucket] += confidence;
+    if (ValuesMatch(result.chosen[i], expected, numeric_tolerance)) {
+      ++correct[bucket];
+    }
+    ++total;
+  }
+  double ece = 0.0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    CalibrationBucket& bucket = report.buckets[b];
+    if (bucket.items == 0) continue;
+    bucket.mean_confidence =
+        confidence_sum[b] / static_cast<double>(bucket.items);
+    bucket.empirical_accuracy = static_cast<double>(correct[b]) /
+                                static_cast<double>(bucket.items);
+    ece += static_cast<double>(bucket.items) *
+           std::abs(bucket.mean_confidence - bucket.empirical_accuracy);
+  }
+  report.expected_calibration_error =
+      total == 0 ? 0.0 : ece / static_cast<double>(total);
+  return report;
+}
+
+CopyDetectionQuality EvaluateCopyDetection(
+    const std::vector<SourceDependence>& dependencies,
+    const GroundTruth& truth, double threshold) {
+  CopyDetectionQuality quality;
+  std::set<std::pair<SourceId, SourceId>> true_pairs;
+  for (const CopyEdge& edge : truth.copy_edges) {
+    true_pairs.insert({std::min(edge.copier, edge.original),
+                       std::max(edge.copier, edge.original)});
+  }
+  quality.true_edges = true_pairs.size();
+  for (const SourceDependence& d : dependencies) {
+    if (d.probability < threshold) continue;
+    ++quality.detected;
+    if (true_pairs.count({std::min(d.a, d.b), std::max(d.a, d.b)}) > 0) {
+      ++quality.correct;
+    }
+  }
+  quality.precision = quality.detected == 0
+                          ? 0.0
+                          : static_cast<double>(quality.correct) /
+                                static_cast<double>(quality.detected);
+  quality.recall = quality.true_edges == 0
+                       ? 1.0
+                       : static_cast<double>(quality.correct) /
+                             static_cast<double>(quality.true_edges);
+  quality.f1 = quality.precision + quality.recall == 0.0
+                   ? 0.0
+                   : 2.0 * quality.precision * quality.recall /
+                         (quality.precision + quality.recall);
+  return quality;
+}
+
+PipelineMappings MapPipelineToTruth(const linkage::EntityClusters& clusters,
+                                    const schema::MediatedSchema& schema,
+                                    const GroundTruth& truth) {
+  PipelineMappings mappings;
+
+  // Majority entity per linkage cluster.
+  std::vector<std::unordered_map<EntityId, size_t>> entity_votes(
+      clusters.num_clusters);
+  for (size_t r = 0; r < clusters.label_of_record.size() &&
+                     r < truth.entity_of_record.size();
+       ++r) {
+    ++entity_votes[clusters.label_of_record[r]][truth.entity_of_record[r]];
+  }
+  mappings.entity_of_cluster.assign(clusters.num_clusters, kInvalidEntity);
+  for (size_t c = 0; c < clusters.num_clusters; ++c) {
+    size_t best = 0;
+    for (const auto& [entity, votes] : entity_votes[c]) {
+      if (votes > best) {
+        best = votes;
+        mappings.entity_of_cluster[c] = entity;
+      }
+    }
+  }
+
+  // Majority canonical attribute per schema cluster.
+  mappings.canonical_of_schema_cluster.assign(schema.clusters.size(), -1);
+  for (size_t c = 0; c < schema.clusters.size(); ++c) {
+    std::map<int, size_t> votes;
+    for (const SourceAttr& sa : schema.clusters[c]) {
+      auto it = truth.canonical_of_source_attr.find(sa);
+      if (it != truth.canonical_of_source_attr.end()) {
+        ++votes[it->second];
+      }
+    }
+    size_t best = 0;
+    for (const auto& [canonical, count] : votes) {
+      if (count > best) {
+        best = count;
+        mappings.canonical_of_schema_cluster[c] = canonical;
+      }
+    }
+  }
+  return mappings;
+}
+
+FusionQuality EvaluateFusionMapped(const ClaimDb& db,
+                                   const FusionResult& result,
+                                   const PipelineMappings& mappings,
+                                   const GroundTruth& truth,
+                                   double numeric_tolerance) {
+  BDI_CHECK(result.chosen.size() == db.items().size());
+  FusionQuality quality;
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    const DataItem& item = db.items()[i];
+    if (item.entity < 0 ||
+        static_cast<size_t>(item.entity) >=
+            mappings.entity_of_cluster.size() ||
+        item.attr < 0 ||
+        static_cast<size_t>(item.attr) >=
+            mappings.canonical_of_schema_cluster.size()) {
+      continue;
+    }
+    EntityId entity = mappings.entity_of_cluster[item.entity];
+    int canonical = mappings.canonical_of_schema_cluster[item.attr];
+    if (entity == kInvalidEntity || canonical < 0) continue;
+    const std::vector<std::string>& values = truth.true_values[entity];
+    if (static_cast<size_t>(canonical) >= values.size()) continue;
+    const std::string& expected = values[canonical];
+    if (expected.empty()) continue;
+    ++quality.evaluated_items;
+    if (ValuesMatchUnitTolerant(result.chosen[i], ToLower(expected),
+                                numeric_tolerance)) {
+      ++quality.correct_items;
+    }
+  }
+  quality.precision =
+      quality.evaluated_items == 0
+          ? 0.0
+          : static_cast<double>(quality.correct_items) /
+                static_cast<double>(quality.evaluated_items);
+  return quality;
+}
+
+}  // namespace bdi::fusion

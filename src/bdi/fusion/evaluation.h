@@ -1,0 +1,114 @@
+#ifndef BDI_FUSION_EVALUATION_H_
+#define BDI_FUSION_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/fusion/copy_detection.h"
+#include "bdi/fusion/fusion.h"
+#include "bdi/linkage/clustering.h"
+#include "bdi/model/ground_truth.h"
+#include "bdi/schema/mediated_schema.h"
+
+namespace bdi::fusion {
+
+/// Correctness of resolved values on items whose truth is known.
+struct FusionQuality {
+  double precision = 0.0;
+  size_t evaluated_items = 0;
+  size_t correct_items = 0;
+};
+
+/// Value comparison used throughout fusion evaluation: exact string match,
+/// or — when both parse as numbers — relative difference <= tolerance.
+bool ValuesMatch(const std::string& a, const std::string& b,
+                 double numeric_tolerance);
+
+/// Like ValuesMatch but additionally accepts numeric values that agree
+/// after a known unit conversion (cm vs inch, g vs oz, ...). The pipeline
+/// normalizes each attribute cluster to its *dominant published* unit,
+/// which can legitimately differ from the ground truth's unit; a value
+/// that is exactly the truth in another unit is correct information.
+bool ValuesMatchUnitTolerant(const std::string& a, const std::string& b,
+                             double numeric_tolerance);
+
+/// Evaluates a result over a ClaimDb built with ClaimDb::FromGroundTruth
+/// (item ids are truth entity ids / canonical attribute indices).
+FusionQuality EvaluateFusion(const ClaimDb& db, const FusionResult& result,
+                             const GroundTruth& truth,
+                             double numeric_tolerance = 0.01);
+
+/// Mean absolute error of the estimated source accuracies against the
+/// generator's configured accuracies, over independent (non-copier)
+/// sources.
+double AccuracyEstimationError(const FusionResult& result,
+                               const GroundTruth& truth);
+
+/// One bucket of a reliability diagram: items whose reported confidence
+/// fell into [lower, upper), their mean confidence, and the fraction that
+/// were actually correct. A calibrated model has accuracy ≈ confidence in
+/// every bucket.
+struct CalibrationBucket {
+  double lower = 0.0;
+  double upper = 0.0;
+  double mean_confidence = 0.0;
+  double empirical_accuracy = 0.0;
+  size_t items = 0;
+};
+
+struct CalibrationReport {
+  std::vector<CalibrationBucket> buckets;
+  /// Expected calibration error: item-weighted mean |confidence - accuracy|.
+  double expected_calibration_error = 0.0;
+};
+
+/// Buckets a truth-keyed fusion result's confidences against correctness
+/// (ground-truth-built ClaimDb, like EvaluateFusion).
+CalibrationReport EvaluateCalibration(const ClaimDb& db,
+                                      const FusionResult& result,
+                                      const GroundTruth& truth,
+                                      size_t num_buckets = 10,
+                                      double numeric_tolerance = 0.01);
+
+/// Copy-detection quality: an unordered pair counts as detected when its
+/// dependence probability >= threshold; truth pairs are the generator's
+/// copy edges.
+struct CopyDetectionQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t detected = 0;
+  size_t true_edges = 0;
+  size_t correct = 0;
+};
+
+CopyDetectionQuality EvaluateCopyDetection(
+    const std::vector<SourceDependence>& dependencies,
+    const GroundTruth& truth, double threshold = 0.5);
+
+/// Majority mappings from pipeline ids to truth ids, for evaluating fusion
+/// over a ClaimDb built with ClaimDb::FromPipeline.
+struct PipelineMappings {
+  /// linkage cluster -> majority truth entity (kInvalidEntity if empty).
+  std::vector<EntityId> entity_of_cluster;
+  /// mediated-schema cluster -> majority canonical attribute (-1 if none).
+  std::vector<int> canonical_of_schema_cluster;
+};
+
+PipelineMappings MapPipelineToTruth(const linkage::EntityClusters& clusters,
+                                    const schema::MediatedSchema& schema,
+                                    const GroundTruth& truth);
+
+/// Evaluates a pipeline-built ClaimDb result by translating item ids
+/// through the majority mappings. Items whose cluster maps to no entity or
+/// whose attribute maps to no canonical attribute are skipped (they still
+/// dilute end-to-end recall, reported separately by the caller).
+FusionQuality EvaluateFusionMapped(const ClaimDb& db,
+                                   const FusionResult& result,
+                                   const PipelineMappings& mappings,
+                                   const GroundTruth& truth,
+                                   double numeric_tolerance = 0.02);
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_EVALUATION_H_

@@ -1,0 +1,72 @@
+#include "bdi/fusion/fusion.h"
+
+#include <map>
+
+#include "bdi/common/logging.h"
+
+namespace bdi::fusion {
+
+namespace {
+
+/// Picks the max-weight value (lexicographically smallest among ties) and
+/// its share of the total weight.
+std::pair<std::string, double> ArgmaxValue(
+    const std::map<std::string, double>& weights) {
+  std::string best;
+  double best_weight = -1.0, total = 0.0;
+  for (const auto& [value, weight] : weights) {
+    total += weight;
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = value;
+    }
+  }
+  double share = total > 0.0 ? best_weight / total : 0.0;
+  return {best, share};
+}
+
+FusionResult ResolveByWeights(const ClaimDb& db,
+                              const std::vector<double>& source_weight) {
+  FusionResult result;
+  result.chosen.resize(db.items().size());
+  result.confidence.resize(db.items().size(), 0.0);
+  std::vector<double> agree(db.num_sources(), 0.0);
+  std::vector<double> seen(db.num_sources(), 0.0);
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    const DataItem& item = db.items()[i];
+    std::map<std::string, double> weights;
+    for (const Claim& claim : item.claims) {
+      double w = claim.source < static_cast<SourceId>(source_weight.size())
+                     ? source_weight[claim.source]
+                     : 1.0;
+      weights[claim.value] += w;
+    }
+    auto [best, share] = ArgmaxValue(weights);
+    result.chosen[i] = best;
+    result.confidence[i] = share;
+    for (const Claim& claim : item.claims) {
+      seen[claim.source] += 1.0;
+      if (claim.value == best) agree[claim.source] += 1.0;
+    }
+  }
+  result.source_accuracy.resize(db.num_sources(), 0.0);
+  for (size_t s = 0; s < db.num_sources(); ++s) {
+    result.source_accuracy[s] = seen[s] > 0.0 ? agree[s] / seen[s] : 0.0;
+  }
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace
+
+FusionResult VoteFusion::Resolve(const ClaimDb& db) const {
+  return ResolveByWeights(db, std::vector<double>(db.num_sources(), 1.0));
+}
+
+FusionResult WeightedVoteFusion::Resolve(const ClaimDb& db) const {
+  BDI_CHECK(weights_.size() >= db.num_sources())
+      << "weighted vote needs one weight per source";
+  return ResolveByWeights(db, weights_);
+}
+
+}  // namespace bdi::fusion

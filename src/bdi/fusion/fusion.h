@@ -1,0 +1,51 @@
+#ifndef BDI_FUSION_FUSION_H_
+#define BDI_FUSION_FUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/fusion/claims.h"
+
+namespace bdi::fusion {
+
+/// Output of a fusion method: one resolved value per ClaimDb item (parallel
+/// to ClaimDb::items()) plus the model's source-quality estimates.
+struct FusionResult {
+  std::vector<std::string> chosen;      ///< "" when an item had no claims
+  std::vector<double> confidence;       ///< probability of the chosen value
+  std::vector<double> source_accuracy;  ///< estimated, one per source
+  int iterations = 0;
+};
+
+/// Truth-discovery interface: resolve every item of a claim database.
+class FusionMethod {
+ public:
+  virtual ~FusionMethod() = default;
+  virtual FusionResult Resolve(const ClaimDb& db) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Majority vote; ties broken lexicographically (deterministic). Source
+/// accuracy estimates are the post-hoc agreement rates with the vote.
+class VoteFusion : public FusionMethod {
+ public:
+  FusionResult Resolve(const ClaimDb& db) const override;
+  std::string name() const override { return "vote"; }
+};
+
+/// Vote with fixed external source weights (e.g. from a quality oracle).
+class WeightedVoteFusion : public FusionMethod {
+ public:
+  explicit WeightedVoteFusion(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  FusionResult Resolve(const ClaimDb& db) const override;
+  std::string name() const override { return "weighted-vote"; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_FUSION_H_

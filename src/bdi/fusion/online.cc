@@ -1,0 +1,124 @@
+#include "bdi/fusion/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "bdi/common/logging.h"
+
+namespace bdi::fusion {
+
+OnlineFusionResult ResolveOnline(const ClaimDb& db,
+                                 const std::vector<double>& source_accuracy,
+                                 const OnlineFusionConfig& config) {
+  BDI_CHECK(source_accuracy.size() >= db.num_sources());
+  OnlineFusionResult result;
+  result.chosen.resize(db.items().size());
+  result.confidence.resize(db.items().size(), 0.0);
+  result.probes.resize(db.items().size(), 0);
+
+  // Per-source log-odds vote weight.
+  std::vector<double> weight(db.num_sources(), 0.0);
+  for (size_t s = 0; s < db.num_sources(); ++s) {
+    double accuracy = std::clamp(source_accuracy[s], config.min_accuracy,
+                                 config.max_accuracy);
+    weight[s] =
+        std::log(config.n_false_values * accuracy / (1.0 - accuracy));
+  }
+
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    const DataItem& item = db.items()[i];
+    result.total_claims += item.claims.size();
+    if (item.claims.empty()) continue;
+
+    // Probe order: descending estimated accuracy.
+    std::vector<size_t> order(item.claims.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+      double ax = source_accuracy[item.claims[x].source];
+      double ay = source_accuracy[item.claims[y].source];
+      if (ax != ay) return ax > ay;
+      return item.claims[x].source < item.claims[y].source;
+    });
+
+    // Worst-case remaining mass (every unprobed source agrees on one
+    // value) drives the exact early-termination test; the *expected*
+    // adversarial mass (each unprobed source lands on a particular wrong
+    // value with probability (1-a)/n) drives the confidence bar — that is
+    // what lets a lower bar stop earlier at some risk.
+    double remaining = 0.0;
+    double expected_false = 0.0;
+    for (const Claim& claim : item.claims) {
+      double w = std::max(0.0, weight[claim.source]);
+      remaining += w;
+      double accuracy = std::clamp(source_accuracy[claim.source],
+                                   config.min_accuracy,
+                                   config.max_accuracy);
+      expected_false +=
+          w * (1.0 - accuracy) / std::max(1.0, config.n_false_values);
+    }
+
+    std::map<std::string, double> score;
+    size_t probed = 0;
+    std::string leader;
+    double leader_confidence = 0.0;
+    for (size_t k = 0; k < order.size(); ++k) {
+      const Claim& claim = item.claims[order[k]];
+      double w = std::max(0.0, weight[claim.source]);
+      remaining -= w;
+      double claim_accuracy = std::clamp(source_accuracy[claim.source],
+                                         config.min_accuracy,
+                                         config.max_accuracy);
+      expected_false -=
+          w * (1.0 - claim_accuracy) / std::max(1.0, config.n_false_values);
+      score[claim.value] += weight[claim.source];
+      ++probed;
+
+      // Posterior over observed values PLUS a virtual challenger: the
+      // strongest value the still-unprobed sources could yet assemble.
+      // Without it, the first probe would trivially have confidence 1.
+      // Top two scores (a tied runner-up must count: a leader sharing its
+      // score with another value is not unassailable).
+      double max_score = -1e300;
+      double second_best = -1e300;
+      for (const auto& [value, s] : score) {
+        if (s > max_score) {
+          second_best = max_score;
+          max_score = s;
+        } else if (s > second_best) {
+          second_best = s;
+        }
+      }
+      double challenger_base =
+          second_best == -1e300 ? 0.0 : std::max(second_best, 0.0);
+      double challenger = challenger_base + std::max(0.0, expected_false);
+      double worst_case_challenger = challenger_base + remaining;
+      double z = std::exp(challenger - std::max(challenger, max_score));
+      double reference = std::max(challenger, max_score);
+      for (const auto& [value, s] : score) {
+        if (s == second_best && second_best != -1e300) continue;  // folded
+        z += std::exp(s - reference);
+      }
+      leader_confidence = -1.0;
+      for (const auto& [value, s] : score) {
+        double p = std::exp(s - reference) / z;
+        if (p > leader_confidence) {
+          leader_confidence = p;
+          leader = value;
+        }
+      }
+      if (leader_confidence >= config.confidence_stop) break;
+      if (config.early_termination && max_score > worst_case_challenger) {
+        break;
+      }
+    }
+    result.chosen[i] = leader;
+    result.confidence[i] = leader_confidence;
+    result.probes[i] = probed;
+    result.total_probes += probed;
+  }
+  return result;
+}
+
+}  // namespace bdi::fusion

@@ -1,0 +1,83 @@
+#include "bdi/fusion/truthfinder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bdi/fusion/accu.h"
+
+namespace bdi::fusion {
+
+FusionResult TruthFinderFusion::Resolve(const ClaimDb& db) const {
+  const std::vector<DataItem>& items = db.items();
+  size_t num_sources = db.num_sources();
+  FusionResult result;
+  result.chosen.resize(items.size());
+  result.confidence.resize(items.size(), 0.0);
+  result.source_accuracy.assign(num_sources, config_.initial_trust);
+
+  std::vector<double> next_trust(num_sources, 0.0);
+  std::vector<double> claim_count(num_sources, 0.0);
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::fill(next_trust.begin(), next_trust.end(), 0.0);
+    std::fill(claim_count.begin(), claim_count.end(), 0.0);
+
+    for (size_t i = 0; i < items.size(); ++i) {
+      const DataItem& item = items[i];
+      if (item.claims.empty()) continue;
+
+      // sigma(v) = sum of tau(s) = -ln(1 - t(s)) over supporting sources.
+      std::map<std::string, double> sigma;
+      for (const Claim& claim : item.claims) {
+        double trust = std::clamp(result.source_accuracy[claim.source],
+                                  config_.min_trust, config_.max_trust);
+        sigma[claim.value] += -std::log(1.0 - trust);
+      }
+      // Similarity adjustment.
+      std::map<std::string, double> adjusted;
+      for (const auto& [value, s] : sigma) {
+        double boost = 0.0;
+        for (const auto& [other, other_sigma] : sigma) {
+          if (other == value) continue;
+          boost += ClaimValueSimilarity(value, other) * other_sigma;
+        }
+        adjusted[value] = s + config_.rho * boost;
+      }
+      // Confidence via dampened logistic.
+      std::string best;
+      double best_confidence = -1.0;
+      std::map<std::string, double> confidence;
+      for (const auto& [value, s] : adjusted) {
+        double c = 1.0 / (1.0 + std::exp(-config_.gamma * s));
+        confidence[value] = c;
+        if (c > best_confidence) {
+          best_confidence = c;
+          best = value;
+        }
+      }
+      result.chosen[i] = best;
+      result.confidence[i] = best_confidence;
+
+      for (const Claim& claim : item.claims) {
+        next_trust[claim.source] += confidence[claim.value];
+        claim_count[claim.source] += 1.0;
+      }
+    }
+
+    double max_delta = 0.0;
+    for (size_t s = 0; s < num_sources; ++s) {
+      double updated = claim_count[s] > 0.0 ? next_trust[s] / claim_count[s]
+                                            : config_.initial_trust;
+      updated = std::clamp(updated, config_.min_trust, config_.max_trust);
+      max_delta = std::max(max_delta,
+                           std::abs(updated - result.source_accuracy[s]));
+      result.source_accuracy[s] = updated;
+    }
+    if (max_delta < config_.epsilon) break;
+  }
+  return result;
+}
+
+}  // namespace bdi::fusion

@@ -1,0 +1,37 @@
+#ifndef BDI_FUSION_TRUTHFINDER_H_
+#define BDI_FUSION_TRUTHFINDER_H_
+
+#include "bdi/fusion/fusion.h"
+
+namespace bdi::fusion {
+
+struct TruthFinderConfig {
+  double initial_trust = 0.9;
+  int max_iterations = 20;
+  double epsilon = 1e-4;
+  /// Influence of similar values on each other's confidence.
+  double rho = 0.3;
+  /// Dampening factor in the logistic confidence transform.
+  double gamma = 0.3;
+  double min_trust = 0.01;
+  double max_trust = 0.99;
+};
+
+/// TruthFinder (Yin, Han, Yu, KDD'07): iteratively propagates source
+/// trustworthiness to value confidence (with inter-value similarity
+/// influence) and back.
+class TruthFinderFusion : public FusionMethod {
+ public:
+  explicit TruthFinderFusion(const TruthFinderConfig& config = {})
+      : config_(config) {}
+
+  FusionResult Resolve(const ClaimDb& db) const override;
+  std::string name() const override { return "truthfinder"; }
+
+ private:
+  TruthFinderConfig config_;
+};
+
+}  // namespace bdi::fusion
+
+#endif  // BDI_FUSION_TRUTHFINDER_H_

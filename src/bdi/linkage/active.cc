@@ -1,0 +1,148 @@
+#include "bdi/linkage/active.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bdi/common/random.h"
+
+namespace bdi::linkage {
+
+namespace {
+
+struct LabeledPool {
+  std::vector<PairFeatures> features;
+  std::vector<int> labels;
+};
+
+/// Trains on the pool with the minority class oversampled to roughly 1:1;
+/// candidate pools are heavily match-poor and a plain fit collapses to the
+/// all-negative model.
+void TrainBalanced(const LabeledPool& pool, int epochs,
+                   LearnedScorer* scorer, double learning_rate = 0.5) {
+  size_t positives = 0;
+  for (int label : pool.labels) positives += static_cast<size_t>(label);
+  size_t negatives = pool.labels.size() - positives;
+  std::vector<PairFeatures> features = pool.features;
+  std::vector<int> labels = pool.labels;
+  if (positives > 0 && negatives > 0) {
+    size_t minority_label = positives < negatives ? 1 : 0;
+    size_t minority = std::min(positives, negatives);
+    size_t majority = std::max(positives, negatives);
+    size_t copies = majority / minority;  // additional repetitions
+    for (size_t copy = 1; copy < copies; ++copy) {
+      for (size_t i = 0; i < pool.labels.size(); ++i) {
+        if (static_cast<size_t>(pool.labels[i]) == minority_label) {
+          features.push_back(pool.features[i]);
+          labels.push_back(pool.labels[i]);
+        }
+      }
+    }
+  }
+  // Warm start: keep the previous weights and continue SGD on the grown
+  // pool (a fresh fit each round makes the label-efficiency curve jitter).
+  scorer->Train(features, labels, epochs, learning_rate);
+}
+
+void QueryAndAdd(const FeatureExtractor& extractor,
+                 const std::vector<CandidatePair>& candidates, size_t index,
+                 const LabelOracle& oracle, LabeledPool* pool,
+                 ActiveLearningResult* result) {
+  const CandidatePair& pair = candidates[index];
+  pool->features.push_back(extractor.Extract(pair.a, pair.b));
+  pool->labels.push_back(oracle(pair));
+  result->queried.push_back(pair);
+  ++result->labels_used;
+}
+
+}  // namespace
+
+ActiveLearningResult TrainActively(
+    const FeatureExtractor& extractor,
+    const std::vector<CandidatePair>& candidates, const LabelOracle& oracle,
+    const ActiveLearningConfig& config) {
+  ActiveLearningResult result;
+  if (candidates.empty()) return result;
+  Rng rng(config.seed);
+  LabeledPool pool;
+  std::vector<bool> labeled(candidates.size(), false);
+
+  // Seed round: half random pairs, half likely positives (top heuristic
+  // similarity) so the first model sees both classes — candidate pools
+  // are dominated by non-matches.
+  size_t heuristic_seeds = config.seed_labels / 2;
+  if (heuristic_seeds > 0) {
+    std::vector<std::pair<double, size_t>> ranked;
+    ranked.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      PairFeatures features =
+          extractor.Extract(candidates[i].a, candidates[i].b);
+      ranked.emplace_back(
+          features.id_exact + features.name_similarity, i);
+    }
+    size_t take = std::min(heuristic_seeds, ranked.size());
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<long>(take),
+                      ranked.end(), std::greater<>());
+    for (size_t k = 0; k < take; ++k) {
+      labeled[ranked[k].second] = true;
+      QueryAndAdd(extractor, candidates, ranked[k].second, oracle, &pool,
+                  &result);
+    }
+  }
+  std::vector<size_t> permutation =
+      rng.SampleWithoutReplacement(candidates.size(), candidates.size());
+  for (size_t index : permutation) {
+    if (pool.labels.size() >= config.seed_labels) break;
+    if (labeled[index]) continue;
+    labeled[index] = true;
+    QueryAndAdd(extractor, candidates, index, oracle, &pool, &result);
+  }
+  TrainBalanced(pool, config.train_epochs, &result.scorer);
+
+  for (size_t round = 0; round < config.rounds; ++round) {
+    // Uncertainty sampling: the unlabeled pairs with score closest to the
+    // decision boundary.
+    std::vector<std::pair<double, size_t>> uncertainty;
+    uncertainty.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (labeled[i]) continue;
+      double score = result.scorer.Score(
+          extractor.Extract(candidates[i].a, candidates[i].b));
+      uncertainty.emplace_back(std::abs(score - 0.5), i);
+    }
+    if (uncertainty.empty()) break;
+    size_t take = std::min(config.batch_size, uncertainty.size());
+    std::partial_sort(uncertainty.begin(),
+                      uncertainty.begin() + static_cast<long>(take),
+                      uncertainty.end());
+    for (size_t k = 0; k < take; ++k) {
+      size_t index = uncertainty[k].second;
+      labeled[index] = true;
+      QueryAndAdd(extractor, candidates, index, oracle, &pool, &result);
+    }
+    // Later rounds refine with a gentler step so one boundary batch
+    // cannot fling the weights.
+    TrainBalanced(pool, config.train_epochs, &result.scorer, 0.15);
+  }
+  return result;
+}
+
+ActiveLearningResult TrainRandomly(
+    const FeatureExtractor& extractor,
+    const std::vector<CandidatePair>& candidates, const LabelOracle& oracle,
+    const ActiveLearningConfig& config) {
+  ActiveLearningResult result;
+  if (candidates.empty()) return result;
+  Rng rng(config.seed);
+  LabeledPool pool;
+  size_t budget = config.seed_labels + config.batch_size * config.rounds;
+  for (size_t index :
+       rng.SampleWithoutReplacement(candidates.size(), budget)) {
+    QueryAndAdd(extractor, candidates, index, oracle, &pool, &result);
+  }
+  TrainBalanced(pool, config.train_epochs, &result.scorer);
+  return result;
+}
+
+}  // namespace bdi::linkage

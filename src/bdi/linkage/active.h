@@ -1,0 +1,52 @@
+#ifndef BDI_LINKAGE_ACTIVE_H_
+#define BDI_LINKAGE_ACTIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bdi/linkage/matcher.h"
+
+namespace bdi::linkage {
+
+/// Active learning for the pairwise matcher (the humans-in-the-loop story):
+/// instead of labeling a random sample of candidate pairs, repeatedly ask
+/// the oracle about the pairs the current model is least certain about
+/// (uncertainty sampling), retraining after each batch. Reaches a given
+/// linkage quality with far fewer labels than random sampling.
+struct ActiveLearningConfig {
+  /// Labeled pairs requested per round.
+  size_t batch_size = 20;
+  size_t rounds = 10;
+  /// Random pairs labeled up-front to give the first model signal.
+  size_t seed_labels = 20;
+  uint64_t seed = 13;
+  int train_epochs = 40;
+};
+
+/// Answers 1 (match) / 0 (non-match) for a candidate pair.
+using LabelOracle = std::function<int(const CandidatePair&)>;
+
+struct ActiveLearningResult {
+  LearnedScorer scorer;
+  size_t labels_used = 0;
+  /// Pairs labeled, in query order (diagnostics).
+  std::vector<CandidatePair> queried;
+};
+
+/// Trains a LearnedScorer over `candidates` with uncertainty sampling.
+/// `extractor` must cover every record referenced by the candidates.
+ActiveLearningResult TrainActively(const FeatureExtractor& extractor,
+                                   const std::vector<CandidatePair>& candidates,
+                                   const LabelOracle& oracle,
+                                   const ActiveLearningConfig& config = {});
+
+/// Baseline: the same budget spent on uniformly random pairs.
+ActiveLearningResult TrainRandomly(const FeatureExtractor& extractor,
+                                   const std::vector<CandidatePair>& candidates,
+                                   const LabelOracle& oracle,
+                                   const ActiveLearningConfig& config = {});
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_ACTIVE_H_

@@ -1,0 +1,93 @@
+#include "bdi/linkage/attr_roles.h"
+
+#include <cctype>
+
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::linkage {
+
+namespace {
+
+struct ValueShape {
+  double avg_tokens = 0.0;
+  double single_token_fraction = 0.0;
+  double digit_bearing_fraction = 0.0;  // tokens containing a digit
+  double avg_length = 0.0;
+  double space_fraction = 0.0;  // values containing whitespace
+};
+
+ValueShape ShapeOf(const schema::AttrProfile& profile) {
+  ValueShape shape;
+  if (profile.sample_values.empty()) return shape;
+  size_t token_total = 0, single = 0, digit_bearing = 0, length_total = 0,
+         with_space = 0;
+  for (const std::string& value : profile.sample_values) {
+    std::vector<std::string> tokens = text::WordTokens(value);
+    token_total += tokens.size();
+    if (tokens.size() == 1) ++single;
+    if (value.find(' ') != std::string::npos) ++with_space;
+    bool has_digit = false;
+    for (char c : value) {
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        has_digit = true;
+        break;
+      }
+    }
+    if (has_digit) ++digit_bearing;
+    length_total += value.size();
+  }
+  double n = static_cast<double>(profile.sample_values.size());
+  shape.avg_tokens = static_cast<double>(token_total) / n;
+  shape.single_token_fraction = static_cast<double>(single) / n;
+  shape.digit_bearing_fraction = static_cast<double>(digit_bearing) / n;
+  shape.avg_length = static_cast<double>(length_total) / n;
+  shape.space_fraction = static_cast<double>(with_space) / n;
+  return shape;
+}
+
+}  // namespace
+
+AttrRoles AttrRoles::Detect(const schema::AttributeStatistics& stats) {
+  AttrRoles roles;
+  for (const schema::AttrProfile& profile : stats.profiles()) {
+    if (profile.num_values < 2) continue;
+    double distinct_ratio =
+        static_cast<double>(profile.num_distinct) /
+        static_cast<double>(profile.num_values);
+    ValueShape shape = ShapeOf(profile);
+
+    // Identifier: nearly unique, single-token, digit-bearing, short-ish,
+    // and not a plain number column (those have short all-digit values with
+    // lots of repeats handled by distinct_ratio anyway).
+    if (distinct_ratio > 0.85 && shape.single_token_fraction > 0.85 &&
+        shape.digit_bearing_fraction > 0.8 && shape.avg_length >= 4 &&
+        shape.avg_length <= 24 && profile.numeric_fraction < 0.5) {
+      roles.roles_[profile.id] = AttrRole::kIdentifier;
+      roles.has_identifier_ = true;
+      continue;
+    }
+    // Name: multi-token *whitespace-separated* text, mostly distinct, not
+    // numeric. The whitespace requirement keeps categorical codes like
+    // "color_v3" (which word-tokenize into two tokens) out of the name
+    // role even on small samples.
+    if (shape.avg_tokens >= 2.0 && shape.space_fraction >= 0.5 &&
+        distinct_ratio > 0.6 && profile.numeric_fraction < 0.3) {
+      roles.roles_[profile.id] = AttrRole::kName;
+      roles.has_name_ = true;
+    }
+  }
+  return roles;
+}
+
+AttrRole AttrRoles::RoleOf(const SourceAttr& sa) const {
+  auto it = roles_.find(sa);
+  return it == roles_.end() ? AttrRole::kOther : it->second;
+}
+
+bool AttrRoles::HasRole(AttrRole role) const {
+  if (role == AttrRole::kName) return has_name_;
+  if (role == AttrRole::kIdentifier) return has_identifier_;
+  return true;
+}
+
+}  // namespace bdi::linkage

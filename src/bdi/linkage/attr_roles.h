@@ -1,0 +1,42 @@
+#ifndef BDI_LINKAGE_ATTR_ROLES_H_
+#define BDI_LINKAGE_ATTR_ROLES_H_
+
+#include <unordered_map>
+
+#include "bdi/model/dataset.h"
+#include "bdi/model/types.h"
+#include "bdi/schema/attribute_stats.h"
+
+namespace bdi::linkage {
+
+/// Role an attribute plays for linkage purposes.
+enum class AttrRole {
+  kOther = 0,
+  kName,        ///< free-text display name / title
+  kIdentifier,  ///< publishable entity identifier (sku / mpn / id)
+};
+
+/// Unsupervised detection of name-like and identifier-like attributes from
+/// value statistics (no ground truth): identifiers are near-unique
+/// single-token digit-bearing strings; names are multi-token, mostly
+/// distinct, mostly non-numeric strings. This operationalizes the
+/// tutorial's "products are named entities that publish identifiers"
+/// opportunity without a hand-built schema.
+class AttrRoles {
+ public:
+  static AttrRoles Detect(const schema::AttributeStatistics& stats);
+
+  AttrRole RoleOf(const SourceAttr& sa) const;
+
+  /// True if at least one attribute of the given role was detected.
+  bool HasRole(AttrRole role) const;
+
+ private:
+  std::unordered_map<SourceAttr, AttrRole, SourceAttrHash> roles_;
+  bool has_name_ = false;
+  bool has_identifier_ = false;
+};
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_ATTR_ROLES_H_

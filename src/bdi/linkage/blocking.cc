@@ -1,0 +1,229 @@
+#include "bdi/linkage/blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "bdi/common/string_util.h"
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::linkage {
+
+namespace {
+
+/// Concatenated values of the record's fields with the wanted role; all
+/// fields when roles are missing or the record has none with that role.
+std::string RoleText(const Dataset& dataset, RecordIdx idx,
+                     const AttrRoles* roles, AttrRole wanted) {
+  const Record& record = dataset.record(idx);
+  std::string text;
+  if (roles != nullptr) {
+    for (const Field& field : record.fields) {
+      if (roles->RoleOf(SourceAttr{record.source, field.attr}) == wanted) {
+        text += field.value;
+        text += ' ';
+      }
+    }
+    if (!text.empty()) return text;
+  }
+  for (const Field& field : record.fields) {
+    text += field.value;
+    text += ' ';
+  }
+  return text;
+}
+
+std::vector<Block> IndexToBlocks(
+    std::unordered_map<std::string, std::vector<RecordIdx>>&& index,
+    size_t max_block_size) {
+  std::vector<Block> blocks;
+  blocks.reserve(index.size());
+  for (auto& [key, members] : index) {
+    if (members.size() < 2 || members.size() > max_block_size) continue;
+    blocks.push_back(Block{key, std::move(members)});
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.key < b.key; });
+  return blocks;
+}
+
+}  // namespace
+
+std::vector<Block> Blocker::MakeBlocksAll(const Dataset& dataset,
+                                          const AttrRoles* roles) const {
+  std::vector<RecordIdx> all;
+  all.reserve(dataset.num_records());
+  for (const Record& r : dataset.records()) all.push_back(r.idx);
+  return MakeBlocks(dataset, all, roles);
+}
+
+std::vector<Block> TokenBlocker::MakeBlocks(
+    const Dataset& dataset, const std::vector<RecordIdx>& records,
+    const AttrRoles* roles) const {
+  std::unordered_map<std::string, std::vector<RecordIdx>> index;
+  for (RecordIdx idx : records) {
+    std::string text = RoleText(dataset, idx, roles, AttrRole::kName);
+    for (const std::string& token : text::TokenSet(text)) {
+      if (token.size() < min_token_len_) continue;
+      index[token].push_back(idx);
+    }
+  }
+  return IndexToBlocks(std::move(index), max_block_size_);
+}
+
+std::vector<Block> IdentifierBlocker::MakeBlocks(
+    const Dataset& dataset, const std::vector<RecordIdx>& records,
+    const AttrRoles* roles) const {
+  std::unordered_map<std::string, std::vector<RecordIdx>> index;
+  for (RecordIdx idx : records) {
+    std::string text = RoleText(dataset, idx, roles, AttrRole::kIdentifier);
+    for (const std::string& token : text::IdentifierTokens(text, min_len_)) {
+      index[token].push_back(idx);
+    }
+  }
+  return IndexToBlocks(std::move(index), max_block_size_);
+}
+
+std::vector<Block> SortedNeighborhoodBlocker::MakeBlocks(
+    const Dataset& dataset, const std::vector<RecordIdx>& records,
+    const AttrRoles* roles) const {
+  std::vector<std::pair<std::string, RecordIdx>> keyed;
+  keyed.reserve(records.size());
+  for (RecordIdx idx : records) {
+    std::string text = RoleText(dataset, idx, roles, AttrRole::kName);
+    std::vector<std::string> tokens = text::TokenSet(text);
+    keyed.emplace_back(Join(tokens, " "), idx);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Block> blocks;
+  if (keyed.size() < 2) return blocks;
+  size_t window = std::max<size_t>(2, window_size_);
+  for (size_t i = 0; i + 1 < keyed.size(); ++i) {
+    Block block;
+    block.key = "w" + std::to_string(i);
+    size_t end = std::min(keyed.size(), i + window);
+    for (size_t j = i; j < end; ++j) {
+      block.records.push_back(keyed[j].second);
+    }
+    if (block.records.size() >= 2) blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+std::vector<Block> CanopyBlocker::MakeBlocks(
+    const Dataset& dataset, const std::vector<RecordIdx>& records,
+    const AttrRoles* roles) const {
+  // Token sets + inverted index.
+  std::vector<std::vector<std::string>> tokens(records.size());
+  std::unordered_map<std::string, std::vector<size_t>> inverted;
+  for (size_t i = 0; i < records.size(); ++i) {
+    tokens[i] = text::TokenSet(
+        RoleText(dataset, records[i], roles, AttrRole::kName));
+    for (const std::string& t : tokens[i]) {
+      inverted[t].push_back(i);
+    }
+  }
+  std::vector<bool> covered(records.size(), false);
+  std::vector<Block> blocks;
+  for (size_t seed = 0; seed < records.size(); ++seed) {
+    if (covered[seed] || tokens[seed].empty()) continue;
+    // Count shared tokens with records appearing in the seed's postings.
+    std::unordered_map<size_t, size_t> overlap;
+    for (const std::string& t : tokens[seed]) {
+      for (size_t j : inverted[t]) ++overlap[j];
+    }
+    Block block;
+    block.key = "canopy" + std::to_string(seed);
+    for (const auto& [j, shared] : overlap) {
+      double fraction = static_cast<double>(shared) /
+                        static_cast<double>(tokens[seed].size());
+      if (fraction >= t_loose_) {
+        block.records.push_back(records[j]);
+        covered[j] = true;
+      }
+      if (block.records.size() >= max_block_size_) break;
+    }
+    if (block.records.size() >= 2) {
+      std::sort(block.records.begin(), block.records.end());
+      blocks.push_back(std::move(block));
+    }
+  }
+  return blocks;
+}
+
+std::vector<CandidatePair> BlocksToPairs(const Dataset& dataset,
+                                         const std::vector<Block>& blocks,
+                                         bool allow_same_source) {
+  std::vector<CandidatePair> pairs;
+  for (const Block& block : blocks) {
+    for (size_t i = 0; i < block.records.size(); ++i) {
+      for (size_t j = i + 1; j < block.records.size(); ++j) {
+        RecordIdx a = block.records[i], b = block.records[j];
+        if (a == b) continue;
+        if (!allow_same_source &&
+            dataset.record(a).source == dataset.record(b).source) {
+          continue;
+        }
+        if (a > b) std::swap(a, b);
+        pairs.push_back(CandidatePair{a, b});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+BlockingQuality EvaluateBlocking(const Dataset& dataset,
+                                 const std::vector<CandidatePair>& candidates,
+                                 const std::vector<EntityId>& truth_labels,
+                                 bool allow_same_source) {
+  BlockingQuality quality;
+  quality.num_candidates = candidates.size();
+
+  // True comparable pairs per entity: all pairs minus same-source pairs
+  // (unless those are allowed).
+  std::unordered_map<EntityId, std::vector<RecordIdx>> by_entity;
+  for (size_t i = 0; i < truth_labels.size(); ++i) {
+    by_entity[truth_labels[i]].push_back(static_cast<RecordIdx>(i));
+  }
+  auto comparable_pairs = [&](const std::vector<RecordIdx>& members) {
+    size_t n = members.size();
+    size_t total = n * (n - 1) / 2;
+    if (allow_same_source) return total;
+    std::unordered_map<SourceId, size_t> per_source;
+    for (RecordIdx r : members) ++per_source[dataset.record(r).source];
+    for (const auto& [src, k] : per_source) total -= k * (k - 1) / 2;
+    return total;
+  };
+  for (const auto& [entity, members] : by_entity) {
+    quality.num_true_pairs += comparable_pairs(members);
+  }
+
+  for (const CandidatePair& pair : candidates) {
+    if (truth_labels[pair.a] == truth_labels[pair.b]) {
+      ++quality.num_true_covered;
+    }
+  }
+  quality.pairs_completeness =
+      quality.num_true_pairs == 0
+          ? 1.0
+          : static_cast<double>(quality.num_true_covered) /
+                static_cast<double>(quality.num_true_pairs);
+
+  // All comparable pairs in the corpus.
+  size_t n = dataset.num_records();
+  size_t total = n * (n - 1) / 2;
+  if (!allow_same_source) {
+    for (const SourceInfo& source : dataset.sources()) {
+      size_t k = source.records.size();
+      total -= k * (k - 1) / 2;
+    }
+  }
+  quality.reduction_ratio =
+      total == 0 ? 0.0
+                 : 1.0 - static_cast<double>(quality.num_candidates) /
+                             static_cast<double>(total);
+  return quality;
+}
+
+}  // namespace bdi::linkage

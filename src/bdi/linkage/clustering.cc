@@ -1,0 +1,156 @@
+#include "bdi/linkage/clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "bdi/common/logging.h"
+
+namespace bdi::linkage {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+EntityClusters DenseLabels(const std::vector<int64_t>& raw,
+                           size_t num_records) {
+  EntityClusters clusters;
+  clusters.label_of_record.resize(num_records);
+  std::unordered_map<int64_t, EntityId> remap;
+  for (size_t i = 0; i < num_records; ++i) {
+    auto it = remap.emplace(raw[i], static_cast<EntityId>(remap.size()))
+                  .first;
+    clusters.label_of_record[i] = it->second;
+  }
+  clusters.num_clusters = remap.size();
+  return clusters;
+}
+
+}  // namespace
+
+EntityClusters ClusterRecords(size_t num_records,
+                              const std::vector<ScoredPair>& matches,
+                              ClusteringMethod method) {
+  std::vector<int64_t> raw(num_records);
+
+  if (method == ClusteringMethod::kConnectedComponents) {
+    UnionFind uf(num_records);
+    for (const ScoredPair& m : matches) {
+      uf.Union(static_cast<size_t>(m.pair.a), static_cast<size_t>(m.pair.b));
+    }
+    for (size_t i = 0; i < num_records; ++i) {
+      raw[i] = static_cast<int64_t>(uf.Find(i));
+    }
+    return DenseLabels(raw, num_records);
+  }
+
+  if (method == ClusteringMethod::kCenter) {
+    // Process edges by descending score. The first time a record appears it
+    // becomes either a center or a member of the other endpoint's cluster.
+    std::vector<ScoredPair> sorted = matches;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ScoredPair& x, const ScoredPair& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.pair < y.pair;
+              });
+    constexpr int64_t kUnassigned = -1;
+    std::vector<int64_t> center(num_records, kUnassigned);
+    std::vector<bool> is_center(num_records, false);
+    for (const ScoredPair& m : sorted) {
+      size_t a = static_cast<size_t>(m.pair.a);
+      size_t b = static_cast<size_t>(m.pair.b);
+      if (center[a] == kUnassigned && center[b] == kUnassigned) {
+        center[a] = static_cast<int64_t>(a);
+        is_center[a] = true;
+        center[b] = static_cast<int64_t>(a);
+      } else if (center[a] == kUnassigned) {
+        // Join only through an actual center; an edge to a mere member is
+        // skipped (this is what prevents chaining).
+        if (is_center[b]) center[a] = center[b];
+      } else if (center[b] == kUnassigned) {
+        if (is_center[a]) center[b] = center[a];
+      }
+      // Both assigned: center clustering never merges existing clusters.
+    }
+    for (size_t i = 0; i < num_records; ++i) {
+      raw[i] = center[i] == kUnassigned ? static_cast<int64_t>(i) +
+               static_cast<int64_t>(num_records)
+                                        : center[i];
+    }
+    return DenseLabels(raw, num_records);
+  }
+
+  // Correlation pivot: adjacency over matched pairs; scan records in index
+  // order; an unassigned record becomes a pivot and absorbs its unassigned
+  // neighbors.
+  std::vector<std::vector<size_t>> adjacency(num_records);
+  for (const ScoredPair& m : matches) {
+    adjacency[static_cast<size_t>(m.pair.a)].push_back(
+        static_cast<size_t>(m.pair.b));
+    adjacency[static_cast<size_t>(m.pair.b)].push_back(
+        static_cast<size_t>(m.pair.a));
+  }
+  std::fill(raw.begin(), raw.end(), -1);
+  for (size_t pivot = 0; pivot < num_records; ++pivot) {
+    if (raw[pivot] != -1) continue;
+    raw[pivot] = static_cast<int64_t>(pivot);
+    for (size_t neighbor : adjacency[pivot]) {
+      if (raw[neighbor] == -1) raw[neighbor] = static_cast<int64_t>(pivot);
+    }
+  }
+  return DenseLabels(raw, num_records);
+}
+
+LinkageQuality EvaluateClusters(const std::vector<EntityId>& predicted,
+                                const std::vector<EntityId>& truth) {
+  BDI_CHECK(predicted.size() == truth.size());
+  LinkageQuality quality;
+  auto pairs_of_counts = [](const std::unordered_map<int64_t, size_t>& m) {
+    size_t total = 0;
+    for (const auto& [key, k] : m) total += k * (k - 1) / 2;
+    return total;
+  };
+  std::unordered_map<int64_t, size_t> predicted_counts, truth_counts,
+      joint_counts;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    ++predicted_counts[predicted[i]];
+    ++truth_counts[truth[i]];
+    ++joint_counts[(static_cast<int64_t>(predicted[i]) << 32) ^
+                   static_cast<int64_t>(truth[i])];
+  }
+  quality.predicted_pairs = pairs_of_counts(predicted_counts);
+  quality.true_pairs = pairs_of_counts(truth_counts);
+  quality.correct_pairs = pairs_of_counts(joint_counts);
+  quality.precision = quality.predicted_pairs == 0
+                          ? 1.0
+                          : static_cast<double>(quality.correct_pairs) /
+                                static_cast<double>(quality.predicted_pairs);
+  quality.recall = quality.true_pairs == 0
+                       ? 1.0
+                       : static_cast<double>(quality.correct_pairs) /
+                             static_cast<double>(quality.true_pairs);
+  quality.f1 = quality.precision + quality.recall == 0.0
+                   ? 0.0
+                   : 2.0 * quality.precision * quality.recall /
+                         (quality.precision + quality.recall);
+  return quality;
+}
+
+}  // namespace bdi::linkage

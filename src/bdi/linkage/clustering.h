@@ -1,0 +1,57 @@
+#ifndef BDI_LINKAGE_CLUSTERING_H_
+#define BDI_LINKAGE_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdi/linkage/blocking.h"
+#include "bdi/model/types.h"
+
+namespace bdi::linkage {
+
+/// A matched pair with its score, input to the clustering step.
+struct ScoredPair {
+  CandidatePair pair;
+  double score = 0.0;
+};
+
+/// Record -> entity-cluster assignment.
+struct EntityClusters {
+  std::vector<EntityId> label_of_record;
+  size_t num_clusters = 0;
+};
+
+enum class ClusteringMethod {
+  /// Transitive closure over all matched pairs.
+  kConnectedComponents,
+  /// Greedy center clustering on descending score: strongest records become
+  /// centers; others attach to a center they match.
+  kCenter,
+  /// Greedy correlation-clustering pivot: scan records, pivot absorbs its
+  /// unassigned matched neighbors.
+  kCorrelationPivot,
+};
+
+/// Clusters `num_records` records given the matched pairs. Unmatched
+/// records become singletons. Labels are dense in [0, num_clusters).
+EntityClusters ClusterRecords(size_t num_records,
+                              const std::vector<ScoredPair>& matches,
+                              ClusteringMethod method);
+
+/// Pairwise linkage quality against ground-truth labels, computed in
+/// O(n + clusters) via contingency counting (usable at 10^5 records).
+struct LinkageQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t predicted_pairs = 0;
+  size_t true_pairs = 0;
+  size_t correct_pairs = 0;
+};
+
+LinkageQuality EvaluateClusters(const std::vector<EntityId>& predicted,
+                                const std::vector<EntityId>& truth);
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_CLUSTERING_H_

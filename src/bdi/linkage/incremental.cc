@@ -1,0 +1,165 @@
+#include "bdi/linkage/incremental.h"
+
+#include <algorithm>
+
+#include "bdi/common/logging.h"
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::linkage {
+
+namespace {
+
+std::unique_ptr<PairScorer> MakeScorer(ScorerKind kind, double threshold) {
+  std::unique_ptr<PairScorer> scorer;
+  switch (kind) {
+    case ScorerKind::kLinear:
+      scorer = std::make_unique<LinearScorer>();
+      break;
+    case ScorerKind::kRule:
+      scorer = std::make_unique<RuleScorer>();
+      break;
+    case ScorerKind::kLearned:
+      scorer = std::make_unique<LearnedScorer>();
+      break;
+  }
+  scorer->set_threshold(threshold);
+  return scorer;
+}
+
+}  // namespace
+
+IncrementalLinker::IncrementalLinker(const Dataset* dataset,
+                                     const Config& config)
+    : dataset_(dataset),
+      config_(config),
+      stats_(schema::AttributeStatistics::Compute(*dataset)),
+      roles_(AttrRoles::Detect(stats_)),
+      extractor_(dataset, &roles_),
+      scorer_(MakeScorer(config.scorer, config.threshold)) {
+  BDI_CHECK(dataset_->num_records() > 0)
+      << "IncrementalLinker needs an initial corpus to learn roles from";
+  for (const Record& record : dataset_->records()) {
+    for (const Field& field : record.fields) {
+      known_attrs_.insert(SourceAttr{record.source, field.attr});
+    }
+  }
+}
+
+bool IncrementalLinker::MaybeRefreshRoles() {
+  bool unseen = false;
+  for (size_t r = next_record_; r < dataset_->num_records(); ++r) {
+    const Record& record = dataset_->record(static_cast<RecordIdx>(r));
+    for (const Field& field : record.fields) {
+      if (known_attrs_.insert(SourceAttr{record.source, field.attr})
+              .second) {
+        unseen = true;
+      }
+    }
+  }
+  if (!unseen) return false;
+  // New source attributes: role statistics must be re-learned over the
+  // whole corpus, and the cached per-record features refreshed.
+  stats_ = schema::AttributeStatistics::Compute(*dataset_);
+  roles_ = AttrRoles::Detect(stats_);
+  extractor_.Rebuild();
+  return true;
+}
+
+std::vector<RecordIdx> IncrementalLinker::CandidatesFor(RecordIdx idx) const {
+  const Record& record = dataset_->record(idx);
+  std::vector<RecordIdx> candidates;
+  auto harvest = [&](const std::unordered_map<std::string,
+                                              std::vector<RecordIdx>>& index,
+                     const std::vector<std::string>& keys,
+                     size_t max_posting) {
+    for (const std::string& key : keys) {
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      if (it->second.size() > max_posting) continue;
+      for (RecordIdx other : it->second) {
+        if (other == idx || removed_.count(other) > 0) continue;
+        if (dataset_->record(other).source == record.source) continue;
+        candidates.push_back(other);
+      }
+    }
+  };
+
+  std::string all_text;
+  for (const Field& field : record.fields) {
+    all_text += field.value;
+    all_text += ' ';
+  }
+  harvest(id_index_,
+          text::IdentifierTokens(all_text, config_.id_min_token_len),
+          /*max_posting=*/SIZE_MAX);
+  std::vector<std::string> name_tokens;
+  for (const std::string& token : text::TokenSet(all_text)) {
+    if (token.size() >= config_.min_name_token_len) {
+      name_tokens.push_back(token);
+    }
+  }
+  harvest(name_index_, name_tokens, config_.max_posting);
+
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+void IncrementalLinker::IndexRecord(RecordIdx idx) {
+  const Record& record = dataset_->record(idx);
+  std::string all_text;
+  for (const Field& field : record.fields) {
+    all_text += field.value;
+    all_text += ' ';
+  }
+  for (const std::string& token :
+       text::IdentifierTokens(all_text, config_.id_min_token_len)) {
+    id_index_[token].push_back(idx);
+  }
+  for (const std::string& token : text::TokenSet(all_text)) {
+    if (token.size() < config_.min_name_token_len) continue;
+    std::vector<RecordIdx>& posting = name_index_[token];
+    // Oversized postings are dead weight; stop growing well past the cap.
+    if (posting.size() <= 4 * config_.max_posting) posting.push_back(idx);
+  }
+}
+
+size_t IncrementalLinker::AddNewRecords() {
+  MaybeRefreshRoles();
+  extractor_.Prepare();
+  size_t comparisons = 0;
+  for (; next_record_ < dataset_->num_records(); ++next_record_) {
+    RecordIdx idx = static_cast<RecordIdx>(next_record_);
+    for (RecordIdx other : CandidatesFor(idx)) {
+      ++comparisons;
+      PairFeatures features = extractor_.Extract(other, idx);
+      if (scorer_->Matches(features)) {
+        CandidatePair pair{std::min(other, idx), std::max(other, idx)};
+        edges_.push_back(ScoredPair{pair, scorer_->Score(features)});
+      }
+    }
+    IndexRecord(idx);
+  }
+  total_comparisons_ += comparisons;
+  return comparisons;
+}
+
+void IncrementalLinker::RemoveRecords(const std::vector<RecordIdx>& records) {
+  removed_.insert(records.begin(), records.end());
+}
+
+EntityClusters IncrementalLinker::Clusters() const {
+  std::vector<ScoredPair> live_edges;
+  live_edges.reserve(edges_.size());
+  for (const ScoredPair& edge : edges_) {
+    if (removed_.count(edge.pair.a) > 0 || removed_.count(edge.pair.b) > 0) {
+      continue;
+    }
+    live_edges.push_back(edge);
+  }
+  return ClusterRecords(next_record_, live_edges,
+                        ClusteringMethod::kConnectedComponents);
+}
+
+}  // namespace bdi::linkage

@@ -1,0 +1,86 @@
+#ifndef BDI_LINKAGE_INCREMENTAL_H_
+#define BDI_LINKAGE_INCREMENTAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bdi/linkage/clustering.h"
+#include "bdi/linkage/linkage.h"
+
+namespace bdi::linkage {
+
+/// Incremental record linkage (velocity): maintains a blocking index and
+/// the matched-edge set so that newly appended records are linked by
+/// comparing only against their blocking partners, instead of re-running
+/// batch linkage over the whole corpus. Deletions tombstone records; the
+/// cluster view is recomputed from surviving edges on demand (an O(E)
+/// operation, no re-scoring).
+///
+/// Attribute roles are learned at construction and refreshed automatically
+/// whenever arriving records introduce source attributes never seen before
+/// (e.g. a newly discovered source): role statistics are then recomputed
+/// over the whole corpus and the feature cache rebuilt. Updates from known
+/// schemas keep the cheap fast path.
+class IncrementalLinker {
+ public:
+  struct Config {
+    ScorerKind scorer = ScorerKind::kRule;
+    double threshold = 0.5;
+    /// Name-token postings longer than this stop generating candidates
+    /// (stop-word guard).
+    size_t max_posting = 200;
+    size_t id_min_token_len = 4;
+    size_t min_name_token_len = 3;
+  };
+
+  /// `dataset` must outlive the linker and already contain the initial
+  /// records; call AddNewRecords() to index them.
+  IncrementalLinker(const Dataset* dataset, const Config& config);
+
+  IncrementalLinker(const IncrementalLinker&) = delete;
+  IncrementalLinker& operator=(const IncrementalLinker&) = delete;
+
+  /// Indexes and links every record appended to the dataset since the last
+  /// call (or construction). Returns the number of pair comparisons made.
+  size_t AddNewRecords();
+
+  /// Tombstones records: they stop matching and their edges are dropped
+  /// from the cluster view.
+  void RemoveRecords(const std::vector<RecordIdx>& records);
+
+  /// Current record -> cluster labels (tombstoned records get singleton
+  /// labels).
+  EntityClusters Clusters() const;
+
+  size_t num_indexed() const { return next_record_; }
+  size_t num_edges() const { return edges_.size(); }
+  size_t total_comparisons() const { return total_comparisons_; }
+
+ private:
+  std::vector<RecordIdx> CandidatesFor(RecordIdx idx) const;
+  void IndexRecord(RecordIdx idx);
+  /// Re-learns roles and rebuilds the feature cache when new records carry
+  /// unseen source attributes. Returns true when a refresh happened.
+  bool MaybeRefreshRoles();
+
+  const Dataset* dataset_;
+  Config config_;
+  schema::AttributeStatistics stats_;
+  AttrRoles roles_;
+  FeatureExtractor extractor_;
+  std::unique_ptr<PairScorer> scorer_;
+
+  std::unordered_set<SourceAttr, SourceAttrHash> known_attrs_;
+  std::unordered_map<std::string, std::vector<RecordIdx>> id_index_;
+  std::unordered_map<std::string, std::vector<RecordIdx>> name_index_;
+  std::vector<ScoredPair> edges_;
+  std::unordered_set<RecordIdx> removed_;
+  size_t next_record_ = 0;
+  size_t total_comparisons_ = 0;
+};
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_INCREMENTAL_H_

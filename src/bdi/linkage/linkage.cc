@@ -1,0 +1,107 @@
+#include "bdi/linkage/linkage.h"
+
+#include <algorithm>
+
+#include "bdi/common/timer.h"
+#include "bdi/dataflow/mapreduce.h"
+
+namespace bdi::linkage {
+
+Linker::Linker(const Dataset* dataset, const LinkerConfig& config,
+               const schema::MediatedSchema* schema,
+               const schema::ValueNormalizer* normalizer)
+    : dataset_(dataset),
+      config_(config),
+      stats_(schema::AttributeStatistics::Compute(*dataset)),
+      roles_(AttrRoles::Detect(stats_)),
+      extractor_(dataset, &roles_, schema, normalizer) {
+  switch (config_.scorer) {
+    case ScorerKind::kLinear:
+      scorer_ = std::make_unique<LinearScorer>();
+      break;
+    case ScorerKind::kRule:
+      scorer_ = std::make_unique<RuleScorer>();
+      break;
+    case ScorerKind::kLearned:
+      scorer_ = std::make_unique<LearnedScorer>();
+      break;
+  }
+  scorer_->set_threshold(config_.threshold);
+}
+
+void Linker::SetScorer(std::unique_ptr<PairScorer> scorer) {
+  scorer_ = std::move(scorer);
+}
+
+std::unique_ptr<Blocker> Linker::MakeBlocker() const {
+  switch (config_.blocker) {
+    case BlockerKind::kToken:
+      return std::make_unique<TokenBlocker>();
+    case BlockerKind::kIdentifier:
+      return std::make_unique<IdentifierBlocker>();
+    case BlockerKind::kSortedNeighborhood:
+      return std::make_unique<SortedNeighborhoodBlocker>();
+    case BlockerKind::kCanopy:
+      return std::make_unique<CanopyBlocker>();
+    case BlockerKind::kTokenPlusIdentifier:
+      return nullptr;  // handled specially in Run()
+  }
+  return nullptr;
+}
+
+LinkageResult Linker::Run() {
+  LinkageResult result;
+  WallTimer timer;
+
+  // 1. Blocking.
+  std::vector<Block> blocks;
+  if (config_.blocker == BlockerKind::kTokenPlusIdentifier) {
+    blocks = IdentifierBlocker().MakeBlocksAll(*dataset_, &roles_);
+    std::vector<Block> token_blocks =
+        TokenBlocker().MakeBlocksAll(*dataset_, &roles_);
+    blocks.insert(blocks.end(),
+                  std::make_move_iterator(token_blocks.begin()),
+                  std::make_move_iterator(token_blocks.end()));
+  } else {
+    blocks = MakeBlocker()->MakeBlocksAll(*dataset_, &roles_);
+  }
+  std::vector<CandidatePair> candidates;
+  if (config_.use_meta_blocking) {
+    candidates = MetaBlock(*dataset_, blocks, config_.meta_blocking);
+  } else {
+    candidates = BlocksToPairs(*dataset_, blocks,
+                               config_.meta_blocking.allow_same_source);
+  }
+  result.blocking_seconds = timer.ElapsedSeconds();
+  result.num_candidates = candidates.size();
+  last_candidates_ = candidates;
+
+  // 2. Pairwise matching (parallel over the dataflow substrate).
+  timer.Reset();
+  std::vector<double> scores = dataflow::ParallelMap<CandidatePair, double>(
+      candidates,
+      [this](const CandidatePair& pair) {
+        return scorer_->Score(extractor_.Extract(pair.a, pair.b));
+      },
+      config_.num_threads);
+  // Match iff score >= threshold (RuleScorer hard-codes 0.5 in Matches()).
+  double threshold =
+      config_.scorer == ScorerKind::kRule ? 0.5 : scorer_->threshold();
+  std::vector<ScoredPair> matches;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i] >= threshold) {
+      matches.push_back(ScoredPair{candidates[i], scores[i]});
+    }
+  }
+  result.matching_seconds = timer.ElapsedSeconds();
+  result.num_matches = matches.size();
+
+  // 3. Clustering.
+  timer.Reset();
+  result.clusters =
+      ClusterRecords(dataset_->num_records(), matches, config_.clustering);
+  result.clustering_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace bdi::linkage

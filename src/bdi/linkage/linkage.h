@@ -1,0 +1,94 @@
+#ifndef BDI_LINKAGE_LINKAGE_H_
+#define BDI_LINKAGE_LINKAGE_H_
+
+#include <memory>
+
+#include "bdi/linkage/attr_roles.h"
+#include "bdi/linkage/blocking.h"
+#include "bdi/linkage/clustering.h"
+#include "bdi/linkage/matcher.h"
+#include "bdi/linkage/meta_blocking.h"
+#include "bdi/schema/attribute_stats.h"
+
+namespace bdi::linkage {
+
+enum class BlockerKind {
+  kToken,
+  kIdentifier,
+  kSortedNeighborhood,
+  kCanopy,
+  /// Union of identifier and token blocks (the default: identifiers give
+  /// precision anchors, tokens give recall for records lacking ids).
+  kTokenPlusIdentifier,
+};
+
+enum class ScorerKind { kLinear, kRule, kLearned };
+
+struct LinkerConfig {
+  BlockerKind blocker = BlockerKind::kTokenPlusIdentifier;
+  bool use_meta_blocking = false;
+  MetaBlockingConfig meta_blocking;
+  ScorerKind scorer = ScorerKind::kRule;
+  /// Match threshold for linear/learned scorers.
+  double threshold = 0.5;
+  ClusteringMethod clustering = ClusteringMethod::kConnectedComponents;
+  /// Threads for the pairwise matching stage; 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+struct LinkageResult {
+  EntityClusters clusters;
+  size_t num_candidates = 0;
+  size_t num_matches = 0;
+  double blocking_seconds = 0.0;
+  double matching_seconds = 0.0;
+  double clustering_seconds = 0.0;
+};
+
+/// End-to-end record linkage: blocking (optionally restructured by
+/// meta-blocking) -> parallel pairwise matching -> clustering.
+///
+/// The Linker detects attribute roles and builds its feature extractor from
+/// corpus statistics; an aligned mediated schema plus value normalizer can
+/// be supplied to strengthen the value-agreement evidence (the
+/// linkage-before-alignment vs alignment-before-linkage interplay the
+/// tutorial discusses).
+class Linker {
+ public:
+  Linker(const Dataset* dataset, const LinkerConfig& config,
+         const schema::MediatedSchema* schema = nullptr,
+         const schema::ValueNormalizer* normalizer = nullptr);
+
+  Linker(const Linker&) = delete;
+  Linker& operator=(const Linker&) = delete;
+
+  /// Replaces the configured scorer (e.g. with a trained LearnedScorer).
+  void SetScorer(std::unique_ptr<PairScorer> scorer);
+
+  /// Runs the full pipeline over the dataset.
+  LinkageResult Run();
+
+  const AttrRoles& roles() const { return roles_; }
+  FeatureExtractor& extractor() { return extractor_; }
+  const PairScorer& scorer() const { return *scorer_; }
+
+  /// The candidate pairs produced by the last Run() (for diagnostics).
+  const std::vector<CandidatePair>& last_candidates() const {
+    return last_candidates_;
+  }
+
+ private:
+  std::unique_ptr<Blocker> MakeBlocker() const;
+
+  const Dataset* dataset_;
+  LinkerConfig config_;
+  schema::AttributeStatistics stats_;
+  AttrRoles roles_;
+  FeatureExtractor extractor_;
+  std::unique_ptr<PairScorer> scorer_;
+  std::vector<CandidatePair> last_candidates_;
+};
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_LINKAGE_H_

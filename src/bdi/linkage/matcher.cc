@@ -1,0 +1,246 @@
+#include "bdi/linkage/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/string_util.h"
+#include "bdi/text/similarity.h"
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::linkage {
+
+FeatureExtractor::FeatureExtractor(const Dataset* dataset,
+                                   const AttrRoles* roles,
+                                   const schema::MediatedSchema* schema,
+                                   const schema::ValueNormalizer* normalizer)
+    : dataset_(dataset),
+      roles_(roles),
+      schema_(schema),
+      normalizer_(normalizer) {
+  BDI_CHECK(dataset_ != nullptr);
+  Prepare();
+}
+
+void FeatureExtractor::Prepare() {
+  size_t old_size = cache_.size();
+  cache_.resize(dataset_->num_records());
+  for (size_t i = old_size; i < cache_.size(); ++i) {
+    cache_[i] = BuildCache(static_cast<RecordIdx>(i));
+  }
+}
+
+void FeatureExtractor::Rebuild() {
+  cache_.clear();
+  Prepare();
+}
+
+FeatureExtractor::RecordCache FeatureExtractor::BuildCache(
+    RecordIdx idx) const {
+  const Record& record = dataset_->record(idx);
+  RecordCache cache;
+  std::string name_text;
+  std::string id_text;
+  bool have_roles = roles_ != nullptr;
+  for (const Field& field : record.fields) {
+    SourceAttr sa{record.source, field.attr};
+    AttrRole role = have_roles ? roles_->RoleOf(sa) : AttrRole::kOther;
+    if (role == AttrRole::kName) {
+      name_text += field.value;
+      name_text += ' ';
+    } else if (role == AttrRole::kIdentifier) {
+      id_text += field.value;
+      id_text += ' ';
+    } else {
+      int key;
+      std::string value;
+      if (schema_ != nullptr) {
+        key = schema_->ClusterOf(sa);
+        if (key < 0) continue;
+        value = normalizer_ != nullptr
+                    ? normalizer_->Normalize(sa, field.value)
+                    : ToLower(NormalizeWhitespace(field.value));
+      } else {
+        key = field.attr;
+        value = ToLower(NormalizeWhitespace(field.value));
+      }
+      cache.aligned_values.emplace_back(key, std::move(value));
+    }
+  }
+  if (name_text.empty()) {
+    // No detected name field: fall back to the title-position field (pages
+    // lead with the display name). Concatenating *all* fields here would
+    // leak numeric spec fragments into the name and identifier evidence.
+    if (!record.fields.empty()) {
+      name_text = record.fields[0].value;
+    }
+  }
+  cache.name_text = NormalizeWhitespace(name_text);
+  cache.name_tokens = text::TokenSet(name_text);
+  // Identifier evidence. When no identifier field was detected, mine the
+  // record's text instead — but only letter+digit tokens of length >= 5:
+  // pure digit runs (years, weights, prices) collide far too easily to be
+  // decisive.
+  if (id_text.empty()) {
+    std::string all_text;
+    for (const Field& field : record.fields) {
+      all_text += field.value;
+      all_text += ' ';
+    }
+    cache.id_tokens = text::IdentifierTokens(all_text, /*min_len=*/5,
+                                             /*require_letter=*/true);
+    cache.ids_from_role = false;
+  } else {
+    cache.id_tokens = text::IdentifierTokens(id_text, /*min_len=*/4);
+    cache.ids_from_role = true;
+  }
+  std::sort(cache.aligned_values.begin(), cache.aligned_values.end());
+  return cache;
+}
+
+PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b) const {
+  BDI_CHECK(static_cast<size_t>(a) < cache_.size() &&
+            static_cast<size_t>(b) < cache_.size())
+      << "FeatureExtractor::Prepare() not called after dataset growth";
+  const RecordCache& ca = cache_[a];
+  const RecordCache& cb = cache_[b];
+  PairFeatures features;
+
+  // Identifier overlap: decisive when both sides' identifiers come from
+  // detected identifier fields, weaker when either side's were mined from
+  // free text (which can mention *other* products' identifiers).
+  size_t i = 0, j = 0;
+  while (i < ca.id_tokens.size() && j < cb.id_tokens.size()) {
+    int cmp = ca.id_tokens[i].compare(cb.id_tokens[j]);
+    if (cmp == 0) {
+      features.id_exact =
+          ca.ids_from_role && cb.ids_from_role ? 1.0 : 0.7;
+      break;
+    }
+    cmp < 0 ? ++i : ++j;
+  }
+
+  features.name_jaccard =
+      text::JaccardSimilarity(ca.name_tokens, cb.name_tokens);
+  features.name_similarity =
+      std::max(text::MongeElkanSimilarity(ca.name_text, cb.name_text),
+               text::MongeElkanSimilarity(cb.name_text, ca.name_text));
+
+  // Aligned value agreement over shared keys. Numeric closeness counts the
+  // fraction of shared numeric attributes agreeing within a tight relative
+  // tolerance — averaging a soft kernel instead would sit near 0.8 for two
+  // *random* products (most numeric specs live in narrow ranges) and stop
+  // discriminating.
+  constexpr double kNumericExact = 0.98;  // within 2%: same value reformatted
+  constexpr double kNumericClose = 0.95;  // within 5%
+  size_t shared = 0, agree = 0, numeric_shared = 0, numeric_agree = 0;
+  i = 0;
+  j = 0;
+  while (i < ca.aligned_values.size() && j < cb.aligned_values.size()) {
+    int ka = ca.aligned_values[i].first, kb = cb.aligned_values[j].first;
+    if (ka == kb) {
+      const std::string& va = ca.aligned_values[i].second;
+      const std::string& vb = cb.aligned_values[j].second;
+      ++shared;
+      double ns = text::NumericSimilarity(va, vb);
+      // Numbers that agree within round-off count as agreeing values.
+      if (va == vb || ns >= kNumericExact) ++agree;
+      if (ns > 0.0) {
+        ++numeric_shared;
+        if (ns >= kNumericClose) ++numeric_agree;
+      }
+      ++i;
+      ++j;
+    } else if (ka < kb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  features.value_agreement =
+      shared == 0 ? 0.0
+                  : static_cast<double>(agree) / static_cast<double>(shared);
+  features.numeric_closeness =
+      numeric_shared == 0 ? 0.0
+                          : static_cast<double>(numeric_agree) /
+                                static_cast<double>(numeric_shared);
+  return features;
+}
+
+LinearScorer::LinearScorer()
+    : LinearScorer({0.35, 0.25, 0.15, 0.15, 0.10}) {}
+
+LinearScorer::LinearScorer(std::array<double, PairFeatures::kCount> weights)
+    : weights_(weights) {
+  threshold_ = 0.5;
+}
+
+double LinearScorer::Score(const PairFeatures& features) const {
+  std::array<double, PairFeatures::kCount> f = features.AsArray();
+  double total_weight = 0.0, score = 0.0;
+  for (size_t i = 0; i < f.size(); ++i) {
+    score += weights_[i] * f[i];
+    total_weight += weights_[i];
+  }
+  return total_weight == 0.0 ? 0.0 : score / total_weight;
+}
+
+RuleScorer::RuleScorer(double name_threshold, double value_threshold)
+    : name_threshold_(name_threshold), value_threshold_(value_threshold) {
+  threshold_ = 0.5;
+}
+
+double RuleScorer::Score(const PairFeatures& features) const {
+  if (features.id_exact >= 1.0) return 1.0;
+  // A mined (non-role) identifier match needs the names to agree too.
+  if (features.id_exact >= 0.7 && features.name_similarity >= 0.7) {
+    return 0.95;
+  }
+  // Corroboration is value agreement alone: numeric_closeness has too high
+  // a coincidence baseline on narrow-range attributes to gate a match.
+  double corroboration = features.value_agreement;
+  if (features.name_similarity >= name_threshold_ &&
+      corroboration >= value_threshold_) {
+    return 0.5 + 0.5 * features.name_similarity * corroboration;
+  }
+  return 0.4 * features.name_similarity + 0.1 * corroboration;
+}
+
+bool RuleScorer::Matches(const PairFeatures& features) const {
+  return Score(features) >= 0.5;
+}
+
+LearnedScorer::LearnedScorer() { weights_.fill(0.0); }
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+void LearnedScorer::Train(const std::vector<PairFeatures>& features,
+                          const std::vector<int>& labels, int epochs,
+                          double learning_rate) {
+  BDI_CHECK(features.size() == labels.size());
+  if (features.empty()) return;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double lr = learning_rate / (1.0 + 0.1 * epoch);
+    for (size_t n = 0; n < features.size(); ++n) {
+      std::array<double, PairFeatures::kCount> x = features[n].AsArray();
+      double z = bias_;
+      for (size_t i = 0; i < x.size(); ++i) z += weights_[i] * x[i];
+      double error = static_cast<double>(labels[n]) - Sigmoid(z);
+      bias_ += lr * error;
+      for (size_t i = 0; i < x.size(); ++i) {
+        weights_[i] += lr * error * x[i];
+      }
+    }
+  }
+}
+
+double LearnedScorer::Score(const PairFeatures& features) const {
+  std::array<double, PairFeatures::kCount> x = features.AsArray();
+  double z = bias_;
+  for (size_t i = 0; i < x.size(); ++i) z += weights_[i] * x[i];
+  return Sigmoid(z);
+}
+
+}  // namespace bdi::linkage

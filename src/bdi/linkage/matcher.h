@@ -1,0 +1,154 @@
+#ifndef BDI_LINKAGE_MATCHER_H_
+#define BDI_LINKAGE_MATCHER_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bdi/linkage/attr_roles.h"
+#include "bdi/linkage/blocking.h"
+#include "bdi/model/dataset.h"
+#include "bdi/schema/mediated_schema.h"
+#include "bdi/schema/value_normalizer.h"
+
+namespace bdi::linkage {
+
+/// Comparable evidence for one record pair.
+struct PairFeatures {
+  static constexpr size_t kCount = 5;
+
+  /// 1.0 when an identifier-role token is shared; 0.7 when the shared
+  /// identifier was merely mined from free text (weaker: "related product"
+  /// mentions collide); 0 otherwise.
+  double id_exact = 0.0;
+  double name_similarity = 0.0;   ///< Monge-Elkan over name text
+  double name_jaccard = 0.0;      ///< token Jaccard over name text
+  double value_agreement = 0.0;   ///< agreeing fraction of aligned attrs
+  double numeric_closeness = 0.0; ///< mean numeric similarity, aligned attrs
+
+  std::array<double, kCount> AsArray() const {
+    return {id_exact, name_similarity, name_jaccard, value_agreement,
+            numeric_closeness};
+  }
+};
+
+/// Computes PairFeatures with per-record caching. When a mediated schema and
+/// value normalizer are supplied, value agreement is computed over aligned
+/// attribute clusters with normalized values; otherwise it falls back to
+/// exact raw-attribute-name alignment.
+///
+/// `Prepare()` must be called after the dataset grows (incremental
+/// linkage); `Extract` is const and thread-safe between Prepare calls.
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const Dataset* dataset, const AttrRoles* roles,
+                   const schema::MediatedSchema* schema = nullptr,
+                   const schema::ValueNormalizer* normalizer = nullptr);
+
+  /// Extends the cache to records appended since the last Prepare call.
+  void Prepare();
+
+  /// Discards and rebuilds the whole cache (needed when roles or schema
+  /// context changed retroactively).
+  void Rebuild();
+
+  PairFeatures Extract(RecordIdx a, RecordIdx b) const;
+
+ private:
+  struct RecordCache {
+    std::vector<std::string> name_tokens;  ///< sorted unique
+    std::string name_text;
+    std::vector<std::string> id_tokens;    ///< sorted unique
+    /// True when id_tokens came from detected identifier fields (strong)
+    /// rather than from mining the record text (weak).
+    bool ids_from_role = false;
+    /// (aligned key, normalized value); key is cluster id when a schema is
+    /// present, else the AttrId; sorted by key.
+    std::vector<std::pair<int, std::string>> aligned_values;
+  };
+
+  RecordCache BuildCache(RecordIdx idx) const;
+
+  const Dataset* dataset_;
+  const AttrRoles* roles_;
+  const schema::MediatedSchema* schema_;
+  const schema::ValueNormalizer* normalizer_;
+  std::vector<RecordCache> cache_;
+};
+
+/// Match decision interface over PairFeatures.
+class PairScorer {
+ public:
+  virtual ~PairScorer() = default;
+  /// Monotone match score in [0, 1].
+  virtual double Score(const PairFeatures& features) const = 0;
+  virtual bool Matches(const PairFeatures& features) const {
+    return Score(features) >= threshold_;
+  }
+  virtual std::string name() const = 0;
+
+  void set_threshold(double t) { threshold_ = t; }
+  double threshold() const { return threshold_; }
+
+ protected:
+  double threshold_ = 0.5;
+};
+
+/// Fixed-weight linear combination of the features.
+class LinearScorer : public PairScorer {
+ public:
+  LinearScorer();
+  explicit LinearScorer(std::array<double, PairFeatures::kCount> weights);
+
+  double Score(const PairFeatures& features) const override;
+  std::string name() const override { return "linear"; }
+
+ private:
+  std::array<double, PairFeatures::kCount> weights_;
+};
+
+/// Domain rule exploiting identifiers: shared identifier => match;
+/// otherwise require strong name similarity corroborated by value
+/// agreement. Mirrors the tutorial's id-anchored product linkage.
+class RuleScorer : public PairScorer {
+ public:
+  /// Defaults tuned for corpora where near-identical model numbers exist
+  /// (the name test alone must be strict; identifiers carry the recall).
+  RuleScorer(double name_threshold = 0.92, double value_threshold = 0.5);
+
+  double Score(const PairFeatures& features) const override;
+  bool Matches(const PairFeatures& features) const override;
+  std::string name() const override { return "rule"; }
+
+ private:
+  double name_threshold_;
+  double value_threshold_;
+};
+
+/// Logistic-regression scorer trained from labeled pairs (stands in for the
+/// active-learning / crowdsourced training loop).
+class LearnedScorer : public PairScorer {
+ public:
+  LearnedScorer();
+
+  /// SGD logistic regression; labels are 0/1.
+  void Train(const std::vector<PairFeatures>& features,
+             const std::vector<int>& labels, int epochs = 30,
+             double learning_rate = 0.5);
+
+  double Score(const PairFeatures& features) const override;
+  std::string name() const override { return "learned"; }
+
+  const std::array<double, PairFeatures::kCount>& weights() const {
+    return weights_;
+  }
+  double bias() const { return bias_; }
+
+ private:
+  std::array<double, PairFeatures::kCount> weights_{};
+  double bias_ = 0.0;
+};
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_MATCHER_H_

@@ -1,0 +1,125 @@
+#include "bdi/linkage/meta_blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace bdi::linkage {
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const CandidatePair& p) const {
+    return HashCombine(std::hash<int32_t>()(p.a), std::hash<int32_t>()(p.b));
+  }
+};
+
+}  // namespace
+
+std::vector<WeightedPair> BuildBlockingGraph(
+    const Dataset& dataset, const std::vector<Block>& blocks,
+    MetaBlockingScheme scheme, bool allow_same_source) {
+  // Per-record block membership counts (needed for Jaccard).
+  std::unordered_map<RecordIdx, size_t> blocks_of;
+  for (const Block& block : blocks) {
+    for (RecordIdx r : block.records) ++blocks_of[r];
+  }
+
+  // Accumulate per-pair statistics: co-occurrence count and ARCS weight.
+  struct EdgeStats {
+    size_t common = 0;
+    double arcs = 0.0;
+  };
+  std::unordered_map<CandidatePair, EdgeStats, PairHash> edges;
+  for (const Block& block : blocks) {
+    size_t cardinality =
+        block.records.size() * (block.records.size() - 1) / 2;
+    if (cardinality == 0) continue;
+    double arcs_contribution = 1.0 / static_cast<double>(cardinality);
+    for (size_t i = 0; i < block.records.size(); ++i) {
+      for (size_t j = i + 1; j < block.records.size(); ++j) {
+        RecordIdx a = block.records[i], b = block.records[j];
+        if (!allow_same_source &&
+            dataset.record(a).source == dataset.record(b).source) {
+          continue;
+        }
+        if (a > b) std::swap(a, b);
+        EdgeStats& stats = edges[CandidatePair{a, b}];
+        ++stats.common;
+        stats.arcs += arcs_contribution;
+      }
+    }
+  }
+
+  std::vector<WeightedPair> graph;
+  graph.reserve(edges.size());
+  for (const auto& [pair, stats] : edges) {
+    double weight = 0.0;
+    switch (scheme) {
+      case MetaBlockingScheme::kCommonBlocks:
+        weight = static_cast<double>(stats.common);
+        break;
+      case MetaBlockingScheme::kJaccard: {
+        size_t total = blocks_of[pair.a] + blocks_of[pair.b] - stats.common;
+        weight = total == 0 ? 0.0
+                            : static_cast<double>(stats.common) /
+                                  static_cast<double>(total);
+        break;
+      }
+      case MetaBlockingScheme::kArcs:
+        weight = stats.arcs;
+        break;
+    }
+    graph.push_back(WeightedPair{pair, weight});
+  }
+  std::sort(graph.begin(), graph.end(),
+            [](const WeightedPair& x, const WeightedPair& y) {
+              return x.pair < y.pair;
+            });
+  return graph;
+}
+
+std::vector<CandidatePair> MetaBlock(const Dataset& dataset,
+                                     const std::vector<Block>& blocks,
+                                     const MetaBlockingConfig& config) {
+  std::vector<WeightedPair> graph = BuildBlockingGraph(
+      dataset, blocks, config.scheme, config.allow_same_source);
+  std::vector<CandidatePair> kept;
+  if (graph.empty()) return kept;
+
+  if (config.pruning == MetaBlockingPruning::kWeightEdge) {
+    double mean = 0.0;
+    for (const WeightedPair& wp : graph) mean += wp.weight;
+    mean /= static_cast<double>(graph.size());
+    for (const WeightedPair& wp : graph) {
+      if (wp.weight >= mean) kept.push_back(wp.pair);
+    }
+  } else {
+    // CNP: each node retains its top-k incident edges; an edge survives if
+    // either endpoint retains it.
+    std::unordered_map<RecordIdx, std::vector<std::pair<double, size_t>>>
+        incident;
+    for (size_t e = 0; e < graph.size(); ++e) {
+      incident[graph[e].pair.a].emplace_back(graph[e].weight, e);
+      incident[graph[e].pair.b].emplace_back(graph[e].weight, e);
+    }
+    std::vector<bool> retained(graph.size(), false);
+    for (auto& [node, list] : incident) {
+      size_t k = std::min(config.node_top_k, list.size());
+      std::partial_sort(list.begin(), list.begin() + static_cast<long>(k),
+                        list.end(),
+                        [](const auto& x, const auto& y) {
+                          return x.first > y.first;
+                        });
+      for (size_t i = 0; i < k; ++i) retained[list[i].second] = true;
+    }
+    for (size_t e = 0; e < graph.size(); ++e) {
+      if (retained[e]) kept.push_back(graph[e].pair);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return kept;
+}
+
+}  // namespace bdi::linkage

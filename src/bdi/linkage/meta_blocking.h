@@ -1,0 +1,52 @@
+#ifndef BDI_LINKAGE_META_BLOCKING_H_
+#define BDI_LINKAGE_META_BLOCKING_H_
+
+#include <vector>
+
+#include "bdi/linkage/blocking.h"
+
+namespace bdi::linkage {
+
+/// Edge-weighting schemes over the blocking graph (Papadakis et al.).
+enum class MetaBlockingScheme {
+  kCommonBlocks,  ///< CBS: number of blocks two records co-occur in
+  kJaccard,       ///< JS: Jaccard of the two records' block sets
+  kArcs,          ///< ARCS: sum over common blocks of 1/||block||
+};
+
+/// Pruning strategies over the weighted blocking graph.
+enum class MetaBlockingPruning {
+  kWeightEdge,      ///< WEP: keep edges above the global mean weight
+  kCardinalityNode, ///< CNP: keep each node's top-k edges
+};
+
+struct MetaBlockingConfig {
+  MetaBlockingScheme scheme = MetaBlockingScheme::kJaccard;
+  MetaBlockingPruning pruning = MetaBlockingPruning::kWeightEdge;
+  /// k for CNP (per-node retained edges).
+  size_t node_top_k = 8;
+  bool allow_same_source = false;
+};
+
+/// A weighted candidate pair from the blocking graph.
+struct WeightedPair {
+  CandidatePair pair;
+  double weight = 0.0;
+};
+
+/// Builds the blocking graph from `blocks`, weights every edge with the
+/// chosen scheme and prunes it, returning the surviving candidate pairs.
+/// Meta-blocking restructures a redundancy-heavy block collection so that
+/// far fewer comparisons retain nearly all matches.
+std::vector<CandidatePair> MetaBlock(const Dataset& dataset,
+                                     const std::vector<Block>& blocks,
+                                     const MetaBlockingConfig& config);
+
+/// Exposed for testing: the weighted graph before pruning.
+std::vector<WeightedPair> BuildBlockingGraph(
+    const Dataset& dataset, const std::vector<Block>& blocks,
+    MetaBlockingScheme scheme, bool allow_same_source);
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_META_BLOCKING_H_

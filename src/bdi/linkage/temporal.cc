@@ -1,0 +1,107 @@
+#include "bdi/linkage/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdi/common/logging.h"
+#include "bdi/dataflow/mapreduce.h"
+
+namespace bdi::linkage {
+
+double TemporalThreshold(double base, double floor, double half_life,
+                         double dt) {
+  if (dt <= 0.0) return base;
+  double relaxed_share = 1.0 - std::pow(0.5, dt / std::max(1e-9, half_life));
+  return base - (base - floor) * relaxed_share;
+}
+
+TemporalLinkageResult LinkTemporal(const Dataset& dataset,
+                                   const std::vector<double>& record_time,
+                                   const TemporalLinkConfig& config) {
+  BDI_CHECK(record_time.size() == dataset.num_records());
+  TemporalLinkageResult result;
+
+  schema::AttributeStatistics stats =
+      schema::AttributeStatistics::Compute(dataset);
+  AttrRoles roles = AttrRoles::Detect(stats);
+  FeatureExtractor extractor(&dataset, &roles);
+
+  // Blocking: identifier + token blocks; same-source pairs allowed so a
+  // site's own page history can link across snapshots.
+  std::vector<Block> blocks =
+      IdentifierBlocker().MakeBlocksAll(dataset, &roles);
+  std::vector<Block> token_blocks =
+      TokenBlocker().MakeBlocksAll(dataset, &roles);
+  blocks.insert(blocks.end(), std::make_move_iterator(token_blocks.begin()),
+                std::make_move_iterator(token_blocks.end()));
+  std::vector<CandidatePair> candidates =
+      BlocksToPairs(dataset, blocks, config.allow_same_source);
+  result.num_candidates = candidates.size();
+
+  struct Verdict {
+    bool match = false;
+    bool relaxed = false;
+    double score = 0.0;
+  };
+  std::vector<Verdict> verdicts =
+      dataflow::ParallelMap<CandidatePair, Verdict>(
+          candidates,
+          [&](const CandidatePair& pair) {
+            Verdict verdict;
+            PairFeatures features = extractor.Extract(pair.a, pair.b);
+            if (features.id_exact >= 1.0) {
+              verdict.match = true;
+              verdict.score = 1.0;
+              return verdict;
+            }
+            double dt =
+                std::abs(record_time[pair.a] - record_time[pair.b]);
+            double corroboration = features.value_agreement;
+            // Static path: full evidence at any gap.
+            if (features.name_similarity >= config.base_threshold &&
+                corroboration >= config.base_value_threshold) {
+              verdict.match = true;
+              verdict.score = features.name_similarity;
+              return verdict;
+            }
+            // Relaxed path (disagreement decay): the name requirement
+            // shrinks with the time gap, but only with *continuity
+            // evidence* — the same site republishing (page history) or
+            // strong value agreement — so the relaxation cannot glue
+            // together merely similar strangers.
+            bool same_source = dataset.record(pair.a).source ==
+                               dataset.record(pair.b).source;
+            double name_threshold = TemporalThreshold(
+                config.base_threshold,
+                same_source ? config.same_source_min_threshold
+                            : config.min_threshold,
+                config.drift_half_life, dt);
+            // A relaxed name test must be backed by strong value
+            // agreement in both regimes: the specification is what stays
+            // stable through a rename.
+            double required_corroboration =
+                std::max(config.base_value_threshold, 0.6);
+            if (features.name_similarity >= name_threshold &&
+                corroboration >= required_corroboration) {
+              verdict.match = true;
+              verdict.score = features.name_similarity;
+              verdict.relaxed = true;
+            }
+            return verdict;
+          },
+          config.num_threads);
+
+  std::vector<ScoredPair> matches;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!verdicts[i].match) continue;
+    matches.push_back(ScoredPair{candidates[i], verdicts[i].score});
+    if (verdicts[i].relaxed) ++result.relaxed_matches;
+  }
+  result.num_matches = matches.size();
+  result.clusters =
+      ClusterRecords(dataset.num_records(), matches,
+                     ClusteringMethod::kConnectedComponents);
+  return result;
+}
+
+}  // namespace bdi::linkage

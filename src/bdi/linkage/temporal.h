@@ -1,0 +1,65 @@
+#ifndef BDI_LINKAGE_TEMPORAL_H_
+#define BDI_LINKAGE_TEMPORAL_H_
+
+#include <vector>
+
+#include "bdi/linkage/clustering.h"
+#include "bdi/linkage/linkage.h"
+
+namespace bdi::linkage {
+
+/// Temporal record linkage (Li, Dong, Maurino, Srivastava, VLDB'11 shape):
+/// records carry observation times and entities *evolve* — names pick up
+/// revisions, values drift — so a static matcher over-splits: a 2010 page
+/// and a 2014 page of the same product no longer clear the match
+/// threshold.
+///
+/// The temporal matcher applies **disagreement decay**: the evidence
+/// requirement relaxes with the time gap between two records, because the
+/// probability that the entity legitimately changed grows with elapsed
+/// time. Identifier equality stays decisive at any gap; chains through
+/// intermediate observations connect distant snapshots transitively.
+struct TemporalLinkConfig {
+  /// The scorer threshold at zero time gap.
+  double base_threshold = 0.92;
+  /// The threshold never relaxes below this (guards against merging
+  /// distinct entities across long gaps).
+  double min_threshold = 0.88;
+  /// Same-source floor: a site's own page history carries continuity
+  /// evidence (page identity), so rebrands that gut the name similarity
+  /// can still link through the site that renamed them.
+  double same_source_min_threshold = 0.72;
+  /// Gap (in snapshot units) at which half of the total relaxation has
+  /// been granted.
+  double drift_half_life = 3.0;
+  /// Corroboration requirement (shared aligned values), also relaxed with
+  /// the gap since values drift too.
+  double base_value_threshold = 0.5;
+  double min_value_threshold = 0.2;
+  /// Match same-source records across time (a site's own page history).
+  bool allow_same_source = true;
+  size_t num_threads = 0;
+};
+
+/// Effective name threshold at time gap `dt`.
+double TemporalThreshold(double base, double floor, double half_life,
+                         double dt);
+
+struct TemporalLinkageResult {
+  EntityClusters clusters;
+  size_t num_candidates = 0;
+  size_t num_matches = 0;
+  /// Matches that required the temporal relaxation (below the static
+  /// threshold but above the decayed one).
+  size_t relaxed_matches = 0;
+};
+
+/// Links a timestamped corpus. `record_time[idx]` is the observation time
+/// of record idx (same length as dataset records).
+TemporalLinkageResult LinkTemporal(const Dataset& dataset,
+                                   const std::vector<double>& record_time,
+                                   const TemporalLinkConfig& config = {});
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_TEMPORAL_H_

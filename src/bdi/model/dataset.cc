@@ -1,0 +1,61 @@
+#include "bdi/model/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "bdi/common/logging.h"
+
+namespace bdi {
+
+SourceId Dataset::AddSource(std::string name) {
+  SourceId id = static_cast<SourceId>(sources_.size());
+  sources_.push_back(SourceInfo{id, std::move(name), {}});
+  return id;
+}
+
+AttrId Dataset::InternAttr(std::string_view name) {
+  auto it = attr_ids_.find(std::string(name));
+  if (it != attr_ids_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(attr_names_.size());
+  attr_names_.emplace_back(name);
+  attr_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<AttrId> Dataset::FindAttr(std::string_view name) const {
+  auto it = attr_ids_.find(std::string(name));
+  if (it == attr_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+RecordIdx Dataset::AddRecord(
+    SourceId source,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::vector<Field> interned;
+  interned.reserve(fields.size());
+  for (const auto& [name, value] : fields) {
+    interned.push_back(Field{InternAttr(name), value});
+  }
+  return AddRecord(source, std::move(interned));
+}
+
+RecordIdx Dataset::AddRecord(SourceId source, std::vector<Field> fields) {
+  BDI_CHECK(source >= 0 && static_cast<size_t>(source) < sources_.size())
+      << "unknown source " << source;
+  RecordIdx idx = static_cast<RecordIdx>(records_.size());
+  records_.push_back(Record{idx, source, std::move(fields)});
+  sources_[source].records.push_back(idx);
+  return idx;
+}
+
+std::vector<SourceAttr> Dataset::AllSourceAttrs() const {
+  std::set<SourceAttr> seen;
+  for (const Record& r : records_) {
+    for (const Field& f : r.fields) {
+      seen.insert(SourceAttr{r.source, f.attr});
+    }
+  }
+  return std::vector<SourceAttr>(seen.begin(), seen.end());
+}
+
+}  // namespace bdi

@@ -1,0 +1,97 @@
+#ifndef BDI_MODEL_DATASET_H_
+#define BDI_MODEL_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bdi/model/types.h"
+
+namespace bdi {
+
+/// One attribute-value field of a record. Values are kept as raw strings —
+/// normalization and typing are the job of the schema-alignment layer.
+struct Field {
+  AttrId attr = kInvalidAttr;
+  std::string value;
+};
+
+/// One page/row harvested from a source: a bag of attribute-value pairs.
+struct Record {
+  RecordIdx idx = kInvalidRecord;
+  SourceId source = kInvalidSource;
+  std::vector<Field> fields;
+
+  /// First value of `attr`, if present.
+  const std::string* Find(AttrId attr) const {
+    for (const Field& f : fields) {
+      if (f.attr == attr) return &f.value;
+    }
+    return nullptr;
+  }
+};
+
+/// Metadata for one data source.
+struct SourceInfo {
+  SourceId id = kInvalidSource;
+  std::string name;
+  std::vector<RecordIdx> records;
+};
+
+/// A multi-source corpus: the input to the integration pipeline. Attribute
+/// names are interned to AttrIds; records are stored once, indexed globally
+/// and grouped per source.
+///
+/// Not thread-safe for writes; safe for concurrent reads after loading.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Registers a source and returns its id.
+  SourceId AddSource(std::string name);
+
+  /// Interns an attribute name (exact raw string) and returns its id.
+  AttrId InternAttr(std::string_view name);
+
+  /// Returns the id of `name` if already interned.
+  std::optional<AttrId> FindAttr(std::string_view name) const;
+
+  /// Appends a record to `source`; fields are (raw attribute name, value).
+  RecordIdx AddRecord(
+      SourceId source,
+      const std::vector<std::pair<std::string, std::string>>& fields);
+
+  /// Appends a record with pre-interned attribute ids.
+  RecordIdx AddRecord(SourceId source, std::vector<Field> fields);
+
+  const Record& record(RecordIdx idx) const { return records_[idx]; }
+  const std::vector<Record>& records() const { return records_; }
+  const SourceInfo& source(SourceId id) const { return sources_[id]; }
+  const std::vector<SourceInfo>& sources() const { return sources_; }
+  const std::string& attr_name(AttrId id) const { return attr_names_[id]; }
+
+  size_t num_records() const { return records_.size(); }
+  size_t num_sources() const { return sources_.size(); }
+  size_t num_attrs() const { return attr_names_.size(); }
+
+  /// Distinct SourceAttrs actually used by at least one record, in
+  /// (source, attr) order.
+  std::vector<SourceAttr> AllSourceAttrs() const;
+
+ private:
+  std::vector<SourceInfo> sources_;
+  std::vector<Record> records_;
+  std::vector<std::string> attr_names_;
+  std::unordered_map<std::string, AttrId> attr_ids_;
+};
+
+}  // namespace bdi
+
+#endif  // BDI_MODEL_DATASET_H_

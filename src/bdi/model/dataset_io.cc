@@ -1,0 +1,116 @@
+#include "bdi/model/dataset_io.h"
+
+#include <charconv>
+#include <map>
+
+#include "bdi/common/csv.h"
+
+namespace bdi {
+
+namespace {
+
+Result<int64_t> ParseInt(const std::string& text) {
+  int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"source", "record", "attribute", "value"});
+  for (const Record& record : dataset.records()) {
+    for (const Field& field : record.fields) {
+      rows.push_back({dataset.source(record.source).name,
+                      std::to_string(record.idx),
+                      dataset.attr_name(field.attr), field.value});
+    }
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& path) {
+  BDI_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                       ReadCsvFile(path));
+  if (rows.empty() || rows[0] !=
+                          std::vector<std::string>{"source", "record",
+                                                   "attribute", "value"}) {
+    return Status::InvalidArgument(
+        "expected header 'source,record,attribute,value' in " + path);
+  }
+  Dataset dataset;
+  std::map<std::string, SourceId> sources;
+  int64_t current_record = -1;
+  SourceId current_source = kInvalidSource;
+  std::vector<Field> fields;
+  auto flush = [&]() {
+    if (current_record >= 0 && !fields.empty()) {
+      dataset.AddRecord(current_source, std::move(fields));
+    }
+    fields.clear();
+  };
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != 4) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " does not have 4 fields");
+    }
+    auto it = sources.find(row[0]);
+    if (it == sources.end()) {
+      it = sources.emplace(row[0], dataset.AddSource(row[0])).first;
+    }
+    BDI_ASSIGN_OR_RETURN(int64_t record_id, ParseInt(row[1]));
+    if (record_id != current_record) {
+      flush();
+      current_record = record_id;
+      current_source = it->second;
+    } else if (it->second != current_source) {
+      return Status::InvalidArgument(
+          "record " + row[1] + " spans two sources (rows must be grouped)");
+    }
+    fields.push_back(Field{dataset.InternAttr(row[2]), row[3]});
+  }
+  flush();
+  return dataset;
+}
+
+Status WriteLabelsCsv(const std::vector<EntityId>& labels,
+                      const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"record", "entity"});
+  for (size_t r = 0; r < labels.size(); ++r) {
+    rows.push_back({std::to_string(r), std::to_string(labels[r])});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<std::vector<EntityId>> ReadLabelsCsv(const std::string& path) {
+  BDI_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                       ReadCsvFile(path));
+  if (rows.empty() ||
+      rows[0] != std::vector<std::string>{"record", "entity"}) {
+    return Status::InvalidArgument("expected header 'record,entity' in " +
+                                   path);
+  }
+  std::vector<EntityId> labels(rows.size() - 1, kInvalidEntity);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != 2) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " does not have 2 fields");
+    }
+    BDI_ASSIGN_OR_RETURN(int64_t record, ParseInt(rows[r][0]));
+    BDI_ASSIGN_OR_RETURN(int64_t entity, ParseInt(rows[r][1]));
+    if (record < 0 || static_cast<size_t>(record) >= labels.size()) {
+      return Status::OutOfRange("record id out of range: " + rows[r][0]);
+    }
+    labels[static_cast<size_t>(record)] = static_cast<EntityId>(entity);
+  }
+  return labels;
+}
+
+}  // namespace bdi

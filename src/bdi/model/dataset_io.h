@@ -1,0 +1,34 @@
+#ifndef BDI_MODEL_DATASET_IO_H_
+#define BDI_MODEL_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+#include "bdi/model/dataset.h"
+#include "bdi/model/types.h"
+
+namespace bdi {
+
+/// Serializes a corpus in long CSV form with the header
+/// `source,record,attribute,value` — one row per field, record ids scoped
+/// globally. The format round-trips exactly (field order within a record
+/// is preserved).
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a corpus written by WriteDatasetCsv (or hand-assembled in the
+/// same shape). Record rows must be grouped (all fields of a record
+/// contiguous); source names may appear in any order and are created on
+/// first use.
+Result<Dataset> ReadDatasetCsv(const std::string& path);
+
+/// Serializes record -> entity labels as `record,entity` rows.
+Status WriteLabelsCsv(const std::vector<EntityId>& labels,
+                      const std::string& path);
+
+Result<std::vector<EntityId>> ReadLabelsCsv(const std::string& path);
+
+}  // namespace bdi
+
+#endif  // BDI_MODEL_DATASET_IO_H_

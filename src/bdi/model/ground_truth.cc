@@ -1,0 +1,64 @@
+#include "bdi/model/ground_truth.h"
+
+#include <map>
+
+namespace bdi {
+
+GroundTruth RemapGroundTruth(const GroundTruth& truth, const Dataset& from,
+                             const Dataset& to) {
+  GroundTruth out = truth;
+
+  // Source id translation by name.
+  std::map<std::string, SourceId> to_source;
+  for (const SourceInfo& source : to.sources()) {
+    to_source.emplace(source.name, source.id);
+  }
+  auto translate_source = [&](SourceId source) -> SourceId {
+    if (source < 0 ||
+        static_cast<size_t>(source) >= from.num_sources()) {
+      return kInvalidSource;
+    }
+    auto it = to_source.find(from.source(source).name);
+    return it == to_source.end() ? kInvalidSource : it->second;
+  };
+
+  out.canonical_of_source_attr.clear();
+  for (const auto& [sa, canonical] : truth.canonical_of_source_attr) {
+    SourceId source = translate_source(sa.source);
+    if (source == kInvalidSource) continue;
+    std::optional<AttrId> attr = to.FindAttr(from.attr_name(sa.attr));
+    if (!attr.has_value()) continue;
+    out.canonical_of_source_attr[SourceAttr{source, *attr}] = canonical;
+  }
+
+  out.claims.clear();
+  out.claims.reserve(truth.claims.size());
+  for (GroundTruth::TrueClaim claim : truth.claims) {
+    claim.source = translate_source(claim.source);
+    if (claim.source == kInvalidSource) continue;
+    out.claims.push_back(std::move(claim));
+  }
+
+  if (truth.source_accuracy.size() == from.num_sources()) {
+    out.source_accuracy.assign(to.num_sources(), 0.0);
+    for (size_t s = 0; s < from.num_sources(); ++s) {
+      SourceId target = translate_source(static_cast<SourceId>(s));
+      if (target != kInvalidSource) {
+        out.source_accuracy[target] = truth.source_accuracy[s];
+      }
+    }
+  }
+
+  std::vector<CopyEdge> edges;
+  for (CopyEdge edge : truth.copy_edges) {
+    edge.copier = translate_source(edge.copier);
+    edge.original = translate_source(edge.original);
+    if (edge.copier != kInvalidSource && edge.original != kInvalidSource) {
+      edges.push_back(edge);
+    }
+  }
+  out.copy_edges = std::move(edges);
+  return out;
+}
+
+}  // namespace bdi

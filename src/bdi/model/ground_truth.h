@@ -1,0 +1,87 @@
+#ifndef BDI_MODEL_GROUND_TRUTH_H_
+#define BDI_MODEL_GROUND_TRUTH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bdi/model/dataset.h"
+#include "bdi/model/types.h"
+
+namespace bdi {
+
+/// A directed copy edge: `copier` copies from `original` with the given
+/// per-item probability.
+struct CopyEdge {
+  SourceId copier = kInvalidSource;
+  SourceId original = kInvalidSource;
+  double copy_rate = 0.0;
+
+  friend bool operator==(const CopyEdge& a, const CopyEdge& b) {
+    return a.copier == b.copier && a.original == b.original;
+  }
+  friend bool operator<(const CopyEdge& a, const CopyEdge& b) {
+    if (a.copier != b.copier) return a.copier < b.copier;
+    return a.original < b.original;
+  }
+};
+
+/// Everything the synthetic world knows that a real crawl would not:
+/// record -> entity labels, the true value of every (entity, canonical
+/// attribute) item, per-source accuracies and the copy graph. Used only for
+/// evaluation — the integration pipeline never reads it.
+struct GroundTruth {
+  /// entity_of_record[idx] is the entity the record describes.
+  std::vector<EntityId> entity_of_record;
+
+  /// Canonical (world-level) attribute names, e.g. "weight".
+  std::vector<std::string> canonical_attrs;
+
+  /// true_values[entity][canonical-attr-index] — empty string when the
+  /// entity has no value for that attribute.
+  std::vector<std::vector<std::string>> true_values;
+
+  /// For each SourceAttr, the canonical attribute index it renders
+  /// (schema-alignment ground truth).
+  std::map<SourceAttr, int> canonical_of_source_attr;
+
+  /// Probability each source publishes the true value for an item.
+  std::vector<double> source_accuracy;
+
+  /// Directed copy relationships planted by the generator.
+  std::vector<CopyEdge> copy_edges;
+
+  /// Sources planted as deceitful (systematic numeric inflation).
+  std::vector<SourceId> deceitful_sources;
+
+  /// One source claim at canonical-value granularity (what the source
+  /// asserts for one (entity, canonical attribute) item, before surface
+  /// formatting). Lets evaluation and fusion-only experiments bypass the
+  /// extraction/normalization stages.
+  struct TrueClaim {
+    SourceId source = kInvalidSource;
+    EntityId entity = kInvalidEntity;
+    int canonical_attr = -1;
+    std::string value;
+    bool copied = false;  ///< value was copied from the copier's original
+  };
+  std::vector<TrueClaim> claims;
+
+  size_t num_entities() const { return true_values.size(); }
+};
+
+/// Re-keys `truth.canonical_of_source_attr` (and claim source ids) from
+/// the dataset the truth was generated against onto another dataset
+/// holding the same corpus (e.g. a CSV round trip or a streaming replay).
+/// Sources are matched by name and attributes by raw name; entries whose
+/// source or attribute does not exist in `to` are dropped.
+///
+/// Needed because attribute/source ids are interning artifacts: a replayed
+/// corpus is identical content-wise but numbers them differently, and
+/// id-keyed evaluation would silently mismatch.
+GroundTruth RemapGroundTruth(const GroundTruth& truth, const Dataset& from,
+                             const Dataset& to);
+
+}  // namespace bdi
+
+#endif  // BDI_MODEL_GROUND_TRUTH_H_

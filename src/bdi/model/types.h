@@ -1,0 +1,53 @@
+#ifndef BDI_MODEL_TYPES_H_
+#define BDI_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "bdi/common/hash.h"
+
+namespace bdi {
+
+/// Index of a source (web site) within a Dataset.
+using SourceId = int32_t;
+
+/// Interned id of a raw attribute-name string within a Dataset.
+using AttrId = int32_t;
+
+/// Ground-truth entity id (synthetic worlds) or cluster id (linkage output).
+using EntityId = int32_t;
+
+/// Global index of a record within a Dataset.
+using RecordIdx = int32_t;
+
+inline constexpr SourceId kInvalidSource = -1;
+inline constexpr AttrId kInvalidAttr = -1;
+inline constexpr EntityId kInvalidEntity = -1;
+inline constexpr RecordIdx kInvalidRecord = -1;
+
+/// An attribute as published by one particular source. Schema alignment
+/// clusters these; two sources using the same raw name still contribute two
+/// distinct SourceAttrs.
+struct SourceAttr {
+  SourceId source = kInvalidSource;
+  AttrId attr = kInvalidAttr;
+
+  friend bool operator==(const SourceAttr& a, const SourceAttr& b) {
+    return a.source == b.source && a.attr == b.attr;
+  }
+  friend bool operator<(const SourceAttr& a, const SourceAttr& b) {
+    if (a.source != b.source) return a.source < b.source;
+    return a.attr < b.attr;
+  }
+};
+
+struct SourceAttrHash {
+  size_t operator()(const SourceAttr& sa) const {
+    return HashCombine(std::hash<int32_t>()(sa.source),
+                       std::hash<int32_t>()(sa.attr));
+  }
+};
+
+}  // namespace bdi
+
+#endif  // BDI_MODEL_TYPES_H_

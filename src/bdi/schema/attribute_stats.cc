@@ -1,0 +1,117 @@
+#include "bdi/schema/attribute_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "bdi/common/string_util.h"
+
+namespace bdi::schema {
+
+namespace {
+
+struct Accumulator {
+  std::string raw_name;
+  size_t num_values = 0;
+  std::set<std::string> distinct;          // capped sample of lowercased
+  size_t num_distinct_total = 0;
+  std::set<std::string> all_seen;          // for distinct counting (capped)
+  size_t numeric_count = 0;
+  std::vector<double> numerics;
+  std::map<std::string, size_t> unit_counts;
+};
+
+}  // namespace
+
+AttributeStatistics AttributeStatistics::Compute(const Dataset& dataset) {
+  std::unordered_map<SourceAttr, Accumulator, SourceAttrHash> accs;
+  for (const Record& record : dataset.records()) {
+    for (const Field& field : record.fields) {
+      SourceAttr sa{record.source, field.attr};
+      Accumulator& acc = accs[sa];
+      if (acc.raw_name.empty()) {
+        acc.raw_name = dataset.attr_name(field.attr);
+      }
+      ++acc.num_values;
+      std::string lowered = ToLower(NormalizeWhitespace(field.value));
+      if (acc.all_seen.size() < 4096) {
+        if (acc.all_seen.insert(lowered).second) {
+          ++acc.num_distinct_total;
+        }
+      }
+      if (acc.distinct.size() < kMaxSampleValues) {
+        acc.distinct.insert(lowered);
+      }
+      double value = 0.0;
+      std::string unit;
+      if (ParseLeadingDouble(lowered, &value, &unit)) {
+        ++acc.numeric_count;
+        acc.numerics.push_back(value);
+        ++acc.unit_counts[unit];
+      }
+    }
+  }
+
+  AttributeStatistics stats;
+  stats.profiles_.reserve(accs.size());
+  // Deterministic ordering.
+  std::vector<SourceAttr> keys;
+  keys.reserve(accs.size());
+  for (const auto& [sa, acc] : accs) keys.push_back(sa);
+  std::sort(keys.begin(), keys.end());
+
+  std::unordered_map<std::string, std::set<SourceId>> name_sources;
+  for (const SourceAttr& sa : keys) {
+    Accumulator& acc = accs[sa];
+    AttrProfile profile;
+    profile.id = sa;
+    profile.raw_name = acc.raw_name;
+    profile.normalized_name = NormalizeAlnum(acc.raw_name);
+    profile.num_values = acc.num_values;
+    profile.num_distinct = acc.num_distinct_total;
+    profile.sample_values.assign(acc.distinct.begin(), acc.distinct.end());
+    profile.numeric_fraction =
+        acc.num_values == 0
+            ? 0.0
+            : static_cast<double>(acc.numeric_count) /
+                  static_cast<double>(acc.num_values);
+    if (!acc.numerics.empty()) {
+      double sum = 0.0;
+      for (double v : acc.numerics) sum += v;
+      profile.numeric_mean = sum / static_cast<double>(acc.numerics.size());
+      double var = 0.0;
+      for (double v : acc.numerics) {
+        var += (v - profile.numeric_mean) * (v - profile.numeric_mean);
+      }
+      profile.numeric_stddev =
+          std::sqrt(var / static_cast<double>(acc.numerics.size()));
+      std::nth_element(acc.numerics.begin(),
+                       acc.numerics.begin() + acc.numerics.size() / 2,
+                       acc.numerics.end());
+      profile.numeric_median = acc.numerics[acc.numerics.size() / 2];
+      size_t best = 0;
+      for (const auto& [unit, count] : acc.unit_counts) {
+        if (count > best) {
+          best = count;
+          profile.dominant_unit = unit;
+        }
+      }
+    }
+    name_sources[profile.normalized_name].insert(sa.source);
+    stats.index_[sa] = stats.profiles_.size();
+    stats.profiles_.push_back(std::move(profile));
+  }
+  for (const auto& [name, sources] : name_sources) {
+    stats.name_source_counts_[name] = sources.size();
+  }
+  return stats;
+}
+
+const AttrProfile* AttributeStatistics::Find(const SourceAttr& sa) const {
+  auto it = index_.find(sa);
+  if (it == index_.end()) return nullptr;
+  return &profiles_[it->second];
+}
+
+}  // namespace bdi::schema

@@ -1,0 +1,136 @@
+#include "bdi/schema/linkage_refinement.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+namespace bdi::schema {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+LinkageRefinementReport RefineSchemaWithLinkage(
+    const Dataset& dataset, const AttributeStatistics& stats,
+    const MediatedSchema& schema, const ValueNormalizer& normalizer,
+    const std::vector<EntityId>& entity_of_record,
+    const LinkageRefinementConfig& config) {
+  LinkageRefinementReport report;
+  size_t num_clusters = schema.clusters.size();
+
+  // 1. Per schema cluster: the normalized values it publishes per linked
+  // entity (capped small sets; one entity rarely has many variants).
+  std::vector<std::unordered_map<EntityId, std::set<std::string>>> values(
+      num_clusters);
+  for (const Record& record : dataset.records()) {
+    EntityId entity = entity_of_record[record.idx];
+    for (const Field& field : record.fields) {
+      SourceAttr sa{record.source, field.attr};
+      int cluster = schema.ClusterOf(sa);
+      if (cluster < 0) continue;
+      std::set<std::string>& slot =
+          values[static_cast<size_t>(cluster)][entity];
+      if (slot.size() < 4) {
+        slot.insert(normalizer.Normalize(sa, field.value));
+      }
+    }
+  }
+
+  // 2. Cluster type (majority numeric of members).
+  std::vector<bool> numeric(num_clusters, false);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    size_t numeric_members = 0;
+    for (const SourceAttr& sa : schema.clusters[c]) {
+      const AttrProfile* profile = stats.Find(sa);
+      if (profile != nullptr && profile->IsNumeric()) ++numeric_members;
+    }
+    numeric[c] = numeric_members * 2 >= schema.clusters[c].size();
+  }
+
+  // 3. Pairwise agreement on shared entities.
+  UnionFind uf(num_clusters);
+  for (size_t a = 0; a < num_clusters; ++a) {
+    for (size_t b = a + 1; b < num_clusters; ++b) {
+      if (config.respect_types && numeric[a] != numeric[b]) continue;
+      const auto& small = values[a].size() <= values[b].size() ? values[a]
+                                                               : values[b];
+      const auto& large = values[a].size() <= values[b].size() ? values[b]
+                                                               : values[a];
+      size_t common = 0, agree = 0;
+      for (const auto& [entity, value_set] : small) {
+        auto it = large.find(entity);
+        if (it == large.end()) continue;
+        ++common;
+        for (const std::string& v : value_set) {
+          if (it->second.count(v) > 0) {
+            ++agree;
+            break;
+          }
+        }
+      }
+      ++report.pairs_considered;
+      if (common >= config.min_common_entities &&
+          static_cast<double>(agree) >=
+              config.min_agreement * static_cast<double>(common)) {
+        if (uf.Find(a) != uf.Find(b)) {
+          uf.Union(a, b);
+          ++report.merges;
+        }
+      }
+    }
+  }
+
+  // 4. Rebuild the mediated schema from the merged components.
+  std::map<size_t, std::vector<SourceAttr>> merged;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    auto& members = merged[uf.Find(c)];
+    members.insert(members.end(), schema.clusters[c].begin(),
+                   schema.clusters[c].end());
+  }
+  for (auto& [root, members] : merged) {
+    std::sort(members.begin(), members.end());
+    int cluster = static_cast<int>(report.schema.clusters.size());
+    for (const SourceAttr& sa : members) {
+      report.schema.cluster_of[sa] = cluster;
+    }
+    // Majority member name.
+    std::map<std::string, size_t> names;
+    for (const SourceAttr& sa : members) {
+      const AttrProfile* profile = stats.Find(sa);
+      if (profile != nullptr) ++names[profile->normalized_name];
+    }
+    std::string best_name;
+    size_t best = 0;
+    for (const auto& [name, count] : names) {
+      if (count > best) {
+        best = count;
+        best_name = name;
+      }
+    }
+    report.schema.cluster_names.push_back(best_name);
+    report.schema.clusters.push_back(std::move(members));
+  }
+  return report;
+}
+
+}  // namespace bdi::schema

@@ -1,0 +1,44 @@
+#ifndef BDI_SCHEMA_LINKAGE_REFINEMENT_H_
+#define BDI_SCHEMA_LINKAGE_REFINEMENT_H_
+
+#include <vector>
+
+#include "bdi/schema/mediated_schema.h"
+#include "bdi/schema/value_normalizer.h"
+
+namespace bdi::schema {
+
+/// The pipeline feedback loop the tutorial advocates: once records are
+/// linked, two attributes that keep publishing the *same value for the
+/// same entity* are almost certainly the same attribute — even when their
+/// names share nothing (synonym skeletons like "wght", compacted names,
+/// foreign labels). This pass merges mediated-schema clusters whose
+/// members systematically agree on linked entities.
+struct LinkageRefinementConfig {
+  /// Minimum entities on which two clusters must co-publish a value
+  /// before they are merge candidates.
+  size_t min_common_entities = 5;
+  /// Minimum fraction of those co-published values that must agree.
+  double min_agreement = 0.6;
+  /// Never merge a numeric cluster with a string cluster.
+  bool respect_types = true;
+};
+
+struct LinkageRefinementReport {
+  MediatedSchema schema;
+  size_t merges = 0;
+  size_t pairs_considered = 0;
+};
+
+/// Returns a refined schema. `entity_of_record` is the linkage output
+/// over `dataset` (record -> linked entity); `normalizer` supplies the
+/// value canonicalization learned for the input `schema`.
+LinkageRefinementReport RefineSchemaWithLinkage(
+    const Dataset& dataset, const AttributeStatistics& stats,
+    const MediatedSchema& schema, const ValueNormalizer& normalizer,
+    const std::vector<EntityId>& entity_of_record,
+    const LinkageRefinementConfig& config = {});
+
+}  // namespace bdi::schema
+
+#endif  // BDI_SCHEMA_LINKAGE_REFINEMENT_H_

@@ -1,0 +1,90 @@
+#include "bdi/schema/matchers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdi/schema/units.h"
+#include "bdi/text/similarity.h"
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::schema {
+
+double NameSimilarity(const AttrProfile& a, const AttrProfile& b) {
+  if (a.normalized_name.empty() || b.normalized_name.empty()) return 0.0;
+  if (a.normalized_name == b.normalized_name) return 1.0;
+  double jw =
+      text::JaroWinklerSimilarity(a.normalized_name, b.normalized_name);
+  std::vector<std::string> ta = text::TokenSet(a.raw_name);
+  std::vector<std::string> tb = text::TokenSet(b.raw_name);
+  double jac = text::JaccardSimilarity(ta, tb);
+  // Containment bonus: decorated names ("item weight") contain the plain
+  // name's tokens entirely.
+  double overlap = text::OverlapCoefficient(ta, tb);
+  double score = std::max({jw, jac, 0.9 * overlap});
+  return std::min(1.0, score);
+}
+
+double ValueSimilarity(const AttrProfile& a, const AttrProfile& b) {
+  if (a.num_values == 0 || b.num_values == 0) return 0.0;
+  bool na = a.IsNumeric(), nb = b.IsNumeric();
+  if (na != nb) return 0.0;
+  if (!na) {
+    return text::JaccardSimilarity(a.sample_values, b.sample_values);
+  }
+  // Numeric: compare location and spread on a relative scale. When the
+  // median ratio snaps to a known unit-conversion constant (cm vs inch,
+  // g vs oz), rescale one side first — same semantics, different units.
+  double median_a = a.numeric_median;
+  double median_b = b.numeric_median;
+  double stddev_b = b.numeric_stddev;
+  double unit_discount = 1.0;
+  if (median_b != 0.0) {
+    double ratio = SnapScale(median_a / median_b);
+    if (ratio != 1.0 && IsMeasurementUnitConversion(ratio)) {
+      median_b *= ratio;
+      stddev_b *= ratio;
+      unit_discount = 0.9;  // converted agreement is slightly weaker
+    }
+  }
+  double loc_denominator =
+      std::max({std::abs(median_a), std::abs(median_b), 1e-9});
+  double loc =
+      1.0 - std::min(1.0, std::abs(median_a - median_b) / loc_denominator);
+  double spread_denominator = std::max({a.numeric_stddev, stddev_b, 1e-9});
+  double spread = 1.0 - std::min(1.0, std::abs(a.numeric_stddev - stddev_b) /
+                                          spread_denominator);
+  // Exact value overlap still counts when scales agree (both-empty sample
+  // sets are no evidence, not perfect agreement).
+  double jac = a.sample_values.empty() || b.sample_values.empty()
+                   ? 0.0
+                   : text::JaccardSimilarity(a.sample_values,
+                                             b.sample_values);
+  return std::max(jac, unit_discount * (0.7 * loc + 0.3 * spread));
+}
+
+double CombinedSimilarity(const AttrProfile& a, const AttrProfile& b,
+                          const AttrMatchConfig& config) {
+  double total = config.name_weight + config.value_weight;
+  if (total <= 0.0) return 0.0;
+  return (config.name_weight * NameSimilarity(a, b) +
+          config.value_weight * ValueSimilarity(a, b)) /
+         total;
+}
+
+std::vector<AttrEdge> BuildCandidateEdges(const AttributeStatistics& stats,
+                                          const AttrMatchConfig& config) {
+  const std::vector<AttrProfile>& profiles = stats.profiles();
+  std::vector<AttrEdge> edges;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    for (size_t j = i + 1; j < profiles.size(); ++j) {
+      if (profiles[i].id.source == profiles[j].id.source) continue;
+      double score = CombinedSimilarity(profiles[i], profiles[j], config);
+      if (score >= config.min_score) {
+        edges.push_back(AttrEdge{i, j, score});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace bdi::schema

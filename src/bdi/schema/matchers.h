@@ -1,0 +1,49 @@
+#ifndef BDI_SCHEMA_MATCHERS_H_
+#define BDI_SCHEMA_MATCHERS_H_
+
+#include <vector>
+
+#include "bdi/schema/attribute_stats.h"
+
+namespace bdi::schema {
+
+/// Weights for the combined attribute-correspondence score.
+struct AttrMatchConfig {
+  double name_weight = 0.7;
+  double value_weight = 0.3;
+  /// Pairs scoring below this are not materialized as candidate edges.
+  double min_score = 0.15;
+};
+
+/// Name-based similarity of two attribute profiles: the max of
+/// Jaro-Winkler on normalized names and Jaccard on name word-tokens,
+/// with a containment bonus ("weight" vs "item weight").
+double NameSimilarity(const AttrProfile& a, const AttrProfile& b);
+
+/// Instance-based similarity: Jaccard of sampled value sets for
+/// string-typed attributes; numeric-distribution proximity (median/spread
+/// agreement) for numeric attributes; 0 across types.
+double ValueSimilarity(const AttrProfile& a, const AttrProfile& b);
+
+/// config.name_weight * NameSimilarity + config.value_weight *
+/// ValueSimilarity, normalized by total weight.
+double CombinedSimilarity(const AttrProfile& a, const AttrProfile& b,
+                          const AttrMatchConfig& config);
+
+/// A scored candidate correspondence between two source attributes
+/// (indices into AttributeStatistics::profiles()).
+struct AttrEdge {
+  size_t a = 0;
+  size_t b = 0;
+  double score = 0.0;
+};
+
+/// Scores all cross-source profile pairs and keeps those >= min_score.
+/// Same-source pairs are never candidates (a source does not publish the
+/// same semantics twice).
+std::vector<AttrEdge> BuildCandidateEdges(const AttributeStatistics& stats,
+                                          const AttrMatchConfig& config);
+
+}  // namespace bdi::schema
+
+#endif  // BDI_SCHEMA_MATCHERS_H_

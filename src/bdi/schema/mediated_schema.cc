@@ -1,0 +1,180 @@
+#include "bdi/schema/mediated_schema.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace bdi::schema {
+
+namespace {
+
+/// Plain union-find over profile indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+std::vector<int> ConnectedComponentsLabels(size_t n,
+                                           const std::vector<AttrEdge>& edges,
+                                           double threshold) {
+  UnionFind uf(n);
+  for (const AttrEdge& e : edges) {
+    if (e.score >= threshold) uf.Union(e.a, e.b);
+  }
+  std::vector<int> label(n, -1);
+  std::map<size_t, int> root_to_label;
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = uf.Find(i);
+    auto it =
+        root_to_label.emplace(root, static_cast<int>(root_to_label.size()))
+            .first;
+    label[i] = it->second;
+  }
+  return label;
+}
+
+std::vector<int> CenterLabels(size_t n, const std::vector<AttrEdge>& edges,
+                              double threshold) {
+  // Order attributes by total incident edge weight (strongest first); scan:
+  // an unassigned attribute becomes a center; neighbors above threshold
+  // join the center they see first (i.e. the strongest center order-wise).
+  std::vector<double> strength(n, 0.0);
+  std::vector<std::vector<std::pair<size_t, double>>> adjacency(n);
+  for (const AttrEdge& e : edges) {
+    if (e.score < threshold) continue;
+    strength[e.a] += e.score;
+    strength[e.b] += e.score;
+    adjacency[e.a].emplace_back(e.b, e.score);
+    adjacency[e.b].emplace_back(e.a, e.score);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    if (strength[x] != strength[y]) return strength[x] > strength[y];
+    return x < y;
+  });
+  std::vector<int> label(n, -1);
+  int next = 0;
+  for (size_t i : order) {
+    if (label[i] != -1) continue;
+    int cluster = next++;
+    label[i] = cluster;
+    for (const auto& [j, score] : adjacency[i]) {
+      if (label[j] == -1) label[j] = cluster;
+    }
+  }
+  return label;
+}
+
+}  // namespace
+
+MediatedSchema BuildMediatedSchema(const AttributeStatistics& stats,
+                                   const std::vector<AttrEdge>& edges,
+                                   const MediatedSchemaConfig& config) {
+  const std::vector<AttrProfile>& profiles = stats.profiles();
+  size_t n = profiles.size();
+  std::vector<int> label =
+      config.method == ClusterMethod::kConnectedComponents
+          ? ConnectedComponentsLabels(n, edges, config.threshold)
+          : CenterLabels(n, edges, config.threshold);
+
+  int num_clusters = 0;
+  for (int l : label) num_clusters = std::max(num_clusters, l + 1);
+
+  MediatedSchema schema;
+  schema.clusters.resize(num_clusters);
+  for (size_t i = 0; i < n; ++i) {
+    schema.clusters[label[i]].push_back(profiles[i].id);
+    schema.cluster_of[profiles[i].id] = label[i];
+  }
+  // Drop empty clusters (center labels are dense, cc labels are dense; this
+  // is defensive) and name each cluster by its most common member name.
+  std::vector<std::vector<SourceAttr>> compact;
+  std::unordered_map<SourceAttr, int, SourceAttrHash> compact_of;
+  std::vector<std::string> names;
+  for (auto& members : schema.clusters) {
+    if (members.empty()) continue;
+    std::map<std::string, size_t> name_counts;
+    for (const SourceAttr& sa : members) {
+      const AttrProfile* profile = stats.Find(sa);
+      if (profile != nullptr) ++name_counts[profile->normalized_name];
+    }
+    std::string best_name;
+    size_t best = 0;
+    for (const auto& [name, count] : name_counts) {
+      if (count > best) {
+        best = count;
+        best_name = name;
+      }
+    }
+    int cluster = static_cast<int>(compact.size());
+    for (const SourceAttr& sa : members) compact_of[sa] = cluster;
+    compact.push_back(std::move(members));
+    names.push_back(best_name);
+  }
+  schema.clusters = std::move(compact);
+  schema.cluster_of = std::move(compact_of);
+  schema.cluster_names = std::move(names);
+  return schema;
+}
+
+SchemaQuality EvaluateSchema(
+    const MediatedSchema& schema,
+    const std::map<SourceAttr, int>& truth_canonical) {
+  SchemaQuality quality;
+  // Collect the full universe: attributes in the schema or in the truth.
+  std::vector<SourceAttr> universe;
+  for (const auto& members : schema.clusters) {
+    for (const SourceAttr& sa : members) universe.push_back(sa);
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+
+  for (size_t i = 0; i < universe.size(); ++i) {
+    for (size_t j = i + 1; j < universe.size(); ++j) {
+      const SourceAttr& a = universe[i];
+      const SourceAttr& b = universe[j];
+      int ca = schema.ClusterOf(a);
+      int cb = schema.ClusterOf(b);
+      bool predicted = ca != -1 && ca == cb;
+      auto ta = truth_canonical.find(a);
+      auto tb = truth_canonical.find(b);
+      bool actual = ta != truth_canonical.end() &&
+                    tb != truth_canonical.end() &&
+                    ta->second == tb->second;
+      if (predicted) ++quality.predicted_pairs;
+      if (actual) ++quality.true_pairs;
+      if (predicted && actual) ++quality.correct_pairs;
+    }
+  }
+  quality.precision =
+      quality.predicted_pairs == 0
+          ? 0.0
+          : static_cast<double>(quality.correct_pairs) /
+                static_cast<double>(quality.predicted_pairs);
+  quality.recall = quality.true_pairs == 0
+                       ? 0.0
+                       : static_cast<double>(quality.correct_pairs) /
+                             static_cast<double>(quality.true_pairs);
+  quality.f1 = quality.precision + quality.recall == 0.0
+                   ? 0.0
+                   : 2.0 * quality.precision * quality.recall /
+                         (quality.precision + quality.recall);
+  return quality;
+}
+
+}  // namespace bdi::schema

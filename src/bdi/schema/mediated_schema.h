@@ -1,0 +1,71 @@
+#ifndef BDI_SCHEMA_MEDIATED_SCHEMA_H_
+#define BDI_SCHEMA_MEDIATED_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdi/schema/attribute_stats.h"
+#include "bdi/schema/matchers.h"
+
+namespace bdi::schema {
+
+/// A deterministic mediated schema: a partition of the source attributes
+/// into semantic clusters, built bottom-up (no global schema given in
+/// advance).
+struct MediatedSchema {
+  /// Each cluster lists member source attributes.
+  std::vector<std::vector<SourceAttr>> clusters;
+  /// Cluster index per member.
+  std::unordered_map<SourceAttr, int, SourceAttrHash> cluster_of;
+  /// Display name per cluster (the most common normalized member name).
+  std::vector<std::string> cluster_names;
+
+  /// -1 when the attribute is not in any cluster.
+  int ClusterOf(const SourceAttr& sa) const {
+    auto it = cluster_of.find(sa);
+    return it == cluster_of.end() ? -1 : it->second;
+  }
+};
+
+enum class ClusterMethod {
+  /// Union attributes connected by any edge >= threshold (transitive).
+  kConnectedComponents,
+  /// Greedy star/center clustering: highest-degree-weight attributes become
+  /// centers; others join their best center. Resists chaining.
+  kCenter,
+};
+
+struct MediatedSchemaConfig {
+  double threshold = 0.70;
+  ClusterMethod method = ClusterMethod::kCenter;
+};
+
+/// Clusters source attributes given candidate edges. Attributes with no
+/// qualifying edge become singleton clusters.
+MediatedSchema BuildMediatedSchema(const AttributeStatistics& stats,
+                                   const std::vector<AttrEdge>& edges,
+                                   const MediatedSchemaConfig& config);
+
+/// Pairwise precision/recall/F1 of a predicted attribute clustering against
+/// ground-truth canonical assignments (two attributes "match" when mapped
+/// to the same canonical attribute). Attributes missing from `truth_canonical`
+/// (e.g. noise attributes) generate no true pairs; predicted pairs touching
+/// them count against precision.
+struct SchemaQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_pairs = 0;
+  size_t predicted_pairs = 0;
+  size_t correct_pairs = 0;
+};
+
+SchemaQuality EvaluateSchema(
+    const MediatedSchema& schema,
+    const std::map<SourceAttr, int>& truth_canonical);
+
+}  // namespace bdi::schema
+
+#endif  // BDI_SCHEMA_MEDIATED_SCHEMA_H_

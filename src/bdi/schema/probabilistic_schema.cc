@@ -1,0 +1,145 @@
+#include "bdi/schema/probabilistic_schema.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/random.h"
+
+namespace bdi::schema {
+
+namespace {
+
+/// Canonical text signature of a clustering, for world deduplication.
+std::string ClusterSignature(const MediatedSchema& schema) {
+  std::vector<std::string> cluster_keys;
+  for (const auto& members : schema.clusters) {
+    std::string key;
+    for (const SourceAttr& sa : members) {
+      key += std::to_string(sa.source) + ":" + std::to_string(sa.attr) + ",";
+    }
+    cluster_keys.push_back(std::move(key));
+  }
+  std::sort(cluster_keys.begin(), cluster_keys.end());
+  std::string signature;
+  for (const std::string& k : cluster_keys) {
+    signature += k;
+    signature += '|';
+  }
+  return signature;
+}
+
+}  // namespace
+
+ProbabilisticMediatedSchema ProbabilisticMediatedSchema::Build(
+    const AttributeStatistics& stats, const std::vector<AttrEdge>& edges,
+    const ProbabilisticSchemaConfig& config) {
+  BDI_CHECK(config.certain_threshold > config.possible_threshold);
+  std::vector<AttrEdge> certain;
+  std::vector<AttrEdge> ambiguous;
+  std::vector<double> edge_prob;
+  for (const AttrEdge& e : edges) {
+    if (e.score >= config.certain_threshold) {
+      certain.push_back(e);
+    } else if (e.score >= config.possible_threshold) {
+      ambiguous.push_back(e);
+      edge_prob.push_back(
+          (e.score - config.possible_threshold) /
+          (config.certain_threshold - config.possible_threshold));
+    }
+  }
+
+  ProbabilisticMediatedSchema result;
+  std::map<std::string, std::pair<size_t, double>> dedup;  // sig -> (idx, p)
+
+  auto add_world = [&](const std::vector<bool>& included, double weight) {
+    std::vector<AttrEdge> world_edges = certain;
+    for (size_t i = 0; i < ambiguous.size(); ++i) {
+      if (included[i]) world_edges.push_back(ambiguous[i]);
+    }
+    MediatedSchemaConfig msc;
+    msc.threshold = 0.0;  // edges are pre-filtered
+    msc.method = config.method;
+    MediatedSchema schema = BuildMediatedSchema(stats, world_edges, msc);
+    std::string signature = ClusterSignature(schema);
+    auto it = dedup.find(signature);
+    if (it != dedup.end()) {
+      result.worlds_[it->second.first].probability += weight;
+    } else {
+      dedup[signature] = {result.worlds_.size(), weight};
+      result.worlds_.push_back(WeightedSchema{std::move(schema), weight});
+    }
+  };
+
+  size_t m = ambiguous.size();
+  if (m <= static_cast<size_t>(config.max_enumerate_bits)) {
+    size_t combos = size_t{1} << m;
+    for (size_t mask = 0; mask < combos; ++mask) {
+      std::vector<bool> included(m);
+      double weight = 1.0;
+      for (size_t i = 0; i < m; ++i) {
+        bool on = (mask >> i) & 1;
+        included[i] = on;
+        weight *= on ? edge_prob[i] : (1.0 - edge_prob[i]);
+      }
+      if (weight <= 0.0) continue;
+      add_world(included, weight);
+    }
+  } else {
+    Rng rng(config.seed);
+    double weight = 1.0 / static_cast<double>(config.num_samples);
+    for (int s = 0; s < config.num_samples; ++s) {
+      std::vector<bool> included(m);
+      for (size_t i = 0; i < m; ++i) {
+        included[i] = rng.Bernoulli(edge_prob[i]);
+      }
+      add_world(included, weight);
+    }
+  }
+
+  std::sort(result.worlds_.begin(), result.worlds_.end(),
+            [](const WeightedSchema& a, const WeightedSchema& b) {
+              return a.probability > b.probability;
+            });
+  if (result.worlds_.size() > config.max_worlds) {
+    result.worlds_.resize(config.max_worlds);
+  }
+  double total = 0.0;
+  for (const WeightedSchema& w : result.worlds_) total += w.probability;
+  if (total > 0.0) {
+    for (WeightedSchema& w : result.worlds_) w.probability /= total;
+  }
+  return result;
+}
+
+double ProbabilisticMediatedSchema::CorrespondenceProbability(
+    const SourceAttr& a, const SourceAttr& b) const {
+  double p = 0.0;
+  for (const WeightedSchema& w : worlds_) {
+    int ca = w.schema.ClusterOf(a);
+    if (ca != -1 && ca == w.schema.ClusterOf(b)) {
+      p += w.probability;
+    }
+  }
+  return p;
+}
+
+MediatedSchema ProbabilisticMediatedSchema::Consensus(
+    const AttributeStatistics& stats, double tau) const {
+  const std::vector<AttrProfile>& profiles = stats.profiles();
+  std::vector<AttrEdge> consensus_edges;
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    for (size_t j = i + 1; j < profiles.size(); ++j) {
+      double p = CorrespondenceProbability(profiles[i].id, profiles[j].id);
+      if (p >= tau) {
+        consensus_edges.push_back(AttrEdge{i, j, p});
+      }
+    }
+  }
+  MediatedSchemaConfig msc;
+  msc.threshold = tau;
+  return BuildMediatedSchema(stats, consensus_edges, msc);
+}
+
+}  // namespace bdi::schema

@@ -1,0 +1,60 @@
+#ifndef BDI_SCHEMA_PROBABILISTIC_SCHEMA_H_
+#define BDI_SCHEMA_PROBABILISTIC_SCHEMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdi/schema/mediated_schema.h"
+
+namespace bdi::schema {
+
+/// One possible mediated schema with its probability.
+struct WeightedSchema {
+  MediatedSchema schema;
+  double probability = 0.0;
+};
+
+struct ProbabilisticSchemaConfig {
+  /// Edges scoring >= certain_threshold always hold; edges scoring <
+  /// possible_threshold never hold; in between, an edge holds with
+  /// probability linear in its score (pay-as-you-go uncertainty).
+  double certain_threshold = 0.80;
+  double possible_threshold = 0.60;
+  /// Enumerate exhaustively while 2^#ambiguous <= 2^max_enumerate_bits;
+  /// otherwise Monte Carlo with `num_samples` worlds.
+  int max_enumerate_bits = 12;
+  int num_samples = 256;
+  /// Keep at most this many distinct worlds (highest probability first).
+  size_t max_worlds = 64;
+  uint64_t seed = 7;
+  ClusterMethod method = ClusterMethod::kCenter;
+};
+
+/// A probabilistic mediated schema (Das Sarma et al., SIGMOD'08): a
+/// distribution over possible attribute clusterings induced by ambiguous
+/// correspondences.
+class ProbabilisticMediatedSchema {
+ public:
+  /// Builds the distribution from scored candidate edges.
+  static ProbabilisticMediatedSchema Build(
+      const AttributeStatistics& stats, const std::vector<AttrEdge>& edges,
+      const ProbabilisticSchemaConfig& config);
+
+  const std::vector<WeightedSchema>& worlds() const { return worlds_; }
+
+  /// Probability mass of worlds placing `a` and `b` in the same cluster.
+  double CorrespondenceProbability(const SourceAttr& a,
+                                   const SourceAttr& b) const;
+
+  /// Deterministic consensus schema: clusters attributes whose pairwise
+  /// correspondence probability is >= tau (transitively).
+  MediatedSchema Consensus(const AttributeStatistics& stats,
+                           double tau) const;
+
+ private:
+  std::vector<WeightedSchema> worlds_;
+};
+
+}  // namespace bdi::schema
+
+#endif  // BDI_SCHEMA_PROBABILISTIC_SCHEMA_H_

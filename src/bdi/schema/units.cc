@@ -1,0 +1,58 @@
+#include "bdi/schema/units.h"
+
+#include <cmath>
+
+namespace bdi::schema {
+
+namespace {
+
+/// Best snap candidate among {1} ∪ factors ∪ 1/factors by log-distance;
+/// returns `scale` unchanged when nothing is within `tolerance`.
+double BestSnap(double scale, double tolerance, const double* factors,
+                size_t num_factors) {
+  if (scale <= 0.0) return 1.0;
+  double best = scale;
+  double best_distance = std::log(1.0 + tolerance);
+  auto consider = [&](double candidate) {
+    double distance = std::abs(std::log(scale / candidate));
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  };
+  consider(1.0);
+  for (size_t i = 0; i < num_factors; ++i) {
+    consider(factors[i]);
+    consider(1.0 / factors[i]);
+  }
+  return best;
+}
+
+}  // namespace
+
+double SnapScale(double scale, double tolerance) {
+  return BestSnap(scale, tolerance, kKnownUnitFactors,
+                  sizeof(kKnownUnitFactors) / sizeof(double));
+}
+
+bool IsMeasurementUnitConversion(double scale) {
+  if (scale <= 0.0) return false;
+  constexpr double kMeasurementFactors[] = {2.54, 28.35, 0.4536, 0.3048,
+                                            0.3937};
+  for (double f : kMeasurementFactors) {
+    if (std::abs(scale / f - 1.0) < 0.08) return true;
+    if (std::abs(scale * f - 1.0) < 0.08) return true;
+  }
+  return false;
+}
+
+bool IsKnownUnitConversion(double scale) {
+  if (scale <= 0.0) return false;
+  for (double f : kKnownUnitFactors) {
+    if (std::abs(scale / f - 1.0) < 0.08) return true;
+    if (std::abs(scale * f - 1.0) < 0.08) return true;
+  }
+  return false;
+}
+
+}  // namespace bdi::schema

@@ -1,0 +1,28 @@
+#ifndef BDI_SCHEMA_UNITS_H_
+#define BDI_SCHEMA_UNITS_H_
+
+namespace bdi::schema {
+
+/// Unit-conversion constants worth snapping an estimated scale ratio to
+/// (and their inverses): in/cm, oz/g, lb/kg, ft/m, cm/mm, percent,
+/// thousands.
+inline constexpr double kKnownUnitFactors[] = {2.54,   28.35, 0.4536, 0.3048,
+                                               0.3937, 10.0,  100.0,  1000.0};
+
+/// Snaps a measured multiplicative ratio to 1.0 or the closest known
+/// conversion factor (or its inverse) within `tolerance` relative error;
+/// otherwise returns it unchanged. Non-positive ratios yield 1.0.
+double SnapScale(double scale, double tolerance = 0.10);
+
+/// True when `scale` is (close to) a known non-identity unit conversion.
+bool IsKnownUnitConversion(double scale);
+
+/// Like IsKnownUnitConversion but restricted to genuine measurement-unit
+/// factors (in/cm, oz/g, lb/kg, ft/m) — excludes powers of ten, whose
+/// accidental matches are common between unrelated numeric attributes.
+/// Used when the conversion hypothesis itself is evidence for a match.
+bool IsMeasurementUnitConversion(double scale);
+
+}  // namespace bdi::schema
+
+#endif  // BDI_SCHEMA_UNITS_H_

@@ -1,0 +1,145 @@
+#include "bdi/schema/value_normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdi/common/string_util.h"
+#include "bdi/schema/units.h"
+
+namespace bdi::schema {
+
+namespace {
+
+std::string StringNormalize(std::string_view raw) {
+  return ToLower(NormalizeWhitespace(raw));
+}
+
+}  // namespace
+
+ValueNormalizer ValueNormalizer::Fit(const AttributeStatistics& stats,
+                                     const MediatedSchema& schema) {
+  ValueNormalizer normalizer;
+  for (const auto& members : schema.clusters) {
+    // Gather numeric members and pick the best-populated as reference.
+    const AttrProfile* reference = nullptr;
+    size_t numeric_members = 0;
+    for (const SourceAttr& sa : members) {
+      const AttrProfile* profile = stats.Find(sa);
+      if (profile == nullptr) continue;
+      if (profile->IsNumeric()) {
+        ++numeric_members;
+        if (reference == nullptr ||
+            profile->num_values > reference->num_values) {
+          reference = profile;
+        }
+      }
+    }
+    bool cluster_numeric = numeric_members * 2 >= members.size() &&
+                           reference != nullptr &&
+                           reference->numeric_median != 0.0;
+
+    // Members fall into "unit classes" by their ratio to the reference.
+    // Per-member snapping is unreliable (median ratios carry sampling
+    // noise that can straddle two nearby conversion constants), so first
+    // cluster the raw ratios in log space, then snap each class center
+    // once. Normalization targets the class carrying the most values (the
+    // dominant published unit) — otherwise one big oz-publishing source
+    // would drag a g-dominated cluster into ounces.
+    struct MemberRatio {
+      const AttrProfile* profile;
+      double log_ratio;
+      double weight;
+    };
+    std::vector<MemberRatio> ratios;
+    if (cluster_numeric) {
+      for (const SourceAttr& sa : members) {
+        const AttrProfile* profile = stats.Find(sa);
+        if (profile == nullptr || !profile->IsNumeric() ||
+            profile->numeric_median == 0.0 ||
+            reference->numeric_median / profile->numeric_median <= 0.0) {
+          continue;
+        }
+        ratios.push_back(MemberRatio{
+            profile,
+            std::log(reference->numeric_median / profile->numeric_median),
+            static_cast<double>(profile->num_values)});
+      }
+    }
+    std::sort(ratios.begin(), ratios.end(),
+              [](const MemberRatio& a, const MemberRatio& b) {
+                return a.log_ratio < b.log_ratio;
+              });
+    // Single-linkage classes: adjacent ratios within 12% belong together.
+    constexpr double kClassGap = 0.12;  // in log space
+    std::map<const AttrProfile*, double> scale_to_reference;
+    double canonical_center = 1.0;
+    double best_weight = -1.0;
+    size_t begin = 0;
+    while (begin < ratios.size()) {
+      size_t end = begin + 1;
+      while (end < ratios.size() &&
+             ratios[end].log_ratio - ratios[end - 1].log_ratio < kClassGap) {
+        ++end;
+      }
+      double weight_total = 0.0, log_sum = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        weight_total += ratios[i].weight;
+        log_sum += ratios[i].log_ratio * ratios[i].weight;
+      }
+      double center = SnapScale(std::exp(log_sum / weight_total), 0.15);
+      // Only unit conversions are trustworthy transformations; an
+      // arbitrary median ratio (1.3x, 5x, ...) is far more likely sampling
+      // noise between small samples than a real representation change.
+      if (center != 1.0 && !IsKnownUnitConversion(center)) {
+        center = 1.0;
+      }
+      for (size_t i = begin; i < end; ++i) {
+        scale_to_reference[ratios[i].profile] = center;
+      }
+      if (weight_total > best_weight) {
+        best_weight = weight_total;
+        canonical_center = center;
+      }
+      begin = end;
+    }
+
+    for (const SourceAttr& sa : members) {
+      const AttrProfile* profile = stats.Find(sa);
+      Entry entry;
+      auto it = scale_to_reference.find(profile);
+      if (cluster_numeric && it != scale_to_reference.end()) {
+        entry.numeric = true;
+        // member -> reference units (class center), then reference ->
+        // dominant-class units (1 / canonical center).
+        entry.scale = SnapScale(it->second / canonical_center, 0.10);
+      }
+      normalizer.entries_[sa] = entry;
+    }
+  }
+  return normalizer;
+}
+
+std::string ValueNormalizer::Normalize(const SourceAttr& sa,
+                                       std::string_view raw) const {
+  auto it = entries_.find(sa);
+  if (it == entries_.end() || !it->second.numeric) {
+    return StringNormalize(raw);
+  }
+  double value = 0.0;
+  if (!ParseLeadingDouble(raw, &value, nullptr)) {
+    return StringNormalize(raw);
+  }
+  return FormatDouble(value * it->second.scale, 2);
+}
+
+double ValueNormalizer::ScaleOf(const SourceAttr& sa) const {
+  auto it = entries_.find(sa);
+  return it == entries_.end() ? 1.0 : it->second.scale;
+}
+
+bool ValueNormalizer::IsNumeric(const SourceAttr& sa) const {
+  auto it = entries_.find(sa);
+  return it != entries_.end() && it->second.numeric;
+}
+
+}  // namespace bdi::schema

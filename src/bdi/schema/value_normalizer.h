@@ -1,0 +1,49 @@
+#ifndef BDI_SCHEMA_VALUE_NORMALIZER_H_
+#define BDI_SCHEMA_VALUE_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "bdi/schema/attribute_stats.h"
+#include "bdi/schema/mediated_schema.h"
+
+namespace bdi::schema {
+
+/// Learns per-attribute value transformations within each mediated-schema
+/// cluster and applies them, so downstream fusion compares values in one
+/// representation. This is the "identify value transformations" half of
+/// schema alignment:
+///
+///  * string attributes are lowercased and whitespace-normalized;
+///  * numeric attributes are rescaled to the cluster's reference attribute
+///    via the ratio of value medians (detecting cm-vs-inch style unit
+///    differences without any unit dictionary), with the estimated ratio
+///    snapped to well-known conversion constants when close.
+class ValueNormalizer {
+ public:
+  /// Learns scales for every attribute that appears in `schema`.
+  static ValueNormalizer Fit(const AttributeStatistics& stats,
+                             const MediatedSchema& schema);
+
+  /// Canonical form of `raw` for the given source attribute. Attributes
+  /// never seen in Fit get the string normalization only.
+  std::string Normalize(const SourceAttr& sa, std::string_view raw) const;
+
+  /// Learned multiplicative scale (1.0 when not numeric or unknown).
+  double ScaleOf(const SourceAttr& sa) const;
+
+  /// Whether the attribute was classified numeric during Fit.
+  bool IsNumeric(const SourceAttr& sa) const;
+
+ private:
+  struct Entry {
+    bool numeric = false;
+    double scale = 1.0;
+  };
+  std::unordered_map<SourceAttr, Entry, SourceAttrHash> entries_;
+};
+
+}  // namespace bdi::schema
+
+#endif  // BDI_SCHEMA_VALUE_NORMALIZER_H_

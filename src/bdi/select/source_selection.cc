@@ -1,0 +1,191 @@
+#include "bdi/select/source_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/random.h"
+
+namespace bdi::select {
+
+double EstimateFusionAccuracy(const std::vector<double>& accuracies,
+                              const SelectionConfig& config) {
+  if (accuracies.empty()) return 0.0;
+  Rng rng(config.seed);
+  int n_false = std::max(1, static_cast<int>(config.n_false_values));
+  std::vector<double> weight(accuracies.size(), 1.0);
+  if (config.accuracy_weighted) {
+    for (size_t s = 0; s < accuracies.size(); ++s) {
+      double a = std::clamp(accuracies[s], 0.01, 0.99);
+      weight[s] =
+          std::max(0.0, std::log(config.n_false_values * a / (1.0 - a)));
+    }
+  }
+  int correct = 0;
+  std::vector<double> false_votes(n_false);
+  for (int sample = 0; sample < config.mc_samples; ++sample) {
+    double true_votes = 0.0;
+    std::fill(false_votes.begin(), false_votes.end(), 0.0);
+    for (size_t s = 0; s < accuracies.size(); ++s) {
+      if (rng.Bernoulli(accuracies[s])) {
+        true_votes += weight[s];
+      } else {
+        false_votes[rng.UniformInt(0, n_false - 1)] += weight[s];
+      }
+    }
+    double best_false =
+        *std::max_element(false_votes.begin(), false_votes.end());
+    if (true_votes > best_false) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(config.mc_samples);
+}
+
+double EstimateCoverage(const std::vector<double>& coverages) {
+  double uncovered = 1.0;
+  for (double c : coverages) {
+    uncovered *= 1.0 - std::clamp(c, 0.0, 1.0);
+  }
+  return 1.0 - uncovered;
+}
+
+double EstimateQuality(const std::vector<SourceProfile>& selected,
+                       const SelectionConfig& config) {
+  if (selected.empty()) return 0.0;
+  std::vector<double> accuracies, coverages;
+  accuracies.reserve(selected.size());
+  coverages.reserve(selected.size());
+  for (const SourceProfile& p : selected) {
+    accuracies.push_back(p.accuracy);
+    coverages.push_back(p.coverage);
+  }
+  return EstimateFusionAccuracy(accuracies, config) *
+         EstimateCoverage(coverages);
+}
+
+namespace {
+
+/// Evaluates the quality/cost/gain curves for a fixed ordering.
+SelectionResult CurvesForOrder(const std::vector<SourceProfile>& profiles,
+                               std::vector<size_t> order,
+                               const SelectionConfig& config,
+                               std::string strategy) {
+  SelectionResult result;
+  result.strategy = std::move(strategy);
+  std::vector<SourceProfile> prefix;
+  double cumulative_cost = 0.0;
+  double best_gain = -1e300;
+  for (size_t k = 0; k < order.size(); ++k) {
+    const SourceProfile& p = profiles[order[k]];
+    prefix.push_back(p);
+    cumulative_cost += p.cost;
+    double quality = EstimateQuality(prefix, config);
+    double gain = quality - config.cost_weight * cumulative_cost;
+    result.order.push_back(p.id);
+    result.quality.push_back(quality);
+    result.cost.push_back(cumulative_cost);
+    result.gain.push_back(gain);
+    if (gain > best_gain) {
+      best_gain = gain;
+      result.best_prefix = k + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SelectionResult GreedySelect(const std::vector<SourceProfile>& profiles,
+                             const SelectionConfig& config) {
+  std::vector<bool> used(profiles.size(), false);
+  std::vector<size_t> order;
+  std::vector<SourceProfile> prefix;
+  double current_quality = 0.0;
+  double cumulative_cost = 0.0;
+  for (size_t step = 0; step < profiles.size(); ++step) {
+    double best_delta = -1e300;
+    size_t best_index = SIZE_MAX;
+    double best_quality = 0.0;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+      if (used[i]) continue;
+      prefix.push_back(profiles[i]);
+      double quality = EstimateQuality(prefix, config);
+      prefix.pop_back();
+      double delta = (quality - current_quality) -
+                     config.cost_weight * profiles[i].cost;
+      if (delta > best_delta) {
+        best_delta = delta;
+        best_index = i;
+        best_quality = quality;
+      }
+    }
+    BDI_CHECK(best_index != SIZE_MAX);
+    used[best_index] = true;
+    order.push_back(best_index);
+    prefix.push_back(profiles[best_index]);
+    current_quality = best_quality;
+    cumulative_cost += profiles[best_index].cost;
+  }
+  return CurvesForOrder(profiles, order, config, "greedy");
+}
+
+SelectionResult OrderByAccuracy(const std::vector<SourceProfile>& profiles,
+                                const SelectionConfig& config) {
+  std::vector<size_t> order(profiles.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    if (profiles[x].accuracy != profiles[y].accuracy) {
+      return profiles[x].accuracy > profiles[y].accuracy;
+    }
+    return x < y;
+  });
+  return CurvesForOrder(profiles, order, config, "by-accuracy");
+}
+
+SelectionResult OrderByCoverage(const std::vector<SourceProfile>& profiles,
+                                const SelectionConfig& config) {
+  std::vector<size_t> order(profiles.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    if (profiles[x].coverage != profiles[y].coverage) {
+      return profiles[x].coverage > profiles[y].coverage;
+    }
+    return x < y;
+  });
+  return CurvesForOrder(profiles, order, config, "by-coverage");
+}
+
+SelectionResult RandomOrder(const std::vector<SourceProfile>& profiles,
+                            const SelectionConfig& config) {
+  std::vector<size_t> order(profiles.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(config.seed);
+  rng.Shuffle(&order);
+  return CurvesForOrder(profiles, order, config, "random");
+}
+
+fusion::ClaimDb RestrictToSources(const fusion::ClaimDb& db,
+                                  const std::vector<bool>& keep) {
+  fusion::ClaimDb restricted;
+  restricted.set_num_sources(db.num_sources());
+  for (const fusion::DataItem& item : db.items()) {
+    fusion::DataItem copy;
+    copy.entity = item.entity;
+    copy.attr = item.attr;
+    for (const fusion::Claim& claim : item.claims) {
+      if (claim.source >= 0 &&
+          static_cast<size_t>(claim.source) < keep.size() &&
+          keep[claim.source]) {
+        copy.claims.push_back(claim);
+      }
+    }
+    if (!copy.claims.empty()) {
+      restricted.AddItem(std::move(copy));
+    }
+  }
+  return restricted;
+}
+
+}  // namespace bdi::select

@@ -1,0 +1,89 @@
+#ifndef BDI_SELECT_SOURCE_SELECTION_H_
+#define BDI_SELECT_SOURCE_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdi/fusion/claims.h"
+#include "bdi/model/types.h"
+
+namespace bdi::select {
+
+/// What the selector knows about a candidate source before integrating it.
+struct SourceProfile {
+  SourceId id = kInvalidSource;
+  /// Estimated accuracy (e.g. from a sample fusion or past integration).
+  double accuracy = 0.8;
+  /// Fraction of the domain's entities the source covers, in [0, 1].
+  double coverage = 0.1;
+  /// Cost of acquiring/integrating the source.
+  double cost = 1.0;
+};
+
+struct SelectionConfig {
+  /// Assumed number of false values per item (the fusion model's n). Small
+  /// values model domains where wrong values collide (booleans, gates,
+  /// rounded prices) — the regime where extra bad sources genuinely hurt.
+  double n_false_values = 4.0;
+  /// Monte Carlo samples for estimating fused accuracy of a source set.
+  int mc_samples = 4000;
+  uint64_t seed = 11;
+  /// Weight of cost in the net gain: gain = quality - cost_weight * cost.
+  double cost_weight = 0.0;
+  /// false (default): plain majority vote, the fusion model of the "Less
+  /// is More" analysis, under which low-accuracy sources can reduce fused
+  /// accuracy. true: accuracy-weighted (log-odds) voting — an oracle-
+  /// weighted upper bound under which extra sources rarely hurt.
+  bool accuracy_weighted = false;
+};
+
+/// Estimated probability that voting over sources with the given
+/// accuracies returns the true value (Monte Carlo under the
+/// n-false-values model). The marginal version of the "Less is More"
+/// quality function.
+double EstimateFusionAccuracy(const std::vector<double>& accuracies,
+                              const SelectionConfig& config);
+
+/// Expected fraction of entities covered by at least one selected source,
+/// assuming independent coverage.
+double EstimateCoverage(const std::vector<double>& coverages);
+
+/// Quality of a source set: estimated fused accuracy x expected coverage.
+double EstimateQuality(const std::vector<SourceProfile>& selected,
+                       const SelectionConfig& config);
+
+/// An inspection order with per-prefix quality/cost/gain curves.
+struct SelectionResult {
+  std::string strategy;
+  std::vector<SourceId> order;
+  std::vector<double> quality;  ///< quality after integrating prefix k+1
+  std::vector<double> cost;     ///< cumulative cost
+  std::vector<double> gain;     ///< quality - cost_weight * cost
+  /// Prefix length maximizing gain (the "less is more" stopping point).
+  size_t best_prefix = 0;
+};
+
+/// Greedy marginal-gain selection (GRG): repeatedly add the source with
+/// the largest net-gain improvement; the returned curves cover the full
+/// ordering so callers can see the decline past the optimum.
+SelectionResult GreedySelect(const std::vector<SourceProfile>& profiles,
+                             const SelectionConfig& config);
+
+/// Baseline orderings evaluated with the same quality function.
+SelectionResult OrderByAccuracy(const std::vector<SourceProfile>& profiles,
+                                const SelectionConfig& config);
+SelectionResult OrderByCoverage(const std::vector<SourceProfile>& profiles,
+                                const SelectionConfig& config);
+SelectionResult RandomOrder(const std::vector<SourceProfile>& profiles,
+                            const SelectionConfig& config);
+
+/// Restriction of a claim database to a subset of sources — used to
+/// *measure* (rather than estimate) the quality of a selection by actually
+/// fusing the retained claims.
+fusion::ClaimDb RestrictToSources(const fusion::ClaimDb& db,
+                                  const std::vector<bool>& keep);
+
+}  // namespace bdi::select
+
+#endif  // BDI_SELECT_SOURCE_SELECTION_H_

@@ -1,0 +1,180 @@
+#ifndef BDI_SYNTH_CONFIG_H_
+#define BDI_SYNTH_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdi/model/dataset.h"
+#include "bdi/model/types.h"
+
+namespace bdi::synth {
+
+/// How an attribute's values are drawn.
+enum class AttrType {
+  kCategorical,  ///< values from a finite named domain (e.g. color)
+  kNumeric,      ///< real values in [min_value, max_value] with units
+};
+
+/// One canonical attribute of the generated domain (e.g. "weight").
+struct AttributeSpec {
+  std::string name;
+  AttrType type = AttrType::kCategorical;
+
+  /// Categorical: number of distinct domain values ("<name>_v<i>").
+  int domain_size = 20;
+
+  /// Numeric range (inclusive) for the true values.
+  double min_value = 1.0;
+  double max_value = 1000.0;
+
+  /// Numeric unit suffixes with conversion factor to the first (base) unit,
+  /// e.g. {{"cm", 1.0}, {"in", 2.54}} — a value stored as x base units may
+  /// be published as x/factor with the alternate suffix.
+  std::vector<std::pair<std::string, double>> units;
+
+  /// Probability an entity has a value for this attribute at all
+  /// (tail attributes have low presence).
+  double presence_prob = 0.9;
+
+  /// Distinct wrong values available per item; error draws pick uniformly
+  /// among them, so false values repeat across sources (the Accu/AccuCopy
+  /// "n false values" assumption).
+  int num_false_values = 10;
+};
+
+/// Noise applied to the record's display name; controls linkage difficulty.
+struct NameNoiseConfig {
+  double typo_prob = 0.05;         ///< one character edit in some token
+  double token_drop_prob = 0.05;   ///< drop a non-brand token
+  double extra_token_prob = 0.15;  ///< append a marketing token
+};
+
+/// Full description of a synthetic integration world.
+struct WorldConfig {
+  uint64_t seed = 42;
+  std::string category = "camera";
+
+  int num_entities = 1000;
+  int num_sources = 20;
+
+  /// Popularity skew of entities (head entities appear in many sources).
+  double entity_zipf_s = 1.0;
+
+  /// Coverage of the rank-r source decays as head_coverage / (r+1)^skew.
+  double head_source_coverage = 0.8;
+  double min_source_coverage = 0.01;
+  double source_size_zipf_s = 1.0;
+
+  // --- Variety: schema heterogeneity ---
+  /// Probability a source renames an attribute to a synonym variant.
+  double synonym_prob = 0.5;
+  /// Number of synonym variants generated per canonical attribute.
+  int num_synonyms_per_attr = 4;
+  /// Probability the (possibly synonymized) name gets a decoration
+  /// ("product weight", "weight (details)").
+  double decoration_prob = 0.2;
+  /// Each source publishes a uniform fraction of the attributes in
+  /// [attr_subset_min, attr_subset_max].
+  double attr_subset_min = 0.6;
+  double attr_subset_max = 1.0;
+
+  // --- Variety: value heterogeneity ---
+  /// Probability a source uses a non-base unit / alternate formatting.
+  double format_variation_prob = 0.4;
+
+  // --- Veracity: honest errors ---
+  double source_accuracy_min = 0.7;
+  double source_accuracy_max = 0.95;
+
+  // --- Veracity: copiers ---
+  /// The last `num_copiers` sources copy from an independent source.
+  int num_copiers = 0;
+  /// Probability a copier's item is copied rather than independent.
+  double copy_rate = 0.8;
+  /// Accuracy of a copier's independently-provided values.
+  double copier_accuracy_min = 0.5;
+  double copier_accuracy_max = 0.8;
+  /// Independent-source index every copier copies; -1 = each copier picks
+  /// uniformly at random. Pinning all copiers to one source reproduces the
+  /// classic "one wrong value propagates" fusion scenario.
+  int copier_original = -1;
+  /// Accuracy override for source 0 (the head source); negative = draw
+  /// from [source_accuracy_min, source_accuracy_max] like everyone else.
+  double source0_accuracy = -1.0;
+
+  // --- Veracity: deceit ---
+  /// Number of *deceitful* independent sources (taken from the end of the
+  /// independent range, before copiers): they systematically inflate every
+  /// numeric value by `deceit_inflation` — self-consistent lies, unlike
+  /// the uniform honest-error model, and invisible to copy detection.
+  int num_deceitful = 0;
+  double deceit_inflation = 0.25;
+  /// false: liars are the smallest independent sources (tail). true: the
+  /// largest ones after source 0 (head) — far more damaging, since their
+  /// claims dominate many items.
+  bool deceit_in_head = false;
+
+  // --- Identifiers (the linkage opportunity) ---
+  bool publish_identifiers = true;
+  /// Probability a record publishes the identifier attribute.
+  double identifier_presence_prob = 0.9;
+  /// Probability a published identifier has a typo.
+  double identifier_noise_prob = 0.02;
+  /// Probability a record also lists identifiers of related entities
+  /// (the "suggested products" hazard for id-based blocking).
+  double related_products_prob = 0.0;
+
+  NameNoiseConfig name_noise;
+
+  /// Canonical attributes. Empty means DefaultAttributes(category).
+  std::vector<AttributeSpec> attributes;
+};
+
+/// Per-snapshot churn for velocity experiments (E11).
+struct TemporalConfig {
+  int num_snapshots = 12;
+  /// Fraction of a source's records that disappear per step.
+  double record_death_rate = 0.08;
+  /// Fraction of new records (of so-far-uncovered or new entities) added
+  /// per step, relative to current source size.
+  double record_birth_rate = 0.08;
+  /// Probability a source disappears entirely at a step.
+  double source_death_rate = 0.03;
+  /// New entities appearing per step, relative to num_entities.
+  double entity_birth_rate = 0.02;
+  /// Probability a true value drifts per step (price-like volatility).
+  double value_change_rate = 0.10;
+  /// Probability a source refreshes its claim on a drifted item (otherwise
+  /// it keeps publishing the stale value).
+  double refresh_prob = 0.5;
+  /// Probability an entity's display name evolves per step (rebrands,
+  /// revision suffixes). Existing pages keep the old name; pages rendered
+  /// after the drift use the new one — the temporal-linkage challenge.
+  double name_drift_rate = 0.0;
+};
+
+/// A multi-snapshot corpus flattened into one dataset with per-record
+/// timestamps — the input shape of temporal record linkage.
+struct TemporalCorpus {
+  Dataset dataset;
+  /// Snapshot index (0-based) each record was observed in.
+  std::vector<double> record_time;
+  std::vector<EntityId> entity_of_record;
+  int num_snapshots = 0;
+};
+
+/// Simulates `num_snapshots` snapshots under `temporal` churn and flattens
+/// them into one timestamped corpus.
+TemporalCorpus GenerateTemporalCorpus(const WorldConfig& config,
+                                      const TemporalConfig& temporal,
+                                      int num_snapshots);
+
+/// Returns the built-in attribute specs for `category`; recognized
+/// categories: "camera", "headphone", "tv", "stock", "flight", "book".
+/// Unknown categories fall back to a generic spec set.
+std::vector<AttributeSpec> DefaultAttributes(const std::string& category);
+
+}  // namespace bdi::synth
+
+#endif  // BDI_SYNTH_CONFIG_H_

@@ -1,0 +1,121 @@
+#include "bdi/synth/config.h"
+
+namespace bdi::synth {
+
+namespace {
+
+AttributeSpec Categorical(std::string name, int domain, double presence) {
+  AttributeSpec spec;
+  spec.name = std::move(name);
+  spec.type = AttrType::kCategorical;
+  spec.domain_size = domain;
+  spec.presence_prob = presence;
+  return spec;
+}
+
+AttributeSpec Numeric(std::string name, double lo, double hi,
+                      std::vector<std::pair<std::string, double>> units,
+                      double presence) {
+  AttributeSpec spec;
+  spec.name = std::move(name);
+  spec.type = AttrType::kNumeric;
+  spec.min_value = lo;
+  spec.max_value = hi;
+  spec.units = std::move(units);
+  spec.presence_prob = presence;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<AttributeSpec> DefaultAttributes(const std::string& category) {
+  if (category == "camera") {
+    return {
+        Categorical("brand", 12, 1.0),
+        Numeric("resolution", 8, 50, {{"mp", 1.0}}, 0.95),
+        Numeric("weight", 100, 1500, {{"g", 1.0}, {"oz", 28.35}}, 0.9),
+        Numeric("screen size", 2.0, 4.0, {{"in", 1.0}, {"cm", 0.3937}}, 0.85),
+        Categorical("color", 8, 0.8),
+        Numeric("optical zoom", 1, 60, {{"x", 1.0}}, 0.7),
+        Categorical("sensor type", 6, 0.6),
+        Numeric("battery life", 100, 1200, {{"shots", 1.0}}, 0.4),
+        Categorical("viewfinder", 4, 0.3),
+        Numeric("burst rate", 1, 20, {{"fps", 1.0}}, 0.25),
+    };
+  }
+  if (category == "headphone") {
+    return {
+        Categorical("brand", 15, 1.0),
+        Categorical("type", 5, 0.95),
+        Numeric("impedance", 16, 600, {{"ohm", 1.0}}, 0.8),
+        Numeric("weight", 50, 500, {{"g", 1.0}, {"oz", 28.35}}, 0.85),
+        Categorical("color", 10, 0.8),
+        Numeric("driver size", 20, 70, {{"mm", 1.0}, {"cm", 10.0}}, 0.6),
+        Categorical("connectivity", 4, 0.7),
+        Numeric("cable length", 0.8, 3.0, {{"m", 1.0}, {"ft", 0.3048}}, 0.4),
+    };
+  }
+  if (category == "tv") {
+    return {
+        Categorical("brand", 10, 1.0),
+        Numeric("screen size", 24, 85, {{"in", 1.0}, {"cm", 0.3937}}, 0.98),
+        Categorical("resolution", 5, 0.95),
+        Numeric("refresh rate", 50, 240, {{"hz", 1.0}}, 0.8),
+        Numeric("weight", 3, 45, {{"kg", 1.0}, {"lb", 0.4536}}, 0.8),
+        Categorical("panel type", 5, 0.6),
+        Numeric("hdmi ports", 1, 6, {{"", 1.0}}, 0.7),
+        Categorical("smart platform", 6, 0.5),
+    };
+  }
+  if (category == "stock") {
+    // Mirrors the Deep-Web study's stock domain: mostly numeric,
+    // frequently-changing values.
+    return {
+        Numeric("last price", 1, 900, {{"usd", 1.0}}, 1.0),
+        Numeric("open price", 1, 900, {{"usd", 1.0}}, 0.95),
+        Numeric("volume", 1e4, 5e7, {{"", 1.0}}, 0.95),
+        Numeric("market cap", 1e8, 5e11, {{"usd", 1.0}}, 0.85),
+        Numeric("pe ratio", 2, 80, {{"", 1.0}}, 0.8),
+        Numeric("dividend yield", 0, 9, {{"%", 1.0}}, 0.6),
+        Numeric("52wk high", 1, 999, {{"usd", 1.0}}, 0.75),
+        Numeric("52wk low", 1, 900, {{"usd", 1.0}}, 0.75),
+        Numeric("eps", 0.1, 40, {{"usd", 1.0}}, 0.7),
+    };
+  }
+  if (category == "flight") {
+    return {
+        Categorical("airline", 12, 1.0),
+        Categorical("departure gate", 40, 0.8),
+        Categorical("arrival gate", 40, 0.8),
+        Numeric("scheduled departure", 0, 1439, {{"min", 1.0}}, 1.0),
+        Numeric("actual departure", 0, 1439, {{"min", 1.0}}, 0.9),
+        Numeric("scheduled arrival", 0, 1439, {{"min", 1.0}}, 1.0),
+        Numeric("actual arrival", 0, 1439, {{"min", 1.0}}, 0.9),
+        Categorical("status", 5, 0.95),
+    };
+  }
+  if (category == "book") {
+    // The AbeBooks-style fusion scenario: author lists are the
+    // error-prone attribute.
+    return {
+        Categorical("author", 200, 1.0),
+        Categorical("publisher", 30, 0.9),
+        Numeric("publication year", 1950, 2013, {{"", 1.0}}, 0.9),
+        Numeric("pages", 40, 1500, {{"", 1.0}}, 0.7),
+        Categorical("format", 5, 0.8),
+        Categorical("language", 8, 0.6),
+        Numeric("list price", 5, 250, {{"usd", 1.0}}, 0.7),
+    };
+  }
+  // Generic fallback.
+  return {
+      Categorical("brand", 10, 1.0),
+      Categorical("color", 8, 0.8),
+      Numeric("weight", 10, 5000, {{"g", 1.0}, {"oz", 28.35}}, 0.85),
+      Numeric("size", 1, 100, {{"cm", 1.0}, {"in", 2.54}}, 0.8),
+      Categorical("material", 12, 0.5),
+      Numeric("price", 1, 2000, {{"usd", 1.0}}, 0.9),
+  };
+}
+
+}  // namespace bdi::synth

@@ -1,0 +1,779 @@
+#include "bdi/synth/world.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/string_util.h"
+
+namespace bdi::synth {
+
+using internal::EntityState;
+using internal::SourceRecordState;
+using internal::SourceState;
+using internal::ValueFormat;
+
+namespace {
+
+constexpr int kCanonicalName = 0;
+constexpr int kCanonicalId = 1;
+constexpr int kCanonicalBase = 2;  // spec attrs start here
+
+const char* const kNameAttrPool[] = {"name", "title", "product name",
+                                     "model"};
+const char* const kIdAttrPool[] = {"sku", "mpn", "id", "model number",
+                                   "part number"};
+const char* const kExtraTokens[] = {"new", "pro", "2013", "black", "bundle",
+                                    "kit", "edition", "plus"};
+const char* const kBrandStems[] = {"zor", "cal", "ven", "mira", "tek", "lum",
+                                   "pax", "nor", "qui", "bel", "dra", "fen"};
+const char* const kBrandEnds[] = {"ix", "on", "ar", "eo", "us", "ora"};
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) {
+    s[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(s[0])));
+  }
+  return s;
+}
+
+/// Consonant skeleton ("weight" -> "wght"), max 5 chars; used as the
+/// abbreviated synonym variant.
+std::string ConsonantSkeleton(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (out.size() >= 5) break;
+    char lc = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lc == 'a' || lc == 'e' || lc == 'i' || lc == 'o' || lc == 'u' ||
+        lc == ' ') {
+      if (out.empty() && lc != ' ') out.push_back(lc);
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(lc)) != 0) out.push_back(lc);
+  }
+  if (out.empty()) out = name.substr(0, 2);
+  return out;
+}
+
+}  // namespace
+
+WorldSimulator::WorldSimulator(const WorldConfig& config)
+    : config_(config), rng_(config.seed) {
+  attrs_ = config_.attributes.empty() ? DefaultAttributes(config_.category)
+                                      : config_.attributes;
+  BDI_CHECK(!attrs_.empty());
+  BDI_CHECK(config_.num_entities > 0);
+  BDI_CHECK(config_.num_sources > 0);
+  BDI_CHECK(config_.num_copiers >= 0 &&
+            config_.num_copiers < config_.num_sources)
+      << "need at least one independent source";
+  BDI_CHECK(config_.num_deceitful >= 0 &&
+            config_.num_deceitful <=
+                config_.num_sources - config_.num_copiers)
+      << "more deceitful sources than independent sources";
+
+  // Brand pool shared by entity names.
+  size_t num_brands = std::min<size_t>(12, 4 + attrs_.size());
+  std::set<std::string> brand_set;
+  while (brand_set.size() < num_brands) {
+    std::string brand =
+        Capitalize(std::string(kBrandStems[rng_.UniformInt(0, 11)]) +
+                   kBrandEnds[rng_.UniformInt(0, 5)]);
+    brand_set.insert(brand);
+  }
+  brands_.assign(brand_set.begin(), brand_set.end());
+
+  BuildSynonyms();
+  GenerateEntities(config_.num_entities);
+  GenerateSources();
+}
+
+void WorldSimulator::BuildSynonyms() {
+  attr_synonyms_.clear();
+  attr_synonyms_.reserve(attrs_.size());
+  for (const AttributeSpec& spec : attrs_) {
+    std::vector<std::string> variants;
+    variants.push_back(spec.name);
+    std::vector<std::string> pool;
+    if (!spec.units.empty() && !spec.units[0].first.empty()) {
+      pool.push_back(spec.name + " (" + spec.units[0].first + ")");
+    } else {
+      pool.push_back(spec.name + " (spec)");
+    }
+    pool.push_back("item " + spec.name);
+    pool.push_back(ConsonantSkeleton(spec.name));
+    std::string compact = spec.name;
+    compact.erase(std::remove(compact.begin(), compact.end(), ' '),
+                  compact.end());
+    if (compact != spec.name) pool.push_back(compact);
+    pool.push_back(spec.name + " details");
+    pool.push_back(config_.category + " " + spec.name);
+    int want = std::max(0, config_.num_synonyms_per_attr);
+    for (int i = 0; i < want && i < static_cast<int>(pool.size()); ++i) {
+      variants.push_back(pool[i]);
+    }
+    attr_synonyms_.push_back(std::move(variants));
+  }
+}
+
+std::string WorldSimulator::MakeEntityName(Rng* rng) {
+  const std::string& brand =
+      brands_[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(brands_.size()) - 1))];
+  std::string model;
+  model.push_back(static_cast<char>('A' + rng->UniformInt(0, 25)));
+  model.push_back(static_cast<char>('A' + rng->UniformInt(0, 25)));
+  model.push_back('-');
+  model += std::to_string(rng->UniformInt(10, 9999));
+  std::string name = brand + " " + model;
+  if (rng->Bernoulli(0.5)) {
+    name += " " + config_.category;
+  }
+  return name;
+}
+
+std::string WorldSimulator::DrawTrueValue(const AttributeSpec& spec,
+                                          Rng* rng) const {
+  if (spec.type == AttrType::kCategorical) {
+    int k = static_cast<int>(rng->UniformInt(0, spec.domain_size - 1));
+    return NormalizeAlnum(spec.name) + "_v" + std::to_string(k);
+  }
+  double v = rng->UniformDouble(spec.min_value, spec.max_value);
+  return FormatDouble(v, 2);
+}
+
+std::vector<std::string> WorldSimulator::MakeFalsePool(
+    const AttributeSpec& spec, const std::string& truth, Rng* rng) const {
+  std::vector<std::string> pool;
+  int want = std::max(1, spec.num_false_values);
+  if (spec.type == AttrType::kCategorical) {
+    want = std::min(want, spec.domain_size - 1);
+    std::set<std::string> seen{truth};
+    int guard = 0;
+    while (static_cast<int>(pool.size()) < want && guard++ < 1000) {
+      std::string candidate = DrawTrueValue(spec, rng);
+      if (seen.insert(candidate).second) pool.push_back(candidate);
+    }
+    if (pool.empty()) {
+      pool.push_back(NormalizeAlnum(spec.name) + "_vx");
+    }
+    return pool;
+  }
+  double base = 0.0;
+  ParseLeadingDouble(truth, &base, nullptr);
+  std::set<std::string> seen{truth};
+  int guard = 0;
+  while (static_cast<int>(pool.size()) < want && guard++ < 1000) {
+    std::string candidate;
+    if (rng->Bernoulli(0.5)) {
+      // Near miss: small relative perturbation (rewards value-similarity-
+      // aware fusion, as in AccuSim).
+      double rel = rng->UniformDouble(0.02, 0.15);
+      double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+      candidate = FormatDouble(base * (1.0 + sign * rel), 2);
+    } else {
+      candidate = FormatDouble(
+          rng->UniformDouble(spec.min_value, spec.max_value), 2);
+    }
+    if (seen.insert(candidate).second) pool.push_back(candidate);
+  }
+  if (pool.empty()) pool.push_back(FormatDouble(base + 1.0, 2));
+  return pool;
+}
+
+void WorldSimulator::GenerateEntities(int count) {
+  for (int i = 0; i < count; ++i) {
+    EntityState entity;
+    entity.name = MakeEntityName(&rng_);
+    entity.identifier =
+        config_.category.substr(0, 2) +
+        std::to_string(100000 + static_cast<int>(entities_.size()));
+    entity.values.resize(attrs_.size());
+    entity.false_pools.resize(attrs_.size());
+    for (size_t a = 0; a < attrs_.size(); ++a) {
+      if (!rng_.Bernoulli(attrs_[a].presence_prob)) continue;
+      entity.values[a] = DrawTrueValue(attrs_[a], &rng_);
+      entity.false_pools[a] =
+          MakeFalsePool(attrs_[a], entity.values[a], &rng_);
+    }
+    entities_.push_back(std::move(entity));
+  }
+}
+
+std::vector<int> WorldSimulator::SampleEntities(size_t size, Rng* rng) const {
+  size = std::min(size, entities_.size());
+  ZipfDistribution zipf(entities_.size(), config_.entity_zipf_s);
+  std::set<int> chosen;
+  size_t guard = 0, max_attempts = size * 30 + 200;
+  while (chosen.size() < size && guard++ < max_attempts) {
+    chosen.insert(static_cast<int>(zipf.Sample(rng)));
+  }
+  // Fill any shortfall deterministically from the head.
+  for (int e = 0; chosen.size() < size; ++e) chosen.insert(e);
+  std::vector<int> out(chosen.begin(), chosen.end());
+  rng->Shuffle(&out);
+  return out;
+}
+
+std::string WorldSimulator::NoisyName(const std::string& name,
+                                      Rng* rng) const {
+  std::vector<std::string> tokens = SplitWhitespace(name);
+  const NameNoiseConfig& noise = config_.name_noise;
+  if (tokens.size() > 2 && rng->Bernoulli(noise.token_drop_prob)) {
+    // Never drop the model token (index 1), which carries the identity.
+    size_t victim = rng->Bernoulli(0.5) ? 0 : tokens.size() - 1;
+    if (victim != 1) tokens.erase(tokens.begin() + victim);
+  }
+  if (rng->Bernoulli(noise.typo_prob) && !tokens.empty()) {
+    std::string& token = tokens[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(tokens.size()) - 1))];
+    if (!token.empty()) {
+      size_t pos = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(token.size()) - 1));
+      token[pos] = static_cast<char>('a' + rng->UniformInt(0, 25));
+    }
+  }
+  if (rng->Bernoulli(noise.extra_token_prob)) {
+    tokens.push_back(kExtraTokens[rng->UniformInt(0, 7)]);
+  }
+  return Join(tokens, " ");
+}
+
+std::string WorldSimulator::NoisyIdentifier(const std::string& id,
+                                            Rng* rng) const {
+  if (!rng->Bernoulli(config_.identifier_noise_prob) || id.empty()) {
+    return id;
+  }
+  std::string out = id;
+  size_t pos = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+  out[pos] = static_cast<char>('0' + rng->UniformInt(0, 9));
+  return out;
+}
+
+void WorldSimulator::AddClaim(SourceState* source, SourceRecordState* record,
+                              int entity, int attr_index, Rng* rng) {
+  const EntityState& es = entities_[entity];
+  const std::string& truth = es.values[attr_index];
+  if (truth.empty()) return;  // entity has no value for this attribute
+
+  // Copier path: take the original's current claim verbatim.
+  if (source->copier && rng->Bernoulli(source->copy_rate)) {
+    const SourceState& original = sources_[source->original];
+    auto rec_it = original.entity_record.find(entity);
+    if (rec_it != original.entity_record.end()) {
+      const SourceRecordState& orec = original.records[rec_it->second];
+      for (const auto& [a, value] : orec.claims) {
+        if (a == attr_index) {
+          record->claims.emplace_back(attr_index, value);
+          record->copied.push_back(true);
+          return;
+        }
+      }
+    }
+    // Original doesn't cover the item; fall through to independent.
+  }
+
+  // Deceit: systematic, self-consistent inflation of numeric values — a
+  // lie, not a mistake, so it bypasses the accuracy/false-pool model.
+  if (source->deceitful &&
+      attrs_[attr_index].type == AttrType::kNumeric) {
+    double base = 0.0;
+    ParseLeadingDouble(truth, &base, nullptr);
+    record->claims.emplace_back(
+        attr_index,
+        FormatDouble(base * (1.0 + config_.deceit_inflation), 2));
+    record->copied.push_back(false);
+    return;
+  }
+
+  std::string value;
+  if (rng->Bernoulli(source->accuracy)) {
+    value = truth;
+  } else {
+    const std::vector<std::string>& pool = es.false_pools[attr_index];
+    value = pool[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+  }
+  record->claims.emplace_back(attr_index, value);
+  record->copied.push_back(false);
+}
+
+SourceRecordState WorldSimulator::MakeRecord(SourceState* source, int entity,
+                                             Rng* rng) {
+  SourceRecordState record;
+  record.entity = entity;
+  record.display_name = NoisyName(entities_[entity].name, rng);
+  if (config_.publish_identifiers &&
+      rng->Bernoulli(config_.identifier_presence_prob)) {
+    record.identifier = NoisyIdentifier(entities_[entity].identifier, rng);
+  }
+  if (rng->Bernoulli(config_.related_products_prob) &&
+      entities_.size() > 1) {
+    int64_t how_many = rng->UniformInt(1, 3);
+    for (int64_t i = 0; i < how_many; ++i) {
+      int other = static_cast<int>(
+          rng->UniformInt(0, static_cast<int64_t>(entities_.size()) - 1));
+      if (other != entity) {
+        record.related_ids.push_back(entities_[other].identifier);
+      }
+    }
+  }
+  for (int attr_index : source->published_attrs) {
+    AddClaim(source, &record, entity, attr_index, rng);
+  }
+  return record;
+}
+
+void WorldSimulator::GenerateSources() {
+  int num_independent = config_.num_sources - config_.num_copiers;
+  for (int s = 0; s < config_.num_sources; ++s) {
+    SourceState source;
+    source.name = "source" + std::to_string(s) + ".example.com";
+    source.copier = s >= num_independent;
+    if (source.copier) {
+      source.original =
+          config_.copier_original >= 0 &&
+                  config_.copier_original < num_independent
+              ? config_.copier_original
+              : static_cast<int>(rng_.UniformInt(0, num_independent - 1));
+      source.copy_rate = config_.copy_rate;
+      source.accuracy = rng_.UniformDouble(config_.copier_accuracy_min,
+                                           config_.copier_accuracy_max);
+    } else if (s == 0 && config_.source0_accuracy >= 0.0) {
+      source.accuracy = config_.source0_accuracy;
+    } else {
+      source.accuracy = rng_.UniformDouble(config_.source_accuracy_min,
+                                           config_.source_accuracy_max);
+    }
+    // Plant the liars in the head (sources 1..n) or the tail of the
+    // independent range.
+    if (!source.copier) {
+      bool in_head_range = s >= 1 && s <= config_.num_deceitful;
+      bool in_tail_range = s >= num_independent - config_.num_deceitful;
+      if (config_.deceit_in_head ? in_head_range : in_tail_range) {
+        source.deceitful = true;
+      }
+    }
+
+    // Schema: a presence-weighted subset of the attributes.
+    double frac =
+        rng_.UniformDouble(config_.attr_subset_min, config_.attr_subset_max);
+    int want = std::clamp(static_cast<int>(std::lround(
+                              frac * static_cast<double>(attrs_.size()))),
+                          1, static_cast<int>(attrs_.size()));
+    std::vector<double> weights;
+    weights.reserve(attrs_.size());
+    for (const AttributeSpec& spec : attrs_) {
+      weights.push_back(std::max(0.05, spec.presence_prob));
+    }
+    std::set<int> chosen;
+    int guard = 0;
+    while (static_cast<int>(chosen.size()) < want && guard++ < 10000) {
+      chosen.insert(static_cast<int>(rng_.Categorical(weights)));
+    }
+    source.published_attrs.assign(chosen.begin(), chosen.end());
+
+    // Raw names: canonical or synonym, possibly decorated; unique in-source.
+    std::set<std::string> used;
+    source.name_attr = kNameAttrPool[rng_.UniformInt(0, 3)];
+    source.id_attr = kIdAttrPool[rng_.UniformInt(0, 4)];
+    source.related_attr = "related products";
+    used.insert(source.name_attr);
+    used.insert(source.id_attr);
+    used.insert(source.related_attr);
+    for (int attr_index : source.published_attrs) {
+      const std::vector<std::string>& variants = attr_synonyms_[attr_index];
+      std::string raw;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        raw = variants[0];
+        if (rng_.Bernoulli(config_.synonym_prob) && variants.size() > 1) {
+          raw = variants[static_cast<size_t>(rng_.UniformInt(
+              1, static_cast<int64_t>(variants.size()) - 1))];
+        }
+        if (rng_.Bernoulli(config_.decoration_prob)) {
+          switch (rng_.UniformInt(0, 2)) {
+            case 0:
+              raw = "product " + raw;
+              break;
+            case 1:
+              raw = "item " + raw;
+              break;
+            default:
+              raw += " info";
+          }
+        }
+        if (used.insert(raw).second) break;
+        raw.clear();
+      }
+      if (raw.empty()) {
+        raw = variants[0] + " #" + std::to_string(attr_index);
+        used.insert(raw);
+      }
+      source.attr_names.push_back(raw);
+
+      // Formatting style.
+      ValueFormat format;
+      const AttributeSpec& spec = attrs_[attr_index];
+      if (rng_.Bernoulli(config_.format_variation_prob)) {
+        if (spec.type == AttrType::kNumeric && spec.units.size() > 1) {
+          format.unit_index = static_cast<int>(
+              rng_.UniformInt(0, static_cast<int64_t>(spec.units.size()) - 1));
+        }
+        format.decimals = static_cast<int>(rng_.UniformInt(2, 3));
+        format.uppercase =
+            spec.type == AttrType::kCategorical && rng_.Bernoulli(0.4);
+      }
+      source.formats.push_back(format);
+    }
+
+    // Coverage.
+    double coverage = std::max(
+        config_.min_source_coverage,
+        config_.head_source_coverage /
+            std::pow(static_cast<double>(s + 1), config_.source_size_zipf_s));
+    size_t size = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(
+               coverage * static_cast<double>(entities_.size()))));
+    std::vector<int> covered;
+    if (source.copier) {
+      // Copiers mostly mirror the original's catalogue.
+      const SourceState& original = sources_[source.original];
+      std::vector<int> original_entities;
+      original_entities.reserve(original.records.size());
+      for (const SourceRecordState& r : original.records) {
+        original_entities.push_back(r.entity);
+      }
+      rng_.Shuffle(&original_entities);
+      size_t from_original = std::min(
+          original_entities.size(),
+          static_cast<size_t>(std::lround(
+              source.copy_rate * static_cast<double>(size))));
+      std::set<int> chosen_entities(
+          original_entities.begin(),
+          original_entities.begin() + static_cast<long>(from_original));
+      for (int e : SampleEntities(size, &rng_)) {
+        if (chosen_entities.size() >= size) break;
+        chosen_entities.insert(e);
+      }
+      covered.assign(chosen_entities.begin(), chosen_entities.end());
+      rng_.Shuffle(&covered);
+    } else {
+      covered = SampleEntities(size, &rng_);
+    }
+
+    for (int entity : covered) {
+      source.entity_record[entity] = static_cast<int>(source.records.size());
+      source.records.push_back(MakeRecord(&source, entity, &rng_));
+    }
+    sources_.push_back(std::move(source));
+  }
+}
+
+std::string WorldSimulator::FormatValue(const AttributeSpec& spec,
+                                        const ValueFormat& format,
+                                        const std::string& canonical) const {
+  if (spec.type == AttrType::kCategorical) {
+    return format.uppercase ? ToUpper(canonical) : canonical;
+  }
+  double base = 0.0;
+  if (!ParseLeadingDouble(canonical, &base, nullptr)) {
+    return canonical;
+  }
+  size_t unit = static_cast<size_t>(format.unit_index);
+  double factor = 1.0;
+  std::string suffix;
+  if (unit < spec.units.size()) {
+    factor = spec.units[unit].second;
+    suffix = spec.units[unit].first;
+  }
+  std::string out = FormatDouble(base / factor, format.decimals);
+  if (!suffix.empty()) {
+    out += " " + suffix;
+  }
+  return out;
+}
+
+SyntheticWorld WorldSimulator::Snapshot() const {
+  SyntheticWorld world;
+  Dataset& dataset = world.dataset;
+  GroundTruth& truth = world.truth;
+
+  truth.canonical_attrs.push_back("name");
+  truth.canonical_attrs.push_back("identifier");
+  for (const AttributeSpec& spec : attrs_) {
+    truth.canonical_attrs.push_back(spec.name);
+  }
+  truth.true_values.reserve(entities_.size());
+  for (const EntityState& entity : entities_) {
+    std::vector<std::string> values;
+    values.reserve(kCanonicalBase + attrs_.size());
+    values.push_back(entity.name);
+    values.push_back(entity.identifier);
+    for (const std::string& v : entity.values) values.push_back(v);
+    truth.true_values.push_back(std::move(values));
+  }
+
+  // Map simulator source index -> dataset SourceId (alive only).
+  std::vector<SourceId> dataset_id(sources_.size(), kInvalidSource);
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    const SourceState& source = sources_[s];
+    if (!source.alive) continue;
+    SourceId sid = dataset.AddSource(source.name);
+    dataset_id[s] = sid;
+    truth.source_accuracy.push_back(source.accuracy);
+
+    AttrId name_attr = dataset.InternAttr(source.name_attr);
+    AttrId id_attr = dataset.InternAttr(source.id_attr);
+    AttrId related_attr = dataset.InternAttr(source.related_attr);
+    truth.canonical_of_source_attr[SourceAttr{sid, name_attr}] =
+        kCanonicalName;
+    truth.canonical_of_source_attr[SourceAttr{sid, id_attr}] = kCanonicalId;
+    std::vector<AttrId> spec_attr_ids(source.attr_names.size());
+    for (size_t i = 0; i < source.attr_names.size(); ++i) {
+      spec_attr_ids[i] = dataset.InternAttr(source.attr_names[i]);
+      truth.canonical_of_source_attr[SourceAttr{sid, spec_attr_ids[i]}] =
+          kCanonicalBase + source.published_attrs[i];
+    }
+
+    for (const SourceRecordState& record : source.records) {
+      std::vector<Field> fields;
+      fields.push_back(Field{name_attr, record.display_name});
+      if (!record.identifier.empty()) {
+        fields.push_back(Field{id_attr, record.identifier});
+      }
+      if (!record.related_ids.empty()) {
+        fields.push_back(Field{related_attr, Join(record.related_ids, " ")});
+      }
+      for (size_t c = 0; c < record.claims.size(); ++c) {
+        const auto& [attr_index, canonical] = record.claims[c];
+        // Locate the published slot for this attribute.
+        size_t slot = 0;
+        while (source.published_attrs[slot] != attr_index) ++slot;
+        fields.push_back(
+            Field{spec_attr_ids[slot],
+                  FormatValue(attrs_[attr_index], source.formats[slot],
+                              canonical)});
+      }
+      dataset.AddRecord(sid, std::move(fields));
+      truth.entity_of_record.push_back(record.entity);
+      for (size_t c = 0; c < record.claims.size(); ++c) {
+        truth.claims.push_back(GroundTruth::TrueClaim{
+            sid, record.entity, kCanonicalBase + record.claims[c].first,
+            record.claims[c].second, record.copied[c]});
+      }
+    }
+  }
+
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    const SourceState& source = sources_[s];
+    if (!source.alive) continue;
+    if (source.deceitful && dataset_id[s] != kInvalidSource) {
+      truth.deceitful_sources.push_back(dataset_id[s]);
+    }
+    if (!source.copier) continue;
+    if (!sources_[source.original].alive) continue;
+    truth.copy_edges.push_back(
+        CopyEdge{dataset_id[s],
+                 dataset_id[static_cast<size_t>(source.original)],
+                 source.copy_rate});
+  }
+  return world;
+}
+
+size_t WorldSimulator::num_alive_sources() const {
+  size_t n = 0;
+  for (const SourceState& s : sources_) {
+    if (s.alive) ++n;
+  }
+  return n;
+}
+
+void WorldSimulator::RedrawClaim(SourceState* source,
+                                 SourceRecordState* record, size_t slot,
+                                 Rng* rng) {
+  int attr_index = record->claims[slot].first;
+  const EntityState& es = entities_[record->entity];
+  const std::string& truth = es.values[attr_index];
+  if (source->copier && rng->Bernoulli(source->copy_rate)) {
+    const SourceState& original = sources_[source->original];
+    auto rec_it = original.entity_record.find(record->entity);
+    if (rec_it != original.entity_record.end()) {
+      for (const auto& [a, value] : original.records[rec_it->second].claims) {
+        if (a == attr_index) {
+          record->claims[slot].second = value;
+          record->copied[slot] = true;
+          return;
+        }
+      }
+    }
+  }
+  if (source->deceitful &&
+      attrs_[attr_index].type == AttrType::kNumeric) {
+    double base = 0.0;
+    ParseLeadingDouble(truth, &base, nullptr);
+    record->claims[slot].second =
+        FormatDouble(base * (1.0 + config_.deceit_inflation), 2);
+  } else if (rng->Bernoulli(source->accuracy)) {
+    record->claims[slot].second = truth;
+  } else {
+    const std::vector<std::string>& pool = es.false_pools[attr_index];
+    record->claims[slot].second = pool[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+  }
+  record->copied[slot] = false;
+}
+
+void WorldSimulator::Step(const TemporalConfig& temporal) {
+  // 0. Display-name drift: rebrands and revision bumps. Existing records
+  // keep the name they were rendered with.
+  if (temporal.name_drift_rate > 0.0) {
+    for (EntityState& entity : entities_) {
+      if (!rng_.Bernoulli(temporal.name_drift_rate)) continue;
+      std::vector<std::string> tokens = SplitWhitespace(entity.name);
+      if (!tokens.empty() && rng_.Bernoulli(0.5)) {
+        // Rebrand: the brand token changes (acquisition / white-label).
+        tokens[0] = brands_[static_cast<size_t>(rng_.UniformInt(
+            0, static_cast<int64_t>(brands_.size()) - 1))];
+      } else {
+        // Marketing suffix ("mk2", "mk3", ...).
+        static const char* const kRevisions[] = {"mk2", "mk3", "v2", "plus"};
+        tokens.push_back(kRevisions[rng_.UniformInt(0, 3)]);
+      }
+      entity.name = Join(tokens, " ");
+    }
+  }
+
+  // 1. New entities appear.
+  int births = static_cast<int>(std::lround(
+      temporal.entity_birth_rate * static_cast<double>(config_.num_entities)));
+  GenerateEntities(births);
+
+  // 2. Truth drift: some values change; remember which items drifted.
+  std::set<std::pair<int, int>> drifted;  // (entity, attr)
+  for (size_t e = 0; e < entities_.size(); ++e) {
+    EntityState& entity = entities_[e];
+    for (size_t a = 0; a < attrs_.size(); ++a) {
+      if (entity.values[a].empty()) continue;
+      if (!rng_.Bernoulli(temporal.value_change_rate)) continue;
+      entity.values[a] = DrawTrueValue(attrs_[a], &rng_);
+      entity.false_pools[a] =
+          MakeFalsePool(attrs_[a], entity.values[a], &rng_);
+      drifted.emplace(static_cast<int>(e), static_cast<int>(a));
+    }
+  }
+
+  // 3. Source churn. Independent sources are refreshed before copiers so
+  // copied refreshes see up-to-date originals.
+  std::vector<size_t> order;
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (!sources_[s].copier) order.push_back(s);
+  }
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (sources_[s].copier) order.push_back(s);
+  }
+  for (size_t s : order) {
+    SourceState& source = sources_[s];
+    if (!source.alive) continue;
+    if (rng_.Bernoulli(temporal.source_death_rate)) {
+      source.alive = false;
+      continue;
+    }
+
+    // 3a. Record death.
+    std::vector<SourceRecordState> survivors;
+    survivors.reserve(source.records.size());
+    for (SourceRecordState& record : source.records) {
+      if (!rng_.Bernoulli(temporal.record_death_rate)) {
+        survivors.push_back(std::move(record));
+      }
+    }
+    source.records = std::move(survivors);
+
+    // 3b. Claim refresh on drifted items (stale with prob 1-refresh_prob).
+    for (SourceRecordState& record : source.records) {
+      for (size_t slot = 0; slot < record.claims.size(); ++slot) {
+        if (drifted.count({record.entity, record.claims[slot].first}) == 0) {
+          continue;
+        }
+        if (rng_.Bernoulli(temporal.refresh_prob)) {
+          RedrawClaim(&source, &record, slot, &rng_);
+        }
+      }
+    }
+
+    // Rebuild the entity index after deaths (needed before births and by
+    // copier claim lookups).
+    source.entity_record.clear();
+    for (size_t r = 0; r < source.records.size(); ++r) {
+      source.entity_record[source.records[r].entity] = static_cast<int>(r);
+    }
+
+    // 3c. Record birth: cover so-far-uncovered entities.
+    size_t births_here = static_cast<size_t>(std::lround(
+        temporal.record_birth_rate *
+        static_cast<double>(source.records.size() + 1)));
+    if (births_here > 0) {
+      std::vector<int> candidates =
+          SampleEntities(births_here * 3 + 8, &rng_);
+      size_t added = 0;
+      for (int entity : candidates) {
+        if (added >= births_here) break;
+        if (source.entity_record.count(entity) > 0) continue;
+        source.entity_record[entity] =
+            static_cast<int>(source.records.size());
+        source.records.push_back(MakeRecord(&source, entity, &rng_));
+        ++added;
+      }
+    }
+  }
+}
+
+SyntheticWorld GenerateWorld(const WorldConfig& config) {
+  WorldSimulator simulator(config);
+  return simulator.Snapshot();
+}
+
+TemporalCorpus GenerateTemporalCorpus(const WorldConfig& config,
+                                      const TemporalConfig& temporal,
+                                      int num_snapshots) {
+  BDI_CHECK(num_snapshots >= 1);
+  WorldSimulator simulator(config);
+  TemporalCorpus corpus;
+  corpus.num_snapshots = num_snapshots;
+  std::map<std::string, SourceId> source_by_name;
+  for (int t = 0; t < num_snapshots; ++t) {
+    SyntheticWorld snapshot = simulator.Snapshot();
+    // Re-intern the snapshot into the flattened corpus. Snapshot source
+    // ids are compacted over alive sources, so sites are identified by
+    // name across snapshots; records carry the snapshot index as time.
+    for (const Record& record : snapshot.dataset.records()) {
+      const std::string& site =
+          snapshot.dataset.source(record.source).name;
+      auto it = source_by_name.find(site);
+      if (it == source_by_name.end()) {
+        it = source_by_name
+                 .emplace(site, corpus.dataset.AddSource(site))
+                 .first;
+      }
+      std::vector<Field> fields;
+      fields.reserve(record.fields.size());
+      for (const Field& field : record.fields) {
+        fields.push_back(
+            Field{corpus.dataset.InternAttr(
+                      snapshot.dataset.attr_name(field.attr)),
+                  field.value});
+      }
+      corpus.dataset.AddRecord(it->second, std::move(fields));
+      corpus.record_time.push_back(static_cast<double>(t));
+      corpus.entity_of_record.push_back(
+          snapshot.truth.entity_of_record[record.idx]);
+    }
+    if (t + 1 < num_snapshots) simulator.Step(temporal);
+  }
+  return corpus;
+}
+
+}  // namespace bdi::synth

@@ -1,0 +1,144 @@
+#ifndef BDI_SYNTH_WORLD_H_
+#define BDI_SYNTH_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdi/common/random.h"
+#include "bdi/model/dataset.h"
+#include "bdi/model/ground_truth.h"
+#include "bdi/synth/config.h"
+
+namespace bdi::synth {
+
+/// A materialized snapshot: the multi-source corpus plus everything needed
+/// to evaluate against it.
+struct SyntheticWorld {
+  Dataset dataset;
+  GroundTruth truth;
+};
+
+namespace internal {
+
+/// Rendering style a source applies to one published attribute.
+struct ValueFormat {
+  int unit_index = 0;  ///< index into AttributeSpec::units
+  int decimals = 2;
+  bool uppercase = false;
+};
+
+/// One record a source publishes (pre-materialized so snapshots are
+/// deterministic functions of simulator state).
+struct SourceRecordState {
+  int entity = -1;
+  std::string display_name;
+  std::string identifier;             ///< "" when not published
+  std::vector<std::string> related_ids;
+  /// (attribute-spec index, canonical claimed value)
+  std::vector<std::pair<int, std::string>> claims;
+  /// Parallel to `claims`: whether the value was copied from the original.
+  std::vector<bool> copied;
+};
+
+struct EntityState {
+  std::string name;
+  std::string identifier;
+  /// Canonical true value per attribute-spec index ("" = absent).
+  std::vector<std::string> values;
+  /// Wrong-value pool per attribute-spec index.
+  std::vector<std::vector<std::string>> false_pools;
+};
+
+struct SourceState {
+  std::string name;
+  bool alive = true;
+  bool copier = false;
+  bool deceitful = false;  ///< inflates numeric claims systematically
+  int original = -1;     ///< index of the copied source (copiers only)
+  double copy_rate = 0.0;
+  double accuracy = 0.9;  ///< accuracy of independent claims
+
+  std::vector<int> published_attrs;       ///< attribute-spec indices
+  std::vector<std::string> attr_names;    ///< raw published names (parallel)
+  std::vector<ValueFormat> formats;       ///< parallel
+  std::string name_attr;
+  std::string id_attr;
+  std::string related_attr;
+
+  std::vector<SourceRecordState> records;
+  /// entity -> index into `records`; maintained across churn steps.
+  std::unordered_map<int, int> entity_record;
+};
+
+}  // namespace internal
+
+/// Generates and evolves a synthetic integration world. Construction builds
+/// the initial state; `Snapshot()` materializes the current state as a
+/// Dataset + GroundTruth; `Step()` applies one unit of churn (velocity).
+///
+/// All randomness flows from the config seed, so identical configs produce
+/// identical worlds.
+class WorldSimulator {
+ public:
+  explicit WorldSimulator(const WorldConfig& config);
+
+  WorldSimulator(const WorldSimulator&) = delete;
+  WorldSimulator& operator=(const WorldSimulator&) = delete;
+
+  /// Materializes the current state. Dead sources and records are omitted.
+  SyntheticWorld Snapshot() const;
+
+  /// Applies one step of churn: source/record death and birth, new
+  /// entities, and truth-value drift with lagged source refresh.
+  void Step(const TemporalConfig& temporal);
+
+  const WorldConfig& config() const { return config_; }
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_alive_sources() const;
+
+ private:
+  void GenerateEntities(int count);
+  void GenerateSources();
+  void BuildSynonyms();
+  /// Re-draws the claim in `record->claims[slot]` after truth drift.
+  void RedrawClaim(internal::SourceState* source,
+                   internal::SourceRecordState* record, size_t slot,
+                   Rng* rng);
+  std::string MakeEntityName(Rng* rng);
+  std::string NoisyName(const std::string& name, Rng* rng) const;
+  std::string NoisyIdentifier(const std::string& id, Rng* rng) const;
+  std::string DrawTrueValue(const AttributeSpec& spec, Rng* rng) const;
+  std::vector<std::string> MakeFalsePool(const AttributeSpec& spec,
+                                         const std::string& truth,
+                                         Rng* rng) const;
+  /// Draws the canonical value source `s` claims for (entity, attr_index),
+  /// applying the copier/error model; appends to the record state.
+  void AddClaim(internal::SourceState* source,
+                internal::SourceRecordState* record, int entity,
+                int attr_index, Rng* rng);
+  internal::SourceRecordState MakeRecord(internal::SourceState* source,
+                                         int entity, Rng* rng);
+  /// Chooses a set of covered entities for a source of the given size.
+  std::vector<int> SampleEntities(size_t size, Rng* rng) const;
+  std::string FormatValue(const AttributeSpec& spec,
+                          const internal::ValueFormat& format,
+                          const std::string& canonical) const;
+
+  WorldConfig config_;
+  Rng rng_;
+  std::vector<AttributeSpec> attrs_;
+  /// Synonym name variants per attribute (index 0 is the canonical name).
+  std::vector<std::vector<std::string>> attr_synonyms_;
+  std::vector<std::string> brands_;
+  std::vector<internal::EntityState> entities_;
+  std::vector<internal::SourceState> sources_;
+};
+
+/// Convenience: one-shot world generation (initial snapshot only).
+SyntheticWorld GenerateWorld(const WorldConfig& config);
+
+}  // namespace bdi::synth
+
+#endif  // BDI_SYNTH_WORLD_H_

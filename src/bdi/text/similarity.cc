@@ -1,0 +1,241 @@
+#include "bdi/text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdi/common/string_util.h"
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::text {
+
+namespace {
+
+/// Size of the intersection of two sorted unique vectors.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Two-row dynamic program; a is the shorter string.
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t substitution = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, substitution});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t match_window =
+      std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions between the matched subsequences.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  double t = static_cast<double>(transpositions) / 2.0;
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) + (m - t) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  constexpr double kScaling = 0.1;
+  return jaro + static_cast<double>(prefix) * kScaling * (1.0 - jaro);
+}
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t common = SortedIntersectionSize(a, b);
+  size_t unions = a.size() + b.size() - common;
+  if (unions == 0) return 1.0;
+  return static_cast<double>(common) / static_cast<double>(unions);
+}
+
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t common = SortedIntersectionSize(a, b);
+  return 2.0 * static_cast<double>(common) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t common = SortedIntersectionSize(a, b);
+  return static_cast<double>(common) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  return JaccardSimilarity(TokenSet(a), TokenSet(b));
+}
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  std::vector<std::string> ga = QGrams(a, 3);
+  std::vector<std::string> gb = QGrams(b, 3);
+  std::sort(ga.begin(), ga.end());
+  ga.erase(std::unique(ga.begin(), ga.end()), ga.end());
+  std::sort(gb.begin(), gb.end());
+  gb.erase(std::unique(gb.begin(), gb.end()), gb.end());
+  return JaccardSimilarity(ga, gb);
+}
+
+double MongeElkanSimilarity(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = WordTokens(a);
+  std::vector<std::string> tb = WordTokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  if (ta.empty() || tb.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::string& x : ta) {
+    double best = 0.0;
+    for (const std::string& y : tb) {
+      best = std::max(best, JaroWinklerSimilarity(x, y));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(ta.size());
+}
+
+double SmithWatermanSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  constexpr int kMatch = 2;
+  constexpr int kMismatch = -1;
+  constexpr int kGap = -1;
+  // Two-row dynamic program over local alignment scores.
+  std::vector<int> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  int best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = 0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      int diagonal =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+      int up = prev[j] + kGap;
+      int left = cur[j - 1] + kGap;
+      cur[j] = std::max({0, diagonal, up, left});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  int max_possible = kMatch * static_cast<int>(std::min(a.size(), b.size()));
+  return static_cast<double>(best) / static_cast<double>(max_possible);
+}
+
+double NumericSimilarity(std::string_view a, std::string_view b) {
+  double va = 0.0, vb = 0.0;
+  if (!ParseLeadingDouble(a, &va, nullptr) ||
+      !ParseLeadingDouble(b, &vb, nullptr)) {
+    return 0.0;
+  }
+  if (va == vb) return 1.0;
+  double denom = std::max(std::abs(va), std::abs(vb));
+  if (denom == 0.0) return 1.0;
+  double rel = std::abs(va - vb) / denom;
+  return std::max(0.0, 1.0 - rel);
+}
+
+void TfIdfVectorizer::AddDocument(const std::vector<std::string>& tokens) {
+  ++num_documents_;
+  std::vector<std::string> unique = tokens;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (const std::string& t : unique) {
+    ++document_frequency_[t];
+  }
+}
+
+double TfIdfVectorizer::Idf(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  size_t df = it == document_frequency_.end() ? 0 : it->second;
+  return std::log((1.0 + static_cast<double>(num_documents_)) /
+                  (1.0 + static_cast<double>(df))) +
+         1.0;
+}
+
+double TfIdfVectorizer::Cosine(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_map<std::string, double> va, vb;
+  for (const std::string& t : a) va[t] += 1.0;
+  for (const std::string& t : b) vb[t] += 1.0;
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (auto& [token, tf] : va) {
+    double w = tf * Idf(token);
+    va[token] = w;
+    norm_a += w * w;
+  }
+  for (auto& [token, tf] : vb) {
+    double w = tf * Idf(token);
+    vb[token] = w;
+    norm_b += w * w;
+  }
+  for (const auto& [token, wa] : va) {
+    auto it = vb.find(token);
+    if (it != vb.end()) dot += wa * it->second;
+  }
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace bdi::text

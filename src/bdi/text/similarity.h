@@ -1,0 +1,82 @@
+#ifndef BDI_TEXT_SIMILARITY_H_
+#define BDI_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bdi::text {
+
+/// Levenshtein edit distance (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// 1 - EditDistance / max(|a|, |b|); 1.0 for two empty strings.
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with standard prefix scaling (p = 0.1, max prefix 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// |A ∩ B| / |A ∪ B| over sorted unique token vectors; 1.0 if both empty.
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// 2|A ∩ B| / (|A| + |B|) over sorted unique token vectors.
+double DiceSimilarity(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b);
+
+/// |A ∩ B| / min(|A|, |B|); 1.0 if both sets are empty, 0.0 if exactly one
+/// is empty.
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Jaccard over the strings' word tokens.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Jaccard over character trigrams.
+double TrigramJaccard(std::string_view a, std::string_view b);
+
+/// Monge-Elkan: average over tokens of `a` of the best Jaro-Winkler match in
+/// `b`. Asymmetric; callers usually take max(ME(a,b), ME(b,a)).
+double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+/// Smith-Waterman local-alignment similarity: the best-scoring local
+/// alignment (match +2, mismatch -1, gap -1) normalized by the maximum
+/// achievable score (2 * min(|a|, |b|)), giving [0, 1]. Robust to shared
+/// substrings embedded in unrelated context ("eos 5d" inside a long
+/// title). 1.0 for two empty strings.
+double SmithWatermanSimilarity(std::string_view a, std::string_view b);
+
+/// Similarity of two numbers: 1 when equal, decaying with relative
+/// difference; 0 when one is not parseable as a number.
+double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// Corpus-weighted cosine similarity. Add documents first, then query pairs;
+/// idf weights are computed over everything added.
+class TfIdfVectorizer {
+ public:
+  TfIdfVectorizer() = default;
+
+  /// Registers a document's tokens for document-frequency statistics.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// log((1 + N) / (1 + df)) + 1; unseen tokens get the max idf.
+  double Idf(const std::string& token) const;
+
+  /// Cosine of tf-idf vectors of the two token multisets.
+  double Cosine(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) const;
+
+  size_t num_documents() const { return num_documents_; }
+
+ private:
+  std::unordered_map<std::string, size_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace bdi::text
+
+#endif  // BDI_TEXT_SIMILARITY_H_

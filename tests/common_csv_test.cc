@@ -1,0 +1,105 @@
+#include "bdi/common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bdi/common/random.h"
+
+namespace bdi {
+namespace {
+
+TEST(CsvTest, EncodePlainRow) {
+  EXPECT_EQ(EncodeCsvRow({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(CsvTest, EncodeQuotesSpecials) {
+  EXPECT_EQ(EncodeCsvRow({"a,b", "he said \"hi\"", "line\nbreak"}),
+            "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"");
+}
+
+TEST(CsvTest, ParsePlainRow) {
+  auto row = ParseCsvRow("a,b,c");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedRow) {
+  auto row = ParseCsvRow("\"a,b\",\"x\"\"y\"");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (std::vector<std::string>{"a,b", "x\"y"}));
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto row = ParseCsvRow(",,");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row.value(), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  auto row = ParseCsvRow("\"oops");
+  EXPECT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RowRoundTripProperty) {
+  Rng rng(21);
+  const std::string alphabet = "ab,\"\n x9";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::string> fields;
+    int64_t num_fields = rng.UniformInt(1, 5);
+    for (int64_t f = 0; f < num_fields; ++f) {
+      std::string field;
+      int64_t len = rng.UniformInt(0, 8);
+      for (int64_t c = 0; c < len; ++c) {
+        field.push_back(alphabet[rng.UniformInt(
+            0, static_cast<int64_t>(alphabet.size()) - 1)]);
+      }
+      fields.push_back(field);
+    }
+    auto parsed = ParseCsvRow(EncodeCsvRow(fields));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), fields) << "trial " << trial;
+  }
+}
+
+TEST(CsvTest, ParseCsvMultipleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseCsvWithoutTrailingNewline) {
+  auto rows = ParseCsv("a\nb");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().size(), 2u);
+}
+
+TEST(CsvTest, ParseCsvEmpty) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows.value().empty());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/bdi_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {
+      {"name", "value"}, {"a,b", "1"}, {"quote\"y", "2"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto read = ReadCsvFile("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace bdi

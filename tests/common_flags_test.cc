@@ -1,0 +1,69 @@
+#include "bdi/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace bdi {
+namespace {
+
+Flags Parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog", "cmd"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data(), 2);
+}
+
+TEST(FlagsTest, ParsesPairs) {
+  Flags flags = Parse({"--in", "a.csv", "--top", "7"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.size(), 2u);
+  EXPECT_EQ(flags.Get("in", ""), "a.csv");
+  EXPECT_EQ(flags.GetInt("top", 0), 7);
+  EXPECT_TRUE(flags.Has("in"));
+  EXPECT_FALSE(flags.Has("out"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags = Parse({});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.Get("missing", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+}
+
+TEST(FlagsTest, RejectsBareToken) {
+  Flags flags = Parse({"notaflag", "x"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.bad_token(), "notaflag");
+}
+
+TEST(FlagsTest, RejectsDanglingFlag) {
+  Flags flags = Parse({"--in"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.bad_token(), "--in");
+}
+
+TEST(FlagsTest, RejectsEmptyFlagName) {
+  Flags flags = Parse({"--", "value"});
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(FlagsTest, MalformedIntegerFlagsError) {
+  Flags flags = Parse({"--top", "seven"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.GetInt("top", 3), 3);
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.bad_token(), "seven");
+}
+
+TEST(FlagsTest, ValuesMayLookLikeFlags) {
+  // "--entity --weird" is a (flag, value) pair: the value is taken as-is.
+  Flags flags = Parse({"--entity", "--weird"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.Get("entity", ""), "--weird");
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  Flags flags = Parse({"--k", "1", "--k", "2"});
+  EXPECT_EQ(flags.Get("k", ""), "2");
+}
+
+}  // namespace
+}  // namespace bdi

@@ -1,0 +1,106 @@
+#include "bdi/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bdi {
+namespace {
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC 12"), "abc 12");
+  EXPECT_EQ(ToUpper("AbC 12"), "ABC 12");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpties) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, NormalizeWhitespace) {
+  EXPECT_EQ(NormalizeWhitespace("  a   b \t c  "), "a b c");
+  EXPECT_EQ(NormalizeWhitespace(""), "");
+  EXPECT_EQ(NormalizeWhitespace("single"), "single");
+}
+
+TEST(StringUtilTest, NormalizeAlnum) {
+  EXPECT_EQ(NormalizeAlnum("Screen Size (in)"), "screensizein");
+  EXPECT_EQ(NormalizeAlnum("a-b_c 1.2"), "abc12");
+  EXPECT_EQ(NormalizeAlnum("!!!"), "");
+}
+
+TEST(StringUtilTest, IsDigits) {
+  EXPECT_TRUE(IsDigits("0123"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-12"));
+}
+
+TEST(StringUtilTest, ParseLeadingDoubleBasic) {
+  double v = 0.0;
+  std::string unit;
+  ASSERT_TRUE(ParseLeadingDouble("12.5 cm", &v, &unit));
+  EXPECT_DOUBLE_EQ(v, 12.5);
+  EXPECT_EQ(unit, "cm");
+}
+
+TEST(StringUtilTest, ParseLeadingDoubleNoUnit) {
+  double v = 0.0;
+  std::string unit;
+  ASSERT_TRUE(ParseLeadingDouble("  -3.25 ", &v, &unit));
+  EXPECT_DOUBLE_EQ(v, -3.25);
+  EXPECT_EQ(unit, "");
+}
+
+TEST(StringUtilTest, ParseLeadingDoubleRejectsNonNumeric) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseLeadingDouble("cm 12", &v, nullptr));
+  EXPECT_FALSE(ParseLeadingDouble("", &v, nullptr));
+  EXPECT_FALSE(ParseLeadingDouble("   ", &v, nullptr));
+}
+
+TEST(StringUtilTest, ParseLeadingDoubleScientific) {
+  double v = 0.0;
+  ASSERT_TRUE(ParseLeadingDouble("1e3", &v, nullptr));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(12.50, 2), "12.5");
+  EXPECT_EQ(FormatDouble(3.00, 2), "3");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+  EXPECT_EQ(FormatDouble(100.0, 0), "100");
+  EXPECT_EQ(FormatDouble(-2.30, 2), "-2.3");
+}
+
+}  // namespace
+}  // namespace bdi

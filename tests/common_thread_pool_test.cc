@@ -1,0 +1,100 @@
+#include "bdi/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "bdi/common/table.h"
+
+namespace bdi {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "should not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(3, [&](size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelSum) {
+  ThreadPool pool(4);
+  std::vector<int64_t> partial(1000, 0);
+  pool.ParallelFor(1000, [&](size_t i) {
+    partial[i] = static_cast<int64_t>(i);
+  });
+  int64_t total = std::accumulate(partial.begin(), partial.end(), int64_t{0});
+  EXPECT_EQ(total, 999 * 1000 / 2);
+}
+
+// TextTable lives in common too; cover it here.
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "v"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("name   v"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      22"), std::string::npos);
+}
+
+TEST(TextTableTest, DoubleRowsFormatted) {
+  TextTable table({"m", "p", "r"});
+  table.AddRow("vote", {0.51234, 0.9}, 3);
+  EXPECT_EQ(table.num_rows(), 1u);
+  std::string out = table.ToString("title");
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  EXPECT_NE(out.find("0.512"), std::string::npos);
+  EXPECT_NE(out.find("0.9"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  EXPECT_NO_THROW(table.ToString());
+}
+
+}  // namespace
+}  // namespace bdi

@@ -1,0 +1,89 @@
+#include "bdi/core/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "bdi/synth/world.h"
+
+namespace bdi::core {
+namespace {
+
+TEST(DiffTest, IdenticalRunsProduceEntityOnlyNoise) {
+  synth::WorldConfig config;
+  config.seed = 1501;
+  config.num_entities = 80;
+  config.num_sources = 6;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  IntegrationReport a = Integrator().Run(world.dataset);
+  IntegrationReport b = Integrator().Run(world.dataset);
+  IntegrationDiff diff =
+      DiffIntegrations(a, world.dataset, b, world.dataset);
+  // Deterministic pipeline: the two runs are identical, so no changes.
+  EXPECT_EQ(diff.changes.size(), 0u);
+  EXPECT_GT(diff.entities_matched, 60u);
+}
+
+TEST(DiffTest, SnapshotChurnSurfacesChanges) {
+  synth::WorldConfig config;
+  config.seed = 1507;
+  config.num_entities = 120;
+  config.num_sources = 8;
+  synth::WorldSimulator simulator(config);
+  synth::SyntheticWorld before = simulator.Snapshot();
+  synth::TemporalConfig temporal;
+  temporal.value_change_rate = 0.25;
+  temporal.entity_birth_rate = 0.05;
+  temporal.record_death_rate = 0.10;
+  simulator.Step(temporal);
+  simulator.Step(temporal);
+  synth::SyntheticWorld after = simulator.Snapshot();
+
+  IntegrationReport old_report = Integrator().Run(before.dataset);
+  IntegrationReport new_report = Integrator().Run(after.dataset);
+  IntegrationDiff diff = DiffIntegrations(old_report, before.dataset,
+                                          new_report, after.dataset);
+
+  EXPECT_GT(diff.entities_matched, 60u);
+  // Truth drift must surface as value changes...
+  EXPECT_GT(diff.CountKind(IntegrationChange::Kind::kValueChanged), 10u);
+  // ...and entity births as appearances.
+  EXPECT_GT(diff.CountKind(IntegrationChange::Kind::kEntityAppeared), 0u);
+  for (const IntegrationChange& change : diff.changes) {
+    if (change.kind == IntegrationChange::Kind::kValueChanged) {
+      EXPECT_NE(change.old_value, change.new_value);
+      EXPECT_FALSE(change.attribute.empty());
+    }
+  }
+}
+
+TEST(DiffTest, DisappearedEntitiesReported) {
+  // Build a corpus, then a second corpus missing the records of several
+  // entities entirely.
+  synth::WorldConfig config;
+  config.seed = 1511;
+  config.num_entities = 60;
+  config.num_sources = 5;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+
+  Dataset pruned;
+  for (const SourceInfo& source : world.dataset.sources()) {
+    pruned.AddSource(source.name);
+  }
+  for (const Record& record : world.dataset.records()) {
+    if (world.truth.entity_of_record[record.idx] < 5) continue;  // drop
+    std::vector<std::pair<std::string, std::string>> fields;
+    for (const Field& field : record.fields) {
+      fields.emplace_back(world.dataset.attr_name(field.attr), field.value);
+    }
+    pruned.AddRecord(record.source, fields);
+  }
+
+  IntegrationReport full_report = Integrator().Run(world.dataset);
+  IntegrationReport pruned_report = Integrator().Run(pruned);
+  IntegrationDiff diff = DiffIntegrations(full_report, world.dataset,
+                                          pruned_report, pruned);
+  EXPECT_GE(diff.CountKind(IntegrationChange::Kind::kEntityDisappeared),
+            4u);
+}
+
+}  // namespace
+}  // namespace bdi::core

@@ -1,0 +1,167 @@
+#include "bdi/core/integrator.h"
+
+#include <gtest/gtest.h>
+
+#include "bdi/fusion/evaluation.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::core {
+namespace {
+
+synth::SyntheticWorld MakeWorld(uint64_t seed = 103,
+                                const char* category = "camera") {
+  synth::WorldConfig config;
+  config.seed = seed;
+  config.category = category;
+  config.num_entities = 150;
+  config.num_sources = 10;
+  config.source_accuracy_min = 0.75;
+  config.source_accuracy_max = 0.95;
+  return synth::GenerateWorld(config);
+}
+
+TEST(IntegratorTest, EndToEndQualityFloors) {
+  synth::SyntheticWorld world = MakeWorld();
+  Integrator integrator;
+  IntegrationReport report = integrator.Run(world.dataset);
+
+  schema::SchemaQuality schema_quality = schema::EvaluateSchema(
+      report.schema, world.truth.canonical_of_source_attr);
+  EXPECT_GE(schema_quality.precision, 0.8);
+  EXPECT_GE(schema_quality.recall, 0.55);
+
+  linkage::LinkageQuality linkage_quality = linkage::EvaluateClusters(
+      report.linkage.clusters.label_of_record, world.truth.entity_of_record);
+  EXPECT_GE(linkage_quality.f1, 0.85);
+
+  fusion::PipelineMappings mappings = fusion::MapPipelineToTruth(
+      report.linkage.clusters, report.schema, world.truth);
+  fusion::FusionQuality fusion_quality = fusion::EvaluateFusionMapped(
+      report.claims, report.fusion, mappings, world.truth);
+  EXPECT_GE(fusion_quality.precision, 0.7);
+  EXPECT_GT(fusion_quality.evaluated_items, 100u);
+}
+
+TEST(IntegratorTest, ReportShapesConsistent) {
+  synth::SyntheticWorld world = MakeWorld(107);
+  IntegrationReport report = Integrator().Run(world.dataset);
+  EXPECT_EQ(report.linkage.clusters.label_of_record.size(),
+            world.dataset.num_records());
+  EXPECT_EQ(report.fusion.chosen.size(), report.claims.items().size());
+  EXPECT_EQ(report.fusion.source_accuracy.size(),
+            world.dataset.num_sources());
+  EXPECT_FALSE(report.Summary().empty());
+  EXPECT_GT(report.schema_seconds, 0.0);
+}
+
+// Every fusion kind runs through the pipeline.
+class IntegratorFusionKindTest
+    : public ::testing::TestWithParam<FusionKind> {};
+
+TEST_P(IntegratorFusionKindTest, RunsAndResolves) {
+  synth::SyntheticWorld world = MakeWorld(109);
+  IntegratorConfig config;
+  config.fusion = GetParam();
+  IntegrationReport report = Integrator(config).Run(world.dataset);
+  EXPECT_FALSE(report.claims.items().empty());
+  size_t resolved = 0;
+  for (const std::string& value : report.fusion.chosen) {
+    if (!value.empty()) ++resolved;
+  }
+  EXPECT_GT(resolved, report.claims.items().size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, IntegratorFusionKindTest,
+                         ::testing::Values(FusionKind::kVote,
+                                           FusionKind::kAccu,
+                                           FusionKind::kAccuSim,
+                                           FusionKind::kTruthFinder,
+                                           FusionKind::kAccuCopy));
+
+TEST(IntegratorTest, ProbabilisticSchemaPathWorks) {
+  synth::SyntheticWorld world = MakeWorld(113);
+  IntegratorConfig config;
+  config.probabilistic_schema = true;
+  IntegrationReport report = Integrator(config).Run(world.dataset);
+  schema::SchemaQuality quality = schema::EvaluateSchema(
+      report.schema, world.truth.canonical_of_source_attr);
+  EXPECT_GE(quality.precision, 0.6);
+  EXPECT_GT(report.claims.items().size(), 0u);
+}
+
+TEST(IntegratorTest, MaterializeEntitiesLargestFirst) {
+  synth::SyntheticWorld world = MakeWorld(127);
+  IntegrationReport report = Integrator().Run(world.dataset);
+  std::vector<IntegratedEntity> entities =
+      MaterializeEntities(report, world.dataset, 10);
+  ASSERT_LE(entities.size(), 10u);
+  ASSERT_FALSE(entities.empty());
+  for (size_t i = 1; i < entities.size(); ++i) {
+    EXPECT_GE(entities[i - 1].num_records, entities[i].num_records);
+  }
+  EXPECT_FALSE(entities[0].values.empty());
+}
+
+TEST(IntegratorTest, WorksAcrossCategories) {
+  for (const char* category : {"headphone", "tv", "book"}) {
+    synth::SyntheticWorld world = MakeWorld(131, category);
+    IntegrationReport report = Integrator().Run(world.dataset);
+    linkage::LinkageQuality quality = linkage::EvaluateClusters(
+        report.linkage.clusters.label_of_record,
+        world.truth.entity_of_record);
+    EXPECT_GE(quality.f1, 0.8) << category;
+  }
+}
+
+// Robustness: the default pipeline clears quality floors across seeds.
+class IntegratorSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntegratorSeedSweep, QualityFloorsHold) {
+  synth::SyntheticWorld world = MakeWorld(GetParam());
+  IntegrationReport report = Integrator().Run(world.dataset);
+  linkage::LinkageQuality linkage_quality = linkage::EvaluateClusters(
+      report.linkage.clusters.label_of_record, world.truth.entity_of_record);
+  EXPECT_GE(linkage_quality.f1, 0.85) << "seed " << GetParam();
+  fusion::PipelineMappings mappings = fusion::MapPipelineToTruth(
+      report.linkage.clusters, report.schema, world.truth);
+  fusion::FusionQuality fusion_quality = fusion::EvaluateFusionMapped(
+      report.claims, report.fusion, mappings, world.truth);
+  EXPECT_GE(fusion_quality.precision, 0.7) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegratorSeedSweep,
+                         ::testing::Values(11u, 222u, 3333u, 44444u,
+                                           555555u));
+
+TEST(IntegratorTest, VelocityStaleVsRefreshed) {
+  // Integrating a stale snapshot and evaluating against drifted truth must
+  // be worse than re-integrating the fresh snapshot (the velocity story).
+  synth::WorldConfig config;
+  config.seed = 137;
+  config.num_entities = 120;
+  config.num_sources = 8;
+  synth::WorldSimulator simulator(config);
+  synth::SyntheticWorld old_world = simulator.Snapshot();
+  IntegrationReport old_report = Integrator().Run(old_world.dataset);
+  fusion::PipelineMappings old_mappings = fusion::MapPipelineToTruth(
+      old_report.linkage.clusters, old_report.schema, old_world.truth);
+
+  synth::TemporalConfig temporal;
+  temporal.value_change_rate = 0.3;
+  for (int step = 0; step < 3; ++step) simulator.Step(temporal);
+  synth::SyntheticWorld new_world = simulator.Snapshot();
+
+  // Stale: old fused values scored against the new truth.
+  fusion::FusionQuality stale = fusion::EvaluateFusionMapped(
+      old_report.claims, old_report.fusion, old_mappings, new_world.truth);
+  // Fresh: re-run on the new snapshot.
+  IntegrationReport new_report = Integrator().Run(new_world.dataset);
+  fusion::PipelineMappings new_mappings = fusion::MapPipelineToTruth(
+      new_report.linkage.clusters, new_report.schema, new_world.truth);
+  fusion::FusionQuality fresh = fusion::EvaluateFusionMapped(
+      new_report.claims, new_report.fusion, new_mappings, new_world.truth);
+  EXPECT_GT(fresh.precision, stale.precision);
+}
+
+}  // namespace
+}  // namespace bdi::core

@@ -1,0 +1,125 @@
+#include "bdi/core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bdi/synth/world.h"
+
+namespace bdi::core {
+namespace {
+
+struct Fixture {
+  synth::SyntheticWorld world;
+  IntegrationReport report;
+  std::unique_ptr<QueryEngine> engine;
+
+  Fixture() {
+    synth::WorldConfig config;
+    config.seed = 1001;
+    config.category = "camera";
+    config.num_entities = 100;
+    config.num_sources = 10;
+    world = synth::GenerateWorld(config);
+    report = Integrator().Run(world.dataset);
+    engine = std::make_unique<QueryEngine>(&report, &world.dataset);
+  }
+
+  /// A head entity's display name and its true value for `canonical_attr`.
+  std::pair<std::string, std::string> HeadEntityAndTruth(
+      const std::string& canonical_attr) {
+    int attr_index = -1;
+    for (size_t a = 0; a < world.truth.canonical_attrs.size(); ++a) {
+      if (world.truth.canonical_attrs[a] == canonical_attr) {
+        attr_index = static_cast<int>(a);
+      }
+    }
+    EXPECT_GE(attr_index, 0);
+    for (size_t e = 0; e < world.truth.num_entities(); ++e) {
+      const auto& values = world.truth.true_values[e];
+      if (!values[attr_index].empty()) {
+        return {values[0], values[attr_index]};  // values[0] = name
+      }
+    }
+    ADD_FAILURE() << "no entity has " << canonical_attr;
+    return {"", ""};
+  }
+};
+
+TEST(QueryEngineTest, FindEntitiesRanksExactNameFirst) {
+  Fixture fx;
+  auto [name, truth] = fx.HeadEntityAndTruth("brand");
+  auto hits = fx.engine->FindEntities(name, 3);
+  ASSERT_FALSE(hits.empty());
+  // The top hit's representative text should share the model token.
+  EXPECT_GT(hits[0].second, 0.8);
+}
+
+TEST(QueryEngineTest, FindAttributeMatchesSynonyms) {
+  Fixture fx;
+  auto [attr, score] = fx.engine->FindAttribute("brand");
+  ASSERT_GE(attr, 0);
+  EXPECT_GE(score, 0.8);
+  EXPECT_NE(fx.report.schema.cluster_names[attr].find("brand"),
+            std::string::npos);
+}
+
+TEST(QueryEngineTest, AskAnswersWithProvenance) {
+  Fixture fx;
+  auto [name, truth] = fx.HeadEntityAndTruth("brand");
+  Answer answer = fx.engine->Ask("brand", name);
+  ASSERT_TRUE(answer.found()) << "no answer for '" << name << "'";
+  EXPECT_EQ(answer.value, truth);
+  EXPECT_FALSE(answer.support.empty());
+  bool any_agrees = false;
+  for (const AnswerSupport& support : answer.support) {
+    if (support.agrees) {
+      any_agrees = true;
+      EXPECT_EQ(support.value, answer.value);
+    }
+  }
+  EXPECT_TRUE(any_agrees);
+  EXPECT_GT(answer.confidence, 0.4);
+}
+
+TEST(QueryEngineTest, UnknownAttributeYieldsNoAnswer) {
+  Fixture fx;
+  auto [name, truth] = fx.HeadEntityAndTruth("brand");
+  Answer answer = fx.engine->Ask("zzzzqqqq", name);
+  EXPECT_FALSE(answer.found());
+}
+
+TEST(QueryEngineTest, UnknownEntityYieldsNoAnswer) {
+  Fixture fx;
+  Answer answer = fx.engine->Ask("brand", "nonexistent gizmo xq999");
+  // Either no entity at all, or a weak match that still lacks the value —
+  // but never a confident fabricated answer.
+  if (answer.found()) {
+    EXPECT_LT(answer.entity_match, 0.6);
+  }
+}
+
+TEST(QueryEngineTest, MostQueriesAnswerCorrectlyOnHeadEntities) {
+  Fixture fx;
+  int attr_index = -1;
+  for (size_t a = 0; a < fx.world.truth.canonical_attrs.size(); ++a) {
+    if (fx.world.truth.canonical_attrs[a] == "color") {
+      attr_index = static_cast<int>(a);
+    }
+  }
+  ASSERT_GE(attr_index, 0);
+  int asked = 0, correct = 0;
+  for (size_t e = 0; e < 20; ++e) {  // head entities
+    const auto& values = fx.world.truth.true_values[e];
+    if (values[attr_index].empty()) continue;
+    Answer answer = fx.engine->Ask("color", values[0]);
+    if (!answer.found()) continue;
+    ++asked;
+    if (answer.value == values[attr_index]) ++correct;
+  }
+  ASSERT_GE(asked, 10);
+  EXPECT_GE(static_cast<double>(correct) / asked, 0.7);
+}
+
+}  // namespace
+}  // namespace bdi::core

@@ -1,0 +1,111 @@
+#include "bdi/core/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "bdi/core/query.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::core {
+namespace {
+
+struct Fixture {
+  synth::SyntheticWorld world;
+  IntegrationReport report;
+  std::string dir;
+
+  Fixture() {
+    synth::WorldConfig config;
+    config.seed = 1301;
+    config.num_entities = 80;
+    config.num_sources = 6;
+    world = synth::GenerateWorld(config);
+    report = Integrator().Run(world.dataset);
+    dir = ::testing::TempDir() + "/bdi_report_io";
+    std::filesystem::create_directories(dir);
+  }
+
+  ~Fixture() { std::filesystem::remove_all(dir); }
+};
+
+TEST(ReportIoTest, RoundTripPreservesView) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  Result<IntegrationReport> loaded =
+      LoadIntegration(fx.world.dataset, fx.dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->schema.clusters.size(),
+            fx.report.schema.clusters.size());
+  EXPECT_EQ(loaded->linkage.clusters.label_of_record,
+            fx.report.linkage.clusters.label_of_record);
+  ASSERT_EQ(loaded->claims.items().size(),
+            fx.report.claims.items().size());
+  EXPECT_EQ(loaded->fusion.chosen, fx.report.fusion.chosen);
+  for (size_t i = 0; i < loaded->fusion.confidence.size(); ++i) {
+    EXPECT_NEAR(loaded->fusion.confidence[i],
+                fx.report.fusion.confidence[i], 1e-5);
+  }
+  EXPECT_EQ(loaded->claims.num_claims(), fx.report.claims.num_claims());
+}
+
+TEST(ReportIoTest, LoadedViewAnswersQueries) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  Result<IntegrationReport> loaded =
+      LoadIntegration(fx.world.dataset, fx.dir);
+  ASSERT_TRUE(loaded.ok());
+
+  QueryEngine original(&fx.report, &fx.world.dataset);
+  QueryEngine reloaded(&loaded.value(), &fx.world.dataset);
+  const std::string& name = fx.world.truth.true_values[0][0];
+  Answer a = original.Ask("brand", name);
+  Answer b = reloaded.Ask("brand", name);
+  EXPECT_EQ(a.found(), b.found());
+  if (a.found()) {
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.support.size(), b.support.size());
+  }
+}
+
+TEST(ReportIoTest, DetectsWrongCorpus) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  synth::WorldConfig other_config;
+  other_config.seed = 9999;
+  other_config.num_entities = 30;
+  other_config.num_sources = 3;
+  other_config.category = "book";
+  synth::SyntheticWorld other = synth::GenerateWorld(other_config);
+  Result<IntegrationReport> loaded = LoadIntegration(other.dataset, fx.dir);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(ReportIoTest, MissingDirectoryFails) {
+  Fixture fx;
+  Result<IntegrationReport> loaded =
+      LoadIntegration(fx.world.dataset, "/no/such/dir");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(ReportIoTest, MaterializeEntitiesWorksOnLoadedReport) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  Result<IntegrationReport> loaded =
+      LoadIntegration(fx.world.dataset, fx.dir);
+  ASSERT_TRUE(loaded.ok());
+  auto original_entities =
+      MaterializeEntities(fx.report, fx.world.dataset, 5);
+  auto loaded_entities =
+      MaterializeEntities(loaded.value(), fx.world.dataset, 5);
+  ASSERT_EQ(original_entities.size(), loaded_entities.size());
+  for (size_t i = 0; i < original_entities.size(); ++i) {
+    EXPECT_EQ(original_entities[i].values, loaded_entities[i].values);
+  }
+}
+
+}  // namespace
+}  // namespace bdi::core

@@ -1,0 +1,159 @@
+#include "bdi/dataflow/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::dataflow {
+namespace {
+
+TEST(MapReduceTest, WordCount) {
+  std::vector<std::string> docs = {"a b a", "b c", "a"};
+  auto counts = MapReduce<std::string, std::string, int,
+                          std::pair<std::string, int>>(
+      docs,
+      [](const std::string& doc, Emitter<std::string, int>* emitter) {
+        for (const std::string& token : text::WordTokens(doc)) {
+          emitter->Emit(token, 1);
+        }
+      },
+      [](const std::string& key, std::vector<int>&& values) {
+        int total = 0;
+        for (int v : values) total += v;
+        return std::make_pair(key, total);
+      });
+  std::map<std::string, int> result(counts.begin(), counts.end());
+  EXPECT_EQ(result["a"], 3);
+  EXPECT_EQ(result["b"], 2);
+  EXPECT_EQ(result["c"], 1);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(MapReduceTest, EmptyInput) {
+  std::vector<int> empty;
+  auto out = MapReduce<int, int, int, int>(
+      empty, [](const int&, Emitter<int, int>*) {},
+      [](const int&, std::vector<int>&&) { return 0; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MapReduceTest, EachKeyReducedExactlyOnce) {
+  std::vector<int> inputs(1000);
+  for (int i = 0; i < 1000; ++i) inputs[i] = i;
+  auto out = MapReduce<int, int, int, std::pair<int, size_t>>(
+      inputs,
+      [](const int& x, Emitter<int, int>* emitter) {
+        emitter->Emit(x % 10, x);
+      },
+      [](const int& key, std::vector<int>&& values) {
+        return std::make_pair(key, values.size());
+      });
+  ASSERT_EQ(out.size(), 10u);
+  for (const auto& [key, count] : out) {
+    EXPECT_EQ(count, 100u) << "key " << key;
+  }
+}
+
+TEST(MapReduceTest, ReducerSeesAllValuesForKey) {
+  std::vector<int> inputs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  MapReduceOptions options;
+  options.num_threads = 3;
+  options.num_partitions = 5;
+  auto out = MapReduce<int, int, int, int>(
+      inputs,
+      [](const int& x, Emitter<int, int>* emitter) { emitter->Emit(0, x); },
+      [](const int&, std::vector<int>&& values) {
+        int total = 0;
+        for (int v : values) total += v;
+        return total;
+      },
+      options);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 55);
+}
+
+TEST(MapReduceTest, DeterministicAcrossThreadCounts) {
+  std::vector<int> inputs(500);
+  for (int i = 0; i < 500; ++i) inputs[i] = i;
+  auto run = [&](size_t threads) {
+    MapReduceOptions options;
+    options.num_threads = threads;
+    auto out = MapReduce<int, int, int, std::pair<int, int>>(
+        inputs,
+        [](const int& x, Emitter<int, int>* emitter) {
+          emitter->Emit(x % 7, x);
+        },
+        [](const int& key, std::vector<int>&& values) {
+          int total = 0;
+          for (int v : values) total += v;
+          return std::make_pair(key, total);
+        },
+        options);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(2), run(8));
+}
+
+TEST(MapReduceTest, SinglePartitionWorks) {
+  std::vector<int> inputs = {1, 2, 3, 4};
+  MapReduceOptions options;
+  options.num_partitions = 1;
+  options.num_threads = 2;
+  auto out = MapReduce<int, int, int, int>(
+      inputs,
+      [](const int& x, Emitter<int, int>* emitter) { emitter->Emit(x, x); },
+      [](const int& key, std::vector<int>&& values) {
+        return key * static_cast<int>(values.size());
+      },
+      options);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ParallelMapTest, PreservesOrder) {
+  std::vector<int> inputs = {5, 3, 8, 1};
+  auto out = ParallelMap<int, int>(
+      inputs, [](const int& x) { return x * 2; }, 4);
+  EXPECT_EQ(out, (std::vector<int>{10, 6, 16, 2}));
+}
+
+TEST(ParallelMapTest, EmptyInput) {
+  std::vector<int> empty;
+  auto out = ParallelMap<int, int>(empty, [](const int& x) { return x; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMapTest, LargeInputAllProcessed) {
+  std::vector<int> inputs(10000, 1);
+  auto out = ParallelMap<int, int>(
+      inputs, [](const int& x) { return x + 1; }, 4);
+  for (int v : out) EXPECT_EQ(v, 2);
+}
+
+TEST(EmitterTest, PartitionsByHash) {
+  Emitter<int, int> emitter(4);
+  for (int i = 0; i < 100; ++i) emitter.Emit(i, i);
+  size_t total = 0;
+  for (const auto& bucket : emitter.buckets()) total += bucket.size();
+  EXPECT_EQ(total, 100u);
+  // Same key always lands in the same bucket.
+  Emitter<int, int> other(4);
+  other.Emit(42, 1);
+  other.Emit(42, 2);
+  size_t nonempty = 0;
+  for (const auto& bucket : other.buckets()) {
+    if (!bucket.empty()) {
+      ++nonempty;
+      EXPECT_EQ(bucket.size(), 2u);
+    }
+  }
+  EXPECT_EQ(nonempty, 1u);
+}
+
+}  // namespace
+}  // namespace bdi::dataflow

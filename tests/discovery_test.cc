@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bdi/discovery/crawler.h"
+#include "bdi/discovery/search_index.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::discovery {
+namespace {
+
+TEST(SearchIndexTest, FindsSourcesByIdentifier) {
+  Dataset web;
+  SourceId s0 = web.AddSource("a");
+  SourceId s1 = web.AddSource("b");
+  web.AddRecord(s0, {{"name", "Widget"}, {"sku", "wx10001"}});
+  web.AddRecord(s1, {{"name", "widget page"}, {"mpn", "wx10001"}});
+  web.AddRecord(s1, {{"name", "other"}, {"mpn", "zz90009"}});
+  SearchIndex index(web);
+  std::vector<SourceId> hits = index.Search("wx10001");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(index.Search("zz90009"), (std::vector<SourceId>{s1}));
+  EXPECT_TRUE(index.Search("absent99").empty());
+}
+
+TEST(SearchIndexTest, IgnoresPureDigitAndShortTokens) {
+  Dataset web;
+  SourceId s0 = web.AddSource("a");
+  web.AddRecord(s0, {{"price", "10999"}, {"year", "2013"}, {"id", "ab1"}});
+  SearchIndex index(web);
+  EXPECT_TRUE(index.Search("10999").empty());  // digits only
+  EXPECT_TRUE(index.Search("2013").empty());
+  EXPECT_TRUE(index.Search("ab1").empty());  // too short
+}
+
+TEST(SearchIndexTest, PostingsOrderedByHits) {
+  Dataset web;
+  SourceId s0 = web.AddSource("a");
+  SourceId s1 = web.AddSource("b");
+  web.AddRecord(s0, {{"x", "tok99abc"}});
+  web.AddRecord(s1, {{"x", "tok99abc"}});
+  web.AddRecord(s1, {{"y", "tok99abc"}});
+  SearchIndex index(web);
+  std::vector<SourceId> hits = index.Search("tok99abc");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], s1);  // two hits beat one
+}
+
+struct WebFixture {
+  Dataset web;
+  std::vector<EntityId> labels;
+  SearchIndex* index = nullptr;
+
+  explicit WebFixture(int distractors = 10) {
+    synth::WorldConfig config;
+    config.seed = 601;
+    config.num_entities = 200;
+    config.num_sources = 15;
+    config.identifier_presence_prob = 0.95;
+    synth::SyntheticWorld world = synth::GenerateWorld(config);
+    // Re-home the generated corpus (Dataset is move-only).
+    web = std::move(world.dataset);
+    labels = world.truth.entity_of_record;
+    AddDistractorSources(&web, distractors, 30, 7, &labels);
+    static_index = std::make_unique<SearchIndex>(web);
+    index = static_index.get();
+  }
+
+  static std::unique_ptr<SearchIndex> static_index;
+};
+
+std::unique_ptr<SearchIndex> WebFixture::static_index;
+
+TEST(FocusedDiscoveryTest, FindsProductSourcesAndSkipsDistractors) {
+  WebFixture fx;
+  DiscoveryConfig config;
+  config.page_budget = 1200;
+  DiscoveryResult result =
+      FocusedDiscovery(fx.web, *fx.index, fx.labels, config);
+  ASSERT_FALSE(result.curve.empty());
+  const DiscoveryStep& last = result.curve.back();
+  // All (or nearly all) product sources found...
+  EXPECT_GE(last.sources_discovered, 12u);
+  EXPECT_LE(result.pages_crawled, config.page_budget);
+  // ...and the identifier frontier prioritizes them: distractors (which
+  // publish no identifiers) are only visited as leftover-budget fallback,
+  // strictly after the product sources.
+  bool seen_distractor = false;
+  for (SourceId source : result.crawl_order) {
+    bool is_distractor = source >= 15;  // product sources are 0..14
+    if (is_distractor) {
+      seen_distractor = true;
+    } else {
+      EXPECT_FALSE(seen_distractor)
+          << "product source crawled after a distractor";
+    }
+  }
+}
+
+TEST(FocusedDiscoveryTest, BeatsRandomAtEqualBudget) {
+  WebFixture fx;
+  DiscoveryConfig config;
+  config.page_budget = 600;
+  DiscoveryResult focused =
+      FocusedDiscovery(fx.web, *fx.index, fx.labels, config);
+  DiscoveryResult random = RandomDiscovery(fx.web, fx.labels, config);
+  EXPECT_GT(focused.curve.back().entities_covered,
+            random.curve.back().entities_covered);
+  EXPECT_GE(focused.curve.back().sources_discovered,
+            random.curve.back().sources_discovered);
+}
+
+TEST(FocusedDiscoveryTest, CurveMonotone) {
+  WebFixture fx;
+  DiscoveryConfig config;
+  config.page_budget = 800;
+  DiscoveryResult result =
+      FocusedDiscovery(fx.web, *fx.index, fx.labels, config);
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_GE(result.curve[i].pages_crawled,
+              result.curve[i - 1].pages_crawled);
+    EXPECT_GE(result.curve[i].entities_covered,
+              result.curve[i - 1].entities_covered);
+    EXPECT_GE(result.curve[i].sources_visited,
+              result.curve[i - 1].sources_visited);
+  }
+}
+
+TEST(FocusedDiscoveryTest, BudgetZeroCrawlsNothingBeyondSeeds) {
+  WebFixture fx;
+  DiscoveryConfig config;
+  config.page_budget = 1;  // one page: the seed crawl is capped
+  DiscoveryResult result =
+      FocusedDiscovery(fx.web, *fx.index, fx.labels, config);
+  EXPECT_LE(result.pages_crawled, 1u);
+}
+
+TEST(RandomDiscoveryTest, VisitsDistractorsProportionally) {
+  WebFixture fx(/*distractors=*/15);
+  DiscoveryConfig config;
+  config.page_budget = 500;
+  config.seed = 9;
+  DiscoveryResult result = RandomDiscovery(fx.web, fx.labels, config);
+  const DiscoveryStep& last = result.curve.back();
+  // Random order wastes visits on distractors (15 of 30 sources).
+  EXPECT_GT(last.sources_visited - last.sources_discovered, 2u);
+}
+
+TEST(AddDistractorSourcesTest, LabelsStayAligned) {
+  Dataset web;
+  std::vector<EntityId> labels;
+  SourceId s = web.AddSource("real");
+  web.AddRecord(s, {{"x", "v"}});
+  labels.push_back(0);
+  AddDistractorSources(&web, 2, 5, 1, &labels);
+  EXPECT_EQ(labels.size(), web.num_records());
+  for (size_t r = 1; r < labels.size(); ++r) {
+    EXPECT_EQ(labels[r], kInvalidEntity);
+  }
+}
+
+}  // namespace
+}  // namespace bdi::discovery

@@ -1,0 +1,114 @@
+#include "bdi/fusion/bias.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bdi/common/string_util.h"
+#include "bdi/fusion/accu.h"
+#include "bdi/fusion/evaluation.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::fusion {
+namespace {
+
+synth::SyntheticWorld DeceitWorld(int deceitful, double inflation = 0.25) {
+  synth::WorldConfig config;
+  config.seed = 1401;
+  config.category = "stock";  // all-numeric: deceit bites everywhere
+  config.num_entities = 250;
+  config.num_sources = 12;
+  config.num_deceitful = deceitful;
+  config.deceit_inflation = inflation;
+  config.source_accuracy_min = 0.8;
+  config.source_accuracy_max = 0.95;
+  config.format_variation_prob = 0.0;
+  return synth::GenerateWorld(config);
+}
+
+TEST(DeceitGenerationTest, DeceitfulSourcesInflateConsistently) {
+  synth::SyntheticWorld world = DeceitWorld(3);
+  ASSERT_EQ(world.truth.deceitful_sources.size(), 3u);
+  std::set<SourceId> liars(world.truth.deceitful_sources.begin(),
+                           world.truth.deceitful_sources.end());
+  size_t checked = 0;
+  for (const GroundTruth::TrueClaim& claim : world.truth.claims) {
+    if (liars.count(claim.source) == 0) continue;
+    double truth_value = 0.0, claimed = 0.0;
+    const std::string& truth_text =
+        world.truth.true_values[claim.entity][claim.canonical_attr];
+    ASSERT_TRUE(ParseLeadingDouble(truth_text, &truth_value, nullptr));
+    ASSERT_TRUE(ParseLeadingDouble(claim.value, &claimed, nullptr));
+    EXPECT_NEAR(claimed / truth_value, 1.25, 0.02) << claim.value;
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(BiasDetectionTest, FlagsTheLiars) {
+  synth::SyntheticWorld world = DeceitWorld(3);
+  ClaimDb db =
+      ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+  FusionResult reference = AccuFusion().Resolve(db);
+  std::vector<SourceBias> biases = DetectBias(db, reference);
+
+  std::set<SourceId> liars(world.truth.deceitful_sources.begin(),
+                           world.truth.deceitful_sources.end());
+  std::set<SourceId> flagged;
+  for (const SourceBias& bias : biases) {
+    flagged.insert(bias.source);
+    EXPECT_GT(bias.relative_bias, 0.0);  // inflation is positive
+  }
+  // Every liar flagged on at least one attribute; no honest source flagged.
+  for (SourceId liar : liars) {
+    EXPECT_TRUE(flagged.count(liar) > 0) << "liar s" << liar << " missed";
+  }
+  for (SourceId source : flagged) {
+    EXPECT_TRUE(liars.count(source) > 0)
+        << "honest source s" << source << " falsely flagged";
+  }
+}
+
+TEST(BiasDetectionTest, CleanWorldHasNoFlags) {
+  synth::SyntheticWorld world = DeceitWorld(0);
+  ClaimDb db =
+      ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+  FusionResult reference = AccuFusion().Resolve(db);
+  std::vector<SourceBias> biases = DetectBias(db, reference);
+  EXPECT_TRUE(biases.empty());
+}
+
+TEST(DebiasTest, CorrectionRecoversFusionPrecision) {
+  synth::SyntheticWorld world = DeceitWorld(4);
+  ClaimDb db =
+      ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+  FusionResult before = AccuFusion().Resolve(db);
+  double precision_before =
+      EvaluateFusion(db, before, world.truth).precision;
+
+  std::vector<SourceBias> biases = DetectBias(db, before);
+  ASSERT_FALSE(biases.empty());
+  ClaimDb corrected = DebiasClaims(db, biases);
+  FusionResult after = AccuFusion().Resolve(corrected);
+  double precision_after =
+      EvaluateFusion(corrected, after, world.truth).precision;
+  EXPECT_GT(precision_after, precision_before);
+}
+
+TEST(DebiasTest, NoBiasesIsIdentity) {
+  synth::SyntheticWorld world = DeceitWorld(0);
+  ClaimDb db =
+      ClaimDb::FromGroundTruth(world.truth, world.dataset.num_sources());
+  ClaimDb copy = DebiasClaims(db, {});
+  ASSERT_EQ(copy.items().size(), db.items().size());
+  for (size_t i = 0; i < db.items().size(); ++i) {
+    ASSERT_EQ(copy.items()[i].claims.size(), db.items()[i].claims.size());
+    for (size_t c = 0; c < db.items()[i].claims.size(); ++c) {
+      EXPECT_EQ(copy.items()[i].claims[c].value,
+                db.items()[i].claims[c].value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdi::fusion

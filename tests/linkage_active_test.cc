@@ -1,0 +1,126 @@
+#include "bdi/linkage/active.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "bdi/linkage/linkage.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::linkage {
+namespace {
+
+struct Fixture {
+  synth::SyntheticWorld world;
+  std::unique_ptr<Linker> linker;
+  std::vector<CandidatePair> candidates;
+
+  Fixture() {
+    synth::WorldConfig config;
+    config.seed = 501;
+    config.num_entities = 150;
+    config.num_sources = 10;
+    world = synth::GenerateWorld(config);
+    LinkerConfig linker_config;
+    linker_config.scorer = ScorerKind::kRule;
+    linker = std::make_unique<Linker>(&world.dataset, linker_config);
+    linker->Run();
+    candidates = linker->last_candidates();
+  }
+
+  LabelOracle Oracle() {
+    return [this](const CandidatePair& pair) {
+      return world.truth.entity_of_record[pair.a] ==
+                     world.truth.entity_of_record[pair.b]
+                 ? 1
+                 : 0;
+    };
+  }
+
+  double F1(const LearnedScorer& scorer) {
+    std::vector<ScoredPair> matches;
+    for (const CandidatePair& pair : candidates) {
+      PairFeatures features = linker->extractor().Extract(pair.a, pair.b);
+      if (scorer.Matches(features)) {
+        matches.push_back(ScoredPair{pair, scorer.Score(features)});
+      }
+    }
+    EntityClusters clusters =
+        ClusterRecords(world.dataset.num_records(), matches,
+                       ClusteringMethod::kConnectedComponents);
+    return EvaluateClusters(clusters.label_of_record,
+                            world.truth.entity_of_record)
+        .f1;
+  }
+};
+
+TEST(ActiveLearningTest, UsesExactlyTheBudget) {
+  Fixture fx;
+  ActiveLearningConfig config;
+  config.seed_labels = 10;
+  config.batch_size = 5;
+  config.rounds = 4;
+  ActiveLearningResult result =
+      TrainActively(fx.linker->extractor(), fx.candidates, fx.Oracle(),
+                    config);
+  EXPECT_EQ(result.labels_used, 10u + 5u * 4u);
+  EXPECT_EQ(result.queried.size(), result.labels_used);
+  // No pair asked twice.
+  std::set<std::pair<RecordIdx, RecordIdx>> seen;
+  for (const CandidatePair& pair : result.queried) {
+    EXPECT_TRUE(seen.insert({pair.a, pair.b}).second);
+  }
+}
+
+TEST(ActiveLearningTest, LearnsAUsefulMatcher) {
+  Fixture fx;
+  ActiveLearningConfig config;
+  config.seed_labels = 30;
+  config.batch_size = 20;
+  config.rounds = 6;
+  ActiveLearningResult result =
+      TrainActively(fx.linker->extractor(), fx.candidates, fx.Oracle(),
+                    config);
+  EXPECT_GE(fx.F1(result.scorer), 0.8);
+}
+
+TEST(ActiveLearningTest, BeatsOrMatchesRandomAtSameBudget) {
+  Fixture fx;
+  ActiveLearningConfig config;
+  config.seed_labels = 20;
+  config.batch_size = 10;
+  config.rounds = 5;
+  double active_f1 =
+      fx.F1(TrainActively(fx.linker->extractor(), fx.candidates,
+                          fx.Oracle(), config)
+                .scorer);
+  double random_f1 =
+      fx.F1(TrainRandomly(fx.linker->extractor(), fx.candidates,
+                          fx.Oracle(), config)
+                .scorer);
+  EXPECT_GE(active_f1, random_f1 - 0.03);
+}
+
+TEST(ActiveLearningTest, EmptyCandidates) {
+  Fixture fx;
+  ActiveLearningResult result = TrainActively(
+      fx.linker->extractor(), {}, fx.Oracle(), ActiveLearningConfig{});
+  EXPECT_EQ(result.labels_used, 0u);
+}
+
+TEST(ActiveLearningTest, BudgetLargerThanPool) {
+  Fixture fx;
+  std::vector<CandidatePair> few(fx.candidates.begin(),
+                                 fx.candidates.begin() + 10);
+  ActiveLearningConfig config;
+  config.seed_labels = 6;
+  config.batch_size = 10;
+  config.rounds = 3;
+  ActiveLearningResult result =
+      TrainActively(fx.linker->extractor(), few, fx.Oracle(), config);
+  EXPECT_EQ(result.labels_used, 10u);  // everything labeled, then stop
+}
+
+}  // namespace
+}  // namespace bdi::linkage

@@ -1,0 +1,184 @@
+#include "bdi/linkage/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bdi/synth/world.h"
+
+namespace bdi::linkage {
+namespace {
+
+/// Two sources, two entities ("Canon X100" / "Nikon Z50"); one record each.
+Dataset TinyDataset() {
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  dataset.AddRecord(s0, {{"name", "Canon X100 camera"}});   // r0
+  dataset.AddRecord(s0, {{"name", "Nikon Z50 camera"}});    // r1
+  dataset.AddRecord(s1, {{"name", "canon x100"}});          // r2
+  dataset.AddRecord(s1, {{"name", "nikon z50 body"}});      // r3
+  return dataset;
+}
+
+TEST(TokenBlockerTest, GroupsSharedTokens) {
+  Dataset dataset = TinyDataset();
+  TokenBlocker blocker(/*min_token_len=*/3, /*max_block_size=*/10);
+  std::vector<Block> blocks = blocker.MakeBlocksAll(dataset, nullptr);
+  bool found_canon = false;
+  for (const Block& block : blocks) {
+    if (block.key == "canon") {
+      found_canon = true;
+      EXPECT_EQ(block.records, (std::vector<RecordIdx>{0, 2}));
+    }
+  }
+  EXPECT_TRUE(found_canon);
+}
+
+TEST(TokenBlockerTest, DropsOversizedBlocks) {
+  Dataset dataset = TinyDataset();
+  // A third record containing "camera" pushes that token over the cap.
+  dataset.AddRecord(1, {{"name", "generic camera"}});
+  TokenBlocker blocker(/*min_token_len=*/3, /*max_block_size=*/2);
+  std::vector<Block> blocks = blocker.MakeBlocksAll(dataset, nullptr);
+  bool camera_found = false;
+  for (const Block& block : blocks) {
+    if (block.key == "camera") camera_found = true;
+    EXPECT_LE(block.records.size(), 2u);
+  }
+  EXPECT_FALSE(camera_found) << "stop-word-like token must be dropped";
+}
+
+TEST(TokenBlockerTest, MinTokenLengthFilters) {
+  Dataset dataset = TinyDataset();
+  TokenBlocker blocker(/*min_token_len=*/4, /*max_block_size=*/10);
+  for (const Block& block : blocker.MakeBlocksAll(dataset, nullptr)) {
+    EXPECT_GE(block.key.size(), 4u);
+  }
+}
+
+TEST(IdentifierBlockerTest, BlocksOnIdTokens) {
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  dataset.AddRecord(s0, {{"sku", "ab12345"}});
+  dataset.AddRecord(s1, {{"mpn", "AB12345"}});
+  dataset.AddRecord(s1, {{"mpn", "zz99999"}});
+  IdentifierBlocker blocker(/*min_len=*/5);
+  std::vector<Block> blocks = blocker.MakeBlocksAll(dataset, nullptr);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].key, "ab12345");
+  EXPECT_EQ(blocks[0].records, (std::vector<RecordIdx>{0, 1}));
+}
+
+TEST(SortedNeighborhoodTest, WindowsCoverNeighbors) {
+  Dataset dataset = TinyDataset();
+  SortedNeighborhoodBlocker blocker(/*window_size=*/3);
+  std::vector<Block> blocks = blocker.MakeBlocksAll(dataset, nullptr);
+  // Records sorted by token-key; canon records are adjacent.
+  std::vector<CandidatePair> pairs = BlocksToPairs(dataset, blocks);
+  bool canon_pair = false;
+  for (const CandidatePair& pair : pairs) {
+    if (pair.a == 0 && pair.b == 2) canon_pair = true;
+  }
+  EXPECT_TRUE(canon_pair);
+}
+
+TEST(CanopyBlockerTest, OverlappingNamesShareCanopy) {
+  Dataset dataset = TinyDataset();
+  CanopyBlocker blocker(/*t_loose=*/0.4);
+  std::vector<Block> blocks = blocker.MakeBlocksAll(dataset, nullptr);
+  std::vector<CandidatePair> pairs = BlocksToPairs(dataset, blocks);
+  bool canon_pair = false, cross_entity = false;
+  for (const CandidatePair& pair : pairs) {
+    if (pair.a == 0 && pair.b == 2) canon_pair = true;
+    if (pair.a == 0 && pair.b == 3) cross_entity = true;
+  }
+  EXPECT_TRUE(canon_pair);
+  EXPECT_FALSE(cross_entity);
+}
+
+TEST(BlocksToPairsTest, ExcludesSameSourceByDefault) {
+  Dataset dataset = TinyDataset();
+  std::vector<Block> blocks = {Block{"k", {0, 1, 2}}};
+  std::vector<CandidatePair> pairs = BlocksToPairs(dataset, blocks, false);
+  // (0,1) same source excluded; (0,2) and (1,2) kept.
+  EXPECT_EQ(pairs.size(), 2u);
+  std::vector<CandidatePair> all_pairs =
+      BlocksToPairs(dataset, blocks, true);
+  EXPECT_EQ(all_pairs.size(), 3u);
+}
+
+TEST(BlocksToPairsTest, DeduplicatesAcrossBlocks) {
+  Dataset dataset = TinyDataset();
+  std::vector<Block> blocks = {Block{"k1", {0, 2}}, Block{"k2", {0, 2}}};
+  EXPECT_EQ(BlocksToPairs(dataset, blocks).size(), 1u);
+}
+
+TEST(EvaluateBlockingTest, PerfectBlocking) {
+  Dataset dataset = TinyDataset();
+  std::vector<EntityId> truth = {0, 1, 0, 1};
+  std::vector<CandidatePair> candidates = {{0, 2}, {1, 3}};
+  BlockingQuality quality = EvaluateBlocking(dataset, candidates, truth);
+  EXPECT_DOUBLE_EQ(quality.pairs_completeness, 1.0);
+  EXPECT_EQ(quality.num_true_pairs, 2u);
+  // 4 cross-source pairs possible, 2 candidates -> rr = 0.5.
+  EXPECT_DOUBLE_EQ(quality.reduction_ratio, 0.5);
+}
+
+TEST(EvaluateBlockingTest, MissedPairsLowerCompleteness) {
+  Dataset dataset = TinyDataset();
+  std::vector<EntityId> truth = {0, 1, 0, 1};
+  std::vector<CandidatePair> candidates = {{0, 2}};
+  BlockingQuality quality = EvaluateBlocking(dataset, candidates, truth);
+  EXPECT_DOUBLE_EQ(quality.pairs_completeness, 0.5);
+}
+
+// Parameterized sweep: every blocker achieves decent pairs completeness on
+// a generated world while cutting the comparison space.
+class BlockerSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockerSweepTest, CompletenessAndReductionFloors) {
+  synth::WorldConfig config;
+  config.seed = 23;
+  config.num_entities = 150;
+  config.num_sources = 8;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  schema::AttributeStatistics stats =
+      schema::AttributeStatistics::Compute(world.dataset);
+  AttrRoles roles = AttrRoles::Detect(stats);
+
+  std::unique_ptr<Blocker> blocker;
+  switch (GetParam()) {
+    case 0:
+      blocker = std::make_unique<TokenBlocker>();
+      break;
+    case 1:
+      blocker = std::make_unique<IdentifierBlocker>();
+      break;
+    case 2:
+      blocker = std::make_unique<SortedNeighborhoodBlocker>();
+      break;
+    default:
+      blocker = std::make_unique<CanopyBlocker>();
+      break;
+  }
+  std::vector<Block> blocks = blocker->MakeBlocksAll(world.dataset, &roles);
+  std::vector<CandidatePair> pairs = BlocksToPairs(world.dataset, blocks);
+  BlockingQuality quality =
+      EvaluateBlocking(world.dataset, pairs, world.truth.entity_of_record);
+  EXPECT_GE(quality.pairs_completeness, 0.55) << blocker->name();
+  EXPECT_GE(quality.reduction_ratio, 0.5) << blocker->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBlockers, BlockerSweepTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(BlockerTest, EmptyDatasetYieldsNoBlocks) {
+  Dataset dataset;
+  TokenBlocker blocker;
+  EXPECT_TRUE(blocker.MakeBlocksAll(dataset, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace bdi::linkage

@@ -1,0 +1,127 @@
+#include "bdi/linkage/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bdi::linkage {
+namespace {
+
+ScoredPair SP(RecordIdx a, RecordIdx b, double s) {
+  return ScoredPair{CandidatePair{a, b}, s};
+}
+
+TEST(ClusterRecordsTest, ConnectedComponentsTransitive) {
+  EntityClusters clusters = ClusterRecords(
+      5, {SP(0, 1, 0.9), SP(1, 2, 0.9)},
+      ClusteringMethod::kConnectedComponents);
+  EXPECT_EQ(clusters.label_of_record[0], clusters.label_of_record[1]);
+  EXPECT_EQ(clusters.label_of_record[1], clusters.label_of_record[2]);
+  EXPECT_NE(clusters.label_of_record[0], clusters.label_of_record[3]);
+  EXPECT_NE(clusters.label_of_record[3], clusters.label_of_record[4]);
+  EXPECT_EQ(clusters.num_clusters, 3u);
+}
+
+TEST(ClusterRecordsTest, NoMatchesAllSingletons) {
+  for (ClusteringMethod method :
+       {ClusteringMethod::kConnectedComponents, ClusteringMethod::kCenter,
+        ClusteringMethod::kCorrelationPivot}) {
+    EntityClusters clusters = ClusterRecords(4, {}, method);
+    EXPECT_EQ(clusters.num_clusters, 4u);
+    std::set<EntityId> labels(clusters.label_of_record.begin(),
+                              clusters.label_of_record.end());
+    EXPECT_EQ(labels.size(), 4u);
+  }
+}
+
+TEST(ClusterRecordsTest, LabelsAreDense) {
+  for (ClusteringMethod method :
+       {ClusteringMethod::kConnectedComponents, ClusteringMethod::kCenter,
+        ClusteringMethod::kCorrelationPivot}) {
+    EntityClusters clusters =
+        ClusterRecords(6, {SP(0, 5, 0.9), SP(2, 3, 0.8)}, method);
+    for (EntityId label : clusters.label_of_record) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(static_cast<size_t>(label), clusters.num_clusters);
+    }
+  }
+}
+
+TEST(ClusterRecordsTest, CenterResistsChaining) {
+  // Chain 0-1, 1-2, 2-3 with decreasing scores: connected components makes
+  // one big cluster; center clustering limits merging through non-centers.
+  std::vector<ScoredPair> chain = {SP(0, 1, 0.99), SP(1, 2, 0.8),
+                                   SP(2, 3, 0.7)};
+  EntityClusters cc =
+      ClusterRecords(4, chain, ClusteringMethod::kConnectedComponents);
+  EXPECT_EQ(cc.num_clusters, 1u);
+  EntityClusters center = ClusterRecords(4, chain, ClusteringMethod::kCenter);
+  EXPECT_GT(center.num_clusters, 1u);
+  // But the strongest pair stays together.
+  EXPECT_EQ(center.label_of_record[0], center.label_of_record[1]);
+}
+
+TEST(ClusterRecordsTest, CorrelationPivotAbsorbsNeighbors) {
+  EntityClusters clusters = ClusterRecords(
+      4, {SP(0, 1, 0.9), SP(0, 2, 0.9), SP(1, 2, 0.9)},
+      ClusteringMethod::kCorrelationPivot);
+  EXPECT_EQ(clusters.label_of_record[0], clusters.label_of_record[1]);
+  EXPECT_EQ(clusters.label_of_record[0], clusters.label_of_record[2]);
+  EXPECT_NE(clusters.label_of_record[0], clusters.label_of_record[3]);
+}
+
+TEST(ClusterRecordsTest, ZeroRecords) {
+  EntityClusters clusters =
+      ClusterRecords(0, {}, ClusteringMethod::kConnectedComponents);
+  EXPECT_EQ(clusters.num_clusters, 0u);
+  EXPECT_TRUE(clusters.label_of_record.empty());
+}
+
+TEST(EvaluateClustersTest, PerfectMatch) {
+  std::vector<EntityId> labels = {0, 0, 1, 1, 2};
+  LinkageQuality quality = EvaluateClusters(labels, labels);
+  EXPECT_DOUBLE_EQ(quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality.f1, 1.0);
+  EXPECT_EQ(quality.true_pairs, 2u);
+}
+
+TEST(EvaluateClustersTest, OverMergedLosesPrecision) {
+  std::vector<EntityId> predicted = {0, 0, 0, 0};
+  std::vector<EntityId> truth = {0, 0, 1, 1};
+  LinkageQuality quality = EvaluateClusters(predicted, truth);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality.precision, 2.0 / 6.0);
+}
+
+TEST(EvaluateClustersTest, OverSplitLosesRecall) {
+  std::vector<EntityId> predicted = {0, 1, 2, 3};
+  std::vector<EntityId> truth = {0, 0, 1, 1};
+  LinkageQuality quality = EvaluateClusters(predicted, truth);
+  EXPECT_DOUBLE_EQ(quality.precision, 1.0);  // vacuous: no predicted pairs
+  EXPECT_DOUBLE_EQ(quality.recall, 0.0);
+}
+
+TEST(EvaluateClustersTest, AgreesWithBruteForceOnRandomInputs) {
+  // Property check of the contingency-count shortcut against an O(n^2)
+  // reference implementation.
+  std::vector<EntityId> predicted = {0, 1, 0, 2, 1, 0, 2, 2, 1, 0};
+  std::vector<EntityId> truth = {0, 0, 0, 1, 1, 2, 2, 1, 0, 0};
+  size_t tp = 0, pred = 0, act = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    for (size_t j = i + 1; j < predicted.size(); ++j) {
+      bool p = predicted[i] == predicted[j];
+      bool a = truth[i] == truth[j];
+      if (p) ++pred;
+      if (a) ++act;
+      if (p && a) ++tp;
+    }
+  }
+  LinkageQuality quality = EvaluateClusters(predicted, truth);
+  EXPECT_EQ(quality.predicted_pairs, pred);
+  EXPECT_EQ(quality.true_pairs, act);
+  EXPECT_EQ(quality.correct_pairs, tp);
+}
+
+}  // namespace
+}  // namespace bdi::linkage

@@ -1,0 +1,142 @@
+#include "bdi/linkage/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "bdi/synth/world.h"
+
+namespace bdi::linkage {
+namespace {
+
+synth::SyntheticWorld MakeWorld(uint64_t seed = 31) {
+  synth::WorldConfig config;
+  config.seed = seed;
+  config.num_entities = 150;
+  config.num_sources = 10;
+  return synth::GenerateWorld(config);
+}
+
+TEST(LinkerTest, DefaultPipelineLinksWell) {
+  synth::SyntheticWorld world = MakeWorld();
+  Linker linker(&world.dataset, {});
+  LinkageResult result = linker.Run();
+  EXPECT_GT(result.num_candidates, 0u);
+  EXPECT_GT(result.num_matches, 0u);
+  LinkageQuality quality = EvaluateClusters(
+      result.clusters.label_of_record, world.truth.entity_of_record);
+  EXPECT_GE(quality.precision, 0.9);
+  EXPECT_GE(quality.recall, 0.85);
+}
+
+TEST(LinkerTest, LabelsCoverEveryRecord) {
+  synth::SyntheticWorld world = MakeWorld();
+  Linker linker(&world.dataset, {});
+  LinkageResult result = linker.Run();
+  EXPECT_EQ(result.clusters.label_of_record.size(),
+            world.dataset.num_records());
+}
+
+// Blockers x scorers sweep: quality floors hold for every combination.
+using LinkerParam = std::tuple<BlockerKind, ScorerKind>;
+class LinkerSweepTest : public ::testing::TestWithParam<LinkerParam> {};
+
+TEST_P(LinkerSweepTest, QualityFloor) {
+  auto [blocker, scorer] = GetParam();
+  synth::SyntheticWorld world = MakeWorld(37);
+  LinkerConfig config;
+  config.blocker = blocker;
+  config.scorer = scorer;
+  Linker linker(&world.dataset, config);
+  if (scorer == ScorerKind::kLearned) {
+    // Active-learning stand-in: label a sample of *blocked candidate*
+    // pairs (the pairs the matcher will actually face) with ground truth
+    // and fit the logistic scorer on them.
+    LinkerConfig bootstrap_config = config;
+    bootstrap_config.scorer = ScorerKind::kRule;
+    Linker bootstrap(&world.dataset, bootstrap_config);
+    bootstrap.Run();
+    std::vector<PairFeatures> features;
+    std::vector<int> labels;
+    const auto& candidates = bootstrap.last_candidates();
+    size_t stride = std::max<size_t>(1, candidates.size() / 800);
+    for (size_t i = 0; i < candidates.size(); i += stride) {
+      const CandidatePair& pair = candidates[i];
+      features.push_back(linker.extractor().Extract(pair.a, pair.b));
+      labels.push_back(world.truth.entity_of_record[pair.a] ==
+                               world.truth.entity_of_record[pair.b]
+                           ? 1
+                           : 0);
+    }
+    auto trained = std::make_unique<LearnedScorer>();
+    trained->Train(features, labels);
+    trained->set_threshold(0.5);
+    linker.SetScorer(std::move(trained));
+  }
+  LinkageResult result = linker.Run();
+  LinkageQuality quality = EvaluateClusters(
+      result.clusters.label_of_record, world.truth.entity_of_record);
+  EXPECT_GE(quality.precision, 0.75);
+  EXPECT_GE(quality.recall, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, LinkerSweepTest,
+    ::testing::Combine(
+        ::testing::Values(BlockerKind::kToken, BlockerKind::kIdentifier,
+                          BlockerKind::kTokenPlusIdentifier),
+        ::testing::Values(ScorerKind::kLinear, ScorerKind::kRule,
+                          ScorerKind::kLearned)));
+
+TEST(LinkerTest, MetaBlockingShrinksCandidates) {
+  synth::SyntheticWorld world = MakeWorld(41);
+  LinkerConfig plain;
+  plain.blocker = BlockerKind::kToken;
+  Linker linker_plain(&world.dataset, plain);
+  LinkageResult r_plain = linker_plain.Run();
+
+  LinkerConfig meta = plain;
+  meta.use_meta_blocking = true;
+  Linker linker_meta(&world.dataset, meta);
+  LinkageResult r_meta = linker_meta.Run();
+
+  EXPECT_LT(r_meta.num_candidates, r_plain.num_candidates);
+  LinkageQuality q_meta = EvaluateClusters(
+      r_meta.clusters.label_of_record, world.truth.entity_of_record);
+  EXPECT_GE(q_meta.recall, 0.5);
+}
+
+TEST(LinkerTest, HarderNoiseStillReasonable) {
+  synth::WorldConfig config;
+  config.seed = 43;
+  config.num_entities = 120;
+  config.num_sources = 8;
+  config.identifier_presence_prob = 0.5;
+  config.identifier_noise_prob = 0.1;
+  config.name_noise.typo_prob = 0.15;
+  config.name_noise.extra_token_prob = 0.3;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  Linker linker(&world.dataset, {});
+  LinkageResult result = linker.Run();
+  LinkageQuality quality = EvaluateClusters(
+      result.clusters.label_of_record, world.truth.entity_of_record);
+  EXPECT_GE(quality.f1, 0.6);
+}
+
+TEST(LinkerTest, RelatedProductIdsDoNotExplodePrecision) {
+  synth::WorldConfig config;
+  config.seed = 47;
+  config.num_entities = 120;
+  config.num_sources = 8;
+  config.related_products_prob = 0.3;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  Linker linker(&world.dataset, {});
+  LinkageResult result = linker.Run();
+  LinkageQuality quality = EvaluateClusters(
+      result.clusters.label_of_record, world.truth.entity_of_record);
+  EXPECT_GE(quality.precision, 0.8);
+}
+
+}  // namespace
+}  // namespace bdi::linkage

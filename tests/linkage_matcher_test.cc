@@ -1,0 +1,199 @@
+#include "bdi/linkage/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace bdi::linkage {
+namespace {
+
+/// Dataset with detectable roles: many records so role detection has
+/// enough statistics; record 0/1 are the same entity across sources,
+/// record 2 is a different entity.
+struct Fixture {
+  Dataset dataset;
+  schema::AttributeStatistics stats;
+  AttrRoles roles;
+
+  Fixture() {
+    SourceId s0 = dataset.AddSource("s0");
+    SourceId s1 = dataset.AddSource("s1");
+    // r0 and r1: same entity; r2: different.
+    dataset.AddRecord(s0, {{"name", "Canon X100 camera"},
+                           {"sku", "cm10001"},
+                           {"color", "red"},
+                           {"zoom", "10"}});
+    dataset.AddRecord(s1, {{"title", "canon x100"},
+                           {"mpn", "cm10001"},
+                           {"colour", "red"},
+                           {"zoom x", "10"}});
+    dataset.AddRecord(s1, {{"title", "nikon z50 kit"},
+                           {"mpn", "nk20002"},
+                           {"colour", "black"},
+                           {"zoom x", "3"}});
+    // Filler records to give the role detector distinct values.
+    for (int i = 0; i < 20; ++i) {
+      std::string suffix = std::to_string(i);
+      dataset.AddRecord(
+          s0, {{"name", "Filler Model A" + suffix + " camera"},
+               {"sku", "fm3" + suffix + "0" + suffix},
+               {"color", i % 2 == 0 ? "red" : "blue"},
+               {"zoom", std::to_string(i % 7 + 1)}});
+      dataset.AddRecord(
+          s1, {{"title", "filler model b" + suffix},
+               {"mpn", "fx5" + suffix + "1" + suffix},
+               {"colour", i % 2 == 0 ? "green" : "blue"},
+               {"zoom x", std::to_string(i % 5 + 1)}});
+    }
+    stats = schema::AttributeStatistics::Compute(dataset);
+    roles = AttrRoles::Detect(stats);
+  }
+};
+
+TEST(AttrRolesTest, DetectsNameAndIdentifier) {
+  Fixture fx;
+  AttrId name = fx.dataset.FindAttr("name").value();
+  AttrId sku = fx.dataset.FindAttr("sku").value();
+  AttrId color = fx.dataset.FindAttr("color").value();
+  EXPECT_EQ(fx.roles.RoleOf(SourceAttr{0, name}), AttrRole::kName);
+  EXPECT_EQ(fx.roles.RoleOf(SourceAttr{0, sku}), AttrRole::kIdentifier);
+  EXPECT_EQ(fx.roles.RoleOf(SourceAttr{0, color}), AttrRole::kOther);
+  EXPECT_TRUE(fx.roles.HasRole(AttrRole::kName));
+  EXPECT_TRUE(fx.roles.HasRole(AttrRole::kIdentifier));
+}
+
+TEST(FeatureExtractorTest, MatchingPairHasStrongFeatures) {
+  Fixture fx;
+  FeatureExtractor extractor(&fx.dataset, &fx.roles);
+  PairFeatures features = extractor.Extract(0, 1);
+  EXPECT_DOUBLE_EQ(features.id_exact, 1.0);
+  EXPECT_GT(features.name_similarity, 0.8);
+  EXPECT_GT(features.name_jaccard, 0.4);
+}
+
+TEST(FeatureExtractorTest, NonMatchingPairHasWeakFeatures) {
+  Fixture fx;
+  FeatureExtractor extractor(&fx.dataset, &fx.roles);
+  PairFeatures features = extractor.Extract(0, 2);
+  EXPECT_DOUBLE_EQ(features.id_exact, 0.0);
+  EXPECT_LT(features.name_similarity, 0.7);
+}
+
+TEST(FeatureExtractorTest, SymmetricFeatures) {
+  Fixture fx;
+  FeatureExtractor extractor(&fx.dataset, &fx.roles);
+  PairFeatures ab = extractor.Extract(0, 1);
+  PairFeatures ba = extractor.Extract(1, 0);
+  EXPECT_DOUBLE_EQ(ab.id_exact, ba.id_exact);
+  EXPECT_NEAR(ab.name_jaccard, ba.name_jaccard, 1e-12);
+  EXPECT_NEAR(ab.value_agreement, ba.value_agreement, 1e-12);
+}
+
+TEST(FeatureExtractorTest, ValueAgreementWithoutSchemaUsesRawNames) {
+  // Without a mediated schema, only identical raw attribute names align —
+  // "color" vs "colour" contribute nothing.
+  Fixture fx;
+  FeatureExtractor extractor(&fx.dataset, &fx.roles);
+  PairFeatures features = extractor.Extract(0, 1);
+  EXPECT_DOUBLE_EQ(features.value_agreement, 0.0);
+}
+
+TEST(FeatureExtractorTest, SchemaAlignmentEnablesValueAgreement) {
+  Fixture fx;
+  schema::MediatedSchema schema;
+  AttrId color = fx.dataset.FindAttr("color").value();
+  AttrId colour = fx.dataset.FindAttr("colour").value();
+  AttrId zoom = fx.dataset.FindAttr("zoom").value();
+  AttrId zoomx = fx.dataset.FindAttr("zoom x").value();
+  schema.clusters = {{SourceAttr{0, color}, SourceAttr{1, colour}},
+                     {SourceAttr{0, zoom}, SourceAttr{1, zoomx}}};
+  int cluster = 0;
+  for (const auto& members : schema.clusters) {
+    for (const SourceAttr& sa : members) schema.cluster_of[sa] = cluster;
+    ++cluster;
+  }
+  schema::ValueNormalizer normalizer =
+      schema::ValueNormalizer::Fit(fx.stats, schema);
+  FeatureExtractor extractor(&fx.dataset, &fx.roles, &schema, &normalizer);
+  PairFeatures features = extractor.Extract(0, 1);
+  EXPECT_DOUBLE_EQ(features.value_agreement, 1.0);  // red==red, 10==10
+}
+
+TEST(LinearScorerTest, MonotoneInFeatures) {
+  LinearScorer scorer;
+  PairFeatures weak;
+  PairFeatures strong;
+  strong.id_exact = 1.0;
+  strong.name_similarity = 1.0;
+  strong.name_jaccard = 1.0;
+  strong.value_agreement = 1.0;
+  strong.numeric_closeness = 1.0;
+  EXPECT_LT(scorer.Score(weak), scorer.Score(strong));
+  EXPECT_DOUBLE_EQ(scorer.Score(strong), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(weak), 0.0);
+  EXPECT_TRUE(scorer.Matches(strong));
+  EXPECT_FALSE(scorer.Matches(weak));
+}
+
+TEST(RuleScorerTest, IdentifierIsDecisive) {
+  RuleScorer scorer;
+  PairFeatures features;
+  features.id_exact = 1.0;
+  EXPECT_DOUBLE_EQ(scorer.Score(features), 1.0);
+  EXPECT_TRUE(scorer.Matches(features));
+}
+
+TEST(RuleScorerTest, NameNeedsCorroboration) {
+  RuleScorer scorer(0.85, 0.4);
+  PairFeatures name_only;
+  name_only.name_similarity = 0.95;
+  EXPECT_FALSE(scorer.Matches(name_only));
+  PairFeatures corroborated = name_only;
+  corroborated.value_agreement = 0.6;
+  EXPECT_TRUE(scorer.Matches(corroborated));
+}
+
+TEST(LearnedScorerTest, LearnsSeparableData) {
+  std::vector<PairFeatures> features;
+  std::vector<int> labels;
+  for (int i = 0; i < 50; ++i) {
+    PairFeatures positive;
+    positive.id_exact = 1.0;
+    positive.name_similarity = 0.9;
+    features.push_back(positive);
+    labels.push_back(1);
+    PairFeatures negative;
+    negative.name_similarity = 0.2;
+    features.push_back(negative);
+    labels.push_back(0);
+  }
+  LearnedScorer scorer;
+  scorer.Train(features, labels);
+  PairFeatures positive;
+  positive.id_exact = 1.0;
+  positive.name_similarity = 0.9;
+  PairFeatures negative;
+  negative.name_similarity = 0.2;
+  EXPECT_GT(scorer.Score(positive), 0.8);
+  EXPECT_LT(scorer.Score(negative), 0.3);
+  EXPECT_TRUE(scorer.Matches(positive));
+  EXPECT_FALSE(scorer.Matches(negative));
+}
+
+TEST(LearnedScorerTest, UntrainedIsNeutral) {
+  LearnedScorer scorer;
+  PairFeatures anything;
+  anything.name_similarity = 0.7;
+  EXPECT_DOUBLE_EQ(scorer.Score(anything), 0.5);
+}
+
+TEST(FeatureExtractorTest, PrepareExtendsToNewRecords) {
+  Fixture fx;
+  FeatureExtractor extractor(&fx.dataset, &fx.roles);
+  RecordIdx fresh = fx.dataset.AddRecord(
+      0, {{"name", "Canon X100 pro"}, {"sku", "cm10001"}});
+  extractor.Prepare();
+  PairFeatures features = extractor.Extract(fresh, 1);
+  EXPECT_DOUBLE_EQ(features.id_exact, 1.0);
+}
+
+}  // namespace
+}  // namespace bdi::linkage

@@ -1,0 +1,124 @@
+#include "bdi/linkage/meta_blocking.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bdi/synth/world.h"
+
+namespace bdi::linkage {
+namespace {
+
+Dataset FourRecordDataset() {
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  dataset.AddRecord(s0, {{"n", "a"}});  // r0
+  dataset.AddRecord(s0, {{"n", "b"}});  // r1
+  dataset.AddRecord(s1, {{"n", "c"}});  // r2
+  dataset.AddRecord(s1, {{"n", "d"}});  // r3
+  return dataset;
+}
+
+TEST(BlockingGraphTest, CommonBlocksWeight) {
+  Dataset dataset = FourRecordDataset();
+  std::vector<Block> blocks = {Block{"k1", {0, 2}}, Block{"k2", {0, 2}},
+                               Block{"k3", {0, 3}}};
+  std::vector<WeightedPair> graph = BuildBlockingGraph(
+      dataset, blocks, MetaBlockingScheme::kCommonBlocks, false);
+  std::map<CandidatePair, double> weights;
+  for (const WeightedPair& wp : graph) weights[wp.pair] = wp.weight;
+  EXPECT_DOUBLE_EQ((weights[{0, 2}]), 2.0);
+  EXPECT_DOUBLE_EQ((weights[{0, 3}]), 1.0);
+}
+
+TEST(BlockingGraphTest, JaccardWeight) {
+  Dataset dataset = FourRecordDataset();
+  // r0 in 3 blocks, r2 in 2 blocks, sharing 2.
+  std::vector<Block> blocks = {Block{"k1", {0, 2}}, Block{"k2", {0, 2}},
+                               Block{"k3", {0, 3}}};
+  std::vector<WeightedPair> graph = BuildBlockingGraph(
+      dataset, blocks, MetaBlockingScheme::kJaccard, false);
+  std::map<CandidatePair, double> weights;
+  for (const WeightedPair& wp : graph) weights[wp.pair] = wp.weight;
+  EXPECT_DOUBLE_EQ((weights[{0, 2}]), 2.0 / 3.0);  // 2 / (3 + 2 - 2)
+}
+
+TEST(BlockingGraphTest, ArcsWeightFavorsSmallBlocks) {
+  Dataset dataset = FourRecordDataset();
+  std::vector<Block> blocks = {Block{"small", {0, 2}},
+                               Block{"large", {0, 1, 2, 3}}};
+  std::vector<WeightedPair> graph = BuildBlockingGraph(
+      dataset, blocks, MetaBlockingScheme::kArcs, false);
+  std::map<CandidatePair, double> weights;
+  for (const WeightedPair& wp : graph) weights[wp.pair] = wp.weight;
+  // (0,2): 1/1 from small + 1/6 from large; (0,3): 1/6 only.
+  EXPECT_NEAR((weights[{0, 2}]), 1.0 + 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR((weights[{0, 3}]), 1.0 / 6.0, 1e-9);
+}
+
+TEST(BlockingGraphTest, SameSourcePairsSkipped) {
+  Dataset dataset = FourRecordDataset();
+  std::vector<Block> blocks = {Block{"k", {0, 1, 2}}};
+  std::vector<WeightedPair> graph = BuildBlockingGraph(
+      dataset, blocks, MetaBlockingScheme::kCommonBlocks, false);
+  for (const WeightedPair& wp : graph) {
+    EXPECT_FALSE(wp.pair.a == 0 && wp.pair.b == 1);
+  }
+}
+
+TEST(MetaBlockTest, WeightEdgePruningKeepsAboveMean) {
+  Dataset dataset = FourRecordDataset();
+  std::vector<Block> blocks = {Block{"k1", {0, 2}}, Block{"k2", {0, 2}},
+                               Block{"k3", {0, 3}}};
+  MetaBlockingConfig config;
+  config.scheme = MetaBlockingScheme::kCommonBlocks;
+  config.pruning = MetaBlockingPruning::kWeightEdge;
+  std::vector<CandidatePair> kept = MetaBlock(dataset, blocks, config);
+  // mean = 1.5; only (0,2) with weight 2 survives.
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], (CandidatePair{0, 2}));
+}
+
+TEST(MetaBlockTest, CardinalityNodePruningKeepsTopK) {
+  Dataset dataset = FourRecordDataset();
+  std::vector<Block> blocks = {Block{"k1", {0, 2}}, Block{"k2", {0, 2}},
+                               Block{"k3", {0, 3}}};
+  MetaBlockingConfig config;
+  config.scheme = MetaBlockingScheme::kCommonBlocks;
+  config.pruning = MetaBlockingPruning::kCardinalityNode;
+  config.node_top_k = 1;
+  std::vector<CandidatePair> kept = MetaBlock(dataset, blocks, config);
+  // r0 keeps (0,2); r3 keeps its only edge (0,3); union -> both survive.
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(MetaBlockTest, EmptyBlocksEmptyResult) {
+  Dataset dataset = FourRecordDataset();
+  EXPECT_TRUE(MetaBlock(dataset, {}, {}).empty());
+}
+
+TEST(MetaBlockTest, ReducesCandidatesOnWorldWithoutLosingManyMatches) {
+  synth::WorldConfig wc;
+  wc.seed = 29;
+  wc.num_entities = 150;
+  wc.num_sources = 8;
+  synth::SyntheticWorld world = synth::GenerateWorld(wc);
+  TokenBlocker blocker;
+  std::vector<Block> blocks = blocker.MakeBlocksAll(world.dataset, nullptr);
+  std::vector<CandidatePair> raw = BlocksToPairs(world.dataset, blocks);
+  MetaBlockingConfig config;
+  config.scheme = MetaBlockingScheme::kJaccard;
+  std::vector<CandidatePair> pruned = MetaBlock(world.dataset, blocks, config);
+  EXPECT_LT(pruned.size(), raw.size());
+  BlockingQuality raw_quality =
+      EvaluateBlocking(world.dataset, raw, world.truth.entity_of_record);
+  BlockingQuality pruned_quality =
+      EvaluateBlocking(world.dataset, pruned, world.truth.entity_of_record);
+  // Keeps the large majority of the raw completeness.
+  EXPECT_GE(pruned_quality.pairs_completeness,
+            0.75 * raw_quality.pairs_completeness);
+}
+
+}  // namespace
+}  // namespace bdi::linkage

@@ -1,0 +1,150 @@
+#include "bdi/linkage/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bdi/synth/world.h"
+
+namespace bdi::linkage {
+namespace {
+
+TEST(TemporalThresholdTest, DecaysTowardFloor) {
+  EXPECT_DOUBLE_EQ(TemporalThreshold(0.9, 0.7, 3.0, 0.0), 0.9);
+  double at3 = TemporalThreshold(0.9, 0.7, 3.0, 3.0);
+  EXPECT_NEAR(at3, 0.8, 1e-9);  // half of the relaxation at the half life
+  double at_large = TemporalThreshold(0.9, 0.7, 3.0, 100.0);
+  EXPECT_NEAR(at_large, 0.7, 1e-6);
+  // Monotone non-increasing in dt.
+  double previous = 1.0;
+  for (double dt : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+    double threshold = TemporalThreshold(0.9, 0.7, 3.0, dt);
+    EXPECT_LE(threshold, previous + 1e-12);
+    previous = threshold;
+  }
+}
+
+synth::TemporalCorpus DriftingCorpus(double name_drift, int snapshots,
+                                     double death_rate = 0.05) {
+  synth::WorldConfig config;
+  config.seed = 311;
+  config.num_entities = 120;
+  config.num_sources = 8;
+  config.publish_identifiers = false;  // ids would trivialize the task
+  synth::TemporalConfig temporal;
+  temporal.name_drift_rate = name_drift;
+  temporal.record_death_rate = death_rate;
+  temporal.record_birth_rate = 0.05;
+  temporal.source_death_rate = 0.0;
+  temporal.entity_birth_rate = 0.0;
+  temporal.value_change_rate = 0.05;
+  return synth::GenerateTemporalCorpus(config, temporal, snapshots);
+}
+
+TEST(TemporalCorpusTest, ShapeInvariants) {
+  synth::TemporalCorpus corpus = DriftingCorpus(0.1, 4);
+  EXPECT_EQ(corpus.record_time.size(), corpus.dataset.num_records());
+  EXPECT_EQ(corpus.entity_of_record.size(), corpus.dataset.num_records());
+  EXPECT_EQ(corpus.num_snapshots, 4);
+  double max_time = 0.0;
+  for (double t : corpus.record_time) {
+    EXPECT_GE(t, 0.0);
+    max_time = std::max(max_time, t);
+  }
+  EXPECT_DOUBLE_EQ(max_time, 3.0);
+}
+
+TEST(TemporalCorpusTest, NameDriftActuallyDriftsNames) {
+  synth::TemporalCorpus still = DriftingCorpus(0.0, 3);
+  synth::TemporalCorpus drifting = DriftingCorpus(0.35, 3);
+  // Collect per-entity distinct first-field values (display names).
+  auto distinct_names = [](const synth::TemporalCorpus& corpus) {
+    std::map<EntityId, std::set<std::string>> names;
+    for (const Record& record : corpus.dataset.records()) {
+      if (!record.fields.empty()) {
+        names[corpus.entity_of_record[record.idx]].insert(
+            record.fields[0].value);
+      }
+    }
+    double total = 0.0;
+    for (const auto& [entity, set] : names) {
+      total += static_cast<double>(set.size());
+    }
+    return total / static_cast<double>(names.size());
+  };
+  // Noise makes names vary anyway, but drift must add to it.
+  EXPECT_GT(distinct_names(drifting), distinct_names(still));
+}
+
+TEST(LinkTemporalTest, BeatsStaticThresholdOnDriftingCorpus) {
+  // Gappy observations (high page churn): entities disappear and reappear
+  // snapshots later with drifted names, so chaining through intermediate
+  // records cannot rescue a static threshold.
+  synth::TemporalCorpus corpus = DriftingCorpus(0.30, 6, 0.35);
+
+  TemporalLinkConfig temporal_config;
+  TemporalLinkageResult temporal =
+      LinkTemporal(corpus.dataset, corpus.record_time, temporal_config);
+  LinkageQuality temporal_quality = EvaluateClusters(
+      temporal.clusters.label_of_record, corpus.entity_of_record);
+
+  // Static control: the same matcher with no relaxation.
+  TemporalLinkConfig static_config = temporal_config;
+  static_config.min_threshold = static_config.base_threshold;
+  static_config.same_source_min_threshold = static_config.base_threshold;
+  static_config.min_value_threshold = static_config.base_value_threshold;
+  TemporalLinkageResult static_result =
+      LinkTemporal(corpus.dataset, corpus.record_time, static_config);
+  LinkageQuality static_quality = EvaluateClusters(
+      static_result.clusters.label_of_record, corpus.entity_of_record);
+
+  EXPECT_GT(temporal.relaxed_matches, 0u);
+  EXPECT_EQ(static_result.relaxed_matches, 0u);
+  EXPECT_GT(temporal_quality.recall, static_quality.recall);
+  EXPECT_GE(temporal_quality.f1, static_quality.f1 - 0.02);
+}
+
+TEST(LinkTemporalTest, NoDriftNoHarm) {
+  synth::TemporalCorpus corpus = DriftingCorpus(0.0, 4);
+  TemporalLinkageResult temporal =
+      LinkTemporal(corpus.dataset, corpus.record_time);
+  LinkageQuality quality = EvaluateClusters(
+      temporal.clusters.label_of_record, corpus.entity_of_record);
+  EXPECT_GE(quality.precision, 0.8);
+  EXPECT_GE(quality.recall, 0.8);
+}
+
+TEST(LinkTemporalTest, SameSourceHistoryLinks) {
+  // One site republishing the same (id-less) product in 3 snapshots with a
+  // drifted name must still end up as one entity chain.
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  // Entity chain: name drifts "Zorix QX-11" -> "Zorix QX-11 mk2".
+  dataset.AddRecord(s0, {{"name", "Zorix QX-11 camera"}, {"color", "red"}});
+  dataset.AddRecord(s0, {{"name", "Zorix QX-11 camera mk2"},
+                         {"color", "red"}});
+  dataset.AddRecord(s0, {{"name", "Zorix QX-11 mk2"}, {"color", "red"}});
+  // Unrelated entity at another site.
+  dataset.AddRecord(s1, {{"name", "Belar TT-900 camera"},
+                         {"color", "blue"}});
+  for (int i = 0; i < 12; ++i) {
+    dataset.AddRecord(s1, {{"name", "Filler F" + std::to_string(i) +
+                                        " gadget"},
+                           {"color", i % 2 == 0 ? "red" : "blue"}});
+  }
+  std::vector<double> times(dataset.num_records(), 0.0);
+  times[1] = 2.0;
+  times[2] = 4.0;
+  TemporalLinkageResult result = LinkTemporal(dataset, times);
+  EXPECT_EQ(result.clusters.label_of_record[0],
+            result.clusters.label_of_record[1]);
+  EXPECT_EQ(result.clusters.label_of_record[1],
+            result.clusters.label_of_record[2]);
+  EXPECT_NE(result.clusters.label_of_record[0],
+            result.clusters.label_of_record[3]);
+}
+
+}  // namespace
+}  // namespace bdi::linkage

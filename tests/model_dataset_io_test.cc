@@ -1,0 +1,122 @@
+#include "bdi/model/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bdi/common/csv.h"
+#include "bdi/synth/world.h"
+
+namespace bdi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DatasetIoTest, RoundTripSmall) {
+  Dataset dataset;
+  SourceId a = dataset.AddSource("a.com");
+  SourceId b = dataset.AddSource("b.com");
+  dataset.AddRecord(a, {{"name", "Widget, deluxe"}, {"color", "red"}});
+  dataset.AddRecord(b, {{"title", "with \"quotes\""}});
+  dataset.AddRecord(a, {{"name", "Second"}});
+
+  std::string path = TempPath("dataset_roundtrip.csv");
+  ASSERT_TRUE(WriteDatasetCsv(dataset, path).ok());
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_records(), 3u);
+  ASSERT_EQ(loaded->num_sources(), 2u);
+  EXPECT_EQ(loaded->record(0).fields.size(), 2u);
+  EXPECT_EQ(loaded->record(0).fields[0].value, "Widget, deluxe");
+  EXPECT_EQ(loaded->record(1).fields[0].value, "with \"quotes\"");
+  EXPECT_EQ(loaded->source(loaded->record(2).source).name, "a.com");
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RoundTripGeneratedWorld) {
+  synth::WorldConfig config;
+  config.seed = 701;
+  config.num_entities = 60;
+  config.num_sources = 5;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  std::string path = TempPath("world_roundtrip.csv");
+  ASSERT_TRUE(WriteDatasetCsv(world.dataset, path).ok());
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_records(), world.dataset.num_records());
+  ASSERT_EQ(loaded->num_sources(), world.dataset.num_sources());
+  for (size_t r = 0; r < loaded->num_records(); ++r) {
+    const Record& original = world.dataset.record(static_cast<RecordIdx>(r));
+    const Record& copy = loaded->record(static_cast<RecordIdx>(r));
+    ASSERT_EQ(original.fields.size(), copy.fields.size()) << r;
+    for (size_t f = 0; f < original.fields.size(); ++f) {
+      EXPECT_EQ(world.dataset.attr_name(original.fields[f].attr),
+                loaded->attr_name(copy.fields[f].attr));
+      EXPECT_EQ(original.fields[f].value, copy.fields[f].value);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsBadHeader) {
+  std::string path = TempPath("bad_header.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"wrong", "header"}}).ok());
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsShortRow) {
+  std::string path = TempPath("short_row.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"source", "record", "attribute", "value"},
+                                  {"a", "0", "x"}})
+                  .ok());
+  EXPECT_FALSE(ReadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsRecordSpanningSources) {
+  std::string path = TempPath("span.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"source", "record", "attribute", "value"},
+                                  {"a", "0", "x", "1"},
+                                  {"b", "0", "y", "2"}})
+                  .ok());
+  EXPECT_FALSE(ReadDatasetCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFile) {
+  EXPECT_FALSE(ReadDatasetCsv("/no/such/file.csv").ok());
+}
+
+TEST(LabelsIoTest, RoundTrip) {
+  std::vector<EntityId> labels = {4, 2, 2, 7, 0};
+  std::string path = TempPath("labels.csv");
+  ASSERT_TRUE(WriteLabelsCsv(labels, path).ok());
+  Result<std::vector<EntityId>> loaded = ReadLabelsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), labels);
+  std::remove(path.c_str());
+}
+
+TEST(LabelsIoTest, RejectsNonInteger) {
+  std::string path = TempPath("labels_bad.csv");
+  ASSERT_TRUE(
+      WriteCsvFile(path, {{"record", "entity"}, {"0", "abc"}}).ok());
+  EXPECT_FALSE(ReadLabelsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LabelsIoTest, RejectsOutOfRangeRecord) {
+  std::string path = TempPath("labels_oor.csv");
+  ASSERT_TRUE(
+      WriteCsvFile(path, {{"record", "entity"}, {"5", "1"}}).ok());
+  EXPECT_FALSE(ReadLabelsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bdi

@@ -1,0 +1,94 @@
+#include "bdi/model/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace bdi {
+namespace {
+
+TEST(DatasetTest, AddSourcesAssignsSequentialIds) {
+  Dataset dataset;
+  EXPECT_EQ(dataset.AddSource("a.com"), 0);
+  EXPECT_EQ(dataset.AddSource("b.com"), 1);
+  EXPECT_EQ(dataset.num_sources(), 2u);
+  EXPECT_EQ(dataset.source(1).name, "b.com");
+}
+
+TEST(DatasetTest, InternAttrDeduplicates) {
+  Dataset dataset;
+  AttrId a = dataset.InternAttr("weight");
+  AttrId b = dataset.InternAttr("weight");
+  AttrId c = dataset.InternAttr("color");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(dataset.attr_name(a), "weight");
+  EXPECT_EQ(dataset.num_attrs(), 2u);
+}
+
+TEST(DatasetTest, FindAttr) {
+  Dataset dataset;
+  AttrId a = dataset.InternAttr("x");
+  EXPECT_EQ(dataset.FindAttr("x"), a);
+  EXPECT_FALSE(dataset.FindAttr("missing").has_value());
+}
+
+TEST(DatasetTest, AddRecordWithNamedFields) {
+  Dataset dataset;
+  SourceId s = dataset.AddSource("s");
+  RecordIdx r = dataset.AddRecord(s, {{"name", "Canon X"}, {"color", "red"}});
+  EXPECT_EQ(r, 0);
+  const Record& record = dataset.record(r);
+  EXPECT_EQ(record.source, s);
+  EXPECT_EQ(record.fields.size(), 2u);
+  AttrId color = dataset.FindAttr("color").value();
+  ASSERT_NE(record.Find(color), nullptr);
+  EXPECT_EQ(*record.Find(color), "red");
+  EXPECT_EQ(record.Find(999), nullptr);
+}
+
+TEST(DatasetTest, SourceTracksItsRecords) {
+  Dataset dataset;
+  SourceId a = dataset.AddSource("a");
+  SourceId b = dataset.AddSource("b");
+  dataset.AddRecord(a, {{"k", "1"}});
+  dataset.AddRecord(b, {{"k", "2"}});
+  dataset.AddRecord(a, {{"k", "3"}});
+  EXPECT_EQ(dataset.source(a).records, (std::vector<RecordIdx>{0, 2}));
+  EXPECT_EQ(dataset.source(b).records, (std::vector<RecordIdx>{1}));
+  EXPECT_EQ(dataset.num_records(), 3u);
+}
+
+TEST(DatasetTest, AllSourceAttrsDistinctAndSorted) {
+  Dataset dataset;
+  SourceId a = dataset.AddSource("a");
+  SourceId b = dataset.AddSource("b");
+  dataset.AddRecord(a, {{"x", "1"}, {"y", "2"}});
+  dataset.AddRecord(a, {{"x", "3"}});
+  dataset.AddRecord(b, {{"x", "4"}});
+  std::vector<SourceAttr> sas = dataset.AllSourceAttrs();
+  ASSERT_EQ(sas.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(sas.begin(), sas.end()));
+  // Same raw name in two sources yields two SourceAttrs with one AttrId.
+  EXPECT_EQ(sas[0].attr, sas[2].attr);
+  EXPECT_NE(sas[0].source, sas[2].source);
+}
+
+TEST(SourceAttrTest, OrderingAndEquality) {
+  SourceAttr a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (SourceAttr{0, 1}));
+  SourceAttrHash hash;
+  EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(DatasetTest, MoveConstructible) {
+  Dataset dataset;
+  SourceId s = dataset.AddSource("s");
+  dataset.AddRecord(s, {{"k", "v"}});
+  Dataset moved = std::move(dataset);
+  EXPECT_EQ(moved.num_records(), 1u);
+  EXPECT_EQ(moved.record(0).fields[0].value, "v");
+}
+
+}  // namespace
+}  // namespace bdi

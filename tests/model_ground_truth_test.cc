@@ -1,0 +1,124 @@
+#include "bdi/model/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "bdi/core/integrator.h"
+#include "bdi/fusion/evaluation.h"
+#include "bdi/synth/world.h"
+
+namespace bdi {
+namespace {
+
+/// Replays a dataset record-by-record (fresh interning).
+Dataset Replay(const Dataset& original) {
+  Dataset copy;
+  for (const SourceInfo& source : original.sources()) {
+    copy.AddSource(source.name);
+  }
+  for (const Record& record : original.records()) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    for (const Field& field : record.fields) {
+      fields.emplace_back(original.attr_name(field.attr), field.value);
+    }
+    copy.AddRecord(record.source, fields);
+  }
+  return copy;
+}
+
+TEST(RemapGroundTruthTest, KeysTranslateByName) {
+  synth::WorldConfig config;
+  config.seed = 1201;
+  config.num_entities = 80;
+  config.num_sources = 6;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  Dataset replayed = Replay(world.dataset);
+  GroundTruth remapped =
+      RemapGroundTruth(world.truth, world.dataset, replayed);
+
+  // Every remapped entry agrees with the original under name translation.
+  EXPECT_EQ(remapped.canonical_of_source_attr.size(),
+            world.truth.canonical_of_source_attr.size());
+  for (const auto& [sa, canonical] : remapped.canonical_of_source_attr) {
+    const std::string& source_name = replayed.source(sa.source).name;
+    const std::string& attr_name = replayed.attr_name(sa.attr);
+    // Find the original entry with the same names.
+    bool found = false;
+    for (const auto& [osa, ocanonical] :
+         world.truth.canonical_of_source_attr) {
+      if (world.dataset.source(osa.source).name == source_name &&
+          world.dataset.attr_name(osa.attr) == attr_name) {
+        EXPECT_EQ(canonical, ocanonical);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << source_name << " / " << attr_name;
+  }
+  EXPECT_EQ(remapped.claims.size(), world.truth.claims.size());
+  EXPECT_EQ(remapped.copy_edges.size(), world.truth.copy_edges.size());
+  EXPECT_EQ(remapped.source_accuracy.size(), replayed.num_sources());
+}
+
+TEST(RemapGroundTruthTest, EvaluationMatchesOriginalDataset) {
+  // The bug this utility exists for: id-keyed evaluation on a replayed
+  // corpus must yield the same numbers as on the original.
+  synth::WorldConfig config;
+  config.seed = 1203;
+  config.num_entities = 120;
+  config.num_sources = 8;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  Dataset replayed = Replay(world.dataset);
+
+  core::IntegrationReport original_report =
+      core::Integrator().Run(world.dataset);
+  core::IntegrationReport replay_report = core::Integrator().Run(replayed);
+
+  fusion::PipelineMappings original_mappings = fusion::MapPipelineToTruth(
+      original_report.linkage.clusters, original_report.schema,
+      world.truth);
+  double original_precision =
+      fusion::EvaluateFusionMapped(original_report.claims,
+                                   original_report.fusion,
+                                   original_mappings, world.truth)
+          .precision;
+
+  GroundTruth remapped =
+      RemapGroundTruth(world.truth, world.dataset, replayed);
+  fusion::PipelineMappings replay_mappings = fusion::MapPipelineToTruth(
+      replay_report.linkage.clusters, replay_report.schema, remapped);
+  double replay_precision =
+      fusion::EvaluateFusionMapped(replay_report.claims,
+                                   replay_report.fusion, replay_mappings,
+                                   remapped)
+          .precision;
+  EXPECT_NEAR(replay_precision, original_precision, 1e-9);
+
+  // And WITHOUT remapping the numbers would be garbage (the trap).
+  fusion::PipelineMappings broken_mappings = fusion::MapPipelineToTruth(
+      replay_report.linkage.clusters, replay_report.schema, world.truth);
+  double broken_precision =
+      fusion::EvaluateFusionMapped(replay_report.claims,
+                                   replay_report.fusion, broken_mappings,
+                                   world.truth)
+          .precision;
+  EXPECT_LT(broken_precision, original_precision);
+}
+
+TEST(RemapGroundTruthTest, MissingTargetsDropped) {
+  Dataset from;
+  SourceId a = from.AddSource("a");
+  from.AddRecord(a, {{"x", "1"}});
+  GroundTruth truth;
+  truth.canonical_of_source_attr[SourceAttr{a, 0}] = 2;
+  truth.claims.push_back(GroundTruth::TrueClaim{a, 0, 2, "1", false});
+  truth.source_accuracy = {0.9};
+
+  Dataset to;  // does not contain source "a" at all
+  to.AddSource("b");
+  to.AddRecord(0, {{"y", "2"}});
+  GroundTruth remapped = RemapGroundTruth(truth, from, to);
+  EXPECT_TRUE(remapped.canonical_of_source_attr.empty());
+  EXPECT_TRUE(remapped.claims.empty());
+}
+
+}  // namespace
+}  // namespace bdi

@@ -1,0 +1,95 @@
+#include "bdi/schema/attribute_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace bdi::schema {
+namespace {
+
+Dataset TwoSourceDataset() {
+  Dataset dataset;
+  SourceId a = dataset.AddSource("a");
+  SourceId b = dataset.AddSource("b");
+  dataset.AddRecord(a, {{"weight", "12.5 g"}, {"color", "Red"}});
+  dataset.AddRecord(a, {{"weight", "7 g"}, {"color", "Blue"}});
+  dataset.AddRecord(a, {{"weight", "9.25 g"}});
+  dataset.AddRecord(b, {{"Weight (g)", "11 g"}, {"color", "red"}});
+  return dataset;
+}
+
+TEST(AttributeStatsTest, OneProfilePerSourceAttr) {
+  Dataset dataset = TwoSourceDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  // a: weight, color; b: "Weight (g)", color => 4 profiles.
+  EXPECT_EQ(stats.profiles().size(), 4u);
+}
+
+TEST(AttributeStatsTest, CountsAndDistincts) {
+  Dataset dataset = TwoSourceDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  AttrId weight = dataset.FindAttr("weight").value();
+  const AttrProfile* profile = stats.Find(SourceAttr{0, weight});
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->num_values, 3u);
+  EXPECT_EQ(profile->num_distinct, 3u);
+  EXPECT_EQ(profile->raw_name, "weight");
+  EXPECT_EQ(profile->normalized_name, "weight");
+}
+
+TEST(AttributeStatsTest, NumericDetection) {
+  Dataset dataset = TwoSourceDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  AttrId weight = dataset.FindAttr("weight").value();
+  AttrId color = dataset.FindAttr("color").value();
+  const AttrProfile* w = stats.Find(SourceAttr{0, weight});
+  const AttrProfile* c = stats.Find(SourceAttr{0, color});
+  ASSERT_NE(w, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(w->IsNumeric());
+  EXPECT_FALSE(c->IsNumeric());
+  EXPECT_DOUBLE_EQ(w->numeric_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(c->numeric_fraction, 0.0);
+  EXPECT_EQ(w->dominant_unit, "g");
+  EXPECT_NEAR(w->numeric_mean, (12.5 + 7 + 9.25) / 3.0, 1e-9);
+  EXPECT_NEAR(w->numeric_median, 9.25, 1e-9);
+}
+
+TEST(AttributeStatsTest, NormalizedNameStripsDecoration) {
+  Dataset dataset = TwoSourceDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  AttrId decorated = dataset.FindAttr("Weight (g)").value();
+  const AttrProfile* profile = stats.Find(SourceAttr{1, decorated});
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->normalized_name, "weightg");
+}
+
+TEST(AttributeStatsTest, SampleValuesLowercased) {
+  Dataset dataset = TwoSourceDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  AttrId color = dataset.FindAttr("color").value();
+  const AttrProfile* profile = stats.Find(SourceAttr{0, color});
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->sample_values,
+            (std::vector<std::string>{"blue", "red"}));
+}
+
+TEST(AttributeStatsTest, NameSourceCounts) {
+  Dataset dataset = TwoSourceDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  EXPECT_EQ(stats.name_source_counts().at("color"), 2u);
+  EXPECT_EQ(stats.name_source_counts().at("weight"), 1u);
+}
+
+TEST(AttributeStatsTest, FindUnknownReturnsNull) {
+  Dataset dataset = TwoSourceDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  EXPECT_EQ(stats.Find(SourceAttr{5, 5}), nullptr);
+}
+
+TEST(AttributeStatsTest, EmptyDataset) {
+  Dataset dataset;
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  EXPECT_TRUE(stats.profiles().empty());
+}
+
+}  // namespace
+}  // namespace bdi::schema

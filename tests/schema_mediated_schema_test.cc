@@ -1,0 +1,167 @@
+#include "bdi/schema/mediated_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "bdi/synth/world.h"
+
+namespace bdi::schema {
+namespace {
+
+/// Builds a dataset whose attribute similarity structure is easy to reason
+/// about: sources publish "color"/"colour"/"hue-ish" names with overlapping
+/// values.
+Dataset ColorDataset() {
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  SourceId s2 = dataset.AddSource("s2");
+  for (int i = 0; i < 5; ++i) {
+    std::string v = "v" + std::to_string(i);
+    dataset.AddRecord(s0, {{"color", v}, {"size", std::to_string(i)}});
+    dataset.AddRecord(s1, {{"colour", v}, {"size", std::to_string(i)}});
+    dataset.AddRecord(s2, {{"color", v}});
+  }
+  return dataset;
+}
+
+TEST(MediatedSchemaTest, ClustersSynonymousAttributes) {
+  Dataset dataset = ColorDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  std::vector<AttrEdge> edges = BuildCandidateEdges(stats, {});
+  MediatedSchemaConfig config;
+  config.threshold = 0.6;
+  MediatedSchema schema = BuildMediatedSchema(stats, edges, config);
+
+  AttrId color = dataset.FindAttr("color").value();
+  AttrId colour = dataset.FindAttr("colour").value();
+  int c0 = schema.ClusterOf(SourceAttr{0, color});
+  int c1 = schema.ClusterOf(SourceAttr{1, colour});
+  int c2 = schema.ClusterOf(SourceAttr{2, color});
+  EXPECT_NE(c0, -1);
+  EXPECT_EQ(c0, c1);
+  EXPECT_EQ(c0, c2);
+
+  AttrId size = dataset.FindAttr("size").value();
+  EXPECT_NE(schema.ClusterOf(SourceAttr{0, size}), c0);
+}
+
+TEST(MediatedSchemaTest, EveryAttrAssignedExactlyOnce) {
+  Dataset dataset = ColorDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  std::vector<AttrEdge> edges = BuildCandidateEdges(stats, {});
+  for (ClusterMethod method :
+       {ClusterMethod::kConnectedComponents, ClusterMethod::kCenter}) {
+    MediatedSchemaConfig config;
+    config.method = method;
+    MediatedSchema schema = BuildMediatedSchema(stats, edges, config);
+    size_t members = 0;
+    for (const auto& cluster : schema.clusters) {
+      EXPECT_FALSE(cluster.empty());
+      members += cluster.size();
+    }
+    EXPECT_EQ(members, stats.profiles().size());
+    EXPECT_EQ(schema.cluster_of.size(), stats.profiles().size());
+    EXPECT_EQ(schema.cluster_names.size(), schema.clusters.size());
+  }
+}
+
+TEST(MediatedSchemaTest, ThresholdOneMakesSingletonsOnly) {
+  Dataset dataset = ColorDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  std::vector<AttrEdge> edges = BuildCandidateEdges(stats, {});
+  MediatedSchemaConfig config;
+  config.threshold = 1.01;  // nothing qualifies
+  MediatedSchema schema = BuildMediatedSchema(stats, edges, config);
+  EXPECT_EQ(schema.clusters.size(), stats.profiles().size());
+}
+
+TEST(MediatedSchemaTest, ClusterNamedByMajority) {
+  Dataset dataset = ColorDataset();
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  std::vector<AttrEdge> edges = BuildCandidateEdges(stats, {});
+  MediatedSchemaConfig config;
+  config.threshold = 0.6;
+  MediatedSchema schema = BuildMediatedSchema(stats, edges, config);
+  AttrId color = dataset.FindAttr("color").value();
+  int cluster = schema.ClusterOf(SourceAttr{0, color});
+  ASSERT_NE(cluster, -1);
+  // Two of three members are literally "color".
+  EXPECT_EQ(schema.cluster_names[cluster], "color");
+}
+
+TEST(MediatedSchemaTest, ClusterOfUnknownAttr) {
+  MediatedSchema schema;
+  EXPECT_EQ(schema.ClusterOf(SourceAttr{0, 0}), -1);
+}
+
+TEST(EvaluateSchemaTest, PerfectClustering) {
+  MediatedSchema schema;
+  schema.clusters = {{SourceAttr{0, 0}, SourceAttr{1, 0}},
+                     {SourceAttr{0, 1}, SourceAttr{1, 1}}};
+  int next = 0;
+  for (const auto& cluster : schema.clusters) {
+    for (const SourceAttr& sa : cluster) schema.cluster_of[sa] = next;
+    ++next;
+  }
+  std::map<SourceAttr, int> truth = {{SourceAttr{0, 0}, 0},
+                                     {SourceAttr{1, 0}, 0},
+                                     {SourceAttr{0, 1}, 1},
+                                     {SourceAttr{1, 1}, 1}};
+  SchemaQuality quality = EvaluateSchema(schema, truth);
+  EXPECT_DOUBLE_EQ(quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality.f1, 1.0);
+  EXPECT_EQ(quality.true_pairs, 2u);
+}
+
+TEST(EvaluateSchemaTest, OverMergedClusteringLosesPrecision) {
+  MediatedSchema schema;
+  schema.clusters = {{SourceAttr{0, 0}, SourceAttr{1, 0}, SourceAttr{0, 1},
+                      SourceAttr{1, 1}}};
+  for (const SourceAttr& sa : schema.clusters[0]) schema.cluster_of[sa] = 0;
+  std::map<SourceAttr, int> truth = {{SourceAttr{0, 0}, 0},
+                                     {SourceAttr{1, 0}, 0},
+                                     {SourceAttr{0, 1}, 1},
+                                     {SourceAttr{1, 1}, 1}};
+  SchemaQuality quality = EvaluateSchema(schema, truth);
+  EXPECT_DOUBLE_EQ(quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality.precision, 2.0 / 6.0);
+}
+
+TEST(EvaluateSchemaTest, UnmappedAttrsHurtPrecisionOnly) {
+  MediatedSchema schema;
+  schema.clusters = {{SourceAttr{0, 0}, SourceAttr{1, 9}}};
+  schema.cluster_of[SourceAttr{0, 0}] = 0;
+  schema.cluster_of[SourceAttr{1, 9}] = 0;
+  std::map<SourceAttr, int> truth = {{SourceAttr{0, 0}, 0}};
+  SchemaQuality quality = EvaluateSchema(schema, truth);
+  EXPECT_DOUBLE_EQ(quality.precision, 0.0);
+  EXPECT_EQ(quality.true_pairs, 0u);
+}
+
+// Parameterized acceptance sweep: alignment quality on generated worlds
+// stays above a floor across categories.
+class SchemaOnWorldTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemaOnWorldTest, AlignmentQualityFloor) {
+  synth::WorldConfig config;
+  config.seed = 17;
+  config.category = GetParam();
+  config.num_entities = 150;
+  config.num_sources = 10;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  AttributeStatistics stats = AttributeStatistics::Compute(world.dataset);
+  std::vector<AttrEdge> edges = BuildCandidateEdges(stats, {});
+  MediatedSchema schema = BuildMediatedSchema(stats, edges, {});
+  SchemaQuality quality =
+      EvaluateSchema(schema, world.truth.canonical_of_source_attr);
+  EXPECT_GE(quality.precision, 0.6) << GetParam();
+  EXPECT_GE(quality.recall, 0.5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Categories, SchemaOnWorldTest,
+                         ::testing::Values("camera", "headphone", "tv",
+                                           "book"));
+
+}  // namespace
+}  // namespace bdi::schema

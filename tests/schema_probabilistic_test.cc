@@ -1,0 +1,173 @@
+#include "bdi/schema/probabilistic_schema.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bdi::schema {
+namespace {
+
+/// Three sources, two attributes each, with hand-crafted edge scores.
+struct Fixture {
+  Dataset dataset;
+  AttributeStatistics stats;
+  std::vector<AttrEdge> edges;
+
+  Fixture() {
+    SourceId s0 = dataset.AddSource("s0");
+    SourceId s1 = dataset.AddSource("s1");
+    SourceId s2 = dataset.AddSource("s2");
+    dataset.AddRecord(s0, {{"a", "1"}, {"b", "x"}});
+    dataset.AddRecord(s1, {{"a2", "1"}, {"b2", "x"}});
+    dataset.AddRecord(s2, {{"a3", "1"}});
+    stats = AttributeStatistics::Compute(dataset);
+  }
+
+  size_t IndexOf(SourceId source, const std::string& name) {
+    AttrId attr = dataset.FindAttr(name).value();
+    for (size_t i = 0; i < stats.profiles().size(); ++i) {
+      if (stats.profiles()[i].id == (SourceAttr{source, attr})) return i;
+    }
+    ADD_FAILURE() << "profile not found";
+    return 0;
+  }
+};
+
+TEST(ProbabilisticSchemaTest, WorldProbabilitiesSumToOne) {
+  Fixture fx;
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), 0.6},
+              {fx.IndexOf(0, "b"), fx.IndexOf(1, "b2"), 0.5},
+              {fx.IndexOf(1, "a2"), fx.IndexOf(2, "a3"), 0.9}};
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  ASSERT_FALSE(pms.worlds().empty());
+  double total = 0.0;
+  for (const WeightedSchema& w : pms.worlds()) {
+    EXPECT_GT(w.probability, 0.0);
+    total += w.probability;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ProbabilisticSchemaTest, CertainEdgeHoldsInEveryWorld) {
+  Fixture fx;
+  SourceAttr a2 = fx.stats.profiles()[fx.IndexOf(1, "a2")].id;
+  SourceAttr a3 = fx.stats.profiles()[fx.IndexOf(2, "a3")].id;
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), 0.6},
+              {fx.IndexOf(1, "a2"), fx.IndexOf(2, "a3"), 0.95}};
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  EXPECT_NEAR(pms.CorrespondenceProbability(a2, a3), 1.0, 1e-9);
+}
+
+TEST(ProbabilisticSchemaTest, ImpossibleEdgeNeverHolds) {
+  Fixture fx;
+  SourceAttr a = fx.stats.profiles()[fx.IndexOf(0, "a")].id;
+  SourceAttr b2 = fx.stats.profiles()[fx.IndexOf(1, "b2")].id;
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "b2"), 0.2}};
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  EXPECT_DOUBLE_EQ(pms.CorrespondenceProbability(a, b2), 0.0);
+}
+
+TEST(ProbabilisticSchemaTest, AmbiguousEdgeProbabilityIsLinear) {
+  Fixture fx;
+  SourceAttr a = fx.stats.profiles()[fx.IndexOf(0, "a")].id;
+  SourceAttr a2 = fx.stats.profiles()[fx.IndexOf(1, "a2")].id;
+  // score 0.6 with thresholds [0.4, 0.8] -> edge probability 0.5.
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), 0.6}};
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  EXPECT_NEAR(pms.CorrespondenceProbability(a, a2), 0.5, 1e-9);
+  EXPECT_EQ(pms.worlds().size(), 2u);
+}
+
+TEST(ProbabilisticSchemaTest, HigherScoreHigherCorrespondence) {
+  Fixture fx;
+  SourceAttr a = fx.stats.profiles()[fx.IndexOf(0, "a")].id;
+  SourceAttr a2 = fx.stats.profiles()[fx.IndexOf(1, "a2")].id;
+  double previous = -1.0;
+  for (double score : {0.45, 0.55, 0.65, 0.75}) {
+    fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), score}};
+    ProbabilisticSchemaConfig config;
+    config.certain_threshold = 0.8;
+    config.possible_threshold = 0.4;
+    auto pms =
+        ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+    double p = pms.CorrespondenceProbability(a, a2);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+}
+
+TEST(ProbabilisticSchemaTest, TransitiveCorrespondenceThroughWorlds) {
+  Fixture fx;
+  SourceAttr a = fx.stats.profiles()[fx.IndexOf(0, "a")].id;
+  SourceAttr a3 = fx.stats.profiles()[fx.IndexOf(2, "a3")].id;
+  // a-a2 ambiguous (p=0.5), a2-a3 ambiguous (p=0.5): a-a3 in same cluster
+  // only when both hold: p = 0.25.
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), 0.6},
+              {fx.IndexOf(1, "a2"), fx.IndexOf(2, "a3"), 0.6}};
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  EXPECT_NEAR(pms.CorrespondenceProbability(a, a3), 0.25, 1e-9);
+}
+
+TEST(ProbabilisticSchemaTest, MonteCarloPathApproximates) {
+  Fixture fx;
+  SourceAttr a = fx.stats.profiles()[fx.IndexOf(0, "a")].id;
+  SourceAttr a2 = fx.stats.profiles()[fx.IndexOf(1, "a2")].id;
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), 0.6},
+              {fx.IndexOf(0, "b"), fx.IndexOf(1, "b2"), 0.6}};
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  config.max_enumerate_bits = 0;  // force sampling
+  config.num_samples = 2000;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  EXPECT_NEAR(pms.CorrespondenceProbability(a, a2), 0.5, 0.05);
+}
+
+TEST(ProbabilisticSchemaTest, ConsensusMatchesThreshold) {
+  Fixture fx;
+  SourceAttr a = fx.stats.profiles()[fx.IndexOf(0, "a")].id;
+  SourceAttr a2 = fx.stats.profiles()[fx.IndexOf(1, "a2")].id;
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), 0.7}};  // p = 0.75
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  MediatedSchema loose = pms.Consensus(fx.stats, 0.5);
+  EXPECT_EQ(loose.ClusterOf(a), loose.ClusterOf(a2));
+  MediatedSchema strict = pms.Consensus(fx.stats, 0.9);
+  EXPECT_NE(strict.ClusterOf(a), strict.ClusterOf(a2));
+}
+
+TEST(ProbabilisticSchemaTest, MaxWorldsCapRespected) {
+  Fixture fx;
+  fx.edges = {{fx.IndexOf(0, "a"), fx.IndexOf(1, "a2"), 0.6},
+              {fx.IndexOf(0, "b"), fx.IndexOf(1, "b2"), 0.6},
+              {fx.IndexOf(1, "a2"), fx.IndexOf(2, "a3"), 0.6}};
+  ProbabilisticSchemaConfig config;
+  config.certain_threshold = 0.8;
+  config.possible_threshold = 0.4;
+  config.max_worlds = 3;
+  auto pms = ProbabilisticMediatedSchema::Build(fx.stats, fx.edges, config);
+  EXPECT_LE(pms.worlds().size(), 3u);
+  double total = 0.0;
+  for (const WeightedSchema& w : pms.worlds()) total += w.probability;
+  EXPECT_NEAR(total, 1.0, 1e-9);  // renormalized after truncation
+}
+
+}  // namespace
+}  // namespace bdi::schema

@@ -1,0 +1,146 @@
+#include "bdi/schema/value_normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "bdi/common/random.h"
+#include "bdi/common/string_util.h"
+
+namespace bdi::schema {
+namespace {
+
+/// Two sources publish "weight": s0 in grams, s1 in ounces; s0 has more
+/// records so grams must be the canonical unit.
+struct UnitFixture {
+  Dataset dataset;
+  AttributeStatistics stats;
+  MediatedSchema schema;
+  SourceAttr grams_attr;
+  SourceAttr ounces_attr;
+
+  UnitFixture() {
+    SourceId s0 = dataset.AddSource("grams");
+    SourceId s1 = dataset.AddSource("ounces");
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      double v = rng.UniformDouble(100, 1500);
+      dataset.AddRecord(s0, {{"weight", FormatDouble(v, 2) + " g"}});
+      if (i < 80) {
+        double w = rng.UniformDouble(100, 1500);
+        dataset.AddRecord(s1,
+                          {{"weight", FormatDouble(w / 28.35, 2) + " oz"}});
+      }
+    }
+    stats = AttributeStatistics::Compute(dataset);
+    AttrId weight = dataset.FindAttr("weight").value();
+    grams_attr = SourceAttr{0, weight};
+    ounces_attr = SourceAttr{1, weight};
+    schema.clusters = {{grams_attr, ounces_attr}};
+    schema.cluster_of[grams_attr] = 0;
+    schema.cluster_of[ounces_attr] = 0;
+    schema.cluster_names = {"weight"};
+  }
+};
+
+TEST(ValueNormalizerTest, DiscoversUnitConversion) {
+  UnitFixture fx;
+  ValueNormalizer normalizer = ValueNormalizer::Fit(fx.stats, fx.schema);
+  EXPECT_TRUE(normalizer.IsNumeric(fx.grams_attr));
+  EXPECT_TRUE(normalizer.IsNumeric(fx.ounces_attr));
+  // Grams dominate: grams stay put, ounces are multiplied by 28.35.
+  EXPECT_DOUBLE_EQ(normalizer.ScaleOf(fx.grams_attr), 1.0);
+  EXPECT_NEAR(normalizer.ScaleOf(fx.ounces_attr), 28.35, 1e-9);
+}
+
+TEST(ValueNormalizerTest, NormalizeConvertsNumeric) {
+  UnitFixture fx;
+  ValueNormalizer normalizer = ValueNormalizer::Fit(fx.stats, fx.schema);
+  std::string converted = normalizer.Normalize(fx.ounces_attr, "10 oz");
+  double v = 0.0;
+  ASSERT_TRUE(ParseLeadingDouble(converted, &v, nullptr));
+  EXPECT_NEAR(v, 283.5, 0.01);
+  // The dominant unit's values pass through unchanged.
+  EXPECT_EQ(normalizer.Normalize(fx.grams_attr, "118.25 g"), "118.25");
+}
+
+TEST(ValueNormalizerTest, StringAttributesLowercased) {
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  for (int i = 0; i < 4; ++i) {
+    dataset.AddRecord(s0, {{"color", "RED  Apple"}});
+    dataset.AddRecord(s1, {{"colour", "red apple"}});
+  }
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  MediatedSchema schema;
+  SourceAttr a{0, dataset.FindAttr("color").value()};
+  SourceAttr b{1, dataset.FindAttr("colour").value()};
+  schema.clusters = {{a, b}};
+  schema.cluster_of[a] = 0;
+  schema.cluster_of[b] = 0;
+  ValueNormalizer normalizer = ValueNormalizer::Fit(stats, schema);
+  EXPECT_FALSE(normalizer.IsNumeric(a));
+  EXPECT_EQ(normalizer.Normalize(a, "RED  Apple"), "red apple");
+  EXPECT_EQ(normalizer.Normalize(a, "RED  Apple"),
+            normalizer.Normalize(b, "red apple"));
+}
+
+TEST(ValueNormalizerTest, UnknownAttrGetsStringNormalization) {
+  ValueNormalizer normalizer;
+  EXPECT_EQ(normalizer.Normalize(SourceAttr{9, 9}, " MiXeD  Case "),
+            "mixed case");
+  EXPECT_DOUBLE_EQ(normalizer.ScaleOf(SourceAttr{9, 9}), 1.0);
+  EXPECT_FALSE(normalizer.IsNumeric(SourceAttr{9, 9}));
+}
+
+TEST(ValueNormalizerTest, NonParseableNumericFallsBack) {
+  UnitFixture fx;
+  ValueNormalizer normalizer = ValueNormalizer::Fit(fx.stats, fx.schema);
+  EXPECT_EQ(normalizer.Normalize(fx.ounces_attr, "N/A"), "n/a");
+}
+
+TEST(ValueNormalizerTest, SameUnitClusterKeepsScaleOne) {
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    dataset.AddRecord(
+        s0, {{"zoom", FormatDouble(rng.UniformDouble(1, 60), 2)}});
+    dataset.AddRecord(
+        s1, {{"zoom x", FormatDouble(rng.UniformDouble(1, 60), 2)}});
+  }
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  MediatedSchema schema;
+  SourceAttr a{0, dataset.FindAttr("zoom").value()};
+  SourceAttr b{1, dataset.FindAttr("zoom x").value()};
+  schema.clusters = {{a, b}};
+  schema.cluster_of[a] = 0;
+  schema.cluster_of[b] = 0;
+  ValueNormalizer normalizer = ValueNormalizer::Fit(stats, schema);
+  EXPECT_DOUBLE_EQ(normalizer.ScaleOf(a), 1.0);
+  EXPECT_DOUBLE_EQ(normalizer.ScaleOf(b), 1.0);
+}
+
+TEST(ValueNormalizerTest, MixedClusterMajorityDecidesType) {
+  // A cluster whose members are mostly categorical stays string-typed.
+  Dataset dataset;
+  SourceId s0 = dataset.AddSource("s0");
+  SourceId s1 = dataset.AddSource("s1");
+  SourceId s2 = dataset.AddSource("s2");
+  for (int i = 0; i < 10; ++i) {
+    dataset.AddRecord(s0, {{"k", "alpha"}});
+    dataset.AddRecord(s1, {{"k", "beta"}});
+    dataset.AddRecord(s2, {{"k", std::to_string(i)}});
+  }
+  AttributeStatistics stats = AttributeStatistics::Compute(dataset);
+  AttrId k = dataset.FindAttr("k").value();
+  MediatedSchema schema;
+  schema.clusters = {{SourceAttr{0, k}, SourceAttr{1, k}, SourceAttr{2, k}}};
+  for (const SourceAttr& sa : schema.clusters[0]) schema.cluster_of[sa] = 0;
+  ValueNormalizer normalizer = ValueNormalizer::Fit(stats, schema);
+  EXPECT_FALSE(normalizer.IsNumeric(SourceAttr{0, k}));
+  EXPECT_FALSE(normalizer.IsNumeric(SourceAttr{2, k}));
+}
+
+}  // namespace
+}  // namespace bdi::schema

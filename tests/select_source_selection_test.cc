@@ -1,0 +1,184 @@
+#include "bdi/select/source_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "bdi/fusion/accu.h"
+#include "bdi/fusion/evaluation.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::select {
+namespace {
+
+TEST(EstimateFusionAccuracyTest, MoreGoodSourcesHelp) {
+  SelectionConfig config;
+  double one = EstimateFusionAccuracy({0.8}, config);
+  double three = EstimateFusionAccuracy({0.8, 0.8, 0.8}, config);
+  double five = EstimateFusionAccuracy({0.8, 0.8, 0.8, 0.8, 0.8}, config);
+  EXPECT_GT(three, one);
+  EXPECT_GT(five, three);
+  EXPECT_NEAR(one, 0.8, 0.03);
+}
+
+TEST(EstimateFusionAccuracyTest, BadSourcesHurt) {
+  SelectionConfig config;
+  double clean = EstimateFusionAccuracy({0.9, 0.9}, config);
+  double polluted = EstimateFusionAccuracy(
+      {0.9, 0.9, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15}, config);
+  EXPECT_LT(polluted, clean);
+}
+
+TEST(EstimateFusionAccuracyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(EstimateFusionAccuracy({}, {}), 0.0);
+}
+
+TEST(EstimateCoverageTest, IndependentUnion) {
+  EXPECT_DOUBLE_EQ(EstimateCoverage({}), 0.0);
+  EXPECT_NEAR(EstimateCoverage({0.5, 0.5}), 0.75, 1e-12);
+  EXPECT_NEAR(EstimateCoverage({1.0, 0.2}), 1.0, 1e-12);
+}
+
+TEST(EstimateFusionAccuracyTest, WeightedModeIsUpperBound) {
+  // Accuracy-weighted (oracle-weighted) voting never does worse than
+  // plain majority on the same accuracy profile.
+  SelectionConfig majority;
+  SelectionConfig weighted;
+  weighted.accuracy_weighted = true;
+  std::vector<double> accuracies = {0.9, 0.9, 0.3, 0.3, 0.3};
+  double plain = EstimateFusionAccuracy(accuracies, majority);
+  double oracle = EstimateFusionAccuracy(accuracies, weighted);
+  EXPECT_GE(oracle, plain - 0.02);
+}
+
+std::vector<SourceProfile> MixedProfiles() {
+  std::vector<SourceProfile> profiles;
+  // 4 good sources, then a tail of bad ones.
+  for (int i = 0; i < 4; ++i) {
+    profiles.push_back(
+        {static_cast<SourceId>(i), 0.9, 0.4 - 0.05 * i, 1.0});
+  }
+  for (int i = 4; i < 16; ++i) {
+    profiles.push_back({static_cast<SourceId>(i), 0.3, 0.1, 1.0});
+  }
+  return profiles;
+}
+
+TEST(GreedySelectTest, OrdersGoodSourcesFirst) {
+  SelectionResult result = GreedySelect(MixedProfiles(), {});
+  // The first picks must be among the four good sources.
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_LT(result.order[k], 4) << "position " << k;
+  }
+  EXPECT_EQ(result.order.size(), 16u);
+  EXPECT_EQ(result.quality.size(), 16u);
+}
+
+TEST(GreedySelectTest, LessIsMorePeak) {
+  // With a cost per source, the best prefix excludes the junk tail.
+  SelectionConfig config;
+  config.cost_weight = 0.005;
+  SelectionResult result = GreedySelect(MixedProfiles(), config);
+  EXPECT_GE(result.best_prefix, 2u);
+  EXPECT_LE(result.best_prefix, 8u);
+  // Gain declines after the peak.
+  EXPECT_GT(result.gain[result.best_prefix - 1], result.gain.back());
+}
+
+TEST(GreedySelectTest, BeatsRandomOrder) {
+  SelectionConfig config;
+  SelectionResult greedy = GreedySelect(MixedProfiles(), config);
+  SelectionResult random = RandomOrder(MixedProfiles(), config);
+  // Compare the area under the first half of the quality curve.
+  double greedy_area = 0.0, random_area = 0.0;
+  for (size_t k = 0; k < 8; ++k) {
+    greedy_area += greedy.quality[k];
+    random_area += random.quality[k];
+  }
+  EXPECT_GE(greedy_area, random_area);
+}
+
+TEST(OrderingBaselinesTest, CurvesHaveFullLength) {
+  for (const SelectionResult& result :
+       {OrderByAccuracy(MixedProfiles(), {}),
+        OrderByCoverage(MixedProfiles(), {}),
+        RandomOrder(MixedProfiles(), {})}) {
+    EXPECT_EQ(result.order.size(), 16u);
+    EXPECT_EQ(result.gain.size(), 16u);
+    EXPECT_EQ(result.cost.size(), 16u);
+    EXPECT_GE(result.best_prefix, 1u);
+    // Cost is cumulative and increasing.
+    for (size_t k = 1; k < result.cost.size(); ++k) {
+      EXPECT_GT(result.cost[k], result.cost[k - 1]);
+    }
+  }
+}
+
+TEST(OrderByAccuracyTest, SortsDescending) {
+  SelectionResult result = OrderByAccuracy(MixedProfiles(), {});
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_LT(result.order[k], 4);
+  }
+}
+
+TEST(RestrictToSourcesTest, FiltersClaims) {
+  fusion::ClaimDb db;
+  db.set_num_sources(3);
+  fusion::DataItem item;
+  item.entity = 0;
+  item.attr = 2;
+  item.claims = {{0, "a"}, {1, "b"}, {2, "c"}};
+  db.AddItem(item);
+  fusion::DataItem only2;
+  only2.entity = 1;
+  only2.attr = 2;
+  only2.claims = {{2, "z"}};
+  db.AddItem(only2);
+
+  fusion::ClaimDb restricted = RestrictToSources(db, {true, false, false});
+  ASSERT_EQ(restricted.items().size(), 1u);  // item 2 dropped entirely
+  EXPECT_EQ(restricted.items()[0].claims.size(), 1u);
+  EXPECT_EQ(restricted.items()[0].claims[0].value, "a");
+  EXPECT_EQ(restricted.num_sources(), 3u);
+}
+
+TEST(SelectionOnWorldTest, MeasuredQualityTracksEstimate) {
+  // Integrate the best-k sources of a world and verify the measured fused
+  // precision with good sources beats using everything including junk.
+  synth::WorldConfig config;
+  config.seed = 101;
+  config.num_entities = 150;
+  config.num_sources = 14;
+  config.source_accuracy_min = 0.45;
+  config.source_accuracy_max = 0.95;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  fusion::ClaimDb db =
+      fusion::ClaimDb::FromGroundTruth(world.truth,
+                                       world.dataset.num_sources());
+
+  // Oracle profiles from the generator's accuracies.
+  std::vector<SourceProfile> profiles;
+  for (size_t s = 0; s < world.truth.source_accuracy.size(); ++s) {
+    profiles.push_back(
+        {static_cast<SourceId>(s), world.truth.source_accuracy[s],
+         static_cast<double>(world.dataset.source(s).records.size()) /
+             static_cast<double>(world.truth.num_entities()),
+         1.0});
+  }
+  SelectionResult greedy = GreedySelect(profiles, {});
+
+  auto measure = [&](const std::vector<SourceId>& ids) {
+    std::vector<bool> keep(world.dataset.num_sources(), false);
+    for (SourceId id : ids) keep[id] = true;
+    fusion::ClaimDb subset = RestrictToSources(db, keep);
+    fusion::FusionResult result = fusion::AccuFusion().Resolve(subset);
+    return fusion::EvaluateFusion(subset, result, world.truth).precision;
+  };
+  std::vector<SourceId> best8(greedy.order.begin(), greedy.order.begin() + 8);
+  std::vector<SourceId> worst8(greedy.order.end() - 8, greedy.order.end());
+  double best = measure(best8);
+  double worst = measure(worst8);
+  EXPECT_GT(best, worst);
+  EXPECT_GE(best, 0.7);
+}
+
+}  // namespace
+}  // namespace bdi::select

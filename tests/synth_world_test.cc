@@ -1,0 +1,260 @@
+#include "bdi/synth/world.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace bdi::synth {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig config;
+  config.seed = 5;
+  config.num_entities = 120;
+  config.num_sources = 8;
+  config.category = "camera";
+  return config;
+}
+
+TEST(WorldTest, DeterministicForSameSeed) {
+  SyntheticWorld a = GenerateWorld(SmallConfig());
+  SyntheticWorld b = GenerateWorld(SmallConfig());
+  ASSERT_EQ(a.dataset.num_records(), b.dataset.num_records());
+  EXPECT_EQ(a.truth.entity_of_record, b.truth.entity_of_record);
+  for (size_t i = 0; i < a.dataset.num_records(); ++i) {
+    const Record& ra = a.dataset.record(static_cast<RecordIdx>(i));
+    const Record& rb = b.dataset.record(static_cast<RecordIdx>(i));
+    ASSERT_EQ(ra.fields.size(), rb.fields.size());
+    for (size_t f = 0; f < ra.fields.size(); ++f) {
+      EXPECT_EQ(ra.fields[f].value, rb.fields[f].value);
+    }
+  }
+}
+
+TEST(WorldTest, DifferentSeedsProduceDifferentWorlds) {
+  WorldConfig config = SmallConfig();
+  SyntheticWorld a = GenerateWorld(config);
+  config.seed = 6;
+  SyntheticWorld b = GenerateWorld(config);
+  EXPECT_NE(a.truth.true_values, b.truth.true_values);
+}
+
+TEST(WorldTest, EveryRecordHasEntityLabel) {
+  SyntheticWorld world = GenerateWorld(SmallConfig());
+  ASSERT_EQ(world.truth.entity_of_record.size(),
+            world.dataset.num_records());
+  for (EntityId e : world.truth.entity_of_record) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(static_cast<size_t>(e), world.truth.num_entities());
+  }
+}
+
+TEST(WorldTest, SourceSizesDecay) {
+  WorldConfig config = SmallConfig();
+  config.num_entities = 400;
+  SyntheticWorld world = GenerateWorld(config);
+  size_t first = world.dataset.source(0).records.size();
+  size_t last =
+      world.dataset.source(static_cast<SourceId>(config.num_sources - 1))
+          .records.size();
+  EXPECT_GT(first, last);  // head source much larger than tail source
+  EXPECT_GE(last, 1u);
+}
+
+TEST(WorldTest, HeadEntitiesCoveredByMoreSources) {
+  WorldConfig config = SmallConfig();
+  config.num_entities = 300;
+  config.entity_zipf_s = 1.2;
+  SyntheticWorld world = GenerateWorld(config);
+  std::vector<std::set<SourceId>> sources_of(world.truth.num_entities());
+  for (size_t r = 0; r < world.dataset.num_records(); ++r) {
+    sources_of[world.truth.entity_of_record[r]].insert(
+        world.dataset.record(static_cast<RecordIdx>(r)).source);
+  }
+  double head = 0.0, tail = 0.0;
+  for (int e = 0; e < 30; ++e) head += static_cast<double>(sources_of[e].size());
+  for (size_t e = world.truth.num_entities() - 30;
+       e < world.truth.num_entities(); ++e) {
+    tail += static_cast<double>(sources_of[e].size());
+  }
+  EXPECT_GT(head, tail);
+}
+
+TEST(WorldTest, GroundTruthSchemaMappingCoversAllSourceAttrs) {
+  SyntheticWorld world = GenerateWorld(SmallConfig());
+  size_t mapped = 0;
+  for (const SourceAttr& sa : world.dataset.AllSourceAttrs()) {
+    auto it = world.truth.canonical_of_source_attr.find(sa);
+    if (it != world.truth.canonical_of_source_attr.end()) {
+      ++mapped;
+      EXPECT_GE(it->second, 0);
+      EXPECT_LT(static_cast<size_t>(it->second),
+                world.truth.canonical_attrs.size());
+    }
+  }
+  // Everything except the occasional "related products" attr is mapped.
+  EXPECT_GE(mapped + 10, world.dataset.AllSourceAttrs().size());
+  EXPECT_GT(mapped, 0u);
+}
+
+TEST(WorldTest, ClaimsReferenceValidItems) {
+  SyntheticWorld world = GenerateWorld(SmallConfig());
+  ASSERT_FALSE(world.truth.claims.empty());
+  for (const GroundTruth::TrueClaim& claim : world.truth.claims) {
+    ASSERT_GE(claim.entity, 0);
+    ASSERT_LT(static_cast<size_t>(claim.entity),
+              world.truth.true_values.size());
+    ASSERT_GE(claim.canonical_attr, 2);  // 0=name, 1=id are not claimed
+    ASSERT_LT(static_cast<size_t>(claim.canonical_attr),
+              world.truth.canonical_attrs.size());
+    // The claimed item must exist in the truth (entity has a value).
+    EXPECT_FALSE(
+        world.truth.true_values[claim.entity][claim.canonical_attr].empty());
+  }
+}
+
+TEST(WorldTest, SourceAccuracyRoughlyMatchesConfiguredAccuracy) {
+  WorldConfig config = SmallConfig();
+  config.num_entities = 500;
+  config.num_sources = 6;
+  config.source_accuracy_min = 0.9;
+  config.source_accuracy_max = 0.9;
+  config.format_variation_prob = 0.0;
+  SyntheticWorld world = GenerateWorld(config);
+  size_t correct = 0, total = 0;
+  for (const GroundTruth::TrueClaim& claim : world.truth.claims) {
+    ++total;
+    if (claim.value ==
+        world.truth.true_values[claim.entity][claim.canonical_attr]) {
+      ++correct;
+    }
+  }
+  ASSERT_GT(total, 500u);
+  EXPECT_NEAR(static_cast<double>(correct) / static_cast<double>(total), 0.9,
+              0.03);
+}
+
+TEST(WorldTest, CopiersShareClaimsWithOriginals) {
+  WorldConfig config = SmallConfig();
+  config.num_sources = 10;
+  config.num_copiers = 3;
+  config.copy_rate = 0.9;
+  SyntheticWorld world = GenerateWorld(config);
+  EXPECT_EQ(world.truth.copy_edges.size(), 3u);
+  // Copied claims must equal the original's claim on the same item.
+  std::map<std::tuple<SourceId, EntityId, int>, std::string> claim_of;
+  for (const GroundTruth::TrueClaim& claim : world.truth.claims) {
+    claim_of[{claim.source, claim.entity, claim.canonical_attr}] =
+        claim.value;
+  }
+  std::map<SourceId, SourceId> original_of;
+  for (const CopyEdge& edge : world.truth.copy_edges) {
+    EXPECT_GE(edge.copier, 0);
+    EXPECT_GE(edge.original, 0);
+    EXPECT_NE(edge.copier, edge.original);
+    original_of[edge.copier] = edge.original;
+  }
+  size_t copied_claims = 0;
+  for (const GroundTruth::TrueClaim& claim : world.truth.claims) {
+    if (!claim.copied) continue;
+    ++copied_claims;
+    auto it = original_of.find(claim.source);
+    ASSERT_NE(it, original_of.end())
+        << "copied claim from non-copier source";
+    auto original_claim =
+        claim_of.find({it->second, claim.entity, claim.canonical_attr});
+    ASSERT_NE(original_claim, claim_of.end());
+    EXPECT_EQ(claim.value, original_claim->second);
+  }
+  EXPECT_GT(copied_claims, 0u);
+}
+
+TEST(WorldTest, IdentifiersMostlyPresentAndUniquePerEntity) {
+  WorldConfig config = SmallConfig();
+  config.identifier_presence_prob = 1.0;
+  config.identifier_noise_prob = 0.0;
+  SyntheticWorld world = GenerateWorld(config);
+  // Each entity's identifier is distinct.
+  std::set<std::string> ids;
+  for (const auto& values : world.truth.true_values) {
+    ids.insert(values[1]);
+  }
+  EXPECT_EQ(ids.size(), world.truth.num_entities());
+}
+
+TEST(WorldTest, DefaultAttributesKnownCategories) {
+  for (const char* category :
+       {"camera", "headphone", "tv", "stock", "flight", "book", "unknown"}) {
+    std::vector<AttributeSpec> specs = DefaultAttributes(category);
+    EXPECT_GE(specs.size(), 5u) << category;
+    for (const AttributeSpec& spec : specs) {
+      EXPECT_FALSE(spec.name.empty());
+      EXPECT_GT(spec.presence_prob, 0.0);
+    }
+  }
+}
+
+TEST(WorldSimulatorTest, StepChangesTheWorld) {
+  WorldConfig config = SmallConfig();
+  WorldSimulator simulator(config);
+  SyntheticWorld before = simulator.Snapshot();
+  TemporalConfig temporal;
+  temporal.record_death_rate = 0.2;
+  temporal.entity_birth_rate = 0.05;
+  simulator.Step(temporal);
+  SyntheticWorld after = simulator.Snapshot();
+  EXPECT_GT(after.truth.num_entities(), before.truth.num_entities());
+  EXPECT_NE(after.dataset.num_records(), before.dataset.num_records());
+}
+
+TEST(WorldSimulatorTest, SourceDeathRemovesSources) {
+  WorldConfig config = SmallConfig();
+  WorldSimulator simulator(config);
+  TemporalConfig temporal;
+  temporal.source_death_rate = 1.0;  // everything dies in one step
+  simulator.Step(temporal);
+  EXPECT_EQ(simulator.num_alive_sources(), 0u);
+  SyntheticWorld after = simulator.Snapshot();
+  EXPECT_EQ(after.dataset.num_records(), 0u);
+}
+
+TEST(WorldSimulatorTest, SnapshotIsStableWithoutStep) {
+  WorldSimulator simulator(SmallConfig());
+  SyntheticWorld a = simulator.Snapshot();
+  SyntheticWorld b = simulator.Snapshot();
+  EXPECT_EQ(a.dataset.num_records(), b.dataset.num_records());
+  EXPECT_EQ(a.truth.entity_of_record, b.truth.entity_of_record);
+}
+
+TEST(WorldSimulatorTest, ValueDriftInvalidatesStaleClaims) {
+  WorldConfig config = SmallConfig();
+  config.num_entities = 300;
+  config.source_accuracy_min = 1.0;
+  config.source_accuracy_max = 1.0;
+  WorldSimulator simulator(config);
+  TemporalConfig temporal;
+  temporal.value_change_rate = 0.5;
+  temporal.refresh_prob = 0.0;  // nobody refreshes
+  temporal.record_death_rate = 0.0;
+  temporal.record_birth_rate = 0.0;
+  temporal.source_death_rate = 0.0;
+  temporal.entity_birth_rate = 0.0;
+  simulator.Step(temporal);
+  SyntheticWorld after = simulator.Snapshot();
+  size_t stale = 0, total = 0;
+  for (const GroundTruth::TrueClaim& claim : after.truth.claims) {
+    ++total;
+    if (claim.value !=
+        after.truth.true_values[claim.entity][claim.canonical_attr]) {
+      ++stale;
+    }
+  }
+  // Perfectly accurate sources are now wrong on roughly half the items.
+  EXPECT_NEAR(static_cast<double>(stale) / static_cast<double>(total), 0.5,
+              0.1);
+}
+
+}  // namespace
+}  // namespace bdi::synth

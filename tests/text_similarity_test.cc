@@ -1,0 +1,180 @@
+#include "bdi/text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "bdi/text/tokenizer.h"
+
+namespace bdi::text {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("flaw", "lawn"), EditDistance("lawn", "flaw"));
+}
+
+TEST(NormalizedEditTest, Range) {
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroTest, KnownBehaviour) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jaro = JaroSimilarity("prefixes", "prefixed");
+  double jw = JaroWinklerSimilarity("prefixes", "prefixed");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+}
+
+TEST(JaroWinklerTest, KnownValue) {
+  EXPECT_NEAR(JaroWinklerSimilarity("dwayne", "duane"), 0.84, 0.01);
+}
+
+// Property sweep: every string similarity is symmetric, in [0,1], and 1 on
+// identical inputs.
+using StringPair = std::tuple<std::string, std::string>;
+class StringSimilarityProperty : public ::testing::TestWithParam<StringPair> {
+};
+
+TEST_P(StringSimilarityProperty, SymmetricAndBounded) {
+  auto [a, b] = GetParam();
+  for (auto fn : {JaroSimilarity, JaroWinklerSimilarity,
+                  NormalizedEditSimilarity, TokenJaccard, TrigramJaccard}) {
+    double ab = fn(a, b);
+    double ba = fn(b, a);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(fn(a, a), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, StringSimilarityProperty,
+    ::testing::Values(
+        StringPair{"canon eos 5d", "canon 5d eos"},
+        StringPair{"sony wh-1000xm4", "sony wh 1000 xm4"},
+        StringPair{"", "nonempty"}, StringPair{"a", "b"},
+        StringPair{"identical string", "identical string"},
+        StringPair{"12.5 cm", "4.9 in"}));
+
+TEST(SetSimilarityTest, JaccardKnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+}
+
+TEST(SetSimilarityTest, DiceKnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a", "b"}, {"b", "c"}), 0.5);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(SetSimilarityTest, OverlapCoefficient) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a"}, {"a", "b", "c"}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"x"}, {"a", "b"}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, {}), 1.0);
+}
+
+TEST(SetSimilarityTest, DiceAtLeastJaccard) {
+  std::vector<std::string> a = {"a", "b", "c", "d"};
+  std::vector<std::string> b = {"c", "d", "e"};
+  EXPECT_GE(DiceSimilarity(a, b), JaccardSimilarity(a, b));
+}
+
+TEST(MongeElkanTest, TokenReorderingTolerant) {
+  double sim = MongeElkanSimilarity("canon eos 5d", "5d eos canon");
+  EXPECT_GT(sim, 0.95);
+}
+
+TEST(MongeElkanTest, EmptyCases) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity("a", ""), 0.0);
+}
+
+TEST(SmithWatermanTest, KnownBehaviour) {
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("abc", "abc"), 1.0);
+  // Shared substring embedded in noise still scores the substring.
+  EXPECT_DOUBLE_EQ(SmithWatermanSimilarity("eos5d", "canon eos5d camera"),
+                   1.0);
+  EXPECT_LT(SmithWatermanSimilarity("abcdef", "uvwxyz"), 0.2);
+}
+
+TEST(SmithWatermanTest, SymmetricAndBounded) {
+  const char* samples[] = {"canon eos", "eos canon", "zorix qx-1234", ""};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double ab = SmithWatermanSimilarity(a, b);
+      EXPECT_NEAR(ab, SmithWatermanSimilarity(b, a), 1e-12);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+  }
+}
+
+TEST(SmithWatermanTest, GapTolerance) {
+  // A single insertion costs one gap, not a full re-alignment.
+  double with_gap = SmithWatermanSimilarity("abcdefgh", "abcdXefgh");
+  EXPECT_GT(with_gap, 0.8);
+}
+
+TEST(NumericSimilarityTest, Behaviour) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity("10", "10.0"), 1.0);
+  EXPECT_NEAR(NumericSimilarity("10", "9"), 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("abc", "10"), 0.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("0", "0"), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity("10", "-10"), 0.0);
+}
+
+TEST(TfIdfTest, RareTokensWeighMore) {
+  TfIdfVectorizer vectorizer;
+  for (int i = 0; i < 50; ++i) {
+    vectorizer.AddDocument({"common", "filler"});
+  }
+  vectorizer.AddDocument({"rare"});
+  EXPECT_GT(vectorizer.Idf("rare"), vectorizer.Idf("common"));
+  EXPECT_EQ(vectorizer.num_documents(), 51u);
+}
+
+TEST(TfIdfTest, CosineBasics) {
+  TfIdfVectorizer vectorizer;
+  vectorizer.AddDocument({"a", "b"});
+  vectorizer.AddDocument({"b", "c"});
+  EXPECT_DOUBLE_EQ(vectorizer.Cosine({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(vectorizer.Cosine({"a"}, {"c"}), 0.0);
+  double partial = vectorizer.Cosine({"a", "b"}, {"b", "c"});
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(TfIdfTest, SharedRareTokenBeatsSharedCommonToken) {
+  TfIdfVectorizer vectorizer;
+  for (int i = 0; i < 100; ++i) vectorizer.AddDocument({"common"});
+  vectorizer.AddDocument({"rare"});
+  double via_rare = vectorizer.Cosine({"rare", "x"}, {"rare", "y"});
+  double via_common = vectorizer.Cosine({"common", "x"}, {"common", "y"});
+  EXPECT_GT(via_rare, via_common);
+}
+
+}  // namespace
+}  // namespace bdi::text

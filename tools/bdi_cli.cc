@@ -1,0 +1,369 @@
+// bdi — command-line front end for the Big Data Integration library.
+//
+//   bdi generate  --out corpus.csv [--truth labels.csv] [--category camera]
+//                 [--entities 300] [--sources 12] [--copiers 0] [--seed 42]
+//   bdi stats     --in corpus.csv
+//   bdi integrate --in corpus.csv [--fusion vote|accu|accusim|truthfinder|
+//                 accucopy] [--top 5] [--labels labels.csv]
+//                 [--save-dir saved/]   (persist the integrated view)
+//   bdi link      --in corpus.csv [--labels labels.csv]
+//   bdi ask       --in corpus.csv --attribute weight --entity "Zorix QX-12"
+//                 [--load-dir saved/]   (reuse a saved integration)
+//   bdi evolve    --out-prefix snap --months 6 [--entities 300]
+//                 [--sources 12] [--seed 42]   (velocity snapshot series)
+//   bdi diff      --old snap_0.csv --new snap_3.csv   (change feed)
+//   bdi trust     --in corpus.csv   (source quality audit: accuracies,
+//                 copying, systematic bias)
+//
+// `generate` writes a synthetic multi-source corpus (and optionally its
+// record->entity ground truth); the other commands work on any corpus in
+// the long CSV format (source,record,attribute,value).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bdi/common/flags.h"
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/core/integrator.h"
+#include "bdi/core/query.h"
+#include "bdi/core/diff.h"
+#include "bdi/fusion/accu_copy.h"
+#include "bdi/fusion/bias.h"
+#include "bdi/core/report_io.h"
+#include "bdi/linkage/linkage.h"
+#include "bdi/model/dataset_io.h"
+#include "bdi/schema/attribute_stats.h"
+#include "bdi/synth/world.h"
+
+namespace {
+
+using namespace bdi;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bdi <generate|stats|integrate|link|ask|evolve|diff|trust>"
+               " [--flag value]...\n"
+               "see the header of tools/bdi_cli.cc for the flag list\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(Flags& flags) {
+  if (!flags.Has("out")) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  synth::WorldConfig config;
+  config.category = flags.Get("category", "camera");
+  config.num_entities = flags.GetInt("entities", 300);
+  config.num_sources = flags.GetInt("sources", 12);
+  config.num_copiers = flags.GetInt("copiers", 0);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  Status status = WriteDatasetCsv(world.dataset, flags.Get("out", ""));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu records from %zu sources to %s\n",
+              world.dataset.num_records(), world.dataset.num_sources(),
+              flags.Get("out", "").c_str());
+  if (flags.Has("truth")) {
+    status = WriteLabelsCsv(world.truth.entity_of_record,
+                            flags.Get("truth", ""));
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote ground-truth labels to %s\n",
+                flags.Get("truth", "").c_str());
+  }
+  return 0;
+}
+
+int CmdStats(Flags& flags) {
+  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  if (!dataset.ok()) return Fail(dataset.status());
+  schema::AttributeStatistics stats =
+      schema::AttributeStatistics::Compute(dataset.value());
+  TextTable sources({"source", "records"});
+  for (const SourceInfo& source : dataset->sources()) {
+    sources.AddRow({source.name, std::to_string(source.records.size())});
+  }
+  sources.Print("sources");
+  TextTable names({"attribute name", "#sources"});
+  std::multimap<size_t, std::string, std::greater<>> by_count;
+  for (const auto& [name, count] : stats.name_source_counts()) {
+    by_count.emplace(count, name);
+  }
+  int shown = 0;
+  for (const auto& [count, name] : by_count) {
+    if (shown++ >= 15) break;
+    names.AddRow({name, std::to_string(count)});
+  }
+  names.Print("most widespread attribute names (top 15 of " +
+              std::to_string(stats.name_source_counts().size()) + ")");
+  return 0;
+}
+
+int CmdIntegrate(Flags& flags) {
+  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  core::IntegratorConfig config;
+  std::string fusion = flags.Get("fusion", "accucopy");
+  if (fusion == "vote") {
+    config.fusion = core::FusionKind::kVote;
+  } else if (fusion == "accu") {
+    config.fusion = core::FusionKind::kAccu;
+  } else if (fusion == "accusim") {
+    config.fusion = core::FusionKind::kAccuSim;
+  } else if (fusion == "truthfinder") {
+    config.fusion = core::FusionKind::kTruthFinder;
+  } else if (fusion == "accucopy") {
+    config.fusion = core::FusionKind::kAccuCopy;
+  } else {
+    std::fprintf(stderr, "unknown --fusion '%s'\n", fusion.c_str());
+    return 2;
+  }
+
+  core::Integrator integrator(config);
+  core::IntegrationReport report = integrator.Run(dataset.value());
+  std::printf("%s\n\n", report.Summary().c_str());
+
+  if (flags.Has("save-dir")) {
+    Status saved =
+        core::SaveIntegration(report, dataset.value(), flags.Get("save-dir", ""));
+    if (!saved.ok()) return Fail(saved);
+    std::printf("saved integrated view to %s\n\n",
+                flags.Get("save-dir", "").c_str());
+  }
+
+  if (flags.Has("labels")) {
+    Result<std::vector<EntityId>> labels =
+        ReadLabelsCsv(flags.Get("labels", ""));
+    if (!labels.ok()) return Fail(labels.status());
+    linkage::LinkageQuality quality = linkage::EvaluateClusters(
+        report.linkage.clusters.label_of_record, labels.value());
+    std::printf("linkage vs labels: P=%.3f R=%.3f F1=%.3f\n\n",
+                quality.precision, quality.recall, quality.f1);
+  }
+
+  int top = flags.GetInt("top", 5);
+  for (const auto& entity : core::MaterializeEntities(
+           report, dataset.value(), static_cast<size_t>(top))) {
+    std::printf("entity #%d (%zu records)\n", entity.cluster,
+                entity.num_records);
+    for (const auto& [attr, value] : entity.values) {
+      std::printf("  %-20s %s\n", attr.c_str(), value.c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdLink(Flags& flags) {
+  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  if (!dataset.ok()) return Fail(dataset.status());
+  linkage::Linker linker(&dataset.value(), {});
+  linkage::LinkageResult result = linker.Run();
+  std::printf("%zu records -> %zu entities (%zu candidates, %zu matches)\n",
+              dataset->num_records(), result.clusters.num_clusters,
+              result.num_candidates, result.num_matches);
+  if (flags.Has("labels")) {
+    Result<std::vector<EntityId>> labels =
+        ReadLabelsCsv(flags.Get("labels", ""));
+    if (!labels.ok()) return Fail(labels.status());
+    linkage::LinkageQuality quality = linkage::EvaluateClusters(
+        result.clusters.label_of_record, labels.value());
+    std::printf("vs labels: P=%.3f R=%.3f F1=%.3f\n", quality.precision,
+                quality.recall, quality.f1);
+  }
+  return 0;
+}
+
+int CmdTrust(Flags& flags) {
+  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  if (!dataset.ok()) return Fail(dataset.status());
+  core::Integrator integrator;
+  core::IntegrationReport report = integrator.Run(dataset.value());
+
+  // Copy-aware re-resolution for the dependence estimates.
+  fusion::AccuCopyFusion accucopy;
+  fusion::FusionResult result = accucopy.Resolve(report.claims);
+
+  TextTable accuracy_table({"source", "estimated accuracy", "claims"});
+  std::vector<size_t> claims_per_source(dataset->num_sources(), 0);
+  for (const fusion::DataItem& item : report.claims.items()) {
+    for (const fusion::Claim& claim : item.claims) {
+      ++claims_per_source[claim.source];
+    }
+  }
+  for (size_t s = 0; s < dataset->num_sources(); ++s) {
+    accuracy_table.AddRow({dataset->source(s).name,
+                           FormatDouble(result.source_accuracy[s], 3),
+                           std::to_string(claims_per_source[s])});
+  }
+  accuracy_table.Print("estimated source accuracies");
+
+  bool any_dependence = false;
+  for (const fusion::SourceDependence& d : accucopy.last_dependencies()) {
+    if (d.probability < 0.5) continue;
+    if (!any_dependence) {
+      std::printf("probable copying:\n");
+      any_dependence = true;
+    }
+    std::printf("  %s <-> %s  P=%.2f (shared false values: %zu)\n",
+                dataset->source(d.a).name.c_str(),
+                dataset->source(d.b).name.c_str(), d.probability,
+                d.shared_false);
+  }
+  if (!any_dependence) std::printf("no copying detected\n");
+
+  std::vector<fusion::SourceBias> biases =
+      fusion::DetectBias(report.claims, result);
+  if (biases.empty()) {
+    std::printf("no systematic bias detected\n");
+  } else {
+    std::printf("systematic biases:\n");
+    int shown = 0;
+    for (const fusion::SourceBias& bias : biases) {
+      if (shown++ >= 10) break;
+      std::string attr =
+          bias.attr >= 0 &&
+                  static_cast<size_t>(bias.attr) <
+                      report.schema.cluster_names.size()
+              ? report.schema.cluster_names[bias.attr]
+              : "?";
+      std::printf("  %s / %s: %+0.1f%% (over %zu items)\n",
+                  dataset->source(bias.source).name.c_str(), attr.c_str(),
+                  100.0 * bias.relative_bias, bias.items);
+    }
+  }
+  return 0;
+}
+
+int CmdDiff(Flags& flags) {
+  Result<Dataset> old_dataset = ReadDatasetCsv(flags.Get("old", ""));
+  if (!old_dataset.ok()) return Fail(old_dataset.status());
+  Result<Dataset> new_dataset = ReadDatasetCsv(flags.Get("new", ""));
+  if (!new_dataset.ok()) return Fail(new_dataset.status());
+  core::Integrator integrator;
+  core::IntegrationReport old_report = integrator.Run(old_dataset.value());
+  core::IntegrationReport new_report = integrator.Run(new_dataset.value());
+  core::IntegrationDiff diff = core::DiffIntegrations(
+      old_report, old_dataset.value(), new_report, new_dataset.value());
+  std::printf("%zu entities matched; %zu changes\n\n",
+              diff.entities_matched, diff.changes.size());
+  int shown = 0;
+  for (const core::IntegrationChange& change : diff.changes) {
+    if (shown++ >= flags.GetInt("limit", 40)) break;
+    using Kind = core::IntegrationChange::Kind;
+    switch (change.kind) {
+      case Kind::kEntityAppeared:
+        std::printf("+ entity  %s\n", change.entity_name.c_str());
+        break;
+      case Kind::kEntityDisappeared:
+        std::printf("- entity  %s\n", change.entity_name.c_str());
+        break;
+      case Kind::kValueChanged:
+        std::printf("~ %s / %s: %s -> %s\n", change.entity_name.c_str(),
+                    change.attribute.c_str(), change.old_value.c_str(),
+                    change.new_value.c_str());
+        break;
+      case Kind::kValueAppeared:
+        std::printf("+ %s / %s = %s\n", change.entity_name.c_str(),
+                    change.attribute.c_str(), change.new_value.c_str());
+        break;
+      case Kind::kValueDisappeared:
+        std::printf("- %s / %s (was %s)\n", change.entity_name.c_str(),
+                    change.attribute.c_str(), change.old_value.c_str());
+        break;
+    }
+  }
+  return 0;
+}
+
+int CmdEvolve(Flags& flags) {
+  if (!flags.Has("out-prefix")) {
+    std::fprintf(stderr, "evolve: --out-prefix is required\n");
+    return 2;
+  }
+  synth::WorldConfig config;
+  config.category = flags.Get("category", "camera");
+  config.num_entities = flags.GetInt("entities", 300);
+  config.num_sources = flags.GetInt("sources", 12);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  synth::TemporalConfig temporal;
+  int months = flags.GetInt("months", 6);
+  synth::WorldSimulator simulator(config);
+  for (int month = 0; month <= months; ++month) {
+    synth::SyntheticWorld snapshot = simulator.Snapshot();
+    std::string base =
+        flags.Get("out-prefix", "snap") + "_" + std::to_string(month);
+    Status status = WriteDatasetCsv(snapshot.dataset, base + ".csv");
+    if (!status.ok()) return Fail(status);
+    status = WriteLabelsCsv(snapshot.truth.entity_of_record,
+                            base + ".labels.csv");
+    if (!status.ok()) return Fail(status);
+    std::printf("month %d: %zu records, %zu sources -> %s.csv\n", month,
+                snapshot.dataset.num_records(),
+                snapshot.dataset.num_sources(), base.c_str());
+    if (month < months) simulator.Step(temporal);
+  }
+  return 0;
+}
+
+int CmdAsk(Flags& flags) {
+  if (!flags.Has("attribute") || !flags.Has("entity")) {
+    std::fprintf(stderr, "ask: --attribute and --entity are required\n");
+    return 2;
+  }
+  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  if (!dataset.ok()) return Fail(dataset.status());
+  core::IntegrationReport report;
+  if (flags.Has("load-dir")) {
+    Result<core::IntegrationReport> loaded =
+        core::LoadIntegration(dataset.value(), flags.Get("load-dir", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    report = std::move(loaded).value();
+  } else {
+    report = core::Integrator().Run(dataset.value());
+  }
+  core::QueryEngine engine(&report, &dataset.value());
+  core::Answer answer =
+      engine.Ask(flags.Get("attribute", ""), flags.Get("entity", ""));
+  if (!answer.found()) {
+    std::printf("no answer\n");
+    return 0;
+  }
+  std::printf("%s of \"%s\" = %s  (confidence %.2f)\n",
+              answer.attribute.c_str(), answer.entity_name.c_str(),
+              answer.value.c_str(), answer.confidence);
+  for (const core::AnswerSupport& support : answer.support) {
+    std::printf("  %-24s %-16s %s\n", support.source_name.c_str(),
+                support.value.c_str(),
+                support.agrees ? "agrees" : "dissents");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "bad argument near '%s'\n", flags.bad_token().c_str());
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "integrate") return CmdIntegrate(flags);
+  if (command == "link") return CmdLink(flags);
+  if (command == "ask") return CmdAsk(flags);
+  if (command == "evolve") return CmdEvolve(flags);
+  if (command == "diff") return CmdDiff(flags);
+  if (command == "trust") return CmdTrust(flags);
+  return Usage();
+}
