@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copy_detection.dir/bench_copy_detection.cc.o"
+  "CMakeFiles/bench_copy_detection.dir/bench_copy_detection.cc.o.d"
+  "bench_copy_detection"
+  "bench_copy_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copy_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deceit.dir/bench_deceit.cc.o"
+  "CMakeFiles/bench_deceit.dir/bench_deceit.cc.o.d"
+  "bench_deceit"
+  "bench_deceit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deceit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

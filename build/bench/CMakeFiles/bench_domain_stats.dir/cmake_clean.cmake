@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain_stats.dir/bench_domain_stats.cc.o"
+  "CMakeFiles/bench_domain_stats.dir/bench_domain_stats.cc.o.d"
+  "bench_domain_stats"
+  "bench_domain_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

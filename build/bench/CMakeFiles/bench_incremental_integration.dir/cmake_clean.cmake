@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_integration.dir/bench_incremental_integration.cc.o"
+  "CMakeFiles/bench_incremental_integration.dir/bench_incremental_integration.cc.o.d"
+  "bench_incremental_integration"
+  "bench_incremental_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

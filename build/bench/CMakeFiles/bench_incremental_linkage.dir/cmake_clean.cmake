@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_linkage.dir/bench_incremental_linkage.cc.o"
+  "CMakeFiles/bench_incremental_linkage.dir/bench_incremental_linkage.cc.o.d"
+  "bench_incremental_linkage"
+  "bench_incremental_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

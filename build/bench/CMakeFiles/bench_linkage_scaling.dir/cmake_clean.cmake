@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linkage_scaling.dir/bench_linkage_scaling.cc.o"
+  "CMakeFiles/bench_linkage_scaling.dir/bench_linkage_scaling.cc.o.d"
+  "bench_linkage_scaling"
+  "bench_linkage_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linkage_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_fusion.dir/bench_online_fusion.cc.o"
+  "CMakeFiles/bench_online_fusion.dir/bench_online_fusion.cc.o.d"
+  "bench_online_fusion"
+  "bench_online_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_alignment.dir/bench_schema_alignment.cc.o"
+  "CMakeFiles/bench_schema_alignment.dir/bench_schema_alignment.cc.o.d"
+  "bench_schema_alignment"
+  "bench_schema_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

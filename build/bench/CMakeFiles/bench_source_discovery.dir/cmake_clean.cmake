@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_source_discovery.dir/bench_source_discovery.cc.o"
+  "CMakeFiles/bench_source_discovery.dir/bench_source_discovery.cc.o.d"
+  "bench_source_discovery"
+  "bench_source_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_source_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_source_selection.dir/bench_source_selection.cc.o"
+  "CMakeFiles/bench_source_selection.dir/bench_source_selection.cc.o.d"
+  "bench_source_selection"
+  "bench_source_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_source_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

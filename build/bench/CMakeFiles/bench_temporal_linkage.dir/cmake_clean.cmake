@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temporal_linkage.dir/bench_temporal_linkage.cc.o"
+  "CMakeFiles/bench_temporal_linkage.dir/bench_temporal_linkage.cc.o.d"
+  "bench_temporal_linkage"
+  "bench_temporal_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temporal_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_velocity.dir/bench_velocity.cc.o"
+  "CMakeFiles/bench_velocity.dir/bench_velocity.cc.o.d"
+  "bench_velocity"
+  "bench_velocity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_velocity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_to_catalog.dir/crawl_to_catalog.cpp.o"
+  "CMakeFiles/crawl_to_catalog.dir/crawl_to_catalog.cpp.o.d"
+  "crawl_to_catalog"
+  "crawl_to_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_to_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

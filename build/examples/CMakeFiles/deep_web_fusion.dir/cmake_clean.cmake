@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_web_fusion.dir/deep_web_fusion.cpp.o"
+  "CMakeFiles/deep_web_fusion.dir/deep_web_fusion.cpp.o.d"
+  "deep_web_fusion"
+  "deep_web_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_web_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_selection_demo.dir/source_selection_demo.cpp.o"
+  "CMakeFiles/source_selection_demo.dir/source_selection_demo.cpp.o.d"
+  "source_selection_demo"
+  "source_selection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_selection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

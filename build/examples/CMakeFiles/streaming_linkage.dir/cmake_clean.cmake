@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_linkage.dir/streaming_linkage.cpp.o"
+  "CMakeFiles/streaming_linkage.dir/streaming_linkage.cpp.o.d"
+  "streaming_linkage"
+  "streaming_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

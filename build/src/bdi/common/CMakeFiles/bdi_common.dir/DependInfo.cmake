@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/common/csv.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/csv.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/csv.cc.o.d"
+  "/root/repo/src/bdi/common/flags.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/flags.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/flags.cc.o.d"
+  "/root/repo/src/bdi/common/logging.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/logging.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/logging.cc.o.d"
+  "/root/repo/src/bdi/common/random.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/random.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/random.cc.o.d"
+  "/root/repo/src/bdi/common/status.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/status.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/status.cc.o.d"
+  "/root/repo/src/bdi/common/string_util.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/string_util.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/string_util.cc.o.d"
+  "/root/repo/src/bdi/common/table.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/table.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/table.cc.o.d"
+  "/root/repo/src/bdi/common/thread_pool.cc" "src/bdi/common/CMakeFiles/bdi_common.dir/thread_pool.cc.o" "gcc" "src/bdi/common/CMakeFiles/bdi_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

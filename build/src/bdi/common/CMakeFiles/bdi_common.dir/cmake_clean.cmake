@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_common.dir/csv.cc.o"
+  "CMakeFiles/bdi_common.dir/csv.cc.o.d"
+  "CMakeFiles/bdi_common.dir/flags.cc.o"
+  "CMakeFiles/bdi_common.dir/flags.cc.o.d"
+  "CMakeFiles/bdi_common.dir/logging.cc.o"
+  "CMakeFiles/bdi_common.dir/logging.cc.o.d"
+  "CMakeFiles/bdi_common.dir/random.cc.o"
+  "CMakeFiles/bdi_common.dir/random.cc.o.d"
+  "CMakeFiles/bdi_common.dir/status.cc.o"
+  "CMakeFiles/bdi_common.dir/status.cc.o.d"
+  "CMakeFiles/bdi_common.dir/string_util.cc.o"
+  "CMakeFiles/bdi_common.dir/string_util.cc.o.d"
+  "CMakeFiles/bdi_common.dir/table.cc.o"
+  "CMakeFiles/bdi_common.dir/table.cc.o.d"
+  "CMakeFiles/bdi_common.dir/thread_pool.cc.o"
+  "CMakeFiles/bdi_common.dir/thread_pool.cc.o.d"
+  "libbdi_common.a"
+  "libbdi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

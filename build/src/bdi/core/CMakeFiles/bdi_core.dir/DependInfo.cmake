@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/core/diff.cc" "src/bdi/core/CMakeFiles/bdi_core.dir/diff.cc.o" "gcc" "src/bdi/core/CMakeFiles/bdi_core.dir/diff.cc.o.d"
+  "/root/repo/src/bdi/core/incremental_integrator.cc" "src/bdi/core/CMakeFiles/bdi_core.dir/incremental_integrator.cc.o" "gcc" "src/bdi/core/CMakeFiles/bdi_core.dir/incremental_integrator.cc.o.d"
+  "/root/repo/src/bdi/core/integrator.cc" "src/bdi/core/CMakeFiles/bdi_core.dir/integrator.cc.o" "gcc" "src/bdi/core/CMakeFiles/bdi_core.dir/integrator.cc.o.d"
+  "/root/repo/src/bdi/core/query.cc" "src/bdi/core/CMakeFiles/bdi_core.dir/query.cc.o" "gcc" "src/bdi/core/CMakeFiles/bdi_core.dir/query.cc.o.d"
+  "/root/repo/src/bdi/core/report_io.cc" "src/bdi/core/CMakeFiles/bdi_core.dir/report_io.cc.o" "gcc" "src/bdi/core/CMakeFiles/bdi_core.dir/report_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/text/CMakeFiles/bdi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/schema/CMakeFiles/bdi_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/linkage/CMakeFiles/bdi_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/fusion/CMakeFiles/bdi_fusion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_core.dir/diff.cc.o"
+  "CMakeFiles/bdi_core.dir/diff.cc.o.d"
+  "CMakeFiles/bdi_core.dir/incremental_integrator.cc.o"
+  "CMakeFiles/bdi_core.dir/incremental_integrator.cc.o.d"
+  "CMakeFiles/bdi_core.dir/integrator.cc.o"
+  "CMakeFiles/bdi_core.dir/integrator.cc.o.d"
+  "CMakeFiles/bdi_core.dir/query.cc.o"
+  "CMakeFiles/bdi_core.dir/query.cc.o.d"
+  "CMakeFiles/bdi_core.dir/report_io.cc.o"
+  "CMakeFiles/bdi_core.dir/report_io.cc.o.d"
+  "libbdi_core.a"
+  "libbdi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

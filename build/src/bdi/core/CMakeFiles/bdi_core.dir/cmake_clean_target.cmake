@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbdi_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/discovery/crawler.cc" "src/bdi/discovery/CMakeFiles/bdi_discovery.dir/crawler.cc.o" "gcc" "src/bdi/discovery/CMakeFiles/bdi_discovery.dir/crawler.cc.o.d"
+  "/root/repo/src/bdi/discovery/search_index.cc" "src/bdi/discovery/CMakeFiles/bdi_discovery.dir/search_index.cc.o" "gcc" "src/bdi/discovery/CMakeFiles/bdi_discovery.dir/search_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/text/CMakeFiles/bdi_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_discovery.dir/crawler.cc.o"
+  "CMakeFiles/bdi_discovery.dir/crawler.cc.o.d"
+  "CMakeFiles/bdi_discovery.dir/search_index.cc.o"
+  "CMakeFiles/bdi_discovery.dir/search_index.cc.o.d"
+  "libbdi_discovery.a"
+  "libbdi_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/extract/extractor.cc" "src/bdi/extract/CMakeFiles/bdi_extract.dir/extractor.cc.o" "gcc" "src/bdi/extract/CMakeFiles/bdi_extract.dir/extractor.cc.o.d"
+  "/root/repo/src/bdi/extract/renderer.cc" "src/bdi/extract/CMakeFiles/bdi_extract.dir/renderer.cc.o" "gcc" "src/bdi/extract/CMakeFiles/bdi_extract.dir/renderer.cc.o.d"
+  "/root/repo/src/bdi/extract/wrapper.cc" "src/bdi/extract/CMakeFiles/bdi_extract.dir/wrapper.cc.o" "gcc" "src/bdi/extract/CMakeFiles/bdi_extract.dir/wrapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_extract.dir/extractor.cc.o"
+  "CMakeFiles/bdi_extract.dir/extractor.cc.o.d"
+  "CMakeFiles/bdi_extract.dir/renderer.cc.o"
+  "CMakeFiles/bdi_extract.dir/renderer.cc.o.d"
+  "CMakeFiles/bdi_extract.dir/wrapper.cc.o"
+  "CMakeFiles/bdi_extract.dir/wrapper.cc.o.d"
+  "libbdi_extract.a"
+  "libbdi_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

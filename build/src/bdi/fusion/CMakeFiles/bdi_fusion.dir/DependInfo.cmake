@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/fusion/accu.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/accu.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/accu.cc.o.d"
+  "/root/repo/src/bdi/fusion/accu_copy.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/accu_copy.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/accu_copy.cc.o.d"
+  "/root/repo/src/bdi/fusion/baselines.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/baselines.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/baselines.cc.o.d"
+  "/root/repo/src/bdi/fusion/bias.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/bias.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/bias.cc.o.d"
+  "/root/repo/src/bdi/fusion/claims.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/claims.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/claims.cc.o.d"
+  "/root/repo/src/bdi/fusion/copy_detection.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/copy_detection.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/copy_detection.cc.o.d"
+  "/root/repo/src/bdi/fusion/evaluation.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/evaluation.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/evaluation.cc.o.d"
+  "/root/repo/src/bdi/fusion/fusion.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/fusion.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/fusion.cc.o.d"
+  "/root/repo/src/bdi/fusion/online.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/online.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/online.cc.o.d"
+  "/root/repo/src/bdi/fusion/truthfinder.cc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/truthfinder.cc.o" "gcc" "src/bdi/fusion/CMakeFiles/bdi_fusion.dir/truthfinder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/text/CMakeFiles/bdi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/schema/CMakeFiles/bdi_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/linkage/CMakeFiles/bdi_linkage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

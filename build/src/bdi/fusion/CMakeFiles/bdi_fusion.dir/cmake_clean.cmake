@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_fusion.dir/accu.cc.o"
+  "CMakeFiles/bdi_fusion.dir/accu.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/accu_copy.cc.o"
+  "CMakeFiles/bdi_fusion.dir/accu_copy.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/baselines.cc.o"
+  "CMakeFiles/bdi_fusion.dir/baselines.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/bias.cc.o"
+  "CMakeFiles/bdi_fusion.dir/bias.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/claims.cc.o"
+  "CMakeFiles/bdi_fusion.dir/claims.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/copy_detection.cc.o"
+  "CMakeFiles/bdi_fusion.dir/copy_detection.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/evaluation.cc.o"
+  "CMakeFiles/bdi_fusion.dir/evaluation.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/fusion.cc.o"
+  "CMakeFiles/bdi_fusion.dir/fusion.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/online.cc.o"
+  "CMakeFiles/bdi_fusion.dir/online.cc.o.d"
+  "CMakeFiles/bdi_fusion.dir/truthfinder.cc.o"
+  "CMakeFiles/bdi_fusion.dir/truthfinder.cc.o.d"
+  "libbdi_fusion.a"
+  "libbdi_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/linkage/active.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/active.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/active.cc.o.d"
+  "/root/repo/src/bdi/linkage/attr_roles.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/attr_roles.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/attr_roles.cc.o.d"
+  "/root/repo/src/bdi/linkage/blocking.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/blocking.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/blocking.cc.o.d"
+  "/root/repo/src/bdi/linkage/clustering.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/clustering.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/clustering.cc.o.d"
+  "/root/repo/src/bdi/linkage/incremental.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/incremental.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/incremental.cc.o.d"
+  "/root/repo/src/bdi/linkage/linkage.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/linkage.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/linkage.cc.o.d"
+  "/root/repo/src/bdi/linkage/matcher.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/matcher.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/matcher.cc.o.d"
+  "/root/repo/src/bdi/linkage/meta_blocking.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/meta_blocking.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/meta_blocking.cc.o.d"
+  "/root/repo/src/bdi/linkage/temporal.cc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/temporal.cc.o" "gcc" "src/bdi/linkage/CMakeFiles/bdi_linkage.dir/temporal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/text/CMakeFiles/bdi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/schema/CMakeFiles/bdi_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_linkage.dir/active.cc.o"
+  "CMakeFiles/bdi_linkage.dir/active.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/attr_roles.cc.o"
+  "CMakeFiles/bdi_linkage.dir/attr_roles.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/blocking.cc.o"
+  "CMakeFiles/bdi_linkage.dir/blocking.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/clustering.cc.o"
+  "CMakeFiles/bdi_linkage.dir/clustering.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/incremental.cc.o"
+  "CMakeFiles/bdi_linkage.dir/incremental.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/linkage.cc.o"
+  "CMakeFiles/bdi_linkage.dir/linkage.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/matcher.cc.o"
+  "CMakeFiles/bdi_linkage.dir/matcher.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/meta_blocking.cc.o"
+  "CMakeFiles/bdi_linkage.dir/meta_blocking.cc.o.d"
+  "CMakeFiles/bdi_linkage.dir/temporal.cc.o"
+  "CMakeFiles/bdi_linkage.dir/temporal.cc.o.d"
+  "libbdi_linkage.a"
+  "libbdi_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/model/dataset.cc" "src/bdi/model/CMakeFiles/bdi_model.dir/dataset.cc.o" "gcc" "src/bdi/model/CMakeFiles/bdi_model.dir/dataset.cc.o.d"
+  "/root/repo/src/bdi/model/dataset_io.cc" "src/bdi/model/CMakeFiles/bdi_model.dir/dataset_io.cc.o" "gcc" "src/bdi/model/CMakeFiles/bdi_model.dir/dataset_io.cc.o.d"
+  "/root/repo/src/bdi/model/ground_truth.cc" "src/bdi/model/CMakeFiles/bdi_model.dir/ground_truth.cc.o" "gcc" "src/bdi/model/CMakeFiles/bdi_model.dir/ground_truth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_model.dir/dataset.cc.o"
+  "CMakeFiles/bdi_model.dir/dataset.cc.o.d"
+  "CMakeFiles/bdi_model.dir/dataset_io.cc.o"
+  "CMakeFiles/bdi_model.dir/dataset_io.cc.o.d"
+  "CMakeFiles/bdi_model.dir/ground_truth.cc.o"
+  "CMakeFiles/bdi_model.dir/ground_truth.cc.o.d"
+  "libbdi_model.a"
+  "libbdi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

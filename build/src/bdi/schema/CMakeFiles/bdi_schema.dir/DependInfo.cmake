@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/schema/attribute_stats.cc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/attribute_stats.cc.o" "gcc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/attribute_stats.cc.o.d"
+  "/root/repo/src/bdi/schema/linkage_refinement.cc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/linkage_refinement.cc.o" "gcc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/linkage_refinement.cc.o.d"
+  "/root/repo/src/bdi/schema/matchers.cc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/matchers.cc.o" "gcc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/matchers.cc.o.d"
+  "/root/repo/src/bdi/schema/mediated_schema.cc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/mediated_schema.cc.o" "gcc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/mediated_schema.cc.o.d"
+  "/root/repo/src/bdi/schema/probabilistic_schema.cc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/probabilistic_schema.cc.o" "gcc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/probabilistic_schema.cc.o.d"
+  "/root/repo/src/bdi/schema/units.cc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/units.cc.o" "gcc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/units.cc.o.d"
+  "/root/repo/src/bdi/schema/value_normalizer.cc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/value_normalizer.cc.o" "gcc" "src/bdi/schema/CMakeFiles/bdi_schema.dir/value_normalizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/text/CMakeFiles/bdi_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_schema.dir/attribute_stats.cc.o"
+  "CMakeFiles/bdi_schema.dir/attribute_stats.cc.o.d"
+  "CMakeFiles/bdi_schema.dir/linkage_refinement.cc.o"
+  "CMakeFiles/bdi_schema.dir/linkage_refinement.cc.o.d"
+  "CMakeFiles/bdi_schema.dir/matchers.cc.o"
+  "CMakeFiles/bdi_schema.dir/matchers.cc.o.d"
+  "CMakeFiles/bdi_schema.dir/mediated_schema.cc.o"
+  "CMakeFiles/bdi_schema.dir/mediated_schema.cc.o.d"
+  "CMakeFiles/bdi_schema.dir/probabilistic_schema.cc.o"
+  "CMakeFiles/bdi_schema.dir/probabilistic_schema.cc.o.d"
+  "CMakeFiles/bdi_schema.dir/units.cc.o"
+  "CMakeFiles/bdi_schema.dir/units.cc.o.d"
+  "CMakeFiles/bdi_schema.dir/value_normalizer.cc.o"
+  "CMakeFiles/bdi_schema.dir/value_normalizer.cc.o.d"
+  "libbdi_schema.a"
+  "libbdi_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

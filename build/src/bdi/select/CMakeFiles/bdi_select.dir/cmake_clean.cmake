@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_select.dir/source_selection.cc.o"
+  "CMakeFiles/bdi_select.dir/source_selection.cc.o.d"
+  "libbdi_select.a"
+  "libbdi_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

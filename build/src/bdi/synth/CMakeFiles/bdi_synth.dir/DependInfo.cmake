@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdi/synth/default_domains.cc" "src/bdi/synth/CMakeFiles/bdi_synth.dir/default_domains.cc.o" "gcc" "src/bdi/synth/CMakeFiles/bdi_synth.dir/default_domains.cc.o.d"
+  "/root/repo/src/bdi/synth/world.cc" "src/bdi/synth/CMakeFiles/bdi_synth.dir/world.cc.o" "gcc" "src/bdi/synth/CMakeFiles/bdi_synth.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

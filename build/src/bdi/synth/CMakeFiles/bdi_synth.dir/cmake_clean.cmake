@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_synth.dir/default_domains.cc.o"
+  "CMakeFiles/bdi_synth.dir/default_domains.cc.o.d"
+  "CMakeFiles/bdi_synth.dir/world.cc.o"
+  "CMakeFiles/bdi_synth.dir/world.cc.o.d"
+  "libbdi_synth.a"
+  "libbdi_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

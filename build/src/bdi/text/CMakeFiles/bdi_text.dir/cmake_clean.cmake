@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_text.dir/similarity.cc.o"
+  "CMakeFiles/bdi_text.dir/similarity.cc.o.d"
+  "CMakeFiles/bdi_text.dir/tokenizer.cc.o"
+  "CMakeFiles/bdi_text.dir/tokenizer.cc.o.d"
+  "libbdi_text.a"
+  "libbdi_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

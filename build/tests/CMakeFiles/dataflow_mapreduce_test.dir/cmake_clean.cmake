@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_mapreduce_test.dir/dataflow_mapreduce_test.cc.o"
+  "CMakeFiles/dataflow_mapreduce_test.dir/dataflow_mapreduce_test.cc.o.d"
+  "dataflow_mapreduce_test"
+  "dataflow_mapreduce_test.pdb"
+  "dataflow_mapreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_baselines_test.dir/fusion_baselines_test.cc.o"
+  "CMakeFiles/fusion_baselines_test.dir/fusion_baselines_test.cc.o.d"
+  "fusion_baselines_test"
+  "fusion_baselines_test.pdb"
+  "fusion_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_bias_test.dir/fusion_bias_test.cc.o"
+  "CMakeFiles/fusion_bias_test.dir/fusion_bias_test.cc.o.d"
+  "fusion_bias_test"
+  "fusion_bias_test.pdb"
+  "fusion_bias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_bias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_claims_test.dir/fusion_claims_test.cc.o"
+  "CMakeFiles/fusion_claims_test.dir/fusion_claims_test.cc.o.d"
+  "fusion_claims_test"
+  "fusion_claims_test.pdb"
+  "fusion_claims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_copy_test.dir/fusion_copy_test.cc.o"
+  "CMakeFiles/fusion_copy_test.dir/fusion_copy_test.cc.o.d"
+  "fusion_copy_test"
+  "fusion_copy_test.pdb"
+  "fusion_copy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

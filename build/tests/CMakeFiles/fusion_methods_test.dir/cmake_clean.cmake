@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_methods_test.dir/fusion_methods_test.cc.o"
+  "CMakeFiles/fusion_methods_test.dir/fusion_methods_test.cc.o.d"
+  "fusion_methods_test"
+  "fusion_methods_test.pdb"
+  "fusion_methods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_online_test.dir/fusion_online_test.cc.o"
+  "CMakeFiles/fusion_online_test.dir/fusion_online_test.cc.o.d"
+  "fusion_online_test"
+  "fusion_online_test.pdb"
+  "fusion_online_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_active_test.dir/linkage_active_test.cc.o"
+  "CMakeFiles/linkage_active_test.dir/linkage_active_test.cc.o.d"
+  "linkage_active_test"
+  "linkage_active_test.pdb"
+  "linkage_active_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_active_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

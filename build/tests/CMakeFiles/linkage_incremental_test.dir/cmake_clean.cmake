@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_incremental_test.dir/linkage_incremental_test.cc.o"
+  "CMakeFiles/linkage_incremental_test.dir/linkage_incremental_test.cc.o.d"
+  "linkage_incremental_test"
+  "linkage_incremental_test.pdb"
+  "linkage_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_meta_blocking_test.dir/linkage_meta_blocking_test.cc.o"
+  "CMakeFiles/linkage_meta_blocking_test.dir/linkage_meta_blocking_test.cc.o.d"
+  "linkage_meta_blocking_test"
+  "linkage_meta_blocking_test.pdb"
+  "linkage_meta_blocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_meta_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_temporal_test.dir/linkage_temporal_test.cc.o"
+  "CMakeFiles/linkage_temporal_test.dir/linkage_temporal_test.cc.o.d"
+  "linkage_temporal_test"
+  "linkage_temporal_test.pdb"
+  "linkage_temporal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_dataset_io_test.dir/model_dataset_io_test.cc.o"
+  "CMakeFiles/model_dataset_io_test.dir/model_dataset_io_test.cc.o.d"
+  "model_dataset_io_test"
+  "model_dataset_io_test.pdb"
+  "model_dataset_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_dataset_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

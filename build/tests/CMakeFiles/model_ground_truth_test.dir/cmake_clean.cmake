@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_ground_truth_test.dir/model_ground_truth_test.cc.o"
+  "CMakeFiles/model_ground_truth_test.dir/model_ground_truth_test.cc.o.d"
+  "model_ground_truth_test"
+  "model_ground_truth_test.pdb"
+  "model_ground_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

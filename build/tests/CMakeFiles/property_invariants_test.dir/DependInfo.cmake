@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_invariants_test.cc" "tests/CMakeFiles/property_invariants_test.dir/property_invariants_test.cc.o" "gcc" "tests/CMakeFiles/property_invariants_test.dir/property_invariants_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdi/core/CMakeFiles/bdi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/discovery/CMakeFiles/bdi_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/select/CMakeFiles/bdi_select.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/synth/CMakeFiles/bdi_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/extract/CMakeFiles/bdi_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/fusion/CMakeFiles/bdi_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/linkage/CMakeFiles/bdi_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/schema/CMakeFiles/bdi_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/model/CMakeFiles/bdi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/text/CMakeFiles/bdi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdi/common/CMakeFiles/bdi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_attribute_stats_test.dir/schema_attribute_stats_test.cc.o"
+  "CMakeFiles/schema_attribute_stats_test.dir/schema_attribute_stats_test.cc.o.d"
+  "schema_attribute_stats_test"
+  "schema_attribute_stats_test.pdb"
+  "schema_attribute_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_attribute_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

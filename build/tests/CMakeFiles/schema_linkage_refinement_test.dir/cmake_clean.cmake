@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_linkage_refinement_test.dir/schema_linkage_refinement_test.cc.o"
+  "CMakeFiles/schema_linkage_refinement_test.dir/schema_linkage_refinement_test.cc.o.d"
+  "schema_linkage_refinement_test"
+  "schema_linkage_refinement_test.pdb"
+  "schema_linkage_refinement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_linkage_refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_matchers_test.dir/schema_matchers_test.cc.o"
+  "CMakeFiles/schema_matchers_test.dir/schema_matchers_test.cc.o.d"
+  "schema_matchers_test"
+  "schema_matchers_test.pdb"
+  "schema_matchers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_matchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

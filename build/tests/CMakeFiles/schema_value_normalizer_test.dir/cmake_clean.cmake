@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_value_normalizer_test.dir/schema_value_normalizer_test.cc.o"
+  "CMakeFiles/schema_value_normalizer_test.dir/schema_value_normalizer_test.cc.o.d"
+  "schema_value_normalizer_test"
+  "schema_value_normalizer_test.pdb"
+  "schema_value_normalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_value_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_source_selection_test.dir/select_source_selection_test.cc.o"
+  "CMakeFiles/select_source_selection_test.dir/select_source_selection_test.cc.o.d"
+  "select_source_selection_test"
+  "select_source_selection_test.pdb"
+  "select_source_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_source_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_similarity_test.dir/text_similarity_test.cc.o"
+  "CMakeFiles/text_similarity_test.dir/text_similarity_test.cc.o.d"
+  "text_similarity_test"
+  "text_similarity_test.pdb"
+  "text_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi.dir/bdi_cli.cc.o"
+  "CMakeFiles/bdi.dir/bdi_cli.cc.o.d"
+  "bdi"
+  "bdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
