@@ -1,9 +1,13 @@
 // E12 — End-to-end pipeline: per-stage quality and runtime for the
 // composed schema-alignment -> linkage -> fusion pipeline across product
 // categories, plus an ablation against fusion with perfect upstream
-// stages (the price of automated alignment/linkage).
+// stages (the price of automated alignment/linkage), plus a
+// serial-vs-parallel run of the whole pipeline with a fused-value
+// equivalence check.
+#include "bdi/common/executor.h"
 #include "bdi/common/string_util.h"
 #include "bdi/common/table.h"
+#include "bdi/common/timer.h"
 #include "bdi/core/integrator.h"
 #include "bdi/fusion/accu_copy.h"
 #include "bdi/fusion/evaluation.h"
@@ -12,7 +16,25 @@
 using namespace bdi;
 using namespace bdi::core;
 
-int main() {
+namespace {
+
+/// One IntegratorConfig with every stage pinned to `num_threads` (1 =
+/// fully serial pipeline, 0 = shared executor pool).
+IntegratorConfig PipelineConfig(size_t num_threads) {
+  IntegratorConfig config;
+  config.linker.num_threads = num_threads;
+  config.accu.num_threads = num_threads;
+  config.accu_copy.accu.num_threads = num_threads;
+  config.accu_copy.copy.num_threads = num_threads;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t threads = bench::ThreadsFlag(argc, argv, 8);
+  Executor::Configure(threads);
+  bench::JsonReporter json("end_to_end", argc, argv);
   bench::Banner("E12", "end-to-end integration pipeline by category",
                 "automated upstream stages cost a few points of fusion "
                 "precision vs perfect extraction/linkage; all stages run "
@@ -63,5 +85,61 @@ int main() {
                   FormatDouble(total, 2)});
   }
   table.Print("Table E12: end-to-end pipeline quality by category");
-  return 0;
+
+  // E12b — the same pipeline at a larger scale, once fully serial
+  // (num_threads = 1 in every stage) and once on the shared executor at
+  // --threads, with a fused-output equivalence check: the parallel
+  // pipeline must choose the same value for every item.
+  synth::WorldConfig big;
+  big.seed = 2013;
+  big.category = "book";
+  big.num_entities = 900;
+  big.num_sources = 16;
+  big.num_copiers = 4;
+  big.source_accuracy_min = 0.75;
+  big.source_accuracy_max = 0.95;
+  synth::SyntheticWorld big_world = synth::GenerateWorld(big);
+  std::printf("\nscaling corpus: %zu records, %zu sources\n",
+              big_world.dataset.num_records(),
+              big_world.dataset.num_sources());
+
+  TextTable scaling({"path", "threads", "schema s", "linkage s", "fusion s",
+                     "total s", "speedup"});
+  IntegrationReport serial_report, parallel_report;
+  double serial_total = 0.0;
+  for (bool parallel : {false, true}) {
+    size_t t = parallel ? threads : 1;
+    Integrator integrator(PipelineConfig(t));
+    WallTimer timer;
+    IntegrationReport report = integrator.Run(big_world.dataset);
+    double total = timer.ElapsedSeconds();
+    if (!parallel) serial_total = total;
+    scaling.AddRow({parallel ? "parallel" : "serial", std::to_string(t),
+                    FormatDouble(report.schema_seconds, 3),
+                    FormatDouble(report.linkage_seconds, 3),
+                    FormatDouble(report.fusion_seconds, 3),
+                    FormatDouble(total, 3),
+                    FormatDouble(serial_total / total, 2)});
+    std::string prefix = parallel ? "pipeline_parallel" : "pipeline_serial";
+    size_t items = report.claims.items().size();
+    json.Add(prefix, total, t, items / total);
+    json.Add(prefix + "_linkage", report.linkage_seconds, t,
+             big_world.dataset.num_records() / report.linkage_seconds);
+    json.Add(prefix + "_fusion", report.fusion_seconds, t,
+             items / report.fusion_seconds);
+    (parallel ? parallel_report : serial_report) = std::move(report);
+  }
+  scaling.Print("Table E12b: pipeline serial vs parallel (" +
+                std::to_string(threads) + " threads)");
+
+  bool identical =
+      serial_report.fusion.chosen == parallel_report.fusion.chosen &&
+      serial_report.linkage.clusters.label_of_record ==
+          parallel_report.linkage.clusters.label_of_record;
+  std::printf("equivalence: parallel pipeline output identical to serial: "
+              "%s\n",
+              identical ? "yes" : "NO");
+  json.Note("identical_output", identical ? "true" : "false");
+  json.Note("threads", std::to_string(threads));
+  return identical ? 0 : 1;
 }

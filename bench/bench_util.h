@@ -2,7 +2,9 @@
 #define BDI_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bdi/common/table.h"
 #include "bdi/common/timer.h"
@@ -41,6 +43,93 @@ inline synth::WorldConfig CopierWorldConfig(int num_entities = 400,
   config.copier_original = 0;
   config.format_variation_prob = 0.0;  // isolate fusion from extraction
   return config;
+}
+
+/// Perf-trajectory reporter for the bench harness. Benches record named
+/// measurements (wall seconds, thread count, items/sec); when the binary
+/// was invoked with `--json`, the destructor writes them to
+/// `BENCH_<name>.json` in the working directory so successive PRs can diff
+/// performance. Metric names must not need JSON escaping (keep them to
+/// [A-Za-z0-9_.:-]).
+class JsonReporter {
+ public:
+  JsonReporter(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { Write(); }
+
+  bool enabled() const { return enabled_; }
+
+  void Add(const std::string& metric, double wall_seconds, size_t threads,
+           double items_per_sec) {
+    entries_.push_back(Entry{metric, wall_seconds, threads, items_per_sec});
+  }
+
+  /// Extra top-level facts (e.g. "identical_chosen": true); `value` is
+  /// spliced in verbatim, so pass valid JSON.
+  void Note(const std::string& key, const std::string& value) {
+    notes_.push_back({key, value});
+  }
+
+  void Write() {
+    if (!enabled_ || written_) return;
+    written_ = true;
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : notes_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, ",\n  \"metrics\": [\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                   "\"threads\": %zu, \"items_per_sec\": %.1f}%s\n",
+                   e.metric.c_str(), e.wall_seconds, e.threads,
+                   e.items_per_sec, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string metric;
+    double wall_seconds = 0.0;
+    size_t threads = 1;
+    double items_per_sec = 0.0;
+  };
+
+  std::string name_;
+  bool enabled_ = false;
+  bool written_ = false;
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+/// Value of `--threads N` (default `fallback`); the parallel-scaling knob
+/// shared by the bench binaries.
+inline size_t ThreadsFlag(int argc, char** argv, size_t fallback = 8) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      long v = std::strtol(argv[i + 1], nullptr, 10);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+  }
+  return fallback;
 }
 
 }  // namespace bdi::bench

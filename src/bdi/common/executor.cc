@@ -1,0 +1,133 @@
+#include "bdi/common/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bdi {
+
+namespace {
+
+/// True while the current thread is executing a parallel-loop body; nested
+/// loops then degrade to inline serial execution (see class comment).
+thread_local bool tls_in_parallel_region = false;
+
+std::atomic<size_t> g_requested_threads{0};
+std::atomic<bool> g_pool_created{false};
+
+size_t DefaultThreads() {
+  size_t requested = g_requested_threads.load();
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("BDI_NUM_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+void SerialRanges(size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n > 0) fn(0, n);
+}
+
+}  // namespace
+
+Executor::Executor(size_t num_threads)
+    : pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+Executor& Executor::Get() {
+  static Executor instance(DefaultThreads());
+  g_pool_created.store(true);
+  return instance;
+}
+
+bool Executor::Configure(size_t num_threads) {
+  if (g_pool_created.load()) return false;
+  g_requested_threads.store(num_threads);
+  return true;
+}
+
+void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                           size_t max_parallelism) {
+  ParallelForRanges(
+      n,
+      [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      max_parallelism);
+}
+
+void Executor::ParallelForRanges(size_t n,
+                                 const std::function<void(size_t, size_t)>& fn,
+                                 size_t max_parallelism, size_t min_chunk) {
+  if (n == 0) return;
+  size_t workers = pool_->num_threads();
+  if (max_parallelism > 0) workers = std::min(workers, max_parallelism);
+  if (workers <= 1 || n < 2 || tls_in_parallel_region) {
+    SerialRanges(n, fn);
+    return;
+  }
+
+  // Chunk small enough for load balance (several chunks per worker), large
+  // enough to amortize the atomic claim.
+  size_t chunk = std::max(min_chunk, n / (workers * 8));
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_exception;
+  std::mutex exception_mu;
+
+  auto drain = [&] {
+    bool saved = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    while (!failed.load(std::memory_order_relaxed)) {
+      size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      size_t end = std::min(n, begin + chunk);
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(exception_mu);
+        if (!first_exception) first_exception = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    tls_in_parallel_region = saved;
+  };
+
+  // The calling thread participates; helpers join from the pool. If the
+  // pool is saturated a helper may start late or find no chunks left —
+  // correctness never depends on helpers arriving.
+  size_t helpers = std::min(workers - 1, (n + chunk - 1) / chunk - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) {
+    futures.push_back(pool_->Submit(drain));
+  }
+  drain();
+  for (auto& f : futures) f.get();
+  if (first_exception) std::rethrow_exception(first_exception);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t max_parallelism) {
+  if (max_parallelism == 1 || n < 2) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Executor::Get().ParallelFor(n, fn, max_parallelism);
+}
+
+void ParallelForRanges(size_t n, const std::function<void(size_t, size_t)>& fn,
+                       size_t max_parallelism, size_t min_chunk) {
+  if (max_parallelism == 1 || n < 2) {
+    SerialRanges(n, fn);
+    return;
+  }
+  Executor::Get().ParallelForRanges(n, fn, max_parallelism, min_chunk);
+}
+
+}  // namespace bdi

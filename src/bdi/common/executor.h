@@ -1,0 +1,78 @@
+#ifndef BDI_COMMON_EXECUTOR_H_
+#define BDI_COMMON_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "bdi/common/thread_pool.h"
+
+namespace bdi {
+
+/// Process-wide execution substrate: one lazily-initialized shared
+/// ThreadPool behind chunked, work-stealing parallel loops (see DESIGN.md,
+/// "execution substrate"). Every parallel stage in the pipeline — dataflow
+/// MapReduce/ParallelMap, pairwise matching, fusion EM loops, copy
+/// detection, blocking — runs on this pool instead of constructing and
+/// joining a private pool per call.
+///
+/// Scheduling: the iteration space [0, n) is split into chunks; the calling
+/// thread and up to `max_parallelism - 1` pool workers claim chunks from a
+/// shared atomic cursor (work stealing at chunk granularity), so uneven
+/// per-item costs balance automatically. The first exception thrown by the
+/// body is captured, remaining chunks are abandoned, and the exception
+/// rethrows on the calling thread once the loop quiesces.
+///
+/// Nesting: a parallel loop entered from inside another parallel loop's
+/// body runs inline and serially on the calling worker. This keeps nested
+/// calls deadlock-free (workers never block on work only other workers can
+/// run) at the cost of no extra parallelism below the top level.
+class Executor {
+ public:
+  /// The shared executor, constructed on first use with
+  /// `Configure()`-requested threads, else $BDI_NUM_THREADS, else
+  /// hardware_concurrency (at least 1).
+  static Executor& Get();
+
+  /// Requests the worker count for the shared pool. Effective only before
+  /// the pool's lazy construction; returns false (and changes nothing) once
+  /// the pool exists. Intended for process entry points (benches, tools).
+  static bool Configure(size_t num_threads);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t num_threads() const { return pool_->num_threads(); }
+
+  /// Runs fn(i) for i in [0, n), blocking until all complete.
+  /// `max_parallelism` caps the worker count for this call: 0 means the
+  /// full pool, 1 runs inline serially in index order (the deterministic
+  /// reference path).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t max_parallelism = 0);
+
+  /// Chunked variant: fn(begin, end) per claimed chunk, letting the body
+  /// keep per-chunk state (local accumulators, scratch buffers). Chunks are
+  /// at least `min_chunk` indices (except possibly the last). With
+  /// `max_parallelism` == 1 the whole range arrives as one chunk.
+  void ParallelForRanges(size_t n,
+                         const std::function<void(size_t, size_t)>& fn,
+                         size_t max_parallelism = 0, size_t min_chunk = 1);
+
+ private:
+  explicit Executor(size_t num_threads);
+
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Convenience wrappers over Executor::Get(). A serial request
+/// (`max_parallelism` == 1, or n < 2) short-circuits without touching —
+/// or lazily constructing — the shared pool.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t max_parallelism = 0);
+void ParallelForRanges(size_t n, const std::function<void(size_t, size_t)>& fn,
+                       size_t max_parallelism = 0, size_t min_chunk = 1);
+
+}  // namespace bdi
+
+#endif  // BDI_COMMON_EXECUTOR_H_

@@ -7,15 +7,16 @@
 #include <utility>
 #include <vector>
 
-#include "bdi/common/thread_pool.h"
+#include "bdi/common/executor.h"
 
 namespace bdi::dataflow {
 
 /// Execution options for a MapReduce run.
 struct MapReduceOptions {
-  /// Worker threads. 0 means hardware_concurrency (at least 1).
+  /// Parallelism cap. 0 means the shared executor's full pool; 1 runs
+  /// serially.
   size_t num_threads = 0;
-  /// Shuffle partitions; 0 means 4 x threads.
+  /// Shuffle partitions; 0 means 4 x the effective parallelism.
   size_t num_partitions = 0;
 };
 
@@ -23,8 +24,7 @@ namespace internal {
 
 inline size_t ResolveThreads(size_t requested) {
   if (requested > 0) return requested;
-  unsigned hc = std::thread::hardware_concurrency();
-  return hc > 0 ? hc : 1;
+  return Executor::Get().num_threads();
 }
 
 }  // namespace internal
@@ -63,27 +63,30 @@ std::vector<Out> MapReduce(const std::vector<Input>& inputs, MapFn&& map_fn,
   size_t threads = internal::ResolveThreads(options.num_threads);
   size_t partitions =
       options.num_partitions > 0 ? options.num_partitions : 4 * threads;
-  ThreadPool pool(threads);
 
-  // Map phase: one emitter per map task (contiguous chunk of inputs).
+  // Map phase: one emitter per map task (contiguous chunk of inputs), run
+  // over the shared executor instead of a per-call pool.
   size_t num_tasks = std::min(inputs.size(), threads * 4);
   if (num_tasks == 0) num_tasks = 1;
   size_t per_task = (inputs.size() + num_tasks - 1) / num_tasks;
   std::vector<Emitter<K, V, KeyHash>> emitters(
       num_tasks, Emitter<K, V, KeyHash>(partitions));
-  pool.ParallelFor(num_tasks, [&](size_t t) {
-    size_t begin = t * per_task;
-    size_t end = std::min(inputs.size(), begin + per_task);
-    for (size_t i = begin; i < end; ++i) {
-      map_fn(inputs[i], &emitters[t]);
-    }
-  });
+  ParallelFor(
+      num_tasks,
+      [&](size_t t) {
+        size_t begin = t * per_task;
+        size_t end = std::min(inputs.size(), begin + per_task);
+        for (size_t i = begin; i < end; ++i) {
+          map_fn(inputs[i], &emitters[t]);
+        }
+      },
+      options.num_threads);
 
   // Shuffle + reduce phase: each partition groups its pairs by key and
   // reduces. Partitions proceed in parallel; within a partition the
   // grouping is single-threaded, mirroring a reducer task.
   std::vector<std::vector<Out>> partition_outputs(partitions);
-  pool.ParallelFor(partitions, [&](size_t p) {
+  auto reduce_partition = [&](size_t p) {
     std::unordered_map<K, std::vector<V>, KeyHash> groups;
     for (auto& emitter : emitters) {
       for (auto& [key, value] : emitter.buckets()[p]) {
@@ -94,7 +97,8 @@ std::vector<Out> MapReduce(const std::vector<Input>& inputs, MapFn&& map_fn,
     for (auto& [key, values] : groups) {
       partition_outputs[p].push_back(reduce_fn(key, std::move(values)));
     }
-  });
+  };
+  ParallelFor(partitions, reduce_partition, options.num_threads);
 
   std::vector<Out> outputs;
   size_t total = 0;
@@ -110,11 +114,10 @@ std::vector<Out> MapReduce(const std::vector<Input>& inputs, MapFn&& map_fn,
 template <typename Input, typename Out, typename Fn>
 std::vector<Out> ParallelMap(const std::vector<Input>& inputs, Fn&& fn,
                              size_t num_threads = 0) {
-  size_t threads = internal::ResolveThreads(num_threads);
-  ThreadPool pool(threads);
   std::vector<Out> outputs(inputs.size());
-  pool.ParallelFor(inputs.size(),
-                   [&](size_t i) { outputs[i] = fn(inputs[i]); });
+  ParallelFor(
+      inputs.size(), [&](size_t i) { outputs[i] = fn(inputs[i]); },
+      num_threads);
   return outputs;
 }
 

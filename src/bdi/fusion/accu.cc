@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
+#include "bdi/common/executor.h"
+#include "bdi/fusion/accu_em.h"
 #include "bdi/text/similarity.h"
 
 namespace bdi::fusion {
@@ -17,86 +18,61 @@ double ClaimValueSimilarity(const std::string& a, const std::string& b) {
 
 FusionResult AccuFusion::Resolve(const ClaimDb& db) const {
   const std::vector<DataItem>& items = db.items();
+  const ValueIndex& vi = db.value_index();
   size_t num_sources = db.num_sources();
   FusionResult result;
   result.chosen.resize(items.size());
   result.confidence.resize(items.size(), 0.0);
   result.source_accuracy.assign(num_sources, config_.initial_accuracy);
 
+  internal::SimilarityCache sim_cache;
+  if (config_.similarity_rho > 0.0) {
+    sim_cache = internal::BuildSimilarityCache(db, config_.num_threads);
+  }
+
+  std::vector<double> log_odds;
+  std::vector<double> claim_probability(vi.num_claims(), 0.0);
+  std::vector<uint32_t> chosen_local(items.size(), 0);
   std::vector<double> next_accuracy(num_sources, 0.0);
   std::vector<double> claim_count(num_sources, 0.0);
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    std::fill(next_accuracy.begin(), next_accuracy.end(), 0.0);
-    std::fill(claim_count.begin(), claim_count.end(), 0.0);
+    internal::ComputeLogOdds(result.source_accuracy, config_.n_false_values,
+                             config_.min_accuracy, config_.max_accuracy,
+                             &log_odds);
 
-    for (size_t i = 0; i < items.size(); ++i) {
-      const DataItem& item = items[i];
-      if (item.claims.empty()) continue;
-
-      // Log-odds vote count per distinct value.
-      std::map<std::string, double> score;
-      for (const Claim& claim : item.claims) {
-        double accuracy =
-            std::clamp(result.source_accuracy[claim.source],
-                       config_.min_accuracy, config_.max_accuracy);
-        score[claim.value] +=
-            std::log(config_.n_false_values * accuracy / (1.0 - accuracy));
-      }
-
-      // AccuSim: similarity-smoothed scores.
-      if (config_.similarity_rho > 0.0 && score.size() > 1) {
-        std::map<std::string, double> adjusted;
-        for (const auto& [value, base] : score) {
-          double boost = 0.0;
-          for (const auto& [other, other_score] : score) {
-            if (other == value) continue;
-            boost += ClaimValueSimilarity(value, other) * other_score;
+    // E step, parallel over items: per-item vote table -> posterior.
+    ParallelForRanges(
+        items.size(),
+        [&](size_t begin, size_t end) {
+          std::vector<double> score, scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const DataItem& item = items[i];
+            if (item.claims.empty()) continue;
+            score.assign(vi.ItemDistinctCount(i), 0.0);
+            size_t slot = vi.claim_offset[i];
+            for (const Claim& claim : item.claims) {
+              score[vi.claim_local[slot++]] += log_odds[claim.source];
+            }
+            internal::FinishItem(vi, i, config_.similarity_rho, sim_cache,
+                                 score, scratch, claim_probability,
+                                 &chosen_local[i], &result.confidence[i]);
           }
-          adjusted[value] = base + config_.similarity_rho * boost;
-        }
-        score = std::move(adjusted);
-      }
+        },
+        config_.num_threads);
 
-      // Softmax over claimed values (the unclaimed-false-value mass is
-      // constant across values and cancels).
-      double max_score = -1e300;
-      for (const auto& [value, s] : score) max_score = std::max(max_score, s);
-      double z = 0.0;
-      for (const auto& [value, s] : score) z += std::exp(s - max_score);
-      std::string best;
-      double best_probability = -1.0;
-      std::map<std::string, double> probability;
-      for (const auto& [value, s] : score) {
-        double p = std::exp(s - max_score) / z;
-        probability[value] = p;
-        if (p > best_probability) {
-          best_probability = p;
-          best = value;
-        }
-      }
-      result.chosen[i] = best;
-      result.confidence[i] = best_probability;
-
-      for (const Claim& claim : item.claims) {
-        next_accuracy[claim.source] += probability[claim.value];
-        claim_count[claim.source] += 1.0;
-      }
-    }
-
-    double max_delta = 0.0;
-    for (size_t s = 0; s < num_sources; ++s) {
-      double updated = claim_count[s] > 0.0
-                           ? next_accuracy[s] / claim_count[s]
-                           : config_.initial_accuracy;
-      updated = std::clamp(updated, config_.min_accuracy,
-                           config_.max_accuracy);
-      max_delta = std::max(max_delta,
-                           std::abs(updated - result.source_accuracy[s]));
-      result.source_accuracy[s] = updated;
-    }
+    // M step, serial in item order (deterministic for any thread count).
+    double max_delta = internal::UpdateAccuracies(
+        db, vi, claim_probability, config_.initial_accuracy,
+        config_.min_accuracy, config_.max_accuracy, &result.source_accuracy,
+        &next_accuracy, &claim_count);
     if (max_delta < config_.epsilon) break;
+  }
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].claims.empty()) continue;
+    result.chosen[i] = vi.values[vi.DistinctValue(i, chosen_local[i])];
   }
   return result;
 }

@@ -21,6 +21,11 @@ struct AccuConfig {
   /// AccuSim: boost a value's score with similarity-weighted scores of the
   /// other claimed values (rho = 0 disables; this switches Accu -> AccuSim).
   double similarity_rho = 0.0;
+
+  /// Parallelism of the per-item EM inner loop: 0 = the shared executor's
+  /// full pool, 1 = serial. Chosen values and accuracies are identical for
+  /// every setting (see accu_em.h's determinism contract).
+  size_t num_threads = 0;
 };
 
 /// Bayesian truth discovery with iterative source-accuracy estimation:

@@ -2,20 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+
+#include "bdi/common/executor.h"
+#include "bdi/fusion/accu_em.h"
 
 namespace bdi::fusion {
 
 FusionResult AccuCopyFusion::Resolve(const ClaimDb& db) const {
   const std::vector<DataItem>& items = db.items();
+  const ValueIndex& vi = db.value_index();
   size_t num_sources = db.num_sources();
   const AccuConfig& accu = config_.accu;
 
   // Bootstrap with plain Accu.
   FusionResult result = AccuFusion(accu).Resolve(db);
 
+  internal::SimilarityCache sim_cache;
+  if (accu.similarity_rho > 0.0) {
+    sim_cache = internal::BuildSimilarityCache(db, accu.num_threads);
+  }
+
   std::vector<std::vector<double>> independence(
       num_sources, std::vector<double>(num_sources, 1.0));
+  std::vector<double> log_odds;
+  std::vector<double> claim_probability(vi.num_claims(), 0.0);
+  std::vector<uint32_t> chosen_local(items.size(), 0);
+  std::vector<double> next_accuracy(num_sources, 0.0);
+  std::vector<double> claim_count(num_sources, 0.0);
 
   for (int outer = 0; outer < config_.max_outer_iterations; ++outer) {
     // 1. Copy detection against the current truth estimate.
@@ -26,100 +39,69 @@ FusionResult AccuCopyFusion::Resolve(const ClaimDb& db) const {
     // 2. Discounted truth discovery with fixed dependence, iterating
     // accuracy to a fixpoint.
     std::vector<double> accuracy = result.source_accuracy;
-    std::vector<double> next_accuracy(num_sources, 0.0);
-    std::vector<double> claim_count(num_sources, 0.0);
     for (int iter = 0; iter < accu.max_iterations; ++iter) {
       ++result.iterations;
-      std::fill(next_accuracy.begin(), next_accuracy.end(), 0.0);
-      std::fill(claim_count.begin(), claim_count.end(), 0.0);
+      internal::ComputeLogOdds(accuracy, accu.n_false_values,
+                               accu.min_accuracy, accu.max_accuracy,
+                               &log_odds);
 
-      for (size_t i = 0; i < items.size(); ++i) {
-        const DataItem& item = items[i];
-        if (item.claims.empty()) continue;
-
-        // Group claims by value and compute each source's independent
-        // vote share: higher-accuracy sources are counted first; later
-        // sources contribute weight prod over already-counted co-claimants
-        // of P(independent).
-        std::map<std::string, std::vector<SourceId>> supporters;
-        for (const Claim& claim : item.claims) {
-          supporters[claim.value].push_back(claim.source);
-        }
-        std::map<std::string, double> score;
-        for (auto& [value, sources] : supporters) {
-          std::sort(sources.begin(), sources.end(),
-                    [&](SourceId x, SourceId y) {
-                      if (accuracy[x] != accuracy[y]) {
-                        return accuracy[x] > accuracy[y];
-                      }
-                      return x < y;
-                    });
-          double total = 0.0;
-          for (size_t k = 0; k < sources.size(); ++k) {
-            double a = std::clamp(accuracy[sources[k]], accu.min_accuracy,
-                                  accu.max_accuracy);
-            double weight = 1.0;
-            for (size_t m = 0; m < k; ++m) {
-              weight *= independence[sources[k]][sources[m]];
+      // E step, parallel over items: each source's vote is discounted by
+      // the probability it is independent of the higher-accuracy sources
+      // already counted for the same value.
+      ParallelForRanges(
+          items.size(),
+          [&](size_t begin, size_t end) {
+            std::vector<double> score, scratch;
+            std::vector<std::vector<SourceId>> supporters;
+            for (size_t i = begin; i < end; ++i) {
+              const DataItem& item = items[i];
+              if (item.claims.empty()) continue;
+              size_t d = vi.ItemDistinctCount(i);
+              if (supporters.size() < d) supporters.resize(d);
+              for (size_t v = 0; v < d; ++v) supporters[v].clear();
+              size_t slot = vi.claim_offset[i];
+              for (const Claim& claim : item.claims) {
+                supporters[vi.claim_local[slot++]].push_back(claim.source);
+              }
+              score.assign(d, 0.0);
+              for (size_t v = 0; v < d; ++v) {
+                std::vector<SourceId>& sources = supporters[v];
+                std::sort(sources.begin(), sources.end(),
+                          [&](SourceId x, SourceId y) {
+                            if (accuracy[x] != accuracy[y]) {
+                              return accuracy[x] > accuracy[y];
+                            }
+                            return x < y;
+                          });
+                double total = 0.0;
+                for (size_t k = 0; k < sources.size(); ++k) {
+                  double weight = 1.0;
+                  for (size_t m = 0; m < k; ++m) {
+                    weight *= independence[sources[k]][sources[m]];
+                  }
+                  total += weight * log_odds[sources[k]];
+                }
+                score[v] = total;
+              }
+              internal::FinishItem(vi, i, accu.similarity_rho, sim_cache,
+                                   score, scratch, claim_probability,
+                                   &chosen_local[i], &result.confidence[i]);
             }
-            total += weight *
-                     std::log(accu.n_false_values * a / (1.0 - a));
-          }
-          score[value] = total;
-        }
-        if (accu.similarity_rho > 0.0 && score.size() > 1) {
-          std::map<std::string, double> adjusted;
-          for (const auto& [value, base] : score) {
-            double boost = 0.0;
-            for (const auto& [other, other_score] : score) {
-              if (other == value) continue;
-              boost += ClaimValueSimilarity(value, other) * other_score;
-            }
-            adjusted[value] = base + accu.similarity_rho * boost;
-          }
-          score = std::move(adjusted);
-        }
+          },
+          accu.num_threads);
 
-        double max_score = -1e300;
-        for (const auto& [value, s] : score) {
-          max_score = std::max(max_score, s);
-        }
-        double z = 0.0;
-        for (const auto& [value, s] : score) {
-          z += std::exp(s - max_score);
-        }
-        std::string best;
-        double best_probability = -1.0;
-        std::map<std::string, double> probability;
-        for (const auto& [value, s] : score) {
-          double p = std::exp(s - max_score) / z;
-          probability[value] = p;
-          if (p > best_probability) {
-            best_probability = p;
-            best = value;
-          }
-        }
-        result.chosen[i] = best;
-        result.confidence[i] = best_probability;
-        for (const Claim& claim : item.claims) {
-          next_accuracy[claim.source] += probability[claim.value];
-          claim_count[claim.source] += 1.0;
-        }
-      }
-
-      double max_delta = 0.0;
-      for (size_t s = 0; s < num_sources; ++s) {
-        double updated = claim_count[s] > 0.0
-                             ? next_accuracy[s] / claim_count[s]
-                             : accu.initial_accuracy;
-        updated =
-            std::clamp(updated, accu.min_accuracy, accu.max_accuracy);
-        max_delta = std::max(max_delta, std::abs(updated - accuracy[s]));
-        accuracy[s] = updated;
-      }
+      // M step, serial in item order (deterministic for any thread count).
+      double max_delta = internal::UpdateAccuracies(
+          db, vi, claim_probability, accu.initial_accuracy,
+          accu.min_accuracy, accu.max_accuracy, &accuracy, &next_accuracy,
+          &claim_count);
       if (max_delta < accu.epsilon) break;
     }
     result.source_accuracy = accuracy;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].claims.empty()) continue;
+      result.chosen[i] = vi.values[vi.DistinctValue(i, chosen_local[i])];
+    }
   }
   return result;
 }

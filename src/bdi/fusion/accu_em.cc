@@ -1,0 +1,126 @@
+#include "bdi/fusion/accu_em.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bdi/common/executor.h"
+#include "bdi/fusion/accu.h"
+
+namespace bdi::fusion::internal {
+
+SimilarityCache BuildSimilarityCache(const ClaimDb& db, size_t num_threads) {
+  const ValueIndex& vi = db.value_index();
+  size_t num_items = db.items().size();
+  SimilarityCache cache;
+  cache.offset.resize(num_items + 1, 0);
+  for (size_t i = 0; i < num_items; ++i) {
+    size_t d = vi.ItemDistinctCount(i);
+    cache.offset[i + 1] = cache.offset[i] + (d > 1 ? d * d : 0);
+  }
+  cache.sims.resize(cache.offset[num_items], 0.0);
+  ParallelForRanges(
+      num_items,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t d = vi.ItemDistinctCount(i);
+          if (d < 2) continue;
+          double* block = cache.sims.data() + cache.offset[i];
+          for (size_t a = 0; a < d; ++a) {
+            const std::string& va = vi.values[vi.DistinctValue(i, a)];
+            for (size_t b = a + 1; b < d; ++b) {
+              const std::string& vb = vi.values[vi.DistinctValue(i, b)];
+              double s = ClaimValueSimilarity(va, vb);
+              block[a * d + b] = s;
+              block[b * d + a] = s;
+            }
+          }
+        }
+      },
+      num_threads);
+  return cache;
+}
+
+void ComputeLogOdds(const std::vector<double>& source_accuracy,
+                    double n_false_values, double min_accuracy,
+                    double max_accuracy, std::vector<double>* log_odds) {
+  log_odds->resize(source_accuracy.size());
+  for (size_t s = 0; s < source_accuracy.size(); ++s) {
+    double a = std::clamp(source_accuracy[s], min_accuracy, max_accuracy);
+    (*log_odds)[s] = std::log(n_false_values * a / (1.0 - a));
+  }
+}
+
+void FinishItem(const ValueIndex& vi, size_t item, double rho,
+                const SimilarityCache& sim_cache, std::vector<double>& score,
+                std::vector<double>& scratch,
+                std::vector<double>& claim_probability,
+                uint32_t* best_local, double* best_probability) {
+  size_t d = score.size();
+  if (rho > 0.0 && d > 1) {
+    scratch.assign(d, 0.0);
+    for (size_t v = 0; v < d; ++v) {
+      double boost = 0.0;
+      for (size_t o = 0; o < d; ++o) {
+        if (o == v) continue;
+        boost += sim_cache.At(item, v, o, d) * score[o];
+      }
+      scratch[v] = score[v] + rho * boost;
+    }
+    score.swap(scratch);
+  }
+
+  // Softmax over claimed values (the unclaimed-false-value mass is constant
+  // across values and cancels). Iteration in local-id order == the old
+  // std::map's lexicographic order, so ties keep breaking the same way.
+  double max_score = -1e300;
+  for (double s : score) max_score = std::max(max_score, s);
+  double z = 0.0;
+  for (double s : score) z += std::exp(s - max_score);
+  uint32_t best = 0;
+  double best_p = -1.0;
+  for (size_t v = 0; v < d; ++v) {
+    score[v] = std::exp(score[v] - max_score) / z;  // now a probability
+    if (score[v] > best_p) {
+      best_p = score[v];
+      best = static_cast<uint32_t>(v);
+    }
+  }
+  for (size_t slot = vi.claim_offset[item]; slot < vi.claim_offset[item + 1];
+       ++slot) {
+    claim_probability[slot] = score[vi.claim_local[slot]];
+  }
+  *best_local = best;
+  *best_probability = best_p;
+}
+
+double UpdateAccuracies(const ClaimDb& db, const ValueIndex& vi,
+                        const std::vector<double>& claim_probability,
+                        double initial_accuracy, double min_accuracy,
+                        double max_accuracy,
+                        std::vector<double>* source_accuracy,
+                        std::vector<double>* next_accuracy,
+                        std::vector<double>* claim_count) {
+  const std::vector<DataItem>& items = db.items();
+  std::fill(next_accuracy->begin(), next_accuracy->end(), 0.0);
+  std::fill(claim_count->begin(), claim_count->end(), 0.0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    size_t slot = vi.claim_offset[i];
+    for (const Claim& claim : items[i].claims) {
+      (*next_accuracy)[claim.source] += claim_probability[slot++];
+      (*claim_count)[claim.source] += 1.0;
+    }
+  }
+  double max_delta = 0.0;
+  for (size_t s = 0; s < source_accuracy->size(); ++s) {
+    double updated = (*claim_count)[s] > 0.0
+                         ? (*next_accuracy)[s] / (*claim_count)[s]
+                         : initial_accuracy;
+    updated = std::clamp(updated, min_accuracy, max_accuracy);
+    max_delta =
+        std::max(max_delta, std::abs(updated - (*source_accuracy)[s]));
+    (*source_accuracy)[s] = updated;
+  }
+  return max_delta;
+}
+
+}  // namespace bdi::fusion::internal

@@ -1,0 +1,72 @@
+#ifndef BDI_FUSION_ACCU_EM_H_
+#define BDI_FUSION_ACCU_EM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdi/fusion/claims.h"
+
+namespace bdi::fusion::internal {
+
+/// Shared machinery of the Accu-family EM loops (Accu, AccuSim, AccuCopy),
+/// operating on the ClaimDb's interned ValueIndex: per-item vote tables are
+/// flat vectors indexed by local value id, in the same lexicographic order
+/// the former string-keyed maps iterated in, so results are bitwise
+/// identical to the historical serial implementations.
+///
+/// Parallel determinism contract: the per-item E step (scores -> softmax ->
+/// per-claim probabilities) is computed independently per item and may run
+/// on any thread; the M step (accuracy accumulation) always runs serially
+/// in item order over the stored per-claim probabilities. Chosen values and
+/// accuracies are therefore identical for every thread count.
+
+/// Per-item pairwise value-similarity matrices for AccuSim smoothing,
+/// computed once per Resolve and reused across EM iterations (the
+/// similarities depend only on the claimed strings). Items with fewer than
+/// two distinct values occupy no space.
+struct SimilarityCache {
+  std::vector<double> sims;     ///< flat d_i x d_i blocks
+  std::vector<size_t> offset;   ///< items+1 prefix offsets into `sims`
+
+  double At(size_t item, size_t a, size_t b, size_t d) const {
+    return sims[offset[item] + a * d + b];
+  }
+};
+
+/// Builds the cache in parallel (`num_threads` semantics as in
+/// Executor::ParallelFor).
+SimilarityCache BuildSimilarityCache(const ClaimDb& db, size_t num_threads);
+
+/// Per-source log-odds ln(n_false * A / (1 - A)) with A clamped to
+/// [min_accuracy, max_accuracy]; recomputed each EM iteration.
+void ComputeLogOdds(const std::vector<double>& source_accuracy,
+                    double n_false_values, double min_accuracy,
+                    double max_accuracy, std::vector<double>* log_odds);
+
+/// Finishes one item's E step: applies AccuSim smoothing to `score` (when
+/// rho > 0 and the item has > 1 distinct values), softmaxes, writes each
+/// claim's value probability into its flat slot of `claim_probability`,
+/// and records the argmax local id and its probability.
+///
+/// `score` holds the item's per-distinct-value votes on entry and is
+/// clobbered; `scratch` is caller-provided reusable storage.
+void FinishItem(const ValueIndex& vi, size_t item, double rho,
+                const SimilarityCache& sim_cache, std::vector<double>& score,
+                std::vector<double>& scratch,
+                std::vector<double>& claim_probability,
+                uint32_t* best_local, double* best_probability);
+
+/// Serial M step: folds the per-claim probabilities into per-source
+/// accuracy estimates (mean claim probability, clamped), in item order.
+/// Returns the max absolute accuracy change (the EM convergence signal).
+double UpdateAccuracies(const ClaimDb& db, const ValueIndex& vi,
+                        const std::vector<double>& claim_probability,
+                        double initial_accuracy, double min_accuracy,
+                        double max_accuracy,
+                        std::vector<double>* source_accuracy,
+                        std::vector<double>* next_accuracy,
+                        std::vector<double>* claim_count);
+
+}  // namespace bdi::fusion::internal
+
+#endif  // BDI_FUSION_ACCU_EM_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "bdi/common/string_util.h"
 
@@ -64,7 +65,65 @@ ClaimDb ClaimDb::FromGroundTruth(const GroundTruth& truth,
   return db;
 }
 
+const ValueIndex& ClaimDb::value_index() const {
+  if (index_ != nullptr) return *index_;
+  auto index = std::make_shared<ValueIndex>();
+  std::unordered_map<std::string, ValueId> ids;
+  size_t total_claims = num_claims();
+  index->claim_local.reserve(total_claims);
+  index->claim_value.reserve(total_claims);
+  index->claim_offset.reserve(items_.size() + 1);
+  index->distinct_offset.reserve(items_.size() + 1);
+  index->claim_offset.push_back(0);
+  index->distinct_offset.push_back(0);
+
+  // Scratch: the item's distinct values sorted by string, mirroring the
+  // iteration order of the std::map vote tables this index replaces.
+  std::vector<const std::string*> item_values;
+  for (const DataItem& item : items_) {
+    item_values.clear();
+    for (const Claim& claim : item.claims) {
+      item_values.push_back(&claim.value);
+    }
+    std::sort(item_values.begin(), item_values.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    item_values.erase(std::unique(item_values.begin(), item_values.end(),
+                                  [](const std::string* a,
+                                     const std::string* b) {
+                                    return *a == *b;
+                                  }),
+                      item_values.end());
+    for (const std::string* value : item_values) {
+      auto [it, inserted] =
+          ids.emplace(*value, static_cast<ValueId>(index->values.size()));
+      if (inserted) index->values.push_back(*value);
+      index->distinct.push_back(it->second);
+    }
+    index->distinct_offset.push_back(index->distinct.size());
+    size_t base = index->distinct_offset[index->distinct_offset.size() - 2];
+    for (const Claim& claim : item.claims) {
+      // Binary search the sorted distinct list for the claim's local id.
+      auto it = std::lower_bound(item_values.begin(), item_values.end(),
+                                 &claim.value,
+                                 [](const std::string* a,
+                                    const std::string* b) {
+                                   return *a < *b;
+                                 });
+      uint32_t local =
+          static_cast<uint32_t>(it - item_values.begin());
+      index->claim_local.push_back(local);
+      index->claim_value.push_back(index->distinct[base + local]);
+    }
+    index->claim_offset.push_back(index->claim_local.size());
+  }
+  index_ = std::move(index);
+  return *index_;
+}
+
 void ClaimDb::CanonicalizeNumericValues(double tolerance) {
+  index_.reset();
   for (DataItem& item : items_) {
     // Parse all numeric claims.
     struct Parsed {

@@ -1,6 +1,8 @@
 #ifndef BDI_FUSION_CLAIMS_H_
 #define BDI_FUSION_CLAIMS_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,42 @@ struct DataItem {
   EntityId entity = kInvalidEntity;
   int attr = -1;
   std::vector<Claim> claims;
+};
+
+/// Interned id of a distinct claim value string within a ClaimDb.
+using ValueId = int32_t;
+inline constexpr ValueId kInvalidValue = -1;
+
+/// Dense-id view of a ClaimDb's claim values, built once and shared by the
+/// iterative fusion methods so their per-item vote tables become flat
+/// vector scans instead of string-keyed maps. Claims are addressed by a
+/// flat item-major slot: claims of item i occupy slots
+/// [claim_offset[i], claim_offset[i+1]), in item claim order. Within an
+/// item, distinct values get local ids 0..k-1 ordered by value string —
+/// the same lexicographic order the former std::map tables iterated in,
+/// preserving tie-break behavior exactly.
+struct ValueIndex {
+  /// id -> value string (one entry per distinct string in the db).
+  std::vector<std::string> values;
+  /// Per claim slot: local id of the claim's value within its item.
+  std::vector<uint32_t> claim_local;
+  /// Per claim slot: global ValueId of the claim's value.
+  std::vector<ValueId> claim_value;
+  /// items()+1 prefix offsets into the claim-slot arrays.
+  std::vector<size_t> claim_offset;
+  /// Flat per-item distinct-value lists (global ids, sorted by string).
+  std::vector<ValueId> distinct;
+  /// items()+1 prefix offsets into `distinct`.
+  std::vector<size_t> distinct_offset;
+
+  size_t num_claims() const { return claim_local.size(); }
+  size_t ItemDistinctCount(size_t item) const {
+    return distinct_offset[item + 1] - distinct_offset[item];
+  }
+  /// Global id of item `item`'s local value `local`.
+  ValueId DistinctValue(size_t item, size_t local) const {
+    return distinct[distinct_offset[item] + local];
+  }
 };
 
 /// The conflicting-claim database that fusion methods resolve.
@@ -57,18 +95,33 @@ class ClaimDb {
   void CanonicalizeNumericValues(double tolerance = 0.02);
 
   const std::vector<DataItem>& items() const { return items_; }
-  std::vector<DataItem>& items() { return items_; }
+  /// Mutable access invalidates any previously built value index.
+  std::vector<DataItem>& items() {
+    index_.reset();
+    return items_;
+  }
   size_t num_sources() const { return num_sources_; }
   void set_num_sources(size_t n) { num_sources_ = n; }
 
   /// Total number of claims across items.
   size_t num_claims() const;
 
-  void AddItem(DataItem item) { items_.push_back(std::move(item)); }
+  void AddItem(DataItem item) {
+    index_.reset();
+    items_.push_back(std::move(item));
+  }
+
+  /// The interned-value view, built lazily on first use and cached until
+  /// the items are mutated. The first call from several threads at once is
+  /// not synchronized; fusion methods obtain it before fanning out.
+  const ValueIndex& value_index() const;
 
  private:
   std::vector<DataItem> items_;
   size_t num_sources_ = 0;
+  /// shared_ptr so ClaimDb stays copyable; copies share the immutable
+  /// index until either side mutates its items.
+  mutable std::shared_ptr<const ValueIndex> index_;
 };
 
 }  // namespace bdi::fusion

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
+#include "bdi/common/executor.h"
 #include "bdi/common/logging.h"
 
 namespace bdi::fusion {
@@ -20,6 +22,16 @@ struct PairStats {
   size_t b_solo_correct = 0, b_solo_total = 0;
 
   size_t common() const { return shared_true + shared_false + different; }
+
+  void Merge(const PairStats& o) {
+    shared_true += o.shared_true;
+    shared_false += o.shared_false;
+    different += o.different;
+    a_solo_correct += o.a_solo_correct;
+    a_solo_total += o.a_solo_total;
+    b_solo_correct += o.b_solo_correct;
+    b_solo_total += o.b_solo_total;
+  }
 };
 
 }  // namespace
@@ -29,38 +41,63 @@ std::vector<SourceDependence> DetectCopying(
     const std::vector<double>& source_accuracy,
     const CopyDetectionConfig& config) {
   BDI_CHECK(truth_estimate.size() == db.items().size());
+  const ValueIndex& vi = db.value_index();
   std::map<std::pair<SourceId, SourceId>, PairStats> stats;
+  std::mutex stats_mu;
 
-  for (size_t i = 0; i < db.items().size(); ++i) {
-    const DataItem& item = db.items()[i];
-    const std::string& truth = truth_estimate[i];
-    for (size_t x = 0; x < item.claims.size(); ++x) {
-      for (size_t y = x + 1; y < item.claims.size(); ++y) {
-        const Claim& ca = item.claims[x];
-        const Claim& cb = item.claims[y];
-        SourceId a = std::min(ca.source, cb.source);
-        SourceId b = std::max(ca.source, cb.source);
-        if (a == b) continue;
-        const Claim& first = ca.source == a ? ca : cb;
-        const Claim& second = ca.source == a ? cb : ca;
-        PairStats& ps = stats[{a, b}];
-        if (first.value == second.value) {
-          if (first.value == truth) {
-            ++ps.shared_true;
-          } else {
-            ++ps.shared_false;
+  // Parallel over item chunks with chunk-local tallies; the merge order is
+  // irrelevant because the statistics are integer counts. Value equality is
+  // a local-id compare thanks to the interned index; the truth string is
+  // matched once per item instead of once per claim pair.
+  ParallelForRanges(
+      db.items().size(),
+      [&](size_t begin, size_t end) {
+        std::map<std::pair<SourceId, SourceId>, PairStats> local;
+        for (size_t i = begin; i < end; ++i) {
+          const DataItem& item = db.items()[i];
+          const std::string& truth = truth_estimate[i];
+          size_t base = vi.claim_offset[i];
+          // Local id of the truth value among the item's distinct values,
+          // or d (matching nothing) when the truth is not claimed here.
+          size_t d = vi.ItemDistinctCount(i);
+          uint32_t truth_local = static_cast<uint32_t>(d);
+          for (size_t v = 0; v < d; ++v) {
+            if (vi.values[vi.DistinctValue(i, v)] == truth) {
+              truth_local = static_cast<uint32_t>(v);
+              break;
+            }
           }
-        } else {
-          ++ps.different;
-          // On disagreeing items each side acts alone.
-          ++ps.a_solo_total;
-          if (first.value == truth) ++ps.a_solo_correct;
-          ++ps.b_solo_total;
-          if (second.value == truth) ++ps.b_solo_correct;
+          for (size_t x = 0; x < item.claims.size(); ++x) {
+            for (size_t y = x + 1; y < item.claims.size(); ++y) {
+              const Claim& ca = item.claims[x];
+              const Claim& cb = item.claims[y];
+              SourceId a = std::min(ca.source, cb.source);
+              SourceId b = std::max(ca.source, cb.source);
+              if (a == b) continue;
+              uint32_t first_value = vi.claim_local[base + (ca.source == a ? x : y)];
+              uint32_t second_value = vi.claim_local[base + (ca.source == a ? y : x)];
+              PairStats& ps = local[{a, b}];
+              if (first_value == second_value) {
+                if (first_value == truth_local) {
+                  ++ps.shared_true;
+                } else {
+                  ++ps.shared_false;
+                }
+              } else {
+                ++ps.different;
+                // On disagreeing items each side acts alone.
+                ++ps.a_solo_total;
+                if (first_value == truth_local) ++ps.a_solo_correct;
+                ++ps.b_solo_total;
+                if (second_value == truth_local) ++ps.b_solo_correct;
+              }
+            }
+          }
         }
-      }
-    }
-  }
+        std::lock_guard<std::mutex> lock(stats_mu);
+        for (const auto& [pair, ps] : local) stats[pair].Merge(ps);
+      },
+      config.num_threads);
 
   std::vector<SourceDependence> out;
   for (const auto& [pair, ps] : stats) {

@@ -20,6 +20,11 @@ struct CopyDetectionConfig {
   /// Clamp for accuracy estimates inside the likelihoods.
   double min_accuracy = 0.05;
   double max_accuracy = 0.95;
+
+  /// Parallelism of the O(items x claims^2) pair-statistics scan: 0 = the
+  /// shared executor's full pool, 1 = serial. Results are identical for
+  /// every setting (the statistics are integer counts).
+  size_t num_threads = 0;
 };
 
 /// Dependence verdict on an unordered source pair.

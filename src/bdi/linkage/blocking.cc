@@ -1,8 +1,11 @@
 #include "bdi/linkage/blocking.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
 #include <unordered_map>
 
+#include "bdi/common/executor.h"
 #include "bdi/common/string_util.h"
 #include "bdi/text/tokenizer.h"
 
@@ -56,43 +59,72 @@ std::vector<Block> Blocker::MakeBlocksAll(const Dataset& dataset,
   return MakeBlocks(dataset, all, roles);
 }
 
+namespace {
+
+/// Parallel token emission + serial index building: the expensive part of
+/// token-family blocking is per-record text assembly and tokenization,
+/// which is embarrassingly parallel; the inverted index is then filled
+/// serially in record order, so posting lists are identical to a fully
+/// serial run.
+std::vector<Block> TokenIndexBlocks(
+    const std::vector<RecordIdx>& records, size_t max_block_size,
+    size_t num_threads,
+    const std::function<std::vector<std::string>(RecordIdx)>& tokenize) {
+  std::vector<std::vector<std::string>> tokens(records.size());
+  ParallelFor(
+      records.size(), [&](size_t i) { tokens[i] = tokenize(records[i]); },
+      num_threads);
+  std::unordered_map<std::string, std::vector<RecordIdx>> index;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (std::string& token : tokens[i]) {
+      index[std::move(token)].push_back(records[i]);
+    }
+  }
+  return IndexToBlocks(std::move(index), max_block_size);
+}
+
+}  // namespace
+
 std::vector<Block> TokenBlocker::MakeBlocks(
     const Dataset& dataset, const std::vector<RecordIdx>& records,
     const AttrRoles* roles) const {
-  std::unordered_map<std::string, std::vector<RecordIdx>> index;
-  for (RecordIdx idx : records) {
-    std::string text = RoleText(dataset, idx, roles, AttrRole::kName);
-    for (const std::string& token : text::TokenSet(text)) {
-      if (token.size() < min_token_len_) continue;
-      index[token].push_back(idx);
-    }
-  }
-  return IndexToBlocks(std::move(index), max_block_size_);
+  return TokenIndexBlocks(
+      records, max_block_size_, num_threads_, [&](RecordIdx idx) {
+        std::string text = RoleText(dataset, idx, roles, AttrRole::kName);
+        std::vector<std::string> tokens = text::TokenSet(text);
+        tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                                    [this](const std::string& t) {
+                                      return t.size() < min_token_len_;
+                                    }),
+                     tokens.end());
+        return tokens;
+      });
 }
 
 std::vector<Block> IdentifierBlocker::MakeBlocks(
     const Dataset& dataset, const std::vector<RecordIdx>& records,
     const AttrRoles* roles) const {
-  std::unordered_map<std::string, std::vector<RecordIdx>> index;
-  for (RecordIdx idx : records) {
-    std::string text = RoleText(dataset, idx, roles, AttrRole::kIdentifier);
-    for (const std::string& token : text::IdentifierTokens(text, min_len_)) {
-      index[token].push_back(idx);
-    }
-  }
-  return IndexToBlocks(std::move(index), max_block_size_);
+  return TokenIndexBlocks(
+      records, max_block_size_, num_threads_, [&](RecordIdx idx) {
+        std::string text =
+            RoleText(dataset, idx, roles, AttrRole::kIdentifier);
+        return text::IdentifierTokens(text, min_len_);
+      });
 }
 
 std::vector<Block> SortedNeighborhoodBlocker::MakeBlocks(
     const Dataset& dataset, const std::vector<RecordIdx>& records,
     const AttrRoles* roles) const {
-  std::vector<std::pair<std::string, RecordIdx>> keyed;
-  keyed.reserve(records.size());
-  for (RecordIdx idx : records) {
-    std::string text = RoleText(dataset, idx, roles, AttrRole::kName);
-    std::vector<std::string> tokens = text::TokenSet(text);
-    keyed.emplace_back(Join(tokens, " "), idx);
-  }
+  std::vector<std::pair<std::string, RecordIdx>> keyed(records.size());
+  ParallelFor(
+      records.size(),
+      [&](size_t i) {
+        std::string text =
+            RoleText(dataset, records[i], roles, AttrRole::kName);
+        std::vector<std::string> tokens = text::TokenSet(text);
+        keyed[i] = {Join(tokens, " "), records[i]};
+      },
+      num_threads_);
   std::sort(keyed.begin(), keyed.end());
   std::vector<Block> blocks;
   if (keyed.size() < 2) return blocks;
@@ -112,12 +144,17 @@ std::vector<Block> SortedNeighborhoodBlocker::MakeBlocks(
 std::vector<Block> CanopyBlocker::MakeBlocks(
     const Dataset& dataset, const std::vector<RecordIdx>& records,
     const AttrRoles* roles) const {
-  // Token sets + inverted index.
+  // Token sets (parallel) + inverted index (serial, record order).
   std::vector<std::vector<std::string>> tokens(records.size());
+  ParallelFor(
+      records.size(),
+      [&](size_t i) {
+        tokens[i] = text::TokenSet(
+            RoleText(dataset, records[i], roles, AttrRole::kName));
+      },
+      num_threads_);
   std::unordered_map<std::string, std::vector<size_t>> inverted;
   for (size_t i = 0; i < records.size(); ++i) {
-    tokens[i] = text::TokenSet(
-        RoleText(dataset, records[i], roles, AttrRole::kName));
     for (const std::string& t : tokens[i]) {
       inverted[t].push_back(i);
     }
@@ -152,22 +189,34 @@ std::vector<Block> CanopyBlocker::MakeBlocks(
 
 std::vector<CandidatePair> BlocksToPairs(const Dataset& dataset,
                                          const std::vector<Block>& blocks,
-                                         bool allow_same_source) {
+                                         bool allow_same_source,
+                                         size_t num_threads) {
+  // Pair expansion runs over block chunks with chunk-local buffers; the
+  // final sort + unique canonicalizes the order, so the result is
+  // independent of which thread expanded which block.
   std::vector<CandidatePair> pairs;
-  for (const Block& block : blocks) {
-    for (size_t i = 0; i < block.records.size(); ++i) {
-      for (size_t j = i + 1; j < block.records.size(); ++j) {
-        RecordIdx a = block.records[i], b = block.records[j];
-        if (a == b) continue;
-        if (!allow_same_source &&
-            dataset.record(a).source == dataset.record(b).source) {
-          continue;
+  std::mutex pairs_mu;
+  auto expand = [&](size_t begin, size_t end) {
+    std::vector<CandidatePair> local;
+    for (size_t blk = begin; blk < end; ++blk) {
+      const Block& block = blocks[blk];
+      for (size_t i = 0; i < block.records.size(); ++i) {
+        for (size_t j = i + 1; j < block.records.size(); ++j) {
+          RecordIdx a = block.records[i], b = block.records[j];
+          if (a == b) continue;
+          if (!allow_same_source &&
+              dataset.record(a).source == dataset.record(b).source) {
+            continue;
+          }
+          if (a > b) std::swap(a, b);
+          local.push_back(CandidatePair{a, b});
         }
-        if (a > b) std::swap(a, b);
-        pairs.push_back(CandidatePair{a, b});
       }
     }
-  }
+    std::lock_guard<std::mutex> lock(pairs_mu);
+    pairs.insert(pairs.end(), local.begin(), local.end());
+  };
+  ParallelForRanges(blocks.size(), expand, num_threads);
   std::sort(pairs.begin(), pairs.end());
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
   return pairs;

@@ -47,6 +47,15 @@ class Blocker {
   /// Convenience: blocks over the whole dataset.
   std::vector<Block> MakeBlocksAll(const Dataset& dataset,
                                    const AttrRoles* roles) const;
+
+  /// Parallelism of the per-record tokenization phase: 0 = shared executor
+  /// pool, 1 = serial. Blocks are identical either way (the index build is
+  /// always serial in record order).
+  void set_num_threads(size_t n) { num_threads_ = n; }
+  size_t num_threads() const { return num_threads_; }
+
+ protected:
+  size_t num_threads_ = 0;
 };
 
 /// Token blocking: one block per word token of the record's name-like
@@ -124,10 +133,13 @@ class CanopyBlocker : public Blocker {
 
 /// Expands blocks to deduplicated candidate pairs. Same-source pairs are
 /// skipped unless `allow_same_source` (pages within one source are assumed
-/// distinct entities — local homogeneity).
+/// distinct entities — local homogeneity). `num_threads` bounds the chunk
+/// expansion (0 = shared executor pool, 1 = serial); the sorted, deduped
+/// result is identical either way.
 std::vector<CandidatePair> BlocksToPairs(const Dataset& dataset,
                                          const std::vector<Block>& blocks,
-                                         bool allow_same_source = false);
+                                         bool allow_same_source = false,
+                                         size_t num_threads = 0);
 
 /// Blocking quality vs. ground-truth record->entity labels:
 /// pairs completeness (recall of true pairs) and reduction ratio

@@ -14,7 +14,8 @@ Linker::Linker(const Dataset* dataset, const LinkerConfig& config,
       config_(config),
       stats_(schema::AttributeStatistics::Compute(*dataset)),
       roles_(AttrRoles::Detect(stats_)),
-      extractor_(dataset, &roles_, schema, normalizer) {
+      extractor_(dataset, &roles_, schema, normalizer,
+                 config.num_threads) {
   switch (config_.scorer) {
     case ScorerKind::kLinear:
       scorer_ = std::make_unique<LinearScorer>();
@@ -53,24 +54,32 @@ LinkageResult Linker::Run() {
   LinkageResult result;
   WallTimer timer;
 
-  // 1. Blocking.
+  // 1. Blocking (tokenization and pair expansion honor the linker's
+  // thread budget).
   std::vector<Block> blocks;
   if (config_.blocker == BlockerKind::kTokenPlusIdentifier) {
-    blocks = IdentifierBlocker().MakeBlocksAll(*dataset_, &roles_);
+    IdentifierBlocker id_blocker;
+    id_blocker.set_num_threads(config_.num_threads);
+    blocks = id_blocker.MakeBlocksAll(*dataset_, &roles_);
+    TokenBlocker token_blocker;
+    token_blocker.set_num_threads(config_.num_threads);
     std::vector<Block> token_blocks =
-        TokenBlocker().MakeBlocksAll(*dataset_, &roles_);
+        token_blocker.MakeBlocksAll(*dataset_, &roles_);
     blocks.insert(blocks.end(),
                   std::make_move_iterator(token_blocks.begin()),
                   std::make_move_iterator(token_blocks.end()));
   } else {
-    blocks = MakeBlocker()->MakeBlocksAll(*dataset_, &roles_);
+    std::unique_ptr<Blocker> blocker = MakeBlocker();
+    blocker->set_num_threads(config_.num_threads);
+    blocks = blocker->MakeBlocksAll(*dataset_, &roles_);
   }
   std::vector<CandidatePair> candidates;
   if (config_.use_meta_blocking) {
     candidates = MetaBlock(*dataset_, blocks, config_.meta_blocking);
   } else {
     candidates = BlocksToPairs(*dataset_, blocks,
-                               config_.meta_blocking.allow_same_source);
+                               config_.meta_blocking.allow_same_source,
+                               config_.num_threads);
   }
   result.blocking_seconds = timer.ElapsedSeconds();
   result.num_candidates = candidates.size();
@@ -84,9 +93,9 @@ LinkageResult Linker::Run() {
         return scorer_->Score(extractor_.Extract(pair.a, pair.b));
       },
       config_.num_threads);
-  // Match iff score >= threshold (RuleScorer hard-codes 0.5 in Matches()).
-  double threshold =
-      config_.scorer == ScorerKind::kRule ? 0.5 : scorer_->threshold();
+  // Match iff score >= the scorer's own threshold: PairScorer::threshold()
+  // is authoritative (no per-kind re-hard-coding here).
+  double threshold = scorer_->threshold();
   std::vector<ScoredPair> matches;
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (scores[i] >= threshold) {

@@ -29,7 +29,9 @@ struct LinkerConfig {
   bool use_meta_blocking = false;
   MetaBlockingConfig meta_blocking;
   ScorerKind scorer = ScorerKind::kRule;
-  /// Match threshold for linear/learned scorers.
+  /// Match threshold, applied to every scorer kind via
+  /// PairScorer::set_threshold() (the scorer's threshold() is
+  /// authoritative during matching).
   double threshold = 0.5;
   ClusteringMethod clustering = ClusteringMethod::kConnectedComponents;
   /// Threads for the pairwise matching stage; 0 = hardware concurrency.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bdi/common/executor.h"
 #include "bdi/common/logging.h"
 #include "bdi/common/string_util.h"
 #include "bdi/text/similarity.h"
@@ -13,11 +14,13 @@ namespace bdi::linkage {
 FeatureExtractor::FeatureExtractor(const Dataset* dataset,
                                    const AttrRoles* roles,
                                    const schema::MediatedSchema* schema,
-                                   const schema::ValueNormalizer* normalizer)
+                                   const schema::ValueNormalizer* normalizer,
+                                   size_t num_threads)
     : dataset_(dataset),
       roles_(roles),
       schema_(schema),
-      normalizer_(normalizer) {
+      normalizer_(normalizer),
+      num_threads_(num_threads) {
   BDI_CHECK(dataset_ != nullptr);
   Prepare();
 }
@@ -25,9 +28,14 @@ FeatureExtractor::FeatureExtractor(const Dataset* dataset,
 void FeatureExtractor::Prepare() {
   size_t old_size = cache_.size();
   cache_.resize(dataset_->num_records());
-  for (size_t i = old_size; i < cache_.size(); ++i) {
-    cache_[i] = BuildCache(static_cast<RecordIdx>(i));
-  }
+  // Per-record caches are independent; build the new suffix in parallel.
+  ParallelFor(
+      cache_.size() - old_size,
+      [&](size_t i) {
+        cache_[old_size + i] =
+            BuildCache(static_cast<RecordIdx>(old_size + i));
+      },
+      num_threads_);
 }
 
 void FeatureExtractor::Rebuild() {
@@ -204,10 +212,6 @@ double RuleScorer::Score(const PairFeatures& features) const {
     return 0.5 + 0.5 * features.name_similarity * corroboration;
   }
   return 0.4 * features.name_similarity + 0.1 * corroboration;
-}
-
-bool RuleScorer::Matches(const PairFeatures& features) const {
-  return Score(features) >= 0.5;
 }
 
 LearnedScorer::LearnedScorer() { weights_.fill(0.0); }

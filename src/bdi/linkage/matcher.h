@@ -41,9 +41,12 @@ struct PairFeatures {
 /// linkage); `Extract` is const and thread-safe between Prepare calls.
 class FeatureExtractor {
  public:
+  /// `num_threads` bounds the parallel cache build in Prepare (0 = shared
+  /// executor pool, 1 = serial); the cache contents are identical.
   FeatureExtractor(const Dataset* dataset, const AttrRoles* roles,
                    const schema::MediatedSchema* schema = nullptr,
-                   const schema::ValueNormalizer* normalizer = nullptr);
+                   const schema::ValueNormalizer* normalizer = nullptr,
+                   size_t num_threads = 0);
 
   /// Extends the cache to records appended since the last Prepare call.
   void Prepare();
@@ -73,6 +76,7 @@ class FeatureExtractor {
   const AttrRoles* roles_;
   const schema::MediatedSchema* schema_;
   const schema::ValueNormalizer* normalizer_;
+  size_t num_threads_ = 0;
   std::vector<RecordCache> cache_;
 };
 
@@ -110,6 +114,8 @@ class LinearScorer : public PairScorer {
 /// Domain rule exploiting identifiers: shared identifier => match;
 /// otherwise require strong name similarity corroborated by value
 /// agreement. Mirrors the tutorial's id-anchored product linkage.
+/// Matching uses the inherited threshold() (0.5 by default) — callers ask
+/// the scorer instead of re-hard-coding the cut.
 class RuleScorer : public PairScorer {
  public:
   /// Defaults tuned for corpora where near-identical model numbers exist
@@ -117,7 +123,6 @@ class RuleScorer : public PairScorer {
   RuleScorer(double name_threshold = 0.92, double value_threshold = 0.5);
 
   double Score(const PairFeatures& features) const override;
-  bool Matches(const PairFeatures& features) const override;
   std::string name() const override { return "rule"; }
 
  private:

@@ -1,0 +1,146 @@
+// Serial-vs-parallel equivalence for the fusion stack: every method must
+// produce identical chosen values and (near-)identical accuracy estimates
+// regardless of thread count — the determinism contract of the executor
+// rewrite (parallel E step over disjoint slots, serial M step).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bdi/fusion/accu.h"
+#include "bdi/fusion/accu_copy.h"
+#include "bdi/fusion/copy_detection.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::fusion {
+namespace {
+
+ClaimDb TestDb() {
+  synth::WorldConfig config;
+  config.seed = 77;
+  config.category = "camera";
+  config.num_entities = 120;
+  config.num_sources = 14;
+  config.num_copiers = 4;
+  config.copy_rate = 0.85;
+  config.source_accuracy_min = 0.6;
+  config.source_accuracy_max = 0.95;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  return ClaimDb::FromGroundTruth(world.truth,
+                                  world.dataset.num_sources());
+}
+
+void ExpectEquivalent(const FusionResult& serial,
+                      const FusionResult& parallel) {
+  ASSERT_EQ(serial.chosen.size(), parallel.chosen.size());
+  for (size_t i = 0; i < serial.chosen.size(); ++i) {
+    EXPECT_EQ(serial.chosen[i], parallel.chosen[i]) << "item " << i;
+  }
+  ASSERT_EQ(serial.source_accuracy.size(),
+            parallel.source_accuracy.size());
+  for (size_t s = 0; s < serial.source_accuracy.size(); ++s) {
+    EXPECT_NEAR(serial.source_accuracy[s], parallel.source_accuracy[s],
+                1e-9)
+        << "source " << s;
+  }
+  ASSERT_EQ(serial.confidence.size(), parallel.confidence.size());
+  for (size_t i = 0; i < serial.confidence.size(); ++i) {
+    EXPECT_NEAR(serial.confidence[i], parallel.confidence[i], 1e-9)
+        << "item " << i;
+  }
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+}
+
+TEST(FusionParallelEquivalenceTest, AccuMatchesSerial) {
+  ClaimDb db = TestDb();
+  AccuConfig serial_config;
+  serial_config.num_threads = 1;
+  AccuConfig parallel_config;
+  parallel_config.num_threads = 8;
+  ExpectEquivalent(AccuFusion(serial_config).Resolve(db),
+                   AccuFusion(parallel_config).Resolve(db));
+}
+
+TEST(FusionParallelEquivalenceTest, AccuSimMatchesSerial) {
+  ClaimDb db = TestDb();
+  AccuConfig serial_config;
+  serial_config.similarity_rho = 0.3;
+  serial_config.num_threads = 1;
+  AccuConfig parallel_config = serial_config;
+  parallel_config.num_threads = 8;
+  ExpectEquivalent(AccuFusion(serial_config).Resolve(db),
+                   AccuFusion(parallel_config).Resolve(db));
+}
+
+TEST(FusionParallelEquivalenceTest, AccuCopyMatchesSerial) {
+  ClaimDb db = TestDb();
+  AccuCopyConfig serial_config;
+  serial_config.accu.num_threads = 1;
+  serial_config.copy.num_threads = 1;
+  AccuCopyConfig parallel_config;
+  parallel_config.accu.num_threads = 8;
+  parallel_config.copy.num_threads = 8;
+  ExpectEquivalent(AccuCopyFusion(serial_config).Resolve(db),
+                   AccuCopyFusion(parallel_config).Resolve(db));
+}
+
+TEST(FusionParallelEquivalenceTest, DetectCopyingMatchesSerial) {
+  ClaimDb db = TestDb();
+  AccuConfig accu_config;
+  accu_config.num_threads = 1;
+  FusionResult bootstrap = AccuFusion(accu_config).Resolve(db);
+
+  CopyDetectionConfig serial_config;
+  serial_config.num_threads = 1;
+  CopyDetectionConfig parallel_config;
+  parallel_config.num_threads = 8;
+  std::vector<SourceDependence> serial = DetectCopying(
+      db, bootstrap.chosen, bootstrap.source_accuracy, serial_config);
+  std::vector<SourceDependence> parallel = DetectCopying(
+      db, bootstrap.chosen, bootstrap.source_accuracy, parallel_config);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].a, parallel[i].a);
+    EXPECT_EQ(serial[i].b, parallel[i].b);
+    EXPECT_EQ(serial[i].common_items, parallel[i].common_items);
+    EXPECT_EQ(serial[i].shared_true, parallel[i].shared_true);
+    EXPECT_EQ(serial[i].shared_false, parallel[i].shared_false);
+    EXPECT_EQ(serial[i].different, parallel[i].different);
+    EXPECT_EQ(serial[i].likely_copier, parallel[i].likely_copier);
+    EXPECT_NEAR(serial[i].probability, parallel[i].probability, 1e-12);
+  }
+}
+
+// The interned Accu must also reproduce the seed's map-based results: the
+// per-item distinct values are iterated in the same lexicographic order,
+// so softmax accumulation and argmax tie-breaks are bitwise-compatible.
+TEST(FusionParallelEquivalenceTest, InternedValueIndexIsConsistent) {
+  ClaimDb mutable_db = TestDb();
+  // Read through a const view: the non-const items() accessor invalidates
+  // the cached index (callers could mutate claims through it).
+  const ClaimDb& db = mutable_db;
+  const ValueIndex& vi = db.value_index();
+  const std::vector<DataItem>& items = db.items();
+  ASSERT_EQ(vi.claim_offset.size(), items.size() + 1);
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_EQ(vi.claim_offset[i + 1] - vi.claim_offset[i],
+              items[i].claims.size());
+    // Distinct values are sorted and every claim maps back to its string.
+    size_t d = vi.ItemDistinctCount(i);
+    for (size_t local = 0; local + 1 < d; ++local) {
+      EXPECT_LT(vi.values[vi.DistinctValue(i, local)],
+                vi.values[vi.DistinctValue(i, local + 1)]);
+    }
+    for (size_t c = 0; c < items[i].claims.size(); ++c) {
+      size_t slot = vi.claim_offset[i] + c;
+      EXPECT_EQ(vi.values[vi.claim_value[slot]], items[i].claims[c].value);
+      EXPECT_EQ(vi.DistinctValue(i, vi.claim_local[slot]),
+                vi.claim_value[slot]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdi::fusion
