@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
   size_t threads = bench::ThreadsFlag(argc, argv, 8);
   Executor::Configure(threads);
   bench::JsonReporter json("end_to_end", argc, argv);
+  // Metrics ride along in BENCH_end_to_end.json; instrumentation is
+  // bitwise-neutral, so the equivalence check below is unaffected.
+  if (json.enabled()) metrics::SetEnabled(true);
   bench::Banner("E12", "end-to-end integration pipeline by category",
                 "automated upstream stages cost a few points of fusion "
                 "precision vs perfect extraction/linkage; all stages run "
@@ -141,5 +144,6 @@ int main(int argc, char** argv) {
               identical ? "yes" : "NO");
   json.Note("identical_output", identical ? "true" : "false");
   json.Note("threads", std::to_string(threads));
+  bench::AttachMetricsSnapshot(json);
   return identical ? 0 : 1;
 }

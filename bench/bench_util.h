@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bdi/common/metrics.h"
 #include "bdi/common/table.h"
 #include "bdi/common/timer.h"
 #include "bdi/synth/world.h"
@@ -119,6 +120,15 @@ class JsonReporter {
   std::vector<Entry> entries_;
   std::vector<std::pair<std::string, std::string>> notes_;
 };
+
+/// Attaches the current metrics registry snapshot to the reporter under the
+/// "pipeline_metrics" key, so BENCH_*.json carries the pipeline counters
+/// and per-stage spans alongside the bench's own wall-time entries. No-op
+/// (attaches an empty snapshot) when metrics were never enabled.
+inline void AttachMetricsSnapshot(JsonReporter& reporter) {
+  if (!reporter.enabled()) return;
+  reporter.Note("pipeline_metrics", metrics::Registry::Get().ToJson());
+}
 
 /// Value of `--threads N` (default `fallback`); the parallel-scaling knob
 /// shared by the bench binaries.

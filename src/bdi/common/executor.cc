@@ -8,9 +8,32 @@
 #include <thread>
 #include <vector>
 
+#include "bdi/common/metrics.h"
+
 namespace bdi {
 
 namespace {
+
+// Loop-scheduling instruments (see docs/OBSERVABILITY.md): parallel
+// dispatches, chunks claimed in total, and chunks claimed by pool helpers
+// rather than the calling thread (the "stolen" share).
+metrics::Counter& LoopsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.executor.parallel_loops");
+  return *counter;
+}
+
+metrics::Counter& ChunksCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.executor.chunks.claimed");
+  return *counter;
+}
+
+metrics::Counter& StolenCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.executor.chunks.stolen");
+  return *counter;
+}
 
 /// True while the current thread is executing a parallel-loop body; nested
 /// loops then degrade to inline serial execution (see class comment).
@@ -80,13 +103,17 @@ void Executor::ParallelForRanges(size_t n,
   std::exception_ptr first_exception;
   std::mutex exception_mu;
 
-  auto drain = [&] {
+  if (metrics::Enabled()) LoopsCounter().Add();
+
+  auto drain = [&](bool is_helper) {
     bool saved = tls_in_parallel_region;
     tls_in_parallel_region = true;
+    size_t claimed = 0;
     while (!failed.load(std::memory_order_relaxed)) {
       size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
       size_t end = std::min(n, begin + chunk);
+      ++claimed;
       try {
         fn(begin, end);
       } catch (...) {
@@ -96,6 +123,10 @@ void Executor::ParallelForRanges(size_t n,
       }
     }
     tls_in_parallel_region = saved;
+    if (claimed > 0 && metrics::Enabled()) {
+      ChunksCounter().Add(claimed);
+      if (is_helper) StolenCounter().Add(claimed);
+    }
   };
 
   // The calling thread participates; helpers join from the pool. If the
@@ -105,9 +136,9 @@ void Executor::ParallelForRanges(size_t n,
   std::vector<std::future<void>> futures;
   futures.reserve(helpers);
   for (size_t h = 0; h < helpers; ++h) {
-    futures.push_back(pool_->Submit(drain));
+    futures.push_back(pool_->Submit([&drain] { drain(true); }));
   }
-  drain();
+  drain(false);
   for (auto& f : futures) f.get();
   if (first_exception) std::rethrow_exception(first_exception);
 }

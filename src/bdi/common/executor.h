@@ -42,6 +42,7 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
+  /// Worker count of the shared pool (fixed after lazy construction).
   size_t num_threads() const { return pool_->num_threads(); }
 
   /// Runs fn(i) for i in [0, n), blocking until all complete.

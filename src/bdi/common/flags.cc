@@ -6,18 +6,29 @@
 namespace bdi {
 
 Flags::Flags(int argc, const char* const* argv, int first) {
-  for (int i = first; i < argc; i += 2) {
+  for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0 || argv[i][2] == '\0') {
       ok_ = false;
       bad_ = argv[i];
       return;
+    }
+    const char* name = argv[i] + 2;
+    if (const char* eq = std::strchr(name, '=')) {
+      if (eq == name) {
+        ok_ = false;
+        bad_ = argv[i];
+        return;
+      }
+      values_[std::string(name, eq)] = eq + 1;
+      continue;
     }
     if (i + 1 >= argc) {
       ok_ = false;
       bad_ = argv[i];
       return;
     }
-    values_[argv[i] + 2] = argv[i + 1];
+    values_[name] = argv[i + 1];
+    ++i;
   }
 }
 

@@ -6,14 +6,16 @@
 
 namespace bdi {
 
-/// Minimal command-line flag parser for the tools: arguments are strictly
-/// "--name value" pairs. No registration, no types — callers pull values
-/// with defaults. Parsing failures record the offending token.
+/// Minimal command-line flag parser for the tools: arguments are
+/// "--name value" pairs or "--name=value" tokens, freely mixed. No
+/// registration, no types — callers pull values with defaults. Parsing
+/// failures record the offending token.
 class Flags {
  public:
   /// Parses argv[first..argc). `argv` is borrowed, not retained.
   Flags(int argc, const char* const* argv, int first);
 
+  /// False when any argument failed to parse; see bad_token().
   bool ok() const { return ok_; }
   /// The token that broke parsing (empty when ok()).
   const std::string& bad_token() const { return bad_; }
@@ -26,8 +28,10 @@ class Flags {
   /// sets ok() to false on a malformed integer.
   int GetInt(const std::string& name, int fallback);
 
+  /// True when --name was present (with any value, including empty).
   bool Has(const std::string& name) const;
 
+  /// Number of distinct flags parsed.
   size_t size() const { return values_.size(); }
 
  private:

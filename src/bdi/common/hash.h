@@ -18,6 +18,7 @@ inline uint64_t Fnv1a64(std::string_view data) {
   return h;
 }
 
+/// FNV-1a over the 8 little-endian bytes of `value`.
 inline uint64_t Fnv1a64(uint64_t value) {
   uint64_t h = 1469598103934665603ULL;
   for (int i = 0; i < 8; ++i) {

@@ -6,6 +6,7 @@
 
 namespace bdi {
 
+/// Severity of a log line, ordered so levels compare numerically.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped. Defaults to

@@ -1,0 +1,228 @@
+#include "bdi/common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "bdi/common/logging.h"
+#include "bdi/common/trace.h"
+
+namespace bdi::metrics {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  BDI_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  if (!Enabled()) return;
+  // First bucket whose inclusive upper bound admits v; else overflow.
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  double next;
+  uint64_t next_bits;
+  do {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    next = current + v;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+  } while (!sum_bits_.compare_exchange_weak(observed, next_bits,
+                                            std::memory_order_relaxed));
+}
+
+double Histogram::sum() const {
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  bool NameTaken(const std::string& name) const {
+    return counters.count(name) + gauges.count(name) +
+               histograms.count(name) >
+           0;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::Get() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter* Registry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it != impl_->counters.end()) return it->second.get();
+  BDI_CHECK(!impl_->NameTaken(name))
+      << "metric '" << name << "' already registered with another kind";
+  return impl_->counters.emplace(name, std::make_unique<Counter>())
+      .first->second.get();
+}
+
+Gauge* Registry::RegisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it != impl_->gauges.end()) return it->second.get();
+  BDI_CHECK(!impl_->NameTaken(name))
+      << "metric '" << name << "' already registered with another kind";
+  return impl_->gauges.emplace(name, std::make_unique<Gauge>())
+      .first->second.get();
+}
+
+Histogram* Registry::RegisterHistogram(const std::string& name,
+                                       std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it != impl_->histograms.end()) return it->second.get();
+  BDI_CHECK(!impl_->NameTaken(name))
+      << "metric '" << name << "' already registered with another kind";
+  auto histogram =
+      std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  return impl_->histograms.emplace(name, std::move(histogram))
+      .first->second.get();
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& [name, counter] : impl_->counters) {
+      snapshot.counters.push_back(CounterSample{name, counter->value()});
+    }
+    for (const auto& [name, gauge] : impl_->gauges) {
+      snapshot.gauges.push_back(GaugeSample{name, gauge->value()});
+    }
+    for (const auto& [name, histogram] : impl_->histograms) {
+      HistogramSample sample;
+      sample.name = name;
+      sample.bounds = histogram->bounds();
+      sample.counts.reserve(sample.bounds.size() + 1);
+      for (size_t i = 0; i <= sample.bounds.size(); ++i) {
+        sample.counts.push_back(histogram->bucket_count(i));
+      }
+      sample.sum = histogram->sum();
+      sample.count = histogram->count();
+      snapshot.histograms.push_back(std::move(sample));
+    }
+  }
+  snapshot.spans = trace::SnapshotSpans();
+  return snapshot;
+}
+
+namespace {
+
+/// Shortest round-trippable-enough representation: %.6g keeps snapshots
+/// compact and deterministic across runs of the same build.
+void AppendDouble(std::ostringstream& out, double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  out << buffer;
+}
+
+}  // namespace
+
+std::string SnapshotToJson(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": 1,\n  \"counters\": [";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    out << (i ? "," : "") << "\n    {\"name\": \"" << c.name
+        << "\", \"value\": " << c.value << "}";
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "],\n  \"gauges\": [";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    out << (i ? "," : "") << "\n    {\"name\": \"" << g.name
+        << "\", \"value\": " << g.value << "}";
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ")
+      << "],\n  \"histograms\": [";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out << (i ? "," : "") << "\n    {\"name\": \"" << h.name
+        << "\", \"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out << ", ";
+      AppendDouble(out, h.bounds[b]);
+    }
+    out << "], \"counts\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out << ", ";
+      out << h.counts[b];
+    }
+    out << "], \"sum\": ";
+    AppendDouble(out, h.sum);
+    out << ", \"count\": " << h.count << "}";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ")
+      << "],\n  \"spans\": [";
+  for (size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const SpanSample& s = snapshot.spans[i];
+    out << (i ? "," : "") << "\n    {\"name\": \"" << s.name
+        << "\", \"calls\": " << s.calls << ", \"wall_seconds\": ";
+    AppendDouble(out, s.wall_seconds);
+    out << ", \"items\": " << s.items << "}";
+  }
+  out << (snapshot.spans.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::string Registry::ToJson() const { return SnapshotToJson(TakeSnapshot()); }
+
+Status Registry::WriteJsonFile(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics output file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (std::fclose(f) != 0 || written != json.size()) {
+    return Status::IOError("short write to metrics output file: " + path);
+  }
+  return Status::OK();
+}
+
+void Registry::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (auto& [name, counter] : impl_->counters) counter->Reset();
+    for (auto& [name, gauge] : impl_->gauges) gauge->Reset();
+    for (auto& [name, histogram] : impl_->histograms) histogram->Reset();
+  }
+  trace::ResetSpans();
+}
+
+}  // namespace bdi::metrics

@@ -1,0 +1,247 @@
+#ifndef BDI_COMMON_METRICS_H_
+#define BDI_COMMON_METRICS_H_
+
+/// Compile-time kill switch for the whole observability layer. Building
+/// with -DBDI_METRICS_ENABLED=0 turns every instrument update and every
+/// trace::StageSpan into a no-op the optimizer deletes outright.
+#ifndef BDI_METRICS_ENABLED
+#define BDI_METRICS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdi/common/status.h"
+
+namespace bdi::metrics {
+
+namespace internal {
+/// Runtime master switch backing Enabled(); off by default so library
+/// users who never ask for metrics pay one relaxed atomic load per
+/// instrument update. Do not touch directly — use SetEnabled().
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// Turns the runtime collection switch on or off (process-wide). Entry
+/// points that export a snapshot (bdi_cli --metrics-out, benches under
+/// --json) enable it before running the pipeline; it is off by default.
+void SetEnabled(bool on);
+
+/// True when instruments are currently recording. Compile-time disabled
+/// builds (BDI_METRICS_ENABLED == 0) always return false, which lets the
+/// optimizer fold every instrument call away.
+inline bool Enabled() {
+#if BDI_METRICS_ENABLED
+  return internal::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Monotonically increasing event count. Updates are lock-free relaxed
+/// atomics; concurrent Add() calls from any number of threads sum exactly.
+/// Obtain handles once via Registry::RegisterCounter (they live for the
+/// process) and keep the pointer — the hot path is then one branch plus
+/// one fetch_add.
+class Counter {
+ public:
+  /// Adds `n` events (1 by default). No-op while collection is disabled.
+  void Add(uint64_t n = 1) {
+    if (Enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Current total since process start or the last Reset().
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Zeroes the counter (snapshot isolation for tests and CLI runs).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, pool size): set, adjust, read.
+/// Like Counter, updates are relaxed atomics and gated on Enabled().
+class Gauge {
+ public:
+  /// Overwrites the level. No-op while collection is disabled.
+  void Set(int64_t v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+
+  /// Adjusts the level by `delta` (may be negative).
+  void Add(int64_t delta) {
+    if (Enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Records `v` only if it exceeds the current level (high-water marks).
+  void SetMax(int64_t v) {
+    if (!Enabled()) return;
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Current level.
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Resets the level to zero.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in
+/// ascending order, plus an implicit overflow bucket, so an observation v
+/// lands in the first bucket with v <= bound. Bucket counts, the running
+/// sum and the observation count are all relaxed atomics — concurrent
+/// Observe() calls lose nothing.
+class Histogram {
+ public:
+  /// Records one observation. No-op while collection is disabled.
+  void Observe(double v);
+
+  /// The inclusive upper bounds this histogram was registered with.
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Total observations across all buckets.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Sum of all observed values.
+  double sum() const;
+
+  /// Zeroes every bucket, the sum and the count.
+  void Reset();
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  /// bounds_.size() + 1 buckets; the last is the overflow bucket.
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  /// Stored as bit-cast uint64_t so the sum accumulates with a CAS loop
+  /// (portable double atomics without requiring lock-free fetch_add).
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// One counter's name and value in a snapshot.
+struct CounterSample {
+  /// Registered name and the total at snapshot time.
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One gauge's name and level in a snapshot.
+struct GaugeSample {
+  /// Registered name and the level at snapshot time.
+  std::string name;
+  int64_t value = 0;
+};
+
+/// One histogram's full state in a snapshot.
+struct HistogramSample {
+  /// Registered name and the inclusive upper bounds it was created with.
+  std::string name;
+  std::vector<double> bounds;
+  /// bounds.size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  uint64_t count = 0;
+};
+
+/// One aggregated trace span in a snapshot (see bdi/common/trace.h):
+/// the "/"-joined nesting path, invocation count, total wall seconds and
+/// total item count.
+struct SpanSample {
+  /// Full "/"-joined path, call count, total wall time and item total.
+  std::string name;
+  uint64_t calls = 0;
+  double wall_seconds = 0.0;
+  uint64_t items = 0;
+};
+
+/// A consistent, deterministic copy of every registered instrument plus
+/// the aggregated stage spans, sorted by name. Two snapshots taken with no
+/// intervening instrument updates serialize to identical JSON.
+struct Snapshot {
+  /// Each section sorted by instrument name.
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<SpanSample> spans;
+};
+
+/// Process-wide instrument registry. Instrumented code pre-registers its
+/// handles once (function-local static pointer idiom) and updates them
+/// lock-free afterwards; registration itself takes a mutex and is expected
+/// only on first use of an instrumented code path.
+///
+/// Names follow the scheme documented in docs/OBSERVABILITY.md:
+/// `bdi.<module>.<subject>[.<qualifier>]`, characters [a-z0-9._] only, so
+/// every name embeds verbatim into JSON without escaping.
+class Registry {
+ public:
+  /// The process-wide registry (constructed on first use).
+  static Registry& Get();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first call. Calling
+  /// with a name already registered as a different instrument kind is an
+  /// invariant violation (BDI_CHECK).
+  Counter* RegisterCounter(const std::string& name);
+
+  /// Returns the gauge named `name`, creating it on first call.
+  Gauge* RegisterGauge(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it with the given
+  /// inclusive upper `bounds` (ascending) on first call. Later calls
+  /// ignore `bounds` and return the existing instrument.
+  Histogram* RegisterHistogram(const std::string& name,
+                               std::vector<double> bounds);
+
+  /// A deterministic snapshot of all instruments and aggregated spans,
+  /// sorted by name.
+  Snapshot TakeSnapshot() const;
+
+  /// The snapshot serialized as JSON (schema in docs/OBSERVABILITY.md).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; IOError when the file cannot be written.
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// Zeroes every instrument and the span table. Handles stay valid —
+  /// this isolates successive runs (tests, CLI invocations), it does not
+  /// unregister anything.
+  void Reset();
+
+ private:
+  Registry();
+
+  struct Impl;
+  /// Heap-held so metrics.h stays light (no <map>/<mutex> in the header);
+  /// never freed — the registry lives for the process.
+  Impl* const impl_;
+};
+
+/// Serializes an arbitrary snapshot (not necessarily the live registry's)
+/// as JSON — exposed for tests and for merging tooling.
+std::string SnapshotToJson(const Snapshot& snapshot);
+
+}  // namespace bdi::metrics
+
+#endif  // BDI_COMMON_METRICS_H_

@@ -12,6 +12,7 @@ namespace bdi {
 /// so results are reproducible run-to-run.
 class Rng {
  public:
+  /// Seeds the generator; equal seeds produce equal draw sequences.
   explicit Rng(uint64_t seed) : engine_(seed) {}
 
   Rng(const Rng&) = delete;
@@ -52,6 +53,7 @@ class Rng {
   /// order.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
+  /// The underlying engine, for std::distribution interop.
   std::mt19937_64& engine() { return engine_; }
 
  private:
@@ -67,11 +69,13 @@ class ZipfDistribution {
   /// Requires n >= 1 and s >= 0 (s == 0 degenerates to uniform).
   ZipfDistribution(size_t n, double s);
 
+  /// Draws one rank in [0, n) from the distribution.
   size_t Sample(Rng* rng) const;
 
   /// P(rank) for diagnostics and tests.
   double Probability(size_t rank) const;
 
+  /// Number of ranks the distribution was built over.
   size_t n() const { return cdf_.size(); }
 
  private:

@@ -25,6 +25,7 @@ std::vector<std::string> SplitWhitespace(std::string_view s);
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Prefix/suffix tests (C++20 starts_with/ends_with, kept for call sites).
 bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);
 

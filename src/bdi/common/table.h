@@ -10,6 +10,7 @@ namespace bdi {
 /// paper-style result tables.
 class TextTable {
  public:
+  /// A table with the given column headers and no rows yet.
   explicit TextTable(std::vector<std::string> header)
       : header_(std::move(header)) {}
 
@@ -26,6 +27,7 @@ class TextTable {
   /// Prints ToString() to stdout.
   void Print(const std::string& title = "") const;
 
+  /// Rows added so far (header excluded).
   size_t num_rows() const { return rows_.size(); }
 
  private:

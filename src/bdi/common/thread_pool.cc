@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "bdi/common/metrics.h"
+
 namespace bdi {
+
+namespace {
+
+metrics::Counter& TasksCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.executor.tasks.submitted");
+  return *counter;
+}
+
+metrics::Gauge& QueueDepthGauge() {
+  static metrics::Gauge* gauge =
+      metrics::Registry::Get().RegisterGauge("bdi.executor.queue.depth");
+  return *gauge;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -29,6 +47,10 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    if (metrics::Enabled()) {
+      TasksCounter().Add();
+      QueueDepthGauge().SetMax(static_cast<int64_t>(queue_.size()));
+    }
   }
   cv_.notify_one();
   return future;

@@ -33,9 +33,11 @@ class ThreadPool {
   /// the workers, and blocks until all complete. Safe to call with n == 0.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Number of worker threads (fixed at construction).
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  /// Per-worker run loop: pops queued tasks until shutdown drains.
   void WorkerLoop();
 
   std::mutex mu_;

@@ -8,14 +8,18 @@ namespace bdi {
 /// Monotonic wall-clock stopwatch for benchmark harnesses.
 class WallTimer {
  public:
+  /// Starts timing at construction.
   WallTimer() : start_(Clock::now()) {}
 
+  /// Restarts the stopwatch from now.
   void Reset() { start_ = Clock::now(); }
 
+  /// Seconds elapsed since construction or the last Reset().
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
 
  private:

@@ -1,0 +1,79 @@
+#include "bdi/common/trace.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace bdi::trace {
+
+namespace {
+
+struct SpanTotals {
+  uint64_t calls = 0;
+  double wall_seconds = 0.0;
+  uint64_t items = 0;
+};
+
+struct SpanTable {
+  std::mutex mu;
+  std::map<std::string, SpanTotals> totals;
+};
+
+SpanTable& Table() {
+  static SpanTable* table = new SpanTable();  // never destroyed
+  return *table;
+}
+
+/// The active span path on this thread ("" at top level). Saved/restored
+/// by StageSpan so nesting is per-thread and exception-free.
+thread_local std::string tls_active_path;
+
+}  // namespace
+
+StageSpan::StageSpan(const char* name) {
+  if (!metrics::Enabled()) return;
+  active_ = true;
+  if (tls_active_path.empty()) {
+    path_ = name;
+  } else {
+    path_ = tls_active_path + "/" + name;
+  }
+  std::swap(tls_active_path, path_);  // path_ now holds the parent path
+  start_ = std::chrono::steady_clock::now();
+}
+
+StageSpan::~StageSpan() {
+  if (!active_) return;
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  // Restore the parent path; tls_active_path currently holds ours.
+  std::swap(tls_active_path, path_);
+  SpanTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  SpanTotals& totals = table.totals[path_];
+  ++totals.calls;
+  totals.wall_seconds += elapsed;
+  totals.items += items_;
+}
+
+std::vector<metrics::SpanSample> SnapshotSpans() {
+  SpanTable& table = Table();
+  std::vector<metrics::SpanSample> samples;
+  std::lock_guard<std::mutex> lock(table.mu);
+  samples.reserve(table.totals.size());
+  for (const auto& [path, totals] : table.totals) {
+    samples.push_back(metrics::SpanSample{path, totals.calls,
+                                          totals.wall_seconds,
+                                          totals.items});
+  }
+  return samples;
+}
+
+void ResetSpans() {
+  SpanTable& table = Table();
+  std::lock_guard<std::mutex> lock(table.mu);
+  table.totals.clear();
+}
+
+}  // namespace bdi::trace

@@ -1,0 +1,60 @@
+#ifndef BDI_COMMON_TRACE_H_
+#define BDI_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdi/common/metrics.h"
+
+namespace bdi::trace {
+
+/// RAII wall-clock span around one pipeline stage. Spans nest: a span
+/// opened while another is active on the same thread records under the
+/// "/"-joined path of its ancestors, so `StageSpan("pipeline")` enclosing
+/// `StageSpan("linkage")` enclosing `StageSpan("blocking")` aggregates as
+/// `pipeline/linkage/blocking`. On destruction the elapsed wall time, one
+/// invocation and the AddItems() total are folded into the process-wide
+/// span table (exported with the metrics snapshot; see
+/// docs/OBSERVABILITY.md).
+///
+/// Construction while collection is disabled (metrics::Enabled() false)
+/// is a no-op — no clock read, no allocation — so instrumented stages are
+/// free in the default configuration. Spans opened on worker threads
+/// (inside executor loop bodies) start a fresh path on that thread; the
+/// per-thread nesting stack is thread_local, the aggregate table is
+/// mutex-protected and shared.
+class StageSpan {
+ public:
+  /// Opens a span named `name` (path segment; [a-z0-9._-] by convention).
+  explicit StageSpan(const char* name);
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// Closes the span and folds it into the aggregate table.
+  ~StageSpan();
+
+  /// Attributes `n` processed items to this span (shown as `items` in the
+  /// snapshot; used for records, candidate pairs, claims, ...).
+  void AddItems(uint64_t n) { items_ += n; }
+
+ private:
+  bool active_ = false;
+  uint64_t items_ = 0;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Aggregated rows of the process-wide span table, sorted by path. Each
+/// row carries the full nesting path, call count, total wall seconds and
+/// total item count.
+std::vector<metrics::SpanSample> SnapshotSpans();
+
+/// Clears the span table (paired with metrics::Registry::Reset()).
+void ResetSpans();
+
+}  // namespace bdi::trace
+
+#endif  // BDI_COMMON_TRACE_H_

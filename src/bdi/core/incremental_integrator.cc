@@ -2,6 +2,7 @@
 
 #include "bdi/common/logging.h"
 #include "bdi/common/timer.h"
+#include "bdi/common/trace.h"
 #include "bdi/fusion/accu_copy.h"
 
 namespace bdi::core {
@@ -17,6 +18,8 @@ IncrementalIntegrator::IncrementalIntegrator(Dataset* dataset,
 
 void IncrementalIntegrator::AlignSchema() {
   WallTimer timer;
+  trace::StageSpan span("schema");
+  span.AddItems(dataset_->num_attrs());
   report_.stats = schema::AttributeStatistics::Compute(*dataset_);
   std::vector<schema::AttrEdge> edges = schema::BuildCandidateEdges(
       report_.stats, config_.integrator.attr_match);
@@ -30,6 +33,7 @@ void IncrementalIntegrator::AlignSchema() {
 }
 
 size_t IncrementalIntegrator::Refresh() {
+  trace::StageSpan refresh_span("refresh");
   // 1. Schema: re-align only when genuinely new source attributes arrived
   // (the cheap membership check happens on the interned attr universe).
   schema_refreshed_ = false;
@@ -40,38 +44,51 @@ size_t IncrementalIntegrator::Refresh() {
 
   // 2. Linkage: incremental.
   WallTimer timer;
-  size_t comparisons = linker_->AddNewRecords();
-  report_.linkage.clusters = linker_->Clusters();
-  report_.linkage.num_candidates += comparisons;
-  report_.linkage.num_matches = linker_->num_edges();
+  size_t comparisons;
+  {
+    trace::StageSpan span("linkage");
+    comparisons = linker_->AddNewRecords();
+    span.AddItems(comparisons);
+    report_.linkage.clusters = linker_->Clusters();
+    report_.linkage.num_candidates += comparisons;
+    report_.linkage.num_matches = linker_->num_edges();
+  }
   report_.linkage_seconds = timer.ElapsedSeconds();
+  refresh_span.AddItems(comparisons);
 
   // 3. Feedback + claims + fusion. Claim building over the corpus is a
   // single linear pass and fusion iterates over claims only, so both stay
   // cheap relative to pairwise matching.
   timer.Reset();
   if (config_.integrator.linkage_feedback) {
+    trace::StageSpan span("feedback");
     schema::LinkageRefinementReport refinement =
         schema::RefineSchemaWithLinkage(
             *dataset_, report_.stats, report_.schema, report_.normalizer,
             report_.linkage.clusters.label_of_record,
             config_.integrator.refinement);
     report_.feedback_merges = refinement.merges;
+    span.AddItems(refinement.merges);
     if (refinement.merges > 0) {
       report_.schema = std::move(refinement.schema);
       report_.normalizer =
           schema::ValueNormalizer::Fit(report_.stats, report_.schema);
     }
   }
-  report_.claims = fusion::ClaimDb::FromPipeline(
-      *dataset_, report_.linkage.clusters, report_.schema,
-      report_.normalizer, nullptr);
-  if (config_.integrator.numeric_snap_tolerance > 0.0) {
-    report_.claims.CanonicalizeNumericValues(
-        config_.integrator.numeric_snap_tolerance);
+  {
+    trace::StageSpan span("fusion");
+    report_.claims = fusion::ClaimDb::FromPipeline(
+        *dataset_, report_.linkage.clusters, report_.schema,
+        report_.normalizer, nullptr);
+    span.AddItems(report_.claims.num_claims());
+    if (config_.integrator.numeric_snap_tolerance > 0.0) {
+      report_.claims.CanonicalizeNumericValues(
+          config_.integrator.numeric_snap_tolerance);
+    }
+    fusion::AccuCopyConfig accu_copy = config_.integrator.accu_copy;
+    report_.fusion =
+        fusion::AccuCopyFusion(accu_copy).Resolve(report_.claims);
   }
-  fusion::AccuCopyConfig accu_copy = config_.integrator.accu_copy;
-  report_.fusion = fusion::AccuCopyFusion(accu_copy).Resolve(report_.claims);
   report_.fusion_seconds = timer.ElapsedSeconds();
   return comparisons;
 }

@@ -4,7 +4,9 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "bdi/common/metrics.h"
 #include "bdi/common/timer.h"
+#include "bdi/common/trace.h"
 
 namespace bdi::core {
 
@@ -42,27 +44,46 @@ std::unique_ptr<fusion::FusionMethod> Integrator::MakeFusionMethod() const {
 
 IntegrationReport Integrator::Run(const Dataset& dataset) const {
   IntegrationReport report;
+  RunStages(dataset, &report);
+  // Snapshot after the pipeline span has closed so the export includes
+  // this very run's "pipeline" aggregate, not just its children.
+  if (metrics::Enabled()) {
+    report.metrics_json = metrics::Registry::Get().ToJson();
+  }
+  return report;
+}
+
+void Integrator::RunStages(const Dataset& dataset,
+                           IntegrationReport* out) const {
+  IntegrationReport& report = *out;
   WallTimer timer;
+  trace::StageSpan pipeline_span("pipeline");
+  pipeline_span.AddItems(dataset.num_records());
 
   // Stage 1: bottom-up schema alignment.
-  report.stats = schema::AttributeStatistics::Compute(dataset);
-  std::vector<schema::AttrEdge> edges =
-      schema::BuildCandidateEdges(report.stats, config_.attr_match);
-  if (config_.probabilistic_schema) {
-    schema::ProbabilisticMediatedSchema pms =
-        schema::ProbabilisticMediatedSchema::Build(report.stats, edges,
-                                                   config_.probabilistic);
-    report.schema = pms.Consensus(report.stats, config_.consensus_tau);
-  } else {
-    report.schema = schema::BuildMediatedSchema(report.stats, edges,
-                                                config_.mediated_schema);
+  {
+    trace::StageSpan span("schema");
+    span.AddItems(dataset.num_attrs());
+    report.stats = schema::AttributeStatistics::Compute(dataset);
+    std::vector<schema::AttrEdge> edges =
+        schema::BuildCandidateEdges(report.stats, config_.attr_match);
+    if (config_.probabilistic_schema) {
+      schema::ProbabilisticMediatedSchema pms =
+          schema::ProbabilisticMediatedSchema::Build(report.stats, edges,
+                                                     config_.probabilistic);
+      report.schema = pms.Consensus(report.stats, config_.consensus_tau);
+    } else {
+      report.schema = schema::BuildMediatedSchema(report.stats, edges,
+                                                  config_.mediated_schema);
+    }
+    report.normalizer =
+        schema::ValueNormalizer::Fit(report.stats, report.schema);
   }
-  report.normalizer =
-      schema::ValueNormalizer::Fit(report.stats, report.schema);
   report.schema_seconds = timer.ElapsedSeconds();
 
   // Stage 2: record linkage, with the aligned schema strengthening the
-  // matcher's value-agreement evidence.
+  // matcher's value-agreement evidence. (Linker::Run opens the
+  // pipeline/linkage span and its blocking/matching/clustering children.)
   timer.Reset();
   linkage::Linker linker(&dataset, config_.linker, &report.schema,
                          &report.normalizer);
@@ -72,11 +93,13 @@ IntegrationReport Integrator::Run(const Dataset& dataset) const {
   // Feedback loop: linked entities reveal attribute correspondences the
   // name/value matchers missed; fold them into the schema before fusion.
   if (config_.linkage_feedback) {
+    trace::StageSpan span("feedback");
     schema::LinkageRefinementReport refinement =
         schema::RefineSchemaWithLinkage(
             dataset, report.stats, report.schema, report.normalizer,
             report.linkage.clusters.label_of_record, config_.refinement);
     report.feedback_merges = refinement.merges;
+    span.AddItems(refinement.merges);
     if (refinement.merges > 0) {
       report.schema = std::move(refinement.schema);
       report.normalizer =
@@ -86,15 +109,19 @@ IntegrationReport Integrator::Run(const Dataset& dataset) const {
 
   // Stage 3: data fusion over the linked, aligned, normalized claims.
   timer.Reset();
-  report.claims = fusion::ClaimDb::FromPipeline(
-      dataset, report.linkage.clusters, report.schema, report.normalizer,
-      &linker.roles());
-  if (config_.numeric_snap_tolerance > 0.0) {
-    report.claims.CanonicalizeNumericValues(config_.numeric_snap_tolerance);
+  {
+    trace::StageSpan span("fusion");
+    report.claims = fusion::ClaimDb::FromPipeline(
+        dataset, report.linkage.clusters, report.schema, report.normalizer,
+        &linker.roles());
+    if (config_.numeric_snap_tolerance > 0.0) {
+      report.claims.CanonicalizeNumericValues(
+          config_.numeric_snap_tolerance);
+    }
+    span.AddItems(report.claims.num_claims());
+    report.fusion = MakeFusionMethod()->Resolve(report.claims);
   }
-  report.fusion = MakeFusionMethod()->Resolve(report.claims);
   report.fusion_seconds = timer.ElapsedSeconds();
-  return report;
 }
 
 std::vector<IntegratedEntity> MaterializeEntities(

@@ -71,6 +71,14 @@ struct IntegrationReport {
   double linkage_seconds = 0.0;
   double fusion_seconds = 0.0;
 
+  /// Observability hook: when metrics collection is enabled
+  /// (metrics::SetEnabled(true)) the pipeline fills this with the
+  /// process-wide metrics/trace snapshot serialized as JSON, taken right
+  /// after fusion finishes (schema in docs/OBSERVABILITY.md). Empty when
+  /// collection is disabled. Purely additive — pipeline outputs are
+  /// bitwise-identical with metrics on or off.
+  std::string metrics_json;
+
   /// One-paragraph human-readable summary.
   std::string Summary() const;
 };
@@ -96,6 +104,10 @@ class Integrator {
   const IntegratorConfig& config() const { return config_; }
 
  private:
+  /// The three stages proper, wrapped in the "pipeline" trace span;
+  /// Run() takes the metrics snapshot after the span closes.
+  void RunStages(const Dataset& dataset, IntegrationReport* out) const;
+
   std::unique_ptr<fusion::FusionMethod> MakeFusionMethod() const;
 
   IntegratorConfig config_;

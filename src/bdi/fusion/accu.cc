@@ -4,10 +4,32 @@
 #include <cmath>
 
 #include "bdi/common/executor.h"
+#include "bdi/common/metrics.h"
+#include "bdi/common/trace.h"
 #include "bdi/fusion/accu_em.h"
 #include "bdi/text/similarity.h"
 
 namespace bdi::fusion {
+
+namespace {
+
+metrics::Counter& EmIterationsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.fusion.em.iterations");
+  return *counter;
+}
+
+metrics::Histogram& EmDeltaHistogram() {
+  // Per-iteration max accuracy change; the convergence criterion compares
+  // against AccuConfig::epsilon (default 1e-4).
+  static metrics::Histogram* histogram =
+      metrics::Registry::Get().RegisterHistogram(
+          "bdi.fusion.em.max_delta",
+          {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0});
+  return *histogram;
+}
+
+}  // namespace
 
 double ClaimValueSimilarity(const std::string& a, const std::string& b) {
   if (a == b) return 1.0;
@@ -17,7 +39,9 @@ double ClaimValueSimilarity(const std::string& a, const std::string& b) {
 }
 
 FusionResult AccuFusion::Resolve(const ClaimDb& db) const {
+  trace::StageSpan span(config_.similarity_rho > 0.0 ? "accusim" : "accu");
   const std::vector<DataItem>& items = db.items();
+  span.AddItems(items.size());
   const ValueIndex& vi = db.value_index();
   size_t num_sources = db.num_sources();
   FusionResult result;
@@ -38,6 +62,7 @@ FusionResult AccuFusion::Resolve(const ClaimDb& db) const {
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     result.iterations = iter + 1;
+    EmIterationsCounter().Add();
     internal::ComputeLogOdds(result.source_accuracy, config_.n_false_values,
                              config_.min_accuracy, config_.max_accuracy,
                              &log_odds);
@@ -67,6 +92,7 @@ FusionResult AccuFusion::Resolve(const ClaimDb& db) const {
         db, vi, claim_probability, config_.initial_accuracy,
         config_.min_accuracy, config_.max_accuracy, &result.source_accuracy,
         &next_accuracy, &claim_count);
+    EmDeltaHistogram().Observe(max_delta);
     if (max_delta < config_.epsilon) break;
   }
 

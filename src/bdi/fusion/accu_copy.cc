@@ -4,12 +4,38 @@
 #include <cmath>
 
 #include "bdi/common/executor.h"
+#include "bdi/common/metrics.h"
+#include "bdi/common/trace.h"
 #include "bdi/fusion/accu_em.h"
 
 namespace bdi::fusion {
 
+namespace {
+
+metrics::Counter& EmIterationsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.fusion.em.iterations");
+  return *counter;
+}
+
+metrics::Counter& OuterIterationsCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.fusion.accucopy.outer_iterations");
+  return *counter;
+}
+
+metrics::Counter& DependenciesCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.fusion.copy.dependencies_detected");
+  return *counter;
+}
+
+}  // namespace
+
 FusionResult AccuCopyFusion::Resolve(const ClaimDb& db) const {
+  trace::StageSpan span("accucopy");
   const std::vector<DataItem>& items = db.items();
+  span.AddItems(items.size());
   const ValueIndex& vi = db.value_index();
   size_t num_sources = db.num_sources();
   const AccuConfig& accu = config_.accu;
@@ -31,9 +57,11 @@ FusionResult AccuCopyFusion::Resolve(const ClaimDb& db) const {
   std::vector<double> claim_count(num_sources, 0.0);
 
   for (int outer = 0; outer < config_.max_outer_iterations; ++outer) {
+    OuterIterationsCounter().Add();
     // 1. Copy detection against the current truth estimate.
     last_dependencies_ = DetectCopying(db, result.chosen,
                                        result.source_accuracy, config_.copy);
+    DependenciesCounter().Add(last_dependencies_.size());
     independence = IndependenceMatrix(num_sources, last_dependencies_);
 
     // 2. Discounted truth discovery with fixed dependence, iterating
@@ -41,6 +69,7 @@ FusionResult AccuCopyFusion::Resolve(const ClaimDb& db) const {
     std::vector<double> accuracy = result.source_accuracy;
     for (int iter = 0; iter < accu.max_iterations; ++iter) {
       ++result.iterations;
+      EmIterationsCounter().Add();
       internal::ComputeLogOdds(accuracy, accu.n_false_values,
                                accu.min_accuracy, accu.max_accuracy,
                                &log_odds);

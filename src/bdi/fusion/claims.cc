@@ -5,9 +5,32 @@
 #include <set>
 #include <unordered_map>
 
+#include "bdi/common/metrics.h"
 #include "bdi/common/string_util.h"
 
 namespace bdi::fusion {
+
+namespace {
+
+metrics::Counter& ItemsBuiltCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.fusion.items.built");
+  return *counter;
+}
+
+metrics::Counter& ClaimsBuiltCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.fusion.claims.built");
+  return *counter;
+}
+
+metrics::Counter& ValuesInternedCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.fusion.values.interned");
+  return *counter;
+}
+
+}  // namespace
 
 ClaimDb ClaimDb::FromPipeline(const Dataset& dataset,
                               const linkage::EntityClusters& clusters,
@@ -43,6 +66,8 @@ ClaimDb ClaimDb::FromPipeline(const Dataset& dataset,
     }
     db.items_.push_back(std::move(item));
   }
+  ItemsBuiltCounter().Add(db.items_.size());
+  ClaimsBuiltCounter().Add(db.num_claims());
   return db;
 }
 
@@ -118,6 +143,7 @@ const ValueIndex& ClaimDb::value_index() const {
     }
     index->claim_offset.push_back(index->claim_local.size());
   }
+  ValuesInternedCounter().Add(index->values.size());
   index_ = std::move(index);
   return *index_;
 }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "bdi/common/executor.h"
+#include "bdi/common/metrics.h"
 #include "bdi/common/string_util.h"
 #include "bdi/text/tokenizer.h"
 
@@ -218,7 +219,18 @@ std::vector<CandidatePair> BlocksToPairs(const Dataset& dataset,
   };
   ParallelForRanges(blocks.size(), expand, num_threads);
   std::sort(pairs.begin(), pairs.end());
+  size_t generated = pairs.size();
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  if (metrics::Enabled()) {
+    static metrics::Counter* generated_counter =
+        metrics::Registry::Get().RegisterCounter(
+            "bdi.linkage.blocking.pairs.generated");
+    static metrics::Counter* pruned_counter =
+        metrics::Registry::Get().RegisterCounter(
+            "bdi.linkage.blocking.pairs.pruned");
+    generated_counter->Add(generated);
+    pruned_counter->Add(generated - pairs.size());
+  }
   return pairs;
 }
 

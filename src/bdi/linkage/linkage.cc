@@ -2,10 +2,40 @@
 
 #include <algorithm>
 
+#include "bdi/common/metrics.h"
 #include "bdi/common/timer.h"
+#include "bdi/common/trace.h"
 #include "bdi/dataflow/mapreduce.h"
 
 namespace bdi::linkage {
+
+namespace {
+
+metrics::Counter& BlocksCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.linkage.blocks");
+  return *counter;
+}
+
+metrics::Counter& CandidatesCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.linkage.candidate_pairs");
+  return *counter;
+}
+
+metrics::Counter& ComparisonsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.linkage.comparisons");
+  return *counter;
+}
+
+metrics::Counter& MatchesCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.linkage.matches");
+  return *counter;
+}
+
+}  // namespace
 
 Linker::Linker(const Dataset* dataset, const LinkerConfig& config,
                const schema::MediatedSchema* schema,
@@ -53,33 +83,41 @@ std::unique_ptr<Blocker> Linker::MakeBlocker() const {
 LinkageResult Linker::Run() {
   LinkageResult result;
   WallTimer timer;
+  trace::StageSpan linkage_span("linkage");
+  linkage_span.AddItems(dataset_->num_records());
 
   // 1. Blocking (tokenization and pair expansion honor the linker's
   // thread budget).
-  std::vector<Block> blocks;
-  if (config_.blocker == BlockerKind::kTokenPlusIdentifier) {
-    IdentifierBlocker id_blocker;
-    id_blocker.set_num_threads(config_.num_threads);
-    blocks = id_blocker.MakeBlocksAll(*dataset_, &roles_);
-    TokenBlocker token_blocker;
-    token_blocker.set_num_threads(config_.num_threads);
-    std::vector<Block> token_blocks =
-        token_blocker.MakeBlocksAll(*dataset_, &roles_);
-    blocks.insert(blocks.end(),
-                  std::make_move_iterator(token_blocks.begin()),
-                  std::make_move_iterator(token_blocks.end()));
-  } else {
-    std::unique_ptr<Blocker> blocker = MakeBlocker();
-    blocker->set_num_threads(config_.num_threads);
-    blocks = blocker->MakeBlocksAll(*dataset_, &roles_);
-  }
   std::vector<CandidatePair> candidates;
-  if (config_.use_meta_blocking) {
-    candidates = MetaBlock(*dataset_, blocks, config_.meta_blocking);
-  } else {
-    candidates = BlocksToPairs(*dataset_, blocks,
-                               config_.meta_blocking.allow_same_source,
-                               config_.num_threads);
+  {
+    trace::StageSpan span("blocking");
+    std::vector<Block> blocks;
+    if (config_.blocker == BlockerKind::kTokenPlusIdentifier) {
+      IdentifierBlocker id_blocker;
+      id_blocker.set_num_threads(config_.num_threads);
+      blocks = id_blocker.MakeBlocksAll(*dataset_, &roles_);
+      TokenBlocker token_blocker;
+      token_blocker.set_num_threads(config_.num_threads);
+      std::vector<Block> token_blocks =
+          token_blocker.MakeBlocksAll(*dataset_, &roles_);
+      blocks.insert(blocks.end(),
+                    std::make_move_iterator(token_blocks.begin()),
+                    std::make_move_iterator(token_blocks.end()));
+    } else {
+      std::unique_ptr<Blocker> blocker = MakeBlocker();
+      blocker->set_num_threads(config_.num_threads);
+      blocks = blocker->MakeBlocksAll(*dataset_, &roles_);
+    }
+    BlocksCounter().Add(blocks.size());
+    if (config_.use_meta_blocking) {
+      candidates = MetaBlock(*dataset_, blocks, config_.meta_blocking);
+    } else {
+      candidates = BlocksToPairs(*dataset_, blocks,
+                                 config_.meta_blocking.allow_same_source,
+                                 config_.num_threads);
+    }
+    span.AddItems(candidates.size());
+    CandidatesCounter().Add(candidates.size());
   }
   result.blocking_seconds = timer.ElapsedSeconds();
   result.num_candidates = candidates.size();
@@ -87,28 +125,40 @@ LinkageResult Linker::Run() {
 
   // 2. Pairwise matching (parallel over the dataflow substrate).
   timer.Reset();
-  std::vector<double> scores = dataflow::ParallelMap<CandidatePair, double>(
-      candidates,
-      [this](const CandidatePair& pair) {
-        return scorer_->Score(extractor_.Extract(pair.a, pair.b));
-      },
-      config_.num_threads);
-  // Match iff score >= the scorer's own threshold: PairScorer::threshold()
-  // is authoritative (no per-kind re-hard-coding here).
-  double threshold = scorer_->threshold();
   std::vector<ScoredPair> matches;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (scores[i] >= threshold) {
-      matches.push_back(ScoredPair{candidates[i], scores[i]});
+  {
+    trace::StageSpan span("matching");
+    span.AddItems(candidates.size());
+    ComparisonsCounter().Add(candidates.size());
+    std::vector<double> scores =
+        dataflow::ParallelMap<CandidatePair, double>(
+            candidates,
+            [this](const CandidatePair& pair) {
+              return scorer_->Score(extractor_.Extract(pair.a, pair.b));
+            },
+            config_.num_threads);
+    // Match iff score >= the scorer's own threshold:
+    // PairScorer::threshold() is authoritative (no per-kind
+    // re-hard-coding here).
+    double threshold = scorer_->threshold();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (scores[i] >= threshold) {
+        matches.push_back(ScoredPair{candidates[i], scores[i]});
+      }
     }
+    MatchesCounter().Add(matches.size());
   }
   result.matching_seconds = timer.ElapsedSeconds();
   result.num_matches = matches.size();
 
   // 3. Clustering.
   timer.Reset();
-  result.clusters =
-      ClusterRecords(dataset_->num_records(), matches, config_.clustering);
+  {
+    trace::StageSpan span("clustering");
+    span.AddItems(matches.size());
+    result.clusters =
+        ClusterRecords(dataset_->num_records(), matches, config_.clustering);
+  }
   result.clustering_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "bdi/common/metrics.h"
+
 namespace bdi::linkage {
 
 namespace {
@@ -119,6 +121,16 @@ std::vector<CandidatePair> MetaBlock(const Dataset& dataset,
   }
   std::sort(kept.begin(), kept.end());
   kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  if (metrics::Enabled()) {
+    static metrics::Counter* generated_counter =
+        metrics::Registry::Get().RegisterCounter(
+            "bdi.linkage.meta_blocking.pairs.generated");
+    static metrics::Counter* pruned_counter =
+        metrics::Registry::Get().RegisterCounter(
+            "bdi.linkage.meta_blocking.pairs.pruned");
+    generated_counter->Add(graph.size());
+    pruned_counter->Add(graph.size() - kept.size());
+  }
   return kept;
 }
 

@@ -6,9 +6,27 @@
 #include <numeric>
 
 #include "bdi/common/logging.h"
+#include "bdi/common/metrics.h"
 #include "bdi/common/random.h"
+#include "bdi/common/trace.h"
 
 namespace bdi::select {
+
+namespace {
+
+metrics::Counter& ConsideredCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.select.sources.considered");
+  return *counter;
+}
+
+metrics::Counter& SelectedCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.select.sources.selected");
+  return *counter;
+}
+
+}  // namespace
 
 double EstimateFusionAccuracy(const std::vector<double>& accuracies,
                               const SelectionConfig& config) {
@@ -99,6 +117,9 @@ SelectionResult CurvesForOrder(const std::vector<SourceProfile>& profiles,
 
 SelectionResult GreedySelect(const std::vector<SourceProfile>& profiles,
                              const SelectionConfig& config) {
+  trace::StageSpan span("select");
+  span.AddItems(profiles.size());
+  ConsideredCounter().Add(profiles.size());
   std::vector<bool> used(profiles.size(), false);
   std::vector<size_t> order;
   std::vector<SourceProfile> prefix;
@@ -128,7 +149,9 @@ SelectionResult GreedySelect(const std::vector<SourceProfile>& profiles,
     current_quality = best_quality;
     cumulative_cost += profiles[best_index].cost;
   }
-  return CurvesForOrder(profiles, order, config, "greedy");
+  SelectionResult result = CurvesForOrder(profiles, order, config, "greedy");
+  SelectedCounter().Add(result.best_prefix);
+  return result;
 }
 
 SelectionResult OrderByAccuracy(const std::vector<SourceProfile>& profiles,

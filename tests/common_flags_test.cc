@@ -65,5 +65,34 @@ TEST(FlagsTest, LastOccurrenceWins) {
   EXPECT_EQ(flags.Get("k", ""), "2");
 }
 
+TEST(FlagsTest, ParsesEqualsForm) {
+  Flags flags = Parse({"--metrics-out=m.json", "--top=7"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.Get("metrics-out", ""), "m.json");
+  EXPECT_EQ(flags.GetInt("top", 0), 7);
+}
+
+TEST(FlagsTest, MixesEqualsAndPairForms) {
+  Flags flags = Parse({"--in", "a.csv", "--metrics-out=m.json", "--top", "3"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.Get("in", ""), "a.csv");
+  EXPECT_EQ(flags.Get("metrics-out", ""), "m.json");
+  EXPECT_EQ(flags.GetInt("top", 0), 3);
+}
+
+TEST(FlagsTest, EqualsFormAllowsEmptyValueAndEqualsInValue) {
+  Flags flags = Parse({"--empty=", "--expr=a=b"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_TRUE(flags.Has("empty"));
+  EXPECT_EQ(flags.Get("empty", "x"), "");
+  EXPECT_EQ(flags.Get("expr", ""), "a=b");
+}
+
+TEST(FlagsTest, RejectsEmptyNameInEqualsForm) {
+  Flags flags = Parse({"--=v"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.bad_token(), "--=v");
+}
+
 }  // namespace
 }  // namespace bdi

@@ -1,0 +1,224 @@
+#include "bdi/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bdi/common/trace.h"
+
+namespace bdi::metrics {
+namespace {
+
+/// Every test runs against the process-wide registry, so isolate: zero all
+/// instruments before, and leave collection off after.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::Get().Reset();
+    SetEnabled(true);
+  }
+
+  void TearDown() override {
+    SetEnabled(false);
+    Registry::Get().Reset();
+  }
+};
+
+TEST_F(MetricsTest, ConcurrentIncrementsSumExactly) {
+  Counter* counter =
+      Registry::Get().RegisterCounter("bdi.test.concurrent_adds");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter->Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentsDoNotRecord) {
+  Counter* counter = Registry::Get().RegisterCounter("bdi.test.gated");
+  Gauge* gauge = Registry::Get().RegisterGauge("bdi.test.gated_gauge");
+  Histogram* histogram =
+      Registry::Get().RegisterHistogram("bdi.test.gated_histo", {1.0});
+  SetEnabled(false);
+  counter->Add(7);
+  gauge->Set(7);
+  histogram->Observe(0.5);
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeSetAddAndHighWaterMark) {
+  Gauge* gauge = Registry::Get().RegisterGauge("bdi.test.gauge");
+  gauge->Set(5);
+  gauge->Add(-2);
+  EXPECT_EQ(gauge->value(), 3);
+  gauge->SetMax(10);
+  EXPECT_EQ(gauge->value(), 10);
+  gauge->SetMax(4);  // below the high-water mark: ignored
+  EXPECT_EQ(gauge->value(), 10);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundariesAreInclusiveUpper) {
+  Histogram* histogram =
+      Registry::Get().RegisterHistogram("bdi.test.histo", {1.0, 10.0, 100.0});
+  ASSERT_EQ(histogram->bounds().size(), 3u);
+  histogram->Observe(0.5);     // bucket 0 (v <= 1)
+  histogram->Observe(1.0);     // bucket 0, exactly on the bound
+  histogram->Observe(1.5);     // bucket 1
+  histogram->Observe(10.0);    // bucket 1, exactly on the bound
+  histogram->Observe(100.0);   // bucket 2
+  histogram->Observe(1000.0);  // overflow bucket
+  EXPECT_EQ(histogram->bucket_count(0), 2u);
+  EXPECT_EQ(histogram->bucket_count(1), 2u);
+  EXPECT_EQ(histogram->bucket_count(2), 1u);
+  EXPECT_EQ(histogram->bucket_count(3), 1u);
+  EXPECT_EQ(histogram->count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram->sum(), 0.5 + 1.0 + 1.5 + 10.0 + 100.0 + 1000.0);
+}
+
+TEST_F(MetricsTest, HistogramConcurrentObservationsLoseNothing) {
+  Histogram* histogram =
+      Registry::Get().RegisterHistogram("bdi.test.histo_mt", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kObsPerThread; ++i) histogram->Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  uint64_t total = static_cast<uint64_t>(kThreads) * kObsPerThread;
+  EXPECT_EQ(histogram->count(), total);
+  EXPECT_EQ(histogram->bucket_count(1), total);
+  EXPECT_DOUBLE_EQ(histogram->sum(), static_cast<double>(total));
+}
+
+TEST_F(MetricsTest, RegistrationReturnsSameHandleForSameName) {
+  Counter* a = Registry::Get().RegisterCounter("bdi.test.same");
+  Counter* b = Registry::Get().RegisterCounter("bdi.test.same");
+  EXPECT_EQ(a, b);
+  // Later bounds on an existing histogram are ignored.
+  Histogram* h1 =
+      Registry::Get().RegisterHistogram("bdi.test.same_histo", {1.0, 2.0});
+  Histogram* h2 =
+      Registry::Get().RegisterHistogram("bdi.test.same_histo", {99.0});
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->bounds().size(), 2u);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndDeterministic) {
+  // Register out of order; snapshots must come back sorted by name.
+  Registry::Get().RegisterCounter("bdi.test.zz")->Add(2);
+  Registry::Get().RegisterCounter("bdi.test.aa")->Add(1);
+  Registry::Get().RegisterGauge("bdi.test.mm")->Set(3);
+  Snapshot snapshot = Registry::Get().TakeSnapshot();
+  // Registration is permanent (Reset only zeroes), so instruments from
+  // other tests may be present too — assert global sortedness plus the
+  // relative order of the two counters registered here.
+  std::vector<std::string> names;
+  for (const CounterSample& c : snapshot.counters) names.push_back(c.name);
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  auto aa = std::find(names.begin(), names.end(), "bdi.test.aa");
+  auto zz = std::find(names.begin(), names.end(), "bdi.test.zz");
+  ASSERT_NE(aa, names.end());
+  ASSERT_NE(zz, names.end());
+  EXPECT_LT(aa - names.begin(), zz - names.begin());
+  // No intervening updates: serialization is bit-for-bit stable.
+  std::string first = Registry::Get().ToJson();
+  std::string second = Registry::Get().ToJson();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(first.find("bdi.test.aa"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetZeroesInstrumentsButKeepsHandles) {
+  Counter* counter = Registry::Get().RegisterCounter("bdi.test.reset");
+  counter->Add(5);
+  Registry::Get().Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  counter->Add(1);
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(StageTraceTest, SpansNestIntoSlashJoinedPaths) {
+  Registry::Get().Reset();
+  SetEnabled(true);
+  {
+    trace::StageSpan outer("outer");
+    outer.AddItems(10);
+    {
+      trace::StageSpan inner("inner");
+      inner.AddItems(3);
+    }
+    {
+      trace::StageSpan inner("inner");
+      inner.AddItems(4);
+    }
+  }
+  std::vector<SpanSample> spans = trace::SnapshotSpans();
+  SetEnabled(false);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].calls, 1u);
+  EXPECT_EQ(spans[0].items, 10u);
+  EXPECT_EQ(spans[1].name, "outer/inner");
+  EXPECT_EQ(spans[1].calls, 2u);
+  EXPECT_EQ(spans[1].items, 7u);
+  EXPECT_GE(spans[0].wall_seconds, spans[1].wall_seconds);
+  Registry::Get().Reset();
+}
+
+TEST(StageTraceTest, DisabledSpansRecordNothing) {
+  Registry::Get().Reset();
+  SetEnabled(false);
+  {
+    trace::StageSpan span("ghost");
+    span.AddItems(99);
+  }
+  EXPECT_TRUE(trace::SnapshotSpans().empty());
+}
+
+TEST(StageTraceTest, ConcurrentSpansAggregateAcrossThreads) {
+  Registry::Get().Reset();
+  SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        trace::StageSpan span("worker");
+        span.AddItems(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<SpanSample> spans = trace::SnapshotSpans();
+  SetEnabled(false);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "worker");
+  EXPECT_EQ(spans[0].calls,
+            static_cast<uint64_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(spans[0].items,
+            static_cast<uint64_t>(kThreads) * kSpansPerThread);
+  Registry::Get().Reset();
+}
+
+}  // namespace
+}  // namespace bdi::metrics

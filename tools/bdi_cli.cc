@@ -18,12 +18,19 @@
 // `generate` writes a synthetic multi-source corpus (and optionally its
 // record->entity ground truth); the other commands work on any corpus in
 // the long CSV format (source,record,attribute,value).
+//
+// Every command additionally accepts `--metrics-out <path>` (or
+// `--metrics-out=<path>`): it enables the metrics registry for the run and
+// writes the JSON snapshot — per-stage wall times, candidate-pair counts,
+// fusion EM iterations, executor task counts — to <path> on success. See
+// docs/OBSERVABILITY.md for the schema and the full metric list.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
 #include "bdi/common/flags.h"
+#include "bdi/common/metrics.h"
 #include "bdi/common/string_util.h"
 #include "bdi/common/table.h"
 #include "bdi/core/integrator.h"
@@ -356,14 +363,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad argument near '%s'\n", flags.bad_token().c_str());
     return Usage();
   }
+  std::string metrics_out = flags.Get("metrics-out", "");
+  if (!metrics_out.empty()) bdi::metrics::SetEnabled(true);
   std::string command = argv[1];
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "integrate") return CmdIntegrate(flags);
-  if (command == "link") return CmdLink(flags);
-  if (command == "ask") return CmdAsk(flags);
-  if (command == "evolve") return CmdEvolve(flags);
-  if (command == "diff") return CmdDiff(flags);
-  if (command == "trust") return CmdTrust(flags);
-  return Usage();
+  int rc;
+  if (command == "generate") {
+    rc = CmdGenerate(flags);
+  } else if (command == "stats") {
+    rc = CmdStats(flags);
+  } else if (command == "integrate") {
+    rc = CmdIntegrate(flags);
+  } else if (command == "link") {
+    rc = CmdLink(flags);
+  } else if (command == "ask") {
+    rc = CmdAsk(flags);
+  } else if (command == "evolve") {
+    rc = CmdEvolve(flags);
+  } else if (command == "diff") {
+    rc = CmdDiff(flags);
+  } else if (command == "trust") {
+    rc = CmdTrust(flags);
+  } else {
+    return Usage();
+  }
+  if (rc == 0 && !metrics_out.empty()) {
+    Status written =
+        bdi::metrics::Registry::Get().WriteJsonFile(metrics_out);
+    if (!written.ok()) return Fail(written);
+    std::printf("wrote metrics snapshot to %s\n", metrics_out.c_str());
+  }
+  return rc;
 }

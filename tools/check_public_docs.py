@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Checks that public declarations in headers carry /// doc comments.
+
+Usage: check_public_docs.py <header.h> [<header.h> ...]
+
+The repo's style (see docs/DEVELOPMENT.md) requires a /// doxygen comment
+on every public item in a public header. This is a line-based heuristic
+checker, not a C++ parser; it is tuned for the Google-style headers under
+src/bdi/ and errs on the side of not flagging:
+
+  * Only namespace-scope declarations and `public:` members of classes and
+    structs are checked (structs default to public, classes to private).
+  * A /// block covers the run of consecutive declarations that follows it,
+    until a blank line — so a documented overload set needs one comment.
+  * Exempt: access specifiers, constructors/destructors and operators that
+    are `= default` / `= delete`, friend declarations, `using` aliases of
+    injected names, macros, include guards, and anything inside a
+    `namespace internal`.
+
+Exit status is the number of undocumented declarations (0 = clean), so it
+slots directly under a CMake custom target; see the `docs-check` target.
+"""
+
+import re
+import sys
+
+
+DECL_START = re.compile(r"[A-Za-z_~]")
+ACCESS_SPEC = re.compile(r"^(public|protected|private)\s*:$")
+SCOPE_OPEN = re.compile(
+    r"^(?:template\s*<[^<>]*>\s*)?"
+    r"(?P<kind>namespace|class|struct|enum|union)\b(?P<rest>.*)$"
+)
+EXEMPT = re.compile(
+    r"^(?:friend\b|BDI_|#|\}|static_assert\b)"
+    r"|=\s*(?:default|delete)\s*;"
+)
+
+
+class Scope:
+    def __init__(self, kind, name, access):
+        self.kind = kind          # namespace | class | struct | other
+        self.name = name
+        self.access = access      # public | private (what members get now)
+
+
+def strip_strings_and_comments(line, in_block_comment):
+    """Removes // and /* */ comment bodies and string/char literals so brace
+    counting is not fooled by them. Returns (code, still_in_block)."""
+    out = []
+    i = 0
+    state = "code"  # code | str | chr
+    if in_block_comment:
+        end = line.find("*/")
+        if end < 0:
+            return "", True
+        i = end + 2
+    while i < len(line):
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < len(line) else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                break
+            if c == "/" and nxt == "*":
+                end = line.find("*/", i + 2)
+                if end < 0:
+                    return "".join(out), True
+                i = end + 2
+                continue
+            if c == '"':
+                state = "str"
+            elif c == "'":
+                state = "chr"
+            else:
+                out.append(c)
+        elif state in ("str", "chr"):
+            if c == "\\":
+                i += 2
+                continue
+            if (state == "str" and c == '"') or (state == "chr" and c == "'"):
+                state = "code"
+        i += 1
+    return "".join(out), False
+
+
+def check_header(path):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    problems = []
+    scopes = []  # innermost last; empty = file scope
+    in_block_comment = False
+    covered = False      # a /// block covers the current declaration run
+    pending_decl = None  # (lineno, text) of a decl awaiting its '{' or ';'
+    pending_covered = False
+    pending_depth = 0    # unbalanced parens/braces carried by the pending decl
+
+    def current_checkable():
+        """True when declarations here are public API."""
+        for scope in scopes:
+            if scope.kind == "namespace" and scope.name.startswith("internal"):
+                return False
+            if scope.kind == "other":
+                return False
+            if scope.kind in ("class", "struct") and scope.access != "public":
+                return False
+        return True
+
+    in_macro_continuation = False
+    for lineno, raw in enumerate(raw_lines, start=1):
+        stripped = raw.strip()
+        if in_macro_continuation:
+            in_macro_continuation = raw.rstrip().endswith("\\")
+            continue
+        if stripped.startswith("#") and raw.rstrip().endswith("\\"):
+            in_macro_continuation = True
+            continue
+        code, in_block_comment = strip_strings_and_comments(
+            stripped, in_block_comment)
+        code = code.strip()
+
+        is_doc = stripped.startswith("///")
+        is_comment_only = not code and (
+            stripped.startswith("//") or stripped.startswith("*")
+            or stripped.startswith("/*") or in_block_comment)
+
+        if is_doc:
+            covered = True
+            continue
+        if is_comment_only:
+            continue
+        if not code:
+            if pending_decl is None:
+                covered = False  # blank line ends a documented run
+            continue
+        if code.startswith("#"):
+            continue
+
+        # Continuation of a multi-line declaration: only track nesting.
+        if pending_decl is not None:
+            pending_depth += code.count("(") - code.count(")")
+            pending_depth += code.count("{") - code.count("}")
+            if pending_depth <= 0 and (";" in code or "{" in code):
+                if "{" in code:
+                    scopes.append(Scope("other", "", "private"))
+                    depth_after = code.count("{") - code.count("}")
+                    if depth_after <= 0:
+                        scopes.pop()
+                pending_decl = None
+            continue
+
+        m = ACCESS_SPEC.match(code)
+        if m:
+            if scopes and scopes[-1].kind in ("class", "struct"):
+                scopes[-1].access = m.group(1)
+            covered = False
+            continue
+
+        # Scope closes.
+        if code.startswith("}"):
+            closes = code.count("}") - code.count("{")
+            for _ in range(max(closes, 0)):
+                if scopes:
+                    scopes.pop()
+            covered = False
+            continue
+
+        checkable = current_checkable()
+
+        # Scope opens: namespace / class / struct / enum.
+        m = SCOPE_OPEN.match(code)
+        if m and not code.endswith(";"):
+            kind = m.group("kind")
+            rest = m.group("rest")
+            name_match = re.match(r"\s*([A-Za-z_][A-Za-z0-9_:]*)", rest)
+            name = name_match.group(1) if name_match else ""
+            if kind in ("class", "struct") and checkable and not covered:
+                problems.append((lineno, code))
+            if "{" in code:
+                if kind == "namespace":
+                    scope = Scope("namespace", name, "public")
+                elif kind == "class":
+                    scope = Scope("class", name, "private")
+                elif kind == "struct":
+                    scope = Scope("struct", name, "public")
+                else:
+                    scope = Scope("other", name, "public")
+                scopes.append(scope)
+            else:
+                pending_decl = (lineno, code)
+                pending_covered = covered
+                pending_depth = 0
+            covered = kind == "namespace" and covered
+            continue
+
+        depth = code.count("(") - code.count(")")
+        opens_brace = "{" in code
+
+        if EXEMPT.search(code) or not DECL_START.match(code):
+            if opens_brace and code.count("{") > code.count("}"):
+                scopes.append(Scope("other", "", "private"))
+            covered = False if code.endswith(";") else covered
+            continue
+
+        if checkable and not covered:
+            problems.append((lineno, code))
+
+        if depth > 0 or (not code.endswith(";") and not opens_brace):
+            pending_decl = (lineno, code)
+            pending_covered = covered
+            pending_depth = depth + code.count("{") - code.count("}")
+        elif opens_brace and code.count("{") > code.count("}"):
+            scopes.append(Scope("other", "", "private"))
+
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    total = 0
+    for path in argv[1:]:
+        for lineno, code in check_header(path):
+            print(f"{path}:{lineno}: undocumented public declaration: "
+                  f"{code[:90]}")
+            total += 1
+    if total:
+        print(f"docs-check: {total} undocumented public declaration(s)")
+    else:
+        print("docs-check: all public declarations documented")
+    return min(total, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
