@@ -2,8 +2,12 @@
 // runtime and throughput as the corpus grows, and the per-stage breakdown
 // (blocking / matching / clustering). Matching parallelizes across the
 // thread pool; the thread sweep shows the (machine-dependent) speedup.
+// With `--json`, writes BENCH_linkage_scaling.json carrying the scaling
+// rows, the thread sweep, and the pipeline metrics snapshot (interner
+// size, chunk counts, scratch reuses).
 #include <thread>
 
+#include "bdi/common/executor.h"
 #include "bdi/common/string_util.h"
 #include "bdi/common/table.h"
 #include "bdi/linkage/linkage.h"
@@ -12,7 +16,12 @@
 using namespace bdi;
 using namespace bdi::linkage;
 
-int main() {
+int main(int argc, char** argv) {
+  size_t max_threads = bench::ThreadsFlag(argc, argv, 8);
+  Executor::Configure(max_threads);
+  bench::JsonReporter json("linkage_scaling", argc, argv);
+  // Metrics ride along in the JSON; instrumentation is bitwise-neutral.
+  if (json.enabled()) metrics::SetEnabled(true);
   bench::Banner("E8", "linkage scalability (dataflow substrate)",
                 "runtime grows near-linearly with candidate count (blocking "
                 "keeps the pair space sparse); matching dominates and "
@@ -31,16 +40,22 @@ int main() {
     double total =
         result.blocking_seconds + result.matching_seconds +
         result.clustering_seconds;
+    double records_per_sec =
+        static_cast<double>(world.dataset.num_records()) /
+        std::max(1e-9, total);
     table.AddRow(
         {std::to_string(world.dataset.num_records()),
          std::to_string(result.num_candidates),
          FormatDouble(1000 * result.blocking_seconds, 1),
          FormatDouble(1000 * result.matching_seconds, 1),
          FormatDouble(1000 * result.clustering_seconds, 1),
-         FormatDouble(1000 * total, 1),
-         FormatDouble(static_cast<double>(world.dataset.num_records()) /
-                          std::max(1e-9, total),
-                      0)});
+         FormatDouble(1000 * total, 1), FormatDouble(records_per_sec, 0)});
+    json.Add("linkage_total_" + std::to_string(entities) + "_entities",
+             total, Executor::Get().num_threads(), records_per_sec);
+    json.Add("linkage_matching_" + std::to_string(entities) + "_entities",
+             result.matching_seconds, Executor::Get().num_threads(),
+             static_cast<double>(result.num_candidates) /
+                 std::max(1e-9, result.matching_seconds));
   }
   table.Print("Figure E8: runtime vs corpus size");
 
@@ -64,9 +79,14 @@ int main() {
          FormatDouble(1000 * result.matching_seconds, 1),
          FormatDouble(baseline / std::max(1e-9, result.matching_seconds),
                       2)});
+    json.Add("matching_sweep_" + std::to_string(threads) + "_threads",
+             result.matching_seconds, threads,
+             static_cast<double>(result.num_candidates) /
+                 std::max(1e-9, result.matching_seconds));
   }
   threads_table.Print("Figure E8b: matching-stage thread scaling");
   std::printf("hardware_concurrency on this machine: %u\n",
               std::thread::hardware_concurrency());
+  bench::AttachMetricsSnapshot(json);
   return 0;
 }

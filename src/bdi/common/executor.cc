@@ -43,14 +43,21 @@ std::atomic<size_t> g_requested_threads{0};
 std::atomic<bool> g_pool_created{false};
 
 size_t DefaultThreads() {
-  size_t requested = g_requested_threads.load();
-  if (requested > 0) return requested;
-  if (const char* env = std::getenv("BDI_NUM_THREADS")) {
-    long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<size_t>(v);
-  }
   unsigned hc = std::thread::hardware_concurrency();
-  return hc > 0 ? hc : 1;
+  size_t hardware = hc > 0 ? hc : 1;
+  size_t requested = g_requested_threads.load();
+  if (requested == 0) {
+    if (const char* env = std::getenv("BDI_NUM_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) requested = static_cast<size_t>(v);
+    }
+  }
+  // Clamp to the hardware: every loop on this pool is CPU-bound, so
+  // workers beyond the core count only add context switches (the seed's
+  // 8-thread linkage bench was *slower* than serial on a 1-core box for
+  // exactly this reason).
+  if (requested > 0) return std::min(requested, hardware);
+  return hardware;
 }
 
 void SerialRanges(size_t n, const std::function<void(size_t, size_t)>& fn) {

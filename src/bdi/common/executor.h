@@ -31,11 +31,14 @@ class Executor {
  public:
   /// The shared executor, constructed on first use with
   /// `Configure()`-requested threads, else $BDI_NUM_THREADS, else
-  /// hardware_concurrency (at least 1).
+  /// hardware_concurrency (at least 1). Requests are clamped to
+  /// hardware_concurrency: the pool runs CPU-bound kernels, and
+  /// oversubscribing cores only adds context switches.
   static Executor& Get();
 
-  /// Requests the worker count for the shared pool. Effective only before
-  /// the pool's lazy construction; returns false (and changes nothing) once
+  /// Requests the worker count for the shared pool (clamped to
+  /// hardware_concurrency at construction). Effective only before the
+  /// pool's lazy construction; returns false (and changes nothing) once
   /// the pool exists. Intended for process entry points (benches, tools).
   static bool Configure(size_t num_threads);
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 
+#include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
 #include "bdi/common/timer.h"
 #include "bdi/common/trace.h"
-#include "bdi/dataflow/mapreduce.h"
+#include "bdi/text/similarity.h"
 
 namespace bdi::linkage {
 
@@ -34,6 +35,23 @@ metrics::Counter& MatchesCounter() {
       metrics::Registry::Get().RegisterCounter("bdi.linkage.matches");
   return *counter;
 }
+
+metrics::Counter& MatchChunksCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.linkage.matching.chunks");
+  return *counter;
+}
+
+metrics::Counter& ScratchReusesCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.linkage.matching.scratch_reuses");
+  return *counter;
+}
+
+/// Pairs per scored chunk: small enough that skewed blocks still balance
+/// across workers, large enough that one scratch warm-up amortizes over
+/// many pairs.
+constexpr size_t kMinScoreChunk = 64;
 
 }  // namespace
 
@@ -121,43 +139,55 @@ LinkageResult Linker::Run() {
   }
   result.blocking_seconds = timer.ElapsedSeconds();
   result.num_candidates = candidates.size();
-  last_candidates_ = candidates;
 
-  // 2. Pairwise matching (parallel over the dataflow substrate).
+  // 2. Pairwise matching: chunked scoring over the shared executor. Each
+  // claimed chunk owns one SimilarityScratch reused across its pairs, so
+  // the per-pair kernels never allocate; scores land in disjoint
+  // per-index slots, making the result identical for every thread count.
   timer.Reset();
-  std::vector<ScoredPair> matches;
   {
     trace::StageSpan span("matching");
     span.AddItems(candidates.size());
     ComparisonsCounter().Add(candidates.size());
-    std::vector<double> scores =
-        dataflow::ParallelMap<CandidatePair, double>(
-            candidates,
-            [this](const CandidatePair& pair) {
-              return scorer_->Score(extractor_.Extract(pair.a, pair.b));
-            },
-            config_.num_threads);
+    std::vector<double> scores(candidates.size());
+    ParallelForRanges(
+        candidates.size(),
+        [&](size_t begin, size_t end) {
+          text::SimilarityScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            scores[i] = scorer_->Score(extractor_.Extract(
+                candidates[i].a, candidates[i].b, scratch));
+          }
+          if (metrics::Enabled()) {
+            MatchChunksCounter().Add();
+            ScratchReusesCounter().Add(end - begin - 1);
+          }
+        },
+        config_.num_threads, kMinScoreChunk);
     // Match iff score >= the scorer's own threshold:
     // PairScorer::threshold() is authoritative (no per-kind
     // re-hard-coding here).
     double threshold = scorer_->threshold();
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (scores[i] >= threshold) {
-        matches.push_back(ScoredPair{candidates[i], scores[i]});
+        result.matches.push_back(ScoredPair{candidates[i], scores[i]});
       }
     }
-    MatchesCounter().Add(matches.size());
+    MatchesCounter().Add(result.matches.size());
   }
   result.matching_seconds = timer.ElapsedSeconds();
-  result.num_matches = matches.size();
+  result.num_matches = result.matches.size();
+  // The matcher is done with the candidates; keep them for diagnostics
+  // without the copy a pre-matching assignment would cost.
+  last_candidates_ = std::move(candidates);
 
   // 3. Clustering.
   timer.Reset();
   {
     trace::StageSpan span("clustering");
-    span.AddItems(matches.size());
-    result.clusters =
-        ClusterRecords(dataset_->num_records(), matches, config_.clustering);
+    span.AddItems(result.matches.size());
+    result.clusters = ClusterRecords(dataset_->num_records(),
+                                     result.matches, config_.clustering);
   }
   result.clustering_seconds = timer.ElapsedSeconds();
   return result;

@@ -40,6 +40,11 @@ struct LinkerConfig {
 
 struct LinkageResult {
   EntityClusters clusters;
+  /// The scored pairs that cleared the scorer's threshold, in candidate
+  /// order — the clustering input, kept for diagnostics and equivalence
+  /// testing (serial and parallel runs must produce identical pairs and
+  /// bit-identical scores).
+  std::vector<ScoredPair> matches;
   size_t num_candidates = 0;
   size_t num_matches = 0;
   double blocking_seconds = 0.0;

@@ -5,11 +5,22 @@
 
 #include "bdi/common/executor.h"
 #include "bdi/common/logging.h"
+#include "bdi/common/metrics.h"
 #include "bdi/common/string_util.h"
 #include "bdi/text/similarity.h"
 #include "bdi/text/tokenizer.h"
 
 namespace bdi::linkage {
+
+namespace {
+
+metrics::Gauge& InternedTokensGauge() {
+  static metrics::Gauge* gauge =
+      metrics::Registry::Get().RegisterGauge("bdi.linkage.interner.tokens");
+  return *gauge;
+}
+
+}  // namespace
 
 FeatureExtractor::FeatureExtractor(const Dataset* dataset,
                                    const AttrRoles* roles,
@@ -27,26 +38,43 @@ FeatureExtractor::FeatureExtractor(const Dataset* dataset,
 
 void FeatureExtractor::Prepare() {
   size_t old_size = cache_.size();
-  cache_.resize(dataset_->num_records());
-  // Per-record caches are independent; build the new suffix in parallel.
+  size_t grown = dataset_->num_records() - old_size;
+  // Per-record tokenization is independent; build the new suffix in
+  // parallel, staged as strings.
+  std::vector<StagedCache> staged(grown);
   ParallelFor(
-      cache_.size() - old_size,
+      grown,
       [&](size_t i) {
-        cache_[old_size + i] =
-            BuildCache(static_cast<RecordIdx>(old_size + i));
+        staged[i] = BuildStaged(static_cast<RecordIdx>(old_size + i));
       },
       num_threads_);
+  // Intern serially in record order: ids come out deterministic and the
+  // interner is immutable — hence lock-free — during the concurrent
+  // Extract phase.
+  cache_.resize(dataset_->num_records());
+  for (size_t i = 0; i < grown; ++i) {
+    RecordCache& cache = cache_[old_size + i];
+    cache.name_tokens = text::InternTokenSet(interner_, staged[i].name_tokens);
+    cache.name_words = text::InternTokens(interner_, staged[i].name_words);
+    cache.id_tokens = text::InternTokenSet(interner_, staged[i].id_tokens);
+    cache.ids_from_role = staged[i].ids_from_role;
+    cache.aligned_values = std::move(staged[i].aligned_values);
+  }
+  if (metrics::Enabled()) {
+    InternedTokensGauge().Set(static_cast<int64_t>(interner_.size()));
+  }
 }
 
 void FeatureExtractor::Rebuild() {
   cache_.clear();
+  interner_ = text::TokenInterner();
   Prepare();
 }
 
-FeatureExtractor::RecordCache FeatureExtractor::BuildCache(
+FeatureExtractor::StagedCache FeatureExtractor::BuildStaged(
     RecordIdx idx) const {
   const Record& record = dataset_->record(idx);
-  RecordCache cache;
+  StagedCache cache;
   std::string name_text;
   std::string id_text;
   bool have_roles = roles_ != nullptr;
@@ -83,7 +111,10 @@ FeatureExtractor::RecordCache FeatureExtractor::BuildCache(
       name_text = record.fields[0].value;
     }
   }
-  cache.name_text = NormalizeWhitespace(name_text);
+  // Monge-Elkan ran over the whitespace-normalized name text; tokenizing
+  // that same string here keeps the word sequence (order and duplicates)
+  // exactly what the per-pair tokenizer used to produce.
+  cache.name_words = text::WordTokens(NormalizeWhitespace(name_text));
   cache.name_tokens = text::TokenSet(name_text);
   // Identifier evidence. When no identifier field was detected, mine the
   // record's text instead — but only letter+digit tokens of length >= 5:
@@ -107,6 +138,13 @@ FeatureExtractor::RecordCache FeatureExtractor::BuildCache(
 }
 
 PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b) const {
+  thread_local text::SimilarityScratch scratch;
+  return Extract(a, b, scratch);
+}
+
+PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b,
+                                       text::SimilarityScratch& scratch)
+    const {
   BDI_CHECK(static_cast<size_t>(a) < cache_.size() &&
             static_cast<size_t>(b) < cache_.size())
       << "FeatureExtractor::Prepare() not called after dataset growth";
@@ -119,20 +157,18 @@ PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b) const {
   // free text (which can mention *other* products' identifiers).
   size_t i = 0, j = 0;
   while (i < ca.id_tokens.size() && j < cb.id_tokens.size()) {
-    int cmp = ca.id_tokens[i].compare(cb.id_tokens[j]);
-    if (cmp == 0) {
+    if (ca.id_tokens[i] == cb.id_tokens[j]) {
       features.id_exact =
           ca.ids_from_role && cb.ids_from_role ? 1.0 : 0.7;
       break;
     }
-    cmp < 0 ? ++i : ++j;
+    ca.id_tokens[i] < cb.id_tokens[j] ? ++i : ++j;
   }
 
   features.name_jaccard =
-      text::JaccardSimilarity(ca.name_tokens, cb.name_tokens);
-  features.name_similarity =
-      std::max(text::MongeElkanSimilarity(ca.name_text, cb.name_text),
-               text::MongeElkanSimilarity(cb.name_text, ca.name_text));
+      text::JaccardSimilarityIds(ca.name_tokens, cb.name_tokens);
+  features.name_similarity = text::SymmetricMongeElkan(
+      interner_, ca.name_words, cb.name_words, scratch);
 
   // Aligned value agreement over shared keys. Numeric closeness counts the
   // fraction of shared numeric attributes agreeing within a tight relative
@@ -181,16 +217,16 @@ LinearScorer::LinearScorer()
 LinearScorer::LinearScorer(std::array<double, PairFeatures::kCount> weights)
     : weights_(weights) {
   threshold_ = 0.5;
+  for (double w : weights_) total_weight_ += w;
 }
 
 double LinearScorer::Score(const PairFeatures& features) const {
   std::array<double, PairFeatures::kCount> f = features.AsArray();
-  double total_weight = 0.0, score = 0.0;
+  double score = 0.0;
   for (size_t i = 0; i < f.size(); ++i) {
     score += weights_[i] * f[i];
-    total_weight += weights_[i];
   }
-  return total_weight == 0.0 ? 0.0 : score / total_weight;
+  return total_weight_ == 0.0 ? 0.0 : score / total_weight_;
 }
 
 RuleScorer::RuleScorer(double name_threshold, double value_threshold)

@@ -10,6 +10,8 @@
 #include "bdi/model/dataset.h"
 #include "bdi/schema/mediated_schema.h"
 #include "bdi/schema/value_normalizer.h"
+#include "bdi/text/interner.h"
+#include "bdi/text/similarity.h"
 
 namespace bdi::linkage {
 
@@ -55,13 +57,29 @@ class FeatureExtractor {
   /// context changed retroactively).
   void Rebuild();
 
+  /// Convenience form backed by a thread_local scratch; same result as the
+  /// explicit-scratch overload (still allocation-free in steady state).
   PairFeatures Extract(RecordIdx a, RecordIdx b) const;
 
+  /// Allocation-free hot path: all tokenization happened in Prepare (the
+  /// per-pair kernels run over interned token ids), and `scratch` is the
+  /// caller-owned per-worker working memory the kernels reuse. See
+  /// DESIGN.md's scratch-buffer ownership rule.
+  PairFeatures Extract(RecordIdx a, RecordIdx b,
+                       text::SimilarityScratch& scratch) const;
+
+  /// Distinct tokens interned across all record caches (diagnostics).
+  size_t num_interned_tokens() const { return interner_.size(); }
+
  private:
+  /// Interned, precomputed per-record evidence. Token vectors hold dense
+  /// TokenInterner ids: set-likes are sorted by id (intersection sizes are
+  /// order-invariant), name_words preserves WordTokens order and
+  /// duplicates for Monge-Elkan.
   struct RecordCache {
-    std::vector<std::string> name_tokens;  ///< sorted unique
-    std::string name_text;
-    std::vector<std::string> id_tokens;    ///< sorted unique
+    std::vector<text::TokenId> name_tokens;  ///< token set, sorted by id
+    std::vector<text::TokenId> name_words;   ///< word sequence of name text
+    std::vector<text::TokenId> id_tokens;    ///< identifier set, sorted by id
     /// True when id_tokens came from detected identifier fields (strong)
     /// rather than from mining the record text (weak).
     bool ids_from_role = false;
@@ -70,13 +88,26 @@ class FeatureExtractor {
     std::vector<std::pair<int, std::string>> aligned_values;
   };
 
-  RecordCache BuildCache(RecordIdx idx) const;
+  /// Tokenized-but-not-yet-interned form of one record's cache. Prepare
+  /// builds these in parallel (pure per-record work), then interns them
+  /// serially in record order — so ids are deterministic and the interner
+  /// needs no synchronization during the concurrent Extract phase.
+  struct StagedCache {
+    std::vector<std::string> name_tokens;
+    std::vector<std::string> name_words;
+    std::vector<std::string> id_tokens;
+    bool ids_from_role = false;
+    std::vector<std::pair<int, std::string>> aligned_values;
+  };
+
+  StagedCache BuildStaged(RecordIdx idx) const;
 
   const Dataset* dataset_;
   const AttrRoles* roles_;
   const schema::MediatedSchema* schema_;
   const schema::ValueNormalizer* normalizer_;
   size_t num_threads_ = 0;
+  text::TokenInterner interner_;
   std::vector<RecordCache> cache_;
 };
 
@@ -109,6 +140,9 @@ class LinearScorer : public PairScorer {
 
  private:
   std::array<double, PairFeatures::kCount> weights_;
+  /// Sum of weights_, fixed at construction — Score runs per candidate
+  /// pair and must not re-reduce the weights every call.
+  double total_weight_ = 0.0;
 };
 
 /// Domain rule exploiting identifiers: shared identifier => match;

@@ -1,0 +1,38 @@
+#include "bdi/text/interner.h"
+
+#include <algorithm>
+
+namespace bdi::text {
+
+TokenId TokenInterner::Intern(std::string_view token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TokenId TokenInterner::Lookup(std::string_view token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kInvalidToken : it->second;
+}
+
+std::vector<TokenId> InternTokens(TokenInterner& interner,
+                                  const std::vector<std::string>& tokens) {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    ids.push_back(interner.Intern(token));
+  }
+  return ids;
+}
+
+std::vector<TokenId> InternTokenSet(TokenInterner& interner,
+                                    const std::vector<std::string>& tokens) {
+  std::vector<TokenId> ids = InternTokens(interner, tokens);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace bdi::text

@@ -1,0 +1,70 @@
+#ifndef BDI_TEXT_INTERNER_H_
+#define BDI_TEXT_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bdi::text {
+
+/// Dense id of a distinct token within a TokenInterner.
+using TokenId = uint32_t;
+
+/// Sentinel for "not interned" (Lookup misses).
+inline constexpr TokenId kInvalidToken = UINT32_MAX;
+
+/// Interns token strings into dense u32 ids so hot loops compare and sort
+/// integers instead of strings (precedent: fusion's ValueIndex for claim
+/// values). Ids are assigned in first-intern order and are stable for the
+/// interner's lifetime.
+///
+/// Thread-compatibility: `Intern` mutates and must not race with any other
+/// member; the read-only accessors (`Lookup`, `token`, `size`) are safe to
+/// call concurrently once interning is done. The linkage matcher follows
+/// this split — it interns serially inside `Prepare()` and only reads
+/// during the parallel `Extract` phase.
+class TokenInterner {
+ public:
+  TokenInterner() = default;
+
+  /// Returns the id of `token`, interning it first if unseen.
+  TokenId Intern(std::string_view token);
+
+  /// Id of `token`, or kInvalidToken when it was never interned.
+  TokenId Lookup(std::string_view token) const;
+
+  /// The string for an interned id (valid for the interner's lifetime).
+  const std::string& token(TokenId id) const { return tokens_[id]; }
+
+  /// Number of distinct tokens interned so far.
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+
+  /// token -> id; tokens_ is the inverse (id -> token). Both own their
+  /// strings, so the interner stays safely copyable.
+  std::unordered_map<std::string, TokenId, StringHash, std::equal_to<>> ids_;
+  std::vector<std::string> tokens_;
+};
+
+/// Interns every token of `tokens` in order, preserving duplicates.
+std::vector<TokenId> InternTokens(TokenInterner& interner,
+                                  const std::vector<std::string>& tokens);
+
+/// Interns a sorted-unique token vector and returns the ids sorted by id.
+/// Sortedness by id is what the integer set-similarity kernels require;
+/// intersection and union sizes are unchanged by the reordering.
+std::vector<TokenId> InternTokenSet(TokenInterner& interner,
+                                    const std::vector<std::string>& tokens);
+
+}  // namespace bdi::text
+
+#endif  // BDI_TEXT_INTERNER_H_

@@ -32,9 +32,18 @@ size_t SortedIntersectionSize(const std::vector<std::string>& a,
 }  // namespace
 
 size_t EditDistance(std::string_view a, std::string_view b) {
+  SimilarityScratch scratch;
+  return EditDistance(a, b, scratch);
+}
+
+size_t EditDistance(std::string_view a, std::string_view b,
+                    SimilarityScratch& scratch) {
   if (a.size() > b.size()) std::swap(a, b);
   // Two-row dynamic program; a is the shorter string.
-  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  std::vector<size_t>& prev = scratch.dp_prev;
+  std::vector<size_t>& cur = scratch.dp_cur;
+  prev.resize(a.size() + 1);
+  cur.resize(a.size() + 1);
   for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
   for (size_t j = 1; j <= b.size(); ++j) {
     cur[0] = j;
@@ -55,19 +64,28 @@ double NormalizedEditSimilarity(std::string_view a, std::string_view b) {
 }
 
 double JaroSimilarity(std::string_view a, std::string_view b) {
+  SimilarityScratch scratch;
+  return JaroSimilarity(a, b, scratch);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b,
+                      SimilarityScratch& scratch) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   size_t match_window =
       std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
-  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  std::vector<uint8_t>& a_matched = scratch.a_matched;
+  std::vector<uint8_t>& b_matched = scratch.b_matched;
+  a_matched.assign(a.size(), 0);
+  b_matched.assign(b.size(), 0);
   size_t matches = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     size_t lo = i > match_window ? i - match_window : 0;
     size_t hi = std::min(b.size(), i + match_window + 1);
     for (size_t j = lo; j < hi; ++j) {
-      if (!b_matched[j] && a[i] == b[j]) {
-        a_matched[i] = true;
-        b_matched[j] = true;
+      if (b_matched[j] == 0 && a[i] == b[j]) {
+        a_matched[i] = 1;
+        b_matched[j] = 1;
         ++matches;
         break;
       }
@@ -78,8 +96,8 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   size_t transpositions = 0;
   size_t j = 0;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (!a_matched[i]) continue;
-    while (!b_matched[j]) ++j;
+    if (a_matched[i] == 0) continue;
+    while (b_matched[j] == 0) ++j;
     if (a[i] != b[j]) ++transpositions;
     ++j;
   }
@@ -91,7 +109,13 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
 }
 
 double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
-  double jaro = JaroSimilarity(a, b);
+  SimilarityScratch scratch;
+  return JaroWinklerSimilarity(a, b, scratch);
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             SimilarityScratch& scratch) {
+  double jaro = JaroSimilarity(a, b, scratch);
   size_t prefix = 0;
   size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
   while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
@@ -103,6 +127,26 @@ double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b) {
   if (a.empty() && b.empty()) return 1.0;
   size_t common = SortedIntersectionSize(a, b);
+  size_t unions = a.size() + b.size() - common;
+  if (unions == 0) return 1.0;
+  return static_cast<double>(common) / static_cast<double>(unions);
+}
+
+double JaccardSimilarityIds(const std::vector<TokenId>& a,
+                            const std::vector<TokenId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
   size_t unions = a.size() + b.size() - common;
   if (unions == 0) return 1.0;
   return static_cast<double>(common) / static_cast<double>(unions);
@@ -154,6 +198,38 @@ double MongeElkanSimilarity(std::string_view a, std::string_view b) {
     total += best;
   }
   return total / static_cast<double>(ta.size());
+}
+
+double SymmetricMongeElkan(const TokenInterner& interner,
+                           const std::vector<TokenId>& a,
+                           const std::vector<TokenId>& b,
+                           SimilarityScratch& scratch) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // One traversal of the |a| x |b| Jaro-Winkler matrix. Row maxima are
+  // folded immediately into total_a (ME(a,b)); column maxima accumulate in
+  // scratch.col_best and sum into total_b (ME(b,a)) afterwards. Both
+  // reductions visit the same values in the same order as the two
+  // independent string passes, so the result is bit-identical.
+  std::vector<double>& col_best = scratch.col_best;
+  col_best.assign(b.size(), 0.0);
+  double total_a = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const std::string& x = interner.token(a[i]);
+    double row_best = 0.0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      double s = a[i] == b[j]
+                     ? 1.0
+                     : JaroWinklerSimilarity(x, interner.token(b[j]), scratch);
+      row_best = std::max(row_best, s);
+      col_best[j] = std::max(col_best[j], s);
+    }
+    total_a += row_best;
+  }
+  double total_b = 0.0;
+  for (size_t j = 0; j < b.size(); ++j) total_b += col_best[j];
+  return std::max(total_a / static_cast<double>(a.size()),
+                  total_b / static_cast<double>(b.size()));
 }
 
 double SmithWatermanSimilarity(std::string_view a, std::string_view b) {
@@ -220,15 +296,15 @@ double TfIdfVectorizer::Cosine(const std::vector<std::string>& a,
   for (const std::string& t : a) va[t] += 1.0;
   for (const std::string& t : b) vb[t] += 1.0;
   double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
-  for (auto& [token, tf] : va) {
-    double w = tf * Idf(token);
-    va[token] = w;
-    norm_a += w * w;
+  // Reweight in place through the iteration reference — re-looking the
+  // token up mid-iteration costs a second hash probe per entry.
+  for (auto& [token, weight] : va) {
+    weight *= Idf(token);
+    norm_a += weight * weight;
   }
-  for (auto& [token, tf] : vb) {
-    double w = tf * Idf(token);
-    vb[token] = w;
-    norm_b += w * w;
+  for (auto& [token, weight] : vb) {
+    weight *= Idf(token);
+    norm_b += weight * weight;
   }
   for (const auto& [token, wa] : va) {
     auto it = vb.find(token);

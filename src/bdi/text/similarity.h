@@ -1,15 +1,43 @@
 #ifndef BDI_TEXT_SIMILARITY_H_
 #define BDI_TEXT_SIMILARITY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "bdi/text/interner.h"
+
 namespace bdi::text {
+
+/// Reusable working memory for the allocation-free similarity kernels.
+/// Ownership rule (see DESIGN.md): the *caller* owns the scratch, creates
+/// one per worker thread, and reuses it across calls — kernels only grow
+/// the buffers (never shrink), so steady-state calls allocate nothing.
+/// A scratch must never be shared between concurrently running kernels;
+/// every kernel fully re-initializes the ranges it reads, so no state
+/// leaks between calls.
+struct SimilarityScratch {
+  /// Jaro match flags for the two strings (uint8_t: vector<bool> proxies
+  /// cost a masked read-modify-write per flag).
+  std::vector<uint8_t> a_matched;
+  std::vector<uint8_t> b_matched;
+  /// Dynamic-program rows shared by the edit-distance kernels.
+  std::vector<size_t> dp_prev;
+  std::vector<size_t> dp_cur;
+  /// Per-column running maxima of the token-pair similarity matrix
+  /// (symmetric Monge-Elkan's second direction).
+  std::vector<double> col_best;
+};
 
 /// Levenshtein edit distance (unit costs).
 size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Scratch-buffer form of EditDistance; identical result, no per-call
+/// allocation once `scratch` has warmed up.
+size_t EditDistance(std::string_view a, std::string_view b,
+                    SimilarityScratch& scratch);
 
 /// 1 - EditDistance / max(|a|, |b|); 1.0 for two empty strings.
 double NormalizedEditSimilarity(std::string_view a, std::string_view b);
@@ -17,12 +45,28 @@ double NormalizedEditSimilarity(std::string_view a, std::string_view b);
 /// Jaro similarity in [0, 1].
 double JaroSimilarity(std::string_view a, std::string_view b);
 
+/// Scratch-buffer form of JaroSimilarity; identical result bit for bit.
+double JaroSimilarity(std::string_view a, std::string_view b,
+                      SimilarityScratch& scratch);
+
 /// Jaro-Winkler with standard prefix scaling (p = 0.1, max prefix 4).
 double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Scratch-buffer form of JaroWinklerSimilarity; identical result.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             SimilarityScratch& scratch);
 
 /// |A ∩ B| / |A ∪ B| over sorted unique token vectors; 1.0 if both empty.
 double JaccardSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b);
+
+/// Jaccard over interned token-id sets (sorted by id, unique). Produces
+/// the same value as the string form on the same token sets: intersection
+/// and union sizes do not depend on which total order sorted the inputs.
+/// (Distinctly named, not an overload: braced-init callers of the string
+/// form would otherwise become ambiguous.)
+double JaccardSimilarityIds(const std::vector<TokenId>& a,
+                            const std::vector<TokenId>& b);
 
 /// 2|A ∩ B| / (|A| + |B|) over sorted unique token vectors.
 double DiceSimilarity(const std::vector<std::string>& a,
@@ -42,6 +86,20 @@ double TrigramJaccard(std::string_view a, std::string_view b);
 /// Monge-Elkan: average over tokens of `a` of the best Jaro-Winkler match in
 /// `b`. Asymmetric; callers usually take max(ME(a,b), ME(b,a)).
 double MongeElkanSimilarity(std::string_view a, std::string_view b);
+
+/// Symmetric Monge-Elkan, max(ME(a,b), ME(b,a)), over interned word-token
+/// sequences (order- and duplicate-preserving, as WordTokens emits them).
+/// Both directions come from ONE traversal of the token-pair Jaro-Winkler
+/// matrix — row maxima feed ME(a,b), running column maxima feed ME(b,a) —
+/// and equal-id pairs short-circuit to 1.0 (Jaro-Winkler of a string with
+/// itself is exactly 1.0). Bit-identical to the two-pass string form:
+/// accumulation visits the same values in the same order, and Jaro-Winkler
+/// is exactly symmetric (greedy band matching yields the same match and
+/// transposition counts in either direction).
+double SymmetricMongeElkan(const TokenInterner& interner,
+                           const std::vector<TokenId>& a,
+                           const std::vector<TokenId>& b,
+                           SimilarityScratch& scratch);
 
 /// Smith-Waterman local-alignment similarity: the best-scoring local
 /// alignment (match +2, mismatch -1, gap -1) normalized by the maximum

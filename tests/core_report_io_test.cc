@@ -23,7 +23,10 @@ struct Fixture {
     config.num_sources = 6;
     world = synth::GenerateWorld(config);
     report = Integrator().Run(world.dataset);
-    dir = ::testing::TempDir() + "/bdi_report_io";
+    // One directory per test case: ctest runs cases as separate parallel
+    // processes, and a shared path makes concurrent save/remove race.
+    dir = ::testing::TempDir() + "/bdi_report_io_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(dir);
   }
 
