@@ -1,8 +1,12 @@
 // E6 — Blocking trade-off: pairs completeness vs reduction ratio for each
 // blocker, plus the effect of meta-blocking's weighting/pruning schemes on
-// a redundancy-heavy token block collection.
+// a redundancy-heavy token block collection. With --json, writes
+// BENCH_blocking.json: per-blocker pair-generation wall time, the blocking
+// graph build wall time (serial vs --threads), and the pipeline metrics
+// snapshot carrying the pairs generated/pruned counters.
 #include <memory>
 
+#include "bdi/common/metrics.h"
 #include "bdi/common/string_util.h"
 #include "bdi/common/table.h"
 #include "bdi/common/timer.h"
@@ -13,12 +17,16 @@
 using namespace bdi;
 using namespace bdi::linkage;
 
-int main() {
+int main(int argc, char** argv) {
   bench::Banner("E6", "blocking quality/efficiency trade-off",
                 "identifier blocking: near-perfect reduction at high "
                 "completeness; token blocking: best completeness, most "
                 "candidates; meta-blocking prunes most comparisons while "
                 "keeping the bulk of completeness");
+
+  size_t threads = bench::ThreadsFlag(argc, argv, 8);
+  bench::JsonReporter json("blocking", argc, argv);
+  if (json.enabled()) metrics::SetEnabled(true);
 
   synth::WorldConfig config;
   config.seed = 77;
@@ -46,16 +54,53 @@ int main() {
     WallTimer timer;
     std::vector<Block> blocks = blocker->MakeBlocksAll(world.dataset, &roles);
     std::vector<CandidatePair> pairs = BlocksToPairs(world.dataset, blocks);
-    double ms = timer.ElapsedMillis();
+    double seconds = timer.ElapsedSeconds();
     BlockingQuality quality =
         EvaluateBlocking(world.dataset, pairs, world.truth.entity_of_record);
     table.AddRow({name, std::to_string(quality.num_candidates),
                   FormatDouble(quality.pairs_completeness, 3),
                   FormatDouble(quality.reduction_ratio, 4),
-                  FormatDouble(ms, 1)});
+                  FormatDouble(seconds * 1000.0, 1)});
+    json.Add("blocking/" + name + "/pairs", seconds, threads,
+             seconds > 0.0 ? static_cast<double>(pairs.size()) / seconds
+                           : 0.0);
     if (name == "token") token_blocks = std::move(blocks);
   }
   table.Print("Figure E6: pairs completeness vs reduction ratio");
+
+  // Blocking graph build (meta-blocking's dominant cost), serial vs the
+  // thread budget — same chunking either way, so the graphs are identical.
+  {
+    WallTimer timer;
+    std::vector<WeightedPair> serial_graph = BuildBlockingGraph(
+        world.dataset, token_blocks, MetaBlockingScheme::kArcs,
+        /*allow_same_source=*/false, /*num_threads=*/1);
+    double serial_seconds = timer.ElapsedSeconds();
+    timer.Reset();
+    std::vector<WeightedPair> parallel_graph = BuildBlockingGraph(
+        world.dataset, token_blocks, MetaBlockingScheme::kArcs,
+        /*allow_same_source=*/false, threads);
+    double parallel_seconds = timer.ElapsedSeconds();
+    bool identical = serial_graph.size() == parallel_graph.size();
+    for (size_t i = 0; identical && i < serial_graph.size(); ++i) {
+      identical = serial_graph[i].pair == parallel_graph[i].pair &&
+                  serial_graph[i].weight == parallel_graph[i].weight;
+    }
+    std::printf("\ngraph build (ARCS, %zu edges): serial %.1f ms, "
+                "%zu threads %.1f ms, identical: %s\n",
+                serial_graph.size(), serial_seconds * 1000.0, threads,
+                parallel_seconds * 1000.0, identical ? "yes" : "NO");
+    json.Add("blocking/graph_build", serial_seconds, 1,
+             serial_seconds > 0.0
+                 ? static_cast<double>(serial_graph.size()) / serial_seconds
+                 : 0.0);
+    json.Add("blocking/graph_build", parallel_seconds, threads,
+             parallel_seconds > 0.0
+                 ? static_cast<double>(parallel_graph.size()) /
+                       parallel_seconds
+                 : 0.0);
+    json.Note("graph_identical_output", identical ? "true" : "false");
+  }
 
   TextTable meta({"scheme", "pruning", "candidates", "pairs completeness",
                   "reduction ratio"});
@@ -84,5 +129,6 @@ int main() {
     }
   }
   meta.Print("Table E6b: meta-blocking restructuring of the token blocks");
+  bench::AttachMetricsSnapshot(json);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
 #include "bdi/common/string_util.h"
+#include "bdi/text/interner.h"
 #include "bdi/text/tokenizer.h"
 
 namespace bdi::linkage {
@@ -36,20 +37,6 @@ std::string RoleText(const Dataset& dataset, RecordIdx idx,
   return text;
 }
 
-std::vector<Block> IndexToBlocks(
-    std::unordered_map<std::string, std::vector<RecordIdx>>&& index,
-    size_t max_block_size) {
-  std::vector<Block> blocks;
-  blocks.reserve(index.size());
-  for (auto& [key, members] : index) {
-    if (members.size() < 2 || members.size() > max_block_size) continue;
-    blocks.push_back(Block{key, std::move(members)});
-  }
-  std::sort(blocks.begin(), blocks.end(),
-            [](const Block& a, const Block& b) { return a.key < b.key; });
-  return blocks;
-}
-
 }  // namespace
 
 std::vector<Block> Blocker::MakeBlocksAll(const Dataset& dataset,
@@ -66,7 +53,10 @@ namespace {
 /// token-family blocking is per-record text assembly and tokenization,
 /// which is embarrassingly parallel; the inverted index is then filled
 /// serially in record order, so posting lists are identical to a fully
-/// serial run.
+/// serial run. The index routes through a TokenInterner — u32 ids into a
+/// dense postings table instead of string-keyed hash buckets, so the
+/// per-token cost after the first sighting is one hash of the string and
+/// an indexed push_back.
 std::vector<Block> TokenIndexBlocks(
     const std::vector<RecordIdx>& records, size_t max_block_size,
     size_t num_threads,
@@ -75,13 +65,25 @@ std::vector<Block> TokenIndexBlocks(
   ParallelFor(
       records.size(), [&](size_t i) { tokens[i] = tokenize(records[i]); },
       num_threads);
-  std::unordered_map<std::string, std::vector<RecordIdx>> index;
+  text::TokenInterner interner;
+  std::vector<std::vector<RecordIdx>> postings;
   for (size_t i = 0; i < records.size(); ++i) {
-    for (std::string& token : tokens[i]) {
-      index[std::move(token)].push_back(records[i]);
+    for (const std::string& token : tokens[i]) {
+      text::TokenId id = interner.Intern(token);
+      if (id == postings.size()) postings.emplace_back();
+      postings[id].push_back(records[i]);
     }
   }
-  return IndexToBlocks(std::move(index), max_block_size);
+  std::vector<Block> blocks;
+  blocks.reserve(postings.size());
+  for (text::TokenId id = 0; id < postings.size(); ++id) {
+    std::vector<RecordIdx>& members = postings[id];
+    if (members.size() < 2 || members.size() > max_block_size) continue;
+    blocks.push_back(Block{interner.token(id), std::move(members)});
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.key < b.key; });
+  return blocks;
 }
 
 }  // namespace
@@ -130,14 +132,20 @@ std::vector<Block> SortedNeighborhoodBlocker::MakeBlocks(
   std::vector<Block> blocks;
   if (keyed.size() < 2) return blocks;
   size_t window = std::max<size_t>(2, window_size_);
-  for (size_t i = 0; i + 1 < keyed.size(); ++i) {
-    Block block;
-    block.key = "w" + std::to_string(i);
-    size_t end = std::min(keyed.size(), i + window);
-    for (size_t j = i; j < end; ++j) {
-      block.records.push_back(keyed[j].second);
+  // Slide the window one position at a time and pair only the newly
+  // entering record with the records already in the window: every
+  // within-window pair {p, q} (|q - p| < window) is emitted exactly once
+  // (at step i = q), where whole-window blocks would re-emit it at every
+  // window covering both — up to window-1 copies for the downstream dedup
+  // to discard.
+  for (size_t i = 1; i < keyed.size(); ++i) {
+    size_t start = i >= window - 1 ? i - (window - 1) : 0;
+    for (size_t j = start; j < i; ++j) {
+      Block block;
+      block.key = "w" + std::to_string(j) + "_" + std::to_string(i);
+      block.records = {keyed[j].second, keyed[i].second};
+      blocks.push_back(std::move(block));
     }
-    if (block.records.size() >= 2) blocks.push_back(std::move(block));
   }
   return blocks;
 }
@@ -145,7 +153,9 @@ std::vector<Block> SortedNeighborhoodBlocker::MakeBlocks(
 std::vector<Block> CanopyBlocker::MakeBlocks(
     const Dataset& dataset, const std::vector<RecordIdx>& records,
     const AttrRoles* roles) const {
-  // Token sets (parallel) + inverted index (serial, record order).
+  // Token sets (parallel) + interned inverted index (serial, record
+  // order): u32 token ids key a dense postings table of positions in
+  // `records`.
   std::vector<std::vector<std::string>> tokens(records.size());
   ParallelFor(
       records.size(),
@@ -154,32 +164,50 @@ std::vector<Block> CanopyBlocker::MakeBlocks(
             RoleText(dataset, records[i], roles, AttrRole::kName));
       },
       num_threads_);
-  std::unordered_map<std::string, std::vector<size_t>> inverted;
+  text::TokenInterner interner;
+  std::vector<std::vector<text::TokenId>> token_ids(records.size());
+  std::vector<std::vector<size_t>> postings;
   for (size_t i = 0; i < records.size(); ++i) {
+    token_ids[i].reserve(tokens[i].size());
     for (const std::string& t : tokens[i]) {
-      inverted[t].push_back(i);
+      text::TokenId id = interner.Intern(t);
+      if (id == postings.size()) postings.emplace_back();
+      postings[id].push_back(i);
+      token_ids[i].push_back(id);
     }
   }
   std::vector<bool> covered(records.size(), false);
+  // Dense overlap counters, reset via the touched list after every seed —
+  // no per-seed hash map.
+  std::vector<size_t> overlap(records.size(), 0);
+  std::vector<size_t> touched;
   std::vector<Block> blocks;
   for (size_t seed = 0; seed < records.size(); ++seed) {
-    if (covered[seed] || tokens[seed].empty()) continue;
+    if (covered[seed] || token_ids[seed].empty()) continue;
     // Count shared tokens with records appearing in the seed's postings.
-    std::unordered_map<size_t, size_t> overlap;
-    for (const std::string& t : tokens[seed]) {
-      for (size_t j : inverted[t]) ++overlap[j];
+    touched.clear();
+    for (text::TokenId id : token_ids[seed]) {
+      for (size_t j : postings[id]) {
+        if (overlap[j]++ == 0) touched.push_back(j);
+      }
     }
+    // Deterministic canopy membership: visit candidates in ascending
+    // position order. Hash-order traversal made block contents — and,
+    // through the max_block_size_ truncation, even block *membership* —
+    // depend on the map implementation's iteration order.
+    std::sort(touched.begin(), touched.end());
     Block block;
     block.key = "canopy" + std::to_string(seed);
-    for (const auto& [j, shared] : overlap) {
-      double fraction = static_cast<double>(shared) /
-                        static_cast<double>(tokens[seed].size());
+    for (size_t j : touched) {
+      double fraction = static_cast<double>(overlap[j]) /
+                        static_cast<double>(token_ids[seed].size());
       if (fraction >= t_loose_) {
         block.records.push_back(records[j]);
         covered[j] = true;
       }
       if (block.records.size() >= max_block_size_) break;
     }
+    for (size_t j : touched) overlap[j] = 0;
     if (block.records.size() >= 2) {
       std::sort(block.records.begin(), block.records.end());
       blocks.push_back(std::move(block));
@@ -192,13 +220,30 @@ std::vector<CandidatePair> BlocksToPairs(const Dataset& dataset,
                                          const std::vector<Block>& blocks,
                                          bool allow_same_source,
                                          size_t num_threads) {
-  // Pair expansion runs over block chunks with chunk-local buffers; the
-  // final sort + unique canonicalizes the order, so the result is
-  // independent of which thread expanded which block.
-  std::vector<CandidatePair> pairs;
-  std::mutex pairs_mu;
+  // Pair expansion shards the dedup by first record instead of funneling
+  // every chunk's output through one mutex-guarded vector and a global
+  // sort. Shards own contiguous ranges of `a`, so after the per-shard
+  // sort + unique, concatenating shards in index order IS the globally
+  // sorted, deduped result — identical for every thread count (the
+  // per-shard sort canonicalizes whatever arrival order the chunk
+  // scheduling produced).
+  const size_t num_records = dataset.num_records();
+  if (blocks.empty() || num_records == 0) return {};
+  const size_t num_shards =
+      num_threads == 1
+          ? 1
+          : std::min<size_t>(
+                64, std::max<size_t>(1, (num_threads == 0
+                                             ? Executor::Get().num_threads()
+                                             : num_threads) *
+                                            4));
+  auto shard_of = [&](RecordIdx a) {
+    return static_cast<size_t>(a) * num_shards / num_records;
+  };
+  std::vector<std::vector<CandidatePair>> shards(num_shards);
+  std::vector<std::mutex> shard_mu(num_shards);
   auto expand = [&](size_t begin, size_t end) {
-    std::vector<CandidatePair> local;
+    std::vector<std::vector<CandidatePair>> local(num_shards);
     for (size_t blk = begin; blk < end; ++blk) {
       const Block& block = blocks[blk];
       for (size_t i = 0; i < block.records.size(); ++i) {
@@ -210,17 +255,37 @@ std::vector<CandidatePair> BlocksToPairs(const Dataset& dataset,
             continue;
           }
           if (a > b) std::swap(a, b);
-          local.push_back(CandidatePair{a, b});
+          local[shard_of(a)].push_back(CandidatePair{a, b});
         }
       }
     }
-    std::lock_guard<std::mutex> lock(pairs_mu);
-    pairs.insert(pairs.end(), local.begin(), local.end());
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (local[s].empty()) continue;
+      std::lock_guard<std::mutex> lock(shard_mu[s]);
+      shards[s].insert(shards[s].end(), local[s].begin(), local[s].end());
+    }
   };
   ParallelForRanges(blocks.size(), expand, num_threads);
-  std::sort(pairs.begin(), pairs.end());
-  size_t generated = pairs.size();
-  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  std::vector<size_t> pre_dedup_sizes(num_shards);
+  ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        pre_dedup_sizes[s] = shards[s].size();
+        std::sort(shards[s].begin(), shards[s].end());
+        shards[s].erase(std::unique(shards[s].begin(), shards[s].end()),
+                        shards[s].end());
+      },
+      num_threads);
+  size_t generated = 0, total = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    generated += pre_dedup_sizes[s];
+    total += shards[s].size();
+  }
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(total);
+  for (size_t s = 0; s < num_shards; ++s) {
+    pairs.insert(pairs.end(), shards[s].begin(), shards[s].end());
+  }
   if (metrics::Enabled()) {
     static metrics::Counter* generated_counter =
         metrics::Registry::Get().RegisterCounter(

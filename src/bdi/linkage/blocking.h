@@ -134,8 +134,11 @@ class CanopyBlocker : public Blocker {
 /// Expands blocks to deduplicated candidate pairs. Same-source pairs are
 /// skipped unless `allow_same_source` (pages within one source are assumed
 /// distinct entities — local homogeneity). `num_threads` bounds the chunk
-/// expansion (0 = shared executor pool, 1 = serial); the sorted, deduped
-/// result is identical either way.
+/// expansion (0 = shared executor pool, 1 = serial). Dedup is sharded by
+/// the pair's first record — each shard owns a contiguous `a`-range, is
+/// sort+unique'd independently, and the shards concatenate into the
+/// globally sorted result — so the output is identical for every thread
+/// count with no global sort or single hot mutex.
 std::vector<CandidatePair> BlocksToPairs(const Dataset& dataset,
                                          const std::vector<Block>& blocks,
                                          bool allow_same_source = false,

@@ -129,11 +129,23 @@ size_t IncrementalLinker::AddNewRecords() {
   MaybeRefreshRoles();
   extractor_.Prepare();
   size_t comparisons = 0;
+  const double threshold = scorer_->threshold();
+  text::SimilarityScratch scratch;
   for (; next_record_ < dataset_->num_records(); ++next_record_) {
     RecordIdx idx = static_cast<RecordIdx>(next_record_);
     for (RecordIdx other : CandidatesFor(idx)) {
       ++comparisons;
-      PairFeatures features = extractor_.Extract(other, idx);
+      // Same comparison cascade as the batch matcher: a pair whose score
+      // bound cannot reach the threshold can never become an edge, so
+      // skipping it leaves the edge set identical.
+      if (config_.use_prefilter &&
+          scorer_->ScoreUpperBound(
+              extractor_.ExtractBounds(other, idx, scratch)) +
+                  kPrefilterSlack <
+              threshold) {
+        continue;
+      }
+      PairFeatures features = extractor_.Extract(other, idx, scratch);
       if (scorer_->Matches(features)) {
         CandidatePair pair{std::min(other, idx), std::max(other, idx)};
         edges_.push_back(ScoredPair{pair, scorer_->Score(features)});

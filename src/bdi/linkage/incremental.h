@@ -33,6 +33,10 @@ class IncrementalLinker {
     size_t max_posting = 200;
     size_t id_min_token_len = 4;
     size_t min_name_token_len = 3;
+    /// Comparison cascade for the refresh path, same contract as
+    /// LinkerConfig::use_prefilter: the matched-edge set is identical
+    /// with it on or off.
+    bool use_prefilter = true;
   };
 
   /// `dataset` must outlive the linker and already contain the initial

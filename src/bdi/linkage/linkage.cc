@@ -1,6 +1,7 @@
 #include "bdi/linkage/linkage.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
@@ -46,6 +47,30 @@ metrics::Counter& ScratchReusesCounter() {
   static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
       "bdi.linkage.matching.scratch_reuses");
   return *counter;
+}
+
+metrics::Counter& PrefilterEvaluatedCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.linkage.matching.prefilter.evaluated");
+  return *counter;
+}
+
+metrics::Counter& PrefilterSkippedCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.linkage.matching.prefilter.skipped");
+  return *counter;
+}
+
+/// Gap between the prefilter's score bound and the true score, observed for
+/// every candidate that survived the prefilter (both values exist only
+/// there). Small gaps mean tight bounds; mass in the overflow bucket means
+/// the bound is too loose to prune near the threshold.
+metrics::Histogram& PrefilterBoundGapHistogram() {
+  static metrics::Histogram* histogram =
+      metrics::Registry::Get().RegisterHistogram(
+          "bdi.linkage.matching.prefilter.bound_gap",
+          {0.05, 0.1, 0.2, 0.3, 0.5, 1.0});
+  return *histogram;
 }
 
 /// Pairs per scored chunk: small enough that skewed blocks still balance
@@ -128,7 +153,8 @@ LinkageResult Linker::Run() {
     }
     BlocksCounter().Add(blocks.size());
     if (config_.use_meta_blocking) {
-      candidates = MetaBlock(*dataset_, blocks, config_.meta_blocking);
+      candidates = MetaBlock(*dataset_, blocks, config_.meta_blocking,
+                             config_.num_threads);
     } else {
       candidates = BlocksToPairs(*dataset_, blocks,
                                  config_.meta_blocking.allow_same_source,
@@ -150,24 +176,59 @@ LinkageResult Linker::Run() {
     span.AddItems(candidates.size());
     ComparisonsCounter().Add(candidates.size());
     std::vector<double> scores(candidates.size());
+    const bool prefilter = config_.use_prefilter;
+    const double threshold = scorer_->threshold();
+    const bool metrics_on = metrics::Enabled();
+    std::atomic<size_t> prefiltered{0};
     ParallelForRanges(
         candidates.size(),
         [&](size_t begin, size_t end) {
           text::SimilarityScratch scratch;
+          size_t skipped = 0;
           for (size_t i = begin; i < end; ++i) {
-            scores[i] = scorer_->Score(extractor_.Extract(
-                candidates[i].a, candidates[i].b, scratch));
+            if (prefilter) {
+              // Tier 1: bound the achievable score from the interned
+              // evidence. A skip is sound — the bound is >= the true
+              // score, and the slack absorbs floating-point grouping
+              // differences — so a skipped pair can never be a match and
+              // the match set stays bitwise identical to the unfiltered
+              // path. The recorded score (the bound) is below threshold
+              // by construction.
+              double bound = scorer_->ScoreUpperBound(extractor_.ExtractBounds(
+                  candidates[i].a, candidates[i].b, scratch));
+              if (bound + kPrefilterSlack < threshold) {
+                scores[i] = bound;
+                ++skipped;
+                continue;
+              }
+              // Tier 2: the full kernel stack.
+              scores[i] = scorer_->Score(extractor_.Extract(
+                  candidates[i].a, candidates[i].b, scratch));
+              if (metrics_on) {
+                PrefilterBoundGapHistogram().Observe(bound - scores[i]);
+              }
+            } else {
+              scores[i] = scorer_->Score(extractor_.Extract(
+                  candidates[i].a, candidates[i].b, scratch));
+            }
           }
-          if (metrics::Enabled()) {
+          if (skipped > 0) {
+            prefiltered.fetch_add(skipped, std::memory_order_relaxed);
+          }
+          if (metrics_on) {
             MatchChunksCounter().Add();
             ScratchReusesCounter().Add(end - begin - 1);
+            if (prefilter) {
+              PrefilterEvaluatedCounter().Add(end - begin);
+              PrefilterSkippedCounter().Add(skipped);
+            }
           }
         },
         config_.num_threads, kMinScoreChunk);
+    result.num_prefiltered = prefiltered.load(std::memory_order_relaxed);
     // Match iff score >= the scorer's own threshold:
     // PairScorer::threshold() is authoritative (no per-kind
     // re-hard-coding here).
-    double threshold = scorer_->threshold();
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (scores[i] >= threshold) {
         result.matches.push_back(ScoredPair{candidates[i], scores[i]});

@@ -36,6 +36,14 @@ struct LinkerConfig {
   ClusteringMethod clustering = ClusteringMethod::kConnectedComponents;
   /// Threads for the pairwise matching stage; 0 = hardware concurrency.
   size_t num_threads = 0;
+  /// Comparison cascade: bound each candidate's achievable score from the
+  /// interned token evidence and skip the expensive kernels when the bound
+  /// cannot clear the scorer's threshold. The match set (pairs and scores)
+  /// is bitwise identical either way — the bounds are sound and a
+  /// kPrefilterSlack margin absorbs floating-point grouping differences —
+  /// so this stays on by default; the switch exists for the equivalence
+  /// tests and for A/B benchmarking.
+  bool use_prefilter = true;
 };
 
 struct LinkageResult {
@@ -47,6 +55,9 @@ struct LinkageResult {
   std::vector<ScoredPair> matches;
   size_t num_candidates = 0;
   size_t num_matches = 0;
+  /// Candidates the prefilter rejected without running the full kernels
+  /// (0 when the cascade is off or the scorer declines to bound).
+  size_t num_prefiltered = 0;
   double blocking_seconds = 0.0;
   double matching_seconds = 0.0;
   double clustering_seconds = 0.0;

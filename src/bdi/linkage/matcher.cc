@@ -60,6 +60,12 @@ void FeatureExtractor::Prepare() {
     cache.ids_from_role = staged[i].ids_from_role;
     cache.aligned_values = std::move(staged[i].aligned_values);
   }
+  // Bound signatures for tokens interned above: once per distinct token,
+  // so the prefilter's per-pair work never touches the strings.
+  for (text::TokenId id = static_cast<text::TokenId>(signatures_.size());
+       id < interner_.size(); ++id) {
+    signatures_.push_back(text::MakeTokenSignature(interner_.token(id)));
+  }
   if (metrics::Enabled()) {
     InternedTokensGauge().Set(static_cast<int64_t>(interner_.size()));
   }
@@ -68,6 +74,7 @@ void FeatureExtractor::Prepare() {
 void FeatureExtractor::Rebuild() {
   cache_.clear();
   interner_ = text::TokenInterner();
+  signatures_.clear();
   Prepare();
 }
 
@@ -142,6 +149,28 @@ PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b) const {
   return Extract(a, b, scratch);
 }
 
+namespace {
+
+/// Identifier overlap over the id-sorted interned sets: decisive when both
+/// sides' identifiers come from detected identifier fields, weaker when
+/// either side's were mined from free text (which can mention *other*
+/// products' identifiers). Shared by the full extractor and the prefilter
+/// (the merge is cheap enough to be part of the bounds, and sharing the
+/// code keeps the two paths identical).
+double IdExactFeature(const std::vector<text::TokenId>& a_ids, bool a_role,
+                      const std::vector<text::TokenId>& b_ids, bool b_role) {
+  size_t i = 0, j = 0;
+  while (i < a_ids.size() && j < b_ids.size()) {
+    if (a_ids[i] == b_ids[j]) {
+      return a_role && b_role ? 1.0 : 0.7;
+    }
+    a_ids[i] < b_ids[j] ? ++i : ++j;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
 PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b,
                                        text::SimilarityScratch& scratch)
     const {
@@ -152,18 +181,8 @@ PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b,
   const RecordCache& cb = cache_[b];
   PairFeatures features;
 
-  // Identifier overlap: decisive when both sides' identifiers come from
-  // detected identifier fields, weaker when either side's were mined from
-  // free text (which can mention *other* products' identifiers).
-  size_t i = 0, j = 0;
-  while (i < ca.id_tokens.size() && j < cb.id_tokens.size()) {
-    if (ca.id_tokens[i] == cb.id_tokens[j]) {
-      features.id_exact =
-          ca.ids_from_role && cb.ids_from_role ? 1.0 : 0.7;
-      break;
-    }
-    ca.id_tokens[i] < cb.id_tokens[j] ? ++i : ++j;
-  }
+  features.id_exact = IdExactFeature(ca.id_tokens, ca.ids_from_role,
+                                     cb.id_tokens, cb.ids_from_role);
 
   features.name_jaccard =
       text::JaccardSimilarityIds(ca.name_tokens, cb.name_tokens);
@@ -178,8 +197,7 @@ PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b,
   constexpr double kNumericExact = 0.98;  // within 2%: same value reformatted
   constexpr double kNumericClose = 0.95;  // within 5%
   size_t shared = 0, agree = 0, numeric_shared = 0, numeric_agree = 0;
-  i = 0;
-  j = 0;
+  size_t i = 0, j = 0;
   while (i < ca.aligned_values.size() && j < cb.aligned_values.size()) {
     int ka = ca.aligned_values[i].first, kb = cb.aligned_values[j].first;
     if (ka == kb) {
@@ -211,6 +229,38 @@ PairFeatures FeatureExtractor::Extract(RecordIdx a, RecordIdx b,
   return features;
 }
 
+PairFeatures FeatureExtractor::ExtractBounds(RecordIdx a, RecordIdx b,
+                                             text::SimilarityScratch& scratch)
+    const {
+  BDI_CHECK(static_cast<size_t>(a) < cache_.size() &&
+            static_cast<size_t>(b) < cache_.size())
+      << "FeatureExtractor::Prepare() not called after dataset growth";
+  const RecordCache& ca = cache_[a];
+  const RecordCache& cb = cache_[b];
+  PairFeatures bounds;
+  // Exact (and cheap): the same integer merges the full extractor runs.
+  bounds.id_exact = IdExactFeature(ca.id_tokens, ca.ids_from_role,
+                                   cb.id_tokens, cb.ids_from_role);
+  bounds.name_jaccard =
+      text::JaccardSimilarityIds(ca.name_tokens, cb.name_tokens);
+  // Bounded: the Monge-Elkan matrix over signatures instead of strings.
+  bounds.name_similarity = text::SymmetricMongeElkanUpperBound(
+      signatures_, ca.name_words, cb.name_words, scratch);
+  // The aligned-value features need no key merge for a bound: both are
+  // fractions in [0, 1], and both are exactly 0 when either side has no
+  // aligned values (no key can be shared).
+  double value_bound =
+      ca.aligned_values.empty() || cb.aligned_values.empty() ? 0.0 : 1.0;
+  bounds.value_agreement = value_bound;
+  bounds.numeric_closeness = value_bound;
+  return bounds;
+}
+
+PairFeatures FeatureExtractor::ExtractBounds(RecordIdx a, RecordIdx b) const {
+  thread_local text::SimilarityScratch scratch;
+  return ExtractBounds(a, b, scratch);
+}
+
 LinearScorer::LinearScorer()
     : LinearScorer({0.35, 0.25, 0.15, 0.15, 0.10}) {}
 
@@ -227,6 +277,20 @@ double LinearScorer::Score(const PairFeatures& features) const {
     score += weights_[i] * f[i];
   }
   return total_weight_ == 0.0 ? 0.0 : score / total_weight_;
+}
+
+double LinearScorer::ScoreUpperBound(const PairFeatures& bounds) const {
+  // Negative weights (caller-supplied) can only pull a non-negative
+  // feature's term below zero; dropping them keeps the bound sound. A
+  // non-positive total weight has no meaningful normalization — decline
+  // to bound rather than divide by it.
+  if (total_weight_ <= 0.0) return 1.0;
+  std::array<double, PairFeatures::kCount> f = bounds.AsArray();
+  double score = 0.0;
+  for (size_t i = 0; i < f.size(); ++i) {
+    score += std::max(weights_[i], 0.0) * f[i];
+  }
+  return score / total_weight_;
 }
 
 RuleScorer::RuleScorer(double name_threshold, double value_threshold)
@@ -248,6 +312,25 @@ double RuleScorer::Score(const PairFeatures& features) const {
     return 0.5 + 0.5 * features.name_similarity * corroboration;
   }
   return 0.4 * features.name_similarity + 0.1 * corroboration;
+}
+
+double RuleScorer::ScoreUpperBound(const PairFeatures& bounds) const {
+  // Max over the branches reachable under `bounds`. A branch's guard can
+  // only be satisfied by some feature vector <= bounds when the bound
+  // itself clears the guard (guards are lower-bound comparisons), and each
+  // branch expression is monotone in the features, so evaluating it at the
+  // bound over-approximates every reachable score.
+  if (bounds.id_exact >= 1.0) return 1.0;
+  double best = 0.4 * bounds.name_similarity + 0.1 * bounds.value_agreement;
+  if (bounds.id_exact >= 0.7 && bounds.name_similarity >= 0.7) {
+    best = std::max(best, 0.95);
+  }
+  if (bounds.name_similarity >= name_threshold_ &&
+      bounds.value_agreement >= value_threshold_) {
+    best = std::max(
+        best, 0.5 + 0.5 * bounds.name_similarity * bounds.value_agreement);
+  }
+  return best;
 }
 
 LearnedScorer::LearnedScorer() { weights_.fill(0.0); }
@@ -280,6 +363,16 @@ double LearnedScorer::Score(const PairFeatures& features) const {
   std::array<double, PairFeatures::kCount> x = features.AsArray();
   double z = bias_;
   for (size_t i = 0; i < x.size(); ++i) z += weights_[i] * x[i];
+  return Sigmoid(z);
+}
+
+double LearnedScorer::ScoreUpperBound(const PairFeatures& bounds) const {
+  // Sigmoid is monotone, so bounding the logit bounds the score; trained
+  // weights may be negative, and those terms only lower the logit of a
+  // non-negative feature, so the positive-weight part bounds it.
+  std::array<double, PairFeatures::kCount> x = bounds.AsArray();
+  double z = bias_;
+  for (size_t i = 0; i < x.size(); ++i) z += std::max(weights_[i], 0.0) * x[i];
   return Sigmoid(z);
 }
 

@@ -68,6 +68,22 @@ class FeatureExtractor {
   PairFeatures Extract(RecordIdx a, RecordIdx b,
                        text::SimilarityScratch& scratch) const;
 
+  /// Cheap elementwise upper bound on Extract(a, b): id_exact and
+  /// name_jaccard are computed exactly (they are integer merges over the
+  /// interned sets), name_similarity is bounded via the per-token
+  /// signatures (SymmetricMongeElkanUpperBound), and the aligned-value
+  /// features are bounded by 1 (0 when either side has no aligned values,
+  /// since no key can be shared). Guaranteed >= the true features
+  /// elementwise — the comparison cascade skips the expensive kernels
+  /// whenever a scorer's bound over this result cannot reach its
+  /// threshold. Runs in a fraction of Extract's cost: no dynamic
+  /// programs, no string accesses, no numeric parsing.
+  PairFeatures ExtractBounds(RecordIdx a, RecordIdx b,
+                             text::SimilarityScratch& scratch) const;
+
+  /// Convenience form of ExtractBounds backed by a thread_local scratch.
+  PairFeatures ExtractBounds(RecordIdx a, RecordIdx b) const;
+
   /// Distinct tokens interned across all record caches (diagnostics).
   size_t num_interned_tokens() const { return interner_.size(); }
 
@@ -109,7 +125,17 @@ class FeatureExtractor {
   size_t num_threads_ = 0;
   text::TokenInterner interner_;
   std::vector<RecordCache> cache_;
+  /// Per-token bound signatures, indexed by TokenId (grown alongside the
+  /// interner in Prepare; read-only, hence lock-free, during Extract).
+  std::vector<text::TokenSignature> signatures_;
 };
+
+/// Margin added to a prefilter score bound before comparing it against the
+/// match threshold. The bounds are mathematically >= the true score but
+/// run different floating-point operations, so a pair is only skipped when
+/// bound + kPrefilterSlack < threshold — keeping the cascade's match set
+/// bitwise identical to the unfiltered path.
+inline constexpr double kPrefilterSlack = 1e-9;
 
 /// Match decision interface over PairFeatures.
 class PairScorer {
@@ -120,6 +146,18 @@ class PairScorer {
   virtual bool Matches(const PairFeatures& features) const {
     return Score(features) >= threshold_;
   }
+
+  /// Upper bound on Score(f) over every feature vector f with
+  /// 0 <= f <= `bounds` elementwise (all features live in [0, 1]).
+  /// Implementations must never under-bound — the matcher's comparison
+  /// cascade skips the expensive kernels entirely when this bound cannot
+  /// reach threshold(). The default declines to bound (returns 1.0),
+  /// which disables prefiltering for scorers that do not implement it.
+  virtual double ScoreUpperBound(const PairFeatures& bounds) const {
+    (void)bounds;
+    return 1.0;
+  }
+
   virtual std::string name() const = 0;
 
   void set_threshold(double t) { threshold_ = t; }
@@ -136,6 +174,9 @@ class LinearScorer : public PairScorer {
   explicit LinearScorer(std::array<double, PairFeatures::kCount> weights);
 
   double Score(const PairFeatures& features) const override;
+  /// Positive-weight part of the linear form at `bounds`: with
+  /// non-negative features, w * f <= max(w, 0) * f_ub for every weight.
+  double ScoreUpperBound(const PairFeatures& bounds) const override;
   std::string name() const override { return "linear"; }
 
  private:
@@ -157,6 +198,14 @@ class RuleScorer : public PairScorer {
   RuleScorer(double name_threshold = 0.92, double value_threshold = 0.5);
 
   double Score(const PairFeatures& features) const override;
+  /// Max over the rule branches reachable under `bounds`, each evaluated
+  /// at the bound (every branch expression is monotone in the features,
+  /// and a branch can only fire when its guards are satisfiable below the
+  /// bound). Not simply Score(bounds): the rule cascade is not monotone
+  /// in id_exact — a mined-id match pins the score at 0.95, below what
+  /// the name branch can reach — so the max-over-branches form is what
+  /// keeps the bound sound.
+  double ScoreUpperBound(const PairFeatures& bounds) const override;
   std::string name() const override { return "rule"; }
 
  private:
@@ -176,6 +225,10 @@ class LearnedScorer : public PairScorer {
              double learning_rate = 0.5);
 
   double Score(const PairFeatures& features) const override;
+  /// Sigmoid of the positive-weight part of the logit: trained weights
+  /// may be negative, and those terms only lower the score of a
+  /// non-negative feature.
+  double ScoreUpperBound(const PairFeatures& bounds) const override;
   std::string name() const override { return "learned"; }
 
   const std::array<double, PairFeatures::kCount>& weights() const {

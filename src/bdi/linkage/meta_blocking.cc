@@ -1,91 +1,155 @@
 #include "bdi/linkage/meta_blocking.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <unordered_map>
 
+#include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
 
 namespace bdi::linkage {
 
-namespace {
-
-struct PairHash {
-  size_t operator()(const CandidatePair& p) const {
-    return HashCombine(std::hash<int32_t>()(p.a), std::hash<int32_t>()(p.b));
-  }
-};
-
-}  // namespace
-
 std::vector<WeightedPair> BuildBlockingGraph(
     const Dataset& dataset, const std::vector<Block>& blocks,
-    MetaBlockingScheme scheme, bool allow_same_source) {
-  // Per-record block membership counts (needed for Jaccard).
-  std::unordered_map<RecordIdx, size_t> blocks_of;
+    MetaBlockingScheme scheme, bool allow_same_source, size_t num_threads) {
+  std::vector<WeightedPair> graph;
+  const size_t num_records = dataset.num_records();
+  if (blocks.empty() || num_records == 0) return graph;
+
+  // Per-record block membership counts (needed for Jaccard) — dense,
+  // record indices are contiguous.
+  std::vector<size_t> blocks_of(num_records, 0);
   for (const Block& block : blocks) {
-    for (RecordIdx r : block.records) ++blocks_of[r];
+    for (RecordIdx r : block.records) ++blocks_of[static_cast<size_t>(r)];
   }
 
-  // Accumulate per-pair statistics: co-occurrence count and ARCS weight.
+  // Per-pair statistics: co-occurrence count and ARCS weight.
   struct EdgeStats {
     size_t common = 0;
     double arcs = 0.0;
   };
-  std::unordered_map<CandidatePair, EdgeStats, PairHash> edges;
-  for (const Block& block : blocks) {
-    size_t cardinality =
-        block.records.size() * (block.records.size() - 1) / 2;
-    if (cardinality == 0) continue;
-    double arcs_contribution = 1.0 / static_cast<double>(cardinality);
-    for (size_t i = 0; i < block.records.size(); ++i) {
-      for (size_t j = i + 1; j < block.records.size(); ++j) {
-        RecordIdx a = block.records[i], b = block.records[j];
-        if (!allow_same_source &&
-            dataset.record(a).source == dataset.record(b).source) {
-          continue;
-        }
-        if (a > b) std::swap(a, b);
-        EdgeStats& stats = edges[CandidatePair{a, b}];
-        ++stats.common;
-        stats.arcs += arcs_contribution;
-      }
-    }
-  }
 
-  std::vector<WeightedPair> graph;
-  graph.reserve(edges.size());
-  for (const auto& [pair, stats] : edges) {
-    double weight = 0.0;
-    switch (scheme) {
-      case MetaBlockingScheme::kCommonBlocks:
-        weight = static_cast<double>(stats.common);
-        break;
-      case MetaBlockingScheme::kJaccard: {
-        size_t total = blocks_of[pair.a] + blocks_of[pair.b] - stats.common;
-        weight = total == 0 ? 0.0
-                            : static_cast<double>(stats.common) /
-                                  static_cast<double>(total);
-        break;
-      }
-      case MetaBlockingScheme::kArcs:
-        weight = stats.arcs;
-        break;
-    }
-    graph.push_back(WeightedPair{pair, weight});
+  // The O(Σ|block|²) edge accumulation runs in parallel over block
+  // chunks, each filling per-shard partial maps (shard = contiguous range
+  // of the pair's first record). The chunk count is a function of the
+  // block count alone — never the thread count — so each pair's ARCS
+  // partial sums group identically for every thread count; collections
+  // under 2*kBlocksPerChunk blocks run as a single chunk, reproducing the
+  // serial accumulation order exactly.
+  constexpr size_t kBlocksPerChunk = 256;
+  const size_t num_chunks =
+      std::min<size_t>(64, std::max<size_t>(1, blocks.size() / kBlocksPerChunk));
+  const size_t num_shards = std::min<size_t>(16, num_chunks);
+  auto shard_of = [&](RecordIdx a) {
+    return static_cast<size_t>(a) * num_shards / num_records;
+  };
+  auto pair_key = [](const CandidatePair& p) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(p.a)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(p.b));
+  };
+
+  std::vector<std::vector<std::unordered_map<uint64_t, EdgeStats>>> partials(
+      num_chunks,
+      std::vector<std::unordered_map<uint64_t, EdgeStats>>(num_shards));
+  ParallelFor(
+      num_chunks,
+      [&](size_t c) {
+        size_t chunk_begin = c * blocks.size() / num_chunks;
+        size_t chunk_end = (c + 1) * blocks.size() / num_chunks;
+        std::vector<std::unordered_map<uint64_t, EdgeStats>>& shard_maps =
+            partials[c];
+        for (size_t blk = chunk_begin; blk < chunk_end; ++blk) {
+          const Block& block = blocks[blk];
+          size_t cardinality =
+              block.records.size() * (block.records.size() - 1) / 2;
+          if (cardinality == 0) continue;
+          double arcs_contribution = 1.0 / static_cast<double>(cardinality);
+          for (size_t i = 0; i < block.records.size(); ++i) {
+            for (size_t j = i + 1; j < block.records.size(); ++j) {
+              RecordIdx a = block.records[i], b = block.records[j];
+              if (!allow_same_source &&
+                  dataset.record(a).source == dataset.record(b).source) {
+                continue;
+              }
+              if (a > b) std::swap(a, b);
+              EdgeStats& stats =
+                  shard_maps[shard_of(a)][pair_key(CandidatePair{a, b})];
+              ++stats.common;
+              stats.arcs += arcs_contribution;
+            }
+          }
+        }
+      },
+      num_threads);
+
+  // Merge per shard, visiting chunks in ascending index order: each
+  // pair's partials combine in the same order no matter which threads
+  // produced them. Shards own contiguous first-record ranges, so the
+  // sorted per-shard graphs concatenate into the globally pair-sorted
+  // graph.
+  std::vector<std::vector<WeightedPair>> shard_graphs(num_shards);
+  ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        std::unordered_map<uint64_t, EdgeStats> merged;
+        for (size_t c = 0; c < num_chunks; ++c) {
+          for (const auto& [key, stats] : partials[c][s]) {
+            EdgeStats& acc = merged[key];
+            acc.common += stats.common;
+            acc.arcs += stats.arcs;
+          }
+        }
+        std::vector<WeightedPair>& out = shard_graphs[s];
+        out.reserve(merged.size());
+        for (const auto& [key, stats] : merged) {
+          CandidatePair pair{
+              static_cast<RecordIdx>(static_cast<uint32_t>(key >> 32)),
+              static_cast<RecordIdx>(static_cast<uint32_t>(key))};
+          double weight = 0.0;
+          switch (scheme) {
+            case MetaBlockingScheme::kCommonBlocks:
+              weight = static_cast<double>(stats.common);
+              break;
+            case MetaBlockingScheme::kJaccard: {
+              size_t total = blocks_of[static_cast<size_t>(pair.a)] +
+                             blocks_of[static_cast<size_t>(pair.b)] -
+                             stats.common;
+              weight = total == 0 ? 0.0
+                                  : static_cast<double>(stats.common) /
+                                        static_cast<double>(total);
+              break;
+            }
+            case MetaBlockingScheme::kArcs:
+              weight = stats.arcs;
+              break;
+          }
+          out.push_back(WeightedPair{pair, weight});
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const WeightedPair& x, const WeightedPair& y) {
+                    return x.pair < y.pair;
+                  });
+      },
+      num_threads);
+
+  size_t total_edges = 0;
+  for (const std::vector<WeightedPair>& sg : shard_graphs) {
+    total_edges += sg.size();
   }
-  std::sort(graph.begin(), graph.end(),
-            [](const WeightedPair& x, const WeightedPair& y) {
-              return x.pair < y.pair;
-            });
+  graph.reserve(total_edges);
+  for (std::vector<WeightedPair>& sg : shard_graphs) {
+    graph.insert(graph.end(), sg.begin(), sg.end());
+  }
   return graph;
 }
 
 std::vector<CandidatePair> MetaBlock(const Dataset& dataset,
                                      const std::vector<Block>& blocks,
-                                     const MetaBlockingConfig& config) {
-  std::vector<WeightedPair> graph = BuildBlockingGraph(
-      dataset, blocks, config.scheme, config.allow_same_source);
+                                     const MetaBlockingConfig& config,
+                                     size_t num_threads) {
+  std::vector<WeightedPair> graph =
+      BuildBlockingGraph(dataset, blocks, config.scheme,
+                         config.allow_same_source, num_threads);
   std::vector<CandidatePair> kept;
   if (graph.empty()) return kept;
 

@@ -37,15 +37,22 @@ struct WeightedPair {
 /// Builds the blocking graph from `blocks`, weights every edge with the
 /// chosen scheme and prunes it, returning the surviving candidate pairs.
 /// Meta-blocking restructures a redundancy-heavy block collection so that
-/// far fewer comparisons retain nearly all matches.
+/// far fewer comparisons retain nearly all matches. `num_threads` bounds
+/// the graph build (0 = shared executor pool, 1 = serial); the result is
+/// identical for every thread count.
 std::vector<CandidatePair> MetaBlock(const Dataset& dataset,
                                      const std::vector<Block>& blocks,
-                                     const MetaBlockingConfig& config);
+                                     const MetaBlockingConfig& config,
+                                     size_t num_threads = 0);
 
-/// Exposed for testing: the weighted graph before pruning.
+/// Exposed for testing: the weighted graph before pruning, sorted by pair.
+/// The edge accumulation parallelizes over deterministic block chunks —
+/// chunk boundaries depend only on the block count, so the floating-point
+/// ARCS sums (and everything else) are identical for every `num_threads`.
 std::vector<WeightedPair> BuildBlockingGraph(
     const Dataset& dataset, const std::vector<Block>& blocks,
-    MetaBlockingScheme scheme, bool allow_same_source);
+    MetaBlockingScheme scheme, bool allow_same_source,
+    size_t num_threads = 0);
 
 }  // namespace bdi::linkage
 

@@ -1,6 +1,7 @@
 #include "bdi/text/similarity.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "bdi/common/string_util.h"
@@ -221,6 +222,121 @@ double SymmetricMongeElkan(const TokenInterner& interner,
       double s = a[i] == b[j]
                      ? 1.0
                      : JaroWinklerSimilarity(x, interner.token(b[j]), scratch);
+      row_best = std::max(row_best, s);
+      col_best[j] = std::max(col_best[j], s);
+    }
+    total_a += row_best;
+  }
+  double total_b = 0.0;
+  for (size_t j = 0; j < b.size(); ++j) total_b += col_best[j];
+  return std::max(total_a / static_cast<double>(a.size()),
+                  total_b / static_cast<double>(b.size()));
+}
+
+namespace {
+
+/// Class index of one byte: 'a'-'z' -> 0..25, '0'-'9' -> 26..35, else 36.
+size_t CharClass(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  if (uc >= 'a' && uc <= 'z') return static_cast<size_t>(uc - 'a');
+  if (uc >= '0' && uc <= '9') return 26 + static_cast<size_t>(uc - '0');
+  return 36;
+}
+
+/// Histograms saturate at 255; past that the multiset intersection could
+/// undercount, so bounds fall back to the pure length bound.
+constexpr uint32_t kMaxExactLength = 255;
+
+/// Shared-character multiset size from the two histograms, or min length
+/// when either histogram saturated.
+size_t SharedCharUpperBound(const TokenSignature& x,
+                            const TokenSignature& y) {
+  size_t bound = std::min(x.length, y.length);
+  if (x.length > kMaxExactLength || y.length > kMaxExactLength) return bound;
+  uint64_t shared = x.class_mask & y.class_mask;
+  size_t common = 0;
+  while (shared != 0) {
+    int c = std::countr_zero(shared);
+    shared &= shared - 1;
+    common += std::min(x.class_counts[static_cast<size_t>(c)],
+                       y.class_counts[static_cast<size_t>(c)]);
+  }
+  return std::min(bound, common);
+}
+
+}  // namespace
+
+TokenSignature MakeTokenSignature(std::string_view token) {
+  TokenSignature signature;
+  signature.length = static_cast<uint32_t>(token.size());
+  signature.first = token.empty() ? '\0' : token.front();
+  for (char c : token) {
+    size_t cls = CharClass(c);
+    signature.class_mask |= uint64_t{1} << cls;
+    if (signature.class_counts[cls] < 255) ++signature.class_counts[cls];
+  }
+  return signature;
+}
+
+size_t JaroMatchUpperBound(const TokenSignature& x, const TokenSignature& y) {
+  return SharedCharUpperBound(x, y);
+}
+
+double JaroWinklerUpperBound(const TokenSignature& x,
+                             const TokenSignature& y) {
+  // Mirror the real kernel's empty-string cases exactly.
+  if (x.length == 0 && y.length == 0) return 1.0;
+  if (x.length == 0 || y.length == 0) return 0.0;
+  size_t m = JaroMatchUpperBound(x, y);
+  // No shared characters: Jaro is 0 and the Winkler prefix is empty too.
+  if (m == 0) return 0.0;
+  double md = static_cast<double>(m);
+  // (m/|x| + m/|y| + (m-t)/m)/3 with t >= 0, at the largest possible m
+  // (the expression is increasing in m since m <= |x| and m <= |y|).
+  double jaro_ub = (md / static_cast<double>(x.length) +
+                    md / static_cast<double>(y.length) + 1.0) /
+                   3.0;
+  size_t prefix_ub =
+      x.first == y.first
+          ? std::min<size_t>({4, x.length, y.length})
+          : 0;
+  constexpr double kScaling = 0.1;
+  return jaro_ub +
+         static_cast<double>(prefix_ub) * kScaling * (1.0 - jaro_ub);
+}
+
+size_t EditDistanceLowerBound(const TokenSignature& x,
+                              const TokenSignature& y) {
+  size_t longest = std::max(x.length, y.length);
+  size_t gap = longest - std::min(x.length, y.length);
+  return std::max(gap, longest - SharedCharUpperBound(x, y));
+}
+
+double NormalizedEditSimilarityUpperBound(const TokenSignature& x,
+                                          const TokenSignature& y) {
+  size_t longest = std::max(x.length, y.length);
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistanceLowerBound(x, y)) /
+                   static_cast<double>(longest);
+}
+
+double SymmetricMongeElkanUpperBound(
+    const std::vector<TokenSignature>& signatures,
+    const std::vector<TokenId>& a, const std::vector<TokenId>& b,
+    SimilarityScratch& scratch) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // Same row/column-maxima fold as the real kernel, over per-cell upper
+  // bounds.
+  double total_a = 0.0;
+  std::vector<double>& col_best = scratch.col_best;
+  col_best.assign(b.size(), 0.0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    const TokenSignature& x = signatures[a[i]];
+    double row_best = 0.0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      double s =
+          a[i] == b[j] ? 1.0 : JaroWinklerUpperBound(x, signatures[b[j]]);
       row_best = std::max(row_best, s);
       col_best[j] = std::max(col_best[j], s);
     }

@@ -1,6 +1,7 @@
 #ifndef BDI_TEXT_SIMILARITY_H_
 #define BDI_TEXT_SIMILARITY_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -100,6 +101,68 @@ double SymmetricMongeElkan(const TokenInterner& interner,
                            const std::vector<TokenId>& a,
                            const std::vector<TokenId>& b,
                            SimilarityScratch& scratch);
+
+/// Character classes a TokenSignature counts: 'a'-'z' (26), '0'-'9' (10),
+/// plus one shared bucket for every other byte. Folding "other" bytes into
+/// one class can only overestimate the shared-character count, which keeps
+/// every bound built on the signatures sound.
+inline constexpr size_t kSignatureClasses = 37;
+
+/// Cheap per-token summary the bounded kernels work from: length, first
+/// character, and a per-class character histogram (counts saturate at 255;
+/// `class_mask` has bit c set iff class c occurs). Signatures are computed
+/// once per distinct token — the interner makes that cheap — and a bound
+/// over two signatures costs a handful of integer operations instead of
+/// the kernel's dynamic program or band scan.
+struct TokenSignature {
+  uint32_t length = 0;
+  char first = '\0';
+  uint64_t class_mask = 0;
+  std::array<uint8_t, kSignatureClasses> class_counts{};
+};
+
+/// Builds the signature of `token`.
+TokenSignature MakeTokenSignature(std::string_view token);
+
+/// Upper bound on the number of Jaro character matches between two tokens:
+/// min of the lengths, tightened by the shared-character multiset size
+/// when neither histogram saturated (Jaro matches pair equal characters
+/// injectively, so no alignment can match more than the multiset
+/// intersection).
+size_t JaroMatchUpperBound(const TokenSignature& x, const TokenSignature& y);
+
+/// Upper bound on JaroWinklerSimilarity of the two tokens: the Jaro term
+/// is bounded by ((m/|x| + m/|y| + 1) / 3) at m = JaroMatchUpperBound
+/// (transpositions only lower the true value), and the Winkler prefix term
+/// assumes the longest admissible prefix when the first characters agree
+/// and zero otherwise. Guaranteed >= the true Jaro-Winkler value.
+double JaroWinklerUpperBound(const TokenSignature& x,
+                             const TokenSignature& y);
+
+/// Lower bound on EditDistance between the two tokens: the length gap
+/// (every unit of it costs an insertion), tightened by
+/// max(|x|, |y|) - shared-character multiset size (every character of the
+/// longer token not covered by the intersection costs an edit).
+size_t EditDistanceLowerBound(const TokenSignature& x,
+                              const TokenSignature& y);
+
+/// Upper bound on NormalizedEditSimilarity, from EditDistanceLowerBound.
+double NormalizedEditSimilarityUpperBound(const TokenSignature& x,
+                                          const TokenSignature& y);
+
+/// Upper bound on SymmetricMongeElkan over interned word sequences, using
+/// only the per-token signatures (indexed by TokenId): the same
+/// row-maxima / column-maxima traversal as the real kernel, with each
+/// token-pair cell bounded by JaroWinklerUpperBound (1.0 exactly for
+/// equal ids). Costs O(|a| * |b|) integer work — no dynamic programs, no
+/// string accesses — and is guaranteed >= the true kernel value, which is
+/// what lets the matcher's prefilter skip pairs whose bound cannot reach
+/// the match threshold. `scratch` follows the usual caller-owned rule
+/// (only `col_best` is used; allocation-free once warm).
+double SymmetricMongeElkanUpperBound(
+    const std::vector<TokenSignature>& signatures,
+    const std::vector<TokenId>& a, const std::vector<TokenId>& b,
+    SimilarityScratch& scratch);
 
 /// Smith-Waterman local-alignment similarity: the best-scoring local
 /// alignment (match +2, mismatch -1, gap -1) normalized by the maximum
