@@ -37,7 +37,7 @@ int main() {
     OnlineFusionConfig online_config;
     online_config.confidence_stop = bar;
     OnlineFusionResult online =
-        ResolveOnline(db, batch.source_accuracy, online_config);
+        ResolveOnline(db, batch.source_accuracy, online_config).value();
     FusionResult as_result;
     as_result.chosen = online.chosen;
     as_result.confidence = online.confidence;
@@ -52,7 +52,8 @@ int main() {
   table.Print("Figure E14: probes vs precision across confidence bars");
 
   // Probe distribution at the default bar: most items settle fast.
-  OnlineFusionResult online = ResolveOnline(db, batch.source_accuracy);
+  OnlineFusionResult online =
+      ResolveOnline(db, batch.source_accuracy).value();
   std::map<size_t, size_t> histogram;
   for (size_t p : online.probes) ++histogram[p];
   TextTable dist({"probes for the item", "items"});

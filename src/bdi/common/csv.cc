@@ -11,9 +11,19 @@ bool NeedsQuoting(std::string_view field) {
   return field.find_first_of(",\"\n\r") != std::string_view::npos;
 }
 
+std::string CharName(char c) {
+  if (c == '\n') return "'\\n'";
+  if (c == '\r') return "'\\r'";
+  if (c == '\0') return "'\\0'";
+  return std::string("'") + c + "'";
+}
+
 }  // namespace
 
 std::string EncodeCsvRow(const std::vector<std::string>& fields) {
+  // A row of one empty field would otherwise encode as an empty line,
+  // which parses back as no row at all; "" is the unambiguous spelling.
+  if (fields.size() == 1 && fields[0].empty()) return "\"\"";
   std::string out;
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out.push_back(',');
@@ -36,6 +46,8 @@ Result<std::vector<std::string>> ParseCsvRow(std::string_view line) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  bool closed_quote = false;  // a quoted field ended; only , may follow
+  size_t open_column = 0;
   size_t i = 0;
   while (i < line.size()) {
     char c = line[i];
@@ -46,16 +58,23 @@ Result<std::vector<std::string>> ParseCsvRow(std::string_view line) {
           ++i;
         } else {
           in_quotes = false;
+          closed_quote = true;
         }
       } else {
         current.push_back(c);
       }
+    } else if (closed_quote && c != ',' && c != '\r') {
+      return Status::InvalidArgument(
+          "column " + std::to_string(i + 1) + ": unexpected " + CharName(c) +
+          " after closing quote (expected ',' or end of row)");
     } else {
       if (c == '"' && current.empty()) {
         in_quotes = true;
+        open_column = i + 1;
       } else if (c == ',') {
         fields.push_back(std::move(current));
         current.clear();
+        closed_quote = false;
       } else if (c == '\r') {
         // ignore stray carriage returns
       } else {
@@ -65,7 +84,9 @@ Result<std::vector<std::string>> ParseCsvRow(std::string_view line) {
     ++i;
   }
   if (in_quotes) {
-    return Status::InvalidArgument("unterminated quoted CSV field");
+    return Status::InvalidArgument(
+        "column " + std::to_string(open_column) +
+        ": unterminated quoted field");
   }
   fields.push_back(std::move(current));
   return fields;
@@ -74,25 +95,70 @@ Result<std::vector<std::string>> ParseCsvRow(std::string_view line) {
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view content) {
   std::vector<std::vector<std::string>> rows;
-  size_t start = 0;
-  while (start <= content.size()) {
-    size_t pos = content.find('\n', start);
-    std::string_view line = pos == std::string_view::npos
-                                ? content.substr(start)
-                                : content.substr(start, pos - start);
-    if (!(line.empty() && pos == std::string_view::npos)) {
-      if (!line.empty() || pos != std::string_view::npos) {
-        BDI_ASSIGN_OR_RETURN(std::vector<std::string> row, ParseCsvRow(line));
-        rows.push_back(std::move(row));
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool closed_quote = false;
+  bool row_quoted = false;  // any quote opened on this row ("" is a row)
+  size_t line = 1;
+  size_t open_line = 0;  // line on which the current quoted field opened
+  size_t i = 0;
+  auto end_row = [&]() {
+    // A line with no characters at all is a blank line, not a row of one
+    // empty field; "" spells the latter (see EncodeCsvRow).
+    if (!fields.empty() || !current.empty() || row_quoted) {
+      fields.push_back(std::move(current));
+      rows.push_back(std::move(fields));
+      fields.clear();
+    }
+    current.clear();
+    closed_quote = false;
+    row_quoted = false;
+  };
+  while (i < content.size()) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+          closed_quote = true;
+        }
+      } else {
+        if (c == '\n') ++line;
+        current.push_back(c);
+      }
+    } else if (closed_quote && c != ',' && c != '\n' && c != '\r') {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line) + ": unexpected " + CharName(c) +
+          " after closing quote (expected ',' or end of row)");
+    } else {
+      if (c == '"' && current.empty()) {
+        in_quotes = true;
+        row_quoted = true;
+        open_line = line;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+        closed_quote = false;
+      } else if (c == '\n') {
+        end_row();
+        ++line;
+      } else if (c == '\r') {
+        // ignore stray carriage returns (CR-LF and lone CR alike)
+      } else {
+        current.push_back(c);
       }
     }
-    if (pos == std::string_view::npos) break;
-    start = pos + 1;
+    ++i;
   }
-  // Drop a trailing fully-empty row produced by a final newline.
-  if (!rows.empty() && rows.back().size() == 1 && rows.back()[0].empty()) {
-    rows.pop_back();
+  if (in_quotes) {
+    return Status::InvalidArgument("line " + std::to_string(open_line) +
+                                   ": unterminated quoted field");
   }
+  end_row();
   return rows;
 }
 

@@ -11,14 +11,21 @@
 namespace bdi {
 
 /// Encodes one CSV row (RFC 4180 quoting: fields containing comma, quote or
-/// newline are quoted, quotes doubled). No trailing newline.
+/// newline are quoted, quotes doubled). A row of a single empty field is
+/// spelled `""` so it stays distinguishable from a blank line. No trailing
+/// newline.
 std::string EncodeCsvRow(const std::vector<std::string>& fields);
 
-/// Parses one CSV row. Fails on an unterminated quoted field.
+/// Parses one CSV row. Fails (with a column position in the message) on an
+/// unterminated quoted field or on data between a closing quote and the
+/// next delimiter; never aborts on malformed input.
 Result<std::vector<std::string>> ParseCsvRow(std::string_view line);
 
-/// Parses a whole CSV document (rows separated by '\n'; a final empty line
-/// is ignored). Quoted fields may not contain newlines in this dialect.
+/// Parses a whole CSV document statefully: rows are separated by '\n'
+/// (blank lines are skipped, CR in CR-LF endings is dropped), and quoted
+/// fields may span newlines — everything EncodeCsvRow emits round-trips
+/// bitwise. Malformed input (unterminated quote, garbage after a closing
+/// quote) yields an InvalidArgument Status naming the offending line.
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view content);
 

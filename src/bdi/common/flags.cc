@@ -6,25 +6,29 @@
 namespace bdi {
 
 Flags::Flags(int argc, const char* const* argv, int first) {
+  auto fail = [this](const char* token, std::string message) {
+    ok_ = false;
+    bad_ = token;
+    error_ = std::move(message);
+  };
   for (int i = first; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0 || argv[i][2] == '\0') {
-      ok_ = false;
-      bad_ = argv[i];
+      fail(argv[i], std::string("expected a --flag, got '") + argv[i] + "'");
       return;
     }
     const char* name = argv[i] + 2;
     if (const char* eq = std::strchr(name, '=')) {
       if (eq == name) {
-        ok_ = false;
-        bad_ = argv[i];
+        fail(argv[i], std::string("empty flag name in '") + argv[i] + "'");
         return;
       }
       values_[std::string(name, eq)] = eq + 1;
       continue;
     }
-    if (i + 1 >= argc) {
-      ok_ = false;
-      bad_ = argv[i];
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      fail(argv[i], std::string("missing value for '") + argv[i] +
+                        "' (use " + argv[i] +
+                        "=value for values beginning with --)");
       return;
     }
     values_[name] = argv[i + 1];
@@ -38,7 +42,7 @@ std::string Flags::Get(const std::string& name,
   return it == values_.end() ? fallback : it->second;
 }
 
-int Flags::GetInt(const std::string& name, int fallback) {
+Result<int> Flags::GetInt(const std::string& name, int fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   int value = 0;
@@ -46,9 +50,8 @@ int Flags::GetInt(const std::string& name, int fallback) {
   auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) {
-    ok_ = false;
-    bad_ = text;
-    return fallback;
+    return Status::InvalidArgument("--" + name + ": not an integer: '" +
+                                   text + "'");
   }
   return value;
 }

@@ -4,29 +4,38 @@
 #include <map>
 #include <string>
 
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+
 namespace bdi {
 
 /// Minimal command-line flag parser for the tools: arguments are
 /// "--name value" pairs or "--name=value" tokens, freely mixed. No
-/// registration, no types — callers pull values with defaults. Parsing
-/// failures record the offending token.
+/// registration, no types — callers pull values with defaults. All parse
+/// errors (bare tokens, missing values, empty names) are detected eagerly
+/// in the constructor; the parsed state is immutable afterwards and every
+/// getter is const.
 class Flags {
  public:
-  /// Parses argv[first..argc). `argv` is borrowed, not retained.
+  /// Parses argv[first..argc). `argv` is borrowed, not retained. A "--name"
+  /// followed by another "--flag" token (or by nothing) is a missing-value
+  /// error — use "--name=value" to pass a value that begins with "--".
   Flags(int argc, const char* const* argv, int first);
 
-  /// False when any argument failed to parse; see bad_token().
+  /// False when any argument failed to parse; see bad_token() / error().
   bool ok() const { return ok_; }
   /// The token that broke parsing (empty when ok()).
   const std::string& bad_token() const { return bad_; }
+  /// Human-readable description of the parse failure (empty when ok()).
+  const std::string& error() const { return error_; }
 
   /// Value of --name, or `fallback` when absent.
   std::string Get(const std::string& name,
                   const std::string& fallback) const;
 
-  /// Integer value of --name; `fallback` when absent. Returns fallback and
-  /// sets ok() to false on a malformed integer.
-  int GetInt(const std::string& name, int fallback);
+  /// Integer value of --name; `fallback` when absent. A malformed integer
+  /// yields an InvalidArgument Status naming the flag.
+  Result<int> GetInt(const std::string& name, int fallback) const;
 
   /// True when --name was present (with any value, including empty).
   bool Has(const std::string& name) const;
@@ -38,6 +47,7 @@ class Flags {
   std::map<std::string, std::string> values_;
   bool ok_ = true;
   std::string bad_;
+  std::string error_;
 };
 
 }  // namespace bdi

@@ -1,6 +1,7 @@
 #include "bdi/core/report_io.h"
 
 #include <charconv>
+#include <limits>
 #include <map>
 
 #include "bdi/common/csv.h"
@@ -10,22 +11,36 @@ namespace bdi::core {
 
 namespace {
 
-Result<int64_t> ParseInt(const std::string& text) {
+// Row numbers in messages are 1-based CSV rows (row 1 is the header).
+Result<int64_t> ParseInt(const std::string& text, const char* file,
+                         size_t row) {
   int64_t value = 0;
   auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) {
-    return Status::InvalidArgument("not an integer: '" + text + "'");
+    return Status::InvalidArgument(std::string(file) + " row " +
+                                   std::to_string(row + 1) +
+                                   ": not an integer: '" + text + "'");
   }
   return value;
 }
 
-Result<double> ParseDouble(const std::string& text) {
+Result<double> ParseDouble(const std::string& text, const char* file,
+                           size_t row) {
   double value = 0.0;
   if (!ParseLeadingDouble(text, &value, nullptr)) {
-    return Status::InvalidArgument("not a number: '" + text + "'");
+    return Status::InvalidArgument(std::string(file) + " row " +
+                                   std::to_string(row + 1) +
+                                   ": not a number: '" + text + "'");
   }
   return value;
+}
+
+Status RangeError(const char* file, size_t row, const char* what,
+                  const std::string& text) {
+  return Status::OutOfRange(std::string(file) + " row " +
+                            std::to_string(row + 1) + ": " + what +
+                            " out of range: " + text);
 }
 
 }  // namespace
@@ -96,10 +111,22 @@ Result<IntegrationReport> LoadIntegration(const Dataset& dataset,
     }
     for (size_t r = 1; r < rows.size(); ++r) {
       if (rows[r].size() != 4) {
-        return Status::InvalidArgument("bad schema.csv row");
+        return Status::InvalidArgument("bad schema.csv row " +
+                                       std::to_string(r + 1));
       }
-      BDI_ASSIGN_OR_RETURN(int64_t cluster, ParseInt(rows[r][0]));
-      BDI_ASSIGN_OR_RETURN(int64_t source, ParseInt(rows[r][2]));
+      BDI_ASSIGN_OR_RETURN(int64_t cluster,
+                           ParseInt(rows[r][0], "schema.csv", r));
+      BDI_ASSIGN_OR_RETURN(int64_t source,
+                           ParseInt(rows[r][2], "schema.csv", r));
+      // One cluster id per data row at most, so rows.size() bounds any
+      // valid id; without this a corrupt id would drive a huge resize.
+      if (cluster < 0 || static_cast<size_t>(cluster) > rows.size()) {
+        return RangeError("schema.csv", r, "cluster id", rows[r][0]);
+      }
+      if (source < 0 ||
+          static_cast<size_t>(source) >= dataset.num_sources()) {
+        return RangeError("schema.csv", r, "source id", rows[r][2]);
+      }
       std::optional<AttrId> attr = dataset.FindAttr(rows[r][3]);
       if (!attr.has_value()) {
         return Status::NotFound("attribute '" + rows[r][3] +
@@ -137,11 +164,21 @@ Result<IntegrationReport> LoadIntegration(const Dataset& dataset,
                                                    kInvalidEntity);
     EntityId max_label = -1;
     for (size_t r = 1; r < rows.size(); ++r) {
-      BDI_ASSIGN_OR_RETURN(int64_t record, ParseInt(rows[r][0]));
-      BDI_ASSIGN_OR_RETURN(int64_t entity, ParseInt(rows[r][1]));
+      if (rows[r].size() != 2) {
+        return Status::InvalidArgument("bad entities.csv row " +
+                                       std::to_string(r + 1));
+      }
+      BDI_ASSIGN_OR_RETURN(int64_t record,
+                           ParseInt(rows[r][0], "entities.csv", r));
+      BDI_ASSIGN_OR_RETURN(int64_t entity,
+                           ParseInt(rows[r][1], "entities.csv", r));
       if (record < 0 ||
           static_cast<size_t>(record) >= dataset.num_records()) {
-        return Status::OutOfRange("record id out of range");
+        return RangeError("entities.csv", r, "record id", rows[r][0]);
+      }
+      if (entity < kInvalidEntity ||
+          entity > std::numeric_limits<EntityId>::max()) {
+        return RangeError("entities.csv", r, "entity id", rows[r][1]);
       }
       report.linkage.clusters.label_of_record[record] =
           static_cast<EntityId>(entity);
@@ -163,11 +200,27 @@ Result<IntegrationReport> LoadIntegration(const Dataset& dataset,
     }
     for (size_t r = 1; r < rows.size(); ++r) {
       if (rows[r].size() != 4) {
-        return Status::InvalidArgument("bad claims.csv row");
+        return Status::InvalidArgument("bad claims.csv row " +
+                                       std::to_string(r + 1));
       }
-      BDI_ASSIGN_OR_RETURN(int64_t entity, ParseInt(rows[r][0]));
-      BDI_ASSIGN_OR_RETURN(int64_t attr, ParseInt(rows[r][1]));
-      BDI_ASSIGN_OR_RETURN(int64_t source, ParseInt(rows[r][2]));
+      BDI_ASSIGN_OR_RETURN(int64_t entity,
+                           ParseInt(rows[r][0], "claims.csv", r));
+      BDI_ASSIGN_OR_RETURN(int64_t attr,
+                           ParseInt(rows[r][1], "claims.csv", r));
+      BDI_ASSIGN_OR_RETURN(int64_t source,
+                           ParseInt(rows[r][2], "claims.csv", r));
+      if (entity < 0 || entity > std::numeric_limits<EntityId>::max()) {
+        return RangeError("claims.csv", r, "entity id", rows[r][0]);
+      }
+      if (attr < 0 || attr > std::numeric_limits<int>::max()) {
+        return RangeError("claims.csv", r, "attribute cluster", rows[r][1]);
+      }
+      // Claim sources index per-source weight vectors downstream; an id
+      // outside the corpus would corrupt any re-resolution.
+      if (source < 0 ||
+          static_cast<size_t>(source) >= dataset.num_sources()) {
+        return RangeError("claims.csv", r, "source id", rows[r][2]);
+      }
       claim_map[{static_cast<EntityId>(entity), static_cast<int>(attr)}]
           .push_back(fusion::Claim{static_cast<SourceId>(source),
                                    rows[r][3]});
@@ -186,11 +239,21 @@ Result<IntegrationReport> LoadIntegration(const Dataset& dataset,
     report.claims.set_num_sources(dataset.num_sources());
     for (size_t r = 1; r < rows.size(); ++r) {
       if (rows[r].size() != 4) {
-        return Status::InvalidArgument("bad fused.csv row");
+        return Status::InvalidArgument("bad fused.csv row " +
+                                       std::to_string(r + 1));
       }
-      BDI_ASSIGN_OR_RETURN(int64_t entity, ParseInt(rows[r][0]));
-      BDI_ASSIGN_OR_RETURN(int64_t attr, ParseInt(rows[r][1]));
-      BDI_ASSIGN_OR_RETURN(double confidence, ParseDouble(rows[r][3]));
+      BDI_ASSIGN_OR_RETURN(int64_t entity,
+                           ParseInt(rows[r][0], "fused.csv", r));
+      BDI_ASSIGN_OR_RETURN(int64_t attr,
+                           ParseInt(rows[r][1], "fused.csv", r));
+      BDI_ASSIGN_OR_RETURN(double confidence,
+                           ParseDouble(rows[r][3], "fused.csv", r));
+      if (entity < 0 || entity > std::numeric_limits<EntityId>::max()) {
+        return RangeError("fused.csv", r, "entity id", rows[r][0]);
+      }
+      if (attr < 0 || attr > std::numeric_limits<int>::max()) {
+        return RangeError("fused.csv", r, "attribute cluster", rows[r][1]);
+      }
       fusion::DataItem item;
       item.entity = static_cast<EntityId>(entity);
       item.attr = static_cast<int>(attr);

@@ -5,26 +5,32 @@
 #include <map>
 #include <numeric>
 
-#include "bdi/common/logging.h"
-
 namespace bdi::fusion {
 
-OnlineFusionResult ResolveOnline(const ClaimDb& db,
-                                 const std::vector<double>& source_accuracy,
-                                 const OnlineFusionConfig& config) {
-  BDI_CHECK(source_accuracy.size() >= db.num_sources());
+Result<OnlineFusionResult> ResolveOnline(
+    const ClaimDb& db, const std::vector<double>& source_accuracy,
+    const OnlineFusionConfig& config) {
+  if (source_accuracy.size() < db.num_sources()) {
+    return Status::InvalidArgument(
+        "source_accuracy has " + std::to_string(source_accuracy.size()) +
+        " entries but the claim db references " +
+        std::to_string(db.num_sources()) + " sources");
+  }
   OnlineFusionResult result;
   result.chosen.resize(db.items().size());
   result.confidence.resize(db.items().size(), 0.0);
   result.probes.resize(db.items().size(), 0);
 
-  // Per-source log-odds vote weight.
+  // Clamped accuracies drive everything downstream — probe order, vote
+  // weights and the adversarial-mass bookkeeping — so the order can never
+  // disagree with the weights for out-of-range estimates.
+  std::vector<double> clamped(db.num_sources(), 0.0);
   std::vector<double> weight(db.num_sources(), 0.0);
   for (size_t s = 0; s < db.num_sources(); ++s) {
-    double accuracy = std::clamp(source_accuracy[s], config.min_accuracy,
-                                 config.max_accuracy);
+    clamped[s] = std::clamp(source_accuracy[s], config.min_accuracy,
+                            config.max_accuracy);
     weight[s] =
-        std::log(config.n_false_values * accuracy / (1.0 - accuracy));
+        std::log(config.n_false_values * clamped[s] / (1.0 - clamped[s]));
   }
 
   for (size_t i = 0; i < db.items().size(); ++i) {
@@ -32,12 +38,12 @@ OnlineFusionResult ResolveOnline(const ClaimDb& db,
     result.total_claims += item.claims.size();
     if (item.claims.empty()) continue;
 
-    // Probe order: descending estimated accuracy.
+    // Probe order: descending clamped accuracy (ties by source id).
     std::vector<size_t> order(item.claims.size());
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
-      double ax = source_accuracy[item.claims[x].source];
-      double ay = source_accuracy[item.claims[y].source];
+      double ax = clamped[item.claims[x].source];
+      double ay = clamped[item.claims[y].source];
       if (ax != ay) return ax > ay;
       return item.claims[x].source < item.claims[y].source;
     });
@@ -52,11 +58,8 @@ OnlineFusionResult ResolveOnline(const ClaimDb& db,
     for (const Claim& claim : item.claims) {
       double w = std::max(0.0, weight[claim.source]);
       remaining += w;
-      double accuracy = std::clamp(source_accuracy[claim.source],
-                                   config.min_accuracy,
-                                   config.max_accuracy);
-      expected_false +=
-          w * (1.0 - accuracy) / std::max(1.0, config.n_false_values);
+      expected_false += w * (1.0 - clamped[claim.source]) /
+                        std::max(1.0, config.n_false_values);
     }
 
     std::map<std::string, double> score;
@@ -67,11 +70,8 @@ OnlineFusionResult ResolveOnline(const ClaimDb& db,
       const Claim& claim = item.claims[order[k]];
       double w = std::max(0.0, weight[claim.source]);
       remaining -= w;
-      double claim_accuracy = std::clamp(source_accuracy[claim.source],
-                                         config.min_accuracy,
-                                         config.max_accuracy);
-      expected_false -=
-          w * (1.0 - claim_accuracy) / std::max(1.0, config.n_false_values);
+      expected_false -= w * (1.0 - clamped[claim.source]) /
+                        std::max(1.0, config.n_false_values);
       score[claim.value] += weight[claim.source];
       ++probed;
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "bdi/common/result.h"
 #include "bdi/fusion/accu.h"
 
 namespace bdi::fusion {
@@ -42,10 +43,14 @@ struct OnlineFusionResult {
 
 /// Resolves every item by incremental probing. `source_accuracy` supplies
 /// the probe order and vote weights (use estimates from a prior batch run
-/// or a sample; the resolver never sees the truth).
-OnlineFusionResult ResolveOnline(const ClaimDb& db,
-                                 const std::vector<double>& source_accuracy,
-                                 const OnlineFusionConfig& config = {});
+/// or a sample; the resolver never sees the truth). Accuracies are clamped
+/// to [min_accuracy, max_accuracy] before BOTH the probe ordering and the
+/// vote weights, so the two can never disagree. Returns InvalidArgument
+/// (instead of aborting) when `source_accuracy` is shorter than the number
+/// of sources the claim db references.
+Result<OnlineFusionResult> ResolveOnline(
+    const ClaimDb& db, const std::vector<double>& source_accuracy,
+    const OnlineFusionConfig& config = {});
 
 }  // namespace bdi::fusion
 

@@ -1,6 +1,7 @@
 #include "bdi/model/dataset_io.h"
 
 #include <charconv>
+#include <limits>
 #include <map>
 
 #include "bdi/common/csv.h"
@@ -9,12 +10,16 @@ namespace bdi {
 
 namespace {
 
-Result<int64_t> ParseInt(const std::string& text) {
+// Row numbers in messages are 1-based CSV rows (row 1 is the header).
+Result<int64_t> ParseIntField(const std::string& text, size_t row,
+                              const char* what) {
   int64_t value = 0;
   auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc() || ptr != text.data() + text.size()) {
-    return Status::InvalidArgument("not an integer: '" + text + "'");
+    return Status::InvalidArgument("row " + std::to_string(row + 1) + ": " +
+                                   what + " is not an integer: '" + text +
+                                   "'");
   }
   return value;
 }
@@ -57,21 +62,28 @@ Result<Dataset> ReadDatasetCsv(const std::string& path) {
   for (size_t r = 1; r < rows.size(); ++r) {
     const std::vector<std::string>& row = rows[r];
     if (row.size() != 4) {
-      return Status::InvalidArgument("row " + std::to_string(r) +
-                                     " does not have 4 fields");
+      return Status::InvalidArgument("row " + std::to_string(r + 1) +
+                                     ": expected 4 fields, got " +
+                                     std::to_string(row.size()));
     }
     auto it = sources.find(row[0]);
     if (it == sources.end()) {
       it = sources.emplace(row[0], dataset.AddSource(row[0])).first;
     }
-    BDI_ASSIGN_OR_RETURN(int64_t record_id, ParseInt(row[1]));
+    BDI_ASSIGN_OR_RETURN(int64_t record_id,
+                         ParseIntField(row[1], r, "record id"));
+    if (record_id < 0) {
+      return Status::OutOfRange("row " + std::to_string(r + 1) +
+                                ": negative record id: " + row[1]);
+    }
     if (record_id != current_record) {
       flush();
       current_record = record_id;
       current_source = it->second;
     } else if (it->second != current_source) {
       return Status::InvalidArgument(
-          "record " + row[1] + " spans two sources (rows must be grouped)");
+          "row " + std::to_string(r + 1) + ": record " + row[1] +
+          " spans two sources (rows must be grouped)");
     }
     fields.push_back(Field{dataset.InternAttr(row[2]), row[3]});
   }
@@ -100,13 +112,22 @@ Result<std::vector<EntityId>> ReadLabelsCsv(const std::string& path) {
   std::vector<EntityId> labels(rows.size() - 1, kInvalidEntity);
   for (size_t r = 1; r < rows.size(); ++r) {
     if (rows[r].size() != 2) {
-      return Status::InvalidArgument("row " + std::to_string(r) +
-                                     " does not have 2 fields");
+      return Status::InvalidArgument("row " + std::to_string(r + 1) +
+                                     ": expected 2 fields, got " +
+                                     std::to_string(rows[r].size()));
     }
-    BDI_ASSIGN_OR_RETURN(int64_t record, ParseInt(rows[r][0]));
-    BDI_ASSIGN_OR_RETURN(int64_t entity, ParseInt(rows[r][1]));
+    BDI_ASSIGN_OR_RETURN(int64_t record,
+                         ParseIntField(rows[r][0], r, "record id"));
+    BDI_ASSIGN_OR_RETURN(int64_t entity,
+                         ParseIntField(rows[r][1], r, "entity id"));
     if (record < 0 || static_cast<size_t>(record) >= labels.size()) {
-      return Status::OutOfRange("record id out of range: " + rows[r][0]);
+      return Status::OutOfRange("row " + std::to_string(r + 1) +
+                                ": record id out of range: " + rows[r][0]);
+    }
+    if (entity < kInvalidEntity ||
+        entity > std::numeric_limits<EntityId>::max()) {
+      return Status::OutOfRange("row " + std::to_string(r + 1) +
+                                ": entity id out of range: " + rows[r][1]);
     }
     labels[static_cast<size_t>(record)] = static_cast<EntityId>(entity);
   }

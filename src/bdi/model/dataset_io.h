@@ -20,7 +20,9 @@ Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
 /// Loads a corpus written by WriteDatasetCsv (or hand-assembled in the
 /// same shape). Record rows must be grouped (all fields of a record
 /// contiguous); source names may appear in any order and are created on
-/// first use.
+/// first use. Malformed input (bad header, short rows, non-integer or
+/// negative record ids, split record groups) yields a Status naming the
+/// offending row — this function never aborts.
 Result<Dataset> ReadDatasetCsv(const std::string& path);
 
 /// Serializes record -> entity labels as `record,entity` rows.

@@ -1,0 +1,157 @@
+#include "bdi/model/validate.h"
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "bdi/common/csv.h"
+#include "bdi/model/types.h"
+
+namespace bdi {
+
+namespace {
+
+// Enough to make one run a useful worklist without flooding the terminal
+// on a comprehensively broken file.
+constexpr size_t kMaxIssues = 50;
+
+void AddIssue(ValidationReport* report, size_t row, std::string message) {
+  if (report->issues.size() >= kMaxIssues) {
+    report->truncated = true;
+    return;
+  }
+  report->issues.push_back(ValidationIssue{row, std::move(message)});
+}
+
+bool ParseId(const std::string& text, int64_t* value) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+/// Loads and parses `path`, checks the header, and returns the rows.
+/// Returns false (after recording the issue) when the file cannot even be
+/// row-scanned, in which case per-row validation is skipped.
+bool LoadRows(const std::string& path,
+              const std::vector<std::string>& header,
+              ValidationReport* report,
+              std::vector<std::vector<std::string>>* rows) {
+  Result<std::vector<std::vector<std::string>>> parsed = ReadCsvFile(path);
+  if (!parsed.ok()) {
+    AddIssue(report, 0, parsed.status().ToString());
+    return false;
+  }
+  *rows = std::move(parsed).value();
+  if (rows->empty()) {
+    AddIssue(report, 0, "empty file (expected header '" +
+                            EncodeCsvRow(header) + "')");
+    return false;
+  }
+  if ((*rows)[0] != header) {
+    AddIssue(report, 1, "bad header '" + EncodeCsvRow((*rows)[0]) +
+                            "' (expected '" + EncodeCsvRow(header) + "')");
+  }
+  report->rows = rows->size() - 1;
+  return true;
+}
+
+}  // namespace
+
+ValidationReport ValidateDatasetCsv(const std::string& path) {
+  ValidationReport report;
+  std::vector<std::vector<std::string>> rows;
+  if (!LoadRows(path, {"source", "record", "attribute", "value"}, &report,
+                &rows)) {
+    return report;
+  }
+  std::set<std::string> sources;
+  std::set<std::string> attributes;
+  std::set<int64_t> seen_records;
+  int64_t current_record = -1;
+  std::string current_source;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != 4) {
+      AddIssue(&report, r + 1,
+               "expected 4 fields, got " + std::to_string(row.size()));
+      continue;
+    }
+    if (row[0].empty()) AddIssue(&report, r + 1, "empty source name");
+    if (row[2].empty()) AddIssue(&report, r + 1, "empty attribute name");
+    sources.insert(row[0]);
+    attributes.insert(row[2]);
+    int64_t record_id = 0;
+    if (!ParseId(row[1], &record_id)) {
+      AddIssue(&report, r + 1,
+               "record id is not an integer: '" + row[1] + "'");
+      continue;
+    }
+    if (record_id < 0) {
+      AddIssue(&report, r + 1,
+               "negative record id: " + std::to_string(record_id));
+      continue;
+    }
+    if (record_id != current_record) {
+      if (!seen_records.insert(record_id).second) {
+        AddIssue(&report, r + 1,
+                 "record " + row[1] +
+                     " re-opens an earlier group (rows must be grouped)");
+      }
+      current_record = record_id;
+      current_source = row[0];
+    } else if (row[0] != current_source) {
+      AddIssue(&report, r + 1,
+               "record " + row[1] + " spans sources '" + current_source +
+                   "' and '" + row[0] + "' (rows must be grouped)");
+    }
+  }
+  report.records = seen_records.size();
+  report.sources = sources.size();
+  report.attributes = attributes.size();
+  return report;
+}
+
+ValidationReport ValidateLabelsCsv(const std::string& path) {
+  ValidationReport report;
+  std::vector<std::vector<std::string>> rows;
+  if (!LoadRows(path, {"record", "entity"}, &report, &rows)) {
+    return report;
+  }
+  std::set<int64_t> seen_records;
+  size_t data_rows = rows.size() - 1;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != 2) {
+      AddIssue(&report, r + 1,
+               "expected 2 fields, got " + std::to_string(row.size()));
+      continue;
+    }
+    int64_t record = 0;
+    int64_t entity = 0;
+    if (!ParseId(row[0], &record)) {
+      AddIssue(&report, r + 1,
+               "record id is not an integer: '" + row[0] + "'");
+      continue;
+    }
+    if (!ParseId(row[1], &entity)) {
+      AddIssue(&report, r + 1,
+               "entity id is not an integer: '" + row[1] + "'");
+      continue;
+    }
+    if (record < 0 || static_cast<size_t>(record) >= data_rows) {
+      AddIssue(&report, r + 1, "record id out of range: " + row[0]);
+    } else if (!seen_records.insert(record).second) {
+      AddIssue(&report, r + 1, "duplicate row for record " + row[0]);
+    }
+    if (entity < kInvalidEntity ||
+        entity > std::numeric_limits<EntityId>::max()) {
+      AddIssue(&report, r + 1, "entity id out of range: " + row[1]);
+    }
+  }
+  report.records = seen_records.size();
+  return report;
+}
+
+}  // namespace bdi

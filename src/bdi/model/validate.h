@@ -1,0 +1,46 @@
+#ifndef BDI_MODEL_VALIDATE_H_
+#define BDI_MODEL_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+namespace bdi {
+
+/// One problem found while validating an ingestion file. `row` is the
+/// 1-based CSV row the problem was found on (0 for file-level problems
+/// such as an unreadable file or a bad header).
+struct ValidationIssue {
+  size_t row = 0;
+  std::string message;
+};
+
+/// Outcome of ValidateDatasetCsv / ValidateLabelsCsv: summary counts plus
+/// the issues found. Unlike the readers (which stop at the first error),
+/// validation scans the whole file and reports every problem, so one run
+/// gives a complete repair worklist.
+struct ValidationReport {
+  size_t rows = 0;        ///< data rows scanned (header excluded)
+  size_t records = 0;     ///< distinct record ids seen
+  size_t sources = 0;     ///< distinct source names seen
+  size_t attributes = 0;  ///< distinct attribute names seen
+  std::vector<ValidationIssue> issues;
+  /// True when more issues existed than the per-run cap kept.
+  bool truncated = false;
+
+  bool ok() const { return issues.empty(); }
+};
+
+/// Scans a corpus CSV (`source,record,attribute,value`) and collects every
+/// structural problem ReadDatasetCsv would reject — CSV syntax errors, a
+/// wrong header, short/long rows, non-integer or negative record ids,
+/// record groups split across sources or re-opened later in the file, and
+/// empty source/attribute names. Never aborts on any input.
+ValidationReport ValidateDatasetCsv(const std::string& path);
+
+/// Scans a labels CSV (`record,entity`) the same way: syntax, header,
+/// field counts, integer ranges, and duplicate record rows.
+ValidationReport ValidateLabelsCsv(const std::string& path);
+
+}  // namespace bdi
+
+#endif  // BDI_MODEL_VALIDATE_H_

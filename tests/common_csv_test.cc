@@ -64,6 +64,74 @@ TEST(CsvTest, RowRoundTripProperty) {
   }
 }
 
+TEST(CsvTest, ParseRejectsGarbageAfterClosingQuote) {
+  auto row = ParseCsvRow("\"a\"b,c");
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(row.status().message().find("column"), std::string::npos);
+}
+
+TEST(CsvTest, ParseCsvQuotedFieldSpansNewlines) {
+  auto rows = ParseCsv("a,\"line\nbreak\"\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "line\nbreak"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseCsvQuotedFieldSpansManyLines) {
+  auto rows = ParseCsv("\"a\n\nb\n\"\nnext\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a\n\nb\n"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"next"}));
+}
+
+TEST(CsvTest, ParseCsvUnterminatedQuoteNamesOpeningLine) {
+  auto rows = ParseCsv("a,b\nc,\"oops\nstill open");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ParseCsvRejectsGarbageAfterClosingQuote) {
+  auto rows = ParseCsv("ok,fine\n\"a\"garbage,x\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ParseCsvCrLfRows) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseCsvPreservesQuotedCarriageReturn) {
+  auto rows = ParseCsv("\"a\r\nb\",c\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"a\r\nb", "c"}));
+}
+
+TEST(CsvTest, DocumentRoundTripWithNewlines) {
+  std::vector<std::vector<std::string>> rows = {
+      {"name", "notes"},
+      {"a", "first line\nsecond line"},
+      {"b", "cr\rhere"},
+      {"c,d", "quote \" and\nnewline"}};
+  std::string encoded;
+  for (const auto& row : rows) {
+    encoded += EncodeCsvRow(row);
+    encoded += '\n';
+  }
+  auto parsed = ParseCsv(encoded);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), rows);
+}
+
 TEST(CsvTest, ParseCsvMultipleRows) {
   auto rows = ParseCsv("a,b\nc,d\n");
   ASSERT_TRUE(rows.ok());

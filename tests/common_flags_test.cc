@@ -12,32 +12,34 @@ Flags Parse(std::initializer_list<const char*> args) {
 }
 
 TEST(FlagsTest, ParsesPairs) {
-  Flags flags = Parse({"--in", "a.csv", "--top", "7"});
+  const Flags flags = Parse({"--in", "a.csv", "--top", "7"});
   EXPECT_TRUE(flags.ok());
   EXPECT_EQ(flags.size(), 2u);
   EXPECT_EQ(flags.Get("in", ""), "a.csv");
-  EXPECT_EQ(flags.GetInt("top", 0), 7);
+  EXPECT_EQ(flags.GetInt("top", 0).value(), 7);
   EXPECT_TRUE(flags.Has("in"));
   EXPECT_FALSE(flags.Has("out"));
 }
 
 TEST(FlagsTest, DefaultsWhenAbsent) {
-  Flags flags = Parse({});
+  const Flags flags = Parse({});
   EXPECT_TRUE(flags.ok());
   EXPECT_EQ(flags.Get("missing", "fallback"), "fallback");
-  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_EQ(flags.GetInt("missing", 42).value(), 42);
 }
 
 TEST(FlagsTest, RejectsBareToken) {
   Flags flags = Parse({"notaflag", "x"});
   EXPECT_FALSE(flags.ok());
   EXPECT_EQ(flags.bad_token(), "notaflag");
+  EXPECT_FALSE(flags.error().empty());
 }
 
 TEST(FlagsTest, RejectsDanglingFlag) {
   Flags flags = Parse({"--in"});
   EXPECT_FALSE(flags.ok());
   EXPECT_EQ(flags.bad_token(), "--in");
+  EXPECT_FALSE(flags.error().empty());
 }
 
 TEST(FlagsTest, RejectsEmptyFlagName) {
@@ -45,19 +47,42 @@ TEST(FlagsTest, RejectsEmptyFlagName) {
   EXPECT_FALSE(flags.ok());
 }
 
-TEST(FlagsTest, MalformedIntegerFlagsError) {
-  Flags flags = Parse({"--top", "seven"});
+TEST(FlagsTest, MalformedIntegerReturnsStatusNotMutation) {
+  const Flags flags = Parse({"--top", "seven"});
   EXPECT_TRUE(flags.ok());
-  EXPECT_EQ(flags.GetInt("top", 3), 3);
-  EXPECT_FALSE(flags.ok());
-  EXPECT_EQ(flags.bad_token(), "seven");
+  Result<int> top = flags.GetInt("top", 3);
+  ASSERT_FALSE(top.ok());
+  EXPECT_EQ(top.status().code(), StatusCode::kInvalidArgument);
+  // GetInt is const: a malformed value never poisons the parse state.
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.GetInt("top", 3).value_or(3), 3);
 }
 
-TEST(FlagsTest, ValuesMayLookLikeFlags) {
-  // "--entity --weird" is a (flag, value) pair: the value is taken as-is.
+TEST(FlagsTest, IntegerRejectsTrailingGarbage) {
+  const Flags flags = Parse({"--top", "7x"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_FALSE(flags.GetInt("top", 0).ok());
+}
+
+TEST(FlagsTest, RejectsFlagLikeValueInPairForm) {
+  // "--entity --weird" is a missing value, not a (flag, value) pair —
+  // silently consuming "--weird" used to hide typos like a forgotten
+  // value. The = form below is the escape hatch.
   Flags flags = Parse({"--entity", "--weird"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_EQ(flags.bad_token(), "--entity");
+}
+
+TEST(FlagsTest, EqualsFormPassesFlagLikeValues) {
+  Flags flags = Parse({"--entity=--weird"});
   EXPECT_TRUE(flags.ok());
   EXPECT_EQ(flags.Get("entity", ""), "--weird");
+}
+
+TEST(FlagsTest, NegativeNumbersAreValuesNotFlags) {
+  const Flags flags = Parse({"--seed", "-5"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.GetInt("seed", 0).value(), -5);
 }
 
 TEST(FlagsTest, LastOccurrenceWins) {
@@ -66,18 +91,19 @@ TEST(FlagsTest, LastOccurrenceWins) {
 }
 
 TEST(FlagsTest, ParsesEqualsForm) {
-  Flags flags = Parse({"--metrics-out=m.json", "--top=7"});
+  const Flags flags = Parse({"--metrics-out=m.json", "--top=7"});
   EXPECT_TRUE(flags.ok());
   EXPECT_EQ(flags.Get("metrics-out", ""), "m.json");
-  EXPECT_EQ(flags.GetInt("top", 0), 7);
+  EXPECT_EQ(flags.GetInt("top", 0).value(), 7);
 }
 
 TEST(FlagsTest, MixesEqualsAndPairForms) {
-  Flags flags = Parse({"--in", "a.csv", "--metrics-out=m.json", "--top", "3"});
+  const Flags flags =
+      Parse({"--in", "a.csv", "--metrics-out=m.json", "--top", "3"});
   EXPECT_TRUE(flags.ok());
   EXPECT_EQ(flags.Get("in", ""), "a.csv");
   EXPECT_EQ(flags.Get("metrics-out", ""), "m.json");
-  EXPECT_EQ(flags.GetInt("top", 0), 3);
+  EXPECT_EQ(flags.GetInt("top", 0).value(), 3);
 }
 
 TEST(FlagsTest, EqualsFormAllowsEmptyValueAndEqualsInValue) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "bdi/core/query.h"
@@ -92,6 +93,70 @@ TEST(ReportIoTest, MissingDirectoryFails) {
       LoadIntegration(fx.world.dataset, "/no/such/dir");
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+// Overwrites one saved CSV with arbitrary content and asserts the load
+// surfaces a Status (never a crash/abort).
+void CorruptAndExpectStatus(const Fixture& fx, const std::string& file,
+                            const std::string& content) {
+  {
+    std::ofstream out(fx.dir + "/" + file);
+    out << content;
+  }
+  Result<IntegrationReport> loaded =
+      LoadIntegration(fx.world.dataset, fx.dir);
+  EXPECT_FALSE(loaded.ok()) << file << " <- " << content;
+}
+
+TEST(ReportIoTest, CorruptSchemaSurfacesStatus) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  CorruptAndExpectStatus(fx, "schema.csv", "not,a,schema\n");
+  CorruptAndExpectStatus(fx, "schema.csv",
+                         "cluster,name,source,attribute\nx,n,0,brand\n");
+  // A corrupt cluster id must not drive a multi-gigabyte resize.
+  CorruptAndExpectStatus(
+      fx, "schema.csv",
+      "cluster,name,source,attribute\n99999999999,n,0,brand\n");
+  CorruptAndExpectStatus(fx, "schema.csv",
+                         "cluster,name,source,attribute\n-3,n,0,brand\n");
+  // Source id outside the corpus.
+  CorruptAndExpectStatus(fx, "schema.csv",
+                         "cluster,name,source,attribute\n0,n,999,brand\n");
+}
+
+TEST(ReportIoTest, CorruptEntitiesSurfacesStatus) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  CorruptAndExpectStatus(fx, "entities.csv", "record,entity\n0\n");
+  std::string giant = "record,entity\n";
+  for (size_t r = 0; r < fx.world.dataset.num_records(); ++r) {
+    giant += std::to_string(r) + ",99999999999\n";
+  }
+  CorruptAndExpectStatus(fx, "entities.csv", giant);
+}
+
+TEST(ReportIoTest, CorruptClaimsSurfacesStatus) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  CorruptAndExpectStatus(fx, "claims.csv",
+                         "entity,attribute_cluster,source,value\n0,0,999,x\n");
+  CorruptAndExpectStatus(fx, "claims.csv",
+                         "entity,attribute_cluster,source,value\n0,0,-1,x\n");
+  CorruptAndExpectStatus(
+      fx, "claims.csv",
+      "entity,attribute_cluster,source,value\n\"unterminated,0,0,x\n");
+}
+
+TEST(ReportIoTest, CorruptFusedSurfacesStatus) {
+  Fixture fx;
+  ASSERT_TRUE(SaveIntegration(fx.report, fx.world.dataset, fx.dir).ok());
+  CorruptAndExpectStatus(
+      fx, "fused.csv",
+      "entity,attribute_cluster,value,confidence\n0,0,x,notanumber\n");
+  CorruptAndExpectStatus(fx, "fused.csv",
+                         "entity,attribute_cluster,value,confidence\n"
+                         "-5,0,x,0.5\n");
 }
 
 TEST(ReportIoTest, MaterializeEntitiesWorksOnLoadedReport) {

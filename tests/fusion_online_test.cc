@@ -26,7 +26,7 @@ ClaimDb UnanimousDb(int sources, int items) {
 TEST(OnlineFusionTest, UnanimousItemsStopEarly) {
   ClaimDb db = UnanimousDb(10, 20);
   std::vector<double> accuracy(10, 0.9);
-  OnlineFusionResult result = ResolveOnline(db, accuracy);
+  OnlineFusionResult result = ResolveOnline(db, accuracy).value();
   for (size_t i = 0; i < db.items().size(); ++i) {
     EXPECT_EQ(result.chosen[i], "t" + std::to_string(i));
     EXPECT_LT(result.probes[i], 10u) << "should not probe everyone";
@@ -51,8 +51,10 @@ TEST(OnlineFusionTest, ConflictForcesMoreProbes) {
   // Exercise the exact stopping rule (disable the approximate bar).
   OnlineFusionConfig config;
   config.confidence_stop = 1.1;
-  OnlineFusionResult easy = ResolveOnline(unanimous, accuracy, config);
-  OnlineFusionResult hard = ResolveOnline(contested, accuracy, config);
+  OnlineFusionResult easy =
+      ResolveOnline(unanimous, accuracy, config).value();
+  OnlineFusionResult hard =
+      ResolveOnline(contested, accuracy, config).value();
   EXPECT_GT(hard.probes[0], easy.probes[0]);
   EXPECT_EQ(hard.probes[0], 10u);  // a 5-5 split can never terminate early
 }
@@ -74,7 +76,7 @@ TEST(OnlineFusionTest, MatchesBatchOnCleanWorld) {
   FusionQuality batch_quality = EvaluateFusion(db, batch, world.truth);
 
   OnlineFusionResult online =
-      ResolveOnline(db, batch.source_accuracy);
+      ResolveOnline(db, batch.source_accuracy).value();
   // Adapt to the FusionResult shape for evaluation.
   FusionResult as_result;
   as_result.chosen = online.chosen;
@@ -101,16 +103,17 @@ TEST(OnlineFusionTest, LowerConfidenceBarProbesLess) {
   OnlineFusionConfig loose;
   loose.confidence_stop = 0.7;
   OnlineFusionResult strict_result =
-      ResolveOnline(db, batch.source_accuracy, strict);
+      ResolveOnline(db, batch.source_accuracy, strict).value();
   OnlineFusionResult loose_result =
-      ResolveOnline(db, batch.source_accuracy, loose);
+      ResolveOnline(db, batch.source_accuracy, loose).value();
   EXPECT_LE(loose_result.total_probes, strict_result.total_probes);
 }
 
 TEST(OnlineFusionTest, EmptyDb) {
   ClaimDb db;
   db.set_num_sources(3);
-  OnlineFusionResult result = ResolveOnline(db, {0.9, 0.8, 0.7});
+  OnlineFusionResult result =
+      ResolveOnline(db, {0.9, 0.8, 0.7}).value();
   EXPECT_EQ(result.total_probes, 0u);
   EXPECT_DOUBLE_EQ(result.probe_fraction(), 0.0);
 }
@@ -127,10 +130,33 @@ TEST(OnlineFusionTest, ProbeOrderFollowsAccuracy) {
   db.AddItem(item);
   OnlineFusionConfig config;
   config.confidence_stop = 0.9;
-  OnlineFusionResult result = ResolveOnline(db, {0.5, 0.99, 0.5}, config);
+  OnlineFusionResult result =
+      ResolveOnline(db, {0.5, 0.99, 0.5}, config).value();
   EXPECT_EQ(result.chosen[0], "x");
   // The accurate source (weight ln(10*99)) dominates after 1-2 probes.
   EXPECT_LE(result.probes[0], 2u);
+}
+
+TEST(OnlineFusionTest, ShortAccuracyVectorReturnsStatus) {
+  ClaimDb db = UnanimousDb(5, 3);
+  Result<OnlineFusionResult> result = ResolveOnline(db, {0.9, 0.9});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineFusionTest, ProbeOrderUsesClampedAccuracies) {
+  // Two accuracy vectors that clamp to the same values must behave
+  // identically — the probe order is driven by the clamped accuracies
+  // that also set the vote weights, never by the raw estimates.
+  ClaimDb db = UnanimousDb(4, 8);
+  OnlineFusionConfig config;  // max_accuracy 0.99 clamps everything below
+  OnlineFusionResult a =
+      ResolveOnline(db, {0.999, 0.995, 0.993, 0.991}, config).value();
+  OnlineFusionResult b =
+      ResolveOnline(db, {0.991, 0.993, 0.995, 0.999}, config).value();
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.confidence, b.confidence);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "bdi/common/csv.h"
 #include "bdi/synth/world.h"
@@ -92,6 +93,57 @@ TEST(DatasetIoTest, MissingFile) {
   EXPECT_FALSE(ReadDatasetCsv("/no/such/file.csv").ok());
 }
 
+TEST(DatasetIoTest, RoundTripsValuesWithEmbeddedNewlines) {
+  Dataset dataset;
+  SourceId a = dataset.AddSource("a.com");
+  dataset.AddRecord(a, {{"desc", "line one\nline two"},
+                        {"name", "plain"}});
+  dataset.AddRecord(a, {{"desc", "cr\r\nlf"}});
+  std::string path = TempPath("newline_roundtrip.csv");
+  ASSERT_TRUE(WriteDatasetCsv(dataset, path).ok());
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_records(), 2u);
+  EXPECT_EQ(loaded->record(0).fields[0].value, "line one\nline two");
+  EXPECT_EQ(loaded->record(1).fields[0].value, "cr\r\nlf");
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsNonIntegerRecordIdWithRowContext) {
+  std::string path = TempPath("bad_record_id.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"source", "record", "attribute", "value"},
+                                  {"a", "0", "x", "1"},
+                                  {"a", "zero", "y", "2"}})
+                  .ok());
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("row 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsNegativeRecordId) {
+  std::string path = TempPath("neg_record_id.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"source", "record", "attribute", "value"},
+                                  {"a", "-1", "x", "1"}})
+                  .ok());
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsUnterminatedQuoteAsStatus) {
+  std::string path = TempPath("unterminated.csv");
+  std::ofstream out(path);
+  out << "source,record,attribute,value\na,0,x,\"oops\n";
+  out.close();
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST(LabelsIoTest, RoundTrip) {
   std::vector<EntityId> labels = {4, 2, 2, 7, 0};
   std::string path = TempPath("labels.csv");
@@ -115,6 +167,37 @@ TEST(LabelsIoTest, RejectsOutOfRangeRecord) {
   ASSERT_TRUE(
       WriteCsvFile(path, {{"record", "entity"}, {"5", "1"}}).ok());
   EXPECT_FALSE(ReadLabelsCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(LabelsIoTest, RejectsEntityBelowInvalidSentinel) {
+  std::string path = TempPath("labels_neg.csv");
+  ASSERT_TRUE(
+      WriteCsvFile(path, {{"record", "entity"}, {"0", "-2"}}).ok());
+  Result<std::vector<EntityId>> loaded = ReadLabelsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(LabelsIoTest, AcceptsInvalidEntitySentinel) {
+  std::string path = TempPath("labels_sentinel.csv");
+  ASSERT_TRUE(
+      WriteCsvFile(path, {{"record", "entity"}, {"0", "-1"}}).ok());
+  Result<std::vector<EntityId>> loaded = ReadLabelsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), (std::vector<EntityId>{kInvalidEntity}));
+  std::remove(path.c_str());
+}
+
+TEST(LabelsIoTest, RejectsEntityAboveInt32WithRowContext) {
+  std::string path = TempPath("labels_big.csv");
+  ASSERT_TRUE(
+      WriteCsvFile(path, {{"record", "entity"}, {"0", "4294967296"}}).ok());
+  Result<std::vector<EntityId>> loaded = ReadLabelsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(loaded.status().message().find("row 2"), std::string::npos);
   std::remove(path.c_str());
 }
 

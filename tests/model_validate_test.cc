@@ -1,0 +1,131 @@
+#include "bdi/model/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bdi/common/csv.h"
+
+namespace bdi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void Write(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+TEST(ValidateDatasetTest, CleanFileIsOkWithCounts) {
+  std::string path = TempPath("validate_clean.csv");
+  Write(path,
+        "source,record,attribute,value\n"
+        "a.com,0,name,Widget\n"
+        "a.com,0,color,red\n"
+        "b.com,1,name,Gadget\n");
+  ValidationReport report = ValidateDatasetCsv(path);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.rows, 3u);
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.sources, 2u);
+  EXPECT_EQ(report.attributes, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ValidateDatasetTest, MissingFileIsOneFileLevelIssue) {
+  ValidationReport report = ValidateDatasetCsv("/no/such/file.csv");
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].row, 0u);
+}
+
+TEST(ValidateDatasetTest, CollectsMultipleIssuesWithRows) {
+  std::string path = TempPath("validate_multi.csv");
+  Write(path,
+        "source,record,attribute,value\n"
+        "a.com,zero,name,Widget\n"       // row 2: bad record id
+        "a.com,1,name,ok\n"
+        "b.com,1,name,split\n"           // row 4: group spans sources
+        "a.com,2,name\n"                 // row 5: short row
+        ",3,name,empty-source\n");       // row 6: empty source
+  ValidationReport report = ValidateDatasetCsv(path);
+  ASSERT_EQ(report.issues.size(), 4u);
+  EXPECT_EQ(report.issues[0].row, 2u);
+  EXPECT_EQ(report.issues[1].row, 4u);
+  EXPECT_EQ(report.issues[2].row, 5u);
+  EXPECT_EQ(report.issues[3].row, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ValidateDatasetTest, FlagsReopenedRecordGroup) {
+  std::string path = TempPath("validate_reopen.csv");
+  Write(path,
+        "source,record,attribute,value\n"
+        "a.com,0,name,x\n"
+        "a.com,1,name,y\n"
+        "a.com,0,color,red\n");  // row 4 re-opens record 0
+  ValidationReport report = ValidateDatasetCsv(path);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].row, 4u);
+  EXPECT_NE(report.issues[0].message.find("re-opens"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ValidateDatasetTest, SyntaxErrorReportsLine) {
+  std::string path = TempPath("validate_syntax.csv");
+  Write(path, "source,record,attribute,value\na.com,0,name,\"oops\n");
+  ValidationReport report = ValidateDatasetCsv(path);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].row, 0u);
+  EXPECT_NE(report.issues[0].message.find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ValidateDatasetTest, CapsIssueListOnHopelessFiles) {
+  std::string path = TempPath("validate_hopeless.csv");
+  std::string content = "source,record,attribute,value\n";
+  for (int r = 0; r < 200; ++r) {
+    content += "a.com,notanumber,attr,v\n";
+  }
+  Write(path, content);
+  ValidationReport report = ValidateDatasetCsv(path);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_LE(report.issues.size(), 50u);
+  std::remove(path.c_str());
+}
+
+TEST(ValidateLabelsTest, CleanLabelsAreOk) {
+  std::string path = TempPath("validate_labels.csv");
+  Write(path, "record,entity\n0,4\n1,4\n2,-1\n");
+  ValidationReport report = ValidateLabelsCsv(path);
+  EXPECT_TRUE(report.ok())
+      << (report.issues.empty() ? "" : report.issues[0].message);
+  EXPECT_EQ(report.rows, 3u);
+  EXPECT_EQ(report.records, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ValidateLabelsTest, FlagsDuplicatesRangesAndBadNumerics) {
+  std::string path = TempPath("validate_labels_bad.csv");
+  Write(path,
+        "record,entity\n"
+        "0,1\n"
+        "0,2\n"         // row 3: duplicate record
+        "9,1\n"         // row 4: record out of range
+        "1,abc\n"       // row 5: bad entity
+        "2,99999999999\n");  // row 6: entity out of int32 range
+  ValidationReport report = ValidateLabelsCsv(path);
+  ASSERT_EQ(report.issues.size(), 4u);
+  EXPECT_EQ(report.issues[0].row, 3u);
+  EXPECT_EQ(report.issues[1].row, 4u);
+  EXPECT_EQ(report.issues[2].row, 5u);
+  EXPECT_EQ(report.issues[3].row, 6u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bdi

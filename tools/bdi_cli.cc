@@ -14,6 +14,9 @@
 //   bdi diff      --old snap_0.csv --new snap_3.csv   (change feed)
 //   bdi trust     --in corpus.csv   (source quality audit: accuracies,
 //                 copying, systematic bias)
+//   bdi validate  <corpus.csv> [--labels labels.csv]   (scan ingestion
+//                 files for structural problems; prints every issue with
+//                 its row instead of stopping at the first)
 //
 // `generate` writes a synthetic multi-source corpus (and optionally its
 // record->entity ground truth); the other commands work on any corpus in
@@ -41,6 +44,7 @@
 #include "bdi/core/report_io.h"
 #include "bdi/linkage/linkage.h"
 #include "bdi/model/dataset_io.h"
+#include "bdi/model/validate.h"
 #include "bdi/schema/attribute_stats.h"
 #include "bdi/synth/world.h"
 
@@ -49,10 +53,11 @@ namespace {
 using namespace bdi;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: bdi <generate|stats|integrate|link|ask|evolve|diff|trust>"
-               " [--flag value]...\n"
-               "see the header of tools/bdi_cli.cc for the flag list\n");
+  std::fprintf(
+      stderr,
+      "usage: bdi <generate|stats|integrate|link|ask|evolve|diff|trust|"
+      "validate> [--flag value]...\n"
+      "see the header of tools/bdi_cli.cc for the flag list\n");
   return 2;
 }
 
@@ -61,17 +66,40 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int CmdGenerate(Flags& flags) {
+// Pulls an integer flag; a malformed value prints the error and returns
+// false so the command can exit with a usage failure.
+bool GetIntFlag(const Flags& flags, const char* name, int fallback,
+                int* out) {
+  Result<int> value = flags.GetInt(name, fallback);
+  if (!value.ok()) {
+    std::fprintf(stderr, "error: %s\n", value.status().ToString().c_str());
+    return false;
+  }
+  *out = value.value();
+  return true;
+}
+
+int CmdGenerate(const Flags& flags) {
   if (!flags.Has("out")) {
     std::fprintf(stderr, "generate: --out is required\n");
     return 2;
   }
+  int entities = 0;
+  int sources = 0;
+  int copiers = 0;
+  int seed = 0;
+  if (!GetIntFlag(flags, "entities", 300, &entities) ||
+      !GetIntFlag(flags, "sources", 12, &sources) ||
+      !GetIntFlag(flags, "copiers", 0, &copiers) ||
+      !GetIntFlag(flags, "seed", 42, &seed)) {
+    return 2;
+  }
   synth::WorldConfig config;
   config.category = flags.Get("category", "camera");
-  config.num_entities = flags.GetInt("entities", 300);
-  config.num_sources = flags.GetInt("sources", 12);
-  config.num_copiers = flags.GetInt("copiers", 0);
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.num_entities = entities;
+  config.num_sources = sources;
+  config.num_copiers = copiers;
+  config.seed = static_cast<uint64_t>(seed);
   synth::SyntheticWorld world = synth::GenerateWorld(config);
   Status status = WriteDatasetCsv(world.dataset, flags.Get("out", ""));
   if (!status.ok()) return Fail(status);
@@ -88,7 +116,7 @@ int CmdGenerate(Flags& flags) {
   return 0;
 }
 
-int CmdStats(Flags& flags) {
+int CmdStats(const Flags& flags) {
   Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   schema::AttributeStatistics stats =
@@ -113,7 +141,9 @@ int CmdStats(Flags& flags) {
   return 0;
 }
 
-int CmdIntegrate(Flags& flags) {
+int CmdIntegrate(const Flags& flags) {
+  int top = 0;  // checked before the pipeline runs, not at print time
+  if (!GetIntFlag(flags, "top", 5, &top)) return 2;
   Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
 
@@ -156,7 +186,6 @@ int CmdIntegrate(Flags& flags) {
                 quality.precision, quality.recall, quality.f1);
   }
 
-  int top = flags.GetInt("top", 5);
   for (const auto& entity : core::MaterializeEntities(
            report, dataset.value(), static_cast<size_t>(top))) {
     std::printf("entity #%d (%zu records)\n", entity.cluster,
@@ -168,7 +197,7 @@ int CmdIntegrate(Flags& flags) {
   return 0;
 }
 
-int CmdLink(Flags& flags) {
+int CmdLink(const Flags& flags) {
   Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   linkage::Linker linker(&dataset.value(), {});
@@ -188,7 +217,7 @@ int CmdLink(Flags& flags) {
   return 0;
 }
 
-int CmdTrust(Flags& flags) {
+int CmdTrust(const Flags& flags) {
   Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   core::Integrator integrator;
@@ -249,7 +278,9 @@ int CmdTrust(Flags& flags) {
   return 0;
 }
 
-int CmdDiff(Flags& flags) {
+int CmdDiff(const Flags& flags) {
+  int limit = 0;  // checked before the two pipeline runs, not at print time
+  if (!GetIntFlag(flags, "limit", 40, &limit)) return 2;
   Result<Dataset> old_dataset = ReadDatasetCsv(flags.Get("old", ""));
   if (!old_dataset.ok()) return Fail(old_dataset.status());
   Result<Dataset> new_dataset = ReadDatasetCsv(flags.Get("new", ""));
@@ -263,7 +294,7 @@ int CmdDiff(Flags& flags) {
               diff.entities_matched, diff.changes.size());
   int shown = 0;
   for (const core::IntegrationChange& change : diff.changes) {
-    if (shown++ >= flags.GetInt("limit", 40)) break;
+    if (shown++ >= limit) break;
     using Kind = core::IntegrationChange::Kind;
     switch (change.kind) {
       case Kind::kEntityAppeared:
@@ -290,18 +321,27 @@ int CmdDiff(Flags& flags) {
   return 0;
 }
 
-int CmdEvolve(Flags& flags) {
+int CmdEvolve(const Flags& flags) {
   if (!flags.Has("out-prefix")) {
     std::fprintf(stderr, "evolve: --out-prefix is required\n");
     return 2;
   }
+  int entities = 0;
+  int sources = 0;
+  int seed = 0;
+  int months = 0;
+  if (!GetIntFlag(flags, "entities", 300, &entities) ||
+      !GetIntFlag(flags, "sources", 12, &sources) ||
+      !GetIntFlag(flags, "seed", 42, &seed) ||
+      !GetIntFlag(flags, "months", 6, &months)) {
+    return 2;
+  }
   synth::WorldConfig config;
   config.category = flags.Get("category", "camera");
-  config.num_entities = flags.GetInt("entities", 300);
-  config.num_sources = flags.GetInt("sources", 12);
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.num_entities = entities;
+  config.num_sources = sources;
+  config.seed = static_cast<uint64_t>(seed);
   synth::TemporalConfig temporal;
-  int months = flags.GetInt("months", 6);
   synth::WorldSimulator simulator(config);
   for (int month = 0; month <= months; ++month) {
     synth::SyntheticWorld snapshot = simulator.Snapshot();
@@ -320,7 +360,7 @@ int CmdEvolve(Flags& flags) {
   return 0;
 }
 
-int CmdAsk(Flags& flags) {
+int CmdAsk(const Flags& flags) {
   if (!flags.Has("attribute") || !flags.Has("entity")) {
     std::fprintf(stderr, "ask: --attribute and --entity are required\n");
     return 2;
@@ -354,18 +394,74 @@ int CmdAsk(Flags& flags) {
   return 0;
 }
 
+// Prints one file's validation report: a summary line, then every issue
+// with its row. Returns true when the file is clean.
+bool PrintValidation(const std::string& path,
+                     const ValidationReport& report, bool dataset) {
+  if (dataset) {
+    std::printf("%s: %zu rows, %zu records, %zu sources, %zu attributes\n",
+                path.c_str(), report.rows, report.records, report.sources,
+                report.attributes);
+  } else {
+    std::printf("%s: %zu rows, %zu records\n", path.c_str(), report.rows,
+                report.records);
+  }
+  if (report.ok()) {
+    std::printf("%s: OK\n", path.c_str());
+    return true;
+  }
+  std::printf("%s: %zu issue%s%s\n", path.c_str(), report.issues.size(),
+              report.issues.size() == 1 ? "" : "s",
+              report.truncated ? " (more suppressed)" : "");
+  for (const ValidationIssue& issue : report.issues) {
+    if (issue.row == 0) {
+      std::printf("  file: %s\n", issue.message.c_str());
+    } else {
+      std::printf("  row %zu: %s\n", issue.row, issue.message.c_str());
+    }
+  }
+  return false;
+}
+
+int CmdValidate(const Flags& flags, const std::string& positional) {
+  std::string path =
+      positional.empty() ? flags.Get("in", "") : positional;
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "validate: a dataset path (positional or --in) is "
+                 "required\n");
+    return 2;
+  }
+  bool clean = PrintValidation(path, ValidateDatasetCsv(path), true);
+  if (flags.Has("labels")) {
+    std::string labels = flags.Get("labels", "");
+    clean = PrintValidation(labels, ValidateLabelsCsv(labels), false) &&
+            clean;
+  }
+  return clean ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  Flags flags(argc, argv, 2);
+  std::string command = argv[1];
+  // `validate` takes the dataset as a positional argument (the other
+  // commands are flag-only): bdi validate corpus.csv [--labels l.csv].
+  std::string positional;
+  int first_flag = 2;
+  if (command == "validate" && argc > 2 &&
+      std::strncmp(argv[2], "--", 2) != 0) {
+    positional = argv[2];
+    first_flag = 3;
+  }
+  Flags flags(argc, argv, first_flag);
   if (!flags.ok()) {
-    std::fprintf(stderr, "bad argument near '%s'\n", flags.bad_token().c_str());
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
     return Usage();
   }
   std::string metrics_out = flags.Get("metrics-out", "");
   if (!metrics_out.empty()) bdi::metrics::SetEnabled(true);
-  std::string command = argv[1];
   int rc;
   if (command == "generate") {
     rc = CmdGenerate(flags);
@@ -383,6 +479,8 @@ int main(int argc, char** argv) {
     rc = CmdDiff(flags);
   } else if (command == "trust") {
     rc = CmdTrust(flags);
+  } else if (command == "validate") {
+    rc = CmdValidate(flags, positional);
   } else {
     return Usage();
   }
