@@ -43,8 +43,10 @@ int main() {
 
   auto f1_of = [&](const LearnedScorer& scorer) {
     std::vector<ScoredPair> matches;
+    text::SimilarityScratch scratch;
     for (const CandidatePair& pair : candidates) {
-      PairFeatures features = linker.extractor().Extract(pair.a, pair.b);
+      PairFeatures features =
+          linker.extractor().Extract(pair.a, pair.b, scratch);
       if (scorer.Matches(features)) {
         matches.push_back(ScoredPair{pair, scorer.Score(features)});
       }

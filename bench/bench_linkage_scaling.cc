@@ -68,11 +68,35 @@ int main(int argc, char** argv) {
   synth::SyntheticWorld world = synth::GenerateWorld(config);
   TextTable threads_table({"threads", "match ms", "speedup"});
   double baseline = 0.0;
+  // Identity reference: the per-pair cascade, serial. Every sweep run
+  // (batched slab path, any thread count) must reproduce its match list
+  // and scores bit for bit — identical_output below is the gate.
+  LinkageResult reference;
+  {
+    LinkerConfig reference_config;
+    reference_config.num_threads = 1;
+    reference_config.use_batch = false;
+    Linker linker(&world.dataset, reference_config);
+    reference = linker.Run();
+  }
+  bool identical_output = true;
+  auto same_matches = [](const LinkageResult& x, const LinkageResult& y) {
+    if (x.matches.size() != y.matches.size()) return false;
+    for (size_t i = 0; i < x.matches.size(); ++i) {
+      if (x.matches[i].pair.a != y.matches[i].pair.a ||
+          x.matches[i].pair.b != y.matches[i].pair.b ||
+          x.matches[i].score != y.matches[i].score) {
+        return false;
+      }
+    }
+    return true;
+  };
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     LinkerConfig linker_config;
     linker_config.num_threads = threads;
     Linker linker(&world.dataset, linker_config);
     LinkageResult result = linker.Run();
+    identical_output = identical_output && same_matches(reference, result);
     if (threads == 1) baseline = result.matching_seconds;
     threads_table.AddRow(
         {std::to_string(threads),
@@ -85,6 +109,9 @@ int main(int argc, char** argv) {
                  std::max(1e-9, result.matching_seconds));
   }
   threads_table.Print("Figure E8b: matching-stage thread scaling");
+  std::printf("batched matching identical to per-pair reference: %s\n",
+              identical_output ? "yes" : "NO");
+  json.Note("identical_output", identical_output ? "true" : "false");
   std::printf("hardware_concurrency on this machine: %u\n",
               std::thread::hardware_concurrency());
   bench::AttachMetricsSnapshot(json);

@@ -1,0 +1,61 @@
+#include "bdi/common/cpu.h"
+
+namespace bdi::cpu {
+
+namespace {
+
+SimdLevel Detect() {
+#if defined(BDI_DISABLE_SIMD)
+  return SimdLevel::kScalar;
+#elif defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+}  // namespace
+
+namespace detail {
+
+// -1 = not yet detected; constant-initialized so no static-order hazard.
+constinit std::atomic<int> g_active_level{-1};
+
+int InitActiveLevel() {
+  int level = static_cast<int>(Detect());
+  g_active_level.store(level, std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace detail
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = Detect();
+  return level;
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  SimdLevel clamped =
+      static_cast<int>(level) <= static_cast<int>(DetectedSimdLevel())
+          ? level
+          : DetectedSimdLevel();
+  detail::g_active_level.store(static_cast<int>(clamped),
+                               std::memory_order_relaxed);
+  return clamped;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace bdi::cpu

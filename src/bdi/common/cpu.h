@@ -1,0 +1,62 @@
+#ifndef BDI_COMMON_CPU_H_
+#define BDI_COMMON_CPU_H_
+
+#include <atomic>
+
+namespace bdi::cpu {
+
+/// Instruction-set tiers the runtime-dispatched kernels can target, in
+/// strictly increasing capability order (a level implies every lower
+/// one). The integer values are the dispatch ordering — comparisons like
+/// `level >= SimdLevel::kSse2` are part of the contract.
+enum class SimdLevel {
+  kScalar = 0,  ///< portable C++ only (also the BDI_DISABLE_SIMD build)
+  kSse2 = 1,    ///< 128-bit integer lanes (baseline on x86-64)
+  kAvx2 = 2,    ///< 256-bit integer lanes
+};
+
+namespace detail {
+
+/// Storage behind ActiveSimdLevel(): the numeric level, or -1 before
+/// first use. Private to bdi::cpu — exposed only so the hot-path read
+/// inlines into kernel inner loops.
+extern std::atomic<int> g_active_level;
+
+/// One-time slow path: detects the hardware level, publishes it, and
+/// returns it. Private to bdi::cpu.
+int InitActiveLevel();
+
+}  // namespace detail
+
+/// Best level the running CPU supports. Constant for the process
+/// lifetime; `kScalar` on non-x86 targets and in `BDI_DISABLE_SIMD`
+/// builds regardless of hardware.
+SimdLevel DetectedSimdLevel();
+
+/// Level the dispatched kernels currently select. Defaults to
+/// DetectedSimdLevel(); tests lower it to pin vector-vs-scalar
+/// equivalence. Reading it is one relaxed atomic load plus a
+/// predictable sentinel check — cheap enough for kernel inner loops,
+/// and inline so callers pay no function-call overhead per cell.
+inline SimdLevel ActiveSimdLevel() {
+  int level = detail::g_active_level.load(std::memory_order_relaxed);
+  if (level < 0) [[unlikely]] {
+    level = detail::InitActiveLevel();
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+/// Sets the active dispatch level, clamped to DetectedSimdLevel() (a
+/// request the hardware cannot honor degrades, never crashes). Returns
+/// the level actually applied. Every vector path is pinned
+/// bitwise-identical to the scalar path, so flipping levels mid-run is
+/// safe — it changes instruction selection, never results.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// Human-readable level name ("scalar", "sse2", "avx2") for logs and
+/// bench output.
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace bdi::cpu
+
+#endif  // BDI_COMMON_CPU_H_

@@ -46,10 +46,10 @@ void TrainBalanced(const LabeledPool& pool, int epochs,
 
 void QueryAndAdd(const FeatureExtractor& extractor,
                  const std::vector<CandidatePair>& candidates, size_t index,
-                 const LabelOracle& oracle, LabeledPool* pool,
-                 ActiveLearningResult* result) {
+                 const LabelOracle& oracle, text::SimilarityScratch& scratch,
+                 LabeledPool* pool, ActiveLearningResult* result) {
   const CandidatePair& pair = candidates[index];
-  pool->features.push_back(extractor.Extract(pair.a, pair.b));
+  pool->features.push_back(extractor.Extract(pair.a, pair.b, scratch));
   pool->labels.push_back(oracle(pair));
   result->queried.push_back(pair);
   ++result->labels_used;
@@ -65,6 +65,7 @@ ActiveLearningResult TrainActively(
   if (candidates.empty()) return result;
   Rng rng(config.seed);
   LabeledPool pool;
+  text::SimilarityScratch scratch;
   std::vector<bool> labeled(candidates.size(), false);
 
   // Seed round: half random pairs, half likely positives (top heuristic
@@ -76,7 +77,7 @@ ActiveLearningResult TrainActively(
     ranked.reserve(candidates.size());
     for (size_t i = 0; i < candidates.size(); ++i) {
       PairFeatures features =
-          extractor.Extract(candidates[i].a, candidates[i].b);
+          extractor.Extract(candidates[i].a, candidates[i].b, scratch);
       ranked.emplace_back(
           features.id_exact + features.name_similarity, i);
     }
@@ -86,8 +87,8 @@ ActiveLearningResult TrainActively(
                       ranked.end(), std::greater<>());
     for (size_t k = 0; k < take; ++k) {
       labeled[ranked[k].second] = true;
-      QueryAndAdd(extractor, candidates, ranked[k].second, oracle, &pool,
-                  &result);
+      QueryAndAdd(extractor, candidates, ranked[k].second, oracle,
+                  scratch, &pool, &result);
     }
   }
   std::vector<size_t> permutation =
@@ -96,7 +97,8 @@ ActiveLearningResult TrainActively(
     if (pool.labels.size() >= config.seed_labels) break;
     if (labeled[index]) continue;
     labeled[index] = true;
-    QueryAndAdd(extractor, candidates, index, oracle, &pool, &result);
+    QueryAndAdd(extractor, candidates, index, oracle, scratch, &pool,
+                &result);
   }
   TrainBalanced(pool, config.train_epochs, &result.scorer);
 
@@ -108,7 +110,7 @@ ActiveLearningResult TrainActively(
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (labeled[i]) continue;
       double score = result.scorer.Score(
-          extractor.Extract(candidates[i].a, candidates[i].b));
+          extractor.Extract(candidates[i].a, candidates[i].b, scratch));
       uncertainty.emplace_back(std::abs(score - 0.5), i);
     }
     if (uncertainty.empty()) break;
@@ -119,7 +121,8 @@ ActiveLearningResult TrainActively(
     for (size_t k = 0; k < take; ++k) {
       size_t index = uncertainty[k].second;
       labeled[index] = true;
-      QueryAndAdd(extractor, candidates, index, oracle, &pool, &result);
+      QueryAndAdd(extractor, candidates, index, oracle, scratch, &pool,
+                &result);
     }
     // Later rounds refine with a gentler step so one boundary batch
     // cannot fling the weights.
@@ -136,10 +139,12 @@ ActiveLearningResult TrainRandomly(
   if (candidates.empty()) return result;
   Rng rng(config.seed);
   LabeledPool pool;
+  text::SimilarityScratch scratch;
   size_t budget = config.seed_labels + config.batch_size * config.rounds;
   for (size_t index :
        rng.SampleWithoutReplacement(candidates.size(), budget)) {
-    QueryAndAdd(extractor, candidates, index, oracle, &pool, &result);
+    QueryAndAdd(extractor, candidates, index, oracle, scratch, &pool,
+                &result);
   }
   TrainBalanced(pool, config.train_epochs, &result.scorer);
   return result;

@@ -1,0 +1,61 @@
+#ifndef BDI_LINKAGE_BATCH_H_
+#define BDI_LINKAGE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdi/linkage/blocking.h"
+#include "bdi/linkage/matcher.h"
+#include "bdi/text/similarity.h"
+
+namespace bdi::linkage {
+
+/// Structure-of-arrays working set for one chunk of candidate pairs — the
+/// matching stage's cache-conscious slab. A worker fills the lane arrays
+/// for a tile of its chunk, runs the vectorized bound pass over every
+/// lane, then compacts the survivors and feeds them to the full kernels
+/// in lane order, so each pass streams through contiguous memory instead
+/// of ping-ponging between bound state and kernel state per pair. Chunks
+/// are processed in fixed-size tiles (see kSlabTileLanes in batch.cc) so
+/// the lane arrays stay cache-resident between the passes no matter how
+/// large the chunk is.
+///
+/// Ownership follows the SimilarityScratch rule (DESIGN.md): one slab per
+/// worker, reused across chunks; every buffer is grow-only, so
+/// steady-state chunks allocate nothing. A slab must never be shared
+/// between concurrently running workers.
+struct CandidateSlab {
+  /// Lane arrays: record refs of the chunk's pairs, index-aligned.
+  std::vector<RecordIdx> a;
+  std::vector<RecordIdx> b;
+  /// Per-lane feature slots: bound-pass output first, then (for the
+  /// survivor prefix) the full features.
+  std::vector<PairFeatures> features;
+  /// Per-lane scorer bound from the bound pass.
+  std::vector<double> bounds;
+  /// Lane indices that survived the bound pass, in lane order.
+  std::vector<uint32_t> survivors;
+  /// Survivor scores, index-aligned with `survivors`.
+  std::vector<double> survivor_scores;
+  /// The one grow-only kernel scratch shared by every lane in the slab.
+  text::SimilarityScratch scratch;
+};
+
+/// Scores `n` candidate pairs through the slab batch path: fills `slab`'s
+/// lanes from `pairs`, runs the vectorized bound pass (when
+/// `use_prefilter`), then the full kernel stack over the survivors, and
+/// writes one score per pair into `scores[0..n)` — the score upper bound
+/// for prefilter-skipped pairs (below threshold by construction), the
+/// true score for everything else. Bitwise identical to the per-pair
+/// cascade in every slot, for every scorer: the batch path runs the same
+/// kernels in the same per-pair operation order, only grouped into
+/// passes. Returns the number of prefilter-skipped pairs.
+size_t ScoreCandidateSlab(const FeatureExtractor& extractor,
+                          const PairScorer& scorer,
+                          const CandidatePair* pairs, size_t n,
+                          bool use_prefilter, CandidateSlab& slab,
+                          double* scores);
+
+}  // namespace bdi::linkage
+
+#endif  // BDI_LINKAGE_BATCH_H_

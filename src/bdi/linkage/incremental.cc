@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bdi/common/logging.h"
+#include "bdi/linkage/batch.h"
 #include "bdi/text/tokenizer.h"
 
 namespace bdi::linkage {
@@ -130,25 +131,32 @@ size_t IncrementalLinker::AddNewRecords() {
   extractor_.Prepare();
   size_t comparisons = 0;
   const double threshold = scorer_->threshold();
-  text::SimilarityScratch scratch;
+  // One grow-only slab serves every new record's candidate batch — the
+  // same comparison cascade and batch kernels as Linker::Run, so the
+  // incremental path stops hand-rolling its own scratch loop. A lane
+  // whose bound cannot reach the threshold records that bound (below
+  // threshold by construction) and can never become an edge, leaving the
+  // edge set identical to the unfiltered path.
+  CandidateSlab slab;
+  std::vector<CandidatePair> pairs;
+  std::vector<double> scores;
   for (; next_record_ < dataset_->num_records(); ++next_record_) {
     RecordIdx idx = static_cast<RecordIdx>(next_record_);
+    pairs.clear();
     for (RecordIdx other : CandidatesFor(idx)) {
-      ++comparisons;
-      // Same comparison cascade as the batch matcher: a pair whose score
-      // bound cannot reach the threshold can never become an edge, so
-      // skipping it leaves the edge set identical.
-      if (config_.use_prefilter &&
-          scorer_->ScoreUpperBound(
-              extractor_.ExtractBounds(other, idx, scratch)) +
-                  kPrefilterSlack <
-              threshold) {
-        continue;
-      }
-      PairFeatures features = extractor_.Extract(other, idx, scratch);
-      if (scorer_->Matches(features)) {
-        CandidatePair pair{std::min(other, idx), std::max(other, idx)};
-        edges_.push_back(ScoredPair{pair, scorer_->Score(features)});
+      // Lane order (other, idx) mirrors the historical Extract argument
+      // order, keeping scores bitwise stable across the refactor.
+      pairs.push_back(CandidatePair{other, idx});
+    }
+    comparisons += pairs.size();
+    scores.resize(pairs.size());
+    ScoreCandidateSlab(extractor_, *scorer_, pairs.data(), pairs.size(),
+                       config_.use_prefilter, slab, scores.data());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (scores[i] >= threshold) {
+        CandidatePair pair{std::min(pairs[i].a, pairs[i].b),
+                           std::max(pairs[i].a, pairs[i].b)};
+        edges_.push_back(ScoredPair{pair, scores[i]});
       }
     }
     IndexRecord(idx);

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <mutex>
 
 #include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
 #include "bdi/common/timer.h"
 #include "bdi/common/trace.h"
+#include "bdi/linkage/batch.h"
 #include "bdi/text/similarity.h"
 
 namespace bdi::linkage {
@@ -177,12 +180,50 @@ LinkageResult Linker::Run() {
     ComparisonsCounter().Add(candidates.size());
     std::vector<double> scores(candidates.size());
     const bool prefilter = config_.use_prefilter;
+    const bool batch = config_.use_batch;
     const double threshold = scorer_->threshold();
     const bool metrics_on = metrics::Enabled();
     std::atomic<size_t> prefiltered{0};
+    // Checked-out slabs parked between chunks: a worker claiming its next
+    // chunk reuses a slab whose scratch buffers and token-pair memos are
+    // already warm (scores never depend on slab state, so reuse cannot
+    // change results). The mutex guards only the checkout/return, never
+    // the scoring.
+    std::mutex slab_pool_mutex;
+    std::vector<std::unique_ptr<CandidateSlab>> slab_pool;
     ParallelForRanges(
         candidates.size(),
         [&](size_t begin, size_t end) {
+          if (batch) {
+            // Slab path: one structure-of-arrays slab per chunk — the
+            // vectorized bound pass sweeps every lane, then the full
+            // kernels run over the compacted survivors. Output slots are
+            // bitwise identical to the per-pair loop below.
+            std::unique_ptr<CandidateSlab> slab;
+            {
+              std::lock_guard<std::mutex> lock(slab_pool_mutex);
+              if (!slab_pool.empty()) {
+                slab = std::move(slab_pool.back());
+                slab_pool.pop_back();
+              }
+            }
+            if (slab == nullptr) slab = std::make_unique<CandidateSlab>();
+            size_t skipped = ScoreCandidateSlab(
+                extractor_, *scorer_, candidates.data() + begin,
+                end - begin, prefilter, *slab, scores.data() + begin);
+            {
+              std::lock_guard<std::mutex> lock(slab_pool_mutex);
+              slab_pool.push_back(std::move(slab));
+            }
+            if (skipped > 0) {
+              prefiltered.fetch_add(skipped, std::memory_order_relaxed);
+            }
+            if (metrics_on) {
+              MatchChunksCounter().Add();
+              ScratchReusesCounter().Add(end - begin - 1);
+            }
+            return;
+          }
           text::SimilarityScratch scratch;
           size_t skipped = 0;
           for (size_t i = begin; i < end; ++i) {

@@ -44,6 +44,13 @@ struct LinkerConfig {
   /// so this stays on by default; the switch exists for the equivalence
   /// tests and for A/B benchmarking.
   bool use_prefilter = true;
+  /// Batched matching: each worker fills a structure-of-arrays candidate
+  /// slab for its chunk, runs the vectorized bound pass over every lane,
+  /// then the full kernels over the compacted survivors
+  /// (ScoreCandidateSlab in batch.h). Scores are bitwise identical to the
+  /// per-pair loop for every scorer and thread count; off reinstates the
+  /// per-pair reference path for the equivalence tests and A/B benches.
+  bool use_batch = true;
 };
 
 struct LinkageResult {

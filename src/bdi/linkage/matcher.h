@@ -57,16 +57,21 @@ class FeatureExtractor {
   /// context changed retroactively).
   void Rebuild();
 
-  /// Convenience form backed by a thread_local scratch; same result as the
-  /// explicit-scratch overload (still allocation-free in steady state).
-  PairFeatures Extract(RecordIdx a, RecordIdx b) const;
-
   /// Allocation-free hot path: all tokenization happened in Prepare (the
   /// per-pair kernels run over interned token ids), and `scratch` is the
   /// caller-owned per-worker working memory the kernels reuse. See
-  /// DESIGN.md's scratch-buffer ownership rule.
+  /// DESIGN.md's scratch-buffer ownership rule — caller-owned scratch is
+  /// the only convention; there is deliberately no thread_local fallback.
   PairFeatures Extract(RecordIdx a, RecordIdx b,
                        text::SimilarityScratch& scratch) const;
+
+  /// Batch form of Extract over parallel lane arrays: `out[i] =
+  /// Extract(a[i], b[i], scratch)` bit for bit, in lane order, with the
+  /// next lanes' record caches prefetched while the current pair's
+  /// kernels run. One grow-only scratch serves the whole lane group.
+  void ExtractBatch(const RecordIdx* a, const RecordIdx* b, size_t n,
+                    PairFeatures* out,
+                    text::SimilarityScratch& scratch) const;
 
   /// Cheap elementwise upper bound on Extract(a, b): id_exact and
   /// name_jaccard are computed exactly (they are integer merges over the
@@ -81,8 +86,15 @@ class FeatureExtractor {
   PairFeatures ExtractBounds(RecordIdx a, RecordIdx b,
                              text::SimilarityScratch& scratch) const;
 
-  /// Convenience form of ExtractBounds backed by a thread_local scratch.
-  PairFeatures ExtractBounds(RecordIdx a, RecordIdx b) const;
+  /// Batch form of ExtractBounds: `out[i] = ExtractBounds(a[i], b[i],
+  /// scratch)` bit for bit, in lane order, with lookahead prefetch of the
+  /// upcoming lanes' record caches. This is the slab's vectorized bound
+  /// pass — the signature reductions underneath dispatch to SSE2/AVX2
+  /// when the CPU has them (see bdi::cpu), and every dispatch level
+  /// produces identical bounds.
+  void ExtractBoundsBatch(const RecordIdx* a, const RecordIdx* b, size_t n,
+                          PairFeatures* out,
+                          text::SimilarityScratch& scratch) const;
 
   /// Distinct tokens interned across all record caches (diagnostics).
   size_t num_interned_tokens() const { return interner_.size(); }
@@ -102,6 +114,14 @@ class FeatureExtractor {
     /// (aligned key, normalized value); key is cluster id when a schema is
     /// present, else the AttrId; sorted by key.
     std::vector<std::pair<int, std::string>> aligned_values;
+    /// Leading-double parse of each aligned value (parallel to
+    /// aligned_values; NaN when the value is not numeric). Parsing is a
+    /// per-record property, so doing it once here keeps the per-pair
+    /// numeric-closeness merge free of string parsing — the merge feeds
+    /// the parsed values to NumericSimilarityValues, which is the exact
+    /// post-parse math of NumericSimilarity (and maps a NaN operand to
+    /// 0.0, matching the string form's unparseable case).
+    std::vector<double> aligned_numbers;
   };
 
   /// Tokenized-but-not-yet-interned form of one record's cache. Prepare
@@ -114,6 +134,9 @@ class FeatureExtractor {
     std::vector<std::string> id_tokens;
     bool ids_from_role = false;
     std::vector<std::pair<int, std::string>> aligned_values;
+    /// Parsed leading doubles, parallel to aligned_values (NaN when not
+    /// numeric); built here so the parse runs in the parallel stage.
+    std::vector<double> aligned_numbers;
   };
 
   StagedCache BuildStaged(RecordIdx idx) const;
@@ -156,6 +179,22 @@ class PairScorer {
   virtual double ScoreUpperBound(const PairFeatures& bounds) const {
     (void)bounds;
     return 1.0;
+  }
+
+  /// Batch form of Score: `out[i] = Score(features[i])` for each lane.
+  /// The default delegates lane by lane; overrides must keep per-pair
+  /// operation order unchanged so batch scores stay bitwise identical to
+  /// single-pair scores (the equivalence gates assert this).
+  virtual void ScoreBatch(const PairFeatures* features, size_t n,
+                          double* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = Score(features[i]);
+  }
+
+  /// Batch form of ScoreUpperBound, same lane-by-lane contract as
+  /// ScoreBatch.
+  virtual void ScoreUpperBoundBatch(const PairFeatures* bounds, size_t n,
+                                    double* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = ScoreUpperBound(bounds[i]);
   }
 
   virtual std::string name() const = 0;

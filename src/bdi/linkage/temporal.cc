@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bdi/common/executor.h"
 #include "bdi/common/logging.h"
-#include "bdi/dataflow/mapreduce.h"
 
 namespace bdi::linkage {
 
@@ -43,12 +43,20 @@ TemporalLinkageResult LinkTemporal(const Dataset& dataset,
     bool relaxed = false;
     double score = 0.0;
   };
-  std::vector<Verdict> verdicts =
-      dataflow::ParallelMap<CandidatePair, Verdict>(
-          candidates,
-          [&](const CandidatePair& pair) {
+  // Chunked ranges with one caller-owned scratch per chunk (the
+  // scratch-ownership convention): disjoint verdict slots keep the result
+  // identical for every thread count.
+  std::vector<Verdict> verdicts(candidates.size());
+  ParallelForRanges(
+      candidates.size(),
+      [&](size_t chunk_begin, size_t chunk_end) {
+        text::SimilarityScratch scratch;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          const CandidatePair& pair = candidates[i];
+          verdicts[i] = [&] {
             Verdict verdict;
-            PairFeatures features = extractor.Extract(pair.a, pair.b);
+            PairFeatures features =
+                extractor.Extract(pair.a, pair.b, scratch);
             if (features.id_exact >= 1.0) {
               verdict.match = true;
               verdict.score = 1.0;
@@ -88,8 +96,10 @@ TemporalLinkageResult LinkTemporal(const Dataset& dataset,
               verdict.relaxed = true;
             }
             return verdict;
-          },
-          config.num_threads);
+          }();
+        }
+      },
+      config.num_threads, /*min_chunk=*/64);
 
   std::vector<ScoredPair> matches;
   for (size_t i = 0; i < candidates.size(); ++i) {

@@ -1,8 +1,40 @@
 #include "bdi/text/interner.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace bdi::text {
+
+uint64_t TokenInterner::NextUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+TokenInterner& TokenInterner::operator=(const TokenInterner& other) {
+  if (this != &other) {
+    ids_ = other.ids_;
+    tokens_ = other.tokens_;
+    uid_ = NextUid();
+  }
+  return *this;
+}
+
+TokenInterner::TokenInterner(TokenInterner&& other) noexcept
+    : ids_(std::move(other.ids_)),
+      tokens_(std::move(other.tokens_)),
+      uid_(other.uid_) {
+  other.uid_ = NextUid();
+}
+
+TokenInterner& TokenInterner::operator=(TokenInterner&& other) noexcept {
+  if (this != &other) {
+    ids_ = std::move(other.ids_);
+    tokens_ = std::move(other.tokens_);
+    uid_ = other.uid_;
+    other.uid_ = NextUid();
+  }
+  return *this;
+}
 
 TokenId TokenInterner::Intern(std::string_view token) {
   auto it = ids_.find(token);

@@ -29,6 +29,16 @@ class TokenInterner {
  public:
   TokenInterner() = default;
 
+  /// Copies get a fresh uid: after the copy the two interners can assign
+  /// the same future id to different tokens, so they must not share a
+  /// vocabulary identity. Moves transfer the uid with the vocabulary and
+  /// re-identify the moved-from interner.
+  TokenInterner(const TokenInterner& other)
+      : ids_(other.ids_), tokens_(other.tokens_) {}
+  TokenInterner& operator=(const TokenInterner& other);
+  TokenInterner(TokenInterner&& other) noexcept;
+  TokenInterner& operator=(TokenInterner&& other) noexcept;
+
   /// Returns the id of `token`, interning it first if unseen.
   TokenId Intern(std::string_view token);
 
@@ -41,7 +51,16 @@ class TokenInterner {
   /// Number of distinct tokens interned so far.
   size_t size() const { return tokens_.size(); }
 
+  /// Process-unique identity of this interner's vocabulary, stable across
+  /// growth (ids are append-only, so existing id -> token mappings never
+  /// change under one uid). Memo caches keyed by token ids use the uid to
+  /// detect that a scratch moved to a different vocabulary; uids are
+  /// never reused within a process.
+  uint64_t uid() const { return uid_; }
+
  private:
+  /// Next value of the process-wide uid counter (starts at 1).
+  static uint64_t NextUid();
   struct StringHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {
@@ -53,6 +72,7 @@ class TokenInterner {
   /// strings, so the interner stays safely copyable.
   std::unordered_map<std::string, TokenId, StringHash, std::equal_to<>> ids_;
   std::vector<std::string> tokens_;
+  uint64_t uid_ = NextUid();
 };
 
 /// Interns every token of `tokens` in order, preserving duplicates.

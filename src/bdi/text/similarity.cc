@@ -4,8 +4,17 @@
 #include <bit>
 #include <cmath>
 
+#include "bdi/common/cpu.h"
 #include "bdi/common/string_util.h"
 #include "bdi/text/tokenizer.h"
+
+// Vector paths exist only on x86 (SSE2/AVX2) and compile out entirely in
+// BDI_DISABLE_SIMD builds; cpu::ActiveSimdLevel() is kScalar then, so the
+// dispatch below falls through to the portable loop.
+#if !defined(BDI_DISABLE_SIMD) && (defined(__x86_64__) || defined(__i386__))
+#define BDI_SIMD_X86 1
+#include <immintrin.h>
+#endif
 
 namespace bdi::text {
 
@@ -201,6 +210,62 @@ double MongeElkanSimilarity(std::string_view a, std::string_view b) {
   return total / static_cast<double>(ta.size());
 }
 
+namespace {
+
+/// Empty-slot sentinel in TokenPairMemo key tables (no real key is ~0:
+/// that would need both token ids to be kInvalidToken).
+constexpr uint64_t kEmptyMemoKey = ~uint64_t{0};
+
+/// Slot of `key` in an open-addressing table (linear probing): either the
+/// slot holding the key or the empty slot where it belongs.
+size_t MemoProbe(const std::vector<uint64_t>& keys, uint64_t key) {
+  size_t mask = keys.size() - 1;
+  size_t slot =
+      static_cast<size_t>((key * uint64_t{0x9E3779B97F4A7C15}) >> 32) & mask;
+  while (keys[slot] != kEmptyMemoKey && keys[slot] != key) {
+    slot = (slot + 1) & mask;
+  }
+  return slot;
+}
+
+/// Binds `memo` to `vocabulary_uid`, resetting the table when the scratch
+/// last served a different vocabulary (foreign ids must never be read as
+/// hits) and allocating it on first use.
+void MemoBind(TokenPairMemo& memo, uint64_t vocabulary_uid) {
+  if (memo.vocabulary_uid == vocabulary_uid && !memo.keys.empty()) return;
+  size_t size = memo.keys.empty() ? 1024 : memo.keys.size();
+  memo.keys.assign(size, kEmptyMemoKey);
+  memo.values.assign(size, 0.0);
+  memo.used = 0;
+  memo.vocabulary_uid = vocabulary_uid;
+}
+
+/// Doubles the table, rehashing every occupied slot.
+void MemoGrow(TokenPairMemo& memo) {
+  std::vector<uint64_t> old_keys = std::move(memo.keys);
+  std::vector<double> old_values = std::move(memo.values);
+  memo.keys.assign(old_keys.size() * 2, kEmptyMemoKey);
+  memo.values.assign(old_values.size() * 2, 0.0);
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptyMemoKey) continue;
+    size_t slot = MemoProbe(memo.keys, old_keys[i]);
+    memo.keys[slot] = old_keys[i];
+    memo.values[slot] = old_values[i];
+  }
+}
+
+/// Inserts a freshly computed value, growing first when the table would
+/// pass 50% load.
+void MemoInsert(TokenPairMemo& memo, uint64_t key, double value) {
+  if (memo.used * 2 >= memo.keys.size()) MemoGrow(memo);
+  size_t slot = MemoProbe(memo.keys, key);
+  memo.keys[slot] = key;
+  memo.values[slot] = value;
+  ++memo.used;
+}
+
+}  // namespace
+
 double SymmetricMongeElkan(const TokenInterner& interner,
                            const std::vector<TokenId>& a,
                            const std::vector<TokenId>& b,
@@ -211,7 +276,12 @@ double SymmetricMongeElkan(const TokenInterner& interner,
   // folded immediately into total_a (ME(a,b)); column maxima accumulate in
   // scratch.col_best and sum into total_b (ME(b,a)) afterwards. Both
   // reductions visit the same values in the same order as the two
-  // independent string passes, so the result is bit-identical.
+  // independent string passes, so the result is bit-identical. Cell
+  // values come from the scratch's pair memo when this scratch has seen
+  // the token pair before — Jaro-Winkler is pure, so a hit is the exact
+  // bits the recompute would produce.
+  TokenPairMemo& memo = scratch.jw_memo;
+  MemoBind(memo, interner.uid());
   std::vector<double>& col_best = scratch.col_best;
   col_best.assign(b.size(), 0.0);
   double total_a = 0.0;
@@ -219,9 +289,19 @@ double SymmetricMongeElkan(const TokenInterner& interner,
     const std::string& x = interner.token(a[i]);
     double row_best = 0.0;
     for (size_t j = 0; j < b.size(); ++j) {
-      double s = a[i] == b[j]
-                     ? 1.0
-                     : JaroWinklerSimilarity(x, interner.token(b[j]), scratch);
+      double s;
+      if (a[i] == b[j]) {
+        s = 1.0;
+      } else {
+        uint64_t key = (uint64_t{a[i]} << 32) | b[j];
+        size_t slot = MemoProbe(memo.keys, key);
+        if (memo.keys[slot] == key) {
+          s = memo.values[slot];
+        } else {
+          s = JaroWinklerSimilarity(x, interner.token(b[j]), scratch);
+          MemoInsert(memo, key, s);
+        }
+      }
       row_best = std::max(row_best, s);
       col_best[j] = std::max(col_best[j], s);
     }
@@ -247,12 +327,11 @@ size_t CharClass(char c) {
 /// undercount, so bounds fall back to the pure length bound.
 constexpr uint32_t kMaxExactLength = 255;
 
-/// Shared-character multiset size from the two histograms, or min length
-/// when either histogram saturated.
-size_t SharedCharUpperBound(const TokenSignature& x,
-                            const TokenSignature& y) {
-  size_t bound = std::min(x.length, y.length);
-  if (x.length > kMaxExactLength || y.length > kMaxExactLength) return bound;
+/// Portable histogram intersection: sum over the classes present in both
+/// masks of min(count_x, count_y). Classes absent from either side have a
+/// zero count on that side, so this equals the all-classes min-sum the
+/// vector paths compute — the mask walk just skips known zeros.
+size_t SharedCharSumScalar(const TokenSignature& x, const TokenSignature& y) {
   uint64_t shared = x.class_mask & y.class_mask;
   size_t common = 0;
   while (shared != 0) {
@@ -261,7 +340,131 @@ size_t SharedCharUpperBound(const TokenSignature& x,
     common += std::min(x.class_counts[static_cast<size_t>(c)],
                        y.class_counts[static_cast<size_t>(c)]);
   }
-  return std::min(bound, common);
+  return common;
+}
+
+#if BDI_SIMD_X86
+
+// Both vector paths compute sum_c min(x[c], y[c]) over the whole
+// histogram: unsigned byte min then a sum-of-bytes reduction (psadbw
+// against zero). Every operand is an exact small integer, so the result
+// is identical to the scalar mask walk — not approximately, bitwise.
+// Loads cover class_counts exactly: kSignatureClassStorage = 40 bytes as
+// 32 + 8, with the padding bytes always zero (min contributes nothing),
+// so no scalar tail remains.
+
+size_t SharedCharSumSse2(const TokenSignature& x, const TokenSignature& y) {
+  const uint8_t* xs = x.class_counts.data();
+  const uint8_t* ys = y.class_counts.data();
+  __m128i zero = _mm_setzero_si128();
+  __m128i m0 = _mm_min_epu8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(xs)),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ys)));
+  __m128i m1 = _mm_min_epu8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(xs + 16)),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ys + 16)));
+  __m128i m2 = _mm_min_epu8(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xs + 32)),
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ys + 32)));
+  __m128i sums =
+      _mm_add_epi64(_mm_add_epi64(_mm_sad_epu8(m0, zero),
+                                  _mm_sad_epu8(m1, zero)),
+                    _mm_sad_epu8(m2, zero));
+  uint64_t total =
+      static_cast<uint64_t>(_mm_cvtsi128_si64(sums)) +
+      static_cast<uint64_t>(
+          _mm_cvtsi128_si64(_mm_unpackhi_epi64(sums, sums)));
+  return static_cast<size_t>(total);
+}
+
+__attribute__((target("avx2"))) size_t SharedCharSumAvx2(
+    const TokenSignature& x, const TokenSignature& y) {
+  const uint8_t* xs = x.class_counts.data();
+  const uint8_t* ys = y.class_counts.data();
+  __m256i m = _mm256_min_epu8(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs)),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ys)));
+  __m256i sad = _mm256_sad_epu8(m, _mm256_setzero_si256());
+  __m128i tail = _mm_min_epu8(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xs + 32)),
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ys + 32)));
+  __m128i sums = _mm_add_epi64(
+      _mm_add_epi64(_mm256_castsi256_si128(sad),
+                    _mm256_extracti128_si256(sad, 1)),
+      _mm_sad_epu8(tail, _mm_setzero_si128()));
+  uint64_t total =
+      static_cast<uint64_t>(_mm_cvtsi128_si64(sums)) +
+      static_cast<uint64_t>(
+          _mm_cvtsi128_si64(_mm_unpackhi_epi64(sums, sums)));
+  return static_cast<size_t>(total);
+}
+
+#endif  // BDI_SIMD_X86
+
+/// Shared classes below which the scalar mask walk beats any fixed-width
+/// reduction: short word tokens intersect in only a handful of classes,
+/// and walking those few set bits is cheaper than loading and reducing
+/// the whole 40-byte histogram. Measured crossover on the micro bench
+/// sits near 8 shared classes (full-name signatures are well above it,
+/// word tokens well below).
+constexpr int kVectorCutover = 8;
+
+/// Runtime-dispatched shared-character multiset size. The branch on the
+/// cached level predicts perfectly (it never changes mid-run outside the
+/// equivalence tests), and each path returns the same exact integer —
+/// including the sparse-mask scalar shortcut, which only re-orders which
+/// known-zero classes get skipped.
+size_t SharedCharSum(const TokenSignature& x, const TokenSignature& y) {
+#if BDI_SIMD_X86
+  if (std::popcount(x.class_mask & y.class_mask) >= kVectorCutover) {
+    cpu::SimdLevel level = cpu::ActiveSimdLevel();
+    if (level >= cpu::SimdLevel::kAvx2) return SharedCharSumAvx2(x, y);
+    if (level >= cpu::SimdLevel::kSse2) return SharedCharSumSse2(x, y);
+  }
+#endif
+  return SharedCharSumScalar(x, y);
+}
+
+/// Shared-character multiset size from the two histograms, or min length
+/// when either histogram saturated.
+size_t SharedCharUpperBound(const TokenSignature& x,
+                            const TokenSignature& y) {
+  size_t bound = std::min(x.length, y.length);
+  if (x.length > kMaxExactLength || y.length > kMaxExactLength) return bound;
+  return std::min(bound, SharedCharSum(x, y));
+}
+
+/// Compile-time table of IEEE quotients m / l for small m and l. The
+/// signature bounds divide a match count by a token length in every cell
+/// of the Monge-Elkan grid; for the word-sized operands that dominate, a
+/// table load replaces the hardware divide. Entries are computed by the
+/// same double division they replace (constant evaluation uses IEEE
+/// round-to-nearest, like the runtime), so a lookup returns the identical
+/// bits — this is a strength reduction, not an approximation.
+struct QuotientTable {
+  static constexpr size_t kMax = 48;
+  double q[kMax][kMax] = {};
+};
+
+constexpr QuotientTable MakeQuotientTable() {
+  QuotientTable table;
+  for (size_t m = 0; m < QuotientTable::kMax; ++m) {
+    for (size_t l = 1; l < QuotientTable::kMax; ++l) {
+      table.q[m][l] = static_cast<double>(m) / static_cast<double>(l);
+    }
+  }
+  return table;
+}
+
+constinit const QuotientTable kQuotients = MakeQuotientTable();
+
+/// num / den as a double, via the table when both operands are small
+/// (den must be nonzero). Bitwise equal to the plain division always.
+inline double ExactQuotient(size_t num, size_t den) {
+  if (num < QuotientTable::kMax && den < QuotientTable::kMax) {
+    return kQuotients.q[num][den];
+  }
+  return static_cast<double>(num) / static_cast<double>(den);
 }
 
 }  // namespace
@@ -290,12 +493,11 @@ double JaroWinklerUpperBound(const TokenSignature& x,
   size_t m = JaroMatchUpperBound(x, y);
   // No shared characters: Jaro is 0 and the Winkler prefix is empty too.
   if (m == 0) return 0.0;
-  double md = static_cast<double>(m);
   // (m/|x| + m/|y| + (m-t)/m)/3 with t >= 0, at the largest possible m
   // (the expression is increasing in m since m <= |x| and m <= |y|).
-  double jaro_ub = (md / static_cast<double>(x.length) +
-                    md / static_cast<double>(y.length) + 1.0) /
-                   3.0;
+  // ExactQuotient is the same IEEE division, table-accelerated.
+  double jaro_ub =
+      (ExactQuotient(m, x.length) + ExactQuotient(m, y.length) + 1.0) / 3.0;
   size_t prefix_ub =
       x.first == y.first
           ? std::min<size_t>({4, x.length, y.length})
@@ -327,7 +529,11 @@ double SymmetricMongeElkanUpperBound(
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   // Same row/column-maxima fold as the real kernel, over per-cell upper
-  // bounds.
+  // bounds. Cells are recomputed, not memoized like the real kernel's:
+  // a bound cell is a few integer ops plus table lookups — cheaper than
+  // a hash probe into a table too big to stay cache-resident (the bound
+  // pass visits every candidate pair, so its distinct-token-pair space
+  // is an order of magnitude larger than the survivors').
   double total_a = 0.0;
   std::vector<double>& col_best = scratch.col_best;
   col_best.assign(b.size(), 0.0);
@@ -379,11 +585,7 @@ double NumericSimilarity(std::string_view a, std::string_view b) {
       !ParseLeadingDouble(b, &vb, nullptr)) {
     return 0.0;
   }
-  if (va == vb) return 1.0;
-  double denom = std::max(std::abs(va), std::abs(vb));
-  if (denom == 0.0) return 1.0;
-  double rel = std::abs(va - vb) / denom;
-  return std::max(0.0, 1.0 - rel);
+  return NumericSimilarityValues(va, vb);
 }
 
 void TfIdfVectorizer::AddDocument(const std::vector<std::string>& tokens) {

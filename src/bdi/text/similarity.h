@@ -1,7 +1,9 @@
 #ifndef BDI_TEXT_SIMILARITY_H_
 #define BDI_TEXT_SIMILARITY_H_
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -12,13 +14,33 @@
 
 namespace bdi::text {
 
+/// Grow-only memo of a pure per-token-pair kernel value, keyed by the two
+/// interned token ids ((a << 32) | b) in an open-addressing table. The
+/// Monge-Elkan kernels use one per kernel to skip recomputing
+/// Jaro-Winkler for token pairs this scratch has already seen — a hit
+/// returns exactly the bits the recompute would produce, so memo state
+/// never changes results, only work. `vocabulary_uid` records which
+/// TokenInterner's ids the entries are keyed by; a kernel invoked under a
+/// different uid resets the table instead of misreading foreign ids.
+struct TokenPairMemo {
+  /// Key slots; empty slots hold ~0. Size is always a power of two.
+  std::vector<uint64_t> keys;
+  /// values[i] is the kernel value for keys[i].
+  std::vector<double> values;
+  /// Occupied slots; the table doubles at 50% load.
+  size_t used = 0;
+  /// TokenInterner::uid() the keys belong to (0 = unbound).
+  uint64_t vocabulary_uid = 0;
+};
+
 /// Reusable working memory for the allocation-free similarity kernels.
 /// Ownership rule (see DESIGN.md): the *caller* owns the scratch, creates
 /// one per worker thread, and reuses it across calls — kernels only grow
 /// the buffers (never shrink), so steady-state calls allocate nothing.
 /// A scratch must never be shared between concurrently running kernels;
-/// every kernel fully re-initializes the ranges it reads, so no state
-/// leaks between calls.
+/// every kernel fully re-initializes the ranges it reads — except the
+/// memo tables, which deliberately persist across calls (they cache pure
+/// function values, so carrying them over changes work, not results).
 struct SimilarityScratch {
   /// Jaro match flags for the two strings (uint8_t: vector<bool> proxies
   /// cost a masked read-modify-write per flag).
@@ -30,6 +52,12 @@ struct SimilarityScratch {
   /// Per-column running maxima of the token-pair similarity matrix
   /// (symmetric Monge-Elkan's second direction).
   std::vector<double> col_best;
+  /// Per-token-pair Jaro-Winkler values (SymmetricMongeElkan's cells).
+  /// Only the full kernel memoizes: its cells cost hundreds of
+  /// nanoseconds and its pair space (prefilter survivors) stays small
+  /// enough for the table to sit in cache. The bound kernel's cells are
+  /// cheaper than a probe and its pair space is the whole candidate set.
+  TokenPairMemo jw_memo;
 };
 
 /// Levenshtein edit distance (unit costs).
@@ -108,17 +136,27 @@ double SymmetricMongeElkan(const TokenInterner& interner,
 /// every bound built on the signatures sound.
 inline constexpr size_t kSignatureClasses = 37;
 
+/// Storage size of the class-count histogram: kSignatureClasses rounded up
+/// so the vector paths can reduce the whole histogram with aligned-width
+/// loads (32 + 8 bytes) and no scalar tail. Bytes past kSignatureClasses
+/// are always zero, so they contribute nothing to any min-sum.
+inline constexpr size_t kSignatureClassStorage = 40;
+
 /// Cheap per-token summary the bounded kernels work from: length, first
 /// character, and a per-class character histogram (counts saturate at 255;
 /// `class_mask` has bit c set iff class c occurs). Signatures are computed
 /// once per distinct token — the interner makes that cheap — and a bound
 /// over two signatures costs a handful of integer operations instead of
-/// the kernel's dynamic program or band scan.
+/// the kernel's dynamic program or band scan. The histogram-intersection
+/// reduction behind every signature bound is runtime-dispatched
+/// (scalar / SSE2 / AVX2, see bdi::cpu) and each path produces the
+/// identical integer — a pure u8 min-then-sum, so vectorizing it changes
+/// instruction selection, never results.
 struct TokenSignature {
   uint32_t length = 0;
   char first = '\0';
   uint64_t class_mask = 0;
-  std::array<uint8_t, kSignatureClasses> class_counts{};
+  std::array<uint8_t, kSignatureClassStorage> class_counts{};
 };
 
 /// Builds the signature of `token`.
@@ -158,7 +196,7 @@ double NormalizedEditSimilarityUpperBound(const TokenSignature& x,
 /// string accesses — and is guaranteed >= the true kernel value, which is
 /// what lets the matcher's prefilter skip pairs whose bound cannot reach
 /// the match threshold. `scratch` follows the usual caller-owned rule
-/// (only `col_best` is used; allocation-free once warm).
+/// (allocation-free once warm).
 double SymmetricMongeElkanUpperBound(
     const std::vector<TokenSignature>& signatures,
     const std::vector<TokenId>& a, const std::vector<TokenId>& b,
@@ -174,6 +212,20 @@ double SmithWatermanSimilarity(std::string_view a, std::string_view b);
 /// Similarity of two numbers: 1 when equal, decaying with relative
 /// difference; 0 when one is not parseable as a number.
 double NumericSimilarity(std::string_view a, std::string_view b);
+
+/// Post-parse core of NumericSimilarity over already-parsed values: 1 when
+/// equal, else 1 - |va - vb| / max(|va|, |vb|) floored at 0. Callers that
+/// parse each value once (per record, not per pair) get bitwise-identical
+/// results to the string form. A NaN operand yields exactly 0.0 (every
+/// comparison with NaN is false, so the final max returns its 0.0 arm),
+/// which lets callers encode "not numeric" as NaN.
+inline double NumericSimilarityValues(double va, double vb) {
+  if (va == vb) return 1.0;
+  double denom = std::max(std::abs(va), std::abs(vb));
+  if (denom == 0.0) return 1.0;
+  double rel = std::abs(va - vb) / denom;
+  return std::max(0.0, 1.0 - rel);
+}
 
 /// Corpus-weighted cosine similarity. Add documents first, then query pairs;
 /// idf weights are computed over everything added.

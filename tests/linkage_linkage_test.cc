@@ -61,9 +61,11 @@ TEST_P(LinkerSweepTest, QualityFloor) {
     std::vector<int> labels;
     const auto& candidates = bootstrap.last_candidates();
     size_t stride = std::max<size_t>(1, candidates.size() / 800);
+    text::SimilarityScratch scratch;
     for (size_t i = 0; i < candidates.size(); i += stride) {
       const CandidatePair& pair = candidates[i];
-      features.push_back(linker.extractor().Extract(pair.a, pair.b));
+      features.push_back(
+          linker.extractor().Extract(pair.a, pair.b, scratch));
       labels.push_back(world.truth.entity_of_record[pair.a] ==
                                world.truth.entity_of_record[pair.b]
                            ? 1

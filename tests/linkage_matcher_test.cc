@@ -63,7 +63,8 @@ TEST(AttrRolesTest, DetectsNameAndIdentifier) {
 TEST(FeatureExtractorTest, MatchingPairHasStrongFeatures) {
   Fixture fx;
   FeatureExtractor extractor(&fx.dataset, &fx.roles);
-  PairFeatures features = extractor.Extract(0, 1);
+  text::SimilarityScratch scratch;
+  PairFeatures features = extractor.Extract(0, 1, scratch);
   EXPECT_DOUBLE_EQ(features.id_exact, 1.0);
   EXPECT_GT(features.name_similarity, 0.8);
   EXPECT_GT(features.name_jaccard, 0.4);
@@ -72,7 +73,8 @@ TEST(FeatureExtractorTest, MatchingPairHasStrongFeatures) {
 TEST(FeatureExtractorTest, NonMatchingPairHasWeakFeatures) {
   Fixture fx;
   FeatureExtractor extractor(&fx.dataset, &fx.roles);
-  PairFeatures features = extractor.Extract(0, 2);
+  text::SimilarityScratch scratch;
+  PairFeatures features = extractor.Extract(0, 2, scratch);
   EXPECT_DOUBLE_EQ(features.id_exact, 0.0);
   EXPECT_LT(features.name_similarity, 0.7);
 }
@@ -80,8 +82,9 @@ TEST(FeatureExtractorTest, NonMatchingPairHasWeakFeatures) {
 TEST(FeatureExtractorTest, SymmetricFeatures) {
   Fixture fx;
   FeatureExtractor extractor(&fx.dataset, &fx.roles);
-  PairFeatures ab = extractor.Extract(0, 1);
-  PairFeatures ba = extractor.Extract(1, 0);
+  text::SimilarityScratch scratch;
+  PairFeatures ab = extractor.Extract(0, 1, scratch);
+  PairFeatures ba = extractor.Extract(1, 0, scratch);
   EXPECT_DOUBLE_EQ(ab.id_exact, ba.id_exact);
   EXPECT_NEAR(ab.name_jaccard, ba.name_jaccard, 1e-12);
   EXPECT_NEAR(ab.value_agreement, ba.value_agreement, 1e-12);
@@ -92,7 +95,8 @@ TEST(FeatureExtractorTest, ValueAgreementWithoutSchemaUsesRawNames) {
   // "color" vs "colour" contribute nothing.
   Fixture fx;
   FeatureExtractor extractor(&fx.dataset, &fx.roles);
-  PairFeatures features = extractor.Extract(0, 1);
+  text::SimilarityScratch scratch;
+  PairFeatures features = extractor.Extract(0, 1, scratch);
   EXPECT_DOUBLE_EQ(features.value_agreement, 0.0);
 }
 
@@ -113,7 +117,8 @@ TEST(FeatureExtractorTest, SchemaAlignmentEnablesValueAgreement) {
   schema::ValueNormalizer normalizer =
       schema::ValueNormalizer::Fit(fx.stats, schema);
   FeatureExtractor extractor(&fx.dataset, &fx.roles, &schema, &normalizer);
-  PairFeatures features = extractor.Extract(0, 1);
+  text::SimilarityScratch scratch;
+  PairFeatures features = extractor.Extract(0, 1, scratch);
   EXPECT_DOUBLE_EQ(features.value_agreement, 1.0);  // red==red, 10==10
 }
 
@@ -191,7 +196,8 @@ TEST(FeatureExtractorTest, PrepareExtendsToNewRecords) {
   RecordIdx fresh = fx.dataset.AddRecord(
       0, {{"name", "Canon X100 pro"}, {"sku", "cm10001"}});
   extractor.Prepare();
-  PairFeatures features = extractor.Extract(fresh, 1);
+  text::SimilarityScratch scratch;
+  PairFeatures features = extractor.Extract(fresh, 1, scratch);
   EXPECT_DOUBLE_EQ(features.id_exact, 1.0);
 }
 
