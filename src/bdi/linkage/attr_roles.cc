@@ -90,4 +90,46 @@ bool AttrRoles::HasRole(AttrRole role) const {
   return true;
 }
 
+std::vector<std::string> KeyedAttributeNames(const Dataset& dataset,
+                                             const AttrRoles& roles) {
+  std::vector<char> keyed(dataset.num_attrs(), 0);
+  bool any = false;
+  for (const SourceAttr& sa : dataset.AllSourceAttrs()) {
+    const AttrRole role = roles.RoleOf(sa);
+    if (role == AttrRole::kName || role == AttrRole::kIdentifier) {
+      keyed[static_cast<size_t>(sa.attr)] = 1;
+      any = true;
+    }
+  }
+  // Blockers fall back per record and per role: a record with no
+  // name-role (identifier-role) field is blocked on ALL of its fields.
+  // Dropping columns would change that fallback text, so projection is
+  // only sound when every record carries a field of every detected role —
+  // otherwise key on everything.
+  const bool need_name = roles.HasRole(AttrRole::kName);
+  const bool need_identifier = roles.HasRole(AttrRole::kIdentifier);
+  for (const Record& record : dataset.records()) {
+    if (!any) break;
+    bool has_name = !need_name;
+    bool has_identifier = !need_identifier;
+    for (const Field& field : record.fields) {
+      const AttrRole role =
+          roles.RoleOf(SourceAttr{record.source, field.attr});
+      if (role == AttrRole::kName) has_name = true;
+      if (role == AttrRole::kIdentifier) has_identifier = true;
+    }
+    if (!has_name || !has_identifier) {
+      any = false;  // some record would fall back: keep every column
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(dataset.num_attrs());
+  for (size_t a = 0; a < dataset.num_attrs(); ++a) {
+    if (!any || keyed[a] != 0) {
+      names.push_back(dataset.attr_name(static_cast<AttrId>(a)));
+    }
+  }
+  return names;
+}
+
 }  // namespace bdi::linkage

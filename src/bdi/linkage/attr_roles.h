@@ -1,7 +1,9 @@
 #ifndef BDI_LINKAGE_ATTR_ROLES_H_
 #define BDI_LINKAGE_ATTR_ROLES_H_
 
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "bdi/model/dataset.h"
 #include "bdi/model/types.h"
@@ -36,6 +38,19 @@ class AttrRoles {
   bool has_name_ = false;
   bool has_identifier_ = false;
 };
+
+/// The attribute names blocking keys on: every attribute that carries a
+/// name-role or identifier-role SourceAttr for at least one source, in
+/// AttrId order. Feeding this to `storage::DatasetReader::ReadProjected`
+/// materializes exactly the columns the blockers key on — blocks over the
+/// projected dataset are identical to blocks over the full one (pinned by
+/// the storage equivalence test). Projection is only attempted when it is
+/// provably block-preserving: if no roles were detected, or if any record
+/// lacks a field of a detected role (blockers then fall back to ALL of
+/// that record's fields), every attribute name is returned and projection
+/// becomes a no-op rather than silently changing blocking.
+std::vector<std::string> KeyedAttributeNames(const Dataset& dataset,
+                                             const AttrRoles& roles);
 
 }  // namespace bdi::linkage
 

@@ -26,6 +26,54 @@ Result<int64_t> ParseIntField(const std::string& text, size_t row,
 
 }  // namespace
 
+LongCsvGrouper::LongCsvGrouper(RecordSink sink) : sink_(std::move(sink)) {}
+
+Status LongCsvGrouper::CheckHeader(const std::vector<std::string>& row,
+                                   const std::string& path) {
+  if (row !=
+      std::vector<std::string>{"source", "record", "attribute", "value"}) {
+    return Status::InvalidArgument(
+        "expected header 'source,record,attribute,value' in " + path);
+  }
+  return Status::OK();
+}
+
+Status LongCsvGrouper::Flush() {
+  if (current_record_ >= 0 && !fields_.empty()) {
+    BDI_RETURN_IF_ERROR(sink_(current_source_, std::move(fields_)));
+  }
+  fields_.clear();
+  return Status::OK();
+}
+
+Status LongCsvGrouper::AddRow(const std::vector<std::string>& row,
+                              size_t csv_row) {
+  if (row.size() != 4) {
+    return Status::InvalidArgument("row " + std::to_string(csv_row) +
+                                   ": expected 4 fields, got " +
+                                   std::to_string(row.size()));
+  }
+  BDI_ASSIGN_OR_RETURN(int64_t record_id,
+                       ParseIntField(row[1], csv_row - 1, "record id"));
+  if (record_id < 0) {
+    return Status::OutOfRange("row " + std::to_string(csv_row) +
+                              ": negative record id: " + row[1]);
+  }
+  if (record_id != current_record_) {
+    BDI_RETURN_IF_ERROR(Flush());
+    current_record_ = record_id;
+    current_source_ = row[0];
+  } else if (row[0] != current_source_) {
+    return Status::InvalidArgument(
+        "row " + std::to_string(csv_row) + ": record " + row[1] +
+        " spans two sources (rows must be grouped)");
+  }
+  fields_.emplace_back(row[2], row[3]);
+  return Status::OK();
+}
+
+Status LongCsvGrouper::Finish() { return Flush(); }
+
 Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"source", "record", "attribute", "value"});
@@ -42,52 +90,31 @@ Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
 Result<Dataset> ReadDatasetCsv(const std::string& path) {
   BDI_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
                        ReadCsvFile(path));
-  if (rows.empty() || rows[0] !=
-                          std::vector<std::string>{"source", "record",
-                                                   "attribute", "value"}) {
+  if (rows.empty()) {
     return Status::InvalidArgument(
         "expected header 'source,record,attribute,value' in " + path);
   }
+  BDI_RETURN_IF_ERROR(LongCsvGrouper::CheckHeader(rows[0], path));
   Dataset dataset;
   std::map<std::string, SourceId> sources;
-  int64_t current_record = -1;
-  SourceId current_source = kInvalidSource;
-  std::vector<Field> fields;
-  auto flush = [&]() {
-    if (current_record >= 0 && !fields.empty()) {
-      dataset.AddRecord(current_source, std::move(fields));
-    }
-    fields.clear();
-  };
+  // Interning at record-completion time assigns the same source/attribute
+  // ids as the historical row-time interning: a name's first completed
+  // record is also the first row-order record mentioning it (record rows
+  // are contiguous). The .bds writer relies on this — see LongCsvGrouper.
+  LongCsvGrouper grouper(
+      [&](const std::string& source,
+          std::vector<std::pair<std::string, std::string>>&& fields) {
+        auto it = sources.find(source);
+        if (it == sources.end()) {
+          it = sources.emplace(source, dataset.AddSource(source)).first;
+        }
+        dataset.AddRecord(it->second, fields);
+        return Status::OK();
+      });
   for (size_t r = 1; r < rows.size(); ++r) {
-    const std::vector<std::string>& row = rows[r];
-    if (row.size() != 4) {
-      return Status::InvalidArgument("row " + std::to_string(r + 1) +
-                                     ": expected 4 fields, got " +
-                                     std::to_string(row.size()));
-    }
-    auto it = sources.find(row[0]);
-    if (it == sources.end()) {
-      it = sources.emplace(row[0], dataset.AddSource(row[0])).first;
-    }
-    BDI_ASSIGN_OR_RETURN(int64_t record_id,
-                         ParseIntField(row[1], r, "record id"));
-    if (record_id < 0) {
-      return Status::OutOfRange("row " + std::to_string(r + 1) +
-                                ": negative record id: " + row[1]);
-    }
-    if (record_id != current_record) {
-      flush();
-      current_record = record_id;
-      current_source = it->second;
-    } else if (it->second != current_source) {
-      return Status::InvalidArgument(
-          "row " + std::to_string(r + 1) + ": record " + row[1] +
-          " spans two sources (rows must be grouped)");
-    }
-    fields.push_back(Field{dataset.InternAttr(row[2]), row[3]});
+    BDI_RETURN_IF_ERROR(grouper.AddRow(rows[r], r + 1));
   }
-  flush();
+  BDI_RETURN_IF_ERROR(grouper.Finish());
   return dataset;
 }
 

@@ -1,7 +1,10 @@
 #ifndef BDI_MODEL_DATASET_IO_H_
 #define BDI_MODEL_DATASET_IO_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bdi/common/result.h"
@@ -10,6 +13,54 @@
 #include "bdi/model/types.h"
 
 namespace bdi {
+
+/// Groups long-CSV rows (`source,record,attribute,value`) back into records
+/// and hands each completed record to a sink. This is the single shared
+/// implementation of the grouping contract — contiguous record rows, sources
+/// created on first use, integer non-negative record ids — used by both
+/// `ReadDatasetCsv` (in-memory) and the streaming `.bds` converter in
+/// `bdi/storage`, so the two ingestion paths cannot drift apart.
+///
+/// Records are emitted in row order, and within a record fields keep row
+/// order, so a sink that interns source/attribute names as records arrive
+/// assigns exactly the ids `ReadDatasetCsv` would: a name's first emitted
+/// record is also the first row-order record mentioning it.
+class LongCsvGrouper {
+ public:
+  /// Receives one completed record: its source name plus the
+  /// (attribute, value) pairs in row order. A non-OK return aborts grouping
+  /// and is propagated out of AddRow/Finish.
+  using RecordSink = std::function<Status(
+      const std::string& source,
+      std::vector<std::pair<std::string, std::string>>&& fields)>;
+
+  /// The sink receives every completed record; it is invoked as group
+  /// boundaries are detected, and once more from `Finish()` for the final
+  /// group.
+  explicit LongCsvGrouper(RecordSink sink);
+
+  /// Validates the header row; the expected header is exactly
+  /// `source,record,attribute,value`. `path` names the file in the error.
+  static Status CheckHeader(const std::vector<std::string>& row,
+                            const std::string& path);
+
+  /// Consumes one data row. `csv_row` is the 1-based CSV row number used in
+  /// error messages (the header is row 1, so the first data row is 2).
+  /// Errors (short rows, non-integer or negative record ids, a record group
+  /// spanning two sources) match `ReadDatasetCsv` byte for byte.
+  Status AddRow(const std::vector<std::string>& row, size_t csv_row);
+
+  /// Flushes the final record. Call exactly once, after the last AddRow.
+  Status Finish();
+
+ private:
+  Status Flush();
+
+  RecordSink sink_;
+  int64_t current_record_ = -1;
+  std::string current_source_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Serializes a corpus in long CSV form with the header
 /// `source,record,attribute,value` — one row per field, record ids scoped
@@ -29,6 +80,10 @@ Result<Dataset> ReadDatasetCsv(const std::string& path);
 Status WriteLabelsCsv(const std::vector<EntityId>& labels,
                       const std::string& path);
 
+/// Loads labels written by WriteLabelsCsv. Every `record` must be a valid
+/// 0-based index into the label vector (whose length is the row count);
+/// records never mentioned stay `kInvalidEntity`. Malformed rows yield a
+/// Status naming the offending row.
 Result<std::vector<EntityId>> ReadLabelsCsv(const std::string& path);
 
 }  // namespace bdi

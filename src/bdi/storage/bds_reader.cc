@@ -1,0 +1,444 @@
+#include "bdi/storage/bds_reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "bdi/common/metrics.h"
+#include "bdi/storage/crc32c.h"
+
+namespace bdi::storage {
+
+namespace {
+
+void CountFileOpened() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.storage.files.opened");
+  counter->Add();
+}
+
+void CountRowGroupRead() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.storage.row_groups.read");
+  counter->Add();
+}
+
+void CountColumnsSkipped(uint64_t n) {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.storage.columns.skipped");
+  counter->Add(n);
+}
+
+void CountChecksumFastPath() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.storage.checksum.fast_path");
+  counter->Add();
+}
+
+constexpr size_t kGroupMetaBytes = 8 + 8 + 4 + 4 + 4;
+
+}  // namespace
+
+Result<BdsReader> BdsReader::Open(const std::string& path) {
+  BDI_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  BdsReader reader;
+  reader.file_ = std::move(file);
+  reader.path_ = path;
+  const std::string_view data = reader.file_.data();
+  if (data.size() < sizeof(kBdsMagic) + kTailBytes) {
+    return Status::IOError(path + ": not a .bds file (only " +
+                           std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kBdsMagic, sizeof(kBdsMagic)) != 0) {
+    return Status::IOError(path + ": not a .bds file (bad magic)");
+  }
+  std::string_view tail = data.substr(data.size() - kTailBytes);
+  size_t tail_offset = 0;
+  BDI_ASSIGN_OR_RETURN(uint64_t footer_bytes, GetU64(tail, &tail_offset));
+  BDI_ASSIGN_OR_RETURN(uint32_t footer_crc, GetU32(tail, &tail_offset));
+  BDI_ASSIGN_OR_RETURN(uint32_t tail_magic, GetU32(tail, &tail_offset));
+  if (tail_magic != kTailMagic) {
+    return Status::IOError(path +
+                           ": bad .bds tail magic (truncated or corrupt)");
+  }
+  if (footer_bytes > data.size() - sizeof(kBdsMagic) - kTailBytes) {
+    return Status::IOError(path + ": footer length exceeds file size");
+  }
+  const std::string_view footer =
+      data.substr(data.size() - kTailBytes - footer_bytes, footer_bytes);
+  if (Crc32c(footer) != footer_crc) {
+    return Status::IOError(path + ": footer checksum mismatch");
+  }
+  BDI_RETURN_IF_ERROR(reader.ParseFooter(footer));
+  CountFileOpened();
+  return reader;
+}
+
+Status BdsReader::ParseFooter(std::string_view footer) {
+  size_t offset = 0;
+  BDI_ASSIGN_OR_RETURN(uint32_t magic, GetU32(footer, &offset));
+  if (magic != kFooterMagic) {
+    return Status::IOError(path_ + ": bad footer magic");
+  }
+  BDI_ASSIGN_OR_RETURN(version_, GetU32(footer, &offset));
+  if (version_ != kBdsVersion) {
+    return Status::InvalidArgument(
+        path_ + ": unsupported .bds version " + std::to_string(version_) +
+        " (this reader supports version " + std::to_string(kBdsVersion) +
+        ")");
+  }
+  BDI_ASSIGN_OR_RETURN(records_per_group_, GetU32(footer, &offset));
+  BDI_ASSIGN_OR_RETURN(uint32_t flags, GetU32(footer, &offset));
+  if (flags != 0) {
+    return Status::InvalidArgument(path_ + ": unknown .bds flags " +
+                                   std::to_string(flags));
+  }
+  BDI_ASSIGN_OR_RETURN(num_records_, GetU64(footer, &offset));
+  BDI_ASSIGN_OR_RETURN(num_fields_, GetU64(footer, &offset));
+  if (num_records_ >
+      static_cast<uint64_t>(std::numeric_limits<RecordIdx>::max())) {
+    return Status::OutOfRange(path_ + ": record count exceeds RecordIdx");
+  }
+  const uint64_t body_end = file_.size() - kTailBytes;
+  for (BdsDictMeta& dict : dicts_) {
+    BDI_ASSIGN_OR_RETURN(dict.offset, GetU64(footer, &offset));
+    BDI_ASSIGN_OR_RETURN(dict.bytes, GetU64(footer, &offset));
+    BDI_ASSIGN_OR_RETURN(dict.count, GetU32(footer, &offset));
+    BDI_ASSIGN_OR_RETURN(dict.crc, GetU32(footer, &offset));
+    if (dict.offset < sizeof(kBdsMagic) || dict.offset > body_end ||
+        dict.bytes > body_end - dict.offset) {
+      return Status::IOError(path_ + ": dictionary segment out of bounds");
+    }
+    if (dict.count > static_cast<uint32_t>(std::numeric_limits<AttrId>::max())) {
+      return Status::OutOfRange(path_ + ": dictionary too large");
+    }
+  }
+  BDI_ASSIGN_OR_RETURN(uint32_t num_groups, GetU32(footer, &offset));
+  if (footer.size() - offset != num_groups * kGroupMetaBytes) {
+    return Status::IOError(path_ + ": footer row-group directory truncated");
+  }
+  groups_.reserve(num_groups);
+  uint64_t total_records = 0;
+  uint64_t total_fields = 0;
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    BdsRowGroupMeta meta;
+    BDI_ASSIGN_OR_RETURN(meta.offset, GetU64(footer, &offset));
+    BDI_ASSIGN_OR_RETURN(meta.bytes, GetU64(footer, &offset));
+    BDI_ASSIGN_OR_RETURN(meta.num_records, GetU32(footer, &offset));
+    BDI_ASSIGN_OR_RETURN(meta.num_fields, GetU32(footer, &offset));
+    BDI_ASSIGN_OR_RETURN(meta.crc, GetU32(footer, &offset));
+    if (meta.offset < sizeof(kBdsMagic) || meta.offset > body_end ||
+        meta.bytes > body_end - meta.offset ||
+        meta.bytes < kRowGroupHeaderBytes) {
+      return Status::IOError(path_ + ": row group " + std::to_string(g) +
+                             " out of bounds");
+    }
+    total_records += meta.num_records;
+    total_fields += meta.num_fields;
+    groups_.push_back(meta);
+  }
+  if (total_records != num_records_ || total_fields != num_fields_) {
+    return Status::IOError(path_ +
+                           ": footer totals disagree with row groups");
+  }
+  return Status::OK();
+}
+
+Status BdsReader::DecodeDict(const BdsDictMeta& meta, std::string_view what,
+                             std::vector<std::string>* names) const {
+  const std::string_view segment =
+      file_.data().substr(meta.offset, meta.bytes);
+  if (Crc32c(segment) != meta.crc) {
+    return Status::IOError(path_ + ": " + std::string(what) +
+                           " dictionary checksum mismatch");
+  }
+  names->clear();
+  names->reserve(meta.count);
+  size_t offset = 0;
+  for (uint32_t i = 0; i < meta.count; ++i) {
+    BDI_ASSIGN_OR_RETURN(uint64_t length, GetVarint(segment, &offset));
+    if (length > segment.size() - offset) {
+      return Status::IOError(path_ + ": " + std::string(what) +
+                             " dictionary entry overruns segment");
+    }
+    names->emplace_back(segment.substr(offset, length));
+    offset += length;
+  }
+  if (offset != segment.size()) {
+    return Status::IOError(path_ + ": " + std::string(what) +
+                           " dictionary has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status BdsReader::EnsureDicts() {
+  if (dicts_loaded_) return Status::OK();
+  BDI_RETURN_IF_ERROR(DecodeDict(dicts_[0], "source", &source_names_));
+  BDI_RETURN_IF_ERROR(DecodeDict(dicts_[1], "attribute", &attr_names_));
+  BDI_RETURN_IF_ERROR(DecodeDict(dicts_[2], "value", &value_names_));
+  dicts_loaded_ = true;
+  return Status::OK();
+}
+
+Status BdsReader::DecodeGroup(const BdsRowGroupMeta& meta,
+                              DecodedGroup* out) const {
+  const std::string_view group = file_.data().substr(meta.offset, meta.bytes);
+  if (Crc32c(group) != meta.crc) {
+    return Status::IOError(path_ + ": row group at offset " +
+                           std::to_string(meta.offset) +
+                           ": checksum mismatch");
+  }
+  auto corrupt = [&](const std::string& what) {
+    return Status::IOError(path_ + ": row group at offset " +
+                           std::to_string(meta.offset) + ": " + what);
+  };
+  size_t offset = 0;
+  BDI_ASSIGN_OR_RETURN(uint32_t magic, GetU32(group, &offset));
+  if (magic != kRowGroupMagic) return corrupt("bad group magic");
+  BDI_ASSIGN_OR_RETURN(uint32_t num_records, GetU32(group, &offset));
+  BDI_ASSIGN_OR_RETURN(uint32_t num_fields, GetU32(group, &offset));
+  BDI_ASSIGN_OR_RETURN(uint32_t num_segments, GetU32(group, &offset));
+  if (num_records != meta.num_records || num_fields != meta.num_fields) {
+    return corrupt("group header disagrees with footer");
+  }
+  bool seen[5] = {false, false, false, false, false};
+  for (uint32_t s = 0; s < num_segments; ++s) {
+    if (offset > group.size() ||
+        group.size() - offset < kSegmentHeaderBytes) {
+      return corrupt("truncated segment header");
+    }
+    const uint8_t column = static_cast<uint8_t>(group[offset]);
+    const uint8_t encoding = static_cast<uint8_t>(group[offset + 1]);
+    offset += 4;  // column, encoding, reserved u16
+    BDI_ASSIGN_OR_RETURN(uint32_t count, GetU32(group, &offset));
+    BDI_ASSIGN_OR_RETURN(uint64_t payload_bytes, GetU64(group, &offset));
+    if (payload_bytes > group.size() - offset) {
+      return corrupt("segment payload overruns group");
+    }
+    const std::string_view payload = group.substr(offset, payload_bytes);
+    offset += payload_bytes;
+    if (column > 4) {
+      return corrupt("unknown column id " + std::to_string(column));
+    }
+    if (seen[column]) {
+      return corrupt("duplicate " + std::string(ColumnIdName(column)) +
+                     " segment");
+    }
+    seen[column] = true;
+    const ColumnId id = static_cast<ColumnId>(column);
+    if (id == ColumnId::kRawValues) {
+      if (encoding != static_cast<uint8_t>(ColumnEncoding::kRawBytes)) {
+        return corrupt("raw_values segment must use raw encoding");
+      }
+      size_t raw_offset = 0;
+      out->raw_values.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        BDI_ASSIGN_OR_RETURN(uint64_t length,
+                             GetVarint(payload, &raw_offset));
+        if (length > payload.size() - raw_offset) {
+          return corrupt("raw value overruns segment");
+        }
+        out->raw_values.push_back(payload.substr(raw_offset, length));
+        raw_offset += length;
+      }
+      if (raw_offset != payload.size()) {
+        return corrupt("raw_values segment has trailing bytes");
+      }
+      continue;
+    }
+    const uint32_t expected =
+        (id == ColumnId::kSource || id == ColumnId::kFieldCount)
+            ? num_records
+            : num_fields;
+    if (count != expected) {
+      return corrupt(std::string(ColumnIdName(column)) +
+                     " segment count disagrees with group header");
+    }
+    Result<std::vector<uint32_t>> decoded =
+        DecodeU32Column(payload, encoding, count, ColumnIdName(column));
+    if (!decoded.ok()) {
+      return corrupt(decoded.status().message());
+    }
+    switch (id) {
+      case ColumnId::kSource: out->sources = std::move(decoded).value(); break;
+      case ColumnId::kFieldCount:
+        out->field_counts = std::move(decoded).value();
+        break;
+      case ColumnId::kAttr: out->attrs = std::move(decoded).value(); break;
+      case ColumnId::kValue: out->values = std::move(decoded).value(); break;
+      case ColumnId::kRawValues: break;  // handled above
+    }
+  }
+  if (offset != group.size()) return corrupt("trailing bytes after segments");
+  for (uint8_t column = 0; column < 4; ++column) {
+    if (!seen[column]) {
+      return corrupt("missing " + std::string(ColumnIdName(column)) +
+                     " segment");
+    }
+  }
+  uint64_t field_sum = 0;
+  for (uint32_t count : out->field_counts) field_sum += count;
+  if (field_sum != num_fields) {
+    return corrupt("field counts do not sum to the group field total");
+  }
+  uint64_t raw_seen = 0;
+  for (size_t i = 0; i < out->values.size(); ++i) {
+    if (out->values[i] == kRawValueId) {
+      ++raw_seen;
+    } else if (out->values[i] >= dicts_[2].count) {
+      return corrupt("value id out of dictionary range");
+    }
+  }
+  if (raw_seen != out->raw_values.size()) {
+    return corrupt("raw value count disagrees with value column");
+  }
+  for (uint32_t source : out->sources) {
+    if (source >= dicts_[0].count) {
+      return corrupt("source id out of dictionary range");
+    }
+  }
+  for (uint32_t attr : out->attrs) {
+    if (attr >= dicts_[1].count) {
+      return corrupt("attribute id out of dictionary range");
+    }
+  }
+  CountRowGroupRead();
+  return Status::OK();
+}
+
+Result<Dataset> BdsReader::Read(uint64_t max_records,
+                                const std::vector<std::string>* keep_attrs) {
+  BDI_RETURN_IF_ERROR(EnsureDicts());
+  Dataset dataset;
+  // Sources and attributes are registered lazily, at the first emitted
+  // record / decoded field that references them. Dictionary ids are
+  // first-intern-order, so references appear in increasing id order and
+  // the resulting Dataset ids equal the dictionary ids. A full scan ends
+  // up registering every entry (the writer only interns names records
+  // actually use); a head read registers exactly what the streaming CSV
+  // reader sees in the same record prefix — keeping the two formats
+  // indistinguishable even for partial reads.
+  size_t sources_registered = 0;
+  size_t attrs_registered = 0;
+  const auto touch_source = [&](uint32_t id) {
+    while (sources_registered <= id) {
+      dataset.AddSource(source_names_[sources_registered++]);
+    }
+  };
+  const auto touch_attr = [&](uint32_t id) {
+    while (attrs_registered <= id) {
+      dataset.InternAttr(attr_names_[attrs_registered++]);
+    }
+  };
+  std::vector<char> keep;
+  if (keep_attrs != nullptr) {
+    keep.assign(attr_names_.size(), 0);
+    for (const std::string& name : *keep_attrs) {
+      for (size_t a = 0; a < attr_names_.size(); ++a) {
+        if (attr_names_[a] == name) keep[a] = 1;
+      }
+    }
+  }
+  uint64_t remaining = max_records;
+  std::vector<char> excluded_seen;
+  for (const BdsRowGroupMeta& meta : groups_) {
+    if (remaining == 0) break;
+    DecodedGroup group;
+    BDI_RETURN_IF_ERROR(DecodeGroup(meta, &group));
+    if (keep_attrs != nullptr) {
+      excluded_seen.assign(attr_names_.size(), 0);
+    }
+    const uint64_t take =
+        std::min<uint64_t>(remaining, meta.num_records);
+    size_t field_cursor = 0;
+    size_t raw_cursor = 0;
+    std::vector<Field> fields;
+    for (uint64_t r = 0; r < take; ++r) {
+      const uint32_t field_count = group.field_counts[r];
+      fields.clear();
+      fields.reserve(field_count);
+      for (uint32_t f = 0; f < field_count; ++f, ++field_cursor) {
+        const uint32_t attr = group.attrs[field_cursor];
+        const uint32_t value_id = group.values[field_cursor];
+        const bool is_raw = value_id == kRawValueId;
+        touch_attr(attr);
+        if (!keep.empty() && keep[attr] == 0) {
+          excluded_seen[attr] = 1;
+          if (is_raw) ++raw_cursor;  // Keep the raw stream aligned.
+          continue;
+        }
+        std::string value =
+            is_raw ? std::string(group.raw_values[raw_cursor++])
+                   : value_names_[value_id];
+        fields.push_back(
+            Field{static_cast<AttrId>(attr), std::move(value)});
+      }
+      touch_source(group.sources[r]);
+      dataset.AddRecord(static_cast<SourceId>(group.sources[r]),
+                        std::move(fields));
+    }
+    if (keep_attrs != nullptr) {
+      uint64_t skipped = 0;
+      for (char s : excluded_seen) skipped += static_cast<uint64_t>(s);
+      CountColumnsSkipped(skipped);
+    }
+    remaining -= take;
+  }
+  return dataset;
+}
+
+Result<Dataset> BdsReader::ReadAll() {
+  return Read(num_records_, nullptr);
+}
+
+Result<Dataset> BdsReader::ReadHead(size_t max_records) {
+  return Read(std::min<uint64_t>(max_records, num_records_), nullptr);
+}
+
+Result<Dataset> BdsReader::ReadProjected(
+    const std::vector<std::string>& keep_attrs) {
+  return Read(num_records_, &keep_attrs);
+}
+
+ValidationReport BdsReader::VerifyChecksums() const {
+  ValidationReport report;
+  report.rows = num_fields_;
+  report.records = num_records_;
+  report.sources = dicts_[0].count;
+  report.attributes = dicts_[1].count;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const BdsRowGroupMeta& meta = groups_[g];
+    const std::string_view bytes =
+        file_.data().substr(meta.offset, meta.bytes);
+    if (Crc32c(bytes) != meta.crc) {
+      report.issues.push_back(
+          {0, "row group " + std::to_string(g) + " (offset " +
+                  std::to_string(meta.offset) + "): checksum mismatch"});
+    } else {
+      CountChecksumFastPath();
+    }
+  }
+  static constexpr const char* kDictNames[3] = {"source", "attribute",
+                                                "value"};
+  for (int d = 0; d < 3; ++d) {
+    const std::string_view bytes =
+        file_.data().substr(dicts_[d].offset, dicts_[d].bytes);
+    if (Crc32c(bytes) != dicts_[d].crc) {
+      report.issues.push_back(
+          {0, std::string(kDictNames[d]) + " dictionary: checksum mismatch"});
+    }
+  }
+  return report;
+}
+
+ValidationReport ValidateBdsFile(const std::string& path) {
+  Result<BdsReader> reader = BdsReader::Open(path);
+  if (!reader.ok()) {
+    ValidationReport report;
+    report.issues.push_back({0, reader.status().message()});
+    return report;
+  }
+  return reader->VerifyChecksums();
+}
+
+}  // namespace bdi::storage

@@ -1,0 +1,148 @@
+#ifndef BDI_STORAGE_BDS_READER_H_
+#define BDI_STORAGE_BDS_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+#include "bdi/model/dataset.h"
+#include "bdi/model/validate.h"
+#include "bdi/storage/format.h"
+#include "bdi/storage/mapped_file.h"
+
+namespace bdi::storage {
+
+/// Footer metadata for one dictionary segment (source, attribute, or value
+/// names).
+struct BdsDictMeta {
+  uint64_t offset = 0;  ///< Byte offset of the segment in the file.
+  uint64_t bytes = 0;   ///< Segment length in bytes.
+  uint32_t count = 0;   ///< Number of entries.
+  uint32_t crc = 0;     ///< CRC-32C of the segment bytes.
+};
+
+/// Footer metadata for one row group.
+struct BdsRowGroupMeta {
+  uint64_t offset = 0;       ///< Byte offset of the group in the file.
+  uint64_t bytes = 0;        ///< Group length (header + segments).
+  uint32_t num_records = 0;  ///< Records in this group.
+  uint32_t num_fields = 0;   ///< Fields in this group.
+  uint32_t crc = 0;          ///< CRC-32C of the group bytes.
+};
+
+/// Reads `.bds` files written by BdsWriter. `Open` memory-maps the file and
+/// parses only the footer — row groups and dictionaries are touched lazily,
+/// so opening a huge file is cheap and `ReadHead` faults in just the groups
+/// it needs (the `bdi.storage.row_groups.read` counter test pins this).
+/// Every malformed input — truncation, bit flips, corrupt offsets, version
+/// skew — is rejected with a Status; the reader never aborts. Move-only.
+class BdsReader {
+ public:
+  /// Maps `path` and validates magic, tail, and footer (including the
+  /// footer checksum and all offset bounds). Does not read row groups.
+  static Result<BdsReader> Open(const std::string& path);
+
+  BdsReader() = default;
+  BdsReader(BdsReader&&) = default;
+  BdsReader& operator=(BdsReader&&) = default;
+  BdsReader(const BdsReader&) = delete;
+  BdsReader& operator=(const BdsReader&) = delete;
+
+  /// Format version from the footer (always kBdsVersion once Open accepts).
+  uint32_t format_version() const { return version_; }
+
+  /// Records-per-group the file was written with.
+  uint32_t records_per_group() const { return records_per_group_; }
+
+  /// Total records in the file (from the footer; no decoding needed).
+  uint64_t num_records() const { return num_records_; }
+
+  /// Total fields in the file — equal to the long-CSV data row count.
+  uint64_t num_fields() const { return num_fields_; }
+
+  /// File size in bytes.
+  size_t file_bytes() const { return file_.size(); }
+
+  /// Row-group directory from the footer.
+  const std::vector<BdsRowGroupMeta>& row_groups() const { return groups_; }
+
+  /// Source dictionary metadata.
+  const BdsDictMeta& source_dict() const { return dicts_[0]; }
+
+  /// Attribute dictionary metadata.
+  const BdsDictMeta& attr_dict() const { return dicts_[1]; }
+
+  /// Value dictionary metadata.
+  const BdsDictMeta& value_dict() const { return dicts_[2]; }
+
+  /// Raw bytes of one row group (for `bdi inspect`'s encoding breakdown).
+  std::string_view group_bytes(const BdsRowGroupMeta& meta) const {
+    return file_.data().substr(meta.offset, meta.bytes);
+  }
+
+  /// Decodes the whole file into a Dataset identical — id for id — to what
+  /// `ReadDatasetCsv` would build from the CSV the file was converted from.
+  Result<Dataset> ReadAll();
+
+  /// Decodes only the row groups covering the first `max_records` records
+  /// (plus the dictionaries); later groups are never touched.
+  Result<Dataset> ReadHead(size_t max_records);
+
+  /// Decodes all records but materializes only fields whose attribute name
+  /// is in `keep_attrs`. All sources and attributes are still registered in
+  /// dictionary order, so ids match a full read; only field payloads are
+  /// dropped. Excluded attributes are counted per group in
+  /// `bdi.storage.columns.skipped`. Unknown names in `keep_attrs` are
+  /// ignored.
+  Result<Dataset> ReadProjected(const std::vector<std::string>& keep_attrs);
+
+  /// Checksum fast path: CRC-verifies every row group and dictionary
+  /// against the footer without decoding or re-parsing anything. Each clean
+  /// group counts in `bdi.storage.checksum.fast_path`; mismatches become
+  /// report issues. This is what `bdi validate` runs on `.bds` files.
+  ValidationReport VerifyChecksums() const;
+
+ private:
+  struct DecodedGroup {
+    std::vector<uint32_t> sources;
+    std::vector<uint32_t> field_counts;
+    std::vector<uint32_t> attrs;
+    std::vector<uint32_t> values;
+    std::vector<std::string_view> raw_values;
+  };
+
+  Status ParseFooter(std::string_view footer);
+  Status EnsureDicts();
+  Status DecodeDict(const BdsDictMeta& meta, std::string_view what,
+                    std::vector<std::string>* names) const;
+  Status DecodeGroup(const BdsRowGroupMeta& meta, DecodedGroup* out) const;
+  Result<Dataset> Read(uint64_t max_records,
+                       const std::vector<std::string>* keep_attrs);
+
+  MappedFile file_;
+  std::string path_;
+  uint32_t version_ = 0;
+  uint32_t records_per_group_ = 0;
+  uint64_t num_records_ = 0;
+  uint64_t num_fields_ = 0;
+  BdsDictMeta dicts_[3];
+  std::vector<BdsRowGroupMeta> groups_;
+
+  bool dicts_loaded_ = false;
+  std::vector<std::string> source_names_;
+  std::vector<std::string> attr_names_;
+  std::vector<std::string> value_names_;
+};
+
+/// Opens `path` and runs the checksum fast path, folding open errors (bad
+/// magic, truncated tail, corrupt footer) into the report as file-level
+/// issues instead of failing — mirroring ValidateDatasetCsv's
+/// collect-everything contract.
+ValidationReport ValidateBdsFile(const std::string& path);
+
+}  // namespace bdi::storage
+
+#endif  // BDI_STORAGE_BDS_READER_H_

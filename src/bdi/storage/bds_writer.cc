@@ -1,0 +1,269 @@
+#include "bdi/storage/bds_writer.h"
+
+#include <limits>
+
+#include "bdi/model/dataset_io.h"
+#include "bdi/storage/crc32c.h"
+#include "bdi/storage/csv_stream.h"
+
+namespace bdi::storage {
+
+namespace {
+
+// Appends one encoded column segment (header + payload) to `group`.
+void AppendU32Segment(ColumnId column, const std::vector<uint32_t>& values,
+                      std::string* group) {
+  std::string payload;
+  const ColumnEncoding encoding = EncodeU32ColumnBest(values, &payload);
+  group->push_back(static_cast<char>(column));
+  group->push_back(static_cast<char>(encoding));
+  group->push_back(0);
+  group->push_back(0);
+  PutU32(static_cast<uint32_t>(values.size()), group);
+  PutU64(payload.size(), group);
+  group->append(payload);
+}
+
+}  // namespace
+
+BdsWriter::~BdsWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+BdsWriter::BdsWriter(BdsWriter&& other) noexcept { *this = std::move(other); }
+
+BdsWriter& BdsWriter::operator=(BdsWriter&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::exchange(other.file_, nullptr);
+  path_ = std::move(other.path_);
+  options_ = other.options_;
+  offset_ = other.offset_;
+  num_records_ = other.num_records_;
+  num_fields_ = other.num_fields_;
+  finished_ = other.finished_;
+  source_dict_ = std::move(other.source_dict_);
+  attr_dict_ = std::move(other.attr_dict_);
+  value_dict_ = std::move(other.value_dict_);
+  group_sources_ = std::move(other.group_sources_);
+  group_field_counts_ = std::move(other.group_field_counts_);
+  group_attrs_ = std::move(other.group_attrs_);
+  group_values_ = std::move(other.group_values_);
+  group_raw_values_ = std::move(other.group_raw_values_);
+  group_raw_count_ = other.group_raw_count_;
+  groups_ = std::move(other.groups_);
+  return *this;
+}
+
+Result<BdsWriter> BdsWriter::Create(const std::string& path,
+                                    const BdsWriterOptions& options) {
+  if (options.records_per_group == 0) {
+    return Status::InvalidArgument("records_per_group must be positive");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  BdsWriter writer;
+  writer.file_ = file;
+  writer.path_ = path;
+  writer.options_ = options;
+  std::string magic(reinterpret_cast<const char*>(kBdsMagic),
+                    sizeof(kBdsMagic));
+  BDI_RETURN_IF_ERROR(writer.WriteBytes(magic));
+  return writer;
+}
+
+Status BdsWriter::WriteBytes(const std::string& bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IOError("write failed: " + path_);
+  }
+  offset_ += bytes.size();
+  return Status::OK();
+}
+
+Status BdsWriter::Append(
+    const std::string& source,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  if (file_ == nullptr || finished_) {
+    return Status::FailedPrecondition("Append on a finished .bds writer");
+  }
+  if (fields.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::OutOfRange("record has too many fields for .bds");
+  }
+  group_sources_.push_back(source_dict_.Intern(source));
+  group_field_counts_.push_back(static_cast<uint32_t>(fields.size()));
+  for (const auto& [attr, value] : fields) {
+    group_attrs_.push_back(attr_dict_.Intern(attr));
+    if (value.size() >= options_.raw_value_min_len) {
+      group_values_.push_back(kRawValueId);
+      PutVarint(value.size(), &group_raw_values_);
+      group_raw_values_.append(value);
+      ++group_raw_count_;
+    } else {
+      const uint32_t id = value_dict_.Intern(value);
+      if (id == kRawValueId) {
+        return Status::Internal("value dictionary overflow");
+      }
+      group_values_.push_back(id);
+    }
+  }
+  ++num_records_;
+  num_fields_ += fields.size();
+  if (group_sources_.size() >= options_.records_per_group) {
+    return FlushGroup();
+  }
+  return Status::OK();
+}
+
+Status BdsWriter::FlushGroup() {
+  if (group_sources_.empty()) return Status::OK();
+  const uint32_t records = static_cast<uint32_t>(group_sources_.size());
+  const uint32_t fields = static_cast<uint32_t>(group_attrs_.size());
+  const uint32_t num_segments = group_raw_count_ > 0 ? 5 : 4;
+  std::string group;
+  PutU32(kRowGroupMagic, &group);
+  PutU32(records, &group);
+  PutU32(fields, &group);
+  PutU32(num_segments, &group);
+  AppendU32Segment(ColumnId::kSource, group_sources_, &group);
+  AppendU32Segment(ColumnId::kFieldCount, group_field_counts_, &group);
+  AppendU32Segment(ColumnId::kAttr, group_attrs_, &group);
+  AppendU32Segment(ColumnId::kValue, group_values_, &group);
+  if (group_raw_count_ > 0) {
+    group.push_back(static_cast<char>(ColumnId::kRawValues));
+    group.push_back(static_cast<char>(ColumnEncoding::kRawBytes));
+    group.push_back(0);
+    group.push_back(0);
+    PutU32(group_raw_count_, &group);
+    PutU64(group_raw_values_.size(), &group);
+    group.append(group_raw_values_);
+  }
+  GroupMeta meta;
+  meta.offset = offset_;
+  meta.bytes = group.size();
+  meta.num_records = records;
+  meta.num_fields = fields;
+  meta.crc = Crc32c(group);
+  BDI_RETURN_IF_ERROR(WriteBytes(group));
+  groups_.push_back(meta);
+  group_sources_.clear();
+  group_field_counts_.clear();
+  group_attrs_.clear();
+  group_values_.clear();
+  group_raw_values_.clear();
+  group_raw_count_ = 0;
+  return Status::OK();
+}
+
+Status BdsWriter::WriteDict(const text::TokenInterner& dict, DictMeta* meta) {
+  std::string segment;
+  for (size_t i = 0; i < dict.size(); ++i) {
+    const std::string& token = dict.token(static_cast<text::TokenId>(i));
+    PutVarint(token.size(), &segment);
+    segment.append(token);
+  }
+  meta->offset = offset_;
+  meta->bytes = segment.size();
+  meta->count = static_cast<uint32_t>(dict.size());
+  meta->crc = Crc32c(segment);
+  return WriteBytes(segment);
+}
+
+Status BdsWriter::Finish() {
+  if (file_ == nullptr || finished_) {
+    return Status::FailedPrecondition("Finish on a finished .bds writer");
+  }
+  BDI_RETURN_IF_ERROR(FlushGroup());
+  DictMeta source_meta, attr_meta, value_meta;
+  BDI_RETURN_IF_ERROR(WriteDict(source_dict_, &source_meta));
+  BDI_RETURN_IF_ERROR(WriteDict(attr_dict_, &attr_meta));
+  BDI_RETURN_IF_ERROR(WriteDict(value_dict_, &value_meta));
+  std::string footer;
+  PutU32(kFooterMagic, &footer);
+  PutU32(kBdsVersion, &footer);
+  PutU32(options_.records_per_group, &footer);
+  PutU32(0, &footer);  // flags, reserved
+  PutU64(num_records_, &footer);
+  PutU64(num_fields_, &footer);
+  for (const DictMeta* meta : {&source_meta, &attr_meta, &value_meta}) {
+    PutU64(meta->offset, &footer);
+    PutU64(meta->bytes, &footer);
+    PutU32(meta->count, &footer);
+    PutU32(meta->crc, &footer);
+  }
+  PutU32(static_cast<uint32_t>(groups_.size()), &footer);
+  for (const GroupMeta& meta : groups_) {
+    PutU64(meta.offset, &footer);
+    PutU64(meta.bytes, &footer);
+    PutU32(meta.num_records, &footer);
+    PutU32(meta.num_fields, &footer);
+    PutU32(meta.crc, &footer);
+  }
+  const uint32_t footer_crc = Crc32c(footer);
+  BDI_RETURN_IF_ERROR(WriteBytes(footer));
+  std::string tail;
+  PutU64(footer.size(), &tail);
+  PutU32(footer_crc, &tail);
+  PutU32(kTailMagic, &tail);
+  BDI_RETURN_IF_ERROR(WriteBytes(tail));
+  finished_ = true;
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IOError("close failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status WriteDatasetBds(const Dataset& dataset, const std::string& path,
+                       const BdsWriterOptions& options) {
+  BDI_ASSIGN_OR_RETURN(BdsWriter writer, BdsWriter::Create(path, options));
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (const Record& record : dataset.records()) {
+    fields.clear();
+    fields.reserve(record.fields.size());
+    for (const Field& field : record.fields) {
+      fields.emplace_back(dataset.attr_name(field.attr), field.value);
+    }
+    BDI_RETURN_IF_ERROR(
+        writer.Append(dataset.source(record.source).name, fields));
+  }
+  return writer.Finish();
+}
+
+Result<ConvertStats> ConvertCsvToBds(const std::string& csv_path,
+                                     const std::string& bds_path,
+                                     const BdsWriterOptions& options) {
+  BDI_ASSIGN_OR_RETURN(CsvRowStream stream, CsvRowStream::Open(csv_path));
+  std::vector<std::string> row;
+  BDI_ASSIGN_OR_RETURN(bool has_header, stream.Next(&row));
+  if (!has_header) {
+    return Status::InvalidArgument(
+        "expected header 'source,record,attribute,value' in " + csv_path);
+  }
+  BDI_RETURN_IF_ERROR(LongCsvGrouper::CheckHeader(row, csv_path));
+  BDI_ASSIGN_OR_RETURN(BdsWriter writer, BdsWriter::Create(bds_path, options));
+  LongCsvGrouper grouper(
+      [&](const std::string& source,
+          std::vector<std::pair<std::string, std::string>>&& fields) {
+        return writer.Append(source, fields);
+      });
+  for (;;) {
+    BDI_ASSIGN_OR_RETURN(bool more, stream.Next(&row));
+    if (!more) break;
+    BDI_RETURN_IF_ERROR(grouper.AddRow(row, stream.row_number()));
+  }
+  BDI_RETURN_IF_ERROR(grouper.Finish());
+  BDI_RETURN_IF_ERROR(writer.Finish());
+  ConvertStats stats;
+  stats.records = writer.num_records();
+  stats.fields = writer.num_fields();
+  stats.row_groups = writer.num_groups();
+  stats.csv_rows = stream.row_number();
+  stats.csv_bytes = stream.bytes_read();
+  stats.bds_bytes = writer.bytes_written();
+  return stats;
+}
+
+}  // namespace bdi::storage

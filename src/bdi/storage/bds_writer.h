@@ -1,0 +1,153 @@
+#ifndef BDI_STORAGE_BDS_WRITER_H_
+#define BDI_STORAGE_BDS_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+#include "bdi/model/dataset.h"
+#include "bdi/storage/format.h"
+#include "bdi/text/interner.h"
+
+namespace bdi::storage {
+
+/// Tuning knobs for writing a `.bds` file. The defaults are what `bdi
+/// convert` uses; tests shrink `records_per_group` to force multi-group
+/// files from small corpora.
+struct BdsWriterOptions {
+  /// Records per row group. Smaller groups mean finer-grained partial reads
+  /// (`bdi head` decodes fewer records) at the cost of more headers.
+  uint32_t records_per_group = 4096;
+
+  /// Values at least this long are stored as raw bytes in the row group
+  /// instead of being interned into the value dictionary, which keeps the
+  /// dictionary (held in RAM while writing) bounded by distinct short
+  /// values rather than by blob payloads.
+  size_t raw_value_min_len = 256;
+};
+
+/// Streaming `.bds` writer: records go in one at a time, full row groups are
+/// encoded and flushed immediately, and only the current group plus the
+/// three dictionaries stay in memory — so conversion is out-of-core in the
+/// record dimension. `Finish()` writes the dictionaries, footer, and tail;
+/// a writer dropped without `Finish()` leaves an unreadable partial file
+/// (every reader requires the tail). Move-only.
+///
+/// Dictionary ids are assigned in first-append order. Appending records in
+/// `LongCsvGrouper` emission order therefore reproduces exactly the
+/// source/attribute ids `ReadDatasetCsv` assigns, which is what makes the
+/// CSV and `.bds` ingestion paths bitwise-equivalent downstream.
+class BdsWriter {
+ public:
+  /// Opens `path` for writing and emits the file magic.
+  static Result<BdsWriter> Create(const std::string& path,
+                                  const BdsWriterOptions& options = {});
+
+  BdsWriter() = default;
+
+  /// Closes the file handle; a writer destroyed before `Finish()` leaves a
+  /// partial file behind (no tail, so no reader will accept it). Moves
+  /// transfer ownership of the handle and all buffered state.
+  ~BdsWriter();
+  BdsWriter(BdsWriter&& other) noexcept;
+  BdsWriter& operator=(BdsWriter&& other) noexcept;
+  BdsWriter(const BdsWriter&) = delete;
+  BdsWriter& operator=(const BdsWriter&) = delete;
+
+  /// Appends one record: its source name plus (attribute, value) pairs in
+  /// field order. Flushes a row group to disk every `records_per_group`
+  /// records.
+  Status Append(
+      const std::string& source,
+      const std::vector<std::pair<std::string, std::string>>& fields);
+
+  /// Flushes the final row group, writes dictionaries, footer, and tail,
+  /// and closes the file. Call exactly once; Append after Finish fails.
+  Status Finish();
+
+  /// Records appended so far.
+  uint64_t num_records() const { return num_records_; }
+
+  /// Fields appended so far.
+  uint64_t num_fields() const { return num_fields_; }
+
+  /// Row groups flushed so far (the in-progress group is not counted).
+  uint64_t num_groups() const { return groups_.size(); }
+
+  /// Bytes written to the file so far.
+  uint64_t bytes_written() const { return offset_; }
+
+ private:
+  struct GroupMeta {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    uint32_t num_records = 0;
+    uint32_t num_fields = 0;
+    uint32_t crc = 0;
+  };
+  struct DictMeta {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    uint32_t count = 0;
+    uint32_t crc = 0;
+  };
+
+  Status WriteBytes(const std::string& bytes);
+  Status FlushGroup();
+  Status WriteDict(const text::TokenInterner& dict, DictMeta* meta);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  BdsWriterOptions options_;
+  uint64_t offset_ = 0;
+  uint64_t num_records_ = 0;
+  uint64_t num_fields_ = 0;
+  bool finished_ = false;
+
+  text::TokenInterner source_dict_;
+  text::TokenInterner attr_dict_;
+  text::TokenInterner value_dict_;
+
+  // Column buffers for the in-progress row group.
+  std::vector<uint32_t> group_sources_;
+  std::vector<uint32_t> group_field_counts_;
+  std::vector<uint32_t> group_attrs_;
+  std::vector<uint32_t> group_values_;
+  std::string group_raw_values_;
+  uint32_t group_raw_count_ = 0;
+
+  std::vector<GroupMeta> groups_;
+};
+
+/// Writes an in-memory Dataset as `.bds` (used by `bdi convert` in the
+/// bds-to-bds and csv-export directions, and by tests).
+Status WriteDatasetBds(const Dataset& dataset, const std::string& path,
+                       const BdsWriterOptions& options = {});
+
+/// What `ConvertCsvToBds` did, for logging and the ingestion benchmark.
+struct ConvertStats {
+  uint64_t records = 0;    ///< Records written.
+  uint64_t fields = 0;     ///< Fields written.
+  uint64_t row_groups = 0; ///< Row groups written.
+  uint64_t csv_rows = 0;   ///< CSV rows consumed (including the header).
+  uint64_t csv_bytes = 0;  ///< Bytes read from the CSV.
+  uint64_t bds_bytes = 0;  ///< Bytes written to the `.bds`.
+};
+
+/// Streams a long-CSV corpus into a `.bds` file without materializing the
+/// dataset: peak memory is one CSV chunk, one record group, and the
+/// dictionaries. Accepts exactly the files `ReadDatasetCsv` accepts (same
+/// grouping rules via LongCsvGrouper, same row-level error messages) and
+/// the conversion is loss-free: reading the output reproduces the dataset
+/// `ReadDatasetCsv` would build, id for id.
+Result<ConvertStats> ConvertCsvToBds(const std::string& csv_path,
+                                     const std::string& bds_path,
+                                     const BdsWriterOptions& options = {});
+
+}  // namespace bdi::storage
+
+#endif  // BDI_STORAGE_BDS_WRITER_H_

@@ -1,0 +1,26 @@
+#ifndef BDI_STORAGE_CRC32C_H_
+#define BDI_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bdi::storage {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over `data`.
+/// `seed` chains partial computations: `Crc32c(b, Crc32c(a))` equals
+/// `Crc32c(a + b)`. This is the checksum the `.bds` format stores for every
+/// row group, dictionary segment, and footer (see docs/FILE_FORMAT.md);
+/// CRC-32C is chosen over plain CRC-32 for its better burst-error detection
+/// and because hardware-accelerated implementations exist should this
+/// table-driven one ever show up in a profile.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// Convenience overload over a string view.
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace bdi::storage
+
+#endif  // BDI_STORAGE_CRC32C_H_

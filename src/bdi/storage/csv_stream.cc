@@ -1,0 +1,175 @@
+#include "bdi/storage/csv_stream.h"
+
+#include <utility>
+
+#include "bdi/common/csv.h"
+
+namespace bdi::storage {
+
+namespace {
+
+constexpr size_t kChunkSize = 256 * 1024;
+
+}  // namespace
+
+CsvRowStream::~CsvRowStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+CsvRowStream::CsvRowStream(CsvRowStream&& other) noexcept { *this = std::move(other); }
+
+CsvRowStream& CsvRowStream::operator=(CsvRowStream&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::exchange(other.file_, nullptr);
+  path_ = std::move(other.path_);
+  chunk_ = std::move(other.chunk_);
+  pos_ = other.pos_;
+  eof_ = other.eof_;
+  row_ = std::move(other.row_);
+  state_ = other.state_;
+  quote_pending_ = other.quote_pending_;
+  row_has_any_ = other.row_has_any_;
+  line_ = other.line_;
+  row_start_line_ = other.row_start_line_;
+  row_number_ = other.row_number_;
+  bytes_read_ = other.bytes_read_;
+  return *this;
+}
+
+Result<CsvRowStream> CsvRowStream::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  CsvRowStream stream;
+  stream.file_ = file;
+  stream.path_ = path;
+  return stream;
+}
+
+Status CsvRowStream::Fill() {
+  chunk_.resize(kChunkSize);
+  const size_t n = std::fread(chunk_.data(), 1, chunk_.size(), file_);
+  if (n < chunk_.size()) {
+    if (std::ferror(file_) != 0) {
+      return Status::IOError("read failed: " + path_);
+    }
+    eof_ = true;
+  }
+  chunk_.resize(n);
+  pos_ = 0;
+  bytes_read_ += n;
+  return Status::OK();
+}
+
+Result<bool> CsvRowStream::Next(std::vector<std::string>* row) {
+  auto emit = [&]() -> Result<bool> {
+    Result<std::vector<std::string>> parsed = ParseCsvRow(row_);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " +
+                                     std::to_string(row_start_line_) + ": " +
+                                     parsed.status().message());
+    }
+    *row = std::move(parsed).value();
+    row_.clear();
+    row_has_any_ = false;
+    state_ = State::kFieldStart;
+    row_start_line_ = line_;
+    ++row_number_;
+    return true;
+  };
+  for (;;) {
+    if (pos_ >= chunk_.size()) {
+      if (eof_) break;
+      BDI_RETURN_IF_ERROR(Fill());
+      if (chunk_.empty()) break;
+    }
+    const char c = chunk_[pos_];
+    if (quote_pending_) {
+      // A '"' inside a quoted field: the next byte decides whether it is an
+      // escaped quote ("") or the field's closing quote. This is the only
+      // lookahead, deferred here so it works across chunk boundaries.
+      quote_pending_ = false;
+      if (c == '"') {
+        row_.append("\"\"");
+        ++pos_;
+        continue;
+      }
+      row_.push_back('"');
+      state_ = State::kQuotedEnd;
+      continue;  // Reprocess c in kQuotedEnd.
+    }
+    ++pos_;
+    switch (state_) {
+      case State::kQuoted:
+        if (c == '"') {
+          quote_pending_ = true;
+        } else {
+          if (c == '\n') ++line_;
+          row_.push_back(c);
+        }
+        break;
+      case State::kQuotedEnd:
+        if (c == ',') {
+          row_.push_back(c);
+          state_ = State::kFieldStart;
+        } else if (c == '\r') {
+          row_.push_back(c);
+        } else if (c == '\n') {
+          ++line_;
+          return emit();
+        } else {
+          // ParseCsv rejects anything else here; keep scanning so the row
+          // hands the same malformed prefix to ParseCsvRow, which rejects
+          // it with the same accept/reject decision.
+          row_.push_back(c);
+          state_ = State::kUnquoted;
+        }
+        break;
+      case State::kFieldStart:
+        if (c == '"') {
+          row_.push_back(c);
+          state_ = State::kQuoted;
+          row_has_any_ = true;
+        } else if (c == ',') {
+          row_.push_back(c);
+          row_has_any_ = true;
+        } else if (c == '\n') {
+          ++line_;
+          if (row_has_any_) return emit();
+          row_.clear();  // Blank line: may still hold ignored '\r' bytes.
+          row_start_line_ = line_;
+        } else if (c == '\r') {
+          row_.push_back(c);  // Ignored by ParseCsvRow; keeps field empty.
+        } else {
+          row_.push_back(c);
+          state_ = State::kUnquoted;
+          row_has_any_ = true;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == ',') {
+          row_.push_back(c);
+          state_ = State::kFieldStart;
+        } else if (c == '\n') {
+          ++line_;
+          return emit();
+        } else {
+          row_.push_back(c);  // '\r' and '"' are literal here, as in ParseCsv.
+        }
+        break;
+    }
+  }
+  // End of file. A dangling quote becomes a closing quote (no byte follows);
+  // an unterminated quoted field is reported by ParseCsvRow below.
+  if (quote_pending_) {
+    row_.push_back('"');
+    state_ = State::kQuotedEnd;
+    quote_pending_ = false;
+  }
+  if (state_ == State::kQuoted || row_has_any_) return emit();
+  return false;
+}
+
+}  // namespace bdi::storage

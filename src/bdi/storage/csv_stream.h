@@ -1,0 +1,79 @@
+#ifndef BDI_STORAGE_CSV_STREAM_H_
+#define BDI_STORAGE_CSV_STREAM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+
+namespace bdi::storage {
+
+/// Streams CSV rows from a file in fixed-size chunks, so converting a
+/// larger-than-memory CSV to `.bds` holds only one chunk, one row, and the
+/// current record group in RAM. The row boundary machine mirrors
+/// `bdi::ParseCsv` exactly — quoted fields span newlines, `\r` outside
+/// quotes is ignored, blank lines are skipped, quotes open only at field
+/// start — and each row's bytes are handed to `bdi::ParseCsvRow`, so a file
+/// is accepted or rejected exactly as the in-memory parser would accept or
+/// reject it (the storage fuzz test pins this parity on hostile inputs).
+/// Move-only; the underlying file is closed in the destructor.
+class CsvRowStream {
+ public:
+  /// Opens `path` for streaming. Fails with kIOError if it cannot be opened.
+  static Result<CsvRowStream> Open(const std::string& path);
+
+  CsvRowStream() = default;
+
+  /// Closes the underlying file; moves transfer ownership of the handle
+  /// and the parse position.
+  ~CsvRowStream();
+  CsvRowStream(CsvRowStream&& other) noexcept;
+  CsvRowStream& operator=(CsvRowStream&& other) noexcept;
+  CsvRowStream(const CsvRowStream&) = delete;
+  CsvRowStream& operator=(const CsvRowStream&) = delete;
+
+  /// Reads the next row into `*row`. Returns true when a row was produced,
+  /// false at end of file. Malformed rows (unterminated quotes, garbage
+  /// after a closing quote) yield an InvalidArgument naming the line the
+  /// row started on; read failures yield kIOError.
+  Result<bool> Next(std::vector<std::string>* row);
+
+  /// 1-based CSV row number of the last row returned by Next (blank lines
+  /// do not count, matching ParseCsv's row indexing).
+  size_t row_number() const { return row_number_; }
+
+  /// Total bytes consumed from the file so far.
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  // Mirrors ParseCsv's (in_quotes, closed_quote, current.empty()) states.
+  enum class State : uint8_t {
+    kFieldStart,  // outside quotes, current field still empty
+    kUnquoted,    // outside quotes, current field has bytes
+    kQuoted,      // inside a quoted field
+    kQuotedEnd,   // a quoted field just closed; only , \r \n may follow
+  };
+
+  Status Fill();  // Reads the next chunk; sets eof_ at end of file.
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string chunk_;     // Current chunk of file bytes.
+  size_t pos_ = 0;        // Scan position within chunk_.
+  bool eof_ = false;
+  std::string row_;       // Bytes of the row being assembled.
+  State state_ = State::kFieldStart;
+  bool quote_pending_ = false;  // Saw '"' in kQuoted; next byte decides.
+  bool row_has_any_ = false;    // Row is non-blank (field, char, or quote).
+  size_t line_ = 1;
+  size_t row_start_line_ = 1;
+  size_t row_number_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace bdi::storage
+
+#endif  // BDI_STORAGE_CSV_STREAM_H_

@@ -1,0 +1,139 @@
+#include "bdi/storage/dataset_reader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "bdi/model/dataset_io.h"
+#include "bdi/storage/csv_stream.h"
+#include "bdi/storage/format.h"
+
+namespace bdi::storage {
+
+namespace {
+
+// Streams a CSV corpus and stops after `max_records` complete records, so a
+// head over a huge CSV reads only the leading chunks of the file.
+Result<Dataset> ReadCsvHead(const std::string& path, size_t max_records) {
+  BDI_ASSIGN_OR_RETURN(CsvRowStream stream, CsvRowStream::Open(path));
+  std::vector<std::string> row;
+  BDI_ASSIGN_OR_RETURN(bool has_header, stream.Next(&row));
+  if (!has_header) {
+    return Status::InvalidArgument(
+        "expected header 'source,record,attribute,value' in " + path);
+  }
+  BDI_RETURN_IF_ERROR(LongCsvGrouper::CheckHeader(row, path));
+  Dataset dataset;
+  std::map<std::string, SourceId> sources;
+  size_t emitted = 0;
+  LongCsvGrouper grouper(
+      [&](const std::string& source,
+          std::vector<std::pair<std::string, std::string>>&& fields) {
+        auto it = sources.find(source);
+        if (it == sources.end()) {
+          it = sources.emplace(source, dataset.AddSource(source)).first;
+        }
+        dataset.AddRecord(it->second, fields);
+        ++emitted;
+        return Status::OK();
+      });
+  while (emitted < max_records) {
+    BDI_ASSIGN_OR_RETURN(bool more, stream.Next(&row));
+    if (!more) {
+      BDI_RETURN_IF_ERROR(grouper.Finish());
+      break;
+    }
+    BDI_RETURN_IF_ERROR(grouper.AddRow(row, stream.row_number()));
+  }
+  // When the loop stopped because `emitted` hit the cap, the in-progress
+  // record is deliberately dropped — the rest of the file is never read.
+  return dataset;
+}
+
+// Post-parse projection for CSV: rebuilds the dataset with the same
+// source/attribute interning order but only the kept fields.
+Dataset ProjectDataset(const Dataset& full,
+                       const std::vector<std::string>& keep_attrs) {
+  Dataset projected;
+  for (const SourceInfo& source : full.sources()) {
+    projected.AddSource(source.name);
+  }
+  std::vector<char> keep(full.num_attrs(), 0);
+  for (size_t a = 0; a < full.num_attrs(); ++a) {
+    projected.InternAttr(full.attr_name(static_cast<AttrId>(a)));
+  }
+  for (const std::string& name : keep_attrs) {
+    if (auto attr = full.FindAttr(name); attr.has_value()) {
+      keep[static_cast<size_t>(*attr)] = 1;
+    }
+  }
+  std::vector<Field> fields;
+  for (const Record& record : full.records()) {
+    fields.clear();
+    for (const Field& field : record.fields) {
+      if (keep[static_cast<size_t>(field.attr)] != 0) {
+        fields.push_back(field);
+      }
+    }
+    projected.AddRecord(record.source, fields);
+  }
+  return projected;
+}
+
+}  // namespace
+
+const char* DatasetFormatName(DatasetFormat format) {
+  return format == DatasetFormat::kBds ? "bds" : "csv";
+}
+
+Result<DatasetFormat> SniffDatasetFormat(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  unsigned char head[sizeof(kBdsMagic)] = {};
+  const size_t n = std::fread(head, 1, sizeof(head), file);
+  std::fclose(file);
+  if (n == sizeof(kBdsMagic) &&
+      std::memcmp(head, kBdsMagic, sizeof(kBdsMagic)) == 0) {
+    return DatasetFormat::kBds;
+  }
+  return DatasetFormat::kCsv;
+}
+
+Result<DatasetReader> DatasetReader::Open(const std::string& path) {
+  BDI_ASSIGN_OR_RETURN(DatasetFormat format, SniffDatasetFormat(path));
+  DatasetReader reader;
+  reader.format_ = format;
+  reader.path_ = path;
+  if (format == DatasetFormat::kBds) {
+    BDI_ASSIGN_OR_RETURN(BdsReader bds, BdsReader::Open(path));
+    reader.bds_.emplace(std::move(bds));
+  }
+  return reader;
+}
+
+Result<Dataset> DatasetReader::ReadAll() {
+  if (bds_.has_value()) return bds_->ReadAll();
+  return ReadDatasetCsv(path_);
+}
+
+Result<Dataset> DatasetReader::ReadHead(size_t max_records) {
+  if (bds_.has_value()) return bds_->ReadHead(max_records);
+  return ReadCsvHead(path_, max_records);
+}
+
+Result<Dataset> DatasetReader::ReadProjected(
+    const std::vector<std::string>& keep_attrs) {
+  if (bds_.has_value()) return bds_->ReadProjected(keep_attrs);
+  BDI_ASSIGN_OR_RETURN(Dataset full, ReadDatasetCsv(path_));
+  return ProjectDataset(full, keep_attrs);
+}
+
+Result<Dataset> ReadDatasetAuto(const std::string& path) {
+  BDI_ASSIGN_OR_RETURN(DatasetReader reader, DatasetReader::Open(path));
+  return reader.ReadAll();
+}
+
+}  // namespace bdi::storage

@@ -1,0 +1,74 @@
+#ifndef BDI_STORAGE_DATASET_READER_H_
+#define BDI_STORAGE_DATASET_READER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+#include "bdi/model/dataset.h"
+#include "bdi/storage/bds_reader.h"
+
+namespace bdi::storage {
+
+/// The two on-disk corpus formats the pipeline ingests.
+enum class DatasetFormat {
+  kCsv,  ///< Long CSV: `source,record,attribute,value` (text).
+  kBds,  ///< Columnar binary `.bds` (docs/FILE_FORMAT.md).
+};
+
+/// "csv" or "bds", for CLI output.
+const char* DatasetFormatName(DatasetFormat format);
+
+/// Decides the format of `path` by its leading bytes: the 8-byte `.bds`
+/// magic means kBds, anything else (including short files) is treated as
+/// CSV. Only fails (kIOError) when the file cannot be opened at all.
+Result<DatasetFormat> SniffDatasetFormat(const std::string& path);
+
+/// Format-transparent corpus reader: sniffs `path` and dispatches to
+/// `ReadDatasetCsv` or `BdsReader`, so every `--in` flag of the CLI accepts
+/// either format. Both paths produce identical Datasets for equivalent
+/// inputs (pinned by the storage equivalence test), so downstream stages
+/// cannot tell the formats apart.
+class DatasetReader {
+ public:
+  /// Sniffs the format; for `.bds` also maps the file and parses the
+  /// footer (cheap — no row groups are read until a Read* call).
+  static Result<DatasetReader> Open(const std::string& path);
+
+  /// The format Open detected.
+  DatasetFormat format() const { return format_; }
+
+  /// The underlying BdsReader, or nullptr for CSV files (used by `bdi
+  /// inspect` and `bdi validate`, which need footer metadata).
+  BdsReader* bds() { return bds_.has_value() ? &*bds_ : nullptr; }
+
+  /// Loads the whole corpus.
+  Result<Dataset> ReadAll();
+
+  /// Loads only the first `max_records` records. For `.bds` this decodes
+  /// just the covering row groups; for CSV it streams rows and stops —
+  /// neither path materializes the rest of the file's records.
+  Result<Dataset> ReadHead(size_t max_records);
+
+  /// Loads all records but keeps only fields named in `keep_attrs`, with
+  /// source/attribute ids identical to a full read. For `.bds` excluded
+  /// columns skip value materialization (counted in
+  /// `bdi.storage.columns.skipped`); for CSV this is a post-parse filter —
+  /// the text format has no columns to skip.
+  Result<Dataset> ReadProjected(const std::vector<std::string>& keep_attrs);
+
+ private:
+  DatasetFormat format_ = DatasetFormat::kCsv;
+  std::string path_;
+  std::optional<BdsReader> bds_;
+};
+
+/// One-shot convenience: Open + ReadAll. The drop-in replacement for
+/// `ReadDatasetCsv` call sites that should accept both formats.
+Result<Dataset> ReadDatasetAuto(const std::string& path);
+
+}  // namespace bdi::storage
+
+#endif  // BDI_STORAGE_DATASET_READER_H_

@@ -1,0 +1,229 @@
+#include "bdi/storage/format.h"
+
+#include <limits>
+
+namespace bdi::storage {
+
+namespace {
+
+// Zigzag maps signed deltas onto small unsigned varints: 0,-1,1,-2 -> 0,1,2,3.
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+Status Truncated(std::string_view what) {
+  return Status::IOError("truncated " + std::string(what));
+}
+
+}  // namespace
+
+std::string_view ColumnIdName(uint8_t id) {
+  switch (static_cast<ColumnId>(id)) {
+    case ColumnId::kSource: return "source";
+    case ColumnId::kFieldCount: return "field_count";
+    case ColumnId::kAttr: return "attr";
+    case ColumnId::kValue: return "value";
+    case ColumnId::kRawValues: return "raw_values";
+  }
+  return "?";
+}
+
+std::string_view ColumnEncodingName(uint8_t encoding) {
+  switch (static_cast<ColumnEncoding>(encoding)) {
+    case ColumnEncoding::kPlain: return "plain";
+    case ColumnEncoding::kVarint: return "varint";
+    case ColumnEncoding::kDeltaVarint: return "delta";
+    case ColumnEncoding::kRle: return "rle";
+    case ColumnEncoding::kRawBytes: return "raw";
+  }
+  return "?";
+}
+
+void PutU32(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80u) {
+    out->push_back(static_cast<char>((value & 0x7Fu) | 0x80u));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+Result<uint32_t> GetU32(std::string_view data, size_t* offset) {
+  if (*offset > data.size() || data.size() - *offset < 4) {
+    return Truncated("u32");
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(static_cast<unsigned char>(data[*offset + i]))
+             << (8 * i);
+  }
+  *offset += 4;
+  return value;
+}
+
+Result<uint64_t> GetU64(std::string_view data, size_t* offset) {
+  if (*offset > data.size() || data.size() - *offset < 8) {
+    return Truncated("u64");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(static_cast<unsigned char>(data[*offset + i]))
+             << (8 * i);
+  }
+  *offset += 8;
+  return value;
+}
+
+Result<uint64_t> GetVarint(std::string_view data, size_t* offset) {
+  uint64_t value = 0;
+  int shift = 0;
+  size_t pos = *offset;
+  while (pos < data.size() && shift < 70) {
+    const auto byte = static_cast<unsigned char>(data[pos++]);
+    value |= static_cast<uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      *offset = pos;
+      return value;
+    }
+    shift += 7;
+  }
+  if (shift >= 70) return Status::IOError("varint longer than 10 bytes");
+  return Truncated("varint");
+}
+
+Status EncodeU32Column(const std::vector<uint32_t>& values,
+                       ColumnEncoding encoding, std::string* out) {
+  switch (encoding) {
+    case ColumnEncoding::kPlain:
+      for (uint32_t v : values) PutU32(v, out);
+      return Status::OK();
+    case ColumnEncoding::kVarint:
+      for (uint32_t v : values) PutVarint(v, out);
+      return Status::OK();
+    case ColumnEncoding::kDeltaVarint: {
+      int64_t prev = 0;
+      for (uint32_t v : values) {
+        PutVarint(ZigzagEncode(static_cast<int64_t>(v) - prev), out);
+        prev = static_cast<int64_t>(v);
+      }
+      return Status::OK();
+    }
+    case ColumnEncoding::kRle: {
+      size_t i = 0;
+      while (i < values.size()) {
+        size_t run = 1;
+        while (i + run < values.size() && values[i + run] == values[i]) ++run;
+        PutVarint(run, out);
+        PutVarint(values[i], out);
+        i += run;
+      }
+      return Status::OK();
+    }
+    case ColumnEncoding::kRawBytes:
+      break;
+  }
+  return Status::InvalidArgument("kRawBytes is not a u32 column encoding");
+}
+
+ColumnEncoding EncodeU32ColumnBest(const std::vector<uint32_t>& values,
+                                   std::string* out) {
+  constexpr ColumnEncoding kCandidates[] = {
+      ColumnEncoding::kPlain, ColumnEncoding::kVarint,
+      ColumnEncoding::kDeltaVarint, ColumnEncoding::kRle};
+  std::string best;
+  ColumnEncoding best_encoding = ColumnEncoding::kPlain;
+  bool have_best = false;
+  std::string scratch;
+  for (ColumnEncoding encoding : kCandidates) {
+    scratch.clear();
+    // All four candidates accept any u32 sequence, so this cannot fail.
+    const Status encoded = EncodeU32Column(values, encoding, &scratch);
+    (void)encoded;
+    if (!have_best || scratch.size() < best.size()) {
+      best.swap(scratch);
+      best_encoding = encoding;
+      have_best = true;
+    }
+  }
+  out->append(best);
+  return best_encoding;
+}
+
+Result<std::vector<uint32_t>> DecodeU32Column(std::string_view payload,
+                                              uint8_t encoding, size_t count,
+                                              std::string_view what) {
+  std::vector<uint32_t> values;
+  values.reserve(count);
+  size_t offset = 0;
+  const std::string name(what);
+  switch (static_cast<ColumnEncoding>(encoding)) {
+    case ColumnEncoding::kPlain:
+      for (size_t i = 0; i < count; ++i) {
+        BDI_ASSIGN_OR_RETURN(uint32_t v, GetU32(payload, &offset));
+        values.push_back(v);
+      }
+      break;
+    case ColumnEncoding::kVarint:
+      for (size_t i = 0; i < count; ++i) {
+        BDI_ASSIGN_OR_RETURN(uint64_t v, GetVarint(payload, &offset));
+        if (v > std::numeric_limits<uint32_t>::max()) {
+          return Status::IOError(name + " column: varint exceeds u32");
+        }
+        values.push_back(static_cast<uint32_t>(v));
+      }
+      break;
+    case ColumnEncoding::kDeltaVarint: {
+      int64_t prev = 0;
+      for (size_t i = 0; i < count; ++i) {
+        BDI_ASSIGN_OR_RETURN(uint64_t raw, GetVarint(payload, &offset));
+        const int64_t v = prev + ZigzagDecode(raw);
+        if (v < 0 || v > std::numeric_limits<uint32_t>::max()) {
+          return Status::IOError(name + " column: delta leaves u32 range");
+        }
+        values.push_back(static_cast<uint32_t>(v));
+        prev = v;
+      }
+      break;
+    }
+    case ColumnEncoding::kRle:
+      while (values.size() < count) {
+        BDI_ASSIGN_OR_RETURN(uint64_t run, GetVarint(payload, &offset));
+        BDI_ASSIGN_OR_RETURN(uint64_t v, GetVarint(payload, &offset));
+        if (run == 0 || run > count - values.size()) {
+          return Status::IOError(name + " column: run-length overflows count");
+        }
+        if (v > std::numeric_limits<uint32_t>::max()) {
+          return Status::IOError(name + " column: rle value exceeds u32");
+        }
+        values.insert(values.end(), static_cast<size_t>(run),
+                      static_cast<uint32_t>(v));
+      }
+      break;
+    default:
+      return Status::IOError(name + " column: unknown encoding " +
+                              std::to_string(encoding));
+  }
+  if (offset != payload.size()) {
+    return Status::IOError(name + " column: " +
+                            std::to_string(payload.size() - offset) +
+                            " trailing payload bytes");
+  }
+  return values;
+}
+
+}  // namespace bdi::storage

@@ -1,0 +1,127 @@
+#ifndef BDI_STORAGE_FORMAT_H_
+#define BDI_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+
+/// On-disk constants and column codecs for the `.bds` columnar dataset
+/// format. The byte-level layout lives in docs/FILE_FORMAT.md; this header is
+/// the single source of truth for the magic numbers, header sizes, and
+/// per-column encodings both the writer and the reader use. Everything here
+/// is deliberately dependency-free: the "compression" in `.bds` is the
+/// integer codecs below (varint, zigzag-delta, run-length), not an external
+/// block compressor.
+namespace bdi::storage {
+
+/// 8-byte file magic: "BDS1" followed by "\r\n\x1a\n". The trailing four
+/// bytes detect text-mode transfer mangling (CR-LF translation, ^Z
+/// truncation) the same way the PNG signature does.
+inline constexpr unsigned char kBdsMagic[8] = {'B', 'D', 'S', '1',
+                                               '\r', '\n', 0x1a, '\n'};
+
+/// Current format version, written into the footer. Readers accept exactly
+/// this version; see docs/FILE_FORMAT.md for the compatibility rules.
+inline constexpr uint32_t kBdsVersion = 1;
+
+/// Row-group header magic, "RGRP" little-endian.
+inline constexpr uint32_t kRowGroupMagic = 0x50524752u;
+
+/// Footer magic, "BDSF" little-endian.
+inline constexpr uint32_t kFooterMagic = 0x46534442u;
+
+/// Tail magic, "bds1" little-endian — last four bytes of every file.
+inline constexpr uint32_t kTailMagic = 0x31736462u;
+
+/// Fixed size of the end-of-file tail: u64 footer length, u32 footer CRC32C,
+/// u32 tail magic.
+inline constexpr size_t kTailBytes = 16;
+
+/// Fixed size of a row-group header: u32 magic, u32 record count, u32 field
+/// count, u32 segment count.
+inline constexpr size_t kRowGroupHeaderBytes = 16;
+
+/// Fixed size of a segment header: u8 column id, u8 encoding, u16 reserved,
+/// u32 value count, u64 payload byte length.
+inline constexpr size_t kSegmentHeaderBytes = 16;
+
+/// Sentinel stored in the value column for fields whose value is kept as raw
+/// bytes (too long to intern profitably) rather than a dictionary id.
+inline constexpr uint32_t kRawValueId = 0xFFFFFFFFu;
+
+/// Columns that make up a row group. Numeric values are the on-disk `u8`
+/// column ids; they are stable across versions.
+enum class ColumnId : uint8_t {
+  kSource = 0,      ///< One source-dictionary id per record.
+  kFieldCount = 1,  ///< One field count per record.
+  kAttr = 2,        ///< One attribute-dictionary id per field.
+  kValue = 3,       ///< One value-dictionary id (or kRawValueId) per field.
+  kRawValues = 4,   ///< Length-prefixed raw bytes, one per kRawValueId field.
+};
+
+/// Per-column integer encodings. The writer measures each candidate and
+/// keeps the smallest; readers must decode all of them. Numeric values are
+/// the on-disk `u8` encoding ids.
+enum class ColumnEncoding : uint8_t {
+  kPlain = 0,        ///< Fixed-width little-endian u32.
+  kVarint = 1,       ///< LEB128 varint per value.
+  kDeltaVarint = 2,  ///< Zigzag delta from the previous value, varint coded.
+  kRle = 3,          ///< (varint run-length, varint value) pairs.
+  kRawBytes = 4,     ///< Opaque byte payload (kRawValues column only).
+};
+
+/// Human-readable name of a column id ("source", "attr", ...) for `bdi
+/// inspect` and error messages; "?" for unknown ids.
+std::string_view ColumnIdName(uint8_t id);
+
+/// Human-readable name of an encoding ("plain", "rle", ...) for `bdi
+/// inspect` and error messages; "?" for unknown ids.
+std::string_view ColumnEncodingName(uint8_t encoding);
+
+/// Appends `value` to `out` as little-endian fixed-width bytes.
+void PutU32(uint32_t value, std::string* out);
+
+/// Appends `value` to `out` as little-endian fixed-width bytes.
+void PutU64(uint64_t value, std::string* out);
+
+/// Appends `value` to `out` as a LEB128 varint (1-5 bytes for u32 range,
+/// up to 10 for u64).
+void PutVarint(uint64_t value, std::string* out);
+
+/// Reads a little-endian u32 at `offset`; fails with kIOError if fewer than
+/// 4 bytes remain. Advances `*offset` past the value on success.
+Result<uint32_t> GetU32(std::string_view data, size_t* offset);
+
+/// Reads a little-endian u64 at `offset`; fails with kIOError if fewer than
+/// 8 bytes remain. Advances `*offset` past the value on success.
+Result<uint64_t> GetU64(std::string_view data, size_t* offset);
+
+/// Reads a LEB128 varint at `offset`; fails with kIOError on truncation or
+/// a varint longer than 10 bytes. Advances `*offset` past the value.
+Result<uint64_t> GetVarint(std::string_view data, size_t* offset);
+
+/// Encodes `values` with `encoding`, appending the payload to `out`.
+/// `kRawBytes` is not a u32 codec and is rejected with kInvalidArgument.
+Status EncodeU32Column(const std::vector<uint32_t>& values,
+                       ColumnEncoding encoding, std::string* out);
+
+/// Picks the smallest of {plain, varint, delta-varint, rle} for `values`,
+/// appends that payload to `out`, and returns the encoding chosen. Ties go
+/// to the lower encoding id, so the choice is deterministic.
+ColumnEncoding EncodeU32ColumnBest(const std::vector<uint32_t>& values,
+                                   std::string* out);
+
+/// Decodes exactly `count` u32 values from `payload` (which must be consumed
+/// completely — trailing bytes are kIOError, like every other malformed
+/// payload). `what` names the column in error messages.
+Result<std::vector<uint32_t>> DecodeU32Column(std::string_view payload,
+                                              uint8_t encoding, size_t count,
+                                              std::string_view what);
+
+}  // namespace bdi::storage
+
+#endif  // BDI_STORAGE_FORMAT_H_

@@ -1,0 +1,106 @@
+#include "bdi/storage/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BDI_STORAGE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define BDI_STORAGE_HAVE_MMAP 0
+#endif
+
+namespace bdi::storage {
+
+MappedFile::~MappedFile() {
+#if BDI_STORAGE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      buffer_(std::move(other.buffer_)) {
+  if (!mapped_) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#if BDI_STORAGE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  buffer_ = std::move(other.buffer_);
+  if (!mapped_) data_ = buffer_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#if BDI_STORAGE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError(path + " is not a regular file");
+  }
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ == 0) {
+    ::close(fd);
+    return file;
+  }
+  void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // The mapping outlives the descriptor.
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path + ": " +
+                           std::strerror(map_err));
+  }
+  file.data_ = static_cast<const char*>(addr);
+  file.mapped_ = true;
+  return file;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  MappedFile file;
+  file.buffer_ = std::move(contents).str();
+  file.data_ = file.buffer_.data();
+  file.size_ = file.buffer_.size();
+  return file;
+#endif
+}
+
+}  // namespace bdi::storage

@@ -1,0 +1,53 @@
+#ifndef BDI_STORAGE_MAPPED_FILE_H_
+#define BDI_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+
+namespace bdi::storage {
+
+/// Read-only view of a whole file, memory-mapped where the platform supports
+/// it (POSIX mmap) and read into an owned buffer otherwise. Mapping means
+/// opening a multi-gigabyte `.bds` costs a few page faults, and readers that
+/// touch only the footer plus selected row groups never fault in the rest —
+/// the property the `bdi head` counter test asserts. Move-only; the mapping
+/// (or buffer) is released in the destructor.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Empty files are valid (zero-length view).
+  /// Fails with kIOError if the file cannot be opened, stat'ed, or mapped.
+  static Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+
+  /// Releases the mapping (or owned buffer); any `data()` views die with
+  /// it. Moves transfer the mapping without remapping.
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The file contents. Valid for the lifetime of this object.
+  std::string_view data() const { return {data_, size_}; }
+
+  /// File size in bytes.
+  size_t size() const { return size_; }
+
+  /// True when the view is backed by an mmap rather than an owned buffer.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::string buffer_;  // Owns the bytes when mmap is unavailable.
+};
+
+}  // namespace bdi::storage
+
+#endif  // BDI_STORAGE_MAPPED_FILE_H_

@@ -1,0 +1,205 @@
+// End-to-end equivalence pin for the two ingestion formats: a synthetic
+// corpus written as CSV, converted to `.bds`, and run through the full
+// integration pipeline must produce a byte-for-byte identical persisted
+// IntegrationReport — the formats are indistinguishable downstream. Also
+// pins the canonical re-export (bds -> csv equals csv -> csv) and the
+// blocking-equivalence of KeyedAttributeNames projection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bdi/core/integrator.h"
+#include "bdi/core/report_io.h"
+#include "bdi/linkage/attr_roles.h"
+#include "bdi/linkage/blocking.h"
+#include "bdi/model/dataset.h"
+#include "bdi/model/dataset_io.h"
+#include "bdi/schema/attribute_stats.h"
+#include "bdi/storage/bds_reader.h"
+#include "bdi/storage/bds_writer.h"
+#include "bdi/storage/dataset_reader.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// The example corpus every pipeline equivalence check runs on: a synthetic
+// multi-source world with copiers, like the README quickstart generates.
+Dataset MakeWorld() {
+  synth::WorldConfig config;
+  config.category = "camera";
+  config.num_entities = 80;
+  config.num_sources = 6;
+  config.num_copiers = 1;
+  config.seed = 20260808;
+  return std::move(synth::GenerateWorld(config).dataset);
+}
+
+TEST(StorageEquivalenceTest, PipelineReportsAreByteIdenticalAcrossFormats) {
+  Dataset world = MakeWorld();
+  std::string csv = TempPath("equiv_corpus.csv");
+  std::string bds = TempPath("equiv_corpus.bds");
+  ASSERT_TRUE(WriteDatasetCsv(world, csv).ok());
+  BdsWriterOptions options;
+  options.records_per_group = 64;  // force several row groups
+  Result<ConvertStats> converted = ConvertCsvToBds(csv, bds, options);
+  ASSERT_TRUE(converted.ok()) << converted.status();
+
+  Result<Dataset> from_csv = ReadDatasetAuto(csv);
+  Result<Dataset> from_bds = ReadDatasetAuto(bds);
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status();
+  ASSERT_TRUE(from_bds.ok()) << from_bds.status();
+
+  core::Integrator integrator;
+  core::IntegrationReport report_csv = integrator.Run(from_csv.value());
+  core::IntegrationReport report_bds = integrator.Run(from_bds.value());
+
+  std::string dir_csv = TempPath("equiv_saved_csv");
+  std::string dir_bds = TempPath("equiv_saved_bds");
+  std::filesystem::create_directories(dir_csv);
+  std::filesystem::create_directories(dir_bds);
+  ASSERT_TRUE(
+      core::SaveIntegration(report_csv, from_csv.value(), dir_csv).ok());
+  ASSERT_TRUE(
+      core::SaveIntegration(report_bds, from_bds.value(), dir_bds).ok());
+
+  // Every persisted artifact must match byte for byte.
+  size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_csv)) {
+    ++files;
+    std::string name = entry.path().filename().string();
+    std::string twin = dir_bds + "/" + name;
+    ASSERT_TRUE(std::filesystem::exists(twin)) << name;
+    EXPECT_EQ(ReadFileBytes(entry.path().string()), ReadFileBytes(twin))
+        << name << " differs between the CSV and .bds pipelines";
+  }
+  EXPECT_GT(files, 0u);
+
+  std::filesystem::remove_all(dir_csv);
+  std::filesystem::remove_all(dir_bds);
+  std::remove(csv.c_str());
+  std::remove(bds.c_str());
+}
+
+TEST(StorageEquivalenceTest, CanonicalCsvReExportIsIdentical) {
+  Dataset world = MakeWorld();
+  std::string csv = TempPath("reexport.csv");
+  std::string bds = TempPath("reexport.bds");
+  ASSERT_TRUE(WriteDatasetCsv(world, csv).ok());
+  Result<ConvertStats> converted = ConvertCsvToBds(csv, bds);
+  ASSERT_TRUE(converted.ok()) << converted.status();
+
+  // csv -> Dataset -> csv (the canonical form; the synthetic corpus is
+  // already canonical, so this equals the original bytes) ...
+  Result<Dataset> from_csv = ReadDatasetCsv(csv);
+  ASSERT_TRUE(from_csv.ok());
+  std::string out_a = TempPath("reexport_a.csv");
+  ASSERT_TRUE(WriteDatasetCsv(from_csv.value(), out_a).ok());
+  EXPECT_EQ(ReadFileBytes(out_a), ReadFileBytes(csv));
+
+  // ... and bds -> Dataset -> csv must produce those exact bytes too:
+  // conversion is loss-free in both directions.
+  Result<BdsReader> reader = BdsReader::Open(bds);
+  ASSERT_TRUE(reader.ok());
+  Result<Dataset> from_bds = reader->ReadAll();
+  ASSERT_TRUE(from_bds.ok());
+  std::string out_b = TempPath("reexport_b.csv");
+  ASSERT_TRUE(WriteDatasetCsv(from_bds.value(), out_b).ok());
+  EXPECT_EQ(ReadFileBytes(out_b), ReadFileBytes(csv));
+
+  std::remove(csv.c_str());
+  std::remove(bds.c_str());
+  std::remove(out_a.c_str());
+  std::remove(out_b.c_str());
+}
+
+// A corpus engineered so role detection fires on every record: every
+// record has a multi-token distinct "full name" (name role) and a
+// digit-bearing unique "sku" (identifier role), plus two noise columns
+// the projection must be able to drop.
+Dataset MakeKeyableDataset() {
+  Dataset dataset;
+  SourceId a = dataset.AddSource("shop-a");
+  SourceId b = dataset.AddSource("shop-b");
+  const char* kAdjectives[] = {"compact", "deluxe", "vintage", "sturdy",
+                               "foldable"};
+  for (int r = 0; r < 40; ++r) {
+    std::vector<std::pair<std::string, std::string>> fields;
+    fields.emplace_back("full name", std::string(kAdjectives[r % 5]) +
+                                         " widget mark " +
+                                         std::to_string(100 + r));
+    fields.emplace_back("sku", "wdg" + std::to_string(770000 + r) + "x");
+    fields.emplace_back("color", r % 2 == 0 ? "red" : "blue");
+    fields.emplace_back("weight", std::to_string(100 + (r % 7)));
+    dataset.AddRecord(r % 2 == 0 ? a : b, fields);
+  }
+  return dataset;
+}
+
+TEST(StorageEquivalenceTest, KeyedProjectionPreservesBlocking) {
+  Dataset world = MakeKeyableDataset();
+  std::string bds = TempPath("projection.bds");
+  ASSERT_TRUE(WriteDatasetBds(world, bds).ok());
+
+  schema::AttributeStatistics stats =
+      schema::AttributeStatistics::Compute(world);
+  linkage::AttrRoles roles = linkage::AttrRoles::Detect(stats);
+  ASSERT_TRUE(roles.HasRole(linkage::AttrRole::kName));
+  std::vector<std::string> keyed =
+      linkage::KeyedAttributeNames(world, roles);
+  ASSERT_FALSE(keyed.empty());
+  // Every record carries its role fields, so the projection must be a
+  // real subset, not the all-attrs fallback.
+  ASSERT_LT(keyed.size(), world.num_attrs());
+
+  Result<BdsReader> reader = BdsReader::Open(bds);
+  ASSERT_TRUE(reader.ok());
+  Result<Dataset> projected = reader->ReadProjected(keyed);
+  ASSERT_TRUE(projected.ok()) << projected.status();
+  ASSERT_EQ(projected->num_records(), world.num_records());
+
+  // Blocks computed from only the keyed columns equal blocks from the
+  // full dataset — the extractor materialized nothing it keys on.
+  linkage::TokenBlocker token;
+  std::vector<linkage::Block> full_blocks =
+      token.MakeBlocksAll(world, &roles);
+  std::vector<linkage::Block> slim_blocks =
+      token.MakeBlocksAll(projected.value(), &roles);
+  ASSERT_FALSE(full_blocks.empty());
+  ASSERT_EQ(full_blocks.size(), slim_blocks.size());
+  for (size_t b = 0; b < full_blocks.size(); ++b) {
+    EXPECT_EQ(full_blocks[b].key, slim_blocks[b].key) << "block " << b;
+    EXPECT_EQ(full_blocks[b].records, slim_blocks[b].records)
+        << "block " << b;
+  }
+
+  // The guard in KeyedAttributeNames: when a record lacks its role
+  // fields, projection must degrade to all attributes (a no-op) instead
+  // of silently changing blocks.
+  Dataset partial = MakeKeyableDataset();
+  partial.AddRecord(partial.AddSource("shop-c"),
+                    std::vector<std::pair<std::string, std::string>>{
+                        {"color", "green"}});
+  std::vector<std::string> fallback =
+      linkage::KeyedAttributeNames(partial, roles);
+  EXPECT_EQ(fallback.size(), partial.num_attrs());
+  std::remove(bds.c_str());
+}
+
+}  // namespace
+}  // namespace bdi::storage

@@ -14,13 +14,24 @@
 //   bdi diff      --old snap_0.csv --new snap_3.csv   (change feed)
 //   bdi trust     --in corpus.csv   (source quality audit: accuracies,
 //                 copying, systematic bias)
-//   bdi validate  <corpus.csv> [--labels labels.csv]   (scan ingestion
-//                 files for structural problems; prints every issue with
-//                 its row instead of stopping at the first)
+//   bdi validate  <corpus.csv|corpus.bds> [--labels labels.csv]   (scan
+//                 ingestion files for structural problems; prints every
+//                 issue with its row instead of stopping at the first;
+//                 .bds files take the checksum fast path — CRC-32C over
+//                 every row group, no text re-parsing)
+//   bdi convert   <in> <out>   (csv -> columnar .bds, or .bds -> csv;
+//                 direction follows the input format; [--group-records N])
+//   bdi head      <corpus.csv|corpus.bds> [--records 10]   (print the
+//                 leading records as long CSV; reads only the row groups /
+//                 CSV chunks that cover them, never the whole file)
+//   bdi inspect   <corpus.bds>   (footer-level tour of a .bds file: counts,
+//                 dictionaries, per-row-group table with encodings)
 //
 // `generate` writes a synthetic multi-source corpus (and optionally its
 // record->entity ground truth); the other commands work on any corpus in
-// the long CSV format (source,record,attribute,value).
+// the long CSV format (source,record,attribute,value) or its columnar
+// binary twin `.bds` (docs/FILE_FORMAT.md) — every `--in` sniffs the
+// format by magic bytes.
 //
 // Every command additionally accepts `--metrics-out <path>` (or
 // `--metrics-out=<path>`): it enables the metrics registry for the run and
@@ -31,7 +42,10 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "bdi/common/csv.h"
 #include "bdi/common/flags.h"
 #include "bdi/common/metrics.h"
 #include "bdi/common/string_util.h"
@@ -46,6 +60,10 @@
 #include "bdi/model/dataset_io.h"
 #include "bdi/model/validate.h"
 #include "bdi/schema/attribute_stats.h"
+#include "bdi/storage/bds_reader.h"
+#include "bdi/storage/bds_writer.h"
+#include "bdi/storage/dataset_reader.h"
+#include "bdi/storage/format.h"
 #include "bdi/synth/world.h"
 
 namespace {
@@ -56,7 +74,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: bdi <generate|stats|integrate|link|ask|evolve|diff|trust|"
-      "validate> [--flag value]...\n"
+      "validate|convert|head|inspect> [--flag value]...\n"
       "see the header of tools/bdi_cli.cc for the flag list\n");
   return 2;
 }
@@ -117,7 +135,7 @@ int CmdGenerate(const Flags& flags) {
 }
 
 int CmdStats(const Flags& flags) {
-  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   schema::AttributeStatistics stats =
       schema::AttributeStatistics::Compute(dataset.value());
@@ -144,7 +162,7 @@ int CmdStats(const Flags& flags) {
 int CmdIntegrate(const Flags& flags) {
   int top = 0;  // checked before the pipeline runs, not at print time
   if (!GetIntFlag(flags, "top", 5, &top)) return 2;
-  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
 
   core::IntegratorConfig config;
@@ -198,7 +216,7 @@ int CmdIntegrate(const Flags& flags) {
 }
 
 int CmdLink(const Flags& flags) {
-  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   linkage::Linker linker(&dataset.value(), {});
   linkage::LinkageResult result = linker.Run();
@@ -218,7 +236,7 @@ int CmdLink(const Flags& flags) {
 }
 
 int CmdTrust(const Flags& flags) {
-  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   core::Integrator integrator;
   core::IntegrationReport report = integrator.Run(dataset.value());
@@ -281,9 +299,9 @@ int CmdTrust(const Flags& flags) {
 int CmdDiff(const Flags& flags) {
   int limit = 0;  // checked before the two pipeline runs, not at print time
   if (!GetIntFlag(flags, "limit", 40, &limit)) return 2;
-  Result<Dataset> old_dataset = ReadDatasetCsv(flags.Get("old", ""));
+  Result<Dataset> old_dataset = storage::ReadDatasetAuto(flags.Get("old", ""));
   if (!old_dataset.ok()) return Fail(old_dataset.status());
-  Result<Dataset> new_dataset = ReadDatasetCsv(flags.Get("new", ""));
+  Result<Dataset> new_dataset = storage::ReadDatasetAuto(flags.Get("new", ""));
   if (!new_dataset.ok()) return Fail(new_dataset.status());
   core::Integrator integrator;
   core::IntegrationReport old_report = integrator.Run(old_dataset.value());
@@ -365,7 +383,7 @@ int CmdAsk(const Flags& flags) {
     std::fprintf(stderr, "ask: --attribute and --entity are required\n");
     return 2;
   }
-  Result<Dataset> dataset = ReadDatasetCsv(flags.Get("in", ""));
+  Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   core::IntegrationReport report;
   if (flags.Has("load-dir")) {
@@ -432,7 +450,16 @@ int CmdValidate(const Flags& flags, const std::string& positional) {
                  "required\n");
     return 2;
   }
-  bool clean = PrintValidation(path, ValidateDatasetCsv(path), true);
+  // `.bds` files take the checksum fast path: CRC-32C over every row
+  // group and dictionary, no text parsing at all. Anything else goes
+  // through the row-by-row CSV validator.
+  Result<storage::DatasetFormat> format = storage::SniffDatasetFormat(path);
+  bool clean;
+  if (format.ok() && format.value() == storage::DatasetFormat::kBds) {
+    clean = PrintValidation(path, storage::ValidateBdsFile(path), true);
+  } else {
+    clean = PrintValidation(path, ValidateDatasetCsv(path), true);
+  }
   if (flags.Has("labels")) {
     std::string labels = flags.Get("labels", "");
     clean = PrintValidation(labels, ValidateLabelsCsv(labels), false) &&
@@ -441,19 +468,192 @@ int CmdValidate(const Flags& flags, const std::string& positional) {
   return clean ? 0 : 1;
 }
 
+int CmdConvert(const Flags& flags,
+               const std::vector<std::string>& positionals) {
+  if (positionals.size() != 2) {
+    std::fprintf(stderr, "convert: usage: bdi convert <in> <out>\n");
+    return 2;
+  }
+  const std::string& in = positionals[0];
+  const std::string& out = positionals[1];
+  int group_records = 0;
+  if (!GetIntFlag(flags, "group-records", 4096, &group_records)) return 2;
+  if (group_records <= 0) {
+    std::fprintf(stderr, "convert: --group-records must be positive\n");
+    return 2;
+  }
+  Result<storage::DatasetFormat> format = storage::SniffDatasetFormat(in);
+  if (!format.ok()) return Fail(format.status());
+  if (format.value() == storage::DatasetFormat::kCsv) {
+    storage::BdsWriterOptions options;
+    options.records_per_group = static_cast<uint32_t>(group_records);
+    Result<storage::ConvertStats> stats =
+        storage::ConvertCsvToBds(in, out, options);
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("converted %s -> %s\n", in.c_str(), out.c_str());
+    std::printf(
+        "%llu records, %llu fields, %llu row group%s\n",
+        static_cast<unsigned long long>(stats->records),
+        static_cast<unsigned long long>(stats->fields),
+        static_cast<unsigned long long>(stats->row_groups),
+        stats->row_groups == 1 ? "" : "s");
+    double ratio =
+        stats->bds_bytes > 0
+            ? static_cast<double>(stats->csv_bytes) /
+                  static_cast<double>(stats->bds_bytes)
+            : 0.0;
+    std::printf("%llu CSV bytes -> %llu bds bytes (%.2fx)\n",
+                static_cast<unsigned long long>(stats->csv_bytes),
+                static_cast<unsigned long long>(stats->bds_bytes), ratio);
+    return 0;
+  }
+  // .bds input: decode and re-export as canonical long CSV (the same bytes
+  // `WriteDatasetCsv(ReadDatasetCsv(original))` would produce).
+  Result<storage::BdsReader> reader = storage::BdsReader::Open(in);
+  if (!reader.ok()) return Fail(reader.status());
+  Result<Dataset> dataset = reader->ReadAll();
+  if (!dataset.ok()) return Fail(dataset.status());
+  Status written = WriteDatasetCsv(dataset.value(), out);
+  if (!written.ok()) return Fail(written);
+  std::printf("converted %s -> %s (%zu records, %zu sources)\n", in.c_str(),
+              out.c_str(), dataset->num_records(), dataset->num_sources());
+  return 0;
+}
+
+int CmdHead(const Flags& flags,
+            const std::vector<std::string>& positionals) {
+  std::string path =
+      positionals.empty() ? flags.Get("in", "") : positionals[0];
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "head: a dataset path (positional or --in) is required\n");
+    return 2;
+  }
+  int records = 0;
+  if (!GetIntFlag(flags, "records", 10, &records)) return 2;
+  if (records < 0) {
+    std::fprintf(stderr, "head: --records must be non-negative\n");
+    return 2;
+  }
+  Result<storage::DatasetReader> reader = storage::DatasetReader::Open(path);
+  if (!reader.ok()) return Fail(reader.status());
+  Result<Dataset> dataset =
+      reader->ReadHead(static_cast<size_t>(records));
+  if (!dataset.ok()) return Fail(dataset.status());
+  // Long-CSV rows on stdout, exactly like the corresponding prefix of a
+  // `bdi convert`ed CSV export, so `bdi head x.bds | bdi validate
+  // /dev/stdin` style plumbing works.
+  std::printf("%s\n",
+              EncodeCsvRow({"source", "record", "attribute", "value"})
+                  .c_str());
+  for (const Record& record : dataset->records()) {
+    for (const Field& field : record.fields) {
+      std::printf("%s\n",
+                  EncodeCsvRow({dataset->source(record.source).name,
+                                std::to_string(record.idx),
+                                dataset->attr_name(field.attr), field.value})
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+// Decodes the segment headers of one row group for `bdi inspect` without
+// decoding any payloads: returns "source=rle attr=delta ..." or "?" when
+// the group bytes are malformed (inspect never fails on a corrupt body —
+// that is `bdi validate`'s job).
+std::string GroupEncodingSummary(std::string_view group) {
+  size_t offset = 0;
+  Result<uint32_t> magic = storage::GetU32(group, &offset);
+  if (!magic.ok() || magic.value() != storage::kRowGroupMagic) return "?";
+  offset = storage::kRowGroupHeaderBytes - 4;  // skip record/field counts
+  Result<uint32_t> num_segments = storage::GetU32(group, &offset);
+  if (!num_segments.ok()) return "?";
+  std::string summary;
+  for (uint32_t s = 0; s < num_segments.value(); ++s) {
+    if (offset + storage::kSegmentHeaderBytes > group.size()) return "?";
+    uint8_t column = static_cast<uint8_t>(group[offset]);
+    uint8_t encoding = static_cast<uint8_t>(group[offset + 1]);
+    size_t header_rest = offset + 8;
+    Result<uint64_t> payload = storage::GetU64(group, &header_rest);
+    if (!payload.ok()) return "?";
+    if (!summary.empty()) summary += " ";
+    summary += std::string(storage::ColumnIdName(column)) + "=" +
+               std::string(storage::ColumnEncodingName(encoding));
+    offset = header_rest + payload.value();
+    if (offset > group.size()) return "?";
+  }
+  return summary.empty() ? "(no segments)" : summary;
+}
+
+int CmdInspect(const Flags& flags,
+               const std::vector<std::string>& positionals) {
+  std::string path =
+      positionals.empty() ? flags.Get("in", "") : positionals[0];
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "inspect: a .bds path (positional or --in) is required\n");
+    return 2;
+  }
+  Result<storage::BdsReader> reader = storage::BdsReader::Open(path);
+  if (!reader.ok()) return Fail(reader.status());
+  std::printf("%s: bds format version %u, %zu bytes\n", path.c_str(),
+              reader->format_version(), reader->file_bytes());
+  std::printf(
+      "records: %llu  fields: %llu  row groups: %zu (%u records/group)\n",
+      static_cast<unsigned long long>(reader->num_records()),
+      static_cast<unsigned long long>(reader->num_fields()),
+      reader->row_groups().size(), reader->records_per_group());
+  std::printf(
+      "dictionaries: %u sources (%llu B), %u attributes (%llu B), "
+      "%u values (%llu B)\n",
+      reader->source_dict().count,
+      static_cast<unsigned long long>(reader->source_dict().bytes),
+      reader->attr_dict().count,
+      static_cast<unsigned long long>(reader->attr_dict().bytes),
+      reader->value_dict().count,
+      static_cast<unsigned long long>(reader->value_dict().bytes));
+  TextTable groups(
+      {"group", "offset", "bytes", "records", "fields", "crc32c",
+       "encodings"});
+  for (size_t g = 0; g < reader->row_groups().size(); ++g) {
+    const storage::BdsRowGroupMeta& meta = reader->row_groups()[g];
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", meta.crc);
+    groups.AddRow({std::to_string(g), std::to_string(meta.offset),
+                   std::to_string(meta.bytes),
+                   std::to_string(meta.num_records),
+                   std::to_string(meta.num_fields), crc,
+                   GroupEncodingSummary(reader->group_bytes(meta))});
+  }
+  groups.Print("row groups");
+  if (reader->num_fields() > 0) {
+    std::printf("bytes/field: %.2f\n",
+                static_cast<double>(reader->file_bytes()) /
+                    static_cast<double>(reader->num_fields()));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
-  // `validate` takes the dataset as a positional argument (the other
-  // commands are flag-only): bdi validate corpus.csv [--labels l.csv].
-  std::string positional;
+  // `validate`, `head`, and `inspect` take the file as a positional
+  // argument, `convert` takes two; the remaining commands are flag-only.
+  size_t max_positionals = 0;
+  if (command == "validate" || command == "head" || command == "inspect") {
+    max_positionals = 1;
+  } else if (command == "convert") {
+    max_positionals = 2;
+  }
+  std::vector<std::string> positionals;
   int first_flag = 2;
-  if (command == "validate" && argc > 2 &&
-      std::strncmp(argv[2], "--", 2) != 0) {
-    positional = argv[2];
-    first_flag = 3;
+  while (positionals.size() < max_positionals && first_flag < argc &&
+         std::strncmp(argv[first_flag], "--", 2) != 0) {
+    positionals.emplace_back(argv[first_flag]);
+    ++first_flag;
   }
   Flags flags(argc, argv, first_flag);
   if (!flags.ok()) {
@@ -480,7 +680,13 @@ int main(int argc, char** argv) {
   } else if (command == "trust") {
     rc = CmdTrust(flags);
   } else if (command == "validate") {
-    rc = CmdValidate(flags, positional);
+    rc = CmdValidate(flags, positionals.empty() ? "" : positionals[0]);
+  } else if (command == "convert") {
+    rc = CmdConvert(flags, positionals);
+  } else if (command == "head") {
+    rc = CmdHead(flags, positionals);
+  } else if (command == "inspect") {
+    rc = CmdInspect(flags, positionals);
   } else {
     return Usage();
   }

@@ -12,6 +12,9 @@ src/bdi/ and errs on the side of not flagging:
     structs are checked (structs default to public, classes to private).
   * A /// block covers the run of consecutive declarations that follows it,
     until a blank line — so a documented overload set needs one comment.
+  * A trailing doc comment on the declaration line itself (`int x;  ///<
+    meaning`) also counts, matching the aggregate-member style of the
+    storage headers.
   * Exempt: access specifiers, constructors/destructors and operators that
     are `= default` / `= delete`, friend declarations, `using` aliases of
     injected names, macros, include guards, and anything inside a
@@ -120,6 +123,9 @@ def check_header(path):
         code = code.strip()
 
         is_doc = stripped.startswith("///")
+        # A trailing `///` or `///<` doc comment documents this line's own
+        # declaration (but does not start a covered run).
+        has_trailing_doc = not is_doc and "///" in stripped
         is_comment_only = not code and (
             stripped.startswith("//") or stripped.startswith("*")
             or stripped.startswith("/*") or in_block_comment)
@@ -174,7 +180,8 @@ def check_header(path):
             rest = m.group("rest")
             name_match = re.match(r"\s*([A-Za-z_][A-Za-z0-9_:]*)", rest)
             name = name_match.group(1) if name_match else ""
-            if kind in ("class", "struct") and checkable and not covered:
+            if (kind in ("class", "struct") and checkable and not covered
+                    and not has_trailing_doc):
                 problems.append((lineno, code))
             if "{" in code:
                 if kind == "namespace":
@@ -202,7 +209,7 @@ def check_header(path):
             covered = False if code.endswith(";") else covered
             continue
 
-        if checkable and not covered:
+        if checkable and not covered and not has_trailing_doc:
             problems.append((lineno, code))
 
         if depth > 0 or (not code.endswith(";") and not opens_brace):
