@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
                 "candidates; meta-blocking prunes most comparisons while "
                 "keeping the bulk of completeness");
 
-  size_t threads = bench::ThreadsFlag(argc, argv, 8);
-  bench::JsonReporter json("blocking", argc, argv);
+  bench::BenchMain bench_main("blocking", argc, argv);
+  size_t threads = bench_main.threads();
+  bench::JsonReporter& json = bench_main.json();
   if (json.enabled()) metrics::SetEnabled(true);
 
   synth::WorldConfig config;

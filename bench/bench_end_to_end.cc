@@ -32,9 +32,10 @@ IntegratorConfig PipelineConfig(size_t num_threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t threads = bench::ThreadsFlag(argc, argv, 8);
+  bench::BenchMain bench_main("end_to_end", argc, argv);
+  size_t threads = bench_main.threads();
   Executor::Configure(threads);
-  bench::JsonReporter json("end_to_end", argc, argv);
+  bench::JsonReporter& json = bench_main.json();
   // Metrics ride along in BENCH_end_to_end.json; instrumentation is
   // bitwise-neutral, so the equivalence check below is unaffected.
   if (json.enabled()) metrics::SetEnabled(true);

@@ -125,9 +125,10 @@ double MaxAccuracyDiff(const FusionResult& a, const FusionResult& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t threads = bench::ThreadsFlag(argc, argv, 8);
+  bench::BenchMain bench_main("fusion_methods", argc, argv);
+  size_t threads = bench_main.threads();
   Executor::Configure(threads);
-  bench::JsonReporter json("fusion_methods", argc, argv);
+  bench::JsonReporter& json = bench_main.json();
   bench::Banner("E2", "fusion methods on a corpus with copiers",
                 "precision ordering vote < accu <= accusim <= accucopy; "
                 "accucopy also has the lowest accuracy-estimation error");

@@ -49,8 +49,9 @@ int main(int argc, char** argv) {
       "dictionary-decoded columns); validate's checksum fast path and "
       "head's partial reads beat the CSV scan by an order of magnitude");
 
-  size_t threads = bench::ThreadsFlag(argc, argv, 1);
-  bench::JsonReporter json("ingestion", argc, argv);
+  bench::BenchMain bench_main("ingestion", argc, argv, /*default_threads=*/1);
+  size_t threads = bench_main.threads();
+  bench::JsonReporter& json = bench_main.json();
   if (json.enabled()) metrics::SetEnabled(true);
 
   synth::WorldConfig config;

@@ -17,9 +17,9 @@ using namespace bdi;
 using namespace bdi::linkage;
 
 int main(int argc, char** argv) {
-  size_t max_threads = bench::ThreadsFlag(argc, argv, 8);
-  Executor::Configure(max_threads);
-  bench::JsonReporter json("linkage_scaling", argc, argv);
+  bench::BenchMain bench_main("linkage_scaling", argc, argv);
+  Executor::Configure(bench_main.threads());
+  bench::JsonReporter& json = bench_main.json();
   // Metrics ride along in the JSON; instrumentation is bitwise-neutral.
   if (json.enabled()) metrics::SetEnabled(true);
   bench::Banner("E8", "linkage scalability (dataflow substrate)",
@@ -97,6 +97,17 @@ int main(int argc, char** argv) {
     Linker linker(&world.dataset, linker_config);
     LinkageResult result = linker.Run();
     identical_output = identical_output && same_matches(reference, result);
+    // The progressive scheduler with an unlimited budget reorders the
+    // comparisons but must never change a score: same gate, same
+    // reference, every thread count.
+    {
+      LinkerConfig progressive_config = linker_config;
+      progressive_config.use_progressive = true;
+      Linker progressive_linker(&world.dataset, progressive_config);
+      LinkageResult progressive_result = progressive_linker.Run();
+      identical_output =
+          identical_output && same_matches(reference, progressive_result);
+    }
     if (threads == 1) baseline = result.matching_seconds;
     threads_table.AddRow(
         {std::to_string(threads),

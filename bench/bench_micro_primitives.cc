@@ -189,7 +189,8 @@ int RunJsonMode(int argc, char** argv) {
                 "integer signature bounds drop sharply from scalar to "
                 "sse2/avx2; the double-kernel reference rows are "
                 "level-invariant");
-  bench::JsonReporter json("micro_primitives", argc, argv);
+  bench::BenchMain bench_main("micro_primitives", argc, argv);
+  bench::JsonReporter& json = bench_main.json();
   KernelCorpus corpus = MakeCorpus();
   text::SimilarityScratch scratch;
   json.Note("simd_detected",

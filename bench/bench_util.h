@@ -142,6 +142,33 @@ inline size_t ThreadsFlag(int argc, char** argv, size_t fallback = 8) {
   return fallback;
 }
 
+/// The shared bench main scaffold: parses the common flags (`--json`,
+/// `--threads N`) once and owns the JsonReporter, so bench mains stop
+/// hand-rolling the same two lines of plumbing. Construct it first thing
+/// in main; the report (if `--json` was passed) is written when it goes
+/// out of scope.
+class BenchMain {
+ public:
+  BenchMain(std::string name, int argc, char** argv,
+            size_t default_threads = 8)
+      : threads_(ThreadsFlag(argc, argv, default_threads)),
+        json_(std::move(name), argc, argv) {}
+
+  BenchMain(const BenchMain&) = delete;
+  BenchMain& operator=(const BenchMain&) = delete;
+
+  /// The resolved `--threads` value.
+  size_t threads() const { return threads_; }
+  /// The bench's JSON reporter (no-op unless `--json` was passed).
+  JsonReporter& json() { return json_; }
+  /// True when `--json` was passed.
+  bool json_enabled() const { return json_.enabled(); }
+
+ private:
+  size_t threads_;
+  JsonReporter json_;
+};
+
 }  // namespace bdi::bench
 
 #endif  // BDI_BENCH_BENCH_UTIL_H_

@@ -162,4 +162,22 @@ size_t ScoreCandidateSlab(const FeatureExtractor& extractor,
   return skipped;
 }
 
+void BoundCandidateSlab(const FeatureExtractor& extractor,
+                        const PairScorer& scorer, const CandidatePair* pairs,
+                        size_t n, CandidateSlab& slab, double* bounds) {
+  for (size_t base = 0; base < n; base += kSlabTileLanes) {
+    size_t tile = std::min(kSlabTileLanes, n - base);
+    slab.a.resize(std::max(slab.a.size(), tile));
+    slab.b.resize(std::max(slab.b.size(), tile));
+    slab.features.resize(std::max(slab.features.size(), tile));
+    for (size_t i = 0; i < tile; ++i) {
+      slab.a[i] = pairs[base + i].a;
+      slab.b[i] = pairs[base + i].b;
+    }
+    extractor.ExtractBoundsBatch(slab.a.data(), slab.b.data(), tile,
+                                 slab.features.data(), slab.scratch);
+    scorer.ScoreUpperBoundBatch(slab.features.data(), tile, bounds + base);
+  }
+}
+
 }  // namespace bdi::linkage

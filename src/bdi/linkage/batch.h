@@ -2,6 +2,8 @@
 #define BDI_LINKAGE_BATCH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bdi/linkage/blocking.h"
@@ -39,6 +41,56 @@ struct CandidateSlab {
   std::vector<double> survivor_scores;
   /// The one grow-only kernel scratch shared by every lane in the slab.
   text::SimilarityScratch scratch;
+  /// Gather staging for schedule-ordered scoring (the progressive path):
+  /// pairs copied into schedule order and their scores, before the caller
+  /// scatters them back to original slots. Grow-only like every other
+  /// buffer here.
+  std::vector<CandidatePair> gather;
+  std::vector<double> gather_scores;
+};
+
+/// Mutex-guarded checkout pool of CandidateSlabs shared by the workers of
+/// one parallel matching run. Reusing a slab across chunks keeps its
+/// scratch and memo warm (an allocation/perf concern only — slab reuse
+/// cannot change results, pinned by the equivalence suites). Hold a slab
+/// through a SlabPool::Lease for the duration of one chunk.
+class SlabPool {
+ public:
+  /// RAII checkout: acquires a slab (reusing a returned one when
+  /// available) on construction, returns it on destruction.
+  class Lease {
+   public:
+    /// Checks a slab out of `pool`; the lease must not outlive it.
+    explicit Lease(SlabPool& pool) : pool_(pool), slab_(pool.Acquire()) {}
+    ~Lease() { pool_.Release(std::move(slab_)); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    /// The checked-out slab.
+    CandidateSlab& operator*() const { return *slab_; }
+    /// Member access on the checked-out slab.
+    CandidateSlab* operator->() const { return slab_.get(); }
+
+   private:
+    SlabPool& pool_;
+    std::unique_ptr<CandidateSlab> slab_;
+  };
+
+ private:
+  std::unique_ptr<CandidateSlab> Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return std::make_unique<CandidateSlab>();
+    std::unique_ptr<CandidateSlab> slab = std::move(free_.back());
+    free_.pop_back();
+    return slab;
+  }
+
+  void Release(std::unique_ptr<CandidateSlab> slab) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(slab));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<CandidateSlab>> free_;
 };
 
 /// Scores `n` candidate pairs through the slab batch path: fills `slab`'s
@@ -55,6 +107,17 @@ size_t ScoreCandidateSlab(const FeatureExtractor& extractor,
                           const CandidatePair* pairs, size_t n,
                           bool use_prefilter, CandidateSlab& slab,
                           double* scores);
+
+/// The slab bound pass alone: fills `bounds[0..n)` with the scorer's
+/// cheap score upper bound for each pair, via the same tiled
+/// ExtractBoundsBatch + ScoreUpperBoundBatch passes the full cascade
+/// runs, without touching the full kernels. Each bound is bitwise the
+/// value the cascade would compute for that pair; the progressive
+/// scheduler (progressive.h) uses this to rank candidates before
+/// spending its comparison budget.
+void BoundCandidateSlab(const FeatureExtractor& extractor,
+                        const PairScorer& scorer, const CandidatePair* pairs,
+                        size_t n, CandidateSlab& slab, double* bounds);
 
 }  // namespace bdi::linkage
 

@@ -129,37 +129,54 @@ void IncrementalLinker::IndexRecord(RecordIdx idx) {
 size_t IncrementalLinker::AddNewRecords() {
   MaybeRefreshRoles();
   extractor_.Prepare();
-  size_t comparisons = 0;
   const double threshold = scorer_->threshold();
-  // One grow-only slab serves every new record's candidate batch — the
-  // same comparison cascade and batch kernels as Linker::Run, so the
-  // incremental path stops hand-rolling its own scratch loop. A lane
-  // whose bound cannot reach the threshold records that bound (below
-  // threshold by construction) and can never become an edge, leaving the
-  // edge set identical to the unfiltered path.
-  CandidateSlab slab;
+  // Candidate generation first, scoring second: each new record harvests
+  // its blocking partners and is then indexed, so later arrivals in the
+  // same batch see it — the exact candidate sets and pair order the old
+  // score-as-you-go loop produced, but accumulated into one batch. That
+  // batch view is what lets a comparison budget rank pairs *across* the
+  // whole update instead of record by record.
   std::vector<CandidatePair> pairs;
-  std::vector<double> scores;
   for (; next_record_ < dataset_->num_records(); ++next_record_) {
     RecordIdx idx = static_cast<RecordIdx>(next_record_);
-    pairs.clear();
     for (RecordIdx other : CandidatesFor(idx)) {
       // Lane order (other, idx) mirrors the historical Extract argument
       // order, keeping scores bitwise stable across the refactor.
       pairs.push_back(CandidatePair{other, idx});
     }
-    comparisons += pairs.size();
-    scores.resize(pairs.size());
+    IndexRecord(idx);
+  }
+  size_t comparisons = pairs.size();
+  std::vector<double> scores(pairs.size());
+  std::vector<uint8_t> scored;
+  if (config_.comparison_budget > 0.0) {
+    // Budgeted batch: bound-ranked scheduling across the whole update,
+    // serial (the incremental path is the serving layer's latency-bound
+    // call; its batches are small and the caller owns threading).
+    scored.assign(pairs.size(), 0);
+    last_progressive_ = ScorePairsProgressive(
+        extractor_, *scorer_, pairs.data(), pairs.size(),
+        config_.comparison_budget, config_.use_prefilter,
+        /*num_threads=*/1, scores.data(), scored.data());
+  } else {
+    // One grow-only slab serves the whole batch — the same comparison
+    // cascade and batch kernels as Linker::Run. A lane whose bound cannot
+    // reach the threshold records that bound (below threshold by
+    // construction) and can never become an edge, leaving the edge set
+    // identical to the unfiltered path. Scoring the accumulated batch in
+    // one call produces the same bits as the old per-record calls: every
+    // lane's kernel result is grouping-independent.
+    CandidateSlab slab;
     ScoreCandidateSlab(extractor_, *scorer_, pairs.data(), pairs.size(),
                        config_.use_prefilter, slab, scores.data());
-    for (size_t i = 0; i < pairs.size(); ++i) {
-      if (scores[i] >= threshold) {
-        CandidatePair pair{std::min(pairs[i].a, pairs[i].b),
-                           std::max(pairs[i].a, pairs[i].b)};
-        edges_.push_back(ScoredPair{pair, scores[i]});
-      }
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (!scored.empty() && scored[i] == 0) continue;  // budget-deferred
+    if (scores[i] >= threshold) {
+      CandidatePair pair{std::min(pairs[i].a, pairs[i].b),
+                         std::max(pairs[i].a, pairs[i].b)};
+      edges_.push_back(ScoredPair{pair, scores[i]});
     }
-    IndexRecord(idx);
   }
   total_comparisons_ += comparisons;
   return comparisons;

@@ -8,6 +8,7 @@
 
 #include "bdi/linkage/clustering.h"
 #include "bdi/linkage/linkage.h"
+#include "bdi/linkage/progressive.h"
 
 namespace bdi::linkage {
 
@@ -37,6 +38,15 @@ class IncrementalLinker {
     /// LinkerConfig::use_prefilter: the matched-edge set is identical
     /// with it on or off.
     bool use_prefilter = true;
+    /// Progressive comparison budget applied to each AddNewRecords()
+    /// batch (LinkerConfig::comparison_budget encoding: 0 = unlimited,
+    /// (0, 1) = fraction of the batch's payable comparisons, >= 1 =
+    /// absolute count). Non-zero routes the batch through the
+    /// bound-ranked scheduler (progressive.h), spending the budget on
+    /// the highest-bound candidate pairs first — a fixed latency budget
+    /// per update batch. With it unlimited the edge set is bitwise
+    /// identical to the classic path.
+    double comparison_budget = 0.0;
   };
 
   /// `dataset` must outlive the linker and already contain the initial
@@ -62,6 +72,20 @@ class IncrementalLinker {
   size_t num_edges() const { return edges_.size(); }
   size_t total_comparisons() const { return total_comparisons_; }
 
+  /// Scheduler stats of the last AddNewRecords() batch when a
+  /// comparison budget is configured (zero-initialized otherwise).
+  const ProgressiveStats& last_progressive() const {
+    return last_progressive_;
+  }
+
+  /// Changes the comparison budget for subsequent AddNewRecords() calls
+  /// (Config::comparison_budget encoding). Budgets are a serving-time
+  /// knob: a typical stream ingests its backlog unbudgeted, then caps the
+  /// per-batch update latency once live.
+  void set_comparison_budget(double comparison_budget) {
+    config_.comparison_budget = comparison_budget;
+  }
+
  private:
   std::vector<RecordIdx> CandidatesFor(RecordIdx idx) const;
   void IndexRecord(RecordIdx idx);
@@ -83,6 +107,7 @@ class IncrementalLinker {
   std::unordered_set<RecordIdx> removed_;
   size_t next_record_ = 0;
   size_t total_comparisons_ = 0;
+  ProgressiveStats last_progressive_;
 };
 
 }  // namespace bdi::linkage

@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
 #include "bdi/common/timer.h"
 #include "bdi/common/trace.h"
 #include "bdi/linkage/batch.h"
+#include "bdi/linkage/progressive.h"
 #include "bdi/text/similarity.h"
 
 namespace bdi::linkage {
@@ -183,37 +183,83 @@ LinkageResult Linker::Run() {
     const bool batch = config_.use_batch;
     const double threshold = scorer_->threshold();
     const bool metrics_on = metrics::Enabled();
-    std::atomic<size_t> prefiltered{0};
-    // Checked-out slabs parked between chunks: a worker claiming its next
-    // chunk reuses a slab whose scratch buffers and token-pair memos are
-    // already warm (scores never depend on slab state, so reuse cannot
-    // change results). The mutex guards only the checkout/return, never
-    // the scoring.
-    std::mutex slab_pool_mutex;
-    std::vector<std::unique_ptr<CandidateSlab>> slab_pool;
-    ParallelForRanges(
-        candidates.size(),
-        [&](size_t begin, size_t end) {
-          if (batch) {
-            // Slab path: one structure-of-arrays slab per chunk — the
-            // vectorized bound pass sweeps every lane, then the full
-            // kernels run over the compacted survivors. Output slots are
-            // bitwise identical to the per-pair loop below.
-            std::unique_ptr<CandidateSlab> slab;
-            {
-              std::lock_guard<std::mutex> lock(slab_pool_mutex);
-              if (!slab_pool.empty()) {
-                slab = std::move(slab_pool.back());
-                slab_pool.pop_back();
+    if (config_.use_progressive || config_.comparison_budget > 0.0) {
+      // Progressive path: rank every candidate by its score upper bound
+      // and spend the comparison budget on the highest-bound tiers first
+      // (ScorePairsProgressive). Budget-deferred candidates stay
+      // unscored; with the budget unlimited every slot is scored and the
+      // match set below is bitwise identical to the classic path.
+      std::vector<uint8_t> scored(candidates.size(), 0);
+      ProgressiveStats stats = ScorePairsProgressive(
+          extractor_, *scorer_, candidates.data(), candidates.size(),
+          config_.comparison_budget, prefilter, config_.num_threads,
+          scores.data(), scored.data());
+      result.num_prefiltered = stats.num_skipped;
+      result.num_scheduled = stats.num_scheduled;
+      result.num_deferred = stats.num_deferred;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (scored[i] != 0 && scores[i] >= threshold) {
+          result.matches.push_back(ScoredPair{candidates[i], scores[i]});
+        }
+      }
+      MatchesCounter().Add(result.matches.size());
+    } else {
+      std::atomic<size_t> prefiltered{0};
+      // Checked-out slabs parked between chunks: a worker claiming its next
+      // chunk reuses a slab whose scratch buffers and token-pair memos are
+      // already warm (scores never depend on slab state, so reuse cannot
+      // change results). The pool's mutex guards only the checkout/return,
+      // never the scoring.
+      SlabPool slab_pool;
+      ParallelForRanges(
+          candidates.size(),
+          [&](size_t begin, size_t end) {
+            if (batch) {
+              // Slab path: one structure-of-arrays slab per chunk — the
+              // vectorized bound pass sweeps every lane, then the full
+              // kernels run over the compacted survivors. Output slots are
+              // bitwise identical to the per-pair loop below.
+              SlabPool::Lease slab(slab_pool);
+              size_t skipped = ScoreCandidateSlab(
+                  extractor_, *scorer_, candidates.data() + begin,
+                  end - begin, prefilter, *slab, scores.data() + begin);
+              if (skipped > 0) {
+                prefiltered.fetch_add(skipped, std::memory_order_relaxed);
               }
+              if (metrics_on) {
+                MatchChunksCounter().Add();
+                ScratchReusesCounter().Add(end - begin - 1);
+              }
+              return;
             }
-            if (slab == nullptr) slab = std::make_unique<CandidateSlab>();
-            size_t skipped = ScoreCandidateSlab(
-                extractor_, *scorer_, candidates.data() + begin,
-                end - begin, prefilter, *slab, scores.data() + begin);
-            {
-              std::lock_guard<std::mutex> lock(slab_pool_mutex);
-              slab_pool.push_back(std::move(slab));
+            text::SimilarityScratch scratch;
+            size_t skipped = 0;
+            for (size_t i = begin; i < end; ++i) {
+              if (prefilter) {
+                // Tier 1: bound the achievable score from the interned
+                // evidence. A skip is sound — the bound is >= the true
+                // score, and the slack absorbs floating-point grouping
+                // differences — so a skipped pair can never be a match and
+                // the match set stays bitwise identical to the unfiltered
+                // path. The recorded score (the bound) is below threshold
+                // by construction.
+                double bound = scorer_->ScoreUpperBound(extractor_.ExtractBounds(
+                    candidates[i].a, candidates[i].b, scratch));
+                if (bound + kPrefilterSlack < threshold) {
+                  scores[i] = bound;
+                  ++skipped;
+                  continue;
+                }
+                // Tier 2: the full kernel stack.
+                scores[i] = scorer_->Score(extractor_.Extract(
+                    candidates[i].a, candidates[i].b, scratch));
+                if (metrics_on) {
+                  PrefilterBoundGapHistogram().Observe(bound - scores[i]);
+                }
+              } else {
+                scores[i] = scorer_->Score(extractor_.Extract(
+                    candidates[i].a, candidates[i].b, scratch));
+              }
             }
             if (skipped > 0) {
               prefiltered.fetch_add(skipped, std::memory_order_relaxed);
@@ -221,61 +267,24 @@ LinkageResult Linker::Run() {
             if (metrics_on) {
               MatchChunksCounter().Add();
               ScratchReusesCounter().Add(end - begin - 1);
-            }
-            return;
-          }
-          text::SimilarityScratch scratch;
-          size_t skipped = 0;
-          for (size_t i = begin; i < end; ++i) {
-            if (prefilter) {
-              // Tier 1: bound the achievable score from the interned
-              // evidence. A skip is sound — the bound is >= the true
-              // score, and the slack absorbs floating-point grouping
-              // differences — so a skipped pair can never be a match and
-              // the match set stays bitwise identical to the unfiltered
-              // path. The recorded score (the bound) is below threshold
-              // by construction.
-              double bound = scorer_->ScoreUpperBound(extractor_.ExtractBounds(
-                  candidates[i].a, candidates[i].b, scratch));
-              if (bound + kPrefilterSlack < threshold) {
-                scores[i] = bound;
-                ++skipped;
-                continue;
+              if (prefilter) {
+                PrefilterEvaluatedCounter().Add(end - begin);
+                PrefilterSkippedCounter().Add(skipped);
               }
-              // Tier 2: the full kernel stack.
-              scores[i] = scorer_->Score(extractor_.Extract(
-                  candidates[i].a, candidates[i].b, scratch));
-              if (metrics_on) {
-                PrefilterBoundGapHistogram().Observe(bound - scores[i]);
-              }
-            } else {
-              scores[i] = scorer_->Score(extractor_.Extract(
-                  candidates[i].a, candidates[i].b, scratch));
             }
-          }
-          if (skipped > 0) {
-            prefiltered.fetch_add(skipped, std::memory_order_relaxed);
-          }
-          if (metrics_on) {
-            MatchChunksCounter().Add();
-            ScratchReusesCounter().Add(end - begin - 1);
-            if (prefilter) {
-              PrefilterEvaluatedCounter().Add(end - begin);
-              PrefilterSkippedCounter().Add(skipped);
-            }
-          }
-        },
-        config_.num_threads, kMinScoreChunk);
-    result.num_prefiltered = prefiltered.load(std::memory_order_relaxed);
-    // Match iff score >= the scorer's own threshold:
-    // PairScorer::threshold() is authoritative (no per-kind
-    // re-hard-coding here).
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (scores[i] >= threshold) {
-        result.matches.push_back(ScoredPair{candidates[i], scores[i]});
+          },
+          config_.num_threads, kMinScoreChunk);
+      result.num_prefiltered = prefiltered.load(std::memory_order_relaxed);
+      // Match iff score >= the scorer's own threshold:
+      // PairScorer::threshold() is authoritative (no per-kind
+      // re-hard-coding here).
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (scores[i] >= threshold) {
+          result.matches.push_back(ScoredPair{candidates[i], scores[i]});
+        }
       }
+      MatchesCounter().Add(result.matches.size());
     }
-    MatchesCounter().Add(result.matches.size());
   }
   result.matching_seconds = timer.ElapsedSeconds();
   result.num_matches = result.matches.size();

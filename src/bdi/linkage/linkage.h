@@ -51,6 +51,21 @@ struct LinkerConfig {
   /// per-pair loop for every scorer and thread count; off reinstates the
   /// per-pair reference path for the equivalence tests and A/B benches.
   bool use_batch = true;
+  /// Progressive comparison budget (ScorePairsProgressive in
+  /// progressive.h): 0 = unlimited, a value in (0, 1) = fraction of the
+  /// full-kernel comparisons the unbudgeted run would make, >= 1 = an
+  /// absolute comparison count. Any non-zero value routes matching
+  /// through the bound-ranked scheduler, which compares the
+  /// highest-bound candidates first and stops when the budget runs out —
+  /// so the match set at a small budget is a subset of the match set at a
+  /// larger one, and recall is anytime rather than all-or-nothing.
+  double comparison_budget = 0.0;
+  /// Forces the progressive scheduler even with an unlimited budget
+  /// (comparison_budget == 0). With no budget the scheduler's match set
+  /// is bitwise identical to the classic slab path — scheduling changes
+  /// comparison order, never scores — which is exactly what the
+  /// equivalence tests and bench gates pin with this switch.
+  bool use_progressive = false;
 };
 
 struct LinkageResult {
@@ -65,6 +80,12 @@ struct LinkageResult {
   /// Candidates the prefilter rejected without running the full kernels
   /// (0 when the cascade is off or the scorer declines to bound).
   size_t num_prefiltered = 0;
+  /// Full-kernel comparisons the progressive scheduler executed (0 when
+  /// matching ran the classic path).
+  size_t num_scheduled = 0;
+  /// Prefilter survivors the progressive scheduler left uncompared
+  /// because the comparison budget ran out (0 when unbudgeted).
+  size_t num_deferred = 0;
   double blocking_seconds = 0.0;
   double matching_seconds = 0.0;
   double clustering_seconds = 0.0;

@@ -174,8 +174,13 @@ class PairScorer {
   /// 0 <= f <= `bounds` elementwise (all features live in [0, 1]).
   /// Implementations must never under-bound — the matcher's comparison
   /// cascade skips the expensive kernels entirely when this bound cannot
-  /// reach threshold(). The default declines to bound (returns 1.0),
-  /// which disables prefiltering for scorers that do not implement it.
+  /// reach threshold(). The same bound is the progressive scheduler's
+  /// ranking key (progressive.h): candidates are compared in
+  /// bound-descending tiers, so a tighter bound both prunes more pairs
+  /// and front-loads more of the matches under a comparison budget. The
+  /// default declines to bound (returns 1.0), which disables
+  /// prefiltering — and flattens the progressive ranking to candidate
+  /// order — for scorers that do not implement it.
   virtual double ScoreUpperBound(const PairFeatures& bounds) const {
     (void)bounds;
     return 1.0;

@@ -153,35 +153,50 @@ std::vector<CandidatePair> MetaBlock(const Dataset& dataset,
   std::vector<CandidatePair> kept;
   if (graph.empty()) return kept;
 
-  if (config.pruning == MetaBlockingPruning::kWeightEdge) {
-    double mean = 0.0;
+  // The combined strategy applies both filters: an edge must clear the
+  // global mean weight (WEP) and rank in an endpoint's top-k (CNP).
+  const bool want_weight =
+      config.pruning == MetaBlockingPruning::kWeightEdge ||
+      config.pruning == MetaBlockingPruning::kWeightedCardinalityNode;
+  const bool want_top_k =
+      config.pruning == MetaBlockingPruning::kCardinalityNode ||
+      config.pruning == MetaBlockingPruning::kWeightedCardinalityNode;
+
+  double mean = 0.0;
+  if (want_weight) {
     for (const WeightedPair& wp : graph) mean += wp.weight;
     mean /= static_cast<double>(graph.size());
-    for (const WeightedPair& wp : graph) {
-      if (wp.weight >= mean) kept.push_back(wp.pair);
-    }
-  } else {
-    // CNP: each node retains its top-k incident edges; an edge survives if
-    // either endpoint retains it.
+  }
+
+  // CNP: each node retains its top-k incident edges; an edge survives if
+  // either endpoint retains it. Ties inside the top-k boundary break by
+  // edge index (== pair-sorted graph order), keeping the retained set
+  // deterministic.
+  std::vector<bool> retained;
+  if (want_top_k) {
     std::unordered_map<RecordIdx, std::vector<std::pair<double, size_t>>>
         incident;
     for (size_t e = 0; e < graph.size(); ++e) {
       incident[graph[e].pair.a].emplace_back(graph[e].weight, e);
       incident[graph[e].pair.b].emplace_back(graph[e].weight, e);
     }
-    std::vector<bool> retained(graph.size(), false);
+    retained.assign(graph.size(), false);
     for (auto& [node, list] : incident) {
       size_t k = std::min(config.node_top_k, list.size());
       std::partial_sort(list.begin(), list.begin() + static_cast<long>(k),
                         list.end(),
                         [](const auto& x, const auto& y) {
-                          return x.first > y.first;
+                          return x.first != y.first ? x.first > y.first
+                                                    : x.second < y.second;
                         });
       for (size_t i = 0; i < k; ++i) retained[list[i].second] = true;
     }
-    for (size_t e = 0; e < graph.size(); ++e) {
-      if (retained[e]) kept.push_back(graph[e].pair);
-    }
+  }
+
+  for (size_t e = 0; e < graph.size(); ++e) {
+    if (want_weight && graph[e].weight < mean) continue;
+    if (want_top_k && !retained[e]) continue;
+    kept.push_back(graph[e].pair);
   }
   std::sort(kept.begin(), kept.end());
   kept.erase(std::unique(kept.begin(), kept.end()), kept.end());

@@ -18,6 +18,14 @@ enum class MetaBlockingScheme {
 enum class MetaBlockingPruning {
   kWeightEdge,      ///< WEP: keep edges above the global mean weight
   kCardinalityNode, ///< CNP: keep each node's top-k edges
+  /// WEP ∩ CNP: keep an edge only when its weight clears the global mean
+  /// AND an endpoint ranks it among its top-k — cardinality- and
+  /// weight-aware pruning that bounds every record's comparison fan-out
+  /// while still dropping globally weak edges. Strictly a subset of
+  /// either strategy alone; the natural companion of a progressive
+  /// comparison budget (LinkerConfig::comparison_budget), which it
+  /// shrinks the candidate set for.
+  kWeightedCardinalityNode,
 };
 
 struct MetaBlockingConfig {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "bdi/synth/world.h"
 
@@ -91,6 +92,50 @@ TEST(MetaBlockTest, CardinalityNodePruningKeepsTopK) {
   std::vector<CandidatePair> kept = MetaBlock(dataset, blocks, config);
   // r0 keeps (0,2); r3 keeps its only edge (0,3); union -> both survive.
   EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(MetaBlockTest, WeightedCardinalityNodeIsIntersection) {
+  Dataset dataset = FourRecordDataset();
+  std::vector<Block> blocks = {Block{"k1", {0, 2}}, Block{"k2", {0, 2}},
+                               Block{"k3", {0, 3}}};
+  MetaBlockingConfig config;
+  config.scheme = MetaBlockingScheme::kCommonBlocks;
+  config.pruning = MetaBlockingPruning::kWeightedCardinalityNode;
+  config.node_top_k = 1;
+  std::vector<CandidatePair> kept = MetaBlock(dataset, blocks, config);
+  // CNP at k=1 keeps {(0,2), (0,3)}; WEP (mean 1.5) keeps {(0,2)}; the
+  // combined strategy keeps the intersection.
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], (CandidatePair{0, 2}));
+}
+
+TEST(MetaBlockTest, WeightedCardinalityNodeSubsetOfEitherOnWorld) {
+  synth::WorldConfig wc;
+  wc.seed = 29;
+  wc.num_entities = 150;
+  wc.num_sources = 8;
+  synth::SyntheticWorld world = synth::GenerateWorld(wc);
+  TokenBlocker blocker;
+  std::vector<Block> blocks = blocker.MakeBlocksAll(world.dataset, nullptr);
+  auto run = [&](MetaBlockingPruning pruning) {
+    MetaBlockingConfig config;
+    config.scheme = MetaBlockingScheme::kJaccard;
+    config.pruning = pruning;
+    config.node_top_k = 4;
+    std::vector<CandidatePair> kept = MetaBlock(world.dataset, blocks, config);
+    return std::set<CandidatePair>(kept.begin(), kept.end());
+  };
+  std::set<CandidatePair> wep = run(MetaBlockingPruning::kWeightEdge);
+  std::set<CandidatePair> cnp = run(MetaBlockingPruning::kCardinalityNode);
+  std::set<CandidatePair> both =
+      run(MetaBlockingPruning::kWeightedCardinalityNode);
+  ASSERT_FALSE(both.empty());
+  EXPECT_LT(both.size(), wep.size());
+  EXPECT_LT(both.size(), cnp.size());
+  for (const CandidatePair& pair : both) {
+    EXPECT_TRUE(wep.count(pair)) << "not in WEP";
+    EXPECT_TRUE(cnp.count(pair)) << "not in CNP";
+  }
 }
 
 TEST(MetaBlockTest, EmptyBlocksEmptyResult) {

@@ -5,8 +5,13 @@
 //   bdi stats     --in corpus.csv
 //   bdi integrate --in corpus.csv [--fusion vote|accu|accusim|truthfinder|
 //                 accucopy] [--top 5] [--labels labels.csv]
+//                 [--budget N|P%]   (progressive comparison budget)
 //                 [--save-dir saved/]   (persist the integrated view)
-//   bdi link      --in corpus.csv [--labels labels.csv]
+//   bdi link      --in corpus.csv [--labels labels.csv] [--budget N|P%]
+//                 (--budget caps the full-kernel comparisons matching may
+//                 spend: an absolute count like 25000 or a percentage like
+//                 25% of what an unbudgeted run would pay; the bound-ranked
+//                 scheduler spends it on the likeliest pairs first)
 //   bdi ask       --in corpus.csv --attribute weight --entity "Zorix QX-12"
 //                 [--load-dir saved/]   (reuse a saved integration)
 //   bdi evolve    --out-prefix snap --months 6 [--entities 300]
@@ -57,6 +62,7 @@
 #include "bdi/fusion/bias.h"
 #include "bdi/core/report_io.h"
 #include "bdi/linkage/linkage.h"
+#include "bdi/linkage/progressive.h"
 #include "bdi/model/dataset_io.h"
 #include "bdi/model/validate.h"
 #include "bdi/schema/attribute_stats.h"
@@ -94,6 +100,24 @@ bool GetIntFlag(const Flags& flags, const char* name, int fallback,
     return false;
   }
   *out = value.value();
+  return true;
+}
+
+// Pulls the --budget flag (comparison count or percentage, see
+// linkage::ParseComparisonBudget); absent means unlimited. A malformed
+// spec prints the error and returns false so the command can exit with a
+// usage failure before any pipeline work starts.
+bool GetBudgetFlag(const Flags& flags, double* out) {
+  *out = 0.0;
+  if (!flags.Has("budget")) return true;
+  Result<double> budget =
+      linkage::ParseComparisonBudget(flags.Get("budget", ""));
+  if (!budget.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 budget.status().ToString().c_str());
+    return false;
+  }
+  *out = budget.value();
   return true;
 }
 
@@ -161,11 +185,14 @@ int CmdStats(const Flags& flags) {
 
 int CmdIntegrate(const Flags& flags) {
   int top = 0;  // checked before the pipeline runs, not at print time
+  double budget = 0.0;
   if (!GetIntFlag(flags, "top", 5, &top)) return 2;
+  if (!GetBudgetFlag(flags, &budget)) return 2;
   Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
 
   core::IntegratorConfig config;
+  config.linker.comparison_budget = budget;
   std::string fusion = flags.Get("fusion", "accucopy");
   if (fusion == "vote") {
     config.fusion = core::FusionKind::kVote;
@@ -216,13 +243,23 @@ int CmdIntegrate(const Flags& flags) {
 }
 
 int CmdLink(const Flags& flags) {
+  double budget = 0.0;  // checked before the pipeline runs
+  if (!GetBudgetFlag(flags, &budget)) return 2;
   Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
-  linkage::Linker linker(&dataset.value(), {});
+  linkage::LinkerConfig config;
+  config.comparison_budget = budget;
+  linkage::Linker linker(&dataset.value(), config);
   linkage::LinkageResult result = linker.Run();
   std::printf("%zu records -> %zu entities (%zu candidates, %zu matches)\n",
               dataset->num_records(), result.clusters.num_clusters,
               result.num_candidates, result.num_matches);
+  if (budget > 0.0) {
+    std::printf(
+        "budget %s: %zu comparisons spent, %zu candidates deferred\n",
+        flags.Get("budget", "").c_str(), result.num_scheduled,
+        result.num_deferred);
+  }
   if (flags.Has("labels")) {
     Result<std::vector<EntityId>> labels =
         ReadLabelsCsv(flags.Get("labels", ""));
