@@ -1,6 +1,8 @@
 // E19 — Incremental end-to-end integration (the velocity future-work item
 // implemented): refreshing the integrated view per arriving batch vs
-// re-running the whole pipeline, at matching quality.
+// re-running the whole pipeline, at matching quality. With `--json`,
+// writes BENCH_incremental_integration.json with the per-batch refresh
+// and from-scratch costs.
 #include "bdi/common/string_util.h"
 #include "bdi/common/table.h"
 #include "bdi/common/timer.h"
@@ -11,7 +13,9 @@
 using namespace bdi;
 using namespace bdi::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMain bench_main("incremental_integration", argc, argv);
+  bench::JsonReporter& json = bench_main.json();
   bench::Banner("E19", "incremental vs batch end-to-end integration",
                 "per-batch refresh cost stays well below the growing "
                 "from-scratch cost; fusion precision matches batch within "
@@ -60,8 +64,12 @@ int main() {
   IncrementalIntegrator incremental(&live);
   WallTimer timer;
   incremental.Refresh();
+  double bootstrap_seconds = timer.ElapsedSeconds();
+  json.Add("bootstrap", bootstrap_seconds, 1,
+           static_cast<double>(live.num_records()) /
+               std::max(1e-9, bootstrap_seconds));
   std::printf("bootstrap: %zu records in %.1f ms\n\n", live.num_records(),
-              timer.ElapsedMillis());
+              bootstrap_seconds * 1000.0);
 
   auto precision = [&](const IntegrationReport& report) {
     fusion::PipelineMappings mappings = fusion::MapPipelineToTruth(
@@ -83,6 +91,11 @@ int main() {
     IntegrationReport scratch = Integrator().Run(live);
     double batch_ms = timer.ElapsedMillis();
 
+    double records_now = static_cast<double>(live.num_records());
+    json.Add("refresh.batch" + std::to_string(batch), refresh_ms / 1000.0,
+             1, records_now / std::max(1e-9, refresh_ms / 1000.0));
+    json.Add("scratch.batch" + std::to_string(batch), batch_ms / 1000.0, 1,
+             records_now / std::max(1e-9, batch_ms / 1000.0));
     table.AddRow({std::to_string(batch), std::to_string(live.num_records()),
                   FormatDouble(refresh_ms, 1), FormatDouble(batch_ms, 1),
                   FormatDouble(batch_ms / std::max(0.1, refresh_ms), 1) +

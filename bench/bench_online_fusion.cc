@@ -2,10 +2,13 @@
 // accuracy order with early termination answers most items after a
 // fraction of the probes a batch resolver needs, with nearly its
 // precision. The confidence bar trades probes against quality.
+// With `--json`, writes BENCH_online_fusion.json with the per-bar resolve
+// cost and the probe/precision trade-off at each confidence bar.
 #include <map>
 
 #include "bdi/common/string_util.h"
 #include "bdi/common/table.h"
+#include "bdi/common/timer.h"
 #include "bdi/fusion/evaluation.h"
 #include "bdi/fusion/online.h"
 #include "bench_util.h"
@@ -13,7 +16,9 @@
 using namespace bdi;
 using namespace bdi::fusion;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMain bench_main("online_fusion", argc, argv);
+  bench::JsonReporter& json = bench_main.json();
   bench::Banner("E14", "online fusion: probes vs precision",
                 "precision approaches the batch resolver as the confidence "
                 "bar rises, while the probe fraction stays well below 1; "
@@ -36,8 +41,13 @@ int main() {
   for (double bar : {0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
     OnlineFusionConfig online_config;
     online_config.confidence_stop = bar;
+    WallTimer resolve_timer;
     OnlineFusionResult online =
         ResolveOnline(db, batch.source_accuracy, online_config).value();
+    double resolve_seconds = resolve_timer.ElapsedSeconds();
+    json.Add("resolve.bar" + FormatDouble(bar, 2), resolve_seconds, 1,
+             static_cast<double>(db.items().size()) /
+                 std::max(1e-9, resolve_seconds));
     FusionResult as_result;
     as_result.chosen = online.chosen;
     as_result.confidence = online.confidence;
@@ -50,6 +60,7 @@ int main() {
                                4)});
   }
   table.Print("Figure E14: probes vs precision across confidence bars");
+  json.Note("batch_precision", FormatDouble(batch_quality.precision, 4));
 
   // Probe distribution at the default bar: most items settle fast.
   OnlineFusionResult online =

@@ -1,0 +1,234 @@
+// E22 — Resident serving under mixed query/update load: the EntityStore
+// publishes immutable snapshots (RCU-style swap), so reader throughput
+// should barely move when a writer is concurrently applying update
+// batches, and no query should ever wait on a batch. Reports sustained
+// QPS and tail latency for a query-only phase and a mixed phase, plus the
+// per-batch apply cost. With `--json`, writes BENCH_serving.json.
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bdi/common/string_util.h"
+#include "bdi/common/table.h"
+#include "bdi/common/timer.h"
+#include "bdi/serve/snapshot.h"
+#include "bdi/serve/store.h"
+#include "bench_util.h"
+
+using namespace bdi;
+using namespace bdi::serve;
+
+namespace {
+
+/// Per-phase latency record: merged, sorted, percentiled.
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  size_t at = static_cast<size_t>(p * static_cast<double>(sorted_us.size()));
+  return sorted_us[std::min(at, sorted_us.size() - 1)];
+}
+
+struct PhaseResult {
+  double wall_seconds = 0.0;
+  size_t queries = 0;
+  std::vector<double> latencies_us;  // sorted after the run
+
+  double qps() const {
+    return static_cast<double>(queries) / std::max(1e-9, wall_seconds);
+  }
+};
+
+/// Runs `readers` query threads against the store until `stop` (mixed
+/// phase) or until each thread drained `per_thread` queries (query-only
+/// phase, stop == nullptr).
+PhaseResult QueryPhase(const EntityStore& store,
+                       const std::vector<std::string>& queries,
+                       size_t readers, size_t per_thread,
+                       std::atomic<bool>* stop) {
+  std::vector<std::vector<double>> latencies(readers);
+  std::vector<size_t> counts(readers, 0);
+  WallTimer phase_timer;
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (size_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      size_t i = t;
+      while (stop != nullptr ? !stop->load(std::memory_order_relaxed)
+                             : counts[t] < per_thread) {
+        const std::string& query = queries[i++ % queries.size()];
+        WallTimer query_timer;
+        std::shared_ptr<const Snapshot> snapshot = store.snapshot();
+        volatile size_t sink = snapshot->Find(query, 5).size();
+        (void)sink;
+        latencies[t].push_back(query_timer.ElapsedMillis() * 1000.0);
+        ++counts[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  PhaseResult result;
+  result.wall_seconds = phase_timer.ElapsedSeconds();
+  for (size_t t = 0; t < readers; ++t) {
+    result.queries += counts[t];
+    result.latencies_us.insert(result.latencies_us.end(),
+                               latencies[t].begin(), latencies[t].end());
+  }
+  std::sort(result.latencies_us.begin(), result.latencies_us.end());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchMain bench_main("serving", argc, argv);
+  bench::JsonReporter& json = bench_main.json();
+  bench::Banner("E22", "snapshot-swapped serving under mixed load",
+                "mixed-load QPS stays close to query-only QPS (readers "
+                "never block on the writer); p99 latency grows modestly; "
+                "every batch publishes a fresh snapshot version");
+
+  synth::WorldConfig config;
+  config.seed = 2033;
+  config.num_entities = 400;
+  config.num_sources = 10;
+  synth::SyntheticWorld world = synth::GenerateWorld(config);
+  const size_t total = world.dataset.num_records();
+  const size_t bootstrap_count = (total * 7) / 10;
+
+  // Split: bootstrap corpus for Create, the rest as update batches.
+  Dataset bootstrap;
+  std::vector<std::vector<UpdateRecord>> batches;
+  {
+    std::vector<UpdateRecord> pending;
+    for (size_t r = 0; r < total; ++r) {
+      const Record& record =
+          world.dataset.record(static_cast<RecordIdx>(r));
+      if (r < bootstrap_count) {
+        while (bootstrap.num_sources() <=
+               static_cast<size_t>(record.source)) {
+          bootstrap.AddSource(
+              world.dataset
+                  .source(static_cast<SourceId>(bootstrap.num_sources()))
+                  .name);
+        }
+        std::vector<std::pair<std::string, std::string>> fields;
+        for (const Field& field : record.fields) {
+          fields.emplace_back(world.dataset.attr_name(field.attr),
+                              field.value);
+        }
+        bootstrap.AddRecord(record.source, fields);
+      } else {
+        UpdateRecord update;
+        update.source = world.dataset.source(record.source).name;
+        for (const Field& field : record.fields) {
+          update.fields.emplace_back(world.dataset.attr_name(field.attr),
+                                     field.value);
+        }
+        pending.push_back(std::move(update));
+        if (pending.size() == 100) {
+          batches.push_back(std::move(pending));
+          pending.clear();
+        }
+      }
+    }
+    if (!pending.empty()) batches.push_back(std::move(pending));
+  }
+
+  StoreConfig store_config;
+  store_config.num_shards = 8;
+  WallTimer bootstrap_timer;
+  Result<std::unique_ptr<EntityStore>> created =
+      EntityStore::Create(std::move(bootstrap), store_config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "store bootstrap failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  EntityStore& store = *created.value();
+  double bootstrap_seconds = bootstrap_timer.ElapsedSeconds();
+  std::printf("bootstrap: %zu records -> %zu entities in %.1f ms; "
+              "%zu update batches queued\n\n",
+              store.snapshot()->num_records(),
+              store.snapshot()->num_entities(), bootstrap_seconds * 1000.0,
+              batches.size());
+
+  // Query pool: representative display values spread over the corpus.
+  std::vector<std::string> queries;
+  for (size_t r = 0; r < bootstrap_count; r += bootstrap_count / 24 + 1) {
+    const Record& record = world.dataset.record(static_cast<RecordIdx>(r));
+    if (!record.fields.empty()) queries.push_back(record.fields[0].value);
+  }
+
+  const size_t readers = std::min<size_t>(bench_main.threads(), 8);
+
+  // Phase 1: query-only baseline.
+  PhaseResult query_only =
+      QueryPhase(store, queries, readers, 4000, nullptr);
+
+  // Phase 2: the same readers free-run while the writer applies every
+  // queued batch; the phase ends when the writer is done.
+  std::atomic<bool> stop{false};
+  double apply_ms_total = 0.0;
+  double apply_ms_max = 0.0;
+  PhaseResult mixed;
+  {
+    std::thread writer([&] {
+      for (const std::vector<UpdateRecord>& batch : batches) {
+        Result<BatchResult> applied = store.ApplyBatch(batch);
+        if (!applied.ok()) {
+          std::fprintf(stderr, "batch failed: %s\n",
+                       applied.status().ToString().c_str());
+          break;
+        }
+        apply_ms_total += applied->apply_ms;
+        apply_ms_max = std::max(apply_ms_max, applied->apply_ms);
+      }
+      stop.store(true, std::memory_order_relaxed);
+    });
+    mixed = QueryPhase(store, queries, readers, 0, &stop);
+    writer.join();
+  }
+
+  TextTable table({"phase", "queries", "wall s", "QPS", "p50 us", "p99 us"});
+  auto row = [&](const char* phase, PhaseResult& result) {
+    table.AddRow({phase, std::to_string(result.queries),
+                  FormatDouble(result.wall_seconds, 2),
+                  FormatDouble(result.qps(), 0),
+                  FormatDouble(Percentile(result.latencies_us, 0.50), 1),
+                  FormatDouble(Percentile(result.latencies_us, 0.99), 1)});
+  };
+  row("query-only", query_only);
+  row("mixed", mixed);
+  table.Print("Figure E22: serving throughput, " +
+              std::to_string(readers) + " reader threads");
+  std::printf(
+      "writer: %zu batches, %.1f ms/batch mean, %.1f ms max; final "
+      "snapshot v%llu with %zu entities\n",
+      batches.size(), apply_ms_total / std::max<size_t>(1, batches.size()),
+      apply_ms_max,
+      static_cast<unsigned long long>(store.snapshot()->version()),
+      store.snapshot()->num_entities());
+
+  json.Add("query_only", query_only.wall_seconds, readers,
+           query_only.qps());
+  json.Add("mixed", mixed.wall_seconds, readers, mixed.qps());
+  json.Add("batch_apply", apply_ms_total / 1000.0, 1,
+           static_cast<double>(batches.size()) /
+               std::max(1e-9, apply_ms_total / 1000.0));
+  json.Note("query_only_p50_us",
+            FormatDouble(Percentile(query_only.latencies_us, 0.50), 2));
+  json.Note("query_only_p99_us",
+            FormatDouble(Percentile(query_only.latencies_us, 0.99), 2));
+  json.Note("mixed_p50_us",
+            FormatDouble(Percentile(mixed.latencies_us, 0.50), 2));
+  json.Note("mixed_p99_us",
+            FormatDouble(Percentile(mixed.latencies_us, 0.99), 2));
+  json.Note("batch_apply_ms_max", FormatDouble(apply_ms_max, 2));
+  json.Note("qps_retention_mixed_vs_query_only",
+            FormatDouble(mixed.qps() / std::max(1e-9, query_only.qps()), 3));
+  return 0;
+}

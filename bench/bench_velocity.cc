@@ -1,8 +1,11 @@
 // E11 — Velocity: the corpus evolves (pages/sources die and appear, values
 // drift, sources refresh with lag). Integrating once and keeping the
 // result stale decays steadily; re-integrating each snapshot holds quality.
+// With `--json`, writes BENCH_velocity.json with the per-month fresh
+// re-integration cost and the final stale/fresh precision gap.
 #include "bdi/common/string_util.h"
 #include "bdi/common/table.h"
+#include "bdi/common/timer.h"
 #include "bdi/core/integrator.h"
 #include "bdi/fusion/evaluation.h"
 #include "bench_util.h"
@@ -10,7 +13,9 @@
 using namespace bdi;
 using namespace bdi::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMain bench_main("velocity", argc, argv);
+  bench::JsonReporter& json = bench_main.json();
   bench::Banner("E11", "integration quality over an evolving corpus",
                 "stale fusion precision decays monotonically with drift; "
                 "fresh re-integration stays level; source/page survival "
@@ -40,15 +45,25 @@ int main() {
 
   TextTable table({"month", "sources alive", "pages", "stale precision",
                    "fresh precision"});
+  double stale_precision_last = 0.0;
+  double fresh_precision_last = 0.0;
   for (int month = 0; month <= 8; ++month) {
     synth::SyntheticWorld now = simulator.Snapshot();
     fusion::FusionQuality stale = fusion::EvaluateFusionMapped(
         report0.claims, report0.fusion, mappings0, now.truth);
+    WallTimer fresh_timer;
     IntegrationReport fresh_report = integrator.Run(now.dataset);
+    double fresh_seconds = fresh_timer.ElapsedSeconds();
+    json.Add("fresh_integrate.month" + std::to_string(month), fresh_seconds,
+             1,
+             static_cast<double>(now.dataset.num_records()) /
+                 std::max(1e-9, fresh_seconds));
     fusion::PipelineMappings fresh_mappings = fusion::MapPipelineToTruth(
         fresh_report.linkage.clusters, fresh_report.schema, now.truth);
     fusion::FusionQuality fresh = fusion::EvaluateFusionMapped(
         fresh_report.claims, fresh_report.fusion, fresh_mappings, now.truth);
+    stale_precision_last = stale.precision;
+    fresh_precision_last = fresh.precision;
     table.AddRow({std::to_string(month),
                   std::to_string(now.dataset.num_sources()) + "/" +
                       std::to_string(sources0),
@@ -61,5 +76,7 @@ int main() {
   std::printf(
       "note: snapshot-0 had %zu pages; churn both retires and adds pages.\n",
       pages0);
+  json.Note("final_stale_precision", FormatDouble(stale_precision_last, 4));
+  json.Note("final_fresh_precision", FormatDouble(fresh_precision_last, 4));
   return 0;
 }

@@ -7,6 +7,9 @@
 
 namespace bdi::core {
 
+IncrementalIntegrator::IncrementalIntegrator(Dataset* dataset)
+    : IncrementalIntegrator(dataset, Config()) {}
+
 IncrementalIntegrator::IncrementalIntegrator(Dataset* dataset,
                                              const Config& config)
     : dataset_(dataset), config_(config) {
@@ -38,7 +41,8 @@ size_t IncrementalIntegrator::Refresh() {
   // (the cheap membership check happens on the interned attr universe).
   schema_refreshed_ = false;
   size_t attrs_now = dataset_->AllSourceAttrs().size();
-  if (report_.schema.clusters.empty() || attrs_now != known_attr_count_) {
+  if (report_.schema.clusters.empty() || attrs_now != known_attr_count_ ||
+      config_.realign_schema_each_refresh) {
     AlignSchema();
   }
 

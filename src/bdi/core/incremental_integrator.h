@@ -26,11 +26,24 @@ class IncrementalIntegrator {
   struct Config {
     IntegratorConfig integrator;
     linkage::IncrementalLinker::Config linker;
+    /// Re-align the mediated schema on *every* Refresh() instead of only
+    /// when new source attributes arrive. The lazy default means the
+    /// final schema can depend on which batch last triggered alignment;
+    /// with this on, the state after any sequence of Refresh() calls is
+    /// bitwise-identical to one bootstrap over the same records — the
+    /// invariant the serving layer's snapshot equivalence relies on.
+    /// Costs a full alignment pass per batch (cheap next to matching).
+    bool realign_schema_each_refresh = false;
   };
 
   /// `dataset` must outlive the integrator and contain the bootstrap
   /// corpus; Refresh() processes it (and every later append).
-  IncrementalIntegrator(Dataset* dataset, const Config& config = {});
+  IncrementalIntegrator(Dataset* dataset, const Config& config);
+
+  /// Default-configured form (an overload, not a default argument: the
+  /// nested Config's member initializers are not usable as a default
+  /// argument inside the enclosing class).
+  explicit IncrementalIntegrator(Dataset* dataset);
 
   IncrementalIntegrator(const IncrementalIntegrator&) = delete;
   IncrementalIntegrator& operator=(const IncrementalIntegrator&) = delete;
@@ -47,6 +60,10 @@ class IncrementalIntegrator {
   bool schema_refreshed() const { return schema_refreshed_; }
 
   size_t num_integrated_records() const { return linker_->num_indexed(); }
+
+  /// The underlying incremental linker — the serving layer adjusts its
+  /// per-batch budgets (set_comparison_budget / set_budget_ms) at runtime.
+  linkage::IncrementalLinker& linker() { return *linker_; }
 
  private:
   void AlignSchema();

@@ -149,14 +149,14 @@ size_t IncrementalLinker::AddNewRecords() {
   size_t comparisons = pairs.size();
   std::vector<double> scores(pairs.size());
   std::vector<uint8_t> scored;
-  if (config_.comparison_budget > 0.0) {
+  if (config_.comparison_budget > 0.0 || config_.budget_ms > 0.0) {
     // Budgeted batch: bound-ranked scheduling across the whole update,
     // serial (the incremental path is the serving layer's latency-bound
     // call; its batches are small and the caller owns threading).
     scored.assign(pairs.size(), 0);
     last_progressive_ = ScorePairsProgressive(
         extractor_, *scorer_, pairs.data(), pairs.size(),
-        config_.comparison_budget, config_.use_prefilter,
+        config_.comparison_budget, config_.budget_ms, config_.use_prefilter,
         /*num_threads=*/1, scores.data(), scored.data());
   } else {
     // One grow-only slab serves the whole batch — the same comparison

@@ -47,6 +47,12 @@ class IncrementalLinker {
     /// per update batch. With it unlimited the edge set is bitwise
     /// identical to the classic path.
     double comparison_budget = 0.0;
+    /// Wall-clock deadline per AddNewRecords() batch, in milliseconds
+    /// (LinkerConfig::budget_ms semantics: 0 = none, positive routes the
+    /// batch through the progressive scheduler and stops comparing at
+    /// round boundaries once the deadline passes). The serving layer's
+    /// per-batch latency bound; composable with `comparison_budget`.
+    double budget_ms = 0.0;
   };
 
   /// `dataset` must outlive the linker and already contain the initial
@@ -85,6 +91,11 @@ class IncrementalLinker {
   void set_comparison_budget(double comparison_budget) {
     config_.comparison_budget = comparison_budget;
   }
+
+  /// Changes the wall-clock deadline for subsequent AddNewRecords() calls
+  /// (Config::budget_ms semantics). Like the comparison budget, a
+  /// serving-time knob.
+  void set_budget_ms(double budget_ms) { config_.budget_ms = budget_ms; }
 
  private:
   std::vector<RecordIdx> CandidatesFor(RecordIdx idx) const;

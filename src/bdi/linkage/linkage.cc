@@ -183,7 +183,8 @@ LinkageResult Linker::Run() {
     const bool batch = config_.use_batch;
     const double threshold = scorer_->threshold();
     const bool metrics_on = metrics::Enabled();
-    if (config_.use_progressive || config_.comparison_budget > 0.0) {
+    if (config_.use_progressive || config_.comparison_budget > 0.0 ||
+        config_.budget_ms > 0.0) {
       // Progressive path: rank every candidate by its score upper bound
       // and spend the comparison budget on the highest-bound tiers first
       // (ScorePairsProgressive). Budget-deferred candidates stay
@@ -192,8 +193,8 @@ LinkageResult Linker::Run() {
       std::vector<uint8_t> scored(candidates.size(), 0);
       ProgressiveStats stats = ScorePairsProgressive(
           extractor_, *scorer_, candidates.data(), candidates.size(),
-          config_.comparison_budget, prefilter, config_.num_threads,
-          scores.data(), scored.data());
+          config_.comparison_budget, config_.budget_ms, prefilter,
+          config_.num_threads, scores.data(), scored.data());
       result.num_prefiltered = stats.num_skipped;
       result.num_scheduled = stats.num_scheduled;
       result.num_deferred = stats.num_deferred;

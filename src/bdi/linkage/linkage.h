@@ -60,6 +60,16 @@ struct LinkerConfig {
   /// so the match set at a small budget is a subset of the match set at a
   /// larger one, and recall is anytime rather than all-or-nothing.
   double comparison_budget = 0.0;
+  /// Wall-clock deadline for the pairwise matching stage, in milliseconds
+  /// (0 = none). Any positive value routes matching through the
+  /// progressive scheduler, which checks the deadline at every
+  /// scheduling-round boundary and defers the remaining comparisons when
+  /// it expires — the serving layer's per-batch latency bound. Composable
+  /// with `comparison_budget`: whichever limit is hit first stops the
+  /// run. Unlike a comparison budget, where the run stops depends on wall
+  /// time, so deadline-stopped match sets are reproducible in *form*
+  /// (a prefix of the deterministic schedule) but not in size.
+  double budget_ms = 0.0;
   /// Forces the progressive scheduler even with an unlimited budget
   /// (comparison_budget == 0). With no budget the scheduler's match set
   /// is bitwise identical to the classic slab path — scheduling changes

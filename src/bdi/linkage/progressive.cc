@@ -9,6 +9,7 @@
 
 #include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
+#include "bdi/common/timer.h"
 #include "bdi/linkage/batch.h"
 
 namespace bdi::linkage {
@@ -30,6 +31,12 @@ metrics::Counter& BudgetSpentCounter() {
 metrics::Counter& BudgetStoppedCounter() {
   static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
       "bdi.linkage.progressive.budget_stopped");
+  return *counter;
+}
+
+metrics::Counter& DeadlineStoppedCounter() {
+  static metrics::Counter* counter = metrics::Registry::Get().RegisterCounter(
+      "bdi.linkage.progressive.deadline_stopped");
   return *counter;
 }
 
@@ -144,9 +151,13 @@ ProgressiveStats ScorePairsProgressive(const FeatureExtractor& extractor,
                                        const PairScorer& scorer,
                                        const CandidatePair* pairs, size_t n,
                                        double comparison_budget,
-                                       bool use_prefilter,
+                                       double budget_ms, bool use_prefilter,
                                        size_t num_threads, double* scores,
                                        uint8_t* scored) {
+  // The deadline clock starts at entry so the bound pass and scheduling
+  // count against it — a serving batch's latency budget covers the whole
+  // call, not just the kernel rounds.
+  WallTimer deadline_timer;
   ProgressiveStats stats;
   if (n == 0) return stats;
   const double threshold = scorer.threshold();
@@ -230,7 +241,7 @@ ProgressiveStats ScorePairsProgressive(const FeatureExtractor& extractor,
     }
   };
 
-  if (stats.budget >= stats.num_survivors) {
+  if (stats.budget >= stats.num_survivors && budget_ms <= 0.0) {
     // Pass 3, unbudgeted: every survivor gets its full kernels, one
     // parallel sweep. Order is irrelevant to the output — all slots are
     // scored — so this is bitwise identical to the classic path.
@@ -272,6 +283,13 @@ ProgressiveStats ScorePairsProgressive(const FeatureExtractor& extractor,
     size_t spent = 0;
     size_t round_pairs = kProgressiveRoundPairs;
     while (spent < stats.budget && cursor < stats.num_survivors) {
+      // Wall-clock deadline, checked at round boundaries only: a round in
+      // flight always completes, so the scored set is a whole-round prefix
+      // of the deterministic schedule.
+      if (budget_ms > 0.0 && deadline_timer.ElapsedMillis() >= budget_ms) {
+        stats.deadline_stopped = true;
+        break;
+      }
       round.clear();
       size_t round_limit = std::min(round_pairs, stats.budget - spent);
       round_pairs = std::min(round_pairs * 2, kProgressiveRoundPairsMax);
@@ -312,7 +330,7 @@ ProgressiveStats ScorePairsProgressive(const FeatureExtractor& extractor,
   }
   stats.num_deferred =
       stats.num_survivors - stats.num_scheduled - stats.num_closure_pruned;
-  stats.budget_stopped = stats.num_deferred > 0;
+  stats.budget_stopped = stats.num_deferred > 0 && !stats.deadline_stopped;
 
   // Pass 4 (serial): anytime accounting — where in the comparison stream
   // the matches surfaced.
@@ -335,6 +353,7 @@ ProgressiveStats ScorePairsProgressive(const FeatureExtractor& extractor,
     TiersCounter().Add(stats.num_tiers);
     BudgetSpentCounter().Add(stats.num_scheduled);
     if (stats.budget_stopped) BudgetStoppedCounter().Add();
+    if (stats.deadline_stopped) DeadlineStoppedCounter().Add();
     MatchesFoundCounter().Add(stats.num_matches);
     ClosurePrunedCounter().Add(stats.num_closure_pruned);
     if (use_prefilter) {

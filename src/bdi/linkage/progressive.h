@@ -105,6 +105,9 @@ struct ProgressiveStats {
   /// True when the budget stopped the run before every survivor was
   /// compared (num_deferred > 0).
   bool budget_stopped = false;
+  /// True when the wall-clock deadline (`budget_ms`) stopped the run
+  /// before the comparison budget or the survivor stream was exhausted.
+  bool deadline_stopped = false;
   /// Matches among the scheduled comparisons (score >= threshold).
   size_t num_matches = 0;
 };
@@ -124,6 +127,12 @@ struct ProgressiveStats {
 /// dispatch level. Under any budget the scored set — and so the match
 /// set — is a subset of the scored set at every larger budget.
 /// `comparison_budget` follows the ResolveComparisonBudget encoding;
+/// `budget_ms` (0 = no deadline) is a wall-clock deadline measured from
+/// entry and checked at every scheduling-round boundary — when it
+/// expires, the remaining survivors are deferred exactly as if a smaller
+/// comparison budget had cut the schedule there, so a deadline-stopped
+/// match set is always *some* prefix of the deterministic schedule
+/// (which comparisons ran depends on wall time, but never their scores);
 /// `use_prefilter` keeps the cascade's skip rule (off = every pair is a
 /// survivor, bounds are used for ordering only); `num_threads` bounds
 /// the parallel bound and kernel passes (0 = shared executor pool, 1 =
@@ -132,7 +141,7 @@ ProgressiveStats ScorePairsProgressive(const FeatureExtractor& extractor,
                                        const PairScorer& scorer,
                                        const CandidatePair* pairs, size_t n,
                                        double comparison_budget,
-                                       bool use_prefilter,
+                                       double budget_ms, bool use_prefilter,
                                        size_t num_threads, double* scores,
                                        uint8_t* scored);
 

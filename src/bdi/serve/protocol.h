@@ -1,0 +1,76 @@
+#ifndef BDI_SERVE_PROTOCOL_H_
+#define BDI_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/serve/wire.h"
+
+namespace bdi::serve {
+
+/// Upper bound on the `k` parameter of find requests; larger values are
+/// rejected rather than clamped so clients learn about the limit.
+inline constexpr int kMaxFindK = 100;
+
+/// Upper bound on records in one update batch. Bounds per-request memory;
+/// clients stream larger loads as several batches.
+inline constexpr size_t kMaxBatchRecords = 100000;
+
+/// Request verbs of the serving protocol (docs/SERVING.md).
+enum class RequestOp {
+  /// Look up one attribute value of the best-matching entity.
+  kAsk,
+  /// Rank the top-k entities matching a free-text query.
+  kFind,
+  /// Report store statistics (snapshot version, entities, records).
+  kStats,
+  /// Apply a batch of new source records through incremental linkage.
+  kUpdate,
+  /// Drain in-flight work and stop the serving loop.
+  kShutdown,
+};
+
+/// One new record inside an update request: the claiming source and its
+/// attribute -> value field map (field order preserved as sent).
+struct UpdateRecord {
+  /// Source identifier (e.g. a site name); never empty after validation.
+  std::string source;
+  /// Attribute/value pairs; at least one after validation.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// One validated wire request. Only the members relevant to `op` are
+/// populated; everything else keeps its default.
+struct Request {
+  /// The verb.
+  RequestOp op = RequestOp::kStats;
+  /// Free-text entity query (ask, find).
+  std::string entity;
+  /// Attribute name to answer (ask).
+  std::string attribute;
+  /// Number of entities to return (find); in [1, kMaxFindK].
+  int k = 5;
+  /// Client-chosen request id echoed in the response, or -1 when absent.
+  /// Lets clients correlate pipelined responses with requests.
+  long long id = -1;
+  /// New records to ingest (update).
+  std::vector<UpdateRecord> records;
+};
+
+/// Parses and validates one request line. Strict: unknown `op` values,
+/// unknown keys, wrong member types, out-of-range `k`, empty entity
+/// queries, and empty/oversized update batches are all InvalidArgument —
+/// the serving loop never aborts on client input.
+Result<Request> ParseRequest(std::string_view line);
+
+/// Serializes a protocol error as a one-line JSON response
+/// `{"ok":false,"id":<id>,"error":<message>}` (the id member is omitted
+/// when `id` < 0).
+std::string EncodeError(long long id, std::string_view message);
+
+}  // namespace bdi::serve
+
+#endif  // BDI_SERVE_PROTOCOL_H_

@@ -1,0 +1,343 @@
+#include "bdi/serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "bdi/common/executor.h"
+#include "bdi/common/metrics.h"
+#include "bdi/common/timer.h"
+
+namespace bdi::serve {
+
+namespace {
+
+metrics::Counter& QueriesCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.serve.queries");
+  return *counter;
+}
+
+metrics::Counter& ErrorsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.serve.errors");
+  return *counter;
+}
+
+metrics::Histogram& QueryLatencyHistogram() {
+  static metrics::Histogram* histogram =
+      metrics::Registry::Get().RegisterHistogram(
+          "bdi.serve.query.latency_us",
+          {50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+           50000.0, 250000.0});
+  return *histogram;
+}
+
+metrics::Gauge& InflightGauge() {
+  static metrics::Gauge* gauge =
+      metrics::Registry::Get().RegisterGauge("bdi.serve.queries.inflight");
+  return *gauge;
+}
+
+metrics::Histogram& BurstSizeHistogram() {
+  static metrics::Histogram* histogram =
+      metrics::Registry::Get().RegisterHistogram(
+          "bdi.serve.burst.size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+                                   128.0});
+  return *histogram;
+}
+
+metrics::Histogram& BatchLagHistogram() {
+  static metrics::Histogram* histogram =
+      metrics::Registry::Get().RegisterHistogram(
+          "bdi.serve.batch.lag_ms", {1.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                                     250.0, 500.0, 1000.0, 5000.0});
+  return *histogram;
+}
+
+metrics::Counter& ConnectionsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.serve.connections");
+  return *counter;
+}
+
+void AppendIdAndVersion(std::string* out, long long id, uint64_t version) {
+  if (id >= 0) {
+    *out += ",\"id\":";
+    *out += std::to_string(id);
+  }
+  *out += ",\"v\":";
+  *out += std::to_string(version);
+}
+
+void AppendSupport(std::string* out, const std::vector<ServedClaim>& support) {
+  *out += ",\"support\":[";
+  for (size_t i = 0; i < support.size(); ++i) {
+    if (i > 0) *out += ",";
+    *out += "{\"source\":";
+    AppendJsonString(out, support[i].source);
+    *out += ",\"value\":";
+    AppendJsonString(out, support[i].value);
+    *out += ",\"agrees\":";
+    *out += support[i].agrees ? "true" : "false";
+    *out += "}";
+  }
+  *out += "]";
+}
+
+/// True for request verbs that only read the published snapshot — the
+/// ones a stream burst may answer in parallel.
+bool IsReadOnly(RequestOp op) {
+  return op == RequestOp::kAsk || op == RequestOp::kFind ||
+         op == RequestOp::kStats;
+}
+
+}  // namespace
+
+Server::Server(EntityStore* store, const ServerConfig& config)
+    : store_(store), config_(config) {}
+
+std::string Server::Dispatch(const Request& request) {
+  // One snapshot acquire per request: the whole query runs against this
+  // immutable version, whatever the writer publishes meanwhile.
+  std::shared_ptr<const Snapshot> snapshot = store_->snapshot();
+  switch (request.op) {
+    case RequestOp::kAsk: {
+      AskAnswer answer = snapshot->Ask(request.attribute, request.entity);
+      std::string out = "{\"ok\":true";
+      AppendIdAndVersion(&out, request.id, snapshot->version());
+      out += ",\"found\":";
+      out += answer.found() ? "true" : "false";
+      if (answer.found()) {
+        out += ",\"entity\":";
+        AppendJsonString(&out, answer.entity_name);
+        out += ",\"cluster\":" + std::to_string(answer.cluster);
+        out += ",\"attribute\":";
+        AppendJsonString(&out, answer.attribute);
+        out += ",\"value\":";
+        AppendJsonString(&out, answer.value);
+        out += ",\"confidence\":";
+        AppendJsonNumber(&out, answer.confidence);
+        out += ",\"entity_match\":";
+        AppendJsonNumber(&out, answer.entity_match);
+        out += ",\"attribute_match\":";
+        AppendJsonNumber(&out, answer.attribute_match);
+        AppendSupport(&out, answer.support);
+      }
+      out += "}";
+      return out;
+    }
+    case RequestOp::kFind: {
+      std::vector<FindHit> hits =
+          snapshot->Find(request.entity, static_cast<size_t>(request.k));
+      std::string out = "{\"ok\":true";
+      AppendIdAndVersion(&out, request.id, snapshot->version());
+      out += ",\"hits\":[";
+      for (size_t i = 0; i < hits.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "{\"cluster\":" + std::to_string(hits[i].cluster);
+        out += ",\"score\":";
+        AppendJsonNumber(&out, hits[i].score);
+        out += ",\"text\":";
+        AppendJsonString(&out, hits[i].text);
+        out += "}";
+      }
+      out += "]}";
+      return out;
+    }
+    case RequestOp::kStats: {
+      std::string out = "{\"ok\":true";
+      AppendIdAndVersion(&out, request.id, snapshot->version());
+      out += ",\"entities\":" + std::to_string(snapshot->num_entities());
+      out += ",\"records\":" + std::to_string(snapshot->num_records());
+      out += ",\"shards\":" + std::to_string(snapshot->num_shards());
+      out += ",\"batches\":" + std::to_string(store_->num_batches());
+      out += "}";
+      return out;
+    }
+    case RequestOp::kUpdate: {
+      WallTimer lag;
+      Result<BatchResult> applied = store_->ApplyBatch(request.records);
+      if (!applied.ok()) {
+        ErrorsCounter().Add();
+        return EncodeError(request.id, applied.status().message());
+      }
+      BatchLagHistogram().Observe(lag.ElapsedMillis());
+      std::string out = "{\"ok\":true";
+      AppendIdAndVersion(&out, request.id, applied->version);
+      out += ",\"records\":" + std::to_string(applied->records);
+      out += ",\"comparisons\":" + std::to_string(applied->comparisons);
+      out += ",\"apply_ms\":";
+      AppendJsonNumber(&out, applied->apply_ms);
+      out += ",\"budget_stopped\":";
+      out += applied->budget_stopped ? "true" : "false";
+      out += ",\"deadline_stopped\":";
+      out += applied->deadline_stopped ? "true" : "false";
+      out += "}";
+      return out;
+    }
+    case RequestOp::kShutdown: {
+      shutdown_.store(true, std::memory_order_release);
+      std::string out = "{\"ok\":true";
+      if (request.id >= 0) out += ",\"id\":" + std::to_string(request.id);
+      out += ",\"bye\":true}";
+      return out;
+    }
+  }
+  return EncodeError(-1, "unreachable");
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  WallTimer timer;
+  InflightGauge().Add(1);
+  Result<Request> request = ParseRequest(line);
+  std::string response;
+  if (!request.ok()) {
+    ErrorsCounter().Add();
+    response = EncodeError(-1, request.status().message());
+  } else {
+    response = Dispatch(*request);
+  }
+  QueriesCounter().Add();
+  QueryLatencyHistogram().Observe(timer.ElapsedSeconds() * 1e6);
+  InflightGauge().Add(-1);
+  return response;
+}
+
+Status Server::ServeStream(std::istream& in, std::ostream& out) {
+  std::vector<std::string> burst;
+  std::string line;
+  while (!shutdown_requested()) {
+    burst.clear();
+    if (!std::getline(in, line)) break;
+    burst.push_back(line);
+    // Gather every request line already buffered (pipelined clients), so
+    // the read-only prefix of the burst can answer in parallel. The
+    // in_avail() probe is a heuristic — it only controls parallelism,
+    // never correctness: a request answered alone or in a burst gets the
+    // same response.
+    while (burst.size() < config_.max_burst &&
+           in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
+      burst.push_back(line);
+    }
+    BurstSizeHistogram().Observe(static_cast<double>(burst.size()));
+
+    std::vector<std::string> responses(burst.size());
+    size_t i = 0;
+    while (i < burst.size()) {
+      // Maximal run of read-only requests: answered concurrently, in any
+      // order, each against the snapshot it acquires. Updates and
+      // shutdowns are barriers — applied alone, in stream order.
+      size_t j = i;
+      while (j < burst.size()) {
+        Result<Request> parsed = ParseRequest(burst[j]);
+        if (parsed.ok() && !IsReadOnly(parsed->op)) break;
+        ++j;
+      }
+      if (j > i) {
+        ParallelFor(
+            j - i,
+            [&](size_t k) { responses[i + k] = HandleLine(burst[i + k]); },
+            config_.num_threads);
+        i = j;
+      }
+      if (i < burst.size()) {
+        responses[i] = HandleLine(burst[i]);
+        ++i;
+        if (shutdown_requested()) break;
+      }
+    }
+    for (size_t r = 0; r < i; ++r) {
+      out << responses[r] << "\n";
+    }
+    out.flush();
+  }
+  return Status::OK();
+}
+
+Status Server::ServeTcp(int port, std::ostream& log) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::IOError("serve: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    return Status::IOError("serve: cannot bind port " +
+                           std::to_string(port) + ": " + why);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  if (::listen(listen_fd, 64) < 0) {
+    std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    return Status::IOError("serve: listen() failed: " + why);
+  }
+  log << "listening on " << ntohs(addr.sin_port) << "\n";
+  log.flush();
+
+  std::vector<std::thread> connections;
+  while (!shutdown_requested()) {
+    int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) break;  // listen socket closed by shutdown below
+    ConnectionsCounter().Add();
+    connections.emplace_back([this, conn_fd, listen_fd]() {
+      // Line-delimited JSON per connection; requests on one connection
+      // are serial, connections run concurrently.
+      std::string buffer;
+      char chunk[4096];
+      while (true) {
+        size_t newline = buffer.find('\n');
+        if (newline == std::string::npos) {
+          if (buffer.size() > kMaxWireBytes) {
+            // A line that long can never parse; fail the request early
+            // instead of buffering without bound.
+            std::string response =
+                EncodeError(-1, "wire: request line exceeds " +
+                                    std::to_string(kMaxWireBytes) +
+                                    " bytes");
+            response += "\n";
+            (void)!::write(conn_fd, response.data(), response.size());
+            break;
+          }
+          ssize_t n = ::read(conn_fd, chunk, sizeof(chunk));
+          if (n <= 0) break;
+          buffer.append(chunk, static_cast<size_t>(n));
+          continue;
+        }
+        std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        std::string response = HandleLine(line);
+        response += "\n";
+        if (::write(conn_fd, response.data(), response.size()) < 0) break;
+        if (shutdown_requested()) {
+          // Break the accept() so the server can drain and exit.
+          ::shutdown(listen_fd, SHUT_RDWR);
+          break;
+        }
+      }
+      ::close(conn_fd);
+    });
+  }
+  ::close(listen_fd);
+  for (std::thread& t : connections) t.join();
+  return Status::OK();
+}
+
+}  // namespace bdi::serve

@@ -1,0 +1,73 @@
+#ifndef BDI_SERVE_SERVER_H_
+#define BDI_SERVE_SERVER_H_
+
+#include <atomic>
+#include <iosfwd>
+#include <string>
+
+#include "bdi/common/result.h"
+#include "bdi/serve/store.h"
+
+namespace bdi::serve {
+
+/// Serving-loop configuration.
+struct ServerConfig {
+  /// Threads for parallel query bursts (0 = shared executor pool, 1 =
+  /// serial). Responses are emitted in request order either way.
+  size_t num_threads = 0;
+  /// Largest number of buffered request lines one stream burst gathers
+  /// before answering (bounds burst memory).
+  size_t max_burst = 256;
+};
+
+/// The `bdi serve` request loop over an EntityStore: parses wire requests
+/// (protocol.h), dispatches queries against the store's current snapshot
+/// and update batches through its writer path, and encodes one JSON
+/// response line per request. Malformed input never aborts — every
+/// protocol error becomes an `{"ok":false,...}` response.
+///
+/// Two transports share the handler:
+///  * ServeStream — JSON-lines over any istream/ostream (stdin/stdout in
+///    the CLI). Consecutive already-buffered read-only requests are
+///    answered as one parallel burst on the executor; updates are
+///    barriers within the stream, so responses keep request order.
+///  * ServeTcp — line-delimited JSON over TCP, one thread per connection;
+///    queries on different connections run concurrently while updates
+///    serialize inside the store.
+class Server {
+ public:
+  /// `store` must outlive the server.
+  Server(EntityStore* store, const ServerConfig& config = {});
+
+  /// Handles exactly one request line and returns its one-line response
+  /// (no trailing newline). Never fails: errors encode as responses. Also
+  /// performs shutdown detection — after a shutdown request,
+  /// shutdown_requested() is true.
+  std::string HandleLine(const std::string& line);
+
+  /// Serves `in` until EOF or a shutdown request; writes one response
+  /// line per request line to `out` (flushed per burst).
+  Status ServeStream(std::istream& in, std::ostream& out);
+
+  /// Binds `port` (0 = ephemeral), prints "listening on <port>" to `log`,
+  /// and serves connections until a shutdown request arrives on any of
+  /// them. Returns IOError when the socket cannot be bound.
+  Status ServeTcp(int port, std::ostream& log);
+
+  /// True once any handled request was a shutdown.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Dispatches one parsed request against the store.
+  std::string Dispatch(const Request& request);
+
+  EntityStore* store_;
+  ServerConfig config_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace bdi::serve
+
+#endif  // BDI_SERVE_SERVER_H_

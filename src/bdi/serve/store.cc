@@ -1,0 +1,147 @@
+#include "bdi/serve/store.h"
+
+#include <utility>
+
+#include "bdi/common/metrics.h"
+#include "bdi/common/timer.h"
+
+namespace bdi::serve {
+
+namespace {
+
+metrics::Counter& BatchesCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.serve.batches");
+  return *counter;
+}
+
+metrics::Counter& BatchRecordsCounter() {
+  static metrics::Counter* counter =
+      metrics::Registry::Get().RegisterCounter("bdi.serve.batch.records");
+  return *counter;
+}
+
+metrics::Histogram& BatchApplyHistogram() {
+  static metrics::Histogram* histogram =
+      metrics::Registry::Get().RegisterHistogram(
+          "bdi.serve.batch.apply_ms", {1.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                                       250.0, 500.0, 1000.0, 5000.0});
+  return *histogram;
+}
+
+metrics::Gauge& SnapshotVersionGauge() {
+  static metrics::Gauge* gauge =
+      metrics::Registry::Get().RegisterGauge("bdi.serve.snapshot.version");
+  return *gauge;
+}
+
+metrics::Gauge& SnapshotEntitiesGauge() {
+  static metrics::Gauge* gauge =
+      metrics::Registry::Get().RegisterGauge("bdi.serve.snapshot.entities");
+  return *gauge;
+}
+
+metrics::Gauge& SnapshotRecordsGauge() {
+  static metrics::Gauge* gauge =
+      metrics::Registry::Get().RegisterGauge("bdi.serve.snapshot.records");
+  return *gauge;
+}
+
+}  // namespace
+
+EntityStore::EntityStore(StoreConfig config) : config_(std::move(config)) {}
+
+Result<std::unique_ptr<EntityStore>> EntityStore::Create(
+    Dataset bootstrap, const StoreConfig& config) {
+  if (bootstrap.num_records() == 0) {
+    return Status::InvalidArgument(
+        "serve: the bootstrap corpus has no records");
+  }
+  auto store = std::unique_ptr<EntityStore>(new EntityStore(config));
+  store->dataset_ = std::move(bootstrap);
+  for (const SourceInfo& source : store->dataset_.sources()) {
+    store->source_ids_.emplace(source.name, source.id);
+  }
+
+  core::IncrementalIntegrator::Config integrator_config;
+  integrator_config.integrator = config.integrator;
+  // The equivalence invariant needs alignment timing out of the picture:
+  // realigning every refresh makes K batches converge to the one-batch
+  // schema bitwise.
+  integrator_config.realign_schema_each_refresh = true;
+  // The bootstrap pass runs unbudgeted — budgets bound *live* batch
+  // latency, not initial build fidelity.
+  integrator_config.linker.scorer = config.integrator.linker.scorer;
+  integrator_config.linker.threshold = config.integrator.linker.threshold;
+  integrator_config.linker.use_prefilter =
+      config.integrator.linker.use_prefilter;
+  store->integrator_ = std::make_unique<core::IncrementalIntegrator>(
+      &store->dataset_, integrator_config);
+  store->integrator_->Refresh();
+
+  store->version_ = 1;
+  store->snapshot_.store(
+      Snapshot::Build(store->integrator_->report(), store->dataset_,
+                      config.num_shards, store->version_,
+                      config.num_threads),
+      std::memory_order_release);
+  // Live batches run under the configured budgets from here on.
+  store->integrator_->linker().set_comparison_budget(
+      config.comparison_budget);
+  store->integrator_->linker().set_budget_ms(config.budget_ms);
+
+  if (metrics::Enabled()) {
+    std::shared_ptr<const Snapshot> snapshot = store->snapshot();
+    SnapshotVersionGauge().Set(static_cast<int64_t>(snapshot->version()));
+    SnapshotEntitiesGauge().Set(
+        static_cast<int64_t>(snapshot->num_entities()));
+    SnapshotRecordsGauge().Set(static_cast<int64_t>(snapshot->num_records()));
+  }
+  return store;
+}
+
+Result<BatchResult> EntityStore::ApplyBatch(
+    const std::vector<UpdateRecord>& records) {
+  if (records.empty()) {
+    return Status::InvalidArgument("serve: empty update batch");
+  }
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  for (const UpdateRecord& record : records) {
+    auto [it, inserted] =
+        source_ids_.emplace(record.source, kInvalidSource);
+    if (inserted) it->second = dataset_.AddSource(record.source);
+    dataset_.AddRecord(it->second, record.fields);
+  }
+  size_t comparisons = integrator_->Refresh();
+
+  BatchResult result;
+  result.records = records.size();
+  result.comparisons = comparisons;
+  result.budget_stopped =
+      integrator_->linker().last_progressive().budget_stopped;
+  result.deadline_stopped =
+      integrator_->linker().last_progressive().deadline_stopped;
+  result.version = ++version_;
+
+  std::shared_ptr<const Snapshot> next =
+      Snapshot::Build(integrator_->report(), dataset_, config_.num_shards,
+                      result.version, config_.num_threads);
+  // The publication point: one atomic swap. Readers holding the previous
+  // snapshot finish on it; new readers see this version.
+  snapshot_.store(next, std::memory_order_release);
+  num_batches_.fetch_add(1, std::memory_order_relaxed);
+  result.apply_ms = timer.ElapsedMillis();
+
+  if (metrics::Enabled()) {
+    BatchesCounter().Add();
+    BatchRecordsCounter().Add(records.size());
+    BatchApplyHistogram().Observe(result.apply_ms);
+    SnapshotVersionGauge().Set(static_cast<int64_t>(next->version()));
+    SnapshotEntitiesGauge().Set(static_cast<int64_t>(next->num_entities()));
+    SnapshotRecordsGauge().Set(static_cast<int64_t>(next->num_records()));
+  }
+  return result;
+}
+
+}  // namespace bdi::serve

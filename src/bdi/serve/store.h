@@ -1,0 +1,121 @@
+#ifndef BDI_SERVE_STORE_H_
+#define BDI_SERVE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/core/incremental_integrator.h"
+#include "bdi/serve/protocol.h"
+#include "bdi/serve/snapshot.h"
+
+namespace bdi::serve {
+
+/// Configuration of the resident entity store.
+struct StoreConfig {
+  /// Shards the snapshot hashes entities over. More shards narrow the
+  /// posting maps (smaller probe constants); the count is a layout knob
+  /// only — results are shard-count-independent.
+  size_t num_shards = 8;
+  /// Per-batch progressive comparison budget for *live* update batches
+  /// (LinkerConfig::comparison_budget encoding; 0 = unlimited). The
+  /// bootstrap corpus always links unbudgeted.
+  double comparison_budget = 0.0;
+  /// Per-batch wall-clock linkage deadline for live batches, in
+  /// milliseconds (LinkerConfig::budget_ms semantics; 0 = none).
+  double budget_ms = 0.0;
+  /// Threads for snapshot builds (0 = shared executor pool).
+  size_t num_threads = 0;
+  /// The batch-pipeline configuration the store's state must stay
+  /// equivalent to.
+  core::IntegratorConfig integrator;
+};
+
+/// What one applied update batch did.
+struct BatchResult {
+  /// Snapshot version the batch published.
+  uint64_t version = 0;
+  /// Records ingested by the batch.
+  size_t records = 0;
+  /// Pairwise comparisons the incremental linkage spent.
+  size_t comparisons = 0;
+  /// Wall milliseconds from ApplyBatch entry to snapshot publication.
+  double apply_ms = 0.0;
+  /// True when the comparison budget stopped linkage early.
+  bool budget_stopped = false;
+  /// True when the wall-clock deadline stopped linkage early.
+  bool deadline_stopped = false;
+};
+
+/// The resident sharded entity store behind `bdi serve`: warm in-memory
+/// integration state (interned dataset, incremental linkage index, fused
+/// clusters) plus an immutable Snapshot that queries read.
+///
+/// Concurrency model (docs/SERVING.md): readers call snapshot() — an
+/// atomic shared_ptr load — and run entirely against that immutable
+/// version; writers serialize on an internal mutex, push the batch
+/// through the IncrementalLinker path, build a fresh Snapshot and publish
+/// it with one atomic swap. Readers never block writers and vice versa;
+/// a reader mid-query keeps its version alive through the shared_ptr.
+///
+/// Equivalence invariant: with budgets off, the state after any sequence
+/// of ApplyBatch calls is bitwise-identical (Snapshot::DebugString) to a
+/// store bootstrapped from the same records in one batch — the
+/// incremental edge set is batch-partition-independent and the schema
+/// realigns every refresh (realign_schema_each_refresh).
+class EntityStore {
+ public:
+  /// Builds the store over the bootstrap corpus: one unbudgeted
+  /// incremental pipeline pass, then snapshot version 1. Takes ownership
+  /// of `bootstrap` (the store's dataset grows with batches). Fails with
+  /// InvalidArgument on an empty corpus.
+  static Result<std::unique_ptr<EntityStore>> Create(Dataset bootstrap,
+                                                     const StoreConfig& config);
+
+  EntityStore(const EntityStore&) = delete;
+  EntityStore& operator=(const EntityStore&) = delete;
+
+  /// The current published snapshot (atomic acquire; never null).
+  /// Thread-safe, wait-free for readers.
+  std::shared_ptr<const Snapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// Applies one update batch: appends the records to the warm dataset
+  /// (interning sources and attributes), refreshes linkage incrementally
+  /// under the configured budgets, re-fuses, builds the next snapshot and
+  /// publishes it. Writers serialize; readers are never blocked. The
+  /// records must already be protocol-validated (non-empty source, at
+  /// least one field each).
+  Result<BatchResult> ApplyBatch(const std::vector<UpdateRecord>& records);
+
+  /// Number of batches applied since Create (bootstrap excluded).
+  uint64_t num_batches() const {
+    return num_batches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit EntityStore(StoreConfig config);
+
+  StoreConfig config_;
+  /// Writer state, all guarded by write_mutex_: the growing dataset, the
+  /// incremental integrator wired to it, source-name interning and the
+  /// version counter.
+  std::mutex write_mutex_;
+  Dataset dataset_;
+  std::unique_ptr<core::IncrementalIntegrator> integrator_;
+  std::unordered_map<std::string, SourceId> source_ids_;
+  uint64_t version_ = 0;
+  std::atomic<uint64_t> num_batches_{0};
+  /// The published snapshot (RCU-style: swapped whole, never mutated).
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+};
+
+}  // namespace bdi::serve
+
+#endif  // BDI_SERVE_STORE_H_

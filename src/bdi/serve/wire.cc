@@ -1,0 +1,357 @@
+#include "bdi/serve/wire.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bdi::serve {
+
+namespace {
+
+// Recursive-descent parser over the input bytes. All failure paths carry
+// the byte offset so fuzz findings are reproducible from the message.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipSpace();
+    JsonValue value;
+    Status status = ParseValue(&value, 0);
+    if (!status.ok()) return status;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing bytes after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("wire: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = std::strlen(word);
+    if (text_.substr(pos_, len) == word) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > kMaxWireDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        if (ConsumeWord("true")) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = true;
+          return Status::OK();
+        }
+        return Error("expected 'true'");
+      case 'f':
+        if (ConsumeWord("false")) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = false;
+          return Status::OK();
+        }
+        return Error("expected 'false'");
+      case 'n':
+        if (ConsumeWord("null")) {
+          out->kind = JsonValue::Kind::kNull;
+          return Status::OK();
+        }
+        return Error("expected 'null'");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a quoted object key");
+      }
+      std::string key;
+      Status status = ParseString(&key);
+      if (!status.ok()) return status;
+      for (const auto& [existing, unused] : out->object) {
+        if (existing == key) return Error("duplicate object key '" + key + "'");
+      }
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      Status status = ParseValue(&value, depth + 1);
+      if (!status.ok()) return status;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  // One \uXXXX hex quad (the "\u" is already consumed).
+  Status ParseHexQuad(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          Status status = ParseHexQuad(&cp);
+          if (!status.ok()) return status;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!(Consume('\\') && Consume('u'))) {
+              return Error("unpaired high surrogate");
+            }
+            uint32_t low = 0;
+            status = ParseHexQuad(&low);
+            if (!status.ok()) return status;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed; digits must follow.
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Error("expected a value");
+    }
+    // JSON grammar: no leading zeros ("01" is two tokens, reject).
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Error("leading zero in number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("expected digits after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Error("expected exponent digits");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("number out of range");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  if (text.size() > kMaxWireBytes) {
+    return Status::InvalidArgument(
+        "wire: input exceeds " + std::to_string(kMaxWireBytes) + " bytes");
+  }
+  return Parser(text).Parse();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer the shortest representation that round-trips exactly.
+  for (int digits = 1; digits < 17; ++digits) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", digits, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      *out += shorter;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+}  // namespace bdi::serve

@@ -1,0 +1,71 @@
+#ifndef BDI_SERVE_WIRE_H_
+#define BDI_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bdi/common/result.h"
+
+namespace bdi::serve {
+
+/// Hard cap on one wire-protocol line (request or response). Longer lines
+/// are rejected with InvalidArgument before any parsing — the serving loop
+/// must never buffer unbounded client input.
+inline constexpr size_t kMaxWireBytes = 1 << 20;
+
+/// Maximum container nesting depth ParseJson accepts. The protocol needs
+/// three levels (request -> records array -> record object -> fields
+/// object); the cap just bounds hostile recursion.
+inline constexpr size_t kMaxWireDepth = 8;
+
+/// One parsed JSON value of the serving wire protocol (docs/SERVING.md): a
+/// tagged union over the six JSON kinds. Object member order is preserved
+/// as parsed; duplicate keys are rejected at parse time, so Find() is
+/// unambiguous.
+struct JsonValue {
+  /// JSON value kinds, tagged on `kind`.
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Which union member is meaningful.
+  Kind kind = Kind::kNull;
+  /// Value when kind == kBool.
+  bool boolean = false;
+  /// Value when kind == kNumber (doubles only — the protocol has no
+  /// integer type; callers range-check and floor).
+  double number = 0.0;
+  /// Value when kind == kString (raw UTF-8 bytes after unescaping; may
+  /// contain embedded NUL).
+  std::string string;
+  /// Elements when kind == kArray.
+  std::vector<JsonValue> array;
+  /// Members when kind == kObject, in parse order, keys unique.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// The member named `key` of an object value, or nullptr when absent
+  /// (or when this value is not an object).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses exactly one JSON value spanning the whole input (leading and
+/// trailing ASCII whitespace allowed, anything else after the value is an
+/// error). Strict by design: rejects inputs over kMaxWireBytes, nesting
+/// over kMaxWireDepth, duplicate object keys, unescaped control
+/// characters, invalid escapes, unpaired surrogates, and non-finite
+/// numbers. Never aborts — every malformed input is an InvalidArgument
+/// Status naming the byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Appends `s` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes and control characters (\uXXXX form for bytes < 0x20).
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Appends a finite double with shortest round-trip formatting (%.17g
+/// trimmed); non-finite values serialize as null (JSON has no NaN/Inf).
+void AppendJsonNumber(std::string* out, double value);
+
+}  // namespace bdi::serve
+
+#endif  // BDI_SERVE_WIRE_H_

@@ -24,6 +24,8 @@
 #include "bdi/common/random.h"
 #include "bdi/model/dataset_io.h"
 #include "bdi/model/validate.h"
+#include "bdi/serve/protocol.h"
+#include "bdi/serve/wire.h"
 
 namespace bdi {
 namespace {
@@ -299,6 +301,52 @@ TEST(IngestionFuzzTest, GeneratedDatasetsWithHostileValuesRoundTrip) {
     }
     std::remove(path.c_str());
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Wire-protocol mutation corpus: the `bdi serve` request parser sits on an
+// untrusted network boundary, so it gets the same treatment as the file
+// readers — valid JSON-lines requests put through the hostile mutator must
+// always come back as ok() or a Status, never a crash, and every rejection
+// must render into a well-formed JSON error line.
+
+TEST(IngestionFuzzTest, MutatedServeRequestsNeverCrashTheParser) {
+  Rng rng(8806);
+  const std::vector<std::string> seeds = {
+      R"({"op":"stats","id":1})",
+      R"({"op":"ask","id":2,"entity":"Zorix QX-12","attribute":"weight"})",
+      R"({"op":"find","id":3,"entity":"zorix camera","k":10})",
+      R"({"op":"update","id":4,"records":[{"source":"s0.example.com",)"
+      R"("fields":{"name":"Zorix QX-12","weight":"390 g"}}]})",
+      R"({"op":"shutdown","id":5})",
+  };
+  size_t trials = 0;
+  size_t rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    for (const std::string& seed : seeds) {
+      std::string mutated = Mutate(seed, rng);
+      if (rng.Bernoulli(0.5)) mutated = Mutate(mutated, rng);
+      ++trials;
+      Result<serve::Request> request = serve::ParseRequest(mutated);
+      if (request.ok()) continue;
+      ++rejected;
+      ASSERT_FALSE(request.status().message().empty())
+          << "round " << round;
+      // The server echoes the parse error back over the wire; the error
+      // line must itself be valid JSON no matter what bytes leaked into
+      // the message (NULs, quotes, control characters).
+      std::string line =
+          serve::EncodeError(-1, request.status().message());
+      Result<serve::JsonValue> echoed = serve::ParseJson(line);
+      ASSERT_TRUE(echoed.ok())
+          << "round " << round << ": EncodeError produced invalid JSON '"
+          << line << "': " << echoed.status();
+    }
+  }
+  // The mutator must actually break a healthy share of requests (guards
+  // against a parser that swallows anything).
+  EXPECT_GT(rejected, trials / 2);
 }
 
 }  // namespace

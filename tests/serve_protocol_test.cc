@@ -1,0 +1,213 @@
+// The `bdi serve` wire boundary: the strict JSON-lines parser and the
+// request validator. Malformed client input must always come back as a
+// Status (the serving loop never aborts), valid requests must populate
+// exactly the members their op uses, and the encoders must emit JSON the
+// parser itself accepts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bdi/serve/protocol.h"
+#include "bdi/serve/wire.h"
+
+namespace bdi::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// wire.h: ParseJson / AppendJsonString / AppendJsonNumber
+
+TEST(ServeWireTest, ParsesScalarsAndStructures) {
+  EXPECT_EQ(ParseJson("null").value().kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(ParseJson("true").value().boolean);
+  EXPECT_FALSE(ParseJson("false").value().boolean);
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2").value().number, -1250.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().string, "hi");
+
+  Result<JsonValue> arr = ParseJson("[1, 2, 3]");
+  ASSERT_TRUE(arr.ok());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array[2].number, 3.0);
+
+  Result<JsonValue> obj = ParseJson(R"({"a": 1, "b": {"c": [true]}})");
+  ASSERT_TRUE(obj.ok());
+  ASSERT_NE(obj->Find("b"), nullptr);
+  ASSERT_NE(obj->Find("b")->Find("c"), nullptr);
+  EXPECT_TRUE(obj->Find("b")->Find("c")->array[0].boolean);
+  EXPECT_EQ(obj->Find("missing"), nullptr);
+}
+
+TEST(ServeWireTest, DecodesStringEscapes) {
+  Result<JsonValue> s =
+      ParseJson(R"("a\"b\\c\/d\b\f\n\r\t\u0041\u00e9")");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->string, "a\"b\\c/d\b\f\n\r\tA\xc3\xa9");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(ParseJson(R"("\ud83d\ude00")").value().string,
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(ServeWireTest, RejectsMalformedJson) {
+  // Everything here must be an InvalidArgument with a position, never a
+  // crash or an accept.
+  const char* bad[] = {
+      "",
+      "   ",
+      "{",
+      "[1, 2",
+      "{\"a\" 1}",
+      "{\"a\": 1,}",
+      "[1, 2,]",
+      "{'a': 1}",
+      "nul",
+      "truex",
+      "01",
+      "1.",
+      ".5",
+      "1e",
+      "+1",
+      "\"unterminated",
+      "\"bad \x01 control\"",
+      "\"\\u12g4\"",
+      "\"\\ud800\"",          // unpaired high surrogate
+      "\"\\q\"",              // unknown escape
+      "1 2",                  // trailing bytes
+      "{\"a\":1,\"a\":2}",    // duplicate key
+      "{1: 2}",               // unquoted key
+  };
+  for (const char* input : bad) {
+    Result<JsonValue> parsed = ParseJson(input);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << input;
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty()) << input;
+    }
+  }
+}
+
+TEST(ServeWireTest, EnforcesSizeAndDepthLimits) {
+  // One byte over the wire cap is rejected before parsing.
+  std::string huge = "\"" + std::string(kMaxWireBytes, 'x') + "\"";
+  EXPECT_FALSE(ParseJson(huge).ok());
+
+  std::string deep_ok(kMaxWireDepth, '[');
+  deep_ok += "1";
+  deep_ok += std::string(kMaxWireDepth, ']');
+  EXPECT_TRUE(ParseJson(deep_ok).ok());
+
+  std::string too_deep(kMaxWireDepth + 1, '[');
+  too_deep += "1";
+  too_deep += std::string(kMaxWireDepth + 1, ']');
+  EXPECT_FALSE(ParseJson(too_deep).ok());
+}
+
+TEST(ServeWireTest, StringEncoderRoundTripsHostileBytes) {
+  std::string hostile("quote\" slash\\ ctrl\x01 nul", 23);
+  hostile.push_back('\0');
+  hostile += "\ttab\nnewline";
+  std::string encoded;
+  AppendJsonString(&encoded, hostile);
+  Result<JsonValue> parsed = ParseJson(encoded);
+  ASSERT_TRUE(parsed.ok()) << encoded;
+  EXPECT_EQ(parsed->string, hostile);
+}
+
+TEST(ServeWireTest, NumberEncoderRoundTripsExactly) {
+  for (double value : {0.0, 1.0, -1.0, 0.1, 1e-9, 123456789.123456789,
+                       9007199254740993.0, 2.2250738585072014e-308}) {
+    std::string encoded;
+    AppendJsonNumber(&encoded, value);
+    Result<JsonValue> parsed = ParseJson(encoded);
+    ASSERT_TRUE(parsed.ok()) << encoded;
+    EXPECT_EQ(parsed->number, value) << encoded;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// protocol.h: ParseRequest / EncodeError
+
+TEST(ServeProtocolTest, ParsesEveryOp) {
+  Result<Request> stats = ParseRequest(R"({"op":"stats","id":7})");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->op, RequestOp::kStats);
+  EXPECT_EQ(stats->id, 7);
+
+  Result<Request> ask = ParseRequest(
+      R"({"op":"ask","entity":"Zorix QX-12","attribute":"weight"})");
+  ASSERT_TRUE(ask.ok());
+  EXPECT_EQ(ask->op, RequestOp::kAsk);
+  EXPECT_EQ(ask->entity, "Zorix QX-12");
+  EXPECT_EQ(ask->attribute, "weight");
+  EXPECT_EQ(ask->id, -1);  // absent id
+
+  Result<Request> find =
+      ParseRequest(R"({"op":"find","entity":"zorix","k":25})");
+  ASSERT_TRUE(find.ok());
+  EXPECT_EQ(find->op, RequestOp::kFind);
+  EXPECT_EQ(find->k, 25);
+  // k defaults to 5 when absent.
+  EXPECT_EQ(ParseRequest(R"({"op":"find","entity":"z"})")->k, 5);
+
+  Result<Request> update = ParseRequest(
+      R"({"op":"update","records":[)"
+      R"({"source":"s0","fields":{"name":"A","weight":"1 g"}},)"
+      R"({"source":"s1","fields":{"name":"B"}}]})");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->op, RequestOp::kUpdate);
+  ASSERT_EQ(update->records.size(), 2u);
+  EXPECT_EQ(update->records[0].source, "s0");
+  ASSERT_EQ(update->records[0].fields.size(), 2u);
+  EXPECT_EQ(update->records[0].fields[1].second, "1 g");
+
+  EXPECT_EQ(ParseRequest(R"({"op":"shutdown"})")->op,
+            RequestOp::kShutdown);
+}
+
+TEST(ServeProtocolTest, RejectsInvalidRequests) {
+  const char* bad[] = {
+      "",
+      "not json",
+      "[1,2,3]",                                   // not an object
+      R"({"id":1})",                               // missing op
+      R"({"op":"frobnicate"})",                    // unknown op
+      R"({"op":"stats","bogus":1})",               // unknown key
+      R"({"op":"stats","id":-1})",                 // negative id
+      R"({"op":"stats","id":1.5})",                // non-integral id
+      R"({"op":"ask","entity":"x"})",              // missing attribute
+      R"({"op":"ask","attribute":"x"})",           // missing entity
+      R"({"op":"ask","entity":"","attribute":"x"})",
+      R"({"op":"find","entity":"x","k":0})",
+      R"({"op":"find","entity":"x","k":101})",
+      R"({"op":"find","entity":"x","k":"five"})",
+      R"({"op":"find","entity":"x","records":[]})",  // key from another op
+      R"({"op":"update","records":[]})",             // empty batch
+      R"({"op":"update","records":[{"source":"s"}]})",        // no fields
+      R"({"op":"update","records":[{"fields":{"a":"1"}}]})",  // no source
+      R"({"op":"update","records":[{"source":"","fields":{"a":"1"}}]})",
+      R"({"op":"update","records":[{"source":"s","fields":{}}]})",
+      R"({"op":"update","records":[{"source":"s","fields":{"a":1}}]})",
+  };
+  for (const char* input : bad) {
+    Result<Request> request = ParseRequest(input);
+    EXPECT_FALSE(request.ok()) << "accepted: " << input;
+    if (!request.ok()) {
+      EXPECT_FALSE(request.status().message().empty()) << input;
+    }
+  }
+}
+
+TEST(ServeProtocolTest, EncodeErrorIsValidJson) {
+  std::string with_id = EncodeError(42, "bad \"stuff\"\n");
+  Result<JsonValue> parsed = ParseJson(with_id);
+  ASSERT_TRUE(parsed.ok()) << with_id;
+  EXPECT_FALSE(parsed->Find("ok")->boolean);
+  EXPECT_DOUBLE_EQ(parsed->Find("id")->number, 42.0);
+  EXPECT_EQ(parsed->Find("error")->string, "bad \"stuff\"\n");
+
+  std::string without_id = EncodeError(-1, "oops");
+  Result<JsonValue> anon = ParseJson(without_id);
+  ASSERT_TRUE(anon.ok()) << without_id;
+  EXPECT_EQ(anon->Find("id"), nullptr);
+  EXPECT_EQ(anon->Find("error")->string, "oops");
+}
+
+}  // namespace
+}  // namespace bdi::serve

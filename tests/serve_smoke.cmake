@@ -1,0 +1,59 @@
+# End-to-end smoke of the `bdi serve` loop, run by ctest as ServeSmoke
+# (see tests/CMakeLists.txt): generate a tiny corpus, start the server on
+# stdio, pipe a stats query, a find, a malformed line, an update batch and
+# a shutdown through it, and check every response line came back.
+#
+#   cmake -DBDI_CLI=<bdi binary> -DWORK_DIR=<scratch dir> -P serve_smoke.cmake
+if(NOT DEFINED BDI_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+      "usage: cmake -DBDI_CLI=<bdi> -DWORK_DIR=<dir> -P serve_smoke.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(corpus ${WORK_DIR}/corpus.csv)
+execute_process(
+    COMMAND ${BDI_CLI} generate --out ${corpus}
+            --entities 40 --sources 5 --seed 11
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bdi generate failed (${rc})")
+endif()
+
+set(requests ${WORK_DIR}/requests.jsonl)
+file(WRITE ${requests} "{\"op\":\"stats\",\"id\":1}
+{\"op\":\"find\",\"id\":2,\"entity\":\"camera\",\"k\":3}
+not json
+{\"op\":\"update\",\"id\":3,\"records\":[{\"source\":\"smoke-src\",\"fields\":{\"name\":\"Smoke Test Entity\",\"weight\":\"1 g\"}}]}
+{\"op\":\"stats\",\"id\":4}
+{\"op\":\"shutdown\",\"id\":5}
+")
+
+execute_process(
+    COMMAND ${BDI_CLI} serve --in ${corpus} --shards 4
+    INPUT_FILE ${requests}
+    OUTPUT_VARIABLE responses
+    ERROR_VARIABLE banner
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bdi serve exited ${rc}: ${banner}")
+endif()
+
+# One expected fragment per request line: the bootstrap snapshot answers
+# v=1, the malformed line turns into an ok:false error (never a crash),
+# the update publishes v=2 and the follow-up stats sees it, shutdown says
+# bye and the process exited 0 above.
+foreach(needle
+    "\"ok\":true,\"id\":1,\"v\":1"
+    "\"ok\":true,\"id\":2,\"v\":1"
+    "\"ok\":false,\"error\":"
+    "\"ok\":true,\"id\":3,\"v\":2"
+    "\"ok\":true,\"id\":4,\"v\":2"
+    "\"bye\":true")
+  string(FIND "${responses}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+        "serve response missing '${needle}'; full output:\n${responses}")
+  endif()
+endforeach()
+message(STATUS "serve smoke ok")

@@ -31,6 +31,18 @@
 //                 CSV chunks that cover them, never the whole file)
 //   bdi inspect   <corpus.bds>   (footer-level tour of a .bds file: counts,
 //                 dictionaries, per-row-group table with encodings)
+//   bdi serve     --in corpus.csv [--shards 8] [--threads 0]
+//                 [--budget N|P%] [--budget-ms M] [--port P]
+//                 (resident entity store: bootstraps the pipeline once,
+//                 then serves JSON-lines requests — ask/find/stats/update/
+//                 shutdown, see docs/SERVING.md — over stdin/stdout, or
+//                 over TCP with --port; --port 0 picks an ephemeral port
+//                 and prints it. --budget/--budget-ms cap each live update
+//                 batch's linkage comparisons / wall-clock milliseconds)
+//
+// `link` and `integrate` also accept `--budget-ms M`: a wall-clock
+// deadline (milliseconds) on the matching stage, composable with
+// `--budget` — whichever limit is hit first stops comparing.
 //
 // `generate` writes a synthetic multi-source corpus (and optionally its
 // record->entity ground truth); the other commands work on any corpus in
@@ -45,9 +57,12 @@
 // docs/OBSERVABILITY.md for the schema and the full metric list.
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bdi/common/csv.h"
@@ -65,6 +80,7 @@
 #include "bdi/linkage/progressive.h"
 #include "bdi/model/dataset_io.h"
 #include "bdi/model/validate.h"
+#include "bdi/serve/server.h"
 #include "bdi/schema/attribute_stats.h"
 #include "bdi/storage/bds_reader.h"
 #include "bdi/storage/bds_writer.h"
@@ -79,8 +95,8 @@ using namespace bdi;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: bdi <generate|stats|integrate|link|ask|evolve|diff|trust|"
-      "validate|convert|head|inspect> [--flag value]...\n"
+      "usage: bdi <generate|stats|integrate|link|ask|serve|evolve|diff|"
+      "trust|validate|convert|head|inspect> [--flag value]...\n"
       "see the header of tools/bdi_cli.cc for the flag list\n");
   return 2;
 }
@@ -118,6 +134,20 @@ bool GetBudgetFlag(const Flags& flags, double* out) {
     return false;
   }
   *out = budget.value();
+  return true;
+}
+
+// Pulls the --budget-ms flag (wall-clock matching deadline in whole
+// milliseconds; absent or 0 means none). Validated eagerly like every
+// integer flag; negatives are usage failures.
+bool GetBudgetMsFlag(const Flags& flags, double* out) {
+  int budget_ms = 0;
+  if (!GetIntFlag(flags, "budget-ms", 0, &budget_ms)) return false;
+  if (budget_ms < 0) {
+    std::fprintf(stderr, "error: --budget-ms must be non-negative\n");
+    return false;
+  }
+  *out = static_cast<double>(budget_ms);
   return true;
 }
 
@@ -186,13 +216,16 @@ int CmdStats(const Flags& flags) {
 int CmdIntegrate(const Flags& flags) {
   int top = 0;  // checked before the pipeline runs, not at print time
   double budget = 0.0;
+  double budget_ms = 0.0;
   if (!GetIntFlag(flags, "top", 5, &top)) return 2;
   if (!GetBudgetFlag(flags, &budget)) return 2;
+  if (!GetBudgetMsFlag(flags, &budget_ms)) return 2;
   Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
 
   core::IntegratorConfig config;
   config.linker.comparison_budget = budget;
+  config.linker.budget_ms = budget_ms;
   std::string fusion = flags.Get("fusion", "accucopy");
   if (fusion == "vote") {
     config.fusion = core::FusionKind::kVote;
@@ -244,21 +277,29 @@ int CmdIntegrate(const Flags& flags) {
 
 int CmdLink(const Flags& flags) {
   double budget = 0.0;  // checked before the pipeline runs
+  double budget_ms = 0.0;
   if (!GetBudgetFlag(flags, &budget)) return 2;
+  if (!GetBudgetMsFlag(flags, &budget_ms)) return 2;
   Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
   linkage::LinkerConfig config;
   config.comparison_budget = budget;
+  config.budget_ms = budget_ms;
   linkage::Linker linker(&dataset.value(), config);
   linkage::LinkageResult result = linker.Run();
   std::printf("%zu records -> %zu entities (%zu candidates, %zu matches)\n",
               dataset->num_records(), result.clusters.num_clusters,
               result.num_candidates, result.num_matches);
-  if (budget > 0.0) {
+  if (budget > 0.0 || budget_ms > 0.0) {
+    std::string limits;
+    if (budget > 0.0) limits = flags.Get("budget", "");
+    if (budget_ms > 0.0) {
+      if (!limits.empty()) limits += " + ";
+      limits += flags.Get("budget-ms", "") + "ms";
+    }
     std::printf(
         "budget %s: %zu comparisons spent, %zu candidates deferred\n",
-        flags.Get("budget", "").c_str(), result.num_scheduled,
-        result.num_deferred);
+        limits.c_str(), result.num_scheduled, result.num_deferred);
   }
   if (flags.Has("labels")) {
     Result<std::vector<EntityId>> labels =
@@ -672,6 +713,66 @@ int CmdInspect(const Flags& flags,
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  // Every flag is validated before the bootstrap corpus is read, so a
+  // typo fails in milliseconds instead of after a full integration run.
+  int shards = 0;
+  int threads = 0;
+  int port = 0;
+  double budget = 0.0;
+  double budget_ms = 0.0;
+  if (!GetIntFlag(flags, "shards", 8, &shards) ||
+      !GetIntFlag(flags, "threads", 0, &threads) ||
+      !GetIntFlag(flags, "port", 0, &port) ||
+      !GetBudgetFlag(flags, &budget) ||
+      !GetBudgetMsFlag(flags, &budget_ms)) {
+    return 2;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "error: --shards must be at least 1\n");
+    return 2;
+  }
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be non-negative\n");
+    return 2;
+  }
+  if (flags.Has("port") && (port < 0 || port > 65535)) {
+    std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
+    return 2;
+  }
+  Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  serve::StoreConfig store_config;
+  store_config.num_shards = static_cast<size_t>(shards);
+  store_config.comparison_budget = budget;
+  store_config.budget_ms = budget_ms;
+  store_config.num_threads = static_cast<size_t>(threads);
+  Result<std::unique_ptr<serve::EntityStore>> store =
+      serve::EntityStore::Create(std::move(dataset.value()), store_config);
+  if (!store.ok()) return Fail(store.status());
+
+  std::shared_ptr<const serve::Snapshot> snapshot =
+      store.value()->snapshot();
+  // The ready banner goes to stderr: stdout is the response channel in
+  // stdio mode and must carry nothing but JSON lines.
+  std::fprintf(stderr,
+               "bdi serve: %zu entities from %zu records across %zu "
+               "shards (snapshot v%llu)\n",
+               snapshot->num_entities(), snapshot->num_records(),
+               snapshot->num_shards(),
+               static_cast<unsigned long long>(snapshot->version()));
+
+  serve::ServerConfig server_config;
+  server_config.num_threads = static_cast<size_t>(threads);
+  serve::Server server(store.value().get(), server_config);
+  Status status = flags.Has("port")
+                      ? server.ServeTcp(port, std::cout)
+                      : server.ServeStream(std::cin, std::cout);
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -710,6 +811,8 @@ int main(int argc, char** argv) {
     rc = CmdLink(flags);
   } else if (command == "ask") {
     rc = CmdAsk(flags);
+  } else if (command == "serve") {
+    rc = CmdServe(flags);
   } else if (command == "evolve") {
     rc = CmdEvolve(flags);
   } else if (command == "diff") {
