@@ -6,6 +6,7 @@
 // per-batch apply cost. With `--json`, writes BENCH_serving.json.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -99,40 +100,46 @@ int main(int argc, char** argv) {
   const size_t total = world.dataset.num_records();
   const size_t bootstrap_count = (total * 7) / 10;
 
-  // Split: bootstrap corpus for Create, the rest as update batches.
-  Dataset bootstrap;
+  // Split: bootstrap corpus for Create, the rest as update batches. The
+  // bootstrap is built by a callable because the shedding phase below
+  // needs a second, identical store under a tighter admission budget.
+  auto make_bootstrap = [&] {
+    Dataset bootstrap;
+    for (size_t r = 0; r < bootstrap_count; ++r) {
+      const Record& record =
+          world.dataset.record(static_cast<RecordIdx>(r));
+      while (bootstrap.num_sources() <=
+             static_cast<size_t>(record.source)) {
+        bootstrap.AddSource(
+            world.dataset
+                .source(static_cast<SourceId>(bootstrap.num_sources()))
+                .name);
+      }
+      std::vector<std::pair<std::string, std::string>> fields;
+      for (const Field& field : record.fields) {
+        fields.emplace_back(world.dataset.attr_name(field.attr),
+                            field.value);
+      }
+      bootstrap.AddRecord(record.source, fields);
+    }
+    return bootstrap;
+  };
   std::vector<std::vector<UpdateRecord>> batches;
   {
     std::vector<UpdateRecord> pending;
-    for (size_t r = 0; r < total; ++r) {
+    for (size_t r = bootstrap_count; r < total; ++r) {
       const Record& record =
           world.dataset.record(static_cast<RecordIdx>(r));
-      if (r < bootstrap_count) {
-        while (bootstrap.num_sources() <=
-               static_cast<size_t>(record.source)) {
-          bootstrap.AddSource(
-              world.dataset
-                  .source(static_cast<SourceId>(bootstrap.num_sources()))
-                  .name);
-        }
-        std::vector<std::pair<std::string, std::string>> fields;
-        for (const Field& field : record.fields) {
-          fields.emplace_back(world.dataset.attr_name(field.attr),
-                              field.value);
-        }
-        bootstrap.AddRecord(record.source, fields);
-      } else {
-        UpdateRecord update;
-        update.source = world.dataset.source(record.source).name;
-        for (const Field& field : record.fields) {
-          update.fields.emplace_back(world.dataset.attr_name(field.attr),
-                                     field.value);
-        }
-        pending.push_back(std::move(update));
-        if (pending.size() == 100) {
-          batches.push_back(std::move(pending));
-          pending.clear();
-        }
+      UpdateRecord update;
+      update.source = world.dataset.source(record.source).name;
+      for (const Field& field : record.fields) {
+        update.fields.emplace_back(world.dataset.attr_name(field.attr),
+                                   field.value);
+      }
+      pending.push_back(std::move(update));
+      if (pending.size() == 100) {
+        batches.push_back(std::move(pending));
+        pending.clear();
       }
     }
     if (!pending.empty()) batches.push_back(std::move(pending));
@@ -142,7 +149,7 @@ int main(int argc, char** argv) {
   store_config.num_shards = 8;
   WallTimer bootstrap_timer;
   Result<std::unique_ptr<EntityStore>> created =
-      EntityStore::Create(std::move(bootstrap), store_config);
+      EntityStore::Create(make_bootstrap(), store_config);
   if (!created.ok()) {
     std::fprintf(stderr, "store bootstrap failed: %s\n",
                  created.status().ToString().c_str());
@@ -201,10 +208,73 @@ int main(int argc, char** argv) {
                   FormatDouble(Percentile(result.latencies_us, 0.50), 1),
                   FormatDouble(Percentile(result.latencies_us, 0.99), 1)});
   };
+  // Phase 3: overload. A fresh, identical store under a one-batch
+  // admission budget; several writers spam the same batches concurrently
+  // and honor retry_after_ms when shed. The question the phase answers:
+  // how much reader QPS survives while the store is actively shedding.
+  size_t shed_count = 0;
+  size_t admit_count = 0;
+  PhaseResult shedding;
+  {
+    StoreConfig shed_config = store_config;
+    shed_config.max_pending_batches = 1;
+    Result<std::unique_ptr<EntityStore>> shed_created =
+        EntityStore::Create(make_bootstrap(), shed_config);
+    if (!shed_created.ok()) {
+      std::fprintf(stderr, "shed store bootstrap failed: %s\n",
+                   shed_created.status().ToString().c_str());
+      return 1;
+    }
+    EntityStore& shed_store = *shed_created.value();
+    constexpr size_t kWriters = 4;
+    std::atomic<bool> shed_stop{false};
+    std::atomic<size_t> shed_total{0};
+    std::atomic<size_t> admit_total{0};
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (size_t w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (size_t b = w; b < batches.size(); b += kWriters) {
+          while (true) {
+            BatchRejection rejection;
+            Result<BatchResult> applied =
+                shed_store.ApplyBatch(batches[b], &rejection);
+            if (applied.ok()) {
+              admit_total.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            if (applied.status().code() != StatusCode::kUnavailable) {
+              std::fprintf(stderr, "batch failed: %s\n",
+                           applied.status().ToString().c_str());
+              return;
+            }
+            shed_total.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<long long>(
+                    std::min(rejection.retry_after_ms, 5.0) * 1000.0)));
+          }
+        }
+      });
+    }
+    std::thread closer([&] {
+      for (std::thread& writer : writers) writer.join();
+      shed_stop.store(true, std::memory_order_relaxed);
+    });
+    shedding = QueryPhase(shed_store, queries, readers, 0, &shed_stop);
+    closer.join();
+    shed_count = shed_total.load();
+    admit_count = admit_total.load();
+  }
+
   row("query-only", query_only);
   row("mixed", mixed);
+  row("shedding", shedding);
   table.Print("Figure E22: serving throughput, " +
               std::to_string(readers) + " reader threads");
+  std::printf(
+      "overload: %zu admitted / %zu shed across %zu writer threads "
+      "(every shed batch retried after its hint and eventually landed)\n",
+      admit_count, shed_count, static_cast<size_t>(4));
   std::printf(
       "writer: %zu batches, %.1f ms/batch mean, %.1f ms max; final "
       "snapshot v%llu with %zu entities\n",
@@ -227,8 +297,16 @@ int main(int argc, char** argv) {
             FormatDouble(Percentile(mixed.latencies_us, 0.50), 2));
   json.Note("mixed_p99_us",
             FormatDouble(Percentile(mixed.latencies_us, 0.99), 2));
+  json.Add("shedding", shedding.wall_seconds, readers, shedding.qps());
   json.Note("batch_apply_ms_max", FormatDouble(apply_ms_max, 2));
   json.Note("qps_retention_mixed_vs_query_only",
             FormatDouble(mixed.qps() / std::max(1e-9, query_only.qps()), 3));
+  json.Note("shedding_p99_us",
+            FormatDouble(Percentile(shedding.latencies_us, 0.99), 2));
+  json.Note("shedding_admitted", std::to_string(admit_count));
+  json.Note("shedding_shed", std::to_string(shed_count));
+  json.Note("qps_retention_shedding_vs_query_only",
+            FormatDouble(shedding.qps() / std::max(1e-9, query_only.qps()),
+                         3));
   return 0;
 }

@@ -1,0 +1,110 @@
+#include "bdi/common/posix_io.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bdi::io {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Shared loop for write(2)-shaped calls: retry EINTR, resume short writes.
+template <typename WriteFn>
+Status WriteLoop(std::string_view data, const char* what, WriteFn write_fn) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = write_fn(data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable(ErrnoText(what));
+      }
+      return Status::IOError(ErrnoText(what));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteAllFd(int fd, std::string_view data) {
+  return WriteLoop(data, "write", [fd](const char* p, size_t n) {
+    return ::write(fd, p, n);
+  });
+}
+
+Status SendAllFd(int fd, std::string_view data) {
+  return WriteLoop(data, "send", [fd](const char* p, size_t n) {
+    return ::send(fd, p, n, MSG_NOSIGNAL);
+  });
+}
+
+Result<size_t> ReadSomeFd(int fd, char* buffer, size_t capacity) {
+  while (true) {
+    ssize_t n = ::read(fd, buffer, capacity);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return static_cast<size_t>(0);
+    return Status::IOError(ErrnoText("read"));
+  }
+}
+
+Status FsyncFd(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return Status::IOError(ErrnoText("fsync"));
+  }
+  return Status::OK();
+}
+
+Status FsyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoText(("open " + path).c_str()));
+  Status synced = FsyncFd(fd);
+  ::close(fd);
+  return synced;
+}
+
+Status FsyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return FsyncPath(slash == std::string::npos ? "."
+                                              : path.substr(0, slash));
+}
+
+Status TruncateFile(const std::string& path, uint64_t bytes) {
+  while (::truncate(path.c_str(), static_cast<off_t>(bytes)) != 0) {
+    if (errno != EINTR) {
+      return Status::IOError(ErrnoText(("truncate " + path).c_str()));
+    }
+  }
+  return FsyncPath(path);
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoText(("open " + path).c_str()));
+  std::string out;
+  char chunk[1 << 16];
+  while (true) {
+    Result<size_t> n = ReadSomeFd(fd, chunk, sizeof(chunk));
+    if (!n.ok()) {
+      ::close(fd);
+      return n.status();
+    }
+    if (*n == 0) break;
+    out.append(chunk, *n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace bdi::io

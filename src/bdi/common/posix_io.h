@@ -1,0 +1,58 @@
+#ifndef BDI_COMMON_POSIX_IO_H_
+#define BDI_COMMON_POSIX_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bdi/common/result.h"
+#include "bdi/common/status.h"
+
+/// EINTR-safe POSIX file-descriptor helpers shared by the serving layer
+/// (socket request loops) and the write-ahead log (durable appends). Every
+/// loop here retries interrupted syscalls and resumes short transfers, so a
+/// signal or a small socket buffer can never truncate a frame mid-write;
+/// every failure is a Status carrying errno context, never an abort.
+namespace bdi::io {
+
+/// Writes all of `data` to `fd`, retrying EINTR and continuing after short
+/// writes until every byte is out. Returns IOError (with errno text) when
+/// the descriptor fails; Unavailable for EPIPE/ECONNRESET, so callers can
+/// tell "peer went away" from a genuine I/O fault.
+Status WriteAllFd(int fd, std::string_view data);
+
+/// Like WriteAllFd but for sockets: sends with MSG_NOSIGNAL so a
+/// disconnected peer yields an EPIPE error instead of a process-killing
+/// SIGPIPE. EPIPE and ECONNRESET map to Unavailable (per-connection close);
+/// everything else to IOError.
+Status SendAllFd(int fd, std::string_view data);
+
+/// Reads up to `capacity` bytes from `fd` into `buffer`, retrying EINTR.
+/// Returns the byte count (0 = end of stream) or IOError; ECONNRESET is
+/// reported as 0 (the peer hung up — a close, not a fault).
+Result<size_t> ReadSomeFd(int fd, char* buffer, size_t capacity);
+
+/// fsync(fd), retrying EINTR. IOError on failure.
+Status FsyncFd(int fd);
+
+/// Opens `path` read-only, fsyncs it, and closes it — used to fsync a
+/// directory so a rename or create is durable, and to fsync files written
+/// through buffered APIs that already closed their handle.
+Status FsyncPath(const std::string& path);
+
+/// Fsyncs the directory containing `path` (everything before the last '/',
+/// or "." when there is none), making renames/creates of `path` durable.
+Status FsyncParentDir(const std::string& path);
+
+/// Truncates the file at `path` to exactly `bytes` (used by WAL recovery to
+/// drop a torn tail frame), then fsyncs it. IOError on failure.
+Status TruncateFile(const std::string& path, uint64_t bytes);
+
+/// Reads the whole file at `path` into a string. IOError when the file
+/// cannot be opened or read.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+}  // namespace bdi::io
+
+#endif  // BDI_COMMON_POSIX_IO_H_

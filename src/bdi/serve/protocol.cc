@@ -106,7 +106,7 @@ Status ParseUpdateRecords(const JsonValue& root, Request* out) {
 
 }  // namespace
 
-Result<Request> ParseRequest(std::string_view line) {
+Result<Request> ParseRequest(std::string_view line, long long* id_out) {
   BDI_ASSIGN_OR_RETURN(JsonValue root, ParseJson(line));
   if (root.kind != JsonValue::Kind::kObject) {
     return BadRequest("must be a JSON object");
@@ -114,6 +114,10 @@ Result<Request> ParseRequest(std::string_view line) {
   Request out;
   Status status = ReadInt(root, "id", 0, (1LL << 53), &out.id);
   if (!status.ok()) return status;
+  // The id is valid from here on: surface it to the caller before any
+  // later validation can fail, so error responses echo it (the audit in
+  // serve_protocol_test pins this for every error path below).
+  if (id_out != nullptr && out.id >= 0) *id_out = out.id;
 
   const JsonValue* op = root.Find("op");
   if (op == nullptr || op->kind != JsonValue::Kind::kString) {
@@ -165,6 +169,22 @@ std::string EncodeError(long long id, std::string_view message) {
   }
   out += ",\"error\":";
   AppendJsonString(&out, message);
+  out += "}";
+  return out;
+}
+
+std::string EncodeOverloaded(long long id, const BatchRejection& rejection) {
+  std::string out = "{\"ok\":false";
+  if (id >= 0) {
+    out += ",\"id\":";
+    out += std::to_string(id);
+  }
+  out += ",\"error\":\"overloaded\",\"retry_after_ms\":";
+  AppendJsonNumber(&out, rejection.retry_after_ms);
+  out += ",\"pending_batches\":";
+  out += std::to_string(rejection.pending_batches);
+  out += ",\"pending_records\":";
+  out += std::to_string(rejection.pending_records);
   out += "}";
   return out;
 }

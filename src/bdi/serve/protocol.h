@@ -63,13 +63,38 @@ struct Request {
 /// Parses and validates one request line. Strict: unknown `op` values,
 /// unknown keys, wrong member types, out-of-range `k`, empty entity
 /// queries, and empty/oversized update batches are all InvalidArgument —
-/// the serving loop never aborts on client input.
-Result<Request> ParseRequest(std::string_view line);
+/// the serving loop never aborts on client input. When `id_out` is
+/// non-null it receives the request id as soon as one parses, even if a
+/// later member fails validation — so every error response can echo the
+/// id the client sent (it stays untouched when no valid id was seen).
+Result<Request> ParseRequest(std::string_view line,
+                             long long* id_out = nullptr);
 
 /// Serializes a protocol error as a one-line JSON response
 /// `{"ok":false,"id":<id>,"error":<message>}` (the id member is omitted
 /// when `id` < 0).
 std::string EncodeError(long long id, std::string_view message);
+
+/// Why admission control shed an update batch (docs/SERVING.md,
+/// "Admission control"): the load the store was carrying when it said no,
+/// plus a drain-time hint derived from recent batch-apply latencies.
+struct BatchRejection {
+  /// Suggested client back-off before retrying, in milliseconds: the
+  /// in-flight queue depth times the recent mean batch-apply time (the
+  /// signal behind the bdi.serve.batch.apply_ms histogram), floored at 1.
+  double retry_after_ms = 0.0;
+  /// Update batches admitted but not yet applied at rejection time.
+  uint64_t pending_batches = 0;
+  /// Records across those pending batches.
+  uint64_t pending_records = 0;
+};
+
+/// Serializes a shed batch as a structured, re-parseable one-line error:
+/// `{"ok":false,"id":<id>,"error":"overloaded","retry_after_ms":...,
+/// "pending_batches":...,"pending_records":...}` — clients match
+/// `error == "overloaded"` and honor `retry_after_ms` (the id member is
+/// omitted when `id` < 0).
+std::string EncodeOverloaded(long long id, const BatchRejection& rejection);
 
 }  // namespace bdi::serve
 

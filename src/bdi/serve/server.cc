@@ -13,6 +13,7 @@
 
 #include "bdi/common/executor.h"
 #include "bdi/common/metrics.h"
+#include "bdi/common/posix_io.h"
 #include "bdi/common/timer.h"
 
 namespace bdi::serve {
@@ -99,6 +100,18 @@ bool IsReadOnly(RequestOp op) {
          op == RequestOp::kStats;
 }
 
+// std::getline gives up when the underlying read is interrupted by a
+// signal (it sets failbit with errno == EINTR). Retry those; genuine EOF
+// and real stream errors still end the loop.
+bool GetLineRetry(std::istream& in, std::string& line) {
+  while (true) {
+    errno = 0;
+    if (std::getline(in, line)) return true;
+    if (in.eof() || errno != EINTR) return false;
+    in.clear();
+  }
+}
+
 }  // namespace
 
 Server::Server(EntityStore* store, const ServerConfig& config)
@@ -164,18 +177,28 @@ std::string Server::Dispatch(const Request& request) {
     }
     case RequestOp::kUpdate: {
       WallTimer lag;
-      Result<BatchResult> applied = store_->ApplyBatch(request.records);
+      BatchRejection rejection;
+      Result<BatchResult> applied =
+          store_->ApplyBatch(request.records, &rejection);
       if (!applied.ok()) {
         ErrorsCounter().Add();
+        // A shed batch gets the structured, re-parseable form so clients
+        // can match error == "overloaded" and honor retry_after_ms.
+        if (applied.status().code() == StatusCode::kUnavailable) {
+          return EncodeOverloaded(request.id, rejection);
+        }
         return EncodeError(request.id, applied.status().message());
       }
       BatchLagHistogram().Observe(lag.ElapsedMillis());
       std::string out = "{\"ok\":true";
       AppendIdAndVersion(&out, request.id, applied->version);
+      out += ",\"seq\":" + std::to_string(applied->seq);
       out += ",\"records\":" + std::to_string(applied->records);
       out += ",\"comparisons\":" + std::to_string(applied->comparisons);
       out += ",\"apply_ms\":";
       AppendJsonNumber(&out, applied->apply_ms);
+      out += ",\"wal_ms\":";
+      AppendJsonNumber(&out, applied->wal_ms);
       out += ",\"budget_stopped\":";
       out += applied->budget_stopped ? "true" : "false";
       out += ",\"deadline_stopped\":";
@@ -197,11 +220,15 @@ std::string Server::Dispatch(const Request& request) {
 std::string Server::HandleLine(const std::string& line) {
   WallTimer timer;
   InflightGauge().Add(1);
-  Result<Request> request = ParseRequest(line);
+  // Capture the request id as soon as it parses so even responses to
+  // invalid requests echo it — pipelined clients need the id to tell
+  // which request failed.
+  long long id = -1;
+  Result<Request> request = ParseRequest(line, &id);
   std::string response;
   if (!request.ok()) {
     ErrorsCounter().Add();
-    response = EncodeError(-1, request.status().message());
+    response = EncodeError(id, request.status().message());
   } else {
     response = Dispatch(*request);
   }
@@ -216,7 +243,7 @@ Status Server::ServeStream(std::istream& in, std::ostream& out) {
   std::string line;
   while (!shutdown_requested()) {
     burst.clear();
-    if (!std::getline(in, line)) break;
+    if (!GetLineRetry(in, line)) break;
     burst.push_back(line);
     // Gather every request line already buffered (pipelined clients), so
     // the read-only prefix of the burst can answer in parallel. The
@@ -224,7 +251,7 @@ Status Server::ServeStream(std::istream& in, std::ostream& out) {
     // never correctness: a request answered alone or in a burst gets the
     // same response.
     while (burst.size() < config_.max_burst &&
-           in.rdbuf()->in_avail() > 0 && std::getline(in, line)) {
+           in.rdbuf()->in_avail() > 0 && GetLineRetry(in, line)) {
       burst.push_back(line);
     }
     BurstSizeHistogram().Observe(static_cast<double>(burst.size()));
@@ -258,6 +285,9 @@ Status Server::ServeStream(std::istream& in, std::ostream& out) {
       out << responses[r] << "\n";
     }
     out.flush();
+    // The peer closing its end (a broken pipe) is a clean end of the
+    // stream, not a server fault.
+    if (!out) break;
   }
   return Status::OK();
 }
@@ -294,11 +324,17 @@ Status Server::ServeTcp(int port, std::ostream& log) {
   std::vector<std::thread> connections;
   while (!shutdown_requested()) {
     int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) break;  // listen socket closed by shutdown below
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by shutdown below
+    }
     ConnectionsCounter().Add();
     connections.emplace_back([this, conn_fd, listen_fd]() {
       // Line-delimited JSON per connection; requests on one connection
-      // are serial, connections run concurrently.
+      // are serial, connections run concurrently. All socket I/O goes
+      // through bdi::io — EINTR retried, short writes resumed, sends
+      // SIGPIPE-free (MSG_NOSIGNAL) — so a client vanishing mid-response
+      // closes this connection and nothing else.
       std::string buffer;
       char chunk[4096];
       while (true) {
@@ -312,12 +348,12 @@ Status Server::ServeTcp(int port, std::ostream& log) {
                                     std::to_string(kMaxWireBytes) +
                                     " bytes");
             response += "\n";
-            (void)!::write(conn_fd, response.data(), response.size());
+            (void)io::SendAllFd(conn_fd, response);
             break;
           }
-          ssize_t n = ::read(conn_fd, chunk, sizeof(chunk));
-          if (n <= 0) break;
-          buffer.append(chunk, static_cast<size_t>(n));
+          Result<size_t> n = io::ReadSomeFd(conn_fd, chunk, sizeof(chunk));
+          if (!n.ok() || n.value() == 0) break;
+          buffer.append(chunk, n.value());
           continue;
         }
         std::string line = buffer.substr(0, newline);
@@ -325,7 +361,7 @@ Status Server::ServeTcp(int port, std::ostream& log) {
         if (!line.empty() && line.back() == '\r') line.pop_back();
         std::string response = HandleLine(line);
         response += "\n";
-        if (::write(conn_fd, response.data(), response.size()) < 0) break;
+        if (!io::SendAllFd(conn_fd, response).ok()) break;
         if (shutdown_requested()) {
           // Break the accept() so the server can drain and exit.
           ::shutdown(listen_fd, SHUT_RDWR);

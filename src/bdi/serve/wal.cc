@@ -1,0 +1,318 @@
+#include "bdi/serve/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "bdi/common/posix_io.h"
+#include "bdi/storage/crc32c.h"
+#include "bdi/storage/format.h"
+
+namespace bdi::serve {
+
+namespace {
+
+// Sanity cap on one frame payload. A batch is bounded by kMaxBatchRecords
+// records that each arrived on a <= 1 MiB wire line, so real payloads are
+// far smaller; the cap stops a corrupt length varint from driving a huge
+// allocation before the checksum gets a chance to reject the frame.
+constexpr uint64_t kMaxWalPayloadBytes = 64ull << 20;
+
+Status Corrupt(size_t offset, const std::string& what) {
+  return Status::IOError("wal: corrupt frame at offset " +
+                         std::to_string(offset) + ": " + what);
+}
+
+void AppendLenPrefixed(std::string_view s, std::string* out) {
+  storage::PutVarint(s.size(), out);
+  out->append(s.data(), s.size());
+}
+
+// Appends one complete frame wrapping `payload`.
+void AppendFrame(std::string_view payload, std::string* out) {
+  storage::PutU32(kWalFrameMagic, out);
+  storage::PutVarint(payload.size(), out);
+  out->append(payload.data(), payload.size());
+  storage::PutU32(storage::Crc32c(payload), out);
+}
+
+Result<std::string_view> ReadLenPrefixed(std::string_view payload,
+                                         size_t* offset) {
+  BDI_ASSIGN_OR_RETURN(uint64_t len, storage::GetVarint(payload, offset));
+  if (*offset + len > payload.size()) {
+    return Status::IOError("wal: string runs past the payload");
+  }
+  std::string_view s = payload.substr(*offset, len);
+  *offset += len;
+  return s;
+}
+
+// Decodes a batch-frame payload (after the kind byte) into a WalBatch.
+Result<WalBatch> DecodeBatchPayload(std::string_view payload,
+                                    size_t* offset) {
+  WalBatch batch;
+  BDI_ASSIGN_OR_RETURN(batch.seq, storage::GetVarint(payload, offset));
+  BDI_ASSIGN_OR_RETURN(uint64_t num_records,
+                       storage::GetVarint(payload, offset));
+  if (num_records == 0 || num_records > kMaxBatchRecords) {
+    return Status::IOError("wal: batch record count out of range");
+  }
+  batch.records.reserve(num_records);
+  for (uint64_t r = 0; r < num_records; ++r) {
+    UpdateRecord record;
+    BDI_ASSIGN_OR_RETURN(std::string_view source,
+                         ReadLenPrefixed(payload, offset));
+    if (source.empty()) return Status::IOError("wal: empty record source");
+    record.source.assign(source);
+    BDI_ASSIGN_OR_RETURN(uint64_t num_fields,
+                         storage::GetVarint(payload, offset));
+    if (num_fields == 0) return Status::IOError("wal: record has no fields");
+    record.fields.reserve(num_fields);
+    for (uint64_t f = 0; f < num_fields; ++f) {
+      BDI_ASSIGN_OR_RETURN(std::string_view attr,
+                           ReadLenPrefixed(payload, offset));
+      if (attr.empty()) {
+        return Status::IOError("wal: empty attribute name");
+      }
+      BDI_ASSIGN_OR_RETURN(std::string_view value,
+                           ReadLenPrefixed(payload, offset));
+      record.fields.emplace_back(std::string(attr), std::string(value));
+    }
+    batch.records.push_back(std::move(record));
+  }
+  return batch;
+}
+
+}  // namespace
+
+void AppendWalFileHeader(uint64_t base_seq, std::string* out) {
+  out->append(reinterpret_cast<const char*>(kWalMagic), sizeof(kWalMagic));
+  std::string payload;
+  payload.push_back(static_cast<char>(kWalFrameHeader));
+  storage::PutVarint(base_seq, &payload);
+  AppendFrame(payload, out);
+}
+
+void AppendWalBatchFrame(uint64_t seq,
+                         const std::vector<UpdateRecord>& records,
+                         std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kWalFrameBatch));
+  storage::PutVarint(seq, &payload);
+  storage::PutVarint(records.size(), &payload);
+  for (const UpdateRecord& record : records) {
+    AppendLenPrefixed(record.source, &payload);
+    storage::PutVarint(record.fields.size(), &payload);
+    for (const auto& [attr, value] : record.fields) {
+      AppendLenPrefixed(attr, &payload);
+      AppendLenPrefixed(value, &payload);
+    }
+  }
+  AppendFrame(payload, out);
+}
+
+Result<WalReplay> ParseWal(std::string_view bytes) {
+  WalReplay replay;
+  if (bytes.size() < sizeof(kWalMagic)) {
+    // A torn initial Create never acknowledged an append; the partial
+    // magic must still be a prefix of the real one, else this is not a
+    // WAL at all.
+    if (!bytes.empty() &&
+        std::memcmp(bytes.data(), kWalMagic, bytes.size()) != 0) {
+      return Status::IOError("wal: not a WAL file (bad magic)");
+    }
+    replay.truncated_tail = true;
+    return replay;
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::IOError("wal: not a WAL file (bad magic)");
+  }
+  size_t offset = sizeof(kWalMagic);
+  uint64_t expected_seq = 0;
+  while (offset < bytes.size()) {
+    const size_t frame_start = offset;
+    // Frame magic. Fewer than 4 bytes left is a torn tail; wrong bytes in
+    // the middle of the file are corruption.
+    Result<uint32_t> magic = storage::GetU32(bytes, &offset);
+    if (!magic.ok()) {
+      replay.truncated_tail = true;
+      break;
+    }
+    if (magic.value() != kWalFrameMagic) {
+      return Corrupt(frame_start, "bad frame magic");
+    }
+    Result<uint64_t> len = storage::GetVarint(bytes, &offset);
+    if (!len.ok()) {
+      // A torn append can cut the length varint; an overlong varint with
+      // plenty of file left is corruption.
+      if (bytes.size() - offset < 10) {
+        replay.truncated_tail = true;
+        break;
+      }
+      return Corrupt(frame_start, "bad payload length");
+    }
+    if (len.value() > kMaxWalPayloadBytes) {
+      return Corrupt(frame_start, "payload length out of range");
+    }
+    if (offset + len.value() + 4 > bytes.size()) {
+      replay.truncated_tail = true;
+      break;
+    }
+    std::string_view payload = bytes.substr(offset, len.value());
+    offset += len.value();
+    size_t crc_offset = offset;
+    uint32_t stored_crc = storage::GetU32(bytes, &crc_offset).value();
+    offset = crc_offset;
+    if (storage::Crc32c(payload) != stored_crc) {
+      if (offset == bytes.size()) {
+        // Final frame: a partially flushed sector looks exactly like
+        // this. Drop it as a torn tail rather than refusing recovery.
+        replay.truncated_tail = true;
+        break;
+      }
+      return Corrupt(frame_start, "checksum mismatch");
+    }
+    if (payload.empty()) return Corrupt(frame_start, "empty payload");
+    uint8_t kind = static_cast<uint8_t>(payload[0]);
+    size_t payload_offset = 1;
+    if (!replay.has_header) {
+      if (kind != kWalFrameHeader) {
+        return Corrupt(frame_start, "first frame is not the header");
+      }
+      Result<uint64_t> base =
+          storage::GetVarint(payload, &payload_offset);
+      if (!base.ok() || payload_offset != payload.size()) {
+        return Corrupt(frame_start, "bad header payload");
+      }
+      replay.has_header = true;
+      replay.base_seq = base.value();
+      expected_seq = base.value();
+    } else {
+      if (kind != kWalFrameBatch) {
+        return Corrupt(frame_start, "unknown frame kind");
+      }
+      Result<WalBatch> batch = DecodeBatchPayload(payload, &payload_offset);
+      if (!batch.ok() || payload_offset != payload.size()) {
+        return Corrupt(frame_start,
+                       batch.ok() ? "trailing payload bytes"
+                                  : batch.status().message());
+      }
+      if (batch->seq != expected_seq + 1) {
+        return Corrupt(frame_start,
+                       "batch sequence " + std::to_string(batch->seq) +
+                           " after " + std::to_string(expected_seq) +
+                           " (duplicated or out-of-order frame)");
+      }
+      expected_seq = batch->seq;
+      replay.batches.push_back(std::move(batch).value());
+    }
+    replay.valid_bytes = offset;
+  }
+  if (!replay.has_header) {
+    // Valid magic, no complete header: the initial Create tore. Nothing
+    // was ever acknowledged from this file, so recovery recreates it.
+    replay.base_seq = 0;
+    replay.valid_bytes = 0;
+    replay.batches.clear();
+    replay.truncated_tail = true;
+  }
+  return replay;
+}
+
+std::string WalCheckpointPath(const std::string& wal_path, uint64_t seq) {
+  return wal_path + ".ckpt-" + std::to_string(seq) + ".bds";
+}
+
+Status RemoveStaleCheckpoints(const std::string& wal_path,
+                              uint64_t keep_seq) {
+  size_t slash = wal_path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : wal_path.substr(0, slash);
+  std::string base =
+      slash == std::string::npos ? wal_path : wal_path.substr(slash + 1);
+  const std::string prefix = base + ".ckpt-";
+  const std::string suffix = ".bds";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError("wal: cannot scan " + dir + ": " +
+                           std::strerror(errno));
+  }
+  const std::string keep = WalCheckpointPath(base, keep_seq);
+  while (dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    if (name == keep) continue;
+    ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  return Status::OK();
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Create(const std::string& path,
+                                         uint64_t base_seq, bool do_fsync) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IOError("wal: cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string header;
+  AppendWalFileHeader(base_seq, &header);
+  Status written = io::WriteAllFd(fd, header);
+  if (written.ok() && do_fsync) written = io::FsyncFd(fd);
+  if (written.ok() && do_fsync) written = io::FsyncParentDir(path);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(fd, path, header.size(), do_fsync));
+}
+
+Result<std::unique_ptr<Wal>> Wal::OpenForAppend(const std::string& path,
+                                                uint64_t valid_bytes,
+                                                bool do_fsync) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("wal: cannot stat " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (static_cast<uint64_t>(st.st_size) > valid_bytes) {
+    BDI_RETURN_IF_ERROR(io::TruncateFile(path, valid_bytes));
+  } else if (static_cast<uint64_t>(st.st_size) < valid_bytes) {
+    return Status::IOError("wal: " + path + " shorter than its valid prefix");
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("wal: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<Wal>(new Wal(fd, path, valid_bytes, do_fsync));
+}
+
+Status Wal::AppendBatch(uint64_t seq,
+                        const std::vector<UpdateRecord>& records) {
+  std::string frame;
+  AppendWalBatchFrame(seq, records, &frame);
+  BDI_RETURN_IF_ERROR(io::WriteAllFd(fd_, frame));
+  if (fsync_) BDI_RETURN_IF_ERROR(io::FsyncFd(fd_));
+  bytes_ += frame.size();
+  return Status::OK();
+}
+
+}  // namespace bdi::serve

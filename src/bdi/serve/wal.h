@@ -1,0 +1,143 @@
+#ifndef BDI_SERVE_WAL_H_
+#define BDI_SERVE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bdi/common/result.h"
+#include "bdi/serve/protocol.h"
+
+namespace bdi::serve {
+
+/// Write-ahead log for `bdi serve` update batches (docs/SERVING.md,
+/// "Durability"). The framing reuses the storage layer's primitives
+/// (LEB128 varints and CRC-32C from src/bdi/storage/format.h): the file
+/// opens with an 8-byte magic, then a header frame naming the checkpoint
+/// sequence the log starts from, then one frame per accepted batch. Every
+/// frame is `u32 frame-magic, varint payload length, payload, u32
+/// CRC-32C(payload)`; the payload carries a kind byte, the batch sequence
+/// number, and the length-prefixed records. Appends are fsynced before the
+/// batch enters the integrator, so an acknowledged batch survives SIGKILL.
+
+/// 8-byte WAL file magic: "BDIWAL1\n". The trailing newline detects
+/// text-mode mangling the same way the `.bds` magic does.
+inline constexpr unsigned char kWalMagic[8] = {'B', 'D', 'I', 'W',
+                                               'A', 'L', '1', '\n'};
+
+/// Per-frame magic, "WALF" little-endian.
+inline constexpr uint32_t kWalFrameMagic = 0x464C4157u;
+
+/// Payload kind byte of the one header frame at the start of every log.
+inline constexpr uint8_t kWalFrameHeader = 0;
+
+/// Payload kind byte of a batch frame.
+inline constexpr uint8_t kWalFrameBatch = 1;
+
+/// One replayable batch recovered from the log: its sequence number (the
+/// store's batch counter, checkpoint-relative-consecutive) and records.
+struct WalBatch {
+  /// Batch sequence number; strictly `base_seq + 1, base_seq + 2, ...`.
+  uint64_t seq = 0;
+  /// The protocol-validated records of the batch, as accepted.
+  std::vector<UpdateRecord> records;
+};
+
+/// Everything ParseWal recovered from a log's bytes.
+struct WalReplay {
+  /// True when the header frame parsed; false means the file is a torn
+  /// initial Create (valid magic prefix, no complete header) — safe to
+  /// recreate, since appends are only acknowledged after Create returns.
+  bool has_header = false;
+  /// Checkpoint sequence the log starts from (0 = the bootstrap corpus;
+  /// otherwise `<wal>.ckpt-<base_seq>.bds` holds the resident dataset).
+  uint64_t base_seq = 0;
+  /// Decoded batch frames in order, sequences consecutive from base_seq.
+  std::vector<WalBatch> batches;
+  /// Byte length of the valid prefix (end of the last good frame).
+  /// Recovery truncates the file here before reopening for append.
+  uint64_t valid_bytes = 0;
+  /// True when a torn tail frame (incomplete bytes at EOF, or a final
+  /// frame whose checksum fails) was dropped.
+  bool truncated_tail = false;
+};
+
+/// Appends the magic plus a header frame for `base_seq` to `out` — the
+/// byte image of a fresh, empty log. Exposed for the mutation-fuzz tests.
+void AppendWalFileHeader(uint64_t base_seq, std::string* out);
+
+/// Appends one batch frame to `out`. Exposed for the mutation-fuzz tests.
+void AppendWalBatchFrame(uint64_t seq,
+                         const std::vector<UpdateRecord>& records,
+                         std::string* out);
+
+/// Decodes a whole log image. Strict about corruption in the middle of the
+/// file — a complete frame with a bad checksum, an out-of-order or
+/// duplicated sequence, or an undecodable payload is a Status (never a
+/// crash, pinned by the fuzz corpus) — but tolerant of a torn tail: an
+/// incomplete final frame, or a final frame failing its CRC (a partially
+/// flushed sector), is dropped and reported via `truncated_tail`.
+Result<WalReplay> ParseWal(std::string_view bytes);
+
+/// The checkpoint path for `wal_path` at `seq`:
+/// `<wal_path>.ckpt-<seq>.bds`.
+std::string WalCheckpointPath(const std::string& wal_path, uint64_t seq);
+
+/// Deletes stale `<wal_path>.ckpt-*.bds` files whose sequence differs from
+/// `keep_seq` (leftovers of a crash between the checkpoint rename and the
+/// log swap, or of an interrupted cleanup). Best-effort: unlink errors are
+/// ignored, directory-scan errors are returned.
+Status RemoveStaleCheckpoints(const std::string& wal_path,
+                              uint64_t keep_seq);
+
+/// An open log being appended to. Writers hold it under the store's write
+/// mutex; every AppendBatch is a single write(2) of one frame followed by
+/// an fsync (when enabled), so the on-disk image is always a frame
+/// sequence plus at most one torn tail.
+class Wal {
+ public:
+  /// Creates (truncating) a log at `path` whose header names `base_seq`,
+  /// fsyncs the file and its directory. `do_fsync` false skips all fsyncs
+  /// (benchmarks measuring the pure CPU path; durability is off).
+  static Result<std::unique_ptr<Wal>> Create(const std::string& path,
+                                             uint64_t base_seq,
+                                             bool do_fsync);
+
+  /// Opens an existing log for appending after recovery validated its
+  /// first `valid_bytes` bytes (the file is truncated there first when it
+  /// is longer — dropping a torn tail).
+  static Result<std::unique_ptr<Wal>> OpenForAppend(const std::string& path,
+                                                    uint64_t valid_bytes,
+                                                    bool do_fsync);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one batch frame and (when enabled) fsyncs it. The batch is
+  /// durable when this returns OK; on error nothing of the batch must be
+  /// applied.
+  Status AppendBatch(uint64_t seq, const std::vector<UpdateRecord>& records);
+
+  /// Bytes in the log (header + appended frames) — the rotation trigger.
+  uint64_t bytes() const { return bytes_; }
+
+  /// The path the log was created or opened at. After a rotation rename
+  /// the fd follows the inode; the path is informational.
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(int fd, std::string path, uint64_t bytes, bool do_fsync)
+      : fd_(fd), path_(std::move(path)), bytes_(bytes), fsync_(do_fsync) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t bytes_ = 0;
+  bool fsync_ = true;
+};
+
+}  // namespace bdi::serve
+
+#endif  // BDI_SERVE_WAL_H_

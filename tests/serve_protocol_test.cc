@@ -194,6 +194,55 @@ TEST(ServeProtocolTest, RejectsInvalidRequests) {
   }
 }
 
+// Every request whose id parsed — whatever later validation says — must
+// surface that id through ParseRequest's id_out, so the server can echo
+// it in the error response and pipelined clients can tell which request
+// failed. One case per distinct error path after the id is read.
+TEST(ServeProtocolTest, IdSurvivesEveryValidationFailure) {
+  const char* bad_with_id[] = {
+      R"({"id":9})",                                // missing op
+      R"({"op":"frobnicate","id":9})",              // unknown op
+      R"({"op":"stats","id":9,"bogus":1})",         // unknown key
+      R"({"op":"ask","id":9,"entity":"x"})",        // missing attribute
+      R"({"op":"ask","id":9,"attribute":"x"})",     // missing entity
+      R"({"op":"ask","id":9,"entity":"","attribute":"x"})",
+      R"({"op":"find","id":9,"entity":"x","k":0})",
+      R"({"op":"find","id":9,"entity":"x","k":101})",
+      R"({"op":"find","id":9,"entity":"x","k":"five"})",
+      R"({"op":"update","id":9,"records":[]})",
+      R"({"op":"update","id":9,"records":[{"source":"s"}]})",
+      R"({"op":"update","id":9,"records":[{"source":"s","fields":{}}]})",
+  };
+  for (const char* input : bad_with_id) {
+    long long id = -1;
+    Result<Request> request = ParseRequest(input, &id);
+    ASSERT_FALSE(request.ok()) << "accepted: " << input;
+    EXPECT_EQ(id, 9) << "id lost on: " << input;
+  }
+
+  // No valid id seen -> id_out stays untouched: unparseable input, a
+  // request with no id, and a request whose id itself is invalid.
+  const char* bad_without_id[] = {
+      "not json",
+      R"({"op":"frobnicate"})",
+      R"({"op":"stats","id":-1})",
+      R"({"op":"stats","id":1.5})",
+  };
+  for (const char* input : bad_without_id) {
+    long long id = -1;
+    Result<Request> request = ParseRequest(input, &id);
+    ASSERT_FALSE(request.ok()) << "accepted: " << input;
+    EXPECT_EQ(id, -1) << "id invented on: " << input;
+  }
+
+  // And on success the id comes through both channels.
+  long long id = -1;
+  Result<Request> ok = ParseRequest(R"({"op":"stats","id":33})", &id);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->id, 33);
+  EXPECT_EQ(id, 33);
+}
+
 TEST(ServeProtocolTest, EncodeErrorIsValidJson) {
   std::string with_id = EncodeError(42, "bad \"stuff\"\n");
   Result<JsonValue> parsed = ParseJson(with_id);
@@ -207,6 +256,32 @@ TEST(ServeProtocolTest, EncodeErrorIsValidJson) {
   ASSERT_TRUE(anon.ok()) << without_id;
   EXPECT_EQ(anon->Find("id"), nullptr);
   EXPECT_EQ(anon->Find("error")->string, "oops");
+}
+
+// The structured load-shedding response must re-parse through the wire
+// parser so clients can machine-match error == "overloaded" and honor the
+// retry hint.
+TEST(ServeProtocolTest, EncodeOverloadedReparses) {
+  BatchRejection rejection;
+  rejection.retry_after_ms = 12.5;
+  rejection.pending_batches = 3;
+  rejection.pending_records = 450;
+
+  std::string with_id = EncodeOverloaded(42, rejection);
+  Result<JsonValue> parsed = ParseJson(with_id);
+  ASSERT_TRUE(parsed.ok()) << with_id;
+  EXPECT_FALSE(parsed->Find("ok")->boolean);
+  EXPECT_DOUBLE_EQ(parsed->Find("id")->number, 42.0);
+  EXPECT_EQ(parsed->Find("error")->string, "overloaded");
+  EXPECT_DOUBLE_EQ(parsed->Find("retry_after_ms")->number, 12.5);
+  EXPECT_DOUBLE_EQ(parsed->Find("pending_batches")->number, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("pending_records")->number, 450.0);
+
+  std::string without_id = EncodeOverloaded(-1, rejection);
+  Result<JsonValue> anon = ParseJson(without_id);
+  ASSERT_TRUE(anon.ok()) << without_id;
+  EXPECT_EQ(anon->Find("id"), nullptr);
+  EXPECT_EQ(anon->Find("error")->string, "overloaded");
 }
 
 }  // namespace

@@ -1,0 +1,518 @@
+// Crash recovery and admission control of the durable EntityStore
+// (src/bdi/serve/store.h, src/bdi/serve/wal.h). The load-bearing claim:
+// a store that crashed at ANY point and restarted with the same --wal is
+// bitwise-indistinguishable (Snapshot::DebugString, %a hex floats) from
+// one that never crashed — through in-process teardown, torn log tails,
+// checkpoint rotation, and a real SIGKILL of the CLI binary between
+// fsynced batches. The tsan-serving preset runs this whole file.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bdi/common/posix_io.h"
+#include "bdi/model/dataset_io.h"
+#include "bdi/serve/server.h"
+#include "bdi/serve/snapshot.h"
+#include "bdi/serve/store.h"
+#include "bdi/serve/wire.h"
+#include "bdi/storage/dataset_reader.h"
+#include "bdi/synth/world.h"
+
+namespace bdi::serve {
+namespace {
+
+// Re-interns records [0, count) of `full` into a fresh Dataset — the same
+// interning order the live store produces (see
+// serve_snapshot_equivalence_test.cc).
+Dataset PrefixDataset(const Dataset& full, size_t count) {
+  Dataset prefix;
+  std::unordered_map<std::string, SourceId> source_ids;
+  for (size_t r = 0; r < count; ++r) {
+    const Record& record = full.record(static_cast<RecordIdx>(r));
+    const std::string& source = full.source(record.source).name;
+    auto [it, inserted] = source_ids.emplace(source, kInvalidSource);
+    if (inserted) it->second = prefix.AddSource(source);
+    std::vector<std::pair<std::string, std::string>> fields;
+    for (const Field& field : record.fields) {
+      fields.emplace_back(full.attr_name(field.attr), field.value);
+    }
+    prefix.AddRecord(it->second, fields);
+  }
+  return prefix;
+}
+
+// Records [begin, end) of `full` as one protocol update batch.
+std::vector<UpdateRecord> SliceBatch(const Dataset& full, size_t begin,
+                                     size_t end) {
+  std::vector<UpdateRecord> records;
+  for (size_t r = begin; r < end; ++r) {
+    const Record& record = full.record(static_cast<RecordIdx>(r));
+    UpdateRecord update;
+    update.source = full.source(record.source).name;
+    for (const Field& field : record.fields) {
+      update.fields.emplace_back(full.attr_name(field.attr), field.value);
+    }
+    records.push_back(std::move(update));
+  }
+  return records;
+}
+
+synth::SyntheticWorld MakeWorld(uint32_t seed) {
+  synth::WorldConfig config;
+  config.seed = seed;
+  config.num_entities = 60;
+  config.num_sources = 5;
+  return synth::GenerateWorld(config);
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// ServeRecoveryTest — durability and bitwise crash equivalence.
+
+TEST(ServeRecoveryTest, RestartReplaysWalToBitwiseEqualState) {
+  synth::SyntheticWorld world = MakeWorld(2041);
+  const Dataset& full = world.dataset;
+  const size_t total = full.num_records();
+  const size_t bootstrap_count = total / 2;
+  constexpr size_t kBatches = 3;
+  const size_t batch_size = (total - bootstrap_count) / kBatches;
+
+  const std::string wal_path = TempPath("serve_recovery_replay.wal");
+  std::remove(wal_path.c_str());
+
+  StoreConfig durable;
+  durable.num_shards = 4;
+  durable.wal.path = wal_path;
+
+  StoreConfig plain;
+  plain.num_shards = 4;
+
+  // Reference: never crashes, never logs.
+  Result<std::unique_ptr<EntityStore>> reference =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), plain);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Live: logs every batch, then "crashes" (drops the store mid-life; the
+  // log was fsynced per batch, so teardown order cannot matter).
+  {
+    Result<std::unique_ptr<EntityStore>> live =
+        EntityStore::Create(PrefixDataset(full, bootstrap_count), durable);
+    ASSERT_TRUE(live.ok()) << live.status();
+    for (size_t b = 0; b < kBatches; ++b) {
+      size_t begin = bootstrap_count + b * batch_size;
+      size_t end = (b + 1 == kBatches) ? total : begin + batch_size;
+      std::vector<UpdateRecord> batch = SliceBatch(full, begin, end);
+      Result<BatchResult> applied = (*live)->ApplyBatch(batch);
+      ASSERT_TRUE(applied.ok()) << applied.status();
+      EXPECT_EQ(applied->seq, b + 1);
+      EXPECT_GE(applied->wal_ms, 0.0);
+      Result<BatchResult> ref_applied = (*reference)->ApplyBatch(batch);
+      ASSERT_TRUE(ref_applied.ok()) << ref_applied.status();
+    }
+  }
+
+  // Restart with the same bootstrap + WAL: replay must land bitwise on
+  // the never-crashed state.
+  Result<std::unique_ptr<EntityStore>> recovered =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), durable);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->replayed_batches(), kBatches);
+  EXPECT_EQ((*recovered)->wal_sequence(), kBatches);
+  EXPECT_EQ((*recovered)->num_batches(), kBatches);
+  EXPECT_EQ((*recovered)->snapshot()->DebugString(),
+            (*reference)->snapshot()->DebugString());
+
+  // And the recovered store keeps going: one more batch on both sides
+  // stays equal, with a continuous sequence.
+  std::vector<UpdateRecord> extra = SliceBatch(full, 0, 3);
+  Result<BatchResult> more = (*recovered)->ApplyBatch(extra);
+  ASSERT_TRUE(more.ok()) << more.status();
+  EXPECT_EQ(more->seq, kBatches + 1);
+  ASSERT_TRUE((*reference)->ApplyBatch(extra).ok());
+  EXPECT_EQ((*recovered)->snapshot()->DebugString(),
+            (*reference)->snapshot()->DebugString());
+}
+
+TEST(ServeRecoveryTest, RotationCheckpointsAndRecoversWithoutBootstrap) {
+  synth::SyntheticWorld world = MakeWorld(2042);
+  const Dataset& full = world.dataset;
+  const size_t total = full.num_records();
+  const size_t bootstrap_count = total / 2;
+  constexpr size_t kBatches = 3;
+  const size_t batch_size = (total - bootstrap_count) / kBatches;
+
+  const std::string wal_path = TempPath("serve_recovery_rotate.wal");
+  std::remove(wal_path.c_str());
+
+  StoreConfig durable;
+  durable.num_shards = 4;
+  durable.wal.path = wal_path;
+  durable.wal.rotate_bytes = 1;  // rotate after every batch
+
+  StoreConfig plain;
+  plain.num_shards = 4;
+
+  Result<std::unique_ptr<EntityStore>> reference =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), plain);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  {
+    Result<std::unique_ptr<EntityStore>> live =
+        EntityStore::Create(PrefixDataset(full, bootstrap_count), durable);
+    ASSERT_TRUE(live.ok()) << live.status();
+    for (size_t b = 0; b < kBatches; ++b) {
+      size_t begin = bootstrap_count + b * batch_size;
+      size_t end = (b + 1 == kBatches) ? total : begin + batch_size;
+      std::vector<UpdateRecord> batch = SliceBatch(full, begin, end);
+      ASSERT_TRUE((*live)->ApplyBatch(batch).ok());
+      ASSERT_TRUE((*reference)->ApplyBatch(batch).ok());
+    }
+    // Every batch rotated: the log is based on the last sequence and only
+    // that checkpoint remains on disk.
+    EXPECT_EQ((*live)->wal_base_sequence(), kBatches);
+    struct stat st;
+    EXPECT_EQ(::stat(WalCheckpointPath(wal_path, kBatches).c_str(), &st), 0);
+    for (size_t b = 1; b < kBatches; ++b) {
+      EXPECT_NE(::stat(WalCheckpointPath(wal_path, b).c_str(), &st), 0)
+          << "stale checkpoint " << b << " survived rotation";
+    }
+  }
+
+  // Recovery must come entirely from checkpoint + log: hand Create a
+  // decoy bootstrap and require the never-crashed state anyway.
+  Result<std::unique_ptr<EntityStore>> recovered =
+      EntityStore::Create(PrefixDataset(full, 5), durable);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->wal_base_sequence(), kBatches);
+  EXPECT_EQ((*recovered)->replayed_batches(), 0u);
+  EXPECT_EQ((*recovered)->wal_sequence(), kBatches);
+  EXPECT_EQ((*recovered)->snapshot()->DebugString(),
+            (*reference)->snapshot()->DebugString());
+}
+
+TEST(ServeRecoveryTest, TornTailIsDroppedAndAppendingResumes) {
+  synth::SyntheticWorld world = MakeWorld(2043);
+  const Dataset& full = world.dataset;
+  const size_t bootstrap_count = full.num_records() / 2;
+
+  const std::string wal_path = TempPath("serve_recovery_torn.wal");
+  std::remove(wal_path.c_str());
+
+  StoreConfig durable;
+  durable.num_shards = 4;
+  durable.wal.path = wal_path;
+
+  std::vector<UpdateRecord> batch =
+      SliceBatch(full, bootstrap_count, bootstrap_count + 6);
+  std::string clean_state;
+  {
+    Result<std::unique_ptr<EntityStore>> live =
+        EntityStore::Create(PrefixDataset(full, bootstrap_count), durable);
+    ASSERT_TRUE(live.ok()) << live.status();
+    ASSERT_TRUE((*live)->ApplyBatch(batch).ok());
+    clean_state = (*live)->snapshot()->DebugString();
+  }
+
+  // Tear the log: a torn append leaves a partial frame at the tail.
+  std::string torn_frame;
+  AppendWalBatchFrame(2, batch, &torn_frame);
+  torn_frame.resize(torn_frame.size() / 2);
+  {
+    FILE* f = std::fopen(wal_path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(torn_frame.data(), 1, torn_frame.size(), f),
+              torn_frame.size());
+    std::fclose(f);
+  }
+
+  // Recovery drops the torn frame (it was never acknowledged), replays the
+  // durable prefix, and the log accepts appends again.
+  Result<std::unique_ptr<EntityStore>> recovered =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), durable);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->replayed_batches(), 1u);
+  EXPECT_EQ((*recovered)->snapshot()->DebugString(), clean_state);
+  Result<BatchResult> more =
+      (*recovered)->ApplyBatch(SliceBatch(full, 0, 3));
+  ASSERT_TRUE(more.ok()) << more.status();
+  EXPECT_EQ(more->seq, 2u);
+
+  // The repaired log re-parses end to end with no torn tail.
+  Result<std::string> bytes = io::ReadFileBytes(wal_path);
+  ASSERT_TRUE(bytes.ok());
+  Result<WalReplay> replay = ParseWal(*bytes);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->batches.size(), 2u);
+  EXPECT_FALSE(replay->truncated_tail);
+}
+
+// One protocol update line over the serving wire format.
+std::string UpdateLine(long long id,
+                       const std::vector<UpdateRecord>& records) {
+  std::string out = "{\"op\":\"update\",\"id\":" + std::to_string(id) +
+                    ",\"records\":[";
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (r > 0) out += ",";
+    out += "{\"source\":";
+    AppendJsonString(&out, records[r].source);
+    out += ",\"fields\":{";
+    for (size_t f = 0; f < records[r].fields.size(); ++f) {
+      if (f > 0) out += ",";
+      AppendJsonString(&out, records[r].fields[f].first);
+      out += ":";
+      AppendJsonString(&out, records[r].fields[f].second);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+// Update batches with guaranteed-unique attribute names per record (the
+// wire parser rejects duplicate JSON keys).
+std::vector<UpdateRecord> LiveBatch(int salt) {
+  std::vector<UpdateRecord> batch;
+  for (int r = 0; r < 4; ++r) {
+    UpdateRecord record;
+    record.source = "live-src-" + std::to_string(r % 2);
+    record.fields.emplace_back(
+        "name", "crash survivor " + std::to_string(salt) + "-" +
+                    std::to_string(r));
+    record.fields.emplace_back("weight", std::to_string(100 + salt) + " g");
+    batch.push_back(std::move(record));
+  }
+  return batch;
+}
+
+// The full crash drill against the real binary: serve with --wal over
+// stdio, ack K update batches (an ack implies the batch was fsynced),
+// SIGKILL the process — no shutdown, no flush — restart in-process on the
+// same WAL, and require the exact never-crashed DebugString.
+TEST(ServeRecoveryTest, SigkilledCliRestartsBitwiseEqual) {
+#ifndef BDI_CLI_PATH
+  GTEST_SKIP() << "BDI_CLI_PATH not compiled in";
+#else
+  const char* cli = BDI_CLI_PATH;
+  struct stat cli_stat;
+  if (::stat(cli, &cli_stat) != 0) {
+    GTEST_SKIP() << "CLI binary not built: " << cli;
+  }
+
+  synth::SyntheticWorld world = MakeWorld(2044);
+  const std::string corpus = TempPath("serve_recovery_cli_corpus.csv");
+  ASSERT_TRUE(WriteDatasetCsv(world.dataset, corpus).ok());
+  const std::string wal_path = TempPath("serve_recovery_cli.wal");
+  std::remove(wal_path.c_str());
+
+  constexpr int kBatches = 3;
+
+  int to_child[2];
+  int from_child[2];
+  ASSERT_EQ(::pipe(to_child), 0);
+  ASSERT_EQ(::pipe(from_child), 0);
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: wire the pipes to stdio and become the CLI. Only
+    // async-signal-safe calls before exec.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execl(cli, cli, "serve", "--in", corpus.c_str(), "--shards", "4",
+            "--wal", wal_path.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  // Send each batch and wait for its ack before the next — an acked
+  // response means the WAL append fsynced, so everything acked must
+  // survive the kill.
+  std::string acked;
+  char chunk[4096];
+  size_t acks_seen = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    std::string line = UpdateLine(b + 1, LiveBatch(b)) + "\n";
+    ASSERT_TRUE(io::WriteAllFd(to_child[1], line).ok());
+    while (acks_seen <= static_cast<size_t>(b)) {
+      Result<size_t> n =
+          io::ReadSomeFd(from_child[0], chunk, sizeof(chunk));
+      ASSERT_TRUE(n.ok()) << n.status();
+      ASSERT_GT(n.value(), 0u) << "server exited early; acked: " << acked;
+      acked.append(chunk, n.value());
+      acks_seen = 0;
+      for (char c : acked) {
+        if (c == '\n') ++acks_seen;
+      }
+    }
+  }
+  EXPECT_NE(acked.find("\"ok\":true"), std::string::npos) << acked;
+  EXPECT_NE(acked.find("\"seq\":" + std::to_string(kBatches)),
+            std::string::npos)
+      << acked;
+
+  // The kill: no shutdown request, no draining, mid-process death.
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  ::close(to_child[1]);
+  ::close(from_child[0]);
+
+  // Reference: a store that never crashed, fed the same bootstrap and the
+  // same acked batches.
+  Result<Dataset> bootstrap = storage::ReadDatasetAuto(corpus);
+  ASSERT_TRUE(bootstrap.ok()) << bootstrap.status();
+  StoreConfig plain;
+  plain.num_shards = 4;
+  Result<std::unique_ptr<EntityStore>> reference =
+      EntityStore::Create(std::move(bootstrap.value()), plain);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int b = 0; b < kBatches; ++b) {
+    ASSERT_TRUE((*reference)->ApplyBatch(LiveBatch(b)).ok());
+  }
+
+  // Restart on the killed process's WAL (as the CLI would with the same
+  // --wal flag) and compare bitwise.
+  Result<Dataset> bootstrap_again = storage::ReadDatasetAuto(corpus);
+  ASSERT_TRUE(bootstrap_again.ok());
+  StoreConfig durable = plain;
+  durable.wal.path = wal_path;
+  Result<std::unique_ptr<EntityStore>> recovered = EntityStore::Create(
+      std::move(bootstrap_again.value()), durable);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->replayed_batches(),
+            static_cast<uint64_t>(kBatches));
+  EXPECT_EQ((*recovered)->snapshot()->DebugString(),
+            (*reference)->snapshot()->DebugString());
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// ServeAdmissionTest — bounded in-flight work and structured shedding.
+
+TEST(ServeAdmissionTest, OverLimitBatchIsShedWithoutSideEffects) {
+  synth::SyntheticWorld world = MakeWorld(2045);
+  const Dataset& full = world.dataset;
+  const size_t bootstrap_count = full.num_records() / 2;
+
+  StoreConfig config;
+  config.num_shards = 4;
+  config.max_pending_records = 4;
+  Result<std::unique_ptr<EntityStore>> store =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), config);
+  ASSERT_TRUE(store.ok()) << store.status();
+  const std::string before = (*store)->snapshot()->DebugString();
+
+  // Five records against a four-record budget: shed, deterministically,
+  // even with nothing else in flight.
+  BatchRejection rejection;
+  Result<BatchResult> shed = (*store)->ApplyBatch(
+      SliceBatch(full, bootstrap_count, bootstrap_count + 5), &rejection);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable)
+      << shed.status();
+  EXPECT_GE(rejection.retry_after_ms, 1.0);
+  EXPECT_EQ(rejection.pending_batches, 0u);
+  EXPECT_EQ(rejection.pending_records, 0u);
+  // Nothing was logged or applied: same snapshot, no sequence consumed,
+  // no pending work left behind.
+  EXPECT_EQ((*store)->snapshot()->DebugString(), before);
+  EXPECT_EQ((*store)->wal_sequence(), 0u);
+  EXPECT_EQ((*store)->pending_batches(), 0u);
+  EXPECT_EQ((*store)->pending_records(), 0u);
+
+  // A batch within the budget sails through.
+  Result<BatchResult> admitted = (*store)->ApplyBatch(
+      SliceBatch(full, bootstrap_count, bootstrap_count + 4), &rejection);
+  ASSERT_TRUE(admitted.ok()) << admitted.status();
+  EXPECT_EQ(admitted->seq, 1u);
+  EXPECT_EQ((*store)->pending_batches(), 0u);
+}
+
+TEST(ServeAdmissionTest, ServerEncodesStructuredOverloadedResponse) {
+  synth::SyntheticWorld world = MakeWorld(2046);
+  const Dataset& full = world.dataset;
+  const size_t bootstrap_count = full.num_records() / 2;
+
+  StoreConfig config;
+  config.num_shards = 4;
+  config.max_pending_records = 2;
+  Result<std::unique_ptr<EntityStore>> store =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), config);
+  ASSERT_TRUE(store.ok()) << store.status();
+  Server server(store->get());
+
+  std::string response = server.HandleLine(UpdateLine(7, LiveBatch(0)));
+  Result<JsonValue> parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  ASSERT_NE(parsed->Find("error"), nullptr) << response;
+  EXPECT_EQ(parsed->Find("error")->string, "overloaded");
+  EXPECT_DOUBLE_EQ(parsed->Find("id")->number, 7.0);
+  ASSERT_NE(parsed->Find("retry_after_ms"), nullptr);
+  EXPECT_GE(parsed->Find("retry_after_ms")->number, 1.0);
+  ASSERT_NE(parsed->Find("pending_batches"), nullptr);
+  ASSERT_NE(parsed->Find("pending_records"), nullptr);
+
+  // A within-budget update through the same wire path succeeds and
+  // reports its durable sequence (0 wal_ms: no WAL configured).
+  UpdateRecord small;
+  small.source = "live-src-0";
+  small.fields.emplace_back("name", "small update");
+  std::string ok_response = server.HandleLine(UpdateLine(8, {small}));
+  Result<JsonValue> ok_parsed = ParseJson(ok_response);
+  ASSERT_TRUE(ok_parsed.ok()) << ok_response;
+  EXPECT_TRUE(ok_parsed->Find("ok")->boolean) << ok_response;
+  ASSERT_NE(ok_parsed->Find("seq"), nullptr);
+  EXPECT_DOUBLE_EQ(ok_parsed->Find("seq")->number, 1.0);
+}
+
+TEST(ServeAdmissionTest, UnlimitedByDefaultAndEquivalencePreserved) {
+  synth::SyntheticWorld world = MakeWorld(2047);
+  const Dataset& full = world.dataset;
+  const size_t total = full.num_records();
+  const size_t bootstrap_count = total / 2;
+
+  // Budgets at the CLI defaults must not change a well-behaved client's
+  // results: final state still equals the library-default (unlimited)
+  // store.
+  StoreConfig bounded;
+  bounded.num_shards = 4;
+  bounded.max_pending_batches = 32;
+  bounded.max_pending_records = 200000;
+  StoreConfig unlimited;
+  unlimited.num_shards = 4;
+
+  Result<std::unique_ptr<EntityStore>> a =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), bounded);
+  Result<std::unique_ptr<EntityStore>> b =
+      EntityStore::Create(PrefixDataset(full, bootstrap_count), unlimited);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  std::vector<UpdateRecord> batch = SliceBatch(full, bootstrap_count, total);
+  ASSERT_TRUE((*a)->ApplyBatch(batch).ok());
+  ASSERT_TRUE((*b)->ApplyBatch(batch).ok());
+  EXPECT_EQ((*a)->snapshot()->DebugString(),
+            (*b)->snapshot()->DebugString());
+}
+
+}  // namespace
+}  // namespace bdi::serve

@@ -56,4 +56,52 @@ foreach(needle
         "serve response missing '${needle}'; full output:\n${responses}")
   endif()
 endforeach()
+
+# Restart leg: run the same session with --wal, stop cleanly, then restart
+# on the same log with the same bootstrap. The replayed store must already
+# be at v2 with the batch counted — durable serving survives a restart.
+set(wal ${WORK_DIR}/serve.wal)
+file(REMOVE ${wal})
+execute_process(
+    COMMAND ${BDI_CLI} serve --in ${corpus} --shards 4 --wal ${wal}
+    INPUT_FILE ${requests}
+    OUTPUT_VARIABLE responses
+    ERROR_VARIABLE banner
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bdi serve --wal exited ${rc}: ${banner}")
+endif()
+string(FIND "${responses}" "\"ok\":true,\"id\":3,\"v\":2" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR
+      "durable serve lost the update; full output:\n${responses}")
+endif()
+
+set(restart_requests ${WORK_DIR}/restart_requests.jsonl)
+file(WRITE ${restart_requests} "{\"op\":\"stats\",\"id\":10}
+{\"op\":\"shutdown\",\"id\":11}
+")
+execute_process(
+    COMMAND ${BDI_CLI} serve --in ${corpus} --shards 4 --wal ${wal}
+    INPUT_FILE ${restart_requests}
+    OUTPUT_VARIABLE responses
+    ERROR_VARIABLE banner
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bdi serve restart exited ${rc}: ${banner}")
+endif()
+string(FIND "${banner}" "1 batches replayed" replayed_at)
+if(replayed_at EQUAL -1)
+  message(FATAL_ERROR
+      "restart did not replay the WAL; banner:\n${banner}")
+endif()
+foreach(needle
+    "\"ok\":true,\"id\":10,\"v\":2"
+    "\"batches\":1")
+  string(FIND "${responses}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+        "restarted serve missing '${needle}'; full output:\n${responses}")
+  endif()
+endforeach()
 message(STATUS "serve smoke ok")

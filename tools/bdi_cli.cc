@@ -33,12 +33,23 @@
 //                 dictionaries, per-row-group table with encodings)
 //   bdi serve     --in corpus.csv [--shards 8] [--threads 0]
 //                 [--budget N|P%] [--budget-ms M] [--port P]
+//                 [--wal path] [--wal-rotate-mb 64]
+//                 [--max-pending-batches 32] [--max-pending-records 200000]
 //                 (resident entity store: bootstraps the pipeline once,
 //                 then serves JSON-lines requests — ask/find/stats/update/
 //                 shutdown, see docs/SERVING.md — over stdin/stdout, or
 //                 over TCP with --port; --port 0 picks an ephemeral port
 //                 and prints it. --budget/--budget-ms cap each live update
-//                 batch's linkage comparisons / wall-clock milliseconds)
+//                 batch's linkage comparisons / wall-clock milliseconds.
+//                 --wal makes accepted updates durable: every batch is
+//                 fsynced to the log before it is applied, the log
+//                 compacts into a .bds checkpoint past --wal-rotate-mb,
+//                 and a restart with the same --wal replays to the exact
+//                 pre-crash state. --max-pending-batches/-records bound
+//                 admitted-but-unapplied update work; excess batches are
+//                 shed with the structured `overloaded` error and a
+//                 retry_after_ms hint instead of queueing unboundedly;
+//                 0 means unlimited)
 //
 // `link` and `integrate` also accept `--budget-ms M`: a wall-clock
 // deadline (milliseconds) on the matching stage, composable with
@@ -55,6 +66,7 @@
 // writes the JSON snapshot — per-stage wall times, candidate-pair counts,
 // fusion EM iterations, executor task counts — to <path> on success. See
 // docs/OBSERVABILITY.md for the schema and the full metric list.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -719,11 +731,18 @@ int CmdServe(const Flags& flags) {
   int shards = 0;
   int threads = 0;
   int port = 0;
+  int rotate_mb = 0;
+  int max_pending_batches = 0;
+  int max_pending_records = 0;
   double budget = 0.0;
   double budget_ms = 0.0;
   if (!GetIntFlag(flags, "shards", 8, &shards) ||
       !GetIntFlag(flags, "threads", 0, &threads) ||
       !GetIntFlag(flags, "port", 0, &port) ||
+      !GetIntFlag(flags, "wal-rotate-mb", 64, &rotate_mb) ||
+      !GetIntFlag(flags, "max-pending-batches", 32, &max_pending_batches) ||
+      !GetIntFlag(flags, "max-pending-records", 200000,
+                  &max_pending_records) ||
       !GetBudgetFlag(flags, &budget) ||
       !GetBudgetMsFlag(flags, &budget_ms)) {
     return 2;
@@ -740,6 +759,16 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "error: --port must be in [0, 65535]\n");
     return 2;
   }
+  if (rotate_mb < 0) {
+    std::fprintf(stderr, "error: --wal-rotate-mb must be non-negative\n");
+    return 2;
+  }
+  if (max_pending_batches < 0 || max_pending_records < 0) {
+    std::fprintf(stderr,
+                 "error: --max-pending-batches/--max-pending-records must "
+                 "be non-negative\n");
+    return 2;
+  }
   Result<Dataset> dataset = storage::ReadDatasetAuto(flags.Get("in", ""));
   if (!dataset.ok()) return Fail(dataset.status());
 
@@ -748,9 +777,28 @@ int CmdServe(const Flags& flags) {
   store_config.comparison_budget = budget;
   store_config.budget_ms = budget_ms;
   store_config.num_threads = static_cast<size_t>(threads);
+  store_config.wal.path = flags.Get("wal", "");
+  store_config.wal.rotate_bytes = static_cast<uint64_t>(rotate_mb) << 20;
+  store_config.max_pending_batches =
+      static_cast<uint64_t>(max_pending_batches);
+  store_config.max_pending_records =
+      static_cast<uint64_t>(max_pending_records);
   Result<std::unique_ptr<serve::EntityStore>> store =
       serve::EntityStore::Create(std::move(dataset.value()), store_config);
   if (!store.ok()) return Fail(store.status());
+  if (!store_config.wal.path.empty()) {
+    std::fprintf(
+        stderr,
+        "bdi serve: WAL %s (base seq %llu, %llu batches replayed)\n",
+        store_config.wal.path.c_str(),
+        static_cast<unsigned long long>(store.value()->wal_base_sequence()),
+        static_cast<unsigned long long>(store.value()->replayed_batches()));
+  }
+
+  // A client dropping its connection mid-response must never kill the
+  // process: socket sends use MSG_NOSIGNAL, and SIGPIPE from the stdio
+  // path is ignored process-wide.
+  std::signal(SIGPIPE, SIG_IGN);
 
   std::shared_ptr<const serve::Snapshot> snapshot =
       store.value()->snapshot();
